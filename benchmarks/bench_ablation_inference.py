@@ -1,0 +1,31 @@
+"""Ablation A3: cost of exact inference vs the Omega-estimate.
+
+The Omega-estimate exists because exact inference is #P-hard; this benchmark
+shows the latency gap growing with the group size, which is what makes the
+Omega-estimate the only viable check inside Mondrian.
+"""
+
+from conftest import BENCH_REPEATS, record
+
+from repro.experiments.ablation import ablation_inference_method
+
+
+def test_ablation_inference_cost(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: ablation_inference_method(
+            adult_table,
+            group_sizes=(3, 5, 8, 10, 12),
+            b=0.3,
+            repeats=max(5, BENCH_REPEATS // 3),
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    exact = result.series_by_label("exact inference").y
+    omega = result.series_by_label("omega-estimate").y
+    # The Omega-estimate is much cheaper at the largest group size.
+    assert omega[-1] < exact[-1]
+    # Exact inference cost grows with the group size.
+    assert exact[-1] > exact[0]

@@ -1,0 +1,25 @@
+"""Ablation A4: Mondrian dimension-selection heuristic.
+
+Compares the original widest-dimension heuristic with a round-robin selection
+under the (B,t)-privacy requirement, measuring the utility (DM / GCP) of the
+resulting releases.
+"""
+
+from conftest import record
+
+from repro.experiments.ablation import ablation_mondrian_split
+from repro.experiments.config import PARA1
+
+
+def test_ablation_mondrian_split(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: ablation_mondrian_split(adult_table, PARA1),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    dm = result.series_by_label("discernibility metric").y
+    gcp = result.series_by_label("global certainty penalty").y
+    n = adult_table.n_rows
+    assert all(n <= value <= n * n for value in dm)
+    assert all(value > 0.0 for value in gcp)

@@ -1,0 +1,26 @@
+"""Figure 1(b): vulnerable tuples vs privacy parameter set (adversary b' = 0.3).
+
+Paper shape: for every parameter set para1..para4 the (B,t)-private table
+contains far fewer vulnerable tuples than the three baselines.
+"""
+
+from conftest import record
+
+from repro.experiments.config import TABLE_V
+from repro.experiments.figures import figure_1b
+
+
+def test_fig1b_vulnerable_vs_privacy_parameters(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: figure_1b(adult_table, parameter_sets=TABLE_V, b_prime=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    bt = result.series_by_label("(B,t)-privacy")
+    for name in ("distinct-l-diversity", "probabilistic-l-diversity", "t-closeness"):
+        baseline = result.series_by_label(name)
+        for position in range(len(bt.x)):
+            assert bt.y[position] <= baseline.y[position]
+    # The matched adversary never breaches the (B,t) tables.
+    assert all(value == 0.0 for value in bt.y)

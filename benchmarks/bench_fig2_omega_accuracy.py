@@ -1,0 +1,26 @@
+"""Figure 2: accuracy of the Omega-estimate (average distance error vs group size N).
+
+Paper shape: the Omega-estimate stays within 0.1 of exact inference for all
+group sizes N in {3, 5, 8, 10, 15} and all bandwidths b in {0.2, 0.3, 0.4, 0.5}.
+"""
+
+from conftest import BENCH_REPEATS, record
+
+from repro.experiments.figures import figure_2
+
+
+def test_fig2_omega_estimate_accuracy(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: figure_2(
+            adult_table,
+            group_sizes=(3, 5, 8, 10, 15),
+            b_values=(0.2, 0.3, 0.4, 0.5),
+            repeats=BENCH_REPEATS,
+            seed=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    for series in result.series:
+        assert all(error < 0.1 for error in series.y), series.label

@@ -1,0 +1,33 @@
+"""Figure 3(a): continuity of worst-case disclosure risk in the publisher bandwidth b.
+
+Paper shape: the worst-case disclosure risk changes smoothly (no jumps) as the
+(B,t) table's bandwidth b varies, for adversaries of every knowledge level b'.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.experiments.figures import figure_3a
+
+
+def test_fig3a_disclosure_risk_continuity(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: figure_3a(
+            adult_table,
+            table_b_values=(0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5),
+            adversary_b_values=(0.2, 0.3, 0.4, 0.5),
+            t=0.25,
+            k=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    for series in result.series:
+        risks = np.asarray(series.y)
+        assert np.all((risks >= 0.0) & (risks <= 1.0))
+        # Continuity: adjacent publisher bandwidths change the risk by a bounded step.
+        assert np.abs(np.diff(risks)).max() < 0.25, series.label
+    # The matched point (b = b') always respects the configured threshold t.
+    matched = result.series_by_label("b'=0.3")
+    assert matched.y[matched.x.index(0.3)] <= 0.25 + 1e-9

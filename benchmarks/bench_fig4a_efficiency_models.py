@@ -1,0 +1,30 @@
+"""Figure 4(a): Mondrian anonymization time for the four privacy models.
+
+Paper shape: once the background knowledge is precomputed, building the
+(B,t)-private table costs about as much as the other models (same order of
+magnitude), and the running time does not explode as the requirement tightens.
+"""
+
+from conftest import record
+
+from repro.experiments.config import TABLE_V
+from repro.experiments.figures import figure_4a
+
+
+def test_fig4a_anonymization_time(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: figure_4a(adult_table, parameter_sets=TABLE_V),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    bt = result.series_by_label("(B,t)-privacy")
+    others = [
+        result.series_by_label(name)
+        for name in ("distinct-l-diversity", "probabilistic-l-diversity", "t-closeness")
+    ]
+    for position in range(len(bt.x)):
+        slowest_baseline = max(series.y[position] for series in others)
+        # Same order of magnitude: within 30x of the slowest baseline partition time.
+        assert bt.y[position] <= 30 * slowest_baseline + 1.0
+    assert all(value > 0.0 for series in result.series for value in series.y)

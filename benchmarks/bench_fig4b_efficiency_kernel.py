@@ -1,0 +1,25 @@
+"""Figure 4(b): kernel background-knowledge estimation time vs b and input size.
+
+Paper shape: estimating background knowledge dominates the anonymization time
+and grows with the input size, but remains practical (the paper reports
+minutes for 10K-25K tuples on 2005-era hardware; this Python reproduction uses
+proportionally smaller inputs by default - scale with REPRO_BENCH_ROWS).
+"""
+
+from conftest import BENCH_ROWS, record
+
+from repro.experiments.figures import figure_4b
+
+
+def test_fig4b_kernel_estimation_time(benchmark):
+    sizes = tuple(sorted({max(500, BENCH_ROWS // 2), BENCH_ROWS, BENCH_ROWS * 2, BENCH_ROWS * 3}))
+    result = benchmark.pedantic(
+        lambda: figure_4b(input_sizes=sizes, b_values=(0.2, 0.3, 0.4, 0.5), seed=2009),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Cost grows with the input size (compare the same b across sizes).
+    per_size = [series.y[1] for series in result.series]  # timing at b = 0.3
+    assert per_size == sorted(per_size) or per_size[-1] > per_size[0]
+    assert all(value > 0.0 for series in result.series for value in series.y)

@@ -1,0 +1,31 @@
+"""Figure 5(a): Discernibility Metric (DM) of the four anonymized tables.
+
+Paper shape: the (B,t)-private table shows utility comparable to the three
+baselines (same order of magnitude DM) across para1..para4, and DM grows as
+the privacy requirement tightens.
+"""
+
+from conftest import record
+
+from repro.experiments.config import TABLE_V
+from repro.experiments.figures import figure_5a
+
+
+def test_fig5a_discernibility_metric(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: figure_5a(adult_table, parameter_sets=TABLE_V),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    n = adult_table.n_rows
+    bt = result.series_by_label("(B,t)-privacy")
+    for series in result.series:
+        # DM is bounded between n (singleton groups) and n^2 (one group).
+        assert all(n <= value <= n * n for value in series.y)
+    for position in range(len(bt.x)):
+        others = [
+            result.series_by_label(name).y[position]
+            for name in ("distinct-l-diversity", "probabilistic-l-diversity", "t-closeness")
+        ]
+        assert bt.y[position] <= 10 * max(others)

@@ -1,0 +1,31 @@
+"""Figure 5(b): Global Certainty Penalty (GCP) of the four anonymized tables.
+
+Paper shape: the (B,t)-private table's GCP is comparable to the baselines
+across para1..para4.
+"""
+
+from conftest import record
+
+from repro.experiments.config import TABLE_V
+from repro.experiments.figures import figure_5b
+
+
+def test_fig5b_global_certainty_penalty(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: figure_5b(adult_table, parameter_sets=TABLE_V),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    n = adult_table.n_rows
+    d = len(adult_table.quasi_identifier_names)
+    bt = result.series_by_label("(B,t)-privacy")
+    for series in result.series:
+        # GCP is bounded by n*d (fully generalized table).
+        assert all(0.0 < value <= n * d for value in series.y)
+    for position in range(len(bt.x)):
+        others = [
+            result.series_by_label(name).y[position]
+            for name in ("distinct-l-diversity", "probabilistic-l-diversity", "t-closeness")
+        ]
+        assert bt.y[position] <= 10 * max(others)

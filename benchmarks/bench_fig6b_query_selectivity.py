@@ -1,0 +1,39 @@
+"""Figure 6(b): aggregate query answering error vs query selectivity sel.
+
+Paper shape: relative error decreases as the selectivity grows (larger queries
+are easier to answer from generalized data), and the (B,t)-private table is
+comparable to the baselines throughout.
+"""
+
+from conftest import record
+
+from repro.experiments.config import PARA1
+from repro.experiments.figures import figure_6b
+
+
+def test_fig6b_query_error_vs_selectivity(benchmark, adult_table):
+    result = benchmark.pedantic(
+        lambda: figure_6b(
+            adult_table,
+            PARA1,
+            selectivity_values=(0.03, 0.05, 0.07, 0.1, 0.12),
+            query_dimension=3,
+            n_queries=200,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    for series in result.series:
+        assert all(value >= 0.0 for value in series.y)
+        # Overall decreasing trend: the largest selectivity is answered more
+        # accurately than the smallest one.
+        assert series.y[-1] <= series.y[0] * 1.25 + 1.0, series.label
+    bt = result.series_by_label("(B,t)-privacy")
+    for position in range(len(bt.x)):
+        others = [
+            result.series_by_label(name).y[position]
+            for name in ("distinct-l-diversity", "probabilistic-l-diversity", "t-closeness")
+        ]
+        assert bt.y[position] <= 3 * max(others) + 5.0

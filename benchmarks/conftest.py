@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper's evaluation section
+on a synthetic Adult-like table.  Two environment variables control the scale
+(the defaults keep the full harness to a few minutes):
+
+* ``REPRO_BENCH_ROWS``    - rows of the synthetic Adult table (default 2000).
+* ``REPRO_BENCH_REPEATS`` - repeats for sampling-based experiments (default 30).
+
+Each benchmark prints its reproduced figure as a plain-text table and also
+writes it to ``benchmarks/results/<experiment>.txt`` so the numbers recorded in
+EXPERIMENTS.md can be regenerated at any time.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data.adult import generate_adult  # noqa: E402
+from repro.experiments.results import ExperimentResult  # noqa: E402
+
+BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "2000"))
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "30"))
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def record(result: ExperimentResult) -> ExperimentResult:
+    """Print a reproduced figure and persist it under benchmarks/results/."""
+    text = result.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = (
+        result.experiment_id.lower()
+        .replace(" ", "_")
+        .replace("(", "")
+        .replace(")", "")
+        .replace(".", "")
+    )
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    return result
+
+
+@pytest.fixture(scope="session")
+def adult_table():
+    """The synthetic Adult-like table shared by all figure benchmarks."""
+    return generate_adult(BENCH_ROWS, seed=2009)

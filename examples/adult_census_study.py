@@ -1,0 +1,67 @@
+"""A miniature version of the paper's full evaluation (Section V) on the
+synthetic Adult-like census data: anonymize with the four privacy models,
+attack each release with adversaries of several knowledge levels, and compare
+privacy protection against data utility.
+
+Run with:  python examples/adult_census_study.py [n_rows]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import BackgroundKnowledgeAttack, generate_adult
+from repro.experiments import MODEL_NAMES, PARA2, four_model_releases
+from repro.utility import (
+    QueryWorkloadGenerator,
+    average_relative_error,
+    discernibility_metric,
+    global_certainty_penalty,
+)
+
+
+def main() -> None:
+    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    parameters = PARA2  # k = l = 4, t = 0.2, b = 0.3
+    table = generate_adult(n_rows, seed=2009)
+    print(f"synthetic Adult-like table: {n_rows} rows; parameters {parameters.describe()}\n")
+
+    print("anonymizing with the four models of Section V ...")
+    releases = four_model_releases(table, parameters)
+    for name in MODEL_NAMES:
+        result = releases[name]
+        print(f"  {name:<27} {result.release.n_groups:>5} groups   "
+              f"partition {result.partition_seconds:6.2f}s   "
+              f"preparation {result.prepare_seconds:6.2f}s")
+
+    print("\nprobabilistic background-knowledge attack (vulnerable tuples, threshold t"
+          f" = {parameters.t:g}):")
+    header = f"  {'adversary':<12}" + "".join(f"{name:>28}" for name in MODEL_NAMES)
+    print(header)
+    for b_prime in (0.2, 0.3, 0.4, 0.5):
+        attack = BackgroundKnowledgeAttack(table, b_prime)
+        row = f"  b'={b_prime:<9}"
+        for name in MODEL_NAMES:
+            outcome = attack.attack(releases[name].release.groups, parameters.t)
+            row += f"{outcome.vulnerable_tuples:>28}"
+        print(row)
+
+    print("\ngeneral utility (lower is better):")
+    print(f"  {'model':<27}{'DM':>14}{'GCP':>14}{'query error %':>16}")
+    queries = QueryWorkloadGenerator(table, query_dimension=3, selectivity=0.07, seed=7).generate(200)
+    for name in MODEL_NAMES:
+        release = releases[name].release
+        print(f"  {name:<27}{discernibility_metric(release):>14.0f}"
+              f"{global_certainty_penalty(release):>14.0f}"
+              f"{average_relative_error(release, queries):>16.1f}")
+
+    print("\nreading: the (B,t)-private table blocks the background-knowledge attack "
+          "(few or no vulnerable tuples) while keeping utility in the same range as "
+          "the classical models - the trade-off the paper's Figures 1, 5 and 6 report.")
+
+
+if __name__ == "__main__":
+    main()

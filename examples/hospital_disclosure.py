@@ -1,0 +1,91 @@
+"""The paper's motivating scenario (Tables I-III): how correlational background
+knowledge breaks l-diversity, and how the numbers of Section III arise.
+
+A hospital publishes the 9-patient table of Table I(a) as the 3-diverse
+generalized table of Table I(b).  An adversary who knows that emphysema is far
+more common among older men can re-identify Bob's disease with high confidence;
+an adversary with the prior-belief table of Table II(b) raises her belief that
+t3 has HIV from 0.3 to 0.8.
+
+Run with:  python examples/hospital_disclosure.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro import kernel_prior, uniform_prior
+from repro.anonymize import AnonymizedRelease
+from repro.data.examples import (
+    table_i_groups,
+    table_i_patients,
+    table_ii_prior,
+    table_ii_sensitive_counts,
+    table_iii_prior,
+)
+from repro.inference import exact_posterior, omega_posterior, posterior_for_groups
+
+
+def motivating_example() -> None:
+    """Reproduce the Section I story about Bob and emphysema."""
+    table = table_i_patients()
+    groups = table_i_groups()
+    release = AnonymizedRelease(table, groups, method="Table I(b)")
+    print("Published (generalized) table T*:")
+    for row in release.generalized_rows():
+        print("  ", row)
+
+    emphysema = table.sensitive_domain().code_of("Emphysema")
+    codes = table.sensitive_codes()
+
+    ignorant = uniform_prior(table)
+    informed = kernel_prior(table, 0.2)  # correlational knowledge mined from the data
+
+    ignorant_posterior = posterior_for_groups(ignorant.matrix, codes, groups, method="exact")
+    informed_posterior = posterior_for_groups(informed.matrix, codes, groups, method="exact")
+
+    print("\nBob is the 69-year-old male (tuple 1, first group).")
+    print(f"  without background knowledge:  P(Emphysema | Bob) = "
+          f"{ignorant_posterior[0, emphysema]:.3f}  (the 1/3 the publisher hoped for)")
+    print(f"  with correlational knowledge:  P(Emphysema | Bob) = "
+          f"{informed_posterior[0, emphysema]:.3f}  (the adversary is nearly certain)")
+
+
+def table_ii_example() -> None:
+    """Reproduce the Section III-B computation: belief in HIV rises from 0.3 to 0.8."""
+    prior = table_ii_prior()
+    counts = table_ii_sensitive_counts()
+    exact = exact_posterior(prior, counts)
+    omega = omega_posterior(prior, counts)
+    print("\nTable II example ({t1, t2, t3} hold {none, none, HIV}):")
+    print(f"  adversary's prior P(HIV | t3)          = {prior[2, 0]:.2f}")
+    print(f"  exact posterior P*(HIV | t3)           = {exact[2, 0]:.3f}   (paper: 0.8)")
+    print(f"  Omega-estimate posterior               = {omega[2, 0]:.3f}")
+
+
+def table_iii_example() -> None:
+    """Reproduce the Section III-D inexactness example of the Omega-estimate."""
+    prior = table_iii_prior()
+    counts = table_ii_sensitive_counts()
+    exact = exact_posterior(prior, counts)
+    omega = omega_posterior(prior, counts)
+    print("\nTable III example (t1 and t2 cannot have HIV):")
+    print(f"  exact posterior P*(HIV | t3)           = {exact[2, 0]:.3f}   (paper: 1)")
+    print(f"  Omega-estimate posterior               = {omega[2, 0]:.3f}   (paper: 0.66)")
+    print("  -> the Omega-estimate is approximate, but Figure 2 shows the error is small in practice")
+
+
+def main() -> None:
+    np.set_printoptions(precision=3, suppress=True)
+    motivating_example()
+    table_ii_example()
+    table_iii_example()
+
+
+if __name__ == "__main__":
+    main()

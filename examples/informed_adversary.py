@@ -1,0 +1,64 @@
+"""Extensions in action: choosing the bandwidth from data, and attacking a
+release with an adversary who already knows some individuals' diseases.
+
+1. Likelihood cross-validation (`repro.knowledge.selection`) picks a bandwidth
+   that best explains held-out data - a principled anchor for the publisher's
+   skyline instead of a guess.
+2. An `InformedAdversary` combines that correlational knowledge with exact
+   knowledge of a fraction of individuals (Chen et al.'s instance-level
+   knowledge, Section II-D), and we measure how much extra damage that does to
+   an l-diverse release versus a (B,t)-private release.
+
+Run with:  python examples/informed_adversary.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import BTPrivacy, DistinctLDiversity, anonymize, generate_adult
+from repro.knowledge import select_bandwidth
+from repro.privacy import InformedAdversary
+
+
+def main() -> None:
+    table = generate_adult(1_500, seed=77)
+
+    # 1. Which adversary is the most realistic?  Pick the bandwidth by
+    #    cross-validated likelihood on the data itself.
+    best_b, scores = select_bandwidth(
+        table, candidates=(0.2, 0.3, 0.5, 1.0), n_folds=3
+    )
+    print("cross-validated bandwidth selection (higher log-likelihood = better fit):")
+    for score in scores:
+        marker = "  <- selected" if score.b == best_b else ""
+        print(f"  b = {score.b:<4}  held-out log-likelihood = {score.log_likelihood:.4f}{marker}")
+
+    # 2. Publish under (B,t)-privacy calibrated to that adversary, and under
+    #    plain l-diversity for comparison.
+    threshold = 0.25
+    bt_release = anonymize(table, BTPrivacy(best_b, threshold), k=4).release
+    ld_release = anonymize(table, DistinctLDiversity(4), k=4).release
+    print(f"\n(B,t)-private release: {bt_release.n_groups} groups; "
+          f"4-diverse release: {ld_release.n_groups} groups")
+
+    # 3. Attack both with adversaries who also know the sensitive value of
+    #    0%, 10% and 30% of the individuals.
+    print("\nvulnerable tuples (threshold t = 0.25) when the adversary also knows"
+          " some individuals outright:")
+    print(f"  {'known fraction':<16}{'4-diversity':>14}{'(B,t)-privacy':>16}")
+    for fraction in (0.0, 0.1, 0.3):
+        adversary = InformedAdversary.with_random_knowledge(table, best_b, fraction, seed=5)
+        ld_outcome = adversary.attack(ld_release.groups, threshold)
+        bt_outcome = adversary.attack(bt_release.groups, threshold)
+        print(f"  {fraction:<16.0%}{ld_outcome.vulnerable_tuples:>14}{bt_outcome.vulnerable_tuples:>16}")
+
+    print("\nreading: instance-level knowledge compounds the correlational attack on "
+          "l-diversity, while the (B,t)-private table degrades far more gracefully.")
+
+
+if __name__ == "__main__":
+    main()

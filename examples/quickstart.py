@@ -1,0 +1,65 @@
+"""Quickstart: anonymize a microdata table with (B,t)-privacy and audit the result.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import (
+    BackgroundKnowledgeAttack,
+    BTPrivacy,
+    DistinctLDiversity,
+    anonymize,
+    generate_adult,
+)
+from repro.utility import QueryWorkloadGenerator, average_relative_error, utility_report
+
+
+def main() -> None:
+    # 1. A microdata table: 3 000 census-like records, Occupation is sensitive.
+    table = generate_adult(3_000, seed=1)
+    print(f"table: {table.n_rows} rows, QI = {', '.join(table.quasi_identifier_names)}, "
+          f"sensitive = {table.sensitive_name}")
+
+    # 2. Publish it under (B,t)-privacy: the adversary profile is bandwidth b = 0.3,
+    #    and no individual's sensitive attribute may be disclosed by more than t = 0.2.
+    result = anonymize(table, BTPrivacy(b=0.3, t=0.2), k=4)
+    release = result.release
+    print(f"(B,t)-private release: {release.n_groups} groups, "
+          f"avg size {release.average_group_size():.1f}, "
+          f"built in {result.total_seconds:.2f}s "
+          f"({result.prepare_seconds:.2f}s background-knowledge estimation)")
+
+    # 3. Audit: replay the probabilistic background-knowledge attack of Section V-A.
+    attack = BackgroundKnowledgeAttack(table, b_prime=0.3)
+    outcome = attack.attack(release.groups, threshold=0.2)
+    print(f"attack Adv(b'=0.3): {outcome.vulnerable_tuples} vulnerable tuples, "
+          f"worst-case knowledge gain {outcome.worst_case_risk:.3f} (budget 0.2)")
+
+    # 4. Compare with a classic l-diversity release.
+    baseline = anonymize(table, DistinctLDiversity(4), k=4).release
+    baseline_outcome = attack.attack(baseline.groups, threshold=0.2)
+    print(f"distinct 4-diversity baseline: {baseline_outcome.vulnerable_tuples} vulnerable tuples, "
+          f"worst-case gain {baseline_outcome.worst_case_risk:.3f}")
+
+    # 5. The release is still useful: general utility metrics and query accuracy.
+    report = utility_report(release)
+    queries = QueryWorkloadGenerator(table, query_dimension=3, selectivity=0.1, seed=7).generate(200)
+    error = average_relative_error(release, queries)
+    print(f"utility: DM = {report['discernibility_metric']:.0f}, "
+          f"GCP = {report['global_certainty_penalty']:.0f}, "
+          f"aggregate query error = {error:.1f}%")
+
+    # 6. Peek at the published (generalized) form of the first few tuples.
+    print("\nfirst three published rows:")
+    for row in release.generalized_rows()[:3]:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""repro: a reproduction of "Modeling and Integrating Background Knowledge in
+Data Anonymization" (Li, Li & Zhang, ICDE 2009).
+
+The package is organised around the paper's pipeline:
+
+* :mod:`repro.data` - microdata tables, generalization hierarchies, semantic
+  distances, and a synthetic Adult-like dataset generator;
+* :mod:`repro.knowledge` - kernel-regression estimation of the adversary's
+  prior beliefs, parameterised by the bandwidth ``B`` (plus association-rule
+  mining baselines);
+* :mod:`repro.inference` - exact Bayesian posterior inference and the
+  linear-time Omega-estimate;
+* :mod:`repro.privacy` - distance measures (including the paper's smoothed-JS
+  measure), privacy models (l-diversity, t-closeness, (B,t)-privacy, skyline
+  (B,t)-privacy) and the background-knowledge attack;
+* :mod:`repro.anonymize` - Mondrian generalization and Anatomy bucketization;
+* :mod:`repro.utility` - utility metrics and aggregate-query workloads;
+* :mod:`repro.experiments` - runners that regenerate every figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import generate_adult, BTPrivacy, anonymize
+
+    table = generate_adult(5000)
+    result = anonymize(table, BTPrivacy(b=0.3, t=0.2), k=4)
+    print(result.release.n_groups, "groups")
+"""
+
+from repro.anonymize import (
+    AnonymizationResult,
+    AnonymizedRelease,
+    MondrianAnonymizer,
+    anatomy_partition,
+    anonymize,
+)
+from repro.data import (
+    Attribute,
+    AttributeKind,
+    AttributeRole,
+    MicrodataTable,
+    Schema,
+    Taxonomy,
+    adult_schema,
+    generate_adult,
+)
+from repro.exceptions import (
+    AnonymizationError,
+    DataError,
+    ExperimentError,
+    HierarchyError,
+    InferenceError,
+    KnowledgeError,
+    PrivacyModelError,
+    ReproError,
+    SchemaError,
+    UtilityError,
+)
+from repro.inference import exact_posterior, omega_posterior, posterior_for_groups
+from repro.knowledge import (
+    Bandwidth,
+    KernelPriorEstimator,
+    PriorBeliefs,
+    kernel_prior,
+    mle_prior,
+    overall_prior,
+    uniform_prior,
+)
+from repro.privacy import (
+    BTPrivacy,
+    BackgroundKnowledgeAttack,
+    CompositeModel,
+    DistinctLDiversity,
+    EntropyLDiversity,
+    KAnonymity,
+    ProbabilisticLDiversity,
+    SkylineBTPrivacy,
+    SmoothedJSDivergence,
+    TCloseness,
+    sensitive_distance_measure,
+    tuple_disclosure_risks,
+    worst_case_disclosure_risk,
+)
+from repro.utility import (
+    QueryWorkloadGenerator,
+    average_relative_error,
+    discernibility_metric,
+    global_certainty_penalty,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnonymizationError",
+    "AnonymizationResult",
+    "AnonymizedRelease",
+    "Attribute",
+    "AttributeKind",
+    "AttributeRole",
+    "BTPrivacy",
+    "BackgroundKnowledgeAttack",
+    "Bandwidth",
+    "CompositeModel",
+    "DataError",
+    "DistinctLDiversity",
+    "EntropyLDiversity",
+    "ExperimentError",
+    "HierarchyError",
+    "InferenceError",
+    "KAnonymity",
+    "KernelPriorEstimator",
+    "KnowledgeError",
+    "MicrodataTable",
+    "MondrianAnonymizer",
+    "PriorBeliefs",
+    "PrivacyModelError",
+    "ProbabilisticLDiversity",
+    "QueryWorkloadGenerator",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SkylineBTPrivacy",
+    "SmoothedJSDivergence",
+    "TCloseness",
+    "Taxonomy",
+    "UtilityError",
+    "adult_schema",
+    "anatomy_partition",
+    "anonymize",
+    "average_relative_error",
+    "discernibility_metric",
+    "exact_posterior",
+    "generate_adult",
+    "global_certainty_penalty",
+    "kernel_prior",
+    "mle_prior",
+    "omega_posterior",
+    "overall_prior",
+    "posterior_for_groups",
+    "sensitive_distance_measure",
+    "tuple_disclosure_risks",
+    "uniform_prior",
+    "worst_case_disclosure_risk",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Anonymization algorithms: Mondrian generalization and Anatomy bucketization."""
+
+from repro.anonymize.anatomy import anatomy_partition
+from repro.anonymize.anonymizer import AnonymizationResult, anonymize
+from repro.anonymize.mondrian import MondrianAnonymizer, MondrianStatistics
+from repro.anonymize.partition import (
+    AnonymizedRelease,
+    GeneralizedGroup,
+    GeneralizedValue,
+    generalize_group,
+)
+
+__all__ = [
+    "AnonymizationResult",
+    "AnonymizedRelease",
+    "GeneralizedGroup",
+    "GeneralizedValue",
+    "MondrianAnonymizer",
+    "MondrianStatistics",
+    "anatomy_partition",
+    "anonymize",
+    "generalize_group",
+]

@@ -1,0 +1,176 @@
+"""Mondrian multidimensional partitioning (LeFevre et al., paper ref [24]).
+
+The paper computes all four anonymized tables (distinct l-diversity,
+probabilistic l-diversity, t-closeness and (B,t)-privacy) with "variations of
+the Mondrian multidimensional algorithm ... using the original dimension
+selection and median split heuristics, and check[ing] if the specific privacy
+requirement is satisfied".  This module implements exactly that scheme:
+
+1. start from the whole table as one partition;
+2. pick a split dimension (widest normalised range by default);
+3. split at the median of that dimension;
+4. keep the split only if **both** halves satisfy the supplied privacy model
+   (the model is an arbitrary :class:`~repro.privacy.models.PrivacyModel`,
+   so k-anonymity can be conjoined with any attribute-disclosure model);
+5. recurse until no allowable split remains.
+
+Categorical attributes are split on their domain code order (the common
+Mondrian relaxation when full hierarchical splits are not required); numeric
+attributes are split on raw values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import MicrodataTable
+from repro.exceptions import AnonymizationError
+from repro.privacy.models import PrivacyModel
+
+_STRATEGIES = ("widest", "round_robin")
+
+
+@dataclass
+class MondrianStatistics:
+    """Bookkeeping for one Mondrian run (useful for efficiency experiments)."""
+
+    n_groups: int = 0
+    n_split_attempts: int = 0
+    n_rejected_splits: int = 0
+    max_depth: int = 0
+
+
+class MondrianAnonymizer:
+    """Top-down multidimensional Mondrian with a pluggable privacy requirement.
+
+    Parameters
+    ----------
+    model:
+        Privacy requirement every released group must satisfy.  The model is
+        ``prepare``-d on the table at the start of :meth:`partition`.
+    split_strategy:
+        ``"widest"`` (paper / original Mondrian heuristic: split the dimension
+        with the widest normalised range) or ``"round_robin"`` (ablation).
+    """
+
+    def __init__(self, model: PrivacyModel, *, split_strategy: str = "widest"):
+        if split_strategy not in _STRATEGIES:
+            raise AnonymizationError(
+                f"unknown split strategy {split_strategy!r}; choose from {_STRATEGIES}"
+            )
+        self.model = model
+        self.split_strategy = split_strategy
+        self.statistics = MondrianStatistics()
+
+    # -- public API -------------------------------------------------------------------
+    def partition(self, table: MicrodataTable, *, prepare: bool = True) -> list[np.ndarray]:
+        """Partition ``table`` into groups satisfying the privacy model.
+
+        Returns the list of group index arrays.  Raises
+        :class:`~repro.exceptions.AnonymizationError` if even the whole table
+        fails the requirement (no release is possible).
+        """
+        if prepare:
+            self.model.prepare(table)
+        self.statistics = MondrianStatistics()
+        all_indices = np.arange(table.n_rows, dtype=np.int64)
+        if not self.model.is_satisfied(all_indices):
+            raise AnonymizationError(
+                "the whole table does not satisfy the privacy requirement; no release is possible"
+            )
+        qi_names = list(table.quasi_identifier_names)
+        spans = self._global_spans(table, qi_names)
+        groups: list[np.ndarray] = []
+        # Iterative depth-first traversal to avoid recursion limits on large tables.
+        stack: list[tuple[np.ndarray, int]] = [(all_indices, 0)]
+        while stack:
+            indices, depth = stack.pop()
+            self.statistics.max_depth = max(self.statistics.max_depth, depth)
+            split = self._find_split(table, indices, qi_names, spans, depth)
+            if split is None:
+                groups.append(np.sort(indices))
+                self.statistics.n_groups += 1
+            else:
+                left, right = split
+                stack.append((left, depth + 1))
+                stack.append((right, depth + 1))
+        return groups
+
+    # -- helpers -----------------------------------------------------------------------
+    @staticmethod
+    def _global_spans(table: MicrodataTable, qi_names: list[str]) -> dict[str, float]:
+        spans: dict[str, float] = {}
+        for name in qi_names:
+            domain = table.domain(name)
+            if table.schema[name].is_numeric:
+                spans[name] = max(domain.numeric_range, 1e-12)
+            else:
+                spans[name] = max(float(domain.size - 1), 1e-12)
+        return spans
+
+    def _normalised_width(
+        self, table: MicrodataTable, indices: np.ndarray, name: str, spans: dict[str, float]
+    ) -> float:
+        if table.schema[name].is_numeric:
+            column = table.column(name)[indices]
+            return float(column.max() - column.min()) / spans[name]
+        codes = table.codes(name)[indices]
+        return float(codes.max() - codes.min()) / spans[name]
+
+    def _ordered_dimensions(
+        self,
+        table: MicrodataTable,
+        indices: np.ndarray,
+        qi_names: list[str],
+        spans: dict[str, float],
+        depth: int,
+    ) -> list[str]:
+        widths = {
+            name: self._normalised_width(table, indices, name, spans) for name in qi_names
+        }
+        candidates = [name for name in qi_names if widths[name] > 0.0]
+        if not candidates:
+            return []
+        if self.split_strategy == "widest":
+            return sorted(candidates, key=lambda name: widths[name], reverse=True)
+        offset = depth % len(candidates)
+        return candidates[offset:] + candidates[:offset]
+
+    def _find_split(
+        self,
+        table: MicrodataTable,
+        indices: np.ndarray,
+        qi_names: list[str],
+        spans: dict[str, float],
+        depth: int,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        for name in self._ordered_dimensions(table, indices, qi_names, spans, depth):
+            halves = self._median_split(table, indices, name)
+            if halves is None:
+                continue
+            left, right = halves
+            self.statistics.n_split_attempts += 1
+            if self.model.is_satisfied(left) and self.model.is_satisfied(right):
+                return left, right
+            self.statistics.n_rejected_splits += 1
+        return None
+
+    @staticmethod
+    def _median_split(
+        table: MicrodataTable, indices: np.ndarray, name: str
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Split ``indices`` at the median of attribute ``name`` (None if impossible)."""
+        if table.schema[name].is_numeric:
+            values = table.column(name)[indices]
+        else:
+            values = table.codes(name)[indices].astype(np.float64)
+        median = float(np.median(values))
+        left_mask = values <= median
+        if left_mask.all():
+            # Median equals the maximum; split strictly below it instead.
+            left_mask = values < median
+        if not left_mask.any() or left_mask.all():
+            return None
+        return indices[left_mask], indices[~left_mask]

@@ -1,0 +1,44 @@
+"""Microdata substrate: schemas, tables, hierarchies, distances, and datasets."""
+
+from repro.data.adult import adult_schema, generate_adult
+from repro.data.distance import (
+    attribute_distance_matrix,
+    discrete_distance_matrix,
+    hierarchy_distance_matrix,
+    numeric_distance_matrix,
+    validate_distance_matrix,
+)
+from repro.data.hierarchy import Taxonomy
+from repro.data.io import read_csv, write_csv
+from repro.data.schema import (
+    Attribute,
+    AttributeKind,
+    AttributeRole,
+    Schema,
+    categorical_qi,
+    numeric_qi,
+    sensitive,
+)
+from repro.data.table import AttributeDomain, MicrodataTable
+
+__all__ = [
+    "Attribute",
+    "AttributeDomain",
+    "AttributeKind",
+    "AttributeRole",
+    "MicrodataTable",
+    "Schema",
+    "Taxonomy",
+    "adult_schema",
+    "attribute_distance_matrix",
+    "categorical_qi",
+    "discrete_distance_matrix",
+    "generate_adult",
+    "hierarchy_distance_matrix",
+    "numeric_distance_matrix",
+    "numeric_qi",
+    "read_csv",
+    "sensitive",
+    "validate_distance_matrix",
+    "write_csv",
+]

@@ -1,0 +1,212 @@
+"""Generalization hierarchies (taxonomy trees) for categorical attributes.
+
+The paper uses domain hierarchies in two places:
+
+* the semantic distance between two categorical values ``v1`` and ``v2`` is
+  ``h(v1, v2) / H`` where ``h`` is the height of their lowest common ancestor
+  and ``H`` is the height of the hierarchy (Section II-C), and
+* generalization replaces a set of categorical values by their lowest common
+  ancestor (e.g. ``{Private, Self-employed}`` becomes ``Non-government``).
+
+A :class:`Taxonomy` is an immutable rooted tree whose leaves are the concrete
+attribute values.  Internal nodes are generalized values.  The tree is built
+from a nested-mapping specification, for example::
+
+    Taxonomy.from_spec("ANY", {
+        "Government": ["Federal-gov", "State-gov", "Local-gov"],
+        "Private": [],
+    })
+
+which creates a root ``ANY`` with an internal node ``Government`` (three leaf
+children) and a leaf ``Private``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import HierarchyError
+
+# A specification is either a list of leaf names or a mapping from child name
+# to a nested specification.
+Spec = Mapping[str, "Spec"] | Sequence[str]
+
+
+class _Node:
+    """A single node of a taxonomy tree (internal helper)."""
+
+    __slots__ = ("label", "parent", "children", "depth")
+
+    def __init__(self, label: str, parent: "_Node | None"):
+        self.label = label
+        self.parent = parent
+        self.children: list[_Node] = []
+        self.depth = 0 if parent is None else parent.depth + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"_Node({self.label!r}, depth={self.depth})"
+
+
+class Taxonomy:
+    """An immutable generalization hierarchy over a categorical domain.
+
+    The *height* of the taxonomy is the maximum number of edges from the root
+    to any leaf.  The *height of a node* is measured from the leaf level, i.e.
+    leaves have height 0 and the root has height equal to the taxonomy height
+    (this matches the ``h``/``H`` notation of Section II-C of the paper).
+    """
+
+    def __init__(self, root: _Node, nodes: Mapping[str, _Node]):
+        self._root = root
+        self._nodes = dict(nodes)
+        self._leaves = tuple(
+            node.label for node in self._nodes.values() if not node.children
+        )
+        self._height = max(self._nodes[leaf].depth for leaf in self._leaves)
+
+    # -- construction --------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, root_label: str, spec: Spec) -> "Taxonomy":
+        """Build a taxonomy from a nested specification.
+
+        Parameters
+        ----------
+        root_label:
+            Label of the root (the fully generalized value, e.g. ``"ANY"``).
+        spec:
+            Either a sequence of leaf labels, or a mapping from child label to
+            a nested specification.  A child mapped to an empty sequence is a
+            leaf.
+        """
+        root = _Node(root_label, None)
+        nodes: dict[str, _Node] = {root_label: root}
+
+        def build(parent: _Node, sub: Spec) -> None:
+            if isinstance(sub, Mapping):
+                items: Iterable[tuple[str, Spec]] = sub.items()
+            else:
+                items = ((label, ()) for label in sub)
+            for label, child_spec in items:
+                if label in nodes:
+                    raise HierarchyError(f"duplicate label {label!r} in taxonomy")
+                child = _Node(label, parent)
+                parent.children.append(child)
+                nodes[label] = child
+                if child_spec:
+                    build(child, child_spec)
+
+        build(root, spec)
+        if len(nodes) == 1:
+            raise HierarchyError("a taxonomy requires at least one value below the root")
+        return cls(root, nodes)
+
+    @classmethod
+    def flat(cls, root_label: str, values: Sequence[str]) -> "Taxonomy":
+        """Build a one-level taxonomy: every value is a direct child of the root."""
+        return cls.from_spec(root_label, list(values))
+
+    # -- basic accessors -----------------------------------------------------------
+    @property
+    def root(self) -> str:
+        """Label of the root node (the fully generalized value)."""
+        return self._root.label
+
+    @property
+    def height(self) -> int:
+        """Height ``H`` of the hierarchy (edges from root to the deepest leaf)."""
+        return self._height
+
+    @property
+    def leaves(self) -> tuple[str, ...]:
+        """All leaf labels (the concrete attribute values)."""
+        return self._leaves
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._nodes
+
+    def __repr__(self) -> str:
+        return f"Taxonomy(root={self.root!r}, leaves={len(self.leaves)}, height={self.height})"
+
+    def _node(self, label: str) -> _Node:
+        try:
+            return self._nodes[label]
+        except KeyError:
+            raise HierarchyError(f"value {label!r} is not part of the taxonomy") from None
+
+    def is_leaf(self, label: str) -> bool:
+        """True when ``label`` is a concrete (non-generalized) value."""
+        return not self._node(label).children
+
+    def parent(self, label: str) -> str | None:
+        """The parent label of ``label``, or ``None`` for the root."""
+        node = self._node(label).parent
+        return None if node is None else node.label
+
+    def children(self, label: str) -> tuple[str, ...]:
+        """The child labels of ``label`` (empty for leaves)."""
+        return tuple(child.label for child in self._node(label).children)
+
+    def node_height(self, label: str) -> int:
+        """Height of ``label`` measured from the leaf level of the deepest leaf."""
+        return self._height - self._node(label).depth
+
+    def leaves_under(self, label: str) -> tuple[str, ...]:
+        """All leaf labels in the subtree rooted at ``label``."""
+        node = self._node(label)
+        if not node.children:
+            return (node.label,)
+        result: list[str] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.children:
+                stack.extend(current.children)
+            else:
+                result.append(current.label)
+        return tuple(result)
+
+    def ancestors(self, label: str) -> tuple[str, ...]:
+        """Labels on the path from ``label`` (exclusive) up to the root (inclusive)."""
+        node = self._node(label).parent
+        path: list[str] = []
+        while node is not None:
+            path.append(node.label)
+            node = node.parent
+        return tuple(path)
+
+    # -- semantic operations -------------------------------------------------------
+    def lowest_common_ancestor(self, labels: Iterable[str]) -> str:
+        """The lowest node whose subtree contains every label in ``labels``."""
+        labels = list(labels)
+        if not labels:
+            raise HierarchyError("lowest_common_ancestor requires at least one value")
+        paths: list[list[str]] = []
+        for label in labels:
+            node = self._node(label)
+            path: list[str] = []
+            while node is not None:
+                path.append(node.label)
+                node = node.parent
+            paths.append(path[::-1])  # root ... label
+        lca = self._root.label
+        for depth in range(min(len(path) for path in paths)):
+            candidates = {path[depth] for path in paths}
+            if len(candidates) == 1:
+                lca = candidates.pop()
+            else:
+                break
+        return lca
+
+    def lca_height(self, first: str, second: str) -> int:
+        """Height ``h(v1, v2)`` of the lowest common ancestor of two values."""
+        return self.node_height(self.lowest_common_ancestor([first, second]))
+
+    def distance(self, first: str, second: str) -> float:
+        """Normalised semantic distance ``h(v1, v2) / H`` (Section II-C)."""
+        if first == second:
+            return 0.0
+        return self.lca_height(first, second) / self.height
+
+    def generalize(self, values: Iterable[str]) -> str:
+        """Generalized label covering every value in ``values`` (their LCA)."""
+        return self.lowest_common_ancestor(values)

@@ -1,0 +1,77 @@
+"""CSV import/export for microdata tables.
+
+The format is deliberately plain: a header row with attribute names followed
+by one row per tuple.  Attribute kinds and roles come from the caller-supplied
+:class:`~repro.data.schema.Schema`, not from the file, so round-tripping a
+table through :func:`write_csv` / :func:`read_csv` preserves it exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.schema import Schema
+from repro.data.table import MicrodataTable
+from repro.exceptions import DataError
+
+
+def write_csv(table: MicrodataTable, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as a CSV file with a header row."""
+    path = Path(path)
+    names = table.schema.names
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        columns = [table.column(name) for name in names]
+        for row_index in range(table.n_rows):
+            writer.writerow([_format_value(column[row_index]) for column in columns])
+
+
+def read_csv(path: str | Path, schema: Schema) -> MicrodataTable:
+    """Read a CSV file written by :func:`write_csv` back into a table.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row naming every attribute of ``schema``.
+    schema:
+        Schema describing attribute kinds and roles; numeric attributes are
+        parsed as floats, categorical attributes are kept as strings.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        missing = [name for name in schema.names if name not in header]
+        if missing:
+            raise DataError(f"{path} is missing columns {missing}")
+        positions = {name: header.index(name) for name in schema.names}
+        columns: dict[str, list] = {name: [] for name in schema.names}
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) < len(header):
+                raise DataError(f"{path}:{line_number}: expected {len(header)} fields, got {len(row)}")
+            for name in schema.names:
+                raw = row[positions[name]]
+                if schema[name].is_numeric:
+                    try:
+                        columns[name].append(float(raw))
+                    except ValueError:
+                        raise DataError(
+                            f"{path}:{line_number}: cannot parse {raw!r} as a number for {name!r}"
+                        ) from None
+                else:
+                    columns[name].append(raw)
+    return MicrodataTable(schema, columns)
+
+
+def _format_value(value: object) -> str:
+    """Render a cell value, writing integral floats without a trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

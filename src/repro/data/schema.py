@@ -1,0 +1,205 @@
+"""Schema description for microdata tables.
+
+A microdata table (the kind of table a hospital or census bureau would
+release) has three kinds of attributes:
+
+* **quasi-identifier (QI)** attributes, which an adversary may link to
+  external information (Age, Sex, Zipcode, ...),
+* a single **sensitive** attribute whose values must be protected
+  (Disease, Occupation, Salary, ...), and
+* optional **insensitive** attributes that play no role in anonymization.
+
+The paper (Section II-A) considers ``d`` quasi-identifier attributes
+``A1..Ad`` and one sensitive attribute ``S``.  This module provides the
+:class:`Attribute` and :class:`Schema` classes that encode that structure,
+including whether each attribute is numeric or categorical and, for
+categorical attributes, an optional generalization hierarchy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.data.hierarchy import Taxonomy
+from repro.exceptions import SchemaError
+
+
+class AttributeKind(enum.Enum):
+    """Whether an attribute's domain is ordered-numeric or categorical."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+class AttributeRole(enum.Enum):
+    """The role an attribute plays in anonymization."""
+
+    QUASI_IDENTIFIER = "quasi_identifier"
+    SENSITIVE = "sensitive"
+    INSENSITIVE = "insensitive"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute (column) of a microdata table.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        :class:`AttributeKind.NUMERIC` or :class:`AttributeKind.CATEGORICAL`.
+    role:
+        :class:`AttributeRole`; exactly one attribute per schema may be
+        :class:`AttributeRole.SENSITIVE`.
+    taxonomy:
+        Optional generalization hierarchy for categorical attributes.  Used
+        both for semantic distances (Section II-C of the paper) and for
+        reporting generalized values.
+    """
+
+    name: str
+    kind: AttributeKind
+    role: AttributeRole = AttributeRole.QUASI_IDENTIFIER
+    taxonomy: Taxonomy | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        if self.taxonomy is not None and self.kind is not AttributeKind.CATEGORICAL:
+            raise SchemaError(
+                f"attribute {self.name!r}: only categorical attributes may carry a taxonomy"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when the attribute has an ordered numeric domain."""
+        return self.kind is AttributeKind.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        """True when the attribute has an unordered categorical domain."""
+        return self.kind is AttributeKind.CATEGORICAL
+
+    @property
+    def is_quasi_identifier(self) -> bool:
+        """True when the attribute is part of the quasi-identifier."""
+        return self.role is AttributeRole.QUASI_IDENTIFIER
+
+    @property
+    def is_sensitive(self) -> bool:
+        """True when the attribute is the sensitive attribute."""
+        return self.role is AttributeRole.SENSITIVE
+
+
+def numeric_qi(name: str) -> Attribute:
+    """Convenience constructor for a numeric quasi-identifier attribute."""
+    return Attribute(name, AttributeKind.NUMERIC, AttributeRole.QUASI_IDENTIFIER)
+
+
+def categorical_qi(name: str, taxonomy: Taxonomy | None = None) -> Attribute:
+    """Convenience constructor for a categorical quasi-identifier attribute."""
+    return Attribute(name, AttributeKind.CATEGORICAL, AttributeRole.QUASI_IDENTIFIER, taxonomy)
+
+
+def sensitive(name: str, *, numeric: bool = False, taxonomy: Taxonomy | None = None) -> Attribute:
+    """Convenience constructor for the sensitive attribute."""
+    kind = AttributeKind.NUMERIC if numeric else AttributeKind.CATEGORICAL
+    return Attribute(name, kind, AttributeRole.SENSITIVE, taxonomy)
+
+
+class Schema:
+    """An ordered collection of :class:`Attribute` objects.
+
+    The schema validates that attribute names are unique and that at most one
+    attribute is marked sensitive.  Attribute lookup is by name.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attributes = list(attributes)
+        if not attributes:
+            raise SchemaError("a schema requires at least one attribute")
+        names = [attribute.name for attribute in attributes]
+        if len(set(names)) != len(names):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise SchemaError(f"duplicate attribute names in schema: {duplicates}")
+        sensitive_names = [a.name for a in attributes if a.is_sensitive]
+        if len(sensitive_names) > 1:
+            raise SchemaError(
+                f"a schema may contain at most one sensitive attribute, got {sensitive_names}"
+            )
+        self._attributes: tuple[Attribute, ...] = tuple(attributes)
+        self._by_name: Mapping[str, Attribute] = {a.name: a for a in attributes}
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}; schema has {self.names}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{a.name}:{a.kind.value[:3]}:{a.role.value.split('_')[0]}" for a in self._attributes
+        )
+        return f"Schema({parts})"
+
+    # -- derived views -------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All attribute names in declaration order."""
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """All attributes in declaration order."""
+        return self._attributes
+
+    @property
+    def quasi_identifiers(self) -> tuple[Attribute, ...]:
+        """The quasi-identifier attributes in declaration order."""
+        return tuple(a for a in self._attributes if a.is_quasi_identifier)
+
+    @property
+    def quasi_identifier_names(self) -> tuple[str, ...]:
+        """Names of the quasi-identifier attributes in declaration order."""
+        return tuple(a.name for a in self.quasi_identifiers)
+
+    @property
+    def sensitive_attribute(self) -> Attribute:
+        """The unique sensitive attribute.
+
+        Raises
+        ------
+        SchemaError
+            If the schema declares no sensitive attribute.
+        """
+        for attribute in self._attributes:
+            if attribute.is_sensitive:
+                return attribute
+        raise SchemaError("schema declares no sensitive attribute")
+
+    @property
+    def has_sensitive_attribute(self) -> bool:
+        """True when the schema declares a sensitive attribute."""
+        return any(a.is_sensitive for a in self._attributes)
+
+    def subset(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema containing only ``names`` (in the given order)."""
+        return Schema([self[name] for name in names])

@@ -1,0 +1,281 @@
+"""Column-oriented microdata table.
+
+The :class:`MicrodataTable` is the central data substrate of the library.  It
+plays the role pandas would usually play, but keeps only what anonymization
+needs: a fixed :class:`~repro.data.schema.Schema`, one numpy column per
+attribute, and integer *codes* for every attribute domain so that kernel
+weights and Mondrian splits can be computed with vectorised numpy operations.
+
+Numeric attributes are stored as ``float64`` columns; categorical attributes
+are stored as ``int32`` code columns plus the list of category labels.  The
+original values are always recoverable via :meth:`MicrodataTable.column`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DataError, SchemaError
+
+
+class AttributeDomain:
+    """The observed domain of one attribute, with a value <-> code bijection.
+
+    For numeric attributes the domain is the sorted array of distinct observed
+    values; for categorical attributes it is the sorted list of distinct
+    labels (or the taxonomy leaf order when a taxonomy is attached, so that
+    codes are stable across tables that share a hierarchy).
+    """
+
+    def __init__(self, attribute: Attribute, values: Sequence):
+        self.attribute = attribute
+        if attribute.is_numeric:
+            distinct = np.unique(np.asarray(values, dtype=np.float64))
+        else:
+            observed = {str(v) for v in values}
+            if attribute.taxonomy is not None:
+                leaves = [leaf for leaf in attribute.taxonomy.leaves]
+                missing = observed - set(leaves)
+                if missing:
+                    raise DataError(
+                        f"attribute {attribute.name!r}: values {sorted(missing)} are not "
+                        f"leaves of the attached taxonomy"
+                    )
+                distinct = np.asarray(leaves, dtype=object)
+            else:
+                distinct = np.asarray(sorted(observed), dtype=object)
+        if distinct.size == 0:
+            raise DataError(f"attribute {attribute.name!r} has an empty domain")
+        self._values = distinct
+        self._index = {value: code for code, value in enumerate(distinct.tolist())}
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def __repr__(self) -> str:
+        return f"AttributeDomain({self.attribute.name!r}, size={len(self)})"
+
+    @property
+    def values(self) -> np.ndarray:
+        """Distinct domain values, in code order."""
+        return self._values
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values in the domain."""
+        return len(self)
+
+    @property
+    def numeric_range(self) -> float:
+        """Range ``max - min`` of a numeric domain (the ``R`` of Section II-C)."""
+        if not self.attribute.is_numeric:
+            raise DataError(f"attribute {self.attribute.name!r} is not numeric")
+        return float(self._values[-1] - self._values[0])
+
+    def code_of(self, value) -> int:
+        """Integer code of a single domain value."""
+        key = float(value) if self.attribute.is_numeric else str(value)
+        try:
+            return self._index[key]
+        except KeyError:
+            raise DataError(
+                f"value {value!r} is not in the domain of attribute {self.attribute.name!r}"
+            ) from None
+
+    def encode(self, values: Sequence) -> np.ndarray:
+        """Vector of integer codes for ``values`` (all must belong to the domain)."""
+        return np.asarray([self.code_of(value) for value in values], dtype=np.int32)
+
+    def decode(self, codes: Sequence[int]) -> np.ndarray:
+        """Original values for a vector of integer codes."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self)):
+            raise DataError(
+                f"code out of range for attribute {self.attribute.name!r} (domain size {len(self)})"
+            )
+        return self._values[codes]
+
+
+class MicrodataTable:
+    """An immutable microdata table ``T = {t1, ..., tn}`` (Section II-A).
+
+    Construct either from per-column data (:meth:`from_columns`) or from a
+    sequence of row mappings (:meth:`from_rows`).  Internally every attribute
+    is stored both in original form and as integer codes against its
+    :class:`AttributeDomain`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, Sequence],
+        *,
+        domains: Mapping[str, AttributeDomain] | None = None,
+    ):
+        self._schema = schema
+        missing = [name for name in schema.names if name not in columns]
+        if missing:
+            raise DataError(f"missing columns for attributes {missing}")
+        lengths = {name: len(columns[name]) for name in schema.names}
+        if len(set(lengths.values())) != 1:
+            raise DataError(f"columns have inconsistent lengths: {lengths}")
+        self._n_rows = next(iter(lengths.values()))
+        if self._n_rows == 0:
+            raise DataError("a microdata table requires at least one row")
+
+        self._domains: dict[str, AttributeDomain] = {}
+        self._raw: dict[str, np.ndarray] = {}
+        self._codes: dict[str, np.ndarray] = {}
+        for attribute in schema:
+            values = columns[attribute.name]
+            if domains is not None and attribute.name in domains:
+                domain = domains[attribute.name]
+            else:
+                domain = AttributeDomain(attribute, values)
+            self._domains[attribute.name] = domain
+            if attribute.is_numeric:
+                raw = np.asarray(values, dtype=np.float64)
+            else:
+                raw = np.asarray([str(v) for v in values], dtype=object)
+            self._raw[attribute.name] = raw
+            self._codes[attribute.name] = domain.encode(raw.tolist())
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def from_columns(cls, schema: Schema, columns: Mapping[str, Sequence]) -> "MicrodataTable":
+        """Build a table from a mapping of attribute name to column values."""
+        return cls(schema, columns)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Mapping[str, object]]) -> "MicrodataTable":
+        """Build a table from an iterable of ``{attribute: value}`` mappings."""
+        rows = list(rows)
+        if not rows:
+            raise DataError("from_rows requires at least one row")
+        columns: dict[str, list] = {name: [] for name in schema.names}
+        for position, row in enumerate(rows):
+            for name in schema.names:
+                if name not in row:
+                    raise DataError(f"row {position} is missing attribute {name!r}")
+                columns[name].append(row[name])
+        return cls(schema, columns)
+
+    # -- basic accessors -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __repr__(self) -> str:
+        return f"MicrodataTable(rows={self._n_rows}, attributes={list(self._schema.names)})"
+
+    @property
+    def schema(self) -> Schema:
+        """The table schema."""
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples in the table."""
+        return self._n_rows
+
+    @property
+    def quasi_identifier_names(self) -> tuple[str, ...]:
+        """Names of the quasi-identifier attributes."""
+        return self._schema.quasi_identifier_names
+
+    @property
+    def sensitive_name(self) -> str:
+        """Name of the sensitive attribute."""
+        return self._schema.sensitive_attribute.name
+
+    def domain(self, name: str) -> AttributeDomain:
+        """The :class:`AttributeDomain` of attribute ``name``."""
+        if name not in self._domains:
+            raise SchemaError(f"unknown attribute {name!r}")
+        return self._domains[name]
+
+    def column(self, name: str) -> np.ndarray:
+        """Original values of attribute ``name`` (copy-free view)."""
+        if name not in self._raw:
+            raise SchemaError(f"unknown attribute {name!r}")
+        return self._raw[name]
+
+    def codes(self, name: str) -> np.ndarray:
+        """Integer codes of attribute ``name`` against its domain."""
+        if name not in self._codes:
+            raise SchemaError(f"unknown attribute {name!r}")
+        return self._codes[name]
+
+    def qi_code_matrix(self) -> np.ndarray:
+        """``(n_rows, d)`` matrix of integer codes for the QI attributes."""
+        names = self.quasi_identifier_names
+        return np.column_stack([self._codes[name] for name in names]).astype(np.int32)
+
+    def sensitive_codes(self) -> np.ndarray:
+        """Integer codes of the sensitive attribute for every tuple."""
+        return self._codes[self.sensitive_name]
+
+    def sensitive_values(self) -> np.ndarray:
+        """Original sensitive values for every tuple."""
+        return self._raw[self.sensitive_name]
+
+    def sensitive_domain(self) -> AttributeDomain:
+        """Domain of the sensitive attribute (``D[S]`` in the paper)."""
+        return self._domains[self.sensitive_name]
+
+    def row(self, index: int) -> dict[str, object]:
+        """Row ``index`` as a plain ``{attribute: value}`` dictionary."""
+        if not 0 <= index < self._n_rows:
+            raise DataError(f"row index {index} out of range for table of {self._n_rows} rows")
+        return {name: self._raw[name][index] for name in self._schema.names}
+
+    def rows(self) -> list[dict[str, object]]:
+        """All rows as dictionaries (materialises the table; intended for small tables)."""
+        return [self.row(index) for index in range(self._n_rows)]
+
+    def value_counts(self, name: str) -> dict[object, int]:
+        """Histogram of attribute ``name`` keyed by original value."""
+        codes = self.codes(name)
+        counts = np.bincount(codes, minlength=self.domain(name).size)
+        values = self.domain(name).values
+        return {values[i]: int(counts[i]) for i in range(len(values)) if counts[i] > 0}
+
+    def sensitive_distribution(self, indices: Sequence[int] | None = None) -> np.ndarray:
+        """Empirical distribution of the sensitive attribute.
+
+        Parameters
+        ----------
+        indices:
+            Optional subset of row indices (e.g. one anonymized group).  When
+            omitted the distribution over the whole table is returned, which is
+            the public distribution ``Q`` used by t-closeness.
+        """
+        codes = self.sensitive_codes()
+        if indices is not None:
+            codes = codes[np.asarray(indices, dtype=np.int64)]
+        if codes.size == 0:
+            raise DataError("cannot compute a sensitive distribution over an empty group")
+        counts = np.bincount(codes, minlength=self.sensitive_domain().size).astype(np.float64)
+        return counts / counts.sum()
+
+    def select(self, indices: Sequence[int]) -> "MicrodataTable":
+        """A new table containing only the rows in ``indices`` (domains are preserved)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise DataError("select requires at least one row index")
+        columns = {name: self._raw[name][indices] for name in self._schema.names}
+        return MicrodataTable(self._schema, columns, domains=self._domains)
+
+    def sample(self, n_rows: int, *, rng: np.random.Generator | None = None) -> "MicrodataTable":
+        """A uniform random sample of ``n_rows`` rows (without replacement)."""
+        if n_rows <= 0:
+            raise DataError("sample size must be positive")
+        if n_rows > self._n_rows:
+            raise DataError(
+                f"cannot sample {n_rows} rows from a table of {self._n_rows} rows"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        indices = rng.choice(self._n_rows, size=n_rows, replace=False)
+        return self.select(np.sort(indices))

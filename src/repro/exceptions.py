@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch any error raised by this package with a single ``except`` clause while
+still being able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a table schema is inconsistent or an attribute is unknown."""
+
+
+class DataError(ReproError):
+    """Raised when supplied microdata is malformed (wrong arity, bad values)."""
+
+
+class HierarchyError(ReproError):
+    """Raised when a generalization hierarchy is malformed or a value is missing."""
+
+
+class KnowledgeError(ReproError):
+    """Raised for invalid background-knowledge configuration (bad bandwidths, kernels)."""
+
+
+class InferenceError(ReproError):
+    """Raised when posterior-belief inference receives inconsistent inputs."""
+
+
+class PrivacyModelError(ReproError):
+    """Raised when a privacy model is configured with invalid parameters."""
+
+
+class AnonymizationError(ReproError):
+    """Raised when an anonymization algorithm cannot produce a valid release."""
+
+
+class UtilityError(ReproError):
+    """Raised when a utility metric or query workload is misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment runner is configured inconsistently."""

@@ -1,0 +1,64 @@
+"""Experiment harness: Table V configurations and per-figure experiment runners."""
+
+from repro.experiments.ablation import (
+    ablation_distance_measure,
+    ablation_inference_method,
+    ablation_kernel_choice,
+    ablation_mondrian_split,
+)
+from repro.experiments.config import (
+    MODEL_NAMES,
+    PARA1,
+    PARA2,
+    PARA3,
+    PARA4,
+    TABLE_V,
+    PrivacyParameters,
+    build_models,
+    parameters_by_name,
+)
+from repro.experiments.figures import (
+    figure_1a,
+    figure_1b,
+    figure_2,
+    figure_3a,
+    figure_3b,
+    figure_4a,
+    figure_4b,
+    figure_5a,
+    figure_5b,
+    figure_6a,
+    figure_6b,
+    four_model_releases,
+)
+from repro.experiments.results import ExperimentResult, ExperimentSeries
+
+__all__ = [
+    "MODEL_NAMES",
+    "PARA1",
+    "PARA2",
+    "PARA3",
+    "PARA4",
+    "TABLE_V",
+    "ExperimentResult",
+    "ExperimentSeries",
+    "PrivacyParameters",
+    "ablation_distance_measure",
+    "ablation_inference_method",
+    "ablation_kernel_choice",
+    "ablation_mondrian_split",
+    "build_models",
+    "figure_1a",
+    "figure_1b",
+    "figure_2",
+    "figure_3a",
+    "figure_3b",
+    "figure_4a",
+    "figure_4b",
+    "figure_5a",
+    "figure_5b",
+    "figure_6a",
+    "figure_6b",
+    "four_model_releases",
+    "parameters_by_name",
+]

@@ -1,0 +1,113 @@
+"""Experiment configuration: the Table V privacy parameter sets.
+
+The paper evaluates every experiment against four parameter sets (Table V),
+each combining a k-anonymity parameter, an l-diversity parameter, a
+t-closeness / (B,t) threshold ``t`` and a publisher bandwidth ``b``:
+
+=======  ===  ===  =====  ===
+name      k    l     t     b
+=======  ===  ===  =====  ===
+para1     3    3   0.25   0.3
+para2     4    4   0.20   0.3
+para3     5    5   0.15   0.3
+para4     6    6   0.10   0.3
+=======  ===  ===  =====  ===
+
+:func:`build_models` turns one parameter set into the four privacy models
+compared throughout Section V (each conjoined with k-anonymity, exactly as the
+paper does to also protect identity disclosure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.table import MicrodataTable
+from repro.exceptions import ExperimentError
+from repro.knowledge.prior import PriorBeliefs
+from repro.privacy.models import (
+    BTPrivacy,
+    CompositeModel,
+    DistinctLDiversity,
+    KAnonymity,
+    PrivacyModel,
+    ProbabilisticLDiversity,
+    TCloseness,
+)
+
+MODEL_NAMES = (
+    "distinct-l-diversity",
+    "probabilistic-l-diversity",
+    "t-closeness",
+    "(B,t)-privacy",
+)
+
+
+@dataclass(frozen=True)
+class PrivacyParameters:
+    """One row of Table V."""
+
+    name: str
+    k: int
+    l: int
+    t: float
+    b: float
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``para1(k=3, l=3, t=0.25, b=0.3)``."""
+        return f"{self.name}(k={self.k}, l={self.l}, t={self.t:g}, b={self.b:g})"
+
+
+PARA1 = PrivacyParameters("para1", k=3, l=3, t=0.25, b=0.3)
+PARA2 = PrivacyParameters("para2", k=4, l=4, t=0.20, b=0.3)
+PARA3 = PrivacyParameters("para3", k=5, l=5, t=0.15, b=0.3)
+PARA4 = PrivacyParameters("para4", k=6, l=6, t=0.10, b=0.3)
+
+TABLE_V = (PARA1, PARA2, PARA3, PARA4)
+
+
+def parameters_by_name(name: str) -> PrivacyParameters:
+    """Look up a Table V parameter set by name (``"para1"`` ... ``"para4"``)."""
+    for parameters in TABLE_V:
+        if parameters.name == name:
+            return parameters
+    raise ExperimentError(f"unknown parameter set {name!r}; available: para1..para4")
+
+
+def build_models(
+    parameters: PrivacyParameters,
+    *,
+    with_k_anonymity: bool = True,
+    shared_priors: PriorBeliefs | None = None,
+    table: MicrodataTable | None = None,
+) -> dict[str, PrivacyModel]:
+    """The four privacy models of Section V configured from one parameter set.
+
+    Parameters
+    ----------
+    parameters:
+        A Table V row.
+    with_k_anonymity:
+        Conjoin each model with ``k``-anonymity (the paper's setup).
+    shared_priors, table:
+        Optionally inject precomputed kernel priors into the (B,t) model so
+        several experiments can reuse one (expensive) estimation; both must be
+        given together.
+    """
+    bt = BTPrivacy(parameters.b, parameters.t)
+    if shared_priors is not None:
+        if table is None:
+            raise ExperimentError("shared_priors requires the table they were computed from")
+        bt.set_priors(shared_priors, table.sensitive_codes(), table.sensitive_domain().size)
+    models: dict[str, PrivacyModel] = {
+        "distinct-l-diversity": DistinctLDiversity(parameters.l),
+        "probabilistic-l-diversity": ProbabilisticLDiversity(parameters.l),
+        "t-closeness": TCloseness(parameters.t),
+        "(B,t)-privacy": bt,
+    }
+    if with_k_anonymity:
+        models = {
+            name: CompositeModel([KAnonymity(parameters.k), model])
+            for name, model in models.items()
+        }
+    return models

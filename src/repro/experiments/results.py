@@ -1,0 +1,99 @@
+"""Result containers shared by all experiment runners.
+
+Every experiment in :mod:`repro.experiments.figures` returns an
+:class:`ExperimentResult`: a named collection of series, one per curve of the
+corresponding figure in the paper.  The container knows how to render itself
+as a plain-text table (the benchmark harness prints these so the figures can
+be regenerated without any plotting dependency) and how to flatten itself into
+rows for further processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ExperimentError
+
+
+@dataclass
+class ExperimentSeries:
+    """One curve of a figure: a label plus aligned x and y values."""
+
+    label: str
+    x: list
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ExperimentError(
+                f"series {self.label!r} has {len(self.x)} x values but {len(self.y)} y values"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: metadata plus the series it contains."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[ExperimentSeries] = field(default_factory=list)
+
+    def add_series(self, label: str, x: list, y: list[float]) -> None:
+        """Append one curve to the result."""
+        self.series.append(ExperimentSeries(label=label, x=list(x), y=list(y)))
+
+    def series_by_label(self, label: str) -> ExperimentSeries:
+        """Find a series by its label."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise ExperimentError(f"no series labelled {label!r} in {self.experiment_id}")
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Flatten into ``{series, x, y}`` rows."""
+        rows: list[dict[str, object]] = []
+        for series in self.series:
+            for x_value, y_value in zip(series.x, series.y):
+                rows.append({"series": series.label, "x": x_value, "y": y_value})
+        return rows
+
+    def render(self, *, float_format: str = "{:.4g}") -> str:
+        """Render the result as an aligned plain-text table (one row per x value)."""
+        if not self.series:
+            raise ExperimentError(f"{self.experiment_id} has no series to render")
+        x_values = list(self.series[0].x)
+        for series in self.series[1:]:
+            if list(series.x) != x_values:
+                return self._render_long(float_format)
+        header = [self.x_label] + [series.label for series in self.series]
+        rows = []
+        for position, x_value in enumerate(x_values):
+            row = [str(x_value)]
+            for series in self.series:
+                row.append(float_format.format(series.y[position]))
+            rows.append(row)
+        return self._format_table(header, rows)
+
+    def _render_long(self, float_format: str) -> str:
+        header = ["series", self.x_label, self.y_label]
+        rows = [
+            [str(row["series"]), str(row["x"]), float_format.format(row["y"])]
+            for row in self.as_rows()
+        ]
+        return self._format_table(header, rows)
+
+    def _format_table(self, header: list[str], rows: list[list[str]]) -> str:
+        widths = [len(column) for column in header]
+        for row in rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            "  " + "  ".join(name.ljust(widths[i]) for i, name in enumerate(header)),
+            "  " + "  ".join("-" * widths[i] for i in range(len(header))),
+        ]
+        for row in rows:
+            lines.append("  " + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Posterior-belief inference: exact (permanent / count-DP) and the Omega-estimate."""
+
+from repro.inference.exact import (
+    exact_posterior,
+    exact_posterior_bruteforce,
+    group_sensitive_counts,
+)
+from repro.inference.omega import omega_posterior, posterior_for_groups
+from repro.inference.permanent import permanent, permanent_bruteforce, permanent_ryser
+
+__all__ = [
+    "exact_posterior",
+    "exact_posterior_bruteforce",
+    "group_sensitive_counts",
+    "omega_posterior",
+    "permanent",
+    "permanent_bruteforce",
+    "permanent_ryser",
+    "posterior_for_groups",
+]

@@ -1,0 +1,194 @@
+"""Exact Bayesian posterior inference for one anonymized group (Section III-C).
+
+Given a group ``E = {t1, ..., tk}`` with sensitive multiset ``S`` and the
+adversary's prior ``P(s_i | t_j)``, the exact posterior follows Bayes' rule
+over all assignments of the multiset to the tuples (Equation 4).  Directly
+evaluating that formula needs the permanent of a ``k x k`` matrix per tuple
+and value, so this module implements the equivalent but far cheaper
+forward/backward dynamic program over *value-count states*:
+
+* ``forward[j][state]``  = total prior probability of the first ``j`` tuples
+  consuming the sub-multiset ``state``;
+* ``backward[j][state]`` = total prior probability of tuples ``j..k-1``
+  consuming ``state``.
+
+The posterior of tuple ``j`` taking value ``v`` is then proportional to
+``P(v | t_j) * sum_state forward[j][state] * backward[j+1][remaining - state - v]``.
+The number of states is ``prod_v (count_v + 1)`` which is tiny for the group
+sizes (k <= 15) the paper evaluates, and the result is *exactly* the
+Equation 4 posterior (the multinomial factors cancel in the normalisation).
+
+A brute-force enumeration over distinct assignments is also provided for
+testing on very small groups.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.exceptions import InferenceError
+
+
+def _validate_group(prior: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    prior = np.asarray(prior, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if prior.ndim != 2:
+        raise InferenceError("prior must be a (k, m) matrix")
+    if counts.ndim != 1 or counts.shape[0] != prior.shape[1]:
+        raise InferenceError("counts must be a length-m vector matching the prior columns")
+    if counts.sum() != prior.shape[0]:
+        raise InferenceError(
+            f"sensitive multiset size {int(counts.sum())} does not match group size {prior.shape[0]}"
+        )
+    if np.any(counts < 0):
+        raise InferenceError("sensitive value counts must be non-negative")
+    if np.any(prior < -1e-12):
+        raise InferenceError("prior probabilities must be non-negative")
+    return prior, counts
+
+
+def group_sensitive_counts(sensitive_codes: np.ndarray, n_values: int) -> np.ndarray:
+    """Multiset counts ``n_i`` of the sensitive values in one group."""
+    codes = np.asarray(sensitive_codes, dtype=np.int64)
+    if codes.size == 0:
+        raise InferenceError("a group must contain at least one tuple")
+    if codes.min() < 0 or codes.max() >= n_values:
+        raise InferenceError("sensitive code out of range")
+    return np.bincount(codes, minlength=n_values).astype(np.int64)
+
+
+def _state_iterator(capacities: tuple[int, ...]):
+    """All count vectors bounded componentwise by ``capacities``."""
+    return itertools.product(*(range(c + 1) for c in capacities))
+
+
+def exact_posterior(prior: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Exact posterior beliefs for one group via the forward/backward count DP.
+
+    Parameters
+    ----------
+    prior:
+        ``(k, m)`` matrix of prior beliefs ``P(s_i | t_j)`` (rows are the
+        tuples of the group, columns the full sensitive domain).
+    counts:
+        Length-``m`` vector with the multiset counts ``n_i`` of the sensitive
+        values actually present in the group (summing to ``k``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, m)`` row-stochastic matrix of posterior beliefs ``P*(s_i | t_j)``.
+        Values not present in the group receive posterior probability 0.
+
+    Raises
+    ------
+    InferenceError
+        If the prior assigns zero probability to every feasible assignment
+        (the adversary's knowledge is inconsistent with the release).
+    """
+    prior, counts = _validate_group(prior, counts)
+    k, m = prior.shape
+    present = np.flatnonzero(counts > 0)
+    capacities = tuple(int(counts[v]) for v in present)
+    value_count = len(present)
+    local_prior = prior[:, present]
+
+    # Forward pass: forward[j] maps consumed-count state -> probability mass.
+    forward: list[dict[tuple[int, ...], float]] = [dict() for _ in range(k + 1)]
+    forward[0][tuple([0] * value_count)] = 1.0
+    for j in range(k):
+        current = forward[j]
+        following = forward[j + 1]
+        row = local_prior[j]
+        for state, mass in current.items():
+            if mass == 0.0:
+                continue
+            for v in range(value_count):
+                if state[v] < capacities[v] and row[v] > 0.0:
+                    new_state = list(state)
+                    new_state[v] += 1
+                    key = tuple(new_state)
+                    following[key] = following.get(key, 0.0) + mass * row[v]
+
+    full_state = capacities
+    total_likelihood = forward[k].get(full_state, 0.0)
+    if total_likelihood <= 0.0:
+        raise InferenceError(
+            "the prior assigns zero probability to every assignment consistent with the group"
+        )
+
+    # Backward pass: backward[j] maps counts consumed by tuples j..k-1 -> mass.
+    backward: list[dict[tuple[int, ...], float]] = [dict() for _ in range(k + 1)]
+    backward[k][tuple([0] * value_count)] = 1.0
+    for j in range(k - 1, -1, -1):
+        following = backward[j + 1]
+        current = backward[j]
+        row = local_prior[j]
+        for state, mass in following.items():
+            if mass == 0.0:
+                continue
+            for v in range(value_count):
+                if state[v] < capacities[v] and row[v] > 0.0:
+                    new_state = list(state)
+                    new_state[v] += 1
+                    key = tuple(new_state)
+                    current[key] = current.get(key, 0.0) + mass * row[v]
+
+    posterior = np.zeros((k, m), dtype=np.float64)
+    for j in range(k):
+        row = local_prior[j]
+        unnormalised = np.zeros(value_count, dtype=np.float64)
+        for v in range(value_count):
+            if row[v] <= 0.0:
+                continue
+            weight = 0.0
+            for state, mass in forward[j].items():
+                if state[v] >= capacities[v]:
+                    continue
+                remainder = tuple(
+                    capacities[u] - state[u] - (1 if u == v else 0) for u in range(value_count)
+                )
+                if min(remainder) < 0:
+                    continue
+                back_mass = backward[j + 1].get(remainder, 0.0)
+                if back_mass:
+                    weight += mass * back_mass
+            unnormalised[v] = row[v] * weight
+        total = unnormalised.sum()
+        if total <= 0.0:
+            raise InferenceError(
+                f"tuple {j} has zero posterior mass; the prior is inconsistent with the group"
+            )
+        posterior[j, present] = unnormalised / total
+    return posterior
+
+
+def exact_posterior_bruteforce(prior: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Exact posterior by enumerating every distinct assignment (testing helper, k <= 8)."""
+    prior, counts = _validate_group(prior, counts)
+    k, m = prior.shape
+    if k > 8:
+        raise InferenceError("brute-force enumeration is limited to groups of at most 8 tuples")
+    multiset: list[int] = []
+    for value, count in enumerate(counts):
+        multiset.extend([value] * int(count))
+    posterior = np.zeros((k, m), dtype=np.float64)
+    total = 0.0
+    for assignment in set(itertools.permutations(multiset)):
+        probability = 1.0
+        for j, value in enumerate(assignment):
+            probability *= prior[j, value]
+            if probability == 0.0:
+                break
+        if probability == 0.0:
+            continue
+        total += probability
+        for j, value in enumerate(assignment):
+            posterior[j, value] += probability
+    if total <= 0.0:
+        raise InferenceError(
+            "the prior assigns zero probability to every assignment consistent with the group"
+        )
+    return posterior / total

@@ -1,0 +1,131 @@
+"""The Omega-estimate: linear-time approximate posterior inference (Section III-D).
+
+The Omega-estimate generalises Lakshmanan et al.'s O-estimate.  It treats the
+group as a bipartite graph between tuples and sensitive values and estimates
+the probability that tuple ``t_j`` takes value ``s_i`` as
+
+.. math::
+
+    \\Omega(s_i | t_j) \\propto n_i \\cdot
+        \\frac{P(s_i | t_j)}{\\sum_{j'} P(s_i | t_{j'})}
+
+normalised over the sensitive values for each tuple (Equation 5).  It is exact
+under the random-world assumption and, as the paper's Table III example shows,
+only approximate in general; the Figure 2 experiment measures its accuracy.
+
+Unlike exact inference its cost is ``O(k * m)`` per group, which is what makes
+the (B,t)-privacy check affordable inside Mondrian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InferenceError
+from repro.inference.exact import _validate_group
+
+
+def omega_posterior(prior: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Omega-estimate posterior beliefs for one group.
+
+    Parameters
+    ----------
+    prior:
+        ``(k, m)`` matrix of prior beliefs ``P(s_i | t_j)``.
+    counts:
+        Length-``m`` multiset counts ``n_i`` of the sensitive values in the
+        group (summing to ``k``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, m)`` row-stochastic posterior matrix.  Values absent from the
+        group receive probability 0.
+
+    Notes
+    -----
+    Two degenerate situations are handled conservatively:
+
+    * if every tuple's prior gives probability 0 to a value that *is* present
+      in the group, the ``0/0`` share is replaced by a uniform ``1/k`` share
+      (somebody must hold the value);
+    * if a tuple's prior excludes every value present in the group, its
+      posterior falls back to the group's empirical distribution ``n_i / k``.
+    """
+    prior, counts = _validate_group(prior, counts)
+    k, m = prior.shape
+    column_sums = prior.sum(axis=0)
+    present = counts > 0
+
+    shares = np.zeros((k, m), dtype=np.float64)
+    positive_columns = present & (column_sums > 0.0)
+    if positive_columns.any():
+        shares[:, positive_columns] = prior[:, positive_columns] / column_sums[positive_columns]
+    zero_columns = present & (column_sums <= 0.0)
+    if zero_columns.any():
+        shares[:, zero_columns] = 1.0 / k
+
+    unnormalised = shares * counts[None, :].astype(np.float64)
+    row_sums = unnormalised.sum(axis=1)
+    posterior = np.zeros_like(unnormalised)
+    good = row_sums > 0.0
+    posterior[good] = unnormalised[good] / row_sums[good, None]
+    if not good.all():
+        empirical = counts.astype(np.float64) / counts.sum()
+        posterior[~good] = empirical
+    return posterior
+
+
+def posterior_for_groups(
+    prior_matrix: np.ndarray,
+    sensitive_codes: np.ndarray,
+    groups: list[np.ndarray],
+    *,
+    method: str = "omega",
+) -> np.ndarray:
+    """Posterior beliefs for every tuple of a partitioned table.
+
+    Parameters
+    ----------
+    prior_matrix:
+        ``(n, m)`` prior beliefs for the whole table (one row per tuple).
+    sensitive_codes:
+        Length-``n`` integer codes of the sensitive values.
+    groups:
+        List of integer index arrays, one per anonymized group; together they
+        must cover each tuple at most once.
+    method:
+        ``"omega"`` (default) for the linear-time estimate or ``"exact"`` for
+        the count-DP exact inference.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, m)`` posterior matrix.  Tuples not covered by any group keep
+        their prior belief (releasing nothing about them).
+    """
+    from repro.inference.exact import exact_posterior, group_sensitive_counts
+
+    prior_matrix = np.asarray(prior_matrix, dtype=np.float64)
+    sensitive_codes = np.asarray(sensitive_codes, dtype=np.int64)
+    if prior_matrix.ndim != 2 or prior_matrix.shape[0] != sensitive_codes.shape[0]:
+        raise InferenceError("prior matrix and sensitive codes must cover the same tuples")
+    if method not in {"omega", "exact"}:
+        raise InferenceError(f"unknown inference method {method!r}; use 'omega' or 'exact'")
+    m = prior_matrix.shape[1]
+    posterior = prior_matrix.copy()
+    seen = np.zeros(prior_matrix.shape[0], dtype=bool)
+    for group in groups:
+        indices = np.asarray(group, dtype=np.int64)
+        if indices.size == 0:
+            continue
+        if seen[indices].any():
+            raise InferenceError("groups overlap: a tuple appears in more than one group")
+        seen[indices] = True
+        counts = group_sensitive_counts(sensitive_codes[indices], m)
+        group_prior = prior_matrix[indices]
+        if method == "omega":
+            posterior[indices] = omega_posterior(group_prior, counts)
+        else:
+            posterior[indices] = exact_posterior(group_prior, counts)
+    return posterior

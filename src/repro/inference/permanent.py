@@ -1,0 +1,86 @@
+"""Matrix permanents (Section III-C).
+
+The likelihood ``P(S|E)`` of a group taking its multiset of sensitive values is
+the permanent of the ``k x k`` matrix whose ``(i, j)`` entry is the prior
+probability ``P(s_i | t_j)`` (with one column per multiset element).  Computing
+the permanent is #P-complete; this module provides two reference
+implementations used by the exact-inference code and its tests:
+
+* :func:`permanent_ryser` - Ryser's inclusion-exclusion formula, ``O(2^k k)``,
+  practical up to ``k`` around 20;
+* :func:`permanent_bruteforce` - direct enumeration of permutations, used only
+  to validate Ryser on tiny matrices.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.exceptions import InferenceError
+
+
+def _validate_square(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise InferenceError(f"permanent requires a square matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def permanent_bruteforce(matrix: np.ndarray) -> float:
+    """Permanent by explicit enumeration of all permutations (use only for k <= 8)."""
+    matrix = _validate_square(matrix)
+    size = matrix.shape[0]
+    if size == 0:
+        return 1.0
+    total = 0.0
+    rows = range(size)
+    for permutation in itertools.permutations(rows):
+        product = 1.0
+        for row, column in zip(rows, permutation):
+            product *= matrix[row, column]
+            if product == 0.0:
+                break
+        total += product
+    return float(total)
+
+
+def permanent_ryser(matrix: np.ndarray) -> float:
+    """Permanent via Ryser's formula with Gray-code subset enumeration.
+
+    ``per(A) = (-1)^k * sum over non-empty column subsets S of
+    (-1)^{|S|} * prod_rows (sum of the row restricted to S)``.
+    """
+    matrix = _validate_square(matrix)
+    size = matrix.shape[0]
+    if size == 0:
+        return 1.0
+    if size > 25:
+        raise InferenceError(
+            f"permanent_ryser is limited to matrices of size <= 25, got {size}"
+        )
+    total = 0.0
+    row_sums = np.zeros(size, dtype=np.float64)
+    previous_gray = 0
+    for counter in range(1, 2**size):
+        gray = counter ^ (counter >> 1)
+        changed_bit = gray ^ previous_gray
+        column = changed_bit.bit_length() - 1
+        if gray & changed_bit:
+            row_sums += matrix[:, column]
+        else:
+            row_sums -= matrix[:, column]
+        previous_gray = gray
+        subset_size = bin(gray).count("1")
+        sign = -1.0 if (size - subset_size) % 2 else 1.0
+        total += sign * float(np.prod(row_sums))
+    return float(total)
+
+
+def permanent(matrix: np.ndarray) -> float:
+    """Permanent of a square matrix (Ryser for k > 7, brute force otherwise)."""
+    matrix = _validate_square(matrix)
+    if matrix.shape[0] <= 7:
+        return permanent_bruteforce(matrix)
+    return permanent_ryser(matrix)

@@ -1,0 +1,57 @@
+"""Background-knowledge modeling: kernels, bandwidths, prior beliefs, rule mining."""
+
+from repro.knowledge.association import (
+    AssociationRule,
+    mine_negative_rules,
+    mine_positive_rules,
+    rule_violation_mass,
+)
+from repro.knowledge.bandwidth import Bandwidth
+from repro.knowledge.kernels import (
+    biweight_kernel,
+    epanechnikov_kernel,
+    gaussian_kernel,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    triangular_kernel,
+    uniform_kernel,
+)
+from repro.knowledge.prior import (
+    KernelPriorEstimator,
+    PriorBeliefs,
+    kernel_prior,
+    mle_prior,
+    overall_prior,
+    uniform_prior,
+)
+from repro.knowledge.selection import (
+    BandwidthScore,
+    cross_validation_score,
+    select_bandwidth,
+)
+
+__all__ = [
+    "AssociationRule",
+    "Bandwidth",
+    "BandwidthScore",
+    "KernelPriorEstimator",
+    "PriorBeliefs",
+    "cross_validation_score",
+    "select_bandwidth",
+    "biweight_kernel",
+    "epanechnikov_kernel",
+    "gaussian_kernel",
+    "get_kernel",
+    "kernel_names",
+    "kernel_prior",
+    "mine_negative_rules",
+    "mine_positive_rules",
+    "mle_prior",
+    "overall_prior",
+    "register_kernel",
+    "rule_violation_mass",
+    "triangular_kernel",
+    "uniform_kernel",
+    "uniform_prior",
+]

@@ -1,0 +1,294 @@
+"""Estimating the adversary's prior belief function (Sections II-B and II-C).
+
+The adversary's prior belief is a function ``Ppri : D[QI] -> Sigma`` mapping
+every quasi-identifier combination to a probability distribution over the
+sensitive domain.  The paper estimates it from the data itself with a
+Nadaraya-Watson kernel regression:
+
+.. math::
+
+    \\hat P_{pri}(q) = \\frac{\\sum_{t_j \\in T} P(t_j) \\prod_i K_i(d_i(q_i, t_j[A_i]))}
+                            {\\sum_{t_j \\in T} \\prod_i K_i(d_i(q_i, t_j[A_i]))}
+
+where ``P(t_j)`` is the one-hot distribution of tuple ``t_j``'s sensitive
+value and ``d_i`` is the normalised attribute distance of Section II-C.
+
+:class:`KernelPriorEstimator` implements this estimator.  Distances are
+precomputed per attribute as ``|D_i| x |D_i|`` matrices, so evaluating the
+prior for every tuple of an ``n``-row table costs ``O(n^2 d)`` arithmetic but
+is fully vectorised (batched numpy), which keeps 10K-30K row tables practical.
+
+Three baseline adversaries from Section II-D are also provided:
+
+* :func:`uniform_prior` - the "ignorant" adversary assumed by l-diversity
+  (NOT consistent with the data; included for comparison only),
+* :func:`overall_prior` - the t-closeness adversary whose prior is the overall
+  sensitive distribution for every tuple,
+* :func:`mle_prior` - the maximum-likelihood estimator that conditions on the
+  exact QI combination (the limit of small bandwidths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.distance import attribute_distance_matrix
+from repro.data.table import MicrodataTable
+from repro.exceptions import KnowledgeError
+from repro.knowledge.bandwidth import Bandwidth
+from repro.knowledge.kernels import get_kernel
+
+_DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True)
+class PriorBeliefs:
+    """Per-tuple prior beliefs of one adversary over one table.
+
+    Attributes
+    ----------
+    matrix:
+        ``(n_rows, m)`` row-stochastic matrix; row ``j`` is the adversary's
+        prior distribution over the sensitive domain for tuple ``t_j``.
+    sensitive_values:
+        The sensitive domain ``D[S]`` in code order (length ``m``).
+    description:
+        Human-readable description of the adversary (e.g. ``"kernel b=0.3"``).
+    """
+
+    matrix: np.ndarray
+    sensitive_values: tuple = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise KnowledgeError("prior belief matrix must be 2-dimensional")
+        if np.any(matrix < -1e-12):
+            raise KnowledgeError("prior belief matrix must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            raise KnowledgeError("every prior belief row must sum to 1")
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples covered by these beliefs."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_sensitive_values(self) -> int:
+        """Size ``m`` of the sensitive domain."""
+        return int(self.matrix.shape[1])
+
+    def for_tuple(self, index: int) -> np.ndarray:
+        """Prior distribution of tuple ``index``."""
+        return self.matrix[index]
+
+    def for_group(self, indices: np.ndarray) -> np.ndarray:
+        """Prior distributions (rows) for a group of tuple indices."""
+        return self.matrix[np.asarray(indices, dtype=np.int64)]
+
+
+class KernelPriorEstimator:
+    """Nadaraya-Watson product-kernel estimator of the prior belief function.
+
+    Parameters
+    ----------
+    bandwidth:
+        Per-attribute :class:`~repro.knowledge.bandwidth.Bandwidth`.  It must
+        cover every quasi-identifier of the table passed to :meth:`fit`.
+    kernel:
+        Name of the kernel function (default ``"epanechnikov"``, as in the
+        paper).
+    batch_size:
+        Number of query rows evaluated per vectorised batch.  Purely a
+        speed/memory trade-off; results do not depend on it.
+    """
+
+    def __init__(
+        self,
+        bandwidth: Bandwidth,
+        *,
+        kernel: str = "epanechnikov",
+        batch_size: int = _DEFAULT_BATCH_SIZE,
+    ):
+        if batch_size <= 0:
+            raise KnowledgeError("batch_size must be positive")
+        self.bandwidth = bandwidth
+        self.kernel_name = kernel
+        self._kernel = get_kernel(kernel)
+        self.batch_size = int(batch_size)
+        self._table: MicrodataTable | None = None
+        self._weight_matrices: list[np.ndarray] = []
+        self._qi_codes: np.ndarray | None = None
+        self._sensitive_codes: np.ndarray | None = None
+        self._one_hot: np.ndarray | None = None
+        self._overall: np.ndarray | None = None
+
+    # -- fitting --------------------------------------------------------------------
+    def fit(self, table: MicrodataTable) -> "KernelPriorEstimator":
+        """Precompute per-attribute kernel weight matrices for ``table``."""
+        qi_names = table.quasi_identifier_names
+        missing = [name for name in qi_names if name not in self.bandwidth]
+        if missing:
+            raise KnowledgeError(
+                f"bandwidth does not cover quasi-identifier attributes {missing}"
+            )
+        self._table = table
+        self._weight_matrices = []
+        for name in qi_names:
+            distances = attribute_distance_matrix(table.domain(name))
+            weights = self._kernel(distances, self.bandwidth[name])
+            self._weight_matrices.append(np.asarray(weights, dtype=np.float64))
+        self._qi_codes = table.qi_code_matrix()
+        self._sensitive_codes = table.sensitive_codes()
+        m = table.sensitive_domain().size
+        one_hot = np.zeros((table.n_rows, m), dtype=np.float64)
+        one_hot[np.arange(table.n_rows), self._sensitive_codes] = 1.0
+        self._one_hot = one_hot
+        self._overall = table.sensitive_distribution()
+        return self
+
+    def _require_fitted(self) -> MicrodataTable:
+        if self._table is None:
+            raise KnowledgeError("estimator is not fitted; call fit(table) first")
+        return self._table
+
+    # -- estimation -----------------------------------------------------------------
+    def prior_for_codes(self, query_codes: np.ndarray) -> np.ndarray:
+        """Prior distributions for query rows given as QI *code* combinations.
+
+        Parameters
+        ----------
+        query_codes:
+            ``(q, d)`` integer matrix of attribute codes (one row per query
+            point), in the same code space as the fitted table.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(q, m)`` row-stochastic matrix of prior beliefs.  Queries whose
+            kernel weights are all zero (possible with compact-support kernels
+            far away from any data) fall back to the overall sensitive
+            distribution, which is the least-informative consistent belief.
+        """
+        table = self._require_fitted()
+        query_codes = np.atleast_2d(np.asarray(query_codes, dtype=np.int64))
+        n_queries, n_attributes = query_codes.shape
+        if n_attributes != len(self._weight_matrices):
+            raise KnowledgeError(
+                f"query has {n_attributes} attributes but the estimator was fitted on "
+                f"{len(self._weight_matrices)}"
+            )
+        m = table.sensitive_domain().size
+        data_codes = self._qi_codes
+        result = np.empty((n_queries, m), dtype=np.float64)
+        for start in range(0, n_queries, self.batch_size):
+            stop = min(start + self.batch_size, n_queries)
+            batch = query_codes[start:stop]
+            weights = np.ones((stop - start, data_codes.shape[0]), dtype=np.float64)
+            for attribute_index, weight_matrix in enumerate(self._weight_matrices):
+                weights *= weight_matrix[batch[:, attribute_index]][:, data_codes[:, attribute_index]]
+            numerators = weights @ self._one_hot
+            denominators = weights.sum(axis=1)
+            degenerate = denominators <= 0.0
+            safe = np.where(degenerate, 1.0, denominators)
+            block = numerators / safe[:, None]
+            if degenerate.any():
+                block[degenerate] = self._overall
+            result[start:stop] = block
+        return result
+
+    def prior_for_table(self, table: MicrodataTable | None = None) -> PriorBeliefs:
+        """Prior beliefs for every tuple of ``table`` (default: the fitted table)."""
+        fitted = self._require_fitted()
+        target = table if table is not None else fitted
+        if target is not fitted:
+            # Re-encode the target's QI values against the fitted table's domains.
+            codes = np.column_stack(
+                [
+                    fitted.domain(name).encode(target.column(name).tolist())
+                    for name in fitted.quasi_identifier_names
+                ]
+            )
+        else:
+            codes = self._qi_codes
+        unique_codes, inverse = np.unique(codes, axis=0, return_inverse=True)
+        unique_priors = self.prior_for_codes(unique_codes)
+        matrix = unique_priors[inverse]
+        return PriorBeliefs(
+            matrix=matrix,
+            sensitive_values=tuple(fitted.sensitive_domain().values.tolist()),
+            description=f"kernel={self.kernel_name}, {self.bandwidth.describe()}",
+        )
+
+
+def kernel_prior(
+    table: MicrodataTable,
+    b: float | Bandwidth,
+    *,
+    kernel: str = "epanechnikov",
+    batch_size: int = _DEFAULT_BATCH_SIZE,
+) -> PriorBeliefs:
+    """One-call helper: fit a kernel estimator on ``table`` and return its priors.
+
+    ``b`` may be a scalar (applied uniformly to every QI attribute, the
+    ``B' = (b', ..., b')`` adversary of Section V) or a full
+    :class:`~repro.knowledge.bandwidth.Bandwidth`.
+    """
+    if isinstance(b, Bandwidth):
+        bandwidth = b
+    else:
+        bandwidth = Bandwidth.uniform(table.quasi_identifier_names, float(b))
+    estimator = KernelPriorEstimator(bandwidth, kernel=kernel, batch_size=batch_size)
+    return estimator.fit(table).prior_for_table()
+
+
+def uniform_prior(table: MicrodataTable) -> PriorBeliefs:
+    """The ignorant adversary: every sensitive value equally likely for every tuple.
+
+    This belief is generally *inconsistent* with the data (Section II-D); it is
+    provided so that experiments can contrast it with consistent adversaries.
+    """
+    m = table.sensitive_domain().size
+    matrix = np.full((table.n_rows, m), 1.0 / m)
+    return PriorBeliefs(
+        matrix=matrix,
+        sensitive_values=tuple(table.sensitive_domain().values.tolist()),
+        description="uniform (ignorant adversary)",
+    )
+
+
+def overall_prior(table: MicrodataTable) -> PriorBeliefs:
+    """The t-closeness adversary: the overall sensitive distribution for every tuple."""
+    overall = table.sensitive_distribution()
+    matrix = np.tile(overall, (table.n_rows, 1))
+    return PriorBeliefs(
+        matrix=matrix,
+        sensitive_values=tuple(table.sensitive_domain().values.tolist()),
+        description="overall distribution (t-closeness adversary)",
+    )
+
+
+def mle_prior(table: MicrodataTable) -> PriorBeliefs:
+    """Maximum-likelihood prior: the sensitive distribution among identical QI tuples.
+
+    This is the estimator the paper rejects in Section II-B (high variance, no
+    knowledge parameter, no semantics); it is the limiting behaviour of the
+    kernel estimator as every bandwidth shrinks to zero.
+    """
+    codes = table.qi_code_matrix()
+    sensitive_codes = table.sensitive_codes()
+    m = table.sensitive_domain().size
+    unique_codes, inverse = np.unique(codes, axis=0, return_inverse=True)
+    matrix = np.zeros((unique_codes.shape[0], m), dtype=np.float64)
+    np.add.at(matrix, (inverse, sensitive_codes), 1.0)
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return PriorBeliefs(
+        matrix=matrix[inverse],
+        sensitive_values=tuple(table.sensitive_domain().values.tolist()),
+        description="maximum-likelihood (exact QI conditioning)",
+    )

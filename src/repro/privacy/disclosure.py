@@ -1,0 +1,149 @@
+"""Disclosure-risk computation and the probabilistic background-knowledge attack.
+
+These functions implement the quantities reported in the paper's evaluation:
+
+* the per-tuple **knowledge gain** ``D[Ppri(B,q), Ppos(B,q,T*)]`` of an
+  adversary ``Adv(B)`` observing the release,
+* the **worst-case disclosure risk** (its maximum over all tuples,
+  Definition 1 and Figure 3), and
+* the number of **vulnerable tuples** whose knowledge gain exceeds a threshold
+  ``t`` (Figure 1), i.e. the tuples breached by a probabilistic
+  background-knowledge attack.
+
+Everything here works on a *partition* of the table (a list of index arrays),
+so it applies equally to generalization and bucketization releases - as the
+paper notes, the two are equivalent once the adversary knows who is in the
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import MicrodataTable
+from repro.exceptions import PrivacyModelError
+from repro.inference.omega import posterior_for_groups
+from repro.knowledge.prior import PriorBeliefs, kernel_prior
+from repro.privacy.measures import DistanceMeasure, sensitive_distance_measure
+
+
+def tuple_disclosure_risks(
+    priors: PriorBeliefs | np.ndarray,
+    sensitive_codes: np.ndarray,
+    groups: list[np.ndarray],
+    measure: DistanceMeasure,
+    *,
+    method: str = "omega",
+) -> np.ndarray:
+    """Knowledge gain ``D[prior, posterior]`` for every tuple of a partitioned table.
+
+    Parameters
+    ----------
+    priors:
+        The adversary's prior beliefs (a :class:`PriorBeliefs` or a raw
+        ``(n, m)`` matrix).
+    sensitive_codes:
+        Length-``n`` sensitive value codes of the original table.
+    groups:
+        The release's groups as arrays of tuple indices.
+    measure:
+        Distance measure ``D[P, Q]``.
+    method:
+        Posterior inference method, ``"omega"`` (default) or ``"exact"``.
+    """
+    prior_matrix = priors.matrix if isinstance(priors, PriorBeliefs) else np.asarray(priors)
+    posterior_matrix = posterior_for_groups(prior_matrix, sensitive_codes, groups, method=method)
+    return measure.rowwise(prior_matrix, posterior_matrix)
+
+
+def worst_case_disclosure_risk(
+    priors: PriorBeliefs | np.ndarray,
+    sensitive_codes: np.ndarray,
+    groups: list[np.ndarray],
+    measure: DistanceMeasure,
+    *,
+    method: str = "omega",
+) -> float:
+    """``max_q D[Ppri(B,q), Ppos(B,q,T*)]`` - the quantity bounded by (B,t)-privacy."""
+    risks = tuple_disclosure_risks(priors, sensitive_codes, groups, measure, method=method)
+    return float(risks.max())
+
+
+def count_vulnerable_tuples(risks: np.ndarray, threshold: float) -> int:
+    """Number of tuples whose knowledge gain exceeds ``threshold`` (Figure 1)."""
+    if threshold < 0.0:
+        raise PrivacyModelError("threshold must be non-negative")
+    return int((np.asarray(risks) > threshold + 1e-12).sum())
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a probabilistic background-knowledge attack on one release."""
+
+    adversary_b: float
+    threshold: float
+    risks: np.ndarray
+    vulnerable_tuples: int
+    worst_case_risk: float
+
+    def vulnerability_rate(self) -> float:
+        """Fraction of tuples breached by the attack."""
+        return self.vulnerable_tuples / self.risks.size
+
+
+class BackgroundKnowledgeAttack:
+    """A parameterised adversary ``Adv(B')`` attacking anonymized releases (Section V-A).
+
+    The attack estimates the adversary's prior with the kernel method, computes
+    posterior beliefs over the released groups, and reports every tuple whose
+    knowledge gain exceeds the privacy threshold as *vulnerable*.
+
+    Parameters
+    ----------
+    table:
+        The original microdata table (the attack assumes, as the paper does,
+        that the adversary knows who is in the table and their QI values).
+    b_prime:
+        The adversary's bandwidth ``b'`` (scalar, applied to all QI attributes).
+    measure:
+        Distance measure; defaults to the paper's smoothed-JS measure.
+    kernel:
+        Kernel for the prior estimation.
+    method:
+        Posterior inference method, ``"omega"`` or ``"exact"``.
+    """
+
+    def __init__(
+        self,
+        table: MicrodataTable,
+        b_prime: float,
+        *,
+        measure: DistanceMeasure | None = None,
+        kernel: str = "epanechnikov",
+        method: str = "omega",
+    ):
+        self.table = table
+        self.b_prime = float(b_prime)
+        self.kernel = kernel
+        self.method = method
+        self.measure = measure if measure is not None else sensitive_distance_measure(table)
+        self.priors = kernel_prior(table, self.b_prime, kernel=kernel)
+
+    def attack(self, groups: list[np.ndarray], threshold: float) -> AttackResult:
+        """Attack a release given as a list of group index arrays."""
+        risks = tuple_disclosure_risks(
+            self.priors,
+            self.table.sensitive_codes(),
+            groups,
+            self.measure,
+            method=self.method,
+        )
+        return AttackResult(
+            adversary_b=self.b_prime,
+            threshold=float(threshold),
+            risks=risks,
+            vulnerable_tuples=count_vulnerable_tuples(risks, threshold),
+            worst_case_risk=float(risks.max()),
+        )

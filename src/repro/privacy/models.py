@@ -1,0 +1,367 @@
+"""Privacy models: k-anonymity, l-diversity variants, t-closeness, (B,t)-privacy.
+
+Every model implements the small :class:`PrivacyModel` interface used by the
+anonymization algorithms (Mondrian, Anatomy):
+
+* :meth:`PrivacyModel.prepare` is called once with the full table and is where
+  expensive global work happens (e.g. estimating the kernel priors for the
+  (B,t) model);
+* :meth:`PrivacyModel.is_satisfied` is called with candidate group indices and
+  decides whether a group may appear in the release.
+
+The headline model of the paper is :class:`BTPrivacy` (Definition 1) and its
+multi-adversary variant :class:`SkylineBTPrivacy` (Definition 2).  The
+baselines used throughout the evaluation - distinct l-diversity, probabilistic
+l-diversity and t-closeness - are provided alongside, plus
+:class:`KAnonymity`, which the paper composes with every model to also protect
+against identity disclosure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.distance import attribute_distance_matrix
+from repro.data.table import MicrodataTable
+from repro.exceptions import PrivacyModelError
+from repro.inference.exact import exact_posterior, group_sensitive_counts
+from repro.inference.omega import omega_posterior
+from repro.knowledge.bandwidth import Bandwidth
+from repro.knowledge.prior import KernelPriorEstimator, PriorBeliefs
+from repro.privacy.measures import (
+    DistanceMeasure,
+    HierarchicalEMD,
+    SmoothedJSDivergence,
+    total_variation,
+)
+
+
+class PrivacyModel:
+    """Interface shared by all privacy requirements."""
+
+    name = "abstract"
+
+    def prepare(self, table: MicrodataTable) -> None:
+        """Precompute any table-wide state (called once before anonymization)."""
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:  # pragma: no cover - interface
+        """Whether a candidate group meets the requirement."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description of the configured requirement."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class KAnonymity(PrivacyModel):
+    """Every group must contain at least ``k`` tuples (identity disclosure)."""
+
+    name = "k-anonymity"
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise PrivacyModelError("k must be at least 1")
+        self.k = int(k)
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:
+        return len(group_indices) >= self.k
+
+    def describe(self) -> str:
+        return f"k={self.k}"
+
+
+class _SensitiveGroupModel(PrivacyModel):
+    """Base for models that only look at the sensitive values of a group."""
+
+    def __init__(self) -> None:
+        self._sensitive_codes: np.ndarray | None = None
+        self._domain_size: int | None = None
+
+    def prepare(self, table: MicrodataTable) -> None:
+        self._sensitive_codes = table.sensitive_codes()
+        self._domain_size = table.sensitive_domain().size
+
+    def _group_counts(self, group_indices: np.ndarray) -> np.ndarray:
+        if self._sensitive_codes is None or self._domain_size is None:
+            raise PrivacyModelError(f"{self.name} is not prepared; call prepare(table) first")
+        indices = np.asarray(group_indices, dtype=np.int64)
+        if indices.size == 0:
+            raise PrivacyModelError("a group must contain at least one tuple")
+        return np.bincount(self._sensitive_codes[indices], minlength=self._domain_size)
+
+
+class DistinctLDiversity(_SensitiveGroupModel):
+    """Each group must contain at least ``l`` distinct sensitive values."""
+
+    name = "distinct-l-diversity"
+
+    def __init__(self, l: int):
+        super().__init__()
+        if l < 1:
+            raise PrivacyModelError("l must be at least 1")
+        self.l = int(l)
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:
+        counts = self._group_counts(group_indices)
+        return int((counts > 0).sum()) >= self.l
+
+    def describe(self) -> str:
+        return f"l={self.l}"
+
+
+class ProbabilisticLDiversity(_SensitiveGroupModel):
+    """The most frequent sensitive value may take at most a ``1/l`` share of a group."""
+
+    name = "probabilistic-l-diversity"
+
+    def __init__(self, l: float):
+        super().__init__()
+        if l < 1:
+            raise PrivacyModelError("l must be at least 1")
+        self.l = float(l)
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:
+        counts = self._group_counts(group_indices)
+        total = counts.sum()
+        return counts.max() <= total / self.l + 1e-12
+
+    def describe(self) -> str:
+        return f"l={self.l:g}"
+
+
+class EntropyLDiversity(_SensitiveGroupModel):
+    """The entropy of each group's sensitive distribution must be at least ``log(l)``."""
+
+    name = "entropy-l-diversity"
+
+    def __init__(self, l: float):
+        super().__init__()
+        if l < 1:
+            raise PrivacyModelError("l must be at least 1")
+        self.l = float(l)
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:
+        counts = self._group_counts(group_indices)
+        distribution = counts[counts > 0].astype(np.float64)
+        distribution /= distribution.sum()
+        entropy = float(-(distribution * np.log(distribution)).sum())
+        return entropy >= np.log(self.l) - 1e-12
+
+    def describe(self) -> str:
+        return f"l={self.l:g}"
+
+
+class TCloseness(_SensitiveGroupModel):
+    """Each group's sensitive distribution must stay within ``t`` of the table's.
+
+    The distance is the Earth Mover's Distance, either over the sensitive
+    attribute's Section II-C ground-distance matrix (hierarchical EMD, the
+    default when the sensitive attribute carries a taxonomy) or the
+    variational distance when ``use_hierarchy=False``.
+    """
+
+    name = "t-closeness"
+
+    def __init__(self, t: float, *, use_hierarchy: bool = True):
+        super().__init__()
+        if not 0.0 <= t <= 1.0:
+            raise PrivacyModelError("t must lie in [0, 1]")
+        self.t = float(t)
+        self.use_hierarchy = bool(use_hierarchy)
+        self._overall: np.ndarray | None = None
+        self._emd: HierarchicalEMD | None = None
+
+    def prepare(self, table: MicrodataTable) -> None:
+        super().prepare(table)
+        self._overall = table.sensitive_distribution()
+        taxonomy = table.sensitive_domain().attribute.taxonomy
+        if self.use_hierarchy and taxonomy is not None:
+            leaf_order = [str(v) for v in table.sensitive_domain().values.tolist()]
+            self._emd = HierarchicalEMD(taxonomy, leaf_order)
+        else:
+            self._emd = None
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:
+        counts = self._group_counts(group_indices)
+        if self._overall is None:
+            raise PrivacyModelError("t-closeness is not prepared; call prepare(table) first")
+        distribution = counts.astype(np.float64)
+        distribution /= distribution.sum()
+        if self._emd is not None:
+            distance = self._emd(distribution, self._overall)
+        else:
+            distance = total_variation(distribution, self._overall)
+        return distance <= self.t + 1e-12
+
+    def describe(self) -> str:
+        return f"t={self.t:g}"
+
+
+class BTPrivacy(PrivacyModel):
+    """The (B,t)-privacy principle (Definition 1).
+
+    A group satisfies the requirement when, for the adversary ``Adv(B)``, the
+    distance between the prior and posterior belief of *every* tuple in the
+    group is at most ``t``.  Posteriors are computed with the Omega-estimate by
+    default (``inference="omega"``); ``inference="exact"`` switches to the
+    count-DP exact inference (only sensible for small groups).
+
+    Parameters
+    ----------
+    b:
+        Either a scalar bandwidth applied to every QI attribute, or a full
+        :class:`~repro.knowledge.bandwidth.Bandwidth`.
+    t:
+        Maximum tolerated prior-to-posterior distance.
+    kernel:
+        Kernel used for the prior estimation (default Epanechnikov).
+    measure:
+        Distance measure ``D[P, Q]``; defaults to the paper's smoothed-JS
+        measure over the sensitive attribute's distance matrix.
+    inference:
+        ``"omega"`` or ``"exact"``.
+    """
+
+    name = "(B,t)-privacy"
+
+    def __init__(
+        self,
+        b: float | Bandwidth,
+        t: float,
+        *,
+        kernel: str = "epanechnikov",
+        measure: DistanceMeasure | None = None,
+        inference: str = "omega",
+        smoothing_bandwidth: float = 0.5,
+    ):
+        if not 0.0 <= t <= 1.0:
+            raise PrivacyModelError("t must lie in [0, 1]")
+        if inference not in {"omega", "exact"}:
+            raise PrivacyModelError("inference must be 'omega' or 'exact'")
+        self.b = b
+        self.t = float(t)
+        self.kernel = kernel
+        self.inference = inference
+        self.smoothing_bandwidth = float(smoothing_bandwidth)
+        self.measure = measure
+        self._priors: PriorBeliefs | None = None
+        self._sensitive_codes: np.ndarray | None = None
+        self._domain_size: int | None = None
+
+    # -- preparation -----------------------------------------------------------------
+    def prepare(self, table: MicrodataTable) -> None:
+        if self._priors is None:
+            # Priors may have been injected with set_priors (to share one kernel
+            # estimation across several models); only estimate when absent.
+            bandwidth = (
+                self.b
+                if isinstance(self.b, Bandwidth)
+                else Bandwidth.uniform(table.quasi_identifier_names, float(self.b))
+            )
+            estimator = KernelPriorEstimator(bandwidth, kernel=self.kernel)
+            self._priors = estimator.fit(table).prior_for_table()
+        self._sensitive_codes = table.sensitive_codes()
+        self._domain_size = table.sensitive_domain().size
+        if self.measure is None:
+            matrix = attribute_distance_matrix(table.sensitive_domain())
+            self.measure = SmoothedJSDivergence(
+                distance_matrix=matrix, bandwidth=self.smoothing_bandwidth, kernel=self.kernel
+            )
+
+    def set_priors(self, priors: PriorBeliefs, sensitive_codes: np.ndarray, domain_size: int) -> None:
+        """Inject precomputed priors (used to share one estimation across models)."""
+        self._priors = priors
+        self._sensitive_codes = np.asarray(sensitive_codes, dtype=np.int64)
+        self._domain_size = int(domain_size)
+
+    @property
+    def priors(self) -> PriorBeliefs:
+        """The adversary's prior beliefs (available after :meth:`prepare`)."""
+        if self._priors is None:
+            raise PrivacyModelError("(B,t)-privacy is not prepared; call prepare(table) first")
+        return self._priors
+
+    # -- evaluation -------------------------------------------------------------------
+    def group_risk(self, group_indices: np.ndarray) -> float:
+        """Maximum prior-to-posterior distance over the tuples of one group."""
+        if self._priors is None or self._sensitive_codes is None or self._domain_size is None:
+            raise PrivacyModelError("(B,t)-privacy is not prepared; call prepare(table) first")
+        if self.measure is None:
+            raise PrivacyModelError("(B,t)-privacy has no distance measure configured")
+        indices = np.asarray(group_indices, dtype=np.int64)
+        if indices.size == 0:
+            raise PrivacyModelError("a group must contain at least one tuple")
+        prior = self._priors.matrix[indices]
+        counts = group_sensitive_counts(self._sensitive_codes[indices], self._domain_size)
+        if self.inference == "omega":
+            posterior = omega_posterior(prior, counts)
+        else:
+            posterior = exact_posterior(prior, counts)
+        return float(self.measure.rowwise(prior, posterior).max())
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:
+        return self.group_risk(group_indices) <= self.t + 1e-12
+
+    def describe(self) -> str:
+        b_text = self.b.describe() if isinstance(self.b, Bandwidth) else f"b={self.b:g}"
+        return f"{b_text}, t={self.t:g}"
+
+
+class SkylineBTPrivacy(PrivacyModel):
+    """The skyline (B,t)-privacy principle (Definition 2).
+
+    The data publisher specifies a set of ``(B_i, t_i)`` pairs; a group is
+    acceptable only if it satisfies (B_i, t_i)-privacy for every pair.  Because
+    the worst-case disclosure risk varies continuously with ``B``
+    (Section V-C), a small, well-chosen skyline protects against adversaries of
+    every knowledge level.
+    """
+
+    name = "skyline-(B,t)-privacy"
+
+    def __init__(self, skyline: list[tuple[float | Bandwidth, float]], **bt_options):
+        if not skyline:
+            raise PrivacyModelError("a skyline requires at least one (B, t) pair")
+        self.points = [BTPrivacy(b, t, **bt_options) for b, t in skyline]
+
+    def prepare(self, table: MicrodataTable) -> None:
+        for point in self.points:
+            point.prepare(table)
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:
+        return all(point.is_satisfied(group_indices) for point in self.points)
+
+    def group_risk(self, group_indices: np.ndarray) -> float:
+        """Maximum risk over all skyline points (normalised by each point's ``t``)."""
+        return max(point.group_risk(group_indices) / point.t for point in self.points)
+
+    def describe(self) -> str:
+        return "; ".join(point.describe() for point in self.points)
+
+
+class CompositeModel(PrivacyModel):
+    """Conjunction of several privacy requirements (all must hold).
+
+    The paper enforces k-anonymity *together with* each attribute-disclosure
+    model; this class expresses that composition.
+    """
+
+    name = "composite"
+
+    def __init__(self, models: list[PrivacyModel]):
+        if not models:
+            raise PrivacyModelError("a composite model requires at least one model")
+        self.models = list(models)
+
+    def prepare(self, table: MicrodataTable) -> None:
+        for model in self.models:
+            model.prepare(table)
+
+    def is_satisfied(self, group_indices: np.ndarray) -> bool:
+        return all(model.is_satisfied(group_indices) for model in self.models)
+
+    def describe(self) -> str:
+        return " AND ".join(f"{model.name}({model.describe()})" for model in self.models)

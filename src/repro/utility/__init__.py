@@ -1,0 +1,29 @@
+"""Utility metrics (DM, GCP) and aggregate-query workloads."""
+
+from repro.utility.metrics import (
+    average_group_size,
+    discernibility_metric,
+    global_certainty_penalty,
+    group_certainty_penalty,
+    utility_report,
+)
+from repro.utility.query import (
+    AggregateQuery,
+    QueryWorkloadGenerator,
+    average_relative_error,
+    estimated_count,
+    true_count,
+)
+
+__all__ = [
+    "AggregateQuery",
+    "QueryWorkloadGenerator",
+    "average_group_size",
+    "average_relative_error",
+    "discernibility_metric",
+    "estimated_count",
+    "global_certainty_penalty",
+    "group_certainty_penalty",
+    "true_count",
+    "utility_report",
+]

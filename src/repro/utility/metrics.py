@@ -1,0 +1,86 @@
+"""General utility measures for anonymized tables (Section V-E.1).
+
+Two standard measures are implemented:
+
+* **Discernibility Metric (DM)** (Bayardo & Agrawal, paper ref [25]): each
+  tuple pays a penalty equal to the size of its group, so
+  ``DM = sum over groups |G|^2``.  Smaller is better; a table left as one
+  giant group pays ``n^2``.
+* **Global Certainty Penalty (GCP)** (Xu et al., paper ref [26]): each tuple
+  pays its Normalised Certainty Penalty - the sum over QI attributes of the
+  fraction of the attribute's domain covered by its group's generalized value;
+  ``GCP = sum over groups |G| * NCP(G)``.  Smaller is better; publishing every
+  tuple fully generalized costs ``n * d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anonymize.partition import AnonymizedRelease
+from repro.exceptions import UtilityError
+
+
+def discernibility_metric(release: AnonymizedRelease) -> float:
+    """Discernibility Metric ``sum_G |G|^2`` of a release."""
+    sizes = release.group_sizes().astype(np.float64)
+    return float((sizes**2).sum())
+
+
+def group_certainty_penalty(release: AnonymizedRelease, group_index: int) -> float:
+    """Normalised Certainty Penalty of one group (sum over QI attributes, in ``[0, d]``)."""
+    table = release.table
+    if not 0 <= group_index < release.n_groups:
+        raise UtilityError(f"group index {group_index} out of range")
+    indices = release.groups[group_index]
+    penalty = 0.0
+    for name in table.quasi_identifier_names:
+        attribute = table.schema[name]
+        domain = table.domain(name)
+        if attribute.is_numeric:
+            column = table.column(name)[indices]
+            spread = domain.numeric_range
+            if spread > 0:
+                penalty += float(column.max() - column.min()) / spread
+        else:
+            distinct = len({str(v) for v in table.column(name)[indices].tolist()})
+            if distinct > 1:
+                if attribute.taxonomy is not None:
+                    values = {str(v) for v in table.column(name)[indices].tolist()}
+                    ancestor = attribute.taxonomy.generalize(values)
+                    covered = len(attribute.taxonomy.leaves_under(ancestor))
+                else:
+                    covered = distinct
+                penalty += covered / domain.size
+    return penalty
+
+
+def global_certainty_penalty(release: AnonymizedRelease, *, normalised: bool = False) -> float:
+    """Global Certainty Penalty ``sum_G |G| * NCP(G)``.
+
+    With ``normalised=True`` the value is divided by ``n * d`` so it lies in
+    ``[0, 1]`` regardless of table size (useful for comparing across datasets).
+    """
+    total = 0.0
+    for group_index, indices in enumerate(release.groups):
+        total += len(indices) * group_certainty_penalty(release, group_index)
+    if normalised:
+        d = len(release.table.quasi_identifier_names)
+        total /= release.table.n_rows * d
+    return float(total)
+
+
+def average_group_size(release: AnonymizedRelease) -> float:
+    """Average number of tuples per group (the ``C_avg`` style metric)."""
+    return release.average_group_size()
+
+
+def utility_report(release: AnonymizedRelease) -> dict[str, float]:
+    """All general utility measures of a release in one dictionary."""
+    return {
+        "n_groups": float(release.n_groups),
+        "average_group_size": average_group_size(release),
+        "discernibility_metric": discernibility_metric(release),
+        "global_certainty_penalty": global_certainty_penalty(release),
+        "normalised_certainty_penalty": global_certainty_penalty(release, normalised=True),
+    }

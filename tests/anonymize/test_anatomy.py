@@ -1,0 +1,92 @@
+"""Tests for Anatomy bucketization."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.anatomy import anatomy_partition
+from repro.anonymize.partition import AnonymizedRelease
+from repro.data.schema import Schema, categorical_qi, sensitive
+from repro.data.table import MicrodataTable
+from repro.exceptions import AnonymizationError
+
+
+def _partition_is_valid(table, groups):
+    covered = np.concatenate(groups)
+    assert sorted(covered.tolist()) == list(range(table.n_rows))
+
+
+def test_buckets_are_l_diverse(tiny_adult):
+    groups = anatomy_partition(tiny_adult, 3)
+    _partition_is_valid(tiny_adult, groups)
+    codes = tiny_adult.sensitive_codes()
+    for group in groups:
+        values = codes[group]
+        # Every bucket has at least l distinct values...
+        assert len(set(values.tolist())) >= 3
+        # ... and at least l tuples.
+        assert len(group) >= 3
+
+
+def test_bucket_value_counts_are_balanced(tiny_adult):
+    """The creation phase takes one tuple per value, so counts stay near-singular."""
+    groups = anatomy_partition(tiny_adult, 4)
+    codes = tiny_adult.sensitive_codes()
+    for group in groups:
+        counts = np.bincount(codes[group])
+        # No sensitive value dominates a bucket after residue assignment.
+        assert counts.max() <= max(2, len(group) // 2)
+
+
+def test_determinism_with_fixed_rng(tiny_adult):
+    first = anatomy_partition(tiny_adult, 3, rng=np.random.default_rng(5))
+    second = anatomy_partition(tiny_adult, 3, rng=np.random.default_rng(5))
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        assert a.tolist() == b.tolist()
+
+
+def test_invalid_l_rejected(tiny_adult):
+    with pytest.raises(AnonymizationError):
+        anatomy_partition(tiny_adult, 0)
+
+
+def test_too_many_distinct_values_required(tiny_adult):
+    with pytest.raises(AnonymizationError):
+        anatomy_partition(tiny_adult, 100)
+
+
+def test_eligibility_condition():
+    """A table dominated by one sensitive value cannot be bucketized."""
+    schema = Schema([categorical_qi("Sex"), sensitive("Disease")])
+    table = MicrodataTable.from_columns(
+        schema,
+        {"Sex": ["M"] * 10, "Disease": ["Flu"] * 8 + ["Cancer", "HIV"]},
+    )
+    with pytest.raises(AnonymizationError) as excinfo:
+        anatomy_partition(table, 2)
+    assert "eligibility" in str(excinfo.value)
+
+
+def test_small_balanced_table():
+    schema = Schema([categorical_qi("Sex"), sensitive("Disease")])
+    table = MicrodataTable.from_columns(
+        schema,
+        {
+            "Sex": ["M", "F", "M", "F", "M", "F"],
+            "Disease": ["Flu", "Cancer", "Flu", "Cancer", "HIV", "HIV"],
+        },
+    )
+    groups = anatomy_partition(table, 2)
+    _partition_is_valid(table, groups)
+    codes = table.sensitive_codes()
+    for group in groups:
+        assert len(set(codes[group].tolist())) >= 2
+
+
+def test_release_wrapping_and_bucketized_view(tiny_adult):
+    groups = anatomy_partition(tiny_adult, 3)
+    release = AnonymizedRelease(tiny_adult, groups, method="anatomy-l3")
+    qit, st = release.bucketized_tables()
+    assert len(qit) == tiny_adult.n_rows
+    total = sum(row["Count"] for row in st)
+    assert total == tiny_adult.n_rows

@@ -1,0 +1,142 @@
+"""Tests for the Mondrian multidimensional partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.mondrian import MondrianAnonymizer
+from repro.anonymize.partition import AnonymizedRelease
+from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
+from repro.data.table import MicrodataTable
+from repro.exceptions import AnonymizationError
+from repro.privacy.models import (
+    BTPrivacy,
+    CompositeModel,
+    DistinctLDiversity,
+    KAnonymity,
+    TCloseness,
+)
+
+
+def _partition_is_valid(table, groups):
+    covered = np.concatenate(groups)
+    assert sorted(covered.tolist()) == list(range(table.n_rows))
+    assert len(set(covered.tolist())) == table.n_rows
+
+
+def test_invalid_strategy_rejected():
+    with pytest.raises(AnonymizationError):
+        MondrianAnonymizer(KAnonymity(2), split_strategy="zigzag")
+
+
+def test_k_anonymity_partition(tiny_adult):
+    mondrian = MondrianAnonymizer(KAnonymity(5))
+    groups = mondrian.partition(tiny_adult)
+    _partition_is_valid(tiny_adult, groups)
+    assert all(len(group) >= 5 for group in groups)
+    # Mondrian should actually split a 300-row table with k=5.
+    assert len(groups) > 10
+    assert mondrian.statistics.n_groups == len(groups)
+    assert mondrian.statistics.max_depth >= 1
+
+
+def test_smaller_k_gives_finer_partition(tiny_adult):
+    coarse = MondrianAnonymizer(KAnonymity(25)).partition(tiny_adult)
+    fine = MondrianAnonymizer(KAnonymity(5)).partition(tiny_adult)
+    assert len(fine) > len(coarse)
+
+
+def test_l_diversity_partition(tiny_adult):
+    model = CompositeModel([KAnonymity(3), DistinctLDiversity(3)])
+    groups = MondrianAnonymizer(model).partition(tiny_adult)
+    _partition_is_valid(tiny_adult, groups)
+    codes = tiny_adult.sensitive_codes()
+    for group in groups:
+        assert len(set(codes[group].tolist())) >= 3
+
+
+def test_t_closeness_partition(tiny_adult):
+    model = CompositeModel([KAnonymity(3), TCloseness(0.3)])
+    groups = MondrianAnonymizer(model).partition(tiny_adult)
+    _partition_is_valid(tiny_adult, groups)
+    model.prepare(tiny_adult)
+    for group in groups:
+        assert model.is_satisfied(group)
+
+
+def test_bt_privacy_partition_respects_requirement(tiny_adult):
+    model = BTPrivacy(0.3, 0.25)
+    mondrian = MondrianAnonymizer(CompositeModel([KAnonymity(3), model]))
+    groups = mondrian.partition(tiny_adult)
+    _partition_is_valid(tiny_adult, groups)
+    for group in groups:
+        assert model.group_risk(group) <= 0.25 + 1e-9
+
+
+def test_impossible_requirement_raises(tiny_adult):
+    # More distinct values than the sensitive domain holds -> even the root fails.
+    model = DistinctLDiversity(100)
+    with pytest.raises(AnonymizationError):
+        MondrianAnonymizer(model).partition(tiny_adult)
+
+
+def test_round_robin_strategy_also_valid(tiny_adult):
+    widest = MondrianAnonymizer(KAnonymity(10)).partition(tiny_adult)
+    round_robin = MondrianAnonymizer(KAnonymity(10), split_strategy="round_robin").partition(
+        tiny_adult
+    )
+    _partition_is_valid(tiny_adult, round_robin)
+    assert all(len(group) >= 10 for group in round_robin)
+    # Both produce a real partitioning (not necessarily the same one).
+    assert len(widest) > 1 and len(round_robin) > 1
+
+
+def test_prepare_flag_skips_model_preparation(tiny_adult):
+    model = DistinctLDiversity(2)
+    model.prepare(tiny_adult)
+    groups = MondrianAnonymizer(model).partition(tiny_adult, prepare=False)
+    _partition_is_valid(tiny_adult, groups)
+
+
+def test_median_split_handles_skewed_column():
+    """A column where the median equals the maximum still splits correctly."""
+    schema = Schema([numeric_qi("Age"), sensitive("Disease")])
+    table = MicrodataTable.from_columns(
+        schema,
+        {
+            "Age": [1, 5, 5, 5, 5, 5, 5, 5],
+            "Disease": ["a", "b", "a", "b", "a", "b", "a", "b"],
+        },
+    )
+    groups = MondrianAnonymizer(KAnonymity(1)).partition(table)
+    _partition_is_valid(table, groups)
+    assert len(groups) >= 2
+
+
+def test_constant_qi_cannot_split():
+    """If every QI value is identical the whole table stays one group."""
+    schema = Schema([numeric_qi("Age"), categorical_qi("Sex"), sensitive("Disease")])
+    table = MicrodataTable.from_columns(
+        schema,
+        {
+            "Age": [30] * 6,
+            "Sex": ["M"] * 6,
+            "Disease": ["a", "b", "c", "a", "b", "c"],
+        },
+    )
+    groups = MondrianAnonymizer(KAnonymity(1)).partition(table)
+    assert len(groups) == 1
+    assert len(groups[0]) == 6
+
+
+def test_partition_wraps_into_release(tiny_adult):
+    groups = MondrianAnonymizer(KAnonymity(4)).partition(tiny_adult)
+    release = AnonymizedRelease(tiny_adult, groups, method="mondrian-k4")
+    assert release.n_groups == len(groups)
+
+
+def test_rejected_splits_are_counted(tiny_adult):
+    mondrian = MondrianAnonymizer(CompositeModel([KAnonymity(3), DistinctLDiversity(4)]))
+    mondrian.partition(tiny_adult)
+    stats = mondrian.statistics
+    assert stats.n_split_attempts >= stats.n_groups - 1
+    assert stats.n_rejected_splits >= 0

@@ -1,0 +1,137 @@
+"""Tests for the synthetic Adult-like dataset generator (Table IV schema)."""
+
+import numpy as np
+import pytest
+
+from repro.data.adult import (
+    AGE_MAX,
+    AGE_MIN,
+    EDUCATION_VALUES,
+    GENDER_VALUES,
+    MARITAL_VALUES,
+    OCCUPATION_VALUES,
+    RACE_VALUES,
+    WORKCLASS_VALUES,
+    adult_schema,
+    generate_adult,
+    occupation_taxonomy,
+)
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(4_000, seed=3)
+
+
+def test_schema_matches_table_iv():
+    schema = adult_schema()
+    assert schema.names == (
+        "Age",
+        "Workclass",
+        "Education",
+        "Marital-status",
+        "Race",
+        "Gender",
+        "Occupation",
+    )
+    assert schema.sensitive_attribute.name == "Occupation"
+    assert len(schema.quasi_identifiers) == 6
+    assert schema["Age"].is_numeric
+    for name in ("Workclass", "Education", "Marital-status", "Race", "Gender", "Occupation"):
+        assert schema[name].is_categorical
+
+
+def test_domain_sizes_match_table_iv():
+    assert len(WORKCLASS_VALUES) == 8
+    assert len(EDUCATION_VALUES) == 16
+    assert len(MARITAL_VALUES) == 7
+    assert len(RACE_VALUES) == 5
+    assert len(GENDER_VALUES) == 2
+    assert len(OCCUPATION_VALUES) == 14
+    assert AGE_MAX - AGE_MIN + 1 == 74
+
+
+def test_occupation_hierarchy_height_two():
+    taxonomy = occupation_taxonomy()
+    assert taxonomy.height == 2
+    assert set(taxonomy.leaves) == set(OCCUPATION_VALUES)
+
+
+def test_generated_size_and_determinism():
+    first = generate_adult(500, seed=9)
+    second = generate_adult(500, seed=9)
+    assert first.n_rows == 500
+    for name in first.schema.names:
+        assert list(first.column(name)) == list(second.column(name))
+
+
+def test_different_seeds_differ():
+    first = generate_adult(500, seed=1)
+    second = generate_adult(500, seed=2)
+    assert list(first.column("Age")) != list(second.column("Age"))
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(DataError):
+        generate_adult(0)
+
+
+def test_values_stay_in_domains(adult):
+    ages = adult.column("Age")
+    assert ages.min() >= AGE_MIN and ages.max() <= AGE_MAX
+    assert set(adult.column("Workclass")) <= set(WORKCLASS_VALUES)
+    assert set(adult.column("Education")) <= set(EDUCATION_VALUES)
+    assert set(adult.column("Occupation")) <= set(OCCUPATION_VALUES)
+
+
+def test_all_occupations_appear(adult):
+    assert set(adult.column("Occupation")) == set(OCCUPATION_VALUES)
+
+
+def test_gender_occupation_correlation(adult):
+    """The correlational knowledge of the paper's motivation must exist in the data."""
+    gender = adult.column("Gender")
+    occupation = adult.column("Occupation")
+    female = gender == "Female"
+    male = ~female
+
+    def rate(mask, value):
+        return float((occupation[mask] == value).mean())
+
+    # Armed-Forces is essentially male-only; Priv-house-serv overwhelmingly female.
+    assert rate(male, "Armed-Forces") > 3 * max(rate(female, "Armed-Forces"), 1e-4)
+    assert rate(female, "Priv-house-serv") > 3 * max(rate(male, "Priv-house-serv"), 1e-4)
+    # Craft-repair skews male, Adm-clerical skews female.
+    assert rate(male, "Craft-repair") > rate(female, "Craft-repair")
+    assert rate(female, "Adm-clerical") > rate(male, "Adm-clerical")
+
+
+def test_education_occupation_correlation(adult):
+    education = adult.column("Education")
+    occupation = adult.column("Occupation")
+    higher = np.isin(education, ["Bachelors", "Masters", "Prof-school", "Doctorate"])
+    lower = np.isin(
+        education, ["Preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th", "11th", "12th"]
+    )
+    prof_rate_higher = float((occupation[higher] == "Prof-specialty").mean())
+    prof_rate_lower = float((occupation[lower] == "Prof-specialty").mean())
+    assert prof_rate_higher > 2 * prof_rate_lower
+
+
+def test_age_occupation_correlation(adult):
+    ages = adult.column("Age")
+    occupation = adult.column("Occupation")
+    young = ages < 30
+    older = ages >= 50
+    exec_young = float((occupation[young] == "Exec-managerial").mean())
+    exec_older = float((occupation[older] == "Exec-managerial").mean())
+    assert exec_older > exec_young
+
+
+def test_marginals_are_plausible(adult):
+    gender_counts = adult.value_counts("Gender")
+    male_share = gender_counts["Male"] / adult.n_rows
+    assert 0.6 < male_share < 0.75
+    race_counts = adult.value_counts("Race")
+    assert race_counts["White"] / adult.n_rows > 0.7

@@ -1,0 +1,102 @@
+"""Tests for repro.data.distance (Section II-C distance matrices)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distance import (
+    attribute_distance_matrix,
+    discrete_distance_matrix,
+    hierarchy_distance_matrix,
+    numeric_distance_matrix,
+    validate_distance_matrix,
+)
+from repro.data.hierarchy import Taxonomy
+from repro.data.schema import categorical_qi, numeric_qi
+from repro.data.table import AttributeDomain
+from repro.exceptions import DataError
+
+
+def test_numeric_distance_matrix_normalisation():
+    matrix = numeric_distance_matrix(np.array([0.0, 5.0, 10.0]))
+    expected = np.array([[0.0, 0.5, 1.0], [0.5, 0.0, 0.5], [1.0, 0.5, 0.0]])
+    assert np.allclose(matrix, expected)
+
+
+def test_numeric_distance_matrix_single_value():
+    matrix = numeric_distance_matrix(np.array([7.0]))
+    assert matrix.shape == (1, 1)
+    assert matrix[0, 0] == 0.0
+
+
+def test_numeric_distance_matrix_constant_column():
+    matrix = numeric_distance_matrix(np.array([3.0, 3.0, 3.0]))
+    assert np.allclose(matrix, 0.0)
+
+
+def test_numeric_distance_matrix_bad_input():
+    with pytest.raises(DataError):
+        numeric_distance_matrix(np.array([]))
+    with pytest.raises(DataError):
+        numeric_distance_matrix(np.zeros((2, 2)))
+
+
+def test_discrete_distance_matrix():
+    matrix = discrete_distance_matrix(3)
+    assert np.allclose(np.diag(matrix), 0.0)
+    assert np.allclose(matrix + np.eye(3), 1.0)
+    with pytest.raises(DataError):
+        discrete_distance_matrix(0)
+
+
+def test_hierarchy_distance_matrix_values():
+    taxonomy = Taxonomy.from_spec("ANY", {"G1": ["a", "b"], "G2": ["c"]})
+    domain = AttributeDomain(categorical_qi("X", taxonomy), ["a", "b", "c"])
+    matrix = hierarchy_distance_matrix(domain)
+    index = {value: i for i, value in enumerate(domain.values.tolist())}
+    assert matrix[index["a"], index["b"]] == pytest.approx(0.5)
+    assert matrix[index["a"], index["c"]] == pytest.approx(1.0)
+    validate_distance_matrix(matrix)
+
+
+def test_hierarchy_distance_matrix_requires_taxonomy():
+    domain = AttributeDomain(categorical_qi("X"), ["a", "b"])
+    with pytest.raises(DataError):
+        hierarchy_distance_matrix(domain)
+
+
+def test_attribute_distance_matrix_dispatch():
+    numeric_domain = AttributeDomain(numeric_qi("Age"), [1, 2, 3])
+    assert np.allclose(
+        attribute_distance_matrix(numeric_domain), numeric_distance_matrix(np.array([1.0, 2.0, 3.0]))
+    )
+    plain_domain = AttributeDomain(categorical_qi("X"), ["a", "b"])
+    assert np.allclose(attribute_distance_matrix(plain_domain), discrete_distance_matrix(2))
+    taxonomy = Taxonomy.flat("ANY", ["a", "b"])
+    tax_domain = AttributeDomain(categorical_qi("X", taxonomy), ["a", "b"])
+    assert np.allclose(attribute_distance_matrix(tax_domain), discrete_distance_matrix(2))
+
+
+def test_validate_distance_matrix_rejects_bad_matrices():
+    with pytest.raises(DataError):
+        validate_distance_matrix(np.ones((2, 3)))
+    with pytest.raises(DataError):
+        validate_distance_matrix(np.array([[0.0, 1.0], [0.5, 0.0]]))
+    with pytest.raises(DataError):
+        validate_distance_matrix(np.array([[0.5, 1.0], [1.0, 0.0]]))
+    with pytest.raises(DataError):
+        validate_distance_matrix(np.array([[0.0, 2.0], [2.0, 0.0]]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=20, unique=True
+    )
+)
+def test_numeric_distance_matrix_properties(values):
+    """Property: numeric distance matrices are always valid normalised distances."""
+    matrix = numeric_distance_matrix(np.asarray(sorted(values)))
+    validate_distance_matrix(matrix)
+    assert matrix.max() == pytest.approx(1.0)

@@ -1,0 +1,70 @@
+"""Tests for the paper's worked-example tables (Table I, II, III)."""
+
+import numpy as np
+import pytest
+
+from repro.data.examples import (
+    patient_schema,
+    table_i_groups,
+    table_i_patients,
+    table_ii_prior,
+    table_ii_sensitive_counts,
+    table_iii_prior,
+)
+
+
+def test_table_i_has_nine_patients():
+    table = table_i_patients()
+    assert table.n_rows == 9
+    assert table.sensitive_name == "Disease"
+    assert table.quasi_identifier_names == ("Age", "Sex")
+
+
+def test_table_i_first_row_is_bob():
+    table = table_i_patients()
+    row = table.row(0)
+    assert row["Age"] == 69
+    assert row["Sex"] == "M"
+    assert row["Disease"] == "Emphysema"
+
+
+def test_table_i_groups_partition_the_table():
+    groups = table_i_groups()
+    table = table_i_patients()
+    covered = np.concatenate(groups)
+    assert sorted(covered.tolist()) == list(range(table.n_rows))
+    assert all(len(group) == 3 for group in groups)
+
+
+def test_table_i_groups_are_3_diverse():
+    table = table_i_patients()
+    diseases = table.sensitive_values()
+    for group in table_i_groups():
+        assert len(set(diseases[group])) == 3
+
+
+def test_patient_schema_disease_hierarchy():
+    schema = patient_schema()
+    taxonomy = schema["Disease"].taxonomy
+    assert taxonomy is not None
+    assert set(taxonomy.leaves) == {"Emphysema", "Flu", "Gastritis", "Cancer"}
+
+
+def test_table_ii_prior_rows_sum_to_one():
+    prior = table_ii_prior()
+    assert prior.shape == (3, 2)
+    assert np.allclose(prior.sum(axis=1), 1.0)
+    assert prior[2, 0] == pytest.approx(0.3)
+
+
+def test_table_ii_counts():
+    counts = table_ii_sensitive_counts()
+    assert counts.tolist() == [1, 2]
+    assert counts.sum() == 3
+
+
+def test_table_iii_prior_excludes_hiv_for_first_two():
+    prior = table_iii_prior()
+    assert prior[0, 0] == 0.0
+    assert prior[1, 0] == 0.0
+    assert np.allclose(prior.sum(axis=1), 1.0)

@@ -1,0 +1,119 @@
+"""Tests for repro.data.hierarchy (taxonomy trees)."""
+
+import pytest
+
+from repro.data.hierarchy import Taxonomy
+from repro.exceptions import HierarchyError
+
+
+@pytest.fixture()
+def occupation_like():
+    return Taxonomy.from_spec(
+        "ANY",
+        {
+            "White-collar": ["Clerical", "Managerial", "Sales"],
+            "Blue-collar": ["Craft", "Farming"],
+            "Military": ["Armed-Forces"],
+        },
+    )
+
+
+def test_flat_taxonomy_height_one():
+    taxonomy = Taxonomy.flat("ANY", ["a", "b", "c"])
+    assert taxonomy.height == 1
+    assert set(taxonomy.leaves) == {"a", "b", "c"}
+    assert taxonomy.root == "ANY"
+
+
+def test_two_level_taxonomy_height(occupation_like):
+    assert occupation_like.height == 2
+    assert len(occupation_like.leaves) == 6
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(HierarchyError):
+        Taxonomy.from_spec("ANY", {"A": ["x"], "B": ["x"]})
+
+
+def test_empty_taxonomy_rejected():
+    with pytest.raises(HierarchyError):
+        Taxonomy.from_spec("ANY", {})
+
+
+def test_membership_and_is_leaf(occupation_like):
+    assert "Clerical" in occupation_like
+    assert "White-collar" in occupation_like
+    assert "Nonexistent" not in occupation_like
+    assert occupation_like.is_leaf("Clerical")
+    assert not occupation_like.is_leaf("White-collar")
+
+
+def test_parent_and_children(occupation_like):
+    assert occupation_like.parent("Clerical") == "White-collar"
+    assert occupation_like.parent("ANY") is None
+    assert set(occupation_like.children("Blue-collar")) == {"Craft", "Farming"}
+    assert occupation_like.children("Craft") == ()
+
+
+def test_node_height(occupation_like):
+    assert occupation_like.node_height("ANY") == 2
+    assert occupation_like.node_height("White-collar") == 1
+    assert occupation_like.node_height("Clerical") == 0
+
+
+def test_leaves_under(occupation_like):
+    assert set(occupation_like.leaves_under("White-collar")) == {
+        "Clerical",
+        "Managerial",
+        "Sales",
+    }
+    assert occupation_like.leaves_under("Craft") == ("Craft",)
+    assert len(occupation_like.leaves_under("ANY")) == 6
+
+
+def test_ancestors(occupation_like):
+    assert occupation_like.ancestors("Clerical") == ("White-collar", "ANY")
+    assert occupation_like.ancestors("ANY") == ()
+
+
+def test_lowest_common_ancestor(occupation_like):
+    assert occupation_like.lowest_common_ancestor(["Clerical", "Sales"]) == "White-collar"
+    assert occupation_like.lowest_common_ancestor(["Clerical", "Craft"]) == "ANY"
+    assert occupation_like.lowest_common_ancestor(["Clerical"]) == "Clerical"
+    # A generalized (internal) value can participate too.
+    assert occupation_like.lowest_common_ancestor(["Clerical", "White-collar"]) == "White-collar"
+
+
+def test_lca_requires_values(occupation_like):
+    with pytest.raises(HierarchyError):
+        occupation_like.lowest_common_ancestor([])
+
+
+def test_unknown_value_raises(occupation_like):
+    with pytest.raises(HierarchyError):
+        occupation_like.distance("Clerical", "Nonexistent")
+
+
+def test_distance_same_value_is_zero(occupation_like):
+    assert occupation_like.distance("Clerical", "Clerical") == 0.0
+
+
+def test_distance_siblings_and_cousins(occupation_like):
+    # Siblings share a parent at height 1 of a height-2 hierarchy.
+    assert occupation_like.distance("Clerical", "Sales") == pytest.approx(0.5)
+    # Values under different top-level groups only meet at the root.
+    assert occupation_like.distance("Clerical", "Craft") == pytest.approx(1.0)
+
+
+def test_distance_is_symmetric(occupation_like):
+    leaves = occupation_like.leaves
+    for first in leaves:
+        for second in leaves:
+            assert occupation_like.distance(first, second) == pytest.approx(
+                occupation_like.distance(second, first)
+            )
+
+
+def test_generalize_returns_lca(occupation_like):
+    assert occupation_like.generalize(["Clerical", "Managerial"]) == "White-collar"
+    assert occupation_like.generalize(["Clerical", "Armed-Forces"]) == "ANY"

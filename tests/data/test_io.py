@@ -1,0 +1,96 @@
+"""Tests for CSV import/export of microdata tables."""
+
+import pytest
+
+from repro.data.adult import generate_adult
+from repro.data.io import read_csv, write_csv
+from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
+from repro.data.table import MicrodataTable
+from repro.exceptions import DataError
+
+
+@pytest.fixture()
+def schema():
+    return Schema([numeric_qi("Age"), categorical_qi("Sex"), sensitive("Disease")])
+
+
+@pytest.fixture()
+def table(schema):
+    return MicrodataTable.from_columns(
+        schema,
+        {
+            "Age": [30, 41.5, 30],
+            "Sex": ["M", "F", "F"],
+            "Disease": ["Flu", "Cancer", "Flu"],
+        },
+    )
+
+
+def test_round_trip(tmp_path, schema, table):
+    path = tmp_path / "patients.csv"
+    write_csv(table, path)
+    rebuilt = read_csv(path, schema)
+    assert rebuilt.n_rows == table.n_rows
+    for name in schema.names:
+        assert list(rebuilt.column(name)) == list(table.column(name))
+
+
+def test_integral_floats_written_without_decimal(tmp_path, schema, table):
+    path = tmp_path / "patients.csv"
+    write_csv(table, path)
+    text = path.read_text()
+    assert "30,M,Flu" in text
+    assert "41.5,F,Cancer" in text
+
+
+def test_round_trip_adult_sample(tmp_path):
+    table = generate_adult(50, seed=5)
+    path = tmp_path / "adult.csv"
+    write_csv(table, path)
+    rebuilt = read_csv(path, table.schema)
+    assert rebuilt.n_rows == 50
+    assert list(rebuilt.column("Occupation")) == list(table.column("Occupation"))
+
+
+def test_missing_column_rejected(tmp_path, schema):
+    path = tmp_path / "bad.csv"
+    path.write_text("Age,Sex\n30,M\n")
+    with pytest.raises(DataError):
+        read_csv(path, schema)
+
+
+def test_empty_file_rejected(tmp_path, schema):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(DataError):
+        read_csv(path, schema)
+
+
+def test_bad_numeric_value_rejected(tmp_path, schema):
+    path = tmp_path / "bad.csv"
+    path.write_text("Age,Sex,Disease\nthirty,M,Flu\n")
+    with pytest.raises(DataError) as excinfo:
+        read_csv(path, schema)
+    assert "thirty" in str(excinfo.value)
+
+
+def test_short_row_rejected(tmp_path, schema):
+    path = tmp_path / "bad.csv"
+    path.write_text("Age,Sex,Disease\n30,M\n")
+    with pytest.raises(DataError):
+        read_csv(path, schema)
+
+
+def test_blank_lines_are_skipped(tmp_path, schema):
+    path = tmp_path / "blank.csv"
+    path.write_text("Age,Sex,Disease\n30,M,Flu\n\n40,F,Cancer\n")
+    table = read_csv(path, schema)
+    assert table.n_rows == 2
+
+
+def test_extra_columns_are_ignored(tmp_path, schema):
+    path = tmp_path / "extra.csv"
+    path.write_text("Age,Sex,Disease,Zip\n30,M,Flu,47906\n")
+    table = read_csv(path, schema)
+    assert table.n_rows == 1
+    assert table.row(0)["Disease"] == "Flu"

@@ -1,0 +1,112 @@
+"""Tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.hierarchy import Taxonomy
+from repro.data.schema import (
+    Attribute,
+    AttributeKind,
+    AttributeRole,
+    Schema,
+    categorical_qi,
+    numeric_qi,
+    sensitive,
+)
+from repro.exceptions import SchemaError
+
+
+def test_numeric_qi_constructor():
+    attribute = numeric_qi("Age")
+    assert attribute.is_numeric
+    assert attribute.is_quasi_identifier
+    assert not attribute.is_sensitive
+
+
+def test_categorical_qi_constructor_with_taxonomy():
+    taxonomy = Taxonomy.flat("ANY", ["a", "b"])
+    attribute = categorical_qi("Letter", taxonomy)
+    assert attribute.is_categorical
+    assert attribute.taxonomy is taxonomy
+
+
+def test_sensitive_constructor():
+    attribute = sensitive("Disease")
+    assert attribute.is_sensitive
+    assert attribute.is_categorical
+
+
+def test_sensitive_numeric_constructor():
+    attribute = sensitive("Salary", numeric=True)
+    assert attribute.is_sensitive
+    assert attribute.is_numeric
+
+
+def test_attribute_empty_name_rejected():
+    with pytest.raises(SchemaError):
+        Attribute("", AttributeKind.NUMERIC)
+
+
+def test_numeric_attribute_cannot_carry_taxonomy():
+    taxonomy = Taxonomy.flat("ANY", ["x"])
+    with pytest.raises(SchemaError):
+        Attribute("Age", AttributeKind.NUMERIC, AttributeRole.QUASI_IDENTIFIER, taxonomy)
+
+
+def test_schema_requires_attributes():
+    with pytest.raises(SchemaError):
+        Schema([])
+
+
+def test_schema_rejects_duplicate_names():
+    with pytest.raises(SchemaError) as excinfo:
+        Schema([numeric_qi("Age"), numeric_qi("Age")])
+    assert "Age" in str(excinfo.value)
+
+
+def test_schema_rejects_two_sensitive_attributes():
+    with pytest.raises(SchemaError):
+        Schema([sensitive("Disease"), sensitive("Salary")])
+
+
+def test_schema_lookup_and_iteration():
+    schema = Schema([numeric_qi("Age"), categorical_qi("Sex"), sensitive("Disease")])
+    assert len(schema) == 3
+    assert schema.names == ("Age", "Sex", "Disease")
+    assert schema["Age"].is_numeric
+    assert "Sex" in schema
+    assert "Zipcode" not in schema
+    assert [a.name for a in schema] == ["Age", "Sex", "Disease"]
+
+
+def test_schema_unknown_attribute_raises():
+    schema = Schema([numeric_qi("Age"), sensitive("Disease")])
+    with pytest.raises(SchemaError):
+        schema["Zipcode"]
+
+
+def test_schema_quasi_identifiers_exclude_sensitive():
+    schema = Schema([numeric_qi("Age"), categorical_qi("Sex"), sensitive("Disease")])
+    assert schema.quasi_identifier_names == ("Age", "Sex")
+    assert schema.sensitive_attribute.name == "Disease"
+    assert schema.has_sensitive_attribute
+
+
+def test_schema_without_sensitive_attribute():
+    schema = Schema([numeric_qi("Age")])
+    assert not schema.has_sensitive_attribute
+    with pytest.raises(SchemaError):
+        schema.sensitive_attribute
+
+
+def test_schema_subset_preserves_order():
+    schema = Schema([numeric_qi("Age"), categorical_qi("Sex"), sensitive("Disease")])
+    subset = schema.subset(["Sex", "Age"])
+    assert subset.names == ("Sex", "Age")
+
+
+def test_schema_equality():
+    first = Schema([numeric_qi("Age"), sensitive("Disease")])
+    second = Schema([numeric_qi("Age"), sensitive("Disease")])
+    third = Schema([numeric_qi("Age"), sensitive("Illness")])
+    assert first == second
+    assert first != third

@@ -1,0 +1,183 @@
+"""Tests for repro.data.table (MicrodataTable and AttributeDomain)."""
+
+import numpy as np
+import pytest
+
+from repro.data.hierarchy import Taxonomy
+from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
+from repro.data.table import AttributeDomain, MicrodataTable
+from repro.exceptions import DataError, SchemaError
+
+
+@pytest.fixture()
+def schema():
+    return Schema([numeric_qi("Age"), categorical_qi("Sex"), sensitive("Disease")])
+
+
+@pytest.fixture()
+def table(schema):
+    return MicrodataTable.from_columns(
+        schema,
+        {
+            "Age": [30, 40, 30, 50],
+            "Sex": ["M", "F", "F", "M"],
+            "Disease": ["Flu", "Cancer", "Flu", "Flu"],
+        },
+    )
+
+
+def test_from_rows_round_trip(schema, table):
+    rebuilt = MicrodataTable.from_rows(schema, table.rows())
+    assert rebuilt.n_rows == table.n_rows
+    for name in schema.names:
+        assert list(rebuilt.column(name)) == list(table.column(name))
+
+
+def test_from_rows_missing_attribute(schema):
+    with pytest.raises(DataError):
+        MicrodataTable.from_rows(schema, [{"Age": 30, "Sex": "M"}])
+
+
+def test_from_rows_empty(schema):
+    with pytest.raises(DataError):
+        MicrodataTable.from_rows(schema, [])
+
+
+def test_missing_column_rejected(schema):
+    with pytest.raises(DataError):
+        MicrodataTable.from_columns(schema, {"Age": [1], "Sex": ["M"]})
+
+
+def test_mismatched_column_lengths_rejected(schema):
+    with pytest.raises(DataError):
+        MicrodataTable.from_columns(
+            schema, {"Age": [1, 2], "Sex": ["M"], "Disease": ["Flu", "Flu"]}
+        )
+
+
+def test_empty_table_rejected(schema):
+    with pytest.raises(DataError):
+        MicrodataTable.from_columns(schema, {"Age": [], "Sex": [], "Disease": []})
+
+
+def test_basic_accessors(table):
+    assert len(table) == 4
+    assert table.n_rows == 4
+    assert table.quasi_identifier_names == ("Age", "Sex")
+    assert table.sensitive_name == "Disease"
+    assert table.row(0) == {"Age": 30.0, "Sex": "M", "Disease": "Flu"}
+
+
+def test_row_out_of_range(table):
+    with pytest.raises(DataError):
+        table.row(10)
+
+
+def test_unknown_column_raises(table):
+    with pytest.raises(SchemaError):
+        table.column("Zipcode")
+    with pytest.raises(SchemaError):
+        table.codes("Zipcode")
+    with pytest.raises(SchemaError):
+        table.domain("Zipcode")
+
+
+def test_codes_match_domain(table):
+    domain = table.domain("Sex")
+    codes = table.codes("Sex")
+    decoded = domain.decode(codes)
+    assert list(decoded) == list(table.column("Sex"))
+
+
+def test_qi_code_matrix_shape(table):
+    matrix = table.qi_code_matrix()
+    assert matrix.shape == (4, 2)
+    assert matrix.dtype == np.int32
+
+
+def test_value_counts(table):
+    counts = table.value_counts("Disease")
+    assert counts == {"Cancer": 1, "Flu": 3}
+
+
+def test_sensitive_distribution_whole_table(table):
+    distribution = table.sensitive_distribution()
+    # Domain is sorted alphabetically: Cancer, Flu.
+    assert distribution == pytest.approx([0.25, 0.75])
+
+
+def test_sensitive_distribution_subset(table):
+    distribution = table.sensitive_distribution([1, 2])
+    assert distribution == pytest.approx([0.5, 0.5])
+
+
+def test_sensitive_distribution_empty_group(table):
+    with pytest.raises(DataError):
+        table.sensitive_distribution([])
+
+
+def test_select_preserves_domains(table):
+    subset = table.select([0, 3])
+    assert subset.n_rows == 2
+    # Domain (and therefore code space) is inherited from the parent table.
+    assert subset.domain("Disease").size == table.domain("Disease").size
+    assert list(subset.column("Age")) == [30.0, 50.0]
+
+
+def test_select_empty_rejected(table):
+    with pytest.raises(DataError):
+        table.select([])
+
+
+def test_sample_size_and_determinism(table):
+    first = table.sample(2, rng=np.random.default_rng(0))
+    second = table.sample(2, rng=np.random.default_rng(0))
+    assert first.n_rows == 2
+    assert list(first.column("Age")) == list(second.column("Age"))
+
+
+def test_sample_too_large(table):
+    with pytest.raises(DataError):
+        table.sample(100)
+    with pytest.raises(DataError):
+        table.sample(0)
+
+
+def test_domain_code_of_unknown_value(table):
+    with pytest.raises(DataError):
+        table.domain("Sex").code_of("X")
+    with pytest.raises(DataError):
+        table.domain("Age").code_of(99)
+
+
+def test_domain_decode_out_of_range(table):
+    with pytest.raises(DataError):
+        table.domain("Sex").decode([5])
+
+
+def test_numeric_range(table):
+    assert table.domain("Age").numeric_range == pytest.approx(20.0)
+    with pytest.raises(DataError):
+        table.domain("Sex").numeric_range
+
+
+def test_taxonomy_domain_uses_leaf_order():
+    taxonomy = Taxonomy.from_spec("ANY", {"G1": ["b", "a"], "G2": ["c"]})
+    schema = Schema([categorical_qi("X", taxonomy), sensitive("S")])
+    table = MicrodataTable.from_columns(schema, {"X": ["a", "c"], "S": ["s1", "s2"]})
+    # Codes follow the taxonomy's leaf order, not alphabetical order.
+    assert list(table.domain("X").values) == list(taxonomy.leaves)
+
+
+def test_taxonomy_domain_rejects_unknown_leaf():
+    taxonomy = Taxonomy.flat("ANY", ["a", "b"])
+    schema = Schema([categorical_qi("X", taxonomy), sensitive("S")])
+    with pytest.raises(DataError):
+        MicrodataTable.from_columns(schema, {"X": ["z"], "S": ["s1"]})
+
+
+def test_attribute_domain_direct_construction():
+    domain = AttributeDomain(numeric_qi("Age"), [5, 1, 3, 1])
+    assert domain.size == 3
+    assert list(domain.values) == [1.0, 3.0, 5.0]
+    assert domain.code_of(3) == 1

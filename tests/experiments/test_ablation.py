@@ -1,0 +1,70 @@
+"""Tests for the ablation experiment runners."""
+
+import pytest
+
+from repro.data.adult import generate_adult
+from repro.exceptions import ExperimentError
+from repro.experiments.ablation import (
+    ablation_distance_measure,
+    ablation_inference_method,
+    ablation_kernel_choice,
+    ablation_mondrian_split,
+)
+from repro.experiments.config import PrivacyParameters
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_adult(500, seed=23)
+
+
+@pytest.fixture(scope="module")
+def parameters():
+    return PrivacyParameters("para-ablation", k=3, l=3, t=0.25, b=0.3)
+
+
+def test_kernel_choice_ablation(table, parameters):
+    result = ablation_kernel_choice(
+        table, parameters, kernels=("epanechnikov", "uniform"), adversary_b=0.3
+    )
+    risk = result.series_by_label("worst-case risk")
+    groups = result.series_by_label("number of groups")
+    assert risk.x == ["epanechnikov", "uniform"]
+    assert all(0.0 <= value <= 1.0 for value in risk.y)
+    assert all(value >= 1.0 for value in groups.y)
+    # The paper's claim: the kernel choice has only a modest effect.
+    assert abs(risk.y[0] - risk.y[1]) < 0.3
+
+
+def test_kernel_choice_unknown_kernel(table, parameters):
+    with pytest.raises(ExperimentError):
+        ablation_kernel_choice(table, parameters, kernels=("nonexistent",))
+
+
+def test_distance_measure_ablation(table, parameters):
+    result = ablation_distance_measure(table, parameters)
+    worst = result.series_by_label("worst-case risk")
+    mean = result.series_by_label("mean risk")
+    assert len(worst.y) == 3
+    for worst_value, mean_value in zip(worst.y, mean.y):
+        assert worst_value >= mean_value >= 0.0
+
+
+def test_inference_method_ablation(table):
+    result = ablation_inference_method(table, group_sizes=(3, 6), b=0.3, repeats=5)
+    exact = result.series_by_label("exact inference")
+    omega = result.series_by_label("omega-estimate")
+    assert len(exact.y) == len(omega.y) == 2
+    # The Omega-estimate is the cheap one; exact inference cost grows with k.
+    assert omega.y[-1] < exact.y[-1]
+    with pytest.raises(ExperimentError):
+        ablation_inference_method(table, repeats=0)
+
+
+def test_mondrian_split_ablation(table, parameters):
+    result = ablation_mondrian_split(table, parameters)
+    dm = result.series_by_label("discernibility metric")
+    gcp = result.series_by_label("global certainty penalty")
+    assert dm.x == ["widest", "round_robin"]
+    assert all(value > 0.0 for value in dm.y)
+    assert all(value > 0.0 for value in gcp.y)

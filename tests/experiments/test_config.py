@@ -1,0 +1,59 @@
+"""Tests for the Table V parameter sets and model building."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import (
+    MODEL_NAMES,
+    PARA1,
+    PARA4,
+    TABLE_V,
+    build_models,
+    parameters_by_name,
+)
+from repro.knowledge.prior import kernel_prior
+from repro.privacy.models import BTPrivacy, CompositeModel
+
+
+def test_table_v_values_match_paper():
+    assert len(TABLE_V) == 4
+    assert (PARA1.k, PARA1.l, PARA1.t, PARA1.b) == (3, 3, 0.25, 0.3)
+    assert (PARA4.k, PARA4.l, PARA4.t, PARA4.b) == (6, 6, 0.10, 0.3)
+    # k = l and b = 0.3 for every row, as in the paper's setup.
+    for parameters in TABLE_V:
+        assert parameters.k == parameters.l
+        assert parameters.b == 0.3
+
+
+def test_parameters_by_name():
+    assert parameters_by_name("para2").t == 0.2
+    with pytest.raises(ExperimentError):
+        parameters_by_name("para9")
+
+
+def test_describe():
+    text = PARA1.describe()
+    assert "para1" in text and "k=3" in text and "t=0.25" in text
+
+
+def test_build_models_names_and_composition():
+    models = build_models(PARA1)
+    assert set(models) == set(MODEL_NAMES)
+    for model in models.values():
+        assert isinstance(model, CompositeModel)
+    plain = build_models(PARA1, with_k_anonymity=False)
+    assert not isinstance(plain["(B,t)-privacy"], CompositeModel)
+    assert isinstance(plain["(B,t)-privacy"], BTPrivacy)
+
+
+def test_build_models_with_shared_priors(tiny_adult):
+    priors = kernel_prior(tiny_adult, PARA1.b)
+    models = build_models(PARA1, with_k_anonymity=False, shared_priors=priors, table=tiny_adult)
+    bt = models["(B,t)-privacy"]
+    assert bt.priors is priors
+
+
+def test_build_models_shared_priors_requires_table(tiny_adult):
+    priors = kernel_prior(tiny_adult, PARA1.b)
+    with pytest.raises(ExperimentError):
+        build_models(PARA1, shared_priors=priors)

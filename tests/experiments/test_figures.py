@@ -1,0 +1,182 @@
+"""Tests for the per-figure experiment runners (small, fast configurations).
+
+Each test checks structure (series labels, x values) and the *qualitative*
+shape the paper reports, on tables small enough to keep the suite fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.adult import generate_adult
+from repro.exceptions import ExperimentError
+from repro.experiments.config import MODEL_NAMES, PARA1, PrivacyParameters
+from repro.experiments.figures import (
+    figure_1a,
+    figure_1b,
+    figure_2,
+    figure_3a,
+    figure_3b,
+    figure_4a,
+    figure_4b,
+    figure_5a,
+    figure_5b,
+    figure_6a,
+    figure_6b,
+    four_model_releases,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_adult(700, seed=17)
+
+
+@pytest.fixture(scope="module")
+def loose_parameters():
+    # A slightly looser variant of para1 suited to a 700-row table.
+    return PrivacyParameters("para-test", k=3, l=3, t=0.25, b=0.3)
+
+
+@pytest.fixture(scope="module")
+def releases(table, loose_parameters):
+    return four_model_releases(table, loose_parameters)
+
+
+def test_four_model_releases_structure(table, releases):
+    assert set(releases) == set(MODEL_NAMES)
+    for result in releases.values():
+        covered = np.concatenate(result.release.groups)
+        assert sorted(covered.tolist()) == list(range(table.n_rows))
+        assert result.release.group_sizes().min() >= 3
+
+
+def test_figure_1a_shape(table, loose_parameters):
+    result = figure_1a(table, loose_parameters, b_prime_values=(0.3, 0.5))
+    assert {series.label for series in result.series} == set(MODEL_NAMES)
+    bt_series = result.series_by_label("(B,t)-privacy")
+    ld_series = result.series_by_label("distinct-l-diversity")
+    # The matched adversary (b' = publisher's b = 0.3) breaches no tuple of the
+    # (B,t)-private table, and at every b' the (B,t) table has fewer vulnerable
+    # tuples than distinct l-diversity.
+    assert bt_series.y[0] == 0.0
+    for bt_count, ld_count in zip(bt_series.y, ld_series.y):
+        assert bt_count <= ld_count
+
+
+def test_figure_1b_shape(table):
+    parameter_sets = (
+        PrivacyParameters("pa", k=3, l=3, t=0.25, b=0.3),
+        PrivacyParameters("pb", k=4, l=4, t=0.2, b=0.3),
+    )
+    result = figure_1b(table, parameter_sets=parameter_sets, b_prime=0.3)
+    assert [series.label for series in result.series] == list(MODEL_NAMES)
+    bt = result.series_by_label("(B,t)-privacy")
+    assert bt.x == ["pa", "pb"]
+    assert all(value == 0.0 for value in bt.y)
+    for name in MODEL_NAMES:
+        assert all(value >= 0.0 for value in result.series_by_label(name).y)
+
+
+def test_figure_2_accuracy(table):
+    result = figure_2(table, group_sizes=(3, 5), b_values=(0.3,), repeats=15, seed=5)
+    series = result.series_by_label("b=0.3")
+    assert series.x == [3, 5]
+    # The paper reports the Omega-estimate stays within 0.1 of exact inference.
+    assert all(error < 0.1 for error in series.y)
+    with pytest.raises(ExperimentError):
+        figure_2(table, repeats=0)
+
+
+def test_figure_3a_continuity(table):
+    result = figure_3a(
+        table,
+        table_b_values=(0.25, 0.3, 0.35),
+        adversary_b_values=(0.3,),
+        t=0.25,
+        k=3,
+    )
+    series = result.series_by_label("b'=0.3")
+    assert len(series.y) == 3
+    # Risks are valid distances and the matched point (b = b' = 0.3) respects t.
+    assert all(0.0 <= value <= 1.0 for value in series.y)
+    assert series.y[series.x.index(0.3)] <= 0.25 + 1e-9
+    # Continuity: neighbouring b values give risks within a modest step.
+    steps = np.abs(np.diff(series.y))
+    assert steps.max() < 0.2
+
+
+def test_figure_3b_grid(table):
+    result = figure_3b(
+        table,
+        b1_values=(0.3, 0.4),
+        b2_values=(0.3, 0.4),
+        adversary_b=0.3,
+        t=0.25,
+        k=3,
+    )
+    assert {series.label for series in result.series} == {"b1=0.3", "b1=0.4"}
+    for series in result.series:
+        assert len(series.y) == 2
+        assert all(0.0 <= value <= 1.0 for value in series.y)
+
+
+def test_figure_3b_block_validation(table):
+    with pytest.raises(ExperimentError):
+        figure_3b(table, first_block_size=0)
+
+
+def test_figure_4a_timings(table, loose_parameters):
+    result = figure_4a(table, parameter_sets=(loose_parameters,))
+    assert {series.label for series in result.series} == set(MODEL_NAMES)
+    for series in result.series:
+        assert all(value > 0.0 for value in series.y)
+
+
+def test_figure_4b_timings():
+    result = figure_4b(input_sizes=(300, 600), b_values=(0.3,), seed=3)
+    labels = {series.label for series in result.series}
+    assert labels == {"input-size=300", "input-size=600"}
+    small = result.series_by_label("input-size=300").y[0]
+    large = result.series_by_label("input-size=600").y[0]
+    assert small > 0.0 and large > 0.0
+    # Kernel estimation cost grows with the input size.
+    assert large > small
+
+
+def test_figure_5_utility(table, loose_parameters, releases):
+    dm = figure_5a(table, parameter_sets=(loose_parameters,))
+    gcp = figure_5b(table, parameter_sets=(loose_parameters,))
+    for result in (dm, gcp):
+        assert {series.label for series in result.series} == set(MODEL_NAMES)
+        for series in result.series:
+            assert all(value > 0.0 for value in series.y)
+    # Comparable utility: the (B,t) table stays within an order of magnitude of
+    # the other models on both metrics (the paper's Figure 5 claim).
+    for result in (dm, gcp):
+        bt_value = result.series_by_label("(B,t)-privacy").y[0]
+        others = [
+            result.series_by_label(name).y[0] for name in MODEL_NAMES if name != "(B,t)-privacy"
+        ]
+        assert bt_value <= 10 * max(others)
+
+
+def test_figure_6_query_error(table, loose_parameters):
+    result_qd = figure_6a(
+        table, loose_parameters, qd_values=(2, 4), selectivity=0.1, n_queries=60, seed=3
+    )
+    result_sel = figure_6b(
+        table,
+        loose_parameters,
+        selectivity_values=(0.05, 0.12),
+        query_dimension=3,
+        n_queries=60,
+        seed=3,
+    )
+    for result in (result_qd, result_sel):
+        assert {series.label for series in result.series} == set(MODEL_NAMES)
+        for series in result.series:
+            assert all(value >= 0.0 for value in series.y)
+    # Larger selectivity -> lower relative error (the paper's Figure 6(b) trend),
+    # checked on the (B,t) series.
+    bt = result_sel.series_by_label("(B,t)-privacy")
+    assert bt.y[-1] <= bt.y[0] * 1.5

@@ -1,0 +1,66 @@
+"""Tests for the ExperimentResult container and its rendering."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.results import ExperimentResult, ExperimentSeries
+
+
+@pytest.fixture()
+def result():
+    result = ExperimentResult(
+        experiment_id="Figure X",
+        title="A test figure",
+        x_label="x",
+        y_label="y",
+    )
+    result.add_series("model-a", [1, 2, 3], [0.1, 0.2, 0.3])
+    result.add_series("model-b", [1, 2, 3], [1.0, 2.0, 3.0])
+    return result
+
+
+def test_series_length_mismatch_rejected():
+    with pytest.raises(ExperimentError):
+        ExperimentSeries(label="bad", x=[1, 2], y=[1.0])
+
+
+def test_series_by_label(result):
+    series = result.series_by_label("model-a")
+    assert series.y == [0.1, 0.2, 0.3]
+    with pytest.raises(ExperimentError):
+        result.series_by_label("missing")
+
+
+def test_as_rows(result):
+    rows = result.as_rows()
+    assert len(rows) == 6
+    assert rows[0] == {"series": "model-a", "x": 1, "y": 0.1}
+
+
+def test_render_wide_table(result):
+    text = result.render()
+    assert "Figure X: A test figure" in text
+    lines = text.splitlines()
+    assert "model-a" in lines[1] and "model-b" in lines[1]
+    # One row per x value plus header, separator, and title.
+    assert len(lines) == 3 + 3
+
+
+def test_render_long_format_when_x_differs():
+    result = ExperimentResult("Fig", "title", "x", "y")
+    result.add_series("a", [1, 2], [0.1, 0.2])
+    result.add_series("b", [5], [0.5])
+    text = result.render()
+    assert "series" in text
+    assert text.count("\n") >= 5
+
+
+def test_render_empty_result_raises():
+    result = ExperimentResult("Fig", "title", "x", "y")
+    with pytest.raises(ExperimentError):
+        result.render()
+
+
+def test_render_float_format(result):
+    text = result.render(float_format="{:.1f}")
+    assert "0.1" in text and "3.0" in text

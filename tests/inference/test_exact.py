@@ -1,0 +1,137 @@
+"""Tests for exact posterior inference (Section III-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InferenceError
+from repro.inference.exact import (
+    exact_posterior,
+    exact_posterior_bruteforce,
+    group_sensitive_counts,
+)
+
+
+def _random_group(rng, k, m):
+    """Random prior matrix and consistent sensitive multiset counts."""
+    prior = rng.dirichlet(np.ones(m), size=k)
+    codes = rng.integers(0, m, size=k)
+    counts = np.bincount(codes, minlength=m)
+    return prior, counts
+
+
+def test_group_sensitive_counts_basic():
+    counts = group_sensitive_counts(np.array([0, 2, 2, 1]), 4)
+    assert counts.tolist() == [1, 1, 2, 0]
+
+
+def test_group_sensitive_counts_validation():
+    with pytest.raises(InferenceError):
+        group_sensitive_counts(np.array([], dtype=int), 3)
+    with pytest.raises(InferenceError):
+        group_sensitive_counts(np.array([5]), 3)
+
+
+def test_input_validation():
+    prior = np.array([[0.5, 0.5], [0.5, 0.5]])
+    with pytest.raises(InferenceError):
+        exact_posterior(prior, np.array([1, 0]))  # multiset size 1 != 2 tuples
+    with pytest.raises(InferenceError):
+        exact_posterior(prior, np.array([1, 1, 1]))  # wrong length
+    with pytest.raises(InferenceError):
+        exact_posterior(np.array([0.5, 0.5]), np.array([1, 1]))  # 1-D prior
+    with pytest.raises(InferenceError):
+        exact_posterior(np.array([[0.5, -0.5], [0.5, 0.5]]), np.array([1, 1]))
+
+
+def test_rows_are_distributions_over_present_values():
+    rng = np.random.default_rng(0)
+    prior, counts = _random_group(rng, 6, 4)
+    posterior = exact_posterior(prior, counts)
+    assert np.allclose(posterior.sum(axis=1), 1.0)
+    absent = counts == 0
+    assert np.allclose(posterior[:, absent], 0.0)
+
+
+def test_single_tuple_group_is_fully_disclosed():
+    prior = np.array([[0.7, 0.2, 0.1]])
+    counts = np.array([0, 1, 0])
+    posterior = exact_posterior(prior, counts)
+    assert posterior[0].tolist() == [0.0, 1.0, 0.0]
+
+
+def test_uniform_prior_gives_group_frequencies():
+    """With a flat prior every assignment is equally likely, so the posterior
+    for each tuple equals the group's empirical distribution."""
+    prior = np.full((4, 3), 1.0 / 3.0)
+    counts = np.array([2, 1, 1])
+    posterior = exact_posterior(prior, counts)
+    assert np.allclose(posterior, np.array([0.5, 0.25, 0.25]))
+
+
+def test_certain_prior_is_preserved():
+    """If the prior already pins down a perfect matching, the posterior keeps it."""
+    prior = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    counts = np.array([2, 1])
+    posterior = exact_posterior(prior, counts)
+    assert np.allclose(posterior, prior)
+
+
+def test_inconsistent_prior_raises():
+    # Nobody can take value 1, but the group contains it.
+    prior = np.array([[1.0, 0.0], [1.0, 0.0]])
+    counts = np.array([1, 1])
+    with pytest.raises(InferenceError):
+        exact_posterior(prior, counts)
+
+
+def test_matches_bruteforce_on_random_groups():
+    rng = np.random.default_rng(7)
+    for _ in range(20):
+        prior, counts = _random_group(rng, rng.integers(2, 7), rng.integers(2, 5))
+        dp = exact_posterior(prior, counts)
+        brute = exact_posterior_bruteforce(prior, counts)
+        assert np.allclose(dp, brute, atol=1e-10)
+
+
+def test_bruteforce_size_limit():
+    prior = np.full((9, 2), 0.5)
+    counts = np.array([5, 4])
+    with pytest.raises(InferenceError):
+        exact_posterior_bruteforce(prior, counts)
+
+
+def test_posterior_value_mass_sums_to_counts():
+    """Column sums of the posterior equal the multiset counts (mass conservation)."""
+    rng = np.random.default_rng(11)
+    prior, counts = _random_group(rng, 8, 5)
+    posterior = exact_posterior(prior, counts)
+    assert np.allclose(posterior.sum(axis=0), counts)
+
+
+def test_larger_group_still_exact():
+    """The count-DP stays correct (mass conservation + agreement with permanent
+    structure) on a group of 12 tuples."""
+    rng = np.random.default_rng(13)
+    prior, counts = _random_group(rng, 12, 6)
+    posterior = exact_posterior(prior, counts)
+    assert np.allclose(posterior.sum(axis=1), 1.0)
+    assert np.allclose(posterior.sum(axis=0), counts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_exact_posterior_properties(k, m, seed):
+    """Property: posteriors are distributions, conserve mass, and vanish off-group."""
+    rng = np.random.default_rng(seed)
+    prior, counts = _random_group(rng, k, m)
+    posterior = exact_posterior(prior, counts)
+    assert np.allclose(posterior.sum(axis=1), 1.0)
+    assert np.allclose(posterior.sum(axis=0), counts)
+    assert posterior.min() >= 0.0
+    assert np.allclose(posterior[:, counts == 0], 0.0)

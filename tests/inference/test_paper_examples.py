@@ -1,0 +1,87 @@
+"""Regression tests against the numbers the paper works out by hand (Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.data.examples import (
+    table_i_groups,
+    table_i_patients,
+    table_ii_prior,
+    table_ii_sensitive_counts,
+    table_iii_prior,
+)
+from repro.inference.exact import exact_posterior, group_sensitive_counts
+from repro.inference.omega import omega_posterior
+from repro.knowledge.prior import kernel_prior, uniform_prior
+from repro.inference.omega import posterior_for_groups
+
+
+def test_table_ii_exact_posterior_is_point_eight():
+    """Section III-B: the adversary's belief that t3 has HIV rises from 0.3 to 0.8."""
+    posterior = exact_posterior(table_ii_prior(), table_ii_sensitive_counts())
+    assert posterior[2, 0] == pytest.approx(0.8, abs=0.01)
+    # And the two decoys' beliefs drop accordingly.
+    assert posterior[0, 0] == pytest.approx(0.1, abs=0.01)
+    assert posterior[1, 0] == pytest.approx(0.1, abs=0.01)
+
+
+def test_table_ii_case_probability():
+    """Prob(Case 1) = p1 / (p1 + p2 + p3) = 0.8 in the paper's case analysis."""
+    p1 = 0.95 * 0.95 * 0.3
+    p2 = 0.95 * 0.05 * 0.7
+    p3 = 0.05 * 0.95 * 0.7
+    assert p1 / (p1 + p2 + p3) == pytest.approx(0.8, abs=0.01)
+    # The exact-inference code reaches the same number.
+    posterior = exact_posterior(table_ii_prior(), table_ii_sensitive_counts())
+    assert posterior[2, 0] == pytest.approx(p1 / (p1 + p2 + p3), abs=1e-6)
+
+
+def test_table_iii_exact_posterior_is_certain():
+    """Section III-D: under Table III's priors, t3 must have HIV (probability 1)."""
+    posterior = exact_posterior(table_iii_prior(), table_ii_sensitive_counts())
+    assert posterior[2, 0] == pytest.approx(1.0)
+    assert posterior[0, 0] == pytest.approx(0.0)
+
+
+def test_table_iii_omega_estimate_is_two_thirds():
+    """Section III-D: the Omega-estimate gives ~0.66 instead of 1 (its known inexactness)."""
+    posterior = omega_posterior(table_iii_prior(), table_ii_sensitive_counts())
+    assert posterior[2, 0] == pytest.approx(0.66, abs=0.01)
+
+
+def test_motivating_example_emphysema_inference():
+    """Section I: a correlational adversary becomes much more confident that the
+    69-year-old male in the first group of Table I(b) has Emphysema."""
+    table = table_i_patients()
+    groups = table_i_groups()
+    # A fine-grained adversary mined from the data itself.
+    informed = kernel_prior(table, 0.2)
+    ignorant = uniform_prior(table)
+    codes = table.sensitive_codes()
+    emphysema = table.sensitive_domain().code_of("Emphysema")
+
+    informed_posterior = posterior_for_groups(informed.matrix, codes, groups, method="exact")
+    ignorant_posterior = posterior_for_groups(ignorant.matrix, codes, groups, method="exact")
+
+    # Bob is tuple 0.  Without background knowledge his Emphysema probability is 1/3;
+    # with correlational knowledge it is much larger.
+    assert ignorant_posterior[0, emphysema] == pytest.approx(1.0 / 3.0, abs=1e-9)
+    assert informed_posterior[0, emphysema] > 0.5
+
+
+def test_group_counts_for_table_i_groups():
+    table = table_i_patients()
+    codes = table.sensitive_codes()
+    m = table.sensitive_domain().size
+    for group in table_i_groups():
+        counts = group_sensitive_counts(codes[group], m)
+        assert counts.sum() == 3
+        assert (counts > 0).sum() == 3  # each group is 3-diverse
+
+
+def test_exact_and_omega_agree_on_table_ii():
+    """On the (non-degenerate) Table II priors the two inferences point the same way."""
+    exact = exact_posterior(table_ii_prior(), table_ii_sensitive_counts())
+    omega = omega_posterior(table_ii_prior(), table_ii_sensitive_counts())
+    assert np.argmax(exact[2]) == np.argmax(omega[2]) == 0
+    assert omega[2, 0] > 0.5

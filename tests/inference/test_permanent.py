@@ -1,0 +1,78 @@
+"""Tests for matrix permanents (Ryser and brute force)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InferenceError
+from repro.inference.permanent import permanent, permanent_bruteforce, permanent_ryser
+
+
+def test_permanent_identity_matrix():
+    assert permanent_ryser(np.eye(4)) == pytest.approx(1.0)
+    assert permanent_bruteforce(np.eye(4)) == pytest.approx(1.0)
+
+
+def test_permanent_all_ones():
+    # per(J_n) = n!
+    assert permanent_ryser(np.ones((4, 4))) == pytest.approx(24.0)
+    assert permanent_bruteforce(np.ones((5, 5))) == pytest.approx(120.0)
+
+
+def test_permanent_2x2_known_value():
+    matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+    # per = 1*4 + 2*3 = 10
+    assert permanent_ryser(matrix) == pytest.approx(10.0)
+    assert permanent_bruteforce(matrix) == pytest.approx(10.0)
+
+
+def test_permanent_with_zero_row():
+    matrix = np.array([[0.0, 0.0], [1.0, 1.0]])
+    assert permanent_ryser(matrix) == pytest.approx(0.0)
+
+
+def test_permanent_empty_matrix():
+    empty = np.zeros((0, 0))
+    assert permanent_ryser(empty) == 1.0
+    assert permanent_bruteforce(empty) == 1.0
+
+
+def test_permanent_dispatch_matches_both_paths():
+    rng = np.random.default_rng(3)
+    small = rng.random((5, 5))
+    large = rng.random((9, 9))
+    assert permanent(small) == pytest.approx(permanent_bruteforce(small))
+    assert permanent(large) == pytest.approx(permanent_ryser(large))
+
+
+def test_permanent_rejects_non_square():
+    with pytest.raises(InferenceError):
+        permanent_ryser(np.ones((2, 3)))
+    with pytest.raises(InferenceError):
+        permanent_bruteforce(np.ones((2, 3)))
+
+
+def test_permanent_ryser_size_limit():
+    with pytest.raises(InferenceError):
+        permanent_ryser(np.ones((26, 26)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_ryser_matches_bruteforce_property(size, seed):
+    """Property: Ryser's formula agrees with direct enumeration on random matrices."""
+    matrix = np.random.default_rng(seed).random((size, size))
+    assert permanent_ryser(matrix) == pytest.approx(permanent_bruteforce(matrix), rel=1e-9)
+
+
+def test_permanent_row_scaling_linearity():
+    """Property: scaling one row scales the permanent by the same factor."""
+    rng = np.random.default_rng(5)
+    matrix = rng.random((5, 5))
+    scaled = matrix.copy()
+    scaled[2] *= 3.0
+    assert permanent_ryser(scaled) == pytest.approx(3.0 * permanent_ryser(matrix))

@@ -1,0 +1,95 @@
+"""Property-based integration tests over randomly generated microdata tables."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize.anonymizer import anonymize
+from repro.anonymize.mondrian import MondrianAnonymizer
+from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
+from repro.data.table import MicrodataTable
+from repro.inference.exact import group_sensitive_counts
+from repro.inference.omega import omega_posterior
+from repro.knowledge.prior import kernel_prior
+from repro.privacy.measures import sensitive_distance_measure
+from repro.privacy.models import BTPrivacy, KAnonymity
+from repro.privacy.disclosure import worst_case_disclosure_risk
+
+
+def _random_table(draw):
+    n_rows = draw(st.integers(min_value=20, max_value=80))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [
+            numeric_qi("Age"),
+            categorical_qi("Sex"),
+            categorical_qi("City"),
+            sensitive("Disease"),
+        ]
+    )
+    # Correlate Disease with Age and Sex so kernel priors are informative.
+    ages = rng.integers(18, 80, size=n_rows)
+    sexes = rng.choice(["M", "F"], size=n_rows)
+    cities = rng.choice(["North", "South", "East"], size=n_rows)
+    diseases = np.where(
+        ages > 55,
+        rng.choice(["Emphysema", "Cancer", "Flu"], size=n_rows, p=[0.5, 0.3, 0.2]),
+        rng.choice(["Emphysema", "Cancer", "Flu"], size=n_rows, p=[0.1, 0.2, 0.7]),
+    )
+    return MicrodataTable.from_columns(
+        schema, {"Age": ages, "Sex": sexes, "City": cities, "Disease": diseases}
+    )
+
+
+@st.composite
+def tables(draw):
+    return _random_table(draw)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(table=tables(), k=st.integers(min_value=2, max_value=6))
+def test_mondrian_always_produces_valid_k_anonymous_partition(table, k):
+    """Property: Mondrian partitions cover every tuple once and respect k."""
+    groups = MondrianAnonymizer(KAnonymity(k)).partition(table)
+    covered = np.concatenate(groups)
+    assert sorted(covered.tolist()) == list(range(table.n_rows))
+    assert min(len(group) for group in groups) >= k
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(table=tables(), b=st.sampled_from([0.2, 0.3, 0.5]), t=st.sampled_from([0.15, 0.25, 0.4]))
+def test_bt_privacy_release_always_bounds_matched_adversary(table, b, t):
+    """Property: a (B,t)-private release keeps the matched adversary's worst-case
+    knowledge gain below t, for any table, b, and t where a release exists."""
+    release = anonymize(table, BTPrivacy(b, t), k=2).release
+    priors = kernel_prior(table, b)
+    measure = sensitive_distance_measure(table)
+    worst = worst_case_disclosure_risk(priors, table.sensitive_codes(), release.groups, measure)
+    assert worst <= t + 1e-9
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(table=tables(), b=st.sampled_from([0.1, 0.3, 0.6]))
+def test_kernel_priors_are_always_valid_distributions(table, b):
+    """Property: kernel priors are row-stochastic whatever the table and bandwidth."""
+    priors = kernel_prior(table, b)
+    assert priors.matrix.shape == (table.n_rows, table.sensitive_domain().size)
+    assert np.allclose(priors.matrix.sum(axis=1), 1.0)
+    assert priors.matrix.min() >= 0.0
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(table=tables(), b=st.sampled_from([0.2, 0.4]), group_size=st.integers(3, 8))
+def test_omega_posterior_never_leaks_absent_values(table, b, group_size):
+    """Property: posterior mass only lands on sensitive values present in the group."""
+    priors = kernel_prior(table, b)
+    rng = np.random.default_rng(0)
+    indices = rng.choice(table.n_rows, size=min(group_size, table.n_rows), replace=False)
+    counts = group_sensitive_counts(
+        table.sensitive_codes()[indices], table.sensitive_domain().size
+    )
+    posterior = omega_posterior(priors.matrix[indices], counts)
+    assert np.allclose(posterior[:, counts == 0], 0.0)
+    assert np.allclose(posterior.sum(axis=1), 1.0)

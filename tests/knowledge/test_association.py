@@ -1,0 +1,101 @@
+"""Tests for association-rule background knowledge (the Injector baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Schema, categorical_qi, sensitive
+from repro.data.table import MicrodataTable
+from repro.exceptions import KnowledgeError
+from repro.knowledge.association import (
+    AssociationRule,
+    mine_negative_rules,
+    mine_positive_rules,
+    rule_violation_mass,
+)
+from repro.knowledge.prior import kernel_prior, overall_prior
+
+
+@pytest.fixture()
+def gendered_table():
+    """Males never have OvarianCancer; females never have ProstateCancer."""
+    schema = Schema([categorical_qi("Sex"), sensitive("Disease")])
+    rows = []
+    for _ in range(30):
+        rows.append({"Sex": "M", "Disease": "Flu"})
+        rows.append({"Sex": "M", "Disease": "ProstateCancer"})
+        rows.append({"Sex": "F", "Disease": "Flu"})
+        rows.append({"Sex": "F", "Disease": "OvarianCancer"})
+    return MicrodataTable.from_rows(schema, rows)
+
+
+def test_negative_rules_found(gendered_table):
+    rules = mine_negative_rules(gendered_table, min_support=10)
+    as_text = {str(rule) for rule in rules}
+    assert any("Sex=M" in text and "OvarianCancer" in text for text in as_text)
+    assert any("Sex=F" in text and "ProstateCancer" in text for text in as_text)
+    assert all(rule.negative for rule in rules)
+    assert all(rule.confidence == 1.0 for rule in rules)
+
+
+def test_negative_rules_respect_min_support(gendered_table):
+    rules = mine_negative_rules(gendered_table, min_support=1000)
+    assert rules == []
+
+
+def test_positive_rules_found(gendered_table):
+    rules = mine_positive_rules(gendered_table, min_support=10, min_confidence=0.45)
+    assert any(
+        rule.attribute == "Sex" and rule.value == "M" and rule.sensitive_value == "Flu"
+        for rule in rules
+    )
+    assert all(not rule.negative for rule in rules)
+
+
+def test_parameter_validation(gendered_table):
+    with pytest.raises(KnowledgeError):
+        mine_negative_rules(gendered_table, min_support=0)
+    with pytest.raises(KnowledgeError):
+        mine_negative_rules(gendered_table, min_confidence=0.0)
+    with pytest.raises(KnowledgeError):
+        mine_positive_rules(gendered_table, min_support=-1)
+    with pytest.raises(KnowledgeError):
+        mine_positive_rules(gendered_table, min_confidence=1.5)
+
+
+def test_rule_str_format():
+    rule = AssociationRule("Sex", "M", "OvarianCancer", support=50, confidence=1.0, negative=True)
+    text = str(rule)
+    assert "Sex=M" in text and "!=" in text and "OvarianCancer" in text
+
+
+def test_kernel_prior_subsumes_negative_rules(gendered_table):
+    """Section II-D: small-bandwidth kernel priors assign ~0 mass to impossible values."""
+    rules = mine_negative_rules(gendered_table, min_support=10)
+    sharp = kernel_prior(gendered_table, 0.05)
+    mass = rule_violation_mass(gendered_table, sharp.matrix, rules)
+    assert mass < 1e-6
+
+
+def test_overall_prior_violates_negative_rules(gendered_table):
+    """The t-closeness adversary does not encode the mined negative rules."""
+    rules = mine_negative_rules(gendered_table, min_support=10)
+    beliefs = overall_prior(gendered_table)
+    mass = rule_violation_mass(gendered_table, beliefs.matrix, rules)
+    assert mass > 0.05
+
+
+def test_violation_mass_empty_rules(gendered_table):
+    beliefs = overall_prior(gendered_table)
+    assert rule_violation_mass(gendered_table, beliefs.matrix, []) == 0.0
+
+
+def test_violation_mass_shape_check(gendered_table):
+    with pytest.raises(KnowledgeError):
+        rule_violation_mass(gendered_table, np.ones((3, 2)), [])
+
+
+def test_adult_has_gender_occupation_negative_rules(small_adult):
+    """The synthetic Adult data contains Injector-style negative rules to mine."""
+    rules = mine_negative_rules(small_adult, min_support=50)
+    gender_rules = [rule for rule in rules if rule.attribute == "Gender"]
+    assert gender_rules, "expected at least one Gender => not-Occupation rule"

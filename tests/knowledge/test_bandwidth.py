@@ -1,0 +1,79 @@
+"""Tests for bandwidth vectors (the Adv(B) parameterisation)."""
+
+import pytest
+
+from repro.exceptions import KnowledgeError
+from repro.knowledge.bandwidth import Bandwidth
+
+
+def test_uniform_bandwidth():
+    bandwidth = Bandwidth.uniform(["Age", "Sex"], 0.3)
+    assert bandwidth["Age"] == 0.3
+    assert bandwidth["Sex"] == 0.3
+    assert len(bandwidth) == 2
+    assert bandwidth.attribute_names == ("Age", "Sex")
+
+
+def test_split_bandwidth():
+    bandwidth = Bandwidth.split(["A1", "A2", "A3"], 0.2, ["A4", "A5", "A6"], 0.4)
+    assert bandwidth["A1"] == 0.2
+    assert bandwidth["A6"] == 0.4
+    assert len(bandwidth) == 6
+
+
+def test_split_rejects_overlapping_blocks():
+    with pytest.raises(KnowledgeError):
+        Bandwidth.split(["A1", "A2"], 0.2, ["A2", "A3"], 0.4)
+
+
+def test_dict_constructor_and_as_dict():
+    bandwidth = Bandwidth({"Age": 0.25, "Sex": 0.5})
+    assert bandwidth.as_dict() == {"Age": 0.25, "Sex": 0.5}
+    assert dict(bandwidth.items()) == {"Age": 0.25, "Sex": 0.5}
+
+
+def test_non_positive_bandwidth_rejected():
+    with pytest.raises(KnowledgeError):
+        Bandwidth({"Age": 0.0})
+    with pytest.raises(KnowledgeError):
+        Bandwidth({"Age": -0.3})
+
+
+def test_empty_bandwidth_rejected():
+    with pytest.raises(KnowledgeError):
+        Bandwidth({})
+
+
+def test_missing_attribute_raises():
+    bandwidth = Bandwidth({"Age": 0.3})
+    with pytest.raises(KnowledgeError):
+        bandwidth["Sex"]
+    assert "Sex" not in bandwidth
+    assert "Age" in bandwidth
+
+
+def test_iteration_order():
+    bandwidth = Bandwidth({"Age": 0.3, "Sex": 0.4, "Race": 0.5})
+    assert list(bandwidth) == ["Age", "Sex", "Race"]
+
+
+def test_restricted_to():
+    bandwidth = Bandwidth({"Age": 0.3, "Sex": 0.4, "Race": 0.5})
+    restricted = bandwidth.restricted_to(["Race", "Age"])
+    assert restricted.attribute_names == ("Race", "Age")
+    assert restricted["Race"] == 0.5
+
+
+def test_describe_scalar_and_mixed():
+    assert Bandwidth.uniform(["A", "B"], 0.3).describe() == "b=0.3"
+    mixed = Bandwidth({"A": 0.2, "B": 0.4}).describe()
+    assert "A=0.2" in mixed and "B=0.4" in mixed
+
+
+def test_equality_and_hashability():
+    first = Bandwidth({"Age": 0.3})
+    second = Bandwidth({"Age": 0.3})
+    third = Bandwidth({"Age": 0.4})
+    assert first == second
+    assert first != third
+    assert len({first, second, third}) == 2

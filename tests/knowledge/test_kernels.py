@@ -1,0 +1,120 @@
+"""Tests for kernel functions and the kernel registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import KnowledgeError
+from repro.knowledge.kernels import (
+    biweight_kernel,
+    epanechnikov_kernel,
+    gaussian_kernel,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    triangular_kernel,
+    uniform_kernel,
+)
+
+ALL_KERNELS = [
+    epanechnikov_kernel,
+    uniform_kernel,
+    triangular_kernel,
+    biweight_kernel,
+    gaussian_kernel,
+]
+
+
+def test_epanechnikov_matches_paper_formula():
+    bandwidth = 0.5
+    x = np.array([0.0, 0.25, 0.49, 0.5, 0.8])
+    weights = epanechnikov_kernel(x, bandwidth)
+    expected_inside = 0.75 / bandwidth * (1 - (x[:3] / bandwidth) ** 2)
+    assert np.allclose(weights[:3], expected_inside)
+    assert weights[3] == 0.0
+    assert weights[4] == 0.0
+
+
+def test_epanechnikov_peak_at_zero():
+    weights = epanechnikov_kernel(np.array([0.0]), 0.3)
+    assert weights[0] == pytest.approx(0.75 / 0.3)
+
+
+def test_uniform_kernel_constant_inside_support():
+    weights = uniform_kernel(np.array([0.0, 0.2, 0.4, 0.41]), 0.4)
+    assert weights[0] == weights[1] == weights[2] == pytest.approx(0.5 / 0.4)
+    assert weights[3] == 0.0
+
+
+def test_triangular_kernel_decreases_linearly():
+    weights = triangular_kernel(np.array([0.0, 0.1, 0.2]), 0.2)
+    assert weights[0] > weights[1] > weights[2]
+    assert weights[2] == pytest.approx(0.0)
+
+
+def test_gaussian_kernel_has_unbounded_support():
+    weights = gaussian_kernel(np.array([0.0, 1.0, 5.0]), 0.3)
+    assert np.all(weights > 0.0)
+    assert weights[0] > weights[1] > weights[2]
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS)
+def test_kernels_are_nonnegative_and_peak_at_zero(kernel):
+    distances = np.linspace(0.0, 1.0, 21)
+    weights = kernel(distances, 0.35)
+    assert np.all(weights >= 0.0)
+    assert weights[0] == weights.max()
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS)
+def test_kernels_are_monotone_nonincreasing(kernel):
+    distances = np.linspace(0.0, 1.0, 50)
+    weights = kernel(distances, 0.4)
+    assert np.all(np.diff(weights) <= 1e-12)
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS)
+def test_kernels_reject_bad_bandwidths(kernel):
+    with pytest.raises(KnowledgeError):
+        kernel(np.array([0.1]), 0.0)
+    with pytest.raises(KnowledgeError):
+        kernel(np.array([0.1]), -1.0)
+    with pytest.raises(KnowledgeError):
+        kernel(np.array([0.1]), float("nan"))
+
+
+def test_registry_lookup():
+    assert get_kernel("epanechnikov") is epanechnikov_kernel
+    assert get_kernel("Epanechnikov") is epanechnikov_kernel
+    assert set(kernel_names()) >= {"epanechnikov", "uniform", "gaussian", "triangular", "biweight"}
+
+
+def test_registry_unknown_kernel():
+    with pytest.raises(KnowledgeError):
+        get_kernel("tophat-banana")
+
+
+def test_register_custom_kernel():
+    def flat(distances, bandwidth):
+        return np.ones_like(np.asarray(distances, dtype=float))
+
+    register_kernel("flat-test-kernel", flat)
+    assert get_kernel("flat-test-kernel") is flat
+    with pytest.raises(KnowledgeError):
+        register_kernel("flat-test-kernel", flat)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    distance=st.floats(min_value=0.0, max_value=2.0),
+    bandwidth=st.floats(min_value=0.01, max_value=2.0),
+)
+def test_compact_support_property(distance, bandwidth):
+    """Property: compact-support kernels vanish exactly outside |x/B| < 1."""
+    for kernel in (epanechnikov_kernel, triangular_kernel, biweight_kernel):
+        weight = float(kernel(np.array([distance]), bandwidth)[0])
+        if distance >= bandwidth:
+            assert weight == 0.0
+        else:
+            assert weight > 0.0

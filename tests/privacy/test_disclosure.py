@@ -1,0 +1,108 @@
+"""Tests for disclosure risk and the background-knowledge attack (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.anonymizer import anonymize
+from repro.exceptions import PrivacyModelError
+from repro.knowledge.prior import kernel_prior
+from repro.privacy.disclosure import (
+    BackgroundKnowledgeAttack,
+    count_vulnerable_tuples,
+    tuple_disclosure_risks,
+    worst_case_disclosure_risk,
+)
+from repro.privacy.measures import sensitive_distance_measure
+from repro.privacy.models import BTPrivacy, DistinctLDiversity
+
+
+@pytest.fixture(scope="module")
+def releases(small_adult_module):
+    table = small_adult_module
+    bt = anonymize(table, BTPrivacy(0.3, 0.25), k=3).release
+    ld = anonymize(table, DistinctLDiversity(3), k=3).release
+    return table, bt, ld
+
+
+@pytest.fixture(scope="module")
+def small_adult_module():
+    from repro.data.adult import generate_adult
+
+    return generate_adult(1_000, seed=11)
+
+
+def test_risks_cover_every_tuple(releases):
+    table, bt, _ = releases
+    priors = kernel_prior(table, 0.3)
+    measure = sensitive_distance_measure(table)
+    risks = tuple_disclosure_risks(priors, table.sensitive_codes(), bt.groups, measure)
+    assert risks.shape == (table.n_rows,)
+    assert np.all(risks >= -1e-12)
+    assert np.all(np.isfinite(risks))
+
+
+def test_bt_release_bounds_worst_case_risk(releases):
+    """A (B,t)-private release holds the matched adversary below t (Definition 1)."""
+    table, bt, _ = releases
+    priors = kernel_prior(table, 0.3)
+    measure = sensitive_distance_measure(table)
+    worst = worst_case_disclosure_risk(priors, table.sensitive_codes(), bt.groups, measure)
+    assert worst <= 0.25 + 1e-9
+
+
+def test_l_diversity_release_exceeds_threshold(releases):
+    """l-diversity does not bound the kernel adversary's gain (the paper's motivation)."""
+    table, _, ld = releases
+    priors = kernel_prior(table, 0.3)
+    measure = sensitive_distance_measure(table)
+    worst = worst_case_disclosure_risk(priors, table.sensitive_codes(), ld.groups, measure)
+    assert worst > 0.25
+
+
+def test_count_vulnerable_tuples_threshold_behaviour():
+    risks = np.array([0.1, 0.2, 0.3, 0.4])
+    assert count_vulnerable_tuples(risks, 0.25) == 2
+    assert count_vulnerable_tuples(risks, 0.0) == 4
+    assert count_vulnerable_tuples(risks, 1.0) == 0
+    with pytest.raises(PrivacyModelError):
+        count_vulnerable_tuples(risks, -0.1)
+
+
+def test_attack_shapes_match_figure_1(releases):
+    """The headline comparison: far fewer vulnerable tuples under (B,t)-privacy."""
+    table, bt, ld = releases
+    attack = BackgroundKnowledgeAttack(table, 0.3)
+    bt_outcome = attack.attack(bt.groups, 0.25)
+    ld_outcome = attack.attack(ld.groups, 0.25)
+    assert bt_outcome.vulnerable_tuples == 0
+    assert ld_outcome.vulnerable_tuples > 0.1 * table.n_rows
+    assert ld_outcome.vulnerability_rate() > bt_outcome.vulnerability_rate()
+
+
+def test_bt_release_wins_for_every_adversary(releases):
+    """Figure 1(a)'s core claim: the (B,t)-private table has (far) fewer vulnerable
+    tuples than the l-diverse table for adversaries of every knowledge level."""
+    table, bt, ld = releases
+    for b_prime in (0.2, 0.3, 0.4, 0.5):
+        attack = BackgroundKnowledgeAttack(table, b_prime)
+        bt_outcome = attack.attack(bt.groups, 0.25)
+        ld_outcome = attack.attack(ld.groups, 0.25)
+        assert bt_outcome.vulnerable_tuples < ld_outcome.vulnerable_tuples
+
+
+def test_attack_result_fields(releases):
+    table, bt, _ = releases
+    outcome = BackgroundKnowledgeAttack(table, 0.4).attack(bt.groups, 0.2)
+    assert outcome.adversary_b == 0.4
+    assert outcome.threshold == 0.2
+    assert outcome.risks.shape == (table.n_rows,)
+    assert outcome.worst_case_risk == pytest.approx(outcome.risks.max())
+
+
+def test_exact_method_on_small_release(small_adult_module):
+    """The attack can also use exact inference when groups are small."""
+    table = small_adult_module.select(np.arange(60))
+    release = anonymize(table, DistinctLDiversity(2), k=2).release
+    attack = BackgroundKnowledgeAttack(table, 0.3, method="exact")
+    outcome = attack.attack(release.groups, 0.25)
+    assert outcome.risks.shape == (table.n_rows,)

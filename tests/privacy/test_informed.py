@@ -1,0 +1,99 @@
+"""Tests for the informed adversary (instance-level background knowledge)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.anonymizer import anonymize
+from repro.data.adult import generate_adult
+from repro.exceptions import PrivacyModelError
+from repro.privacy.informed import InformedAdversary
+from repro.privacy.models import BTPrivacy, DistinctLDiversity
+
+
+@pytest.fixture(scope="module")
+def setting():
+    table = generate_adult(600, seed=19)
+    release = anonymize(table, DistinctLDiversity(3), k=3).release
+    return table, release
+
+
+def test_parameter_validation(setting):
+    table, _ = setting
+    with pytest.raises(PrivacyModelError):
+        InformedAdversary(table, 0.3, np.array([table.n_rows + 5]))
+    with pytest.raises(PrivacyModelError):
+        InformedAdversary(table, 0.3, np.array([0]), method="psychic")
+    with pytest.raises(PrivacyModelError):
+        InformedAdversary.with_random_knowledge(table, 0.3, 1.5)
+
+
+def test_known_tuples_get_point_mass_posterior(setting):
+    table, release = setting
+    adversary = InformedAdversary(table, 0.3, np.array([0, 5, 10]))
+    posterior = adversary.posterior_for_groups(release.groups)
+    codes = table.sensitive_codes()
+    for index in (0, 5, 10):
+        assert posterior[index, codes[index]] == pytest.approx(1.0)
+    assert np.allclose(posterior.sum(axis=1), 1.0)
+
+
+def test_no_knowledge_matches_plain_attack(setting):
+    """With an empty known set the informed adversary is exactly Adv(B)."""
+    table, release = setting
+    from repro.privacy.disclosure import BackgroundKnowledgeAttack
+
+    informed = InformedAdversary(table, 0.3, np.array([], dtype=int))
+    plain = BackgroundKnowledgeAttack(table, 0.3)
+    informed_outcome = informed.attack(release.groups, 0.25)
+    plain_outcome = plain.attack(release.groups, 0.25)
+    assert informed_outcome.vulnerable_tuples == plain_outcome.vulnerable_tuples
+    assert informed_outcome.worst_case_risk == pytest.approx(plain_outcome.worst_case_risk)
+
+
+def test_knowledge_of_others_increases_breaches_on_l_diversity(setting):
+    """Knowing some individuals' values sharpens inference about the rest."""
+    table, release = setting
+    none_known = InformedAdversary.with_random_knowledge(table, 0.3, 0.0, seed=4)
+    many_known = InformedAdversary.with_random_knowledge(table, 0.3, 0.3, seed=4)
+    base = none_known.attack(release.groups, 0.25)
+    informed = many_known.attack(release.groups, 0.25)
+    # The known tuples themselves are excluded from the count, yet the extra
+    # conditioning still breaches at least roughly as many *other* tuples.
+    assert informed.vulnerable_tuples >= 0.5 * base.vulnerable_tuples
+    assert informed.n_known == int(round(0.3 * table.n_rows))
+
+
+def test_bt_release_degrades_gracefully(setting):
+    """(B,t)-privacy is defined against Adv(B); instance-level knowledge may add
+    some breaches but the worst-case gain stays bounded (no collapse to 1)."""
+    table, _ = setting
+    release = anonymize(table, BTPrivacy(0.3, 0.25), k=3).release
+    adversary = InformedAdversary.with_random_knowledge(table, 0.3, 0.2, seed=8)
+    outcome = adversary.attack(release.groups, 0.25)
+    assert outcome.worst_case_risk <= 0.9
+    assert outcome.vulnerable_tuples <= 0.2 * table.n_rows
+
+
+def test_fully_informed_adversary_learns_nothing_new(setting):
+    """If the adversary already knows everyone, the release discloses nothing."""
+    table, release = setting
+    adversary = InformedAdversary(table, 0.3, np.arange(table.n_rows))
+    outcome = adversary.attack(release.groups, 0.0)
+    assert outcome.vulnerable_tuples == 0
+    assert outcome.worst_case_risk == 0.0
+
+
+def test_groups_must_not_overlap(setting):
+    table, _ = setting
+    adversary = InformedAdversary(table, 0.3, np.array([1]))
+    with pytest.raises(PrivacyModelError):
+        adversary.posterior_for_groups([np.array([0, 1, 2]), np.array([2, 3, 4])])
+
+
+def test_exact_method_small_groups(setting):
+    table, _ = setting
+    small = table.select(np.arange(40))
+    release = anonymize(small, DistinctLDiversity(2), k=2).release
+    adversary = InformedAdversary(small, 0.3, np.array([0, 1]), method="exact")
+    outcome = adversary.attack(release.groups, 0.25)
+    assert outcome.risks.shape == (small.n_rows,)

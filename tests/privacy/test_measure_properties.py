@@ -1,0 +1,96 @@
+"""Hypothesis property tests for the paper's five distance-measure desiderata."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.measures import (
+    JSDivergence,
+    SmoothedJSDivergence,
+    js_divergence,
+    smoothed_js_divergence,
+)
+
+_GROUND = np.array(
+    [
+        [0.0, 0.5, 1.0, 1.0],
+        [0.5, 0.0, 1.0, 1.0],
+        [1.0, 1.0, 0.0, 0.5],
+        [1.0, 1.0, 0.5, 0.0],
+    ]
+)
+
+
+def _distributions(size=4):
+    return st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=size, max_size=size
+    ).map(_normalise)
+
+
+def _normalise(weights):
+    array = np.asarray(weights, dtype=np.float64)
+    total = array.sum()
+    if total <= 0.0:
+        array = np.ones_like(array)
+        total = array.sum()
+    return array / total
+
+
+@settings(max_examples=75, deadline=None)
+@given(p=_distributions())
+def test_identity_of_indiscernibles(p):
+    """Desideratum 1: D[P, P] = 0."""
+    assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+    assert smoothed_js_divergence(p, p, _GROUND, bandwidth=0.6) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=75, deadline=None)
+@given(p=_distributions(), q=_distributions())
+def test_non_negativity(p, q):
+    """Desideratum 2: D[P, Q] >= 0, and it is always finite (desideratum 4)."""
+    for value in (
+        js_divergence(p, q),
+        smoothed_js_divergence(p, q, _GROUND, bandwidth=0.6),
+    ):
+        assert np.isfinite(value)
+        assert value >= -1e-12
+
+
+@settings(max_examples=75, deadline=None)
+@given(p=_distributions(), q=_distributions())
+def test_bounded_by_one(p, q):
+    """JS-based measures are bounded by 1 bit, so thresholds t in [0, 1] are meaningful."""
+    assert js_divergence(p, q) <= 1.0 + 1e-9
+    assert smoothed_js_divergence(p, q, _GROUND, bandwidth=0.6) <= 1.0 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    alpha=st.floats(min_value=0.005, max_value=0.05),
+    beta=st.floats(min_value=0.3, max_value=0.45),
+    gamma=st.floats(min_value=0.05, max_value=0.1),
+)
+def test_probability_scaling(alpha, beta, gamma):
+    """Desideratum 3: a gain of gamma on a rare value counts more than on a common one."""
+    rare_before = np.array([alpha, 1.0 - alpha])
+    rare_after = np.array([alpha + gamma, 1.0 - alpha - gamma])
+    common_before = np.array([beta, 1.0 - beta])
+    common_after = np.array([beta + gamma, 1.0 - beta - gamma])
+    assert js_divergence(rare_before, rare_after) > js_divergence(common_before, common_after)
+
+
+@settings(max_examples=50, deadline=None)
+@given(p=_distributions(), q=_distributions())
+def test_rowwise_consistency(p, q):
+    """The vectorised row-wise implementations agree with the scalar definitions."""
+    stacked_p = np.vstack([p, q])
+    stacked_q = np.vstack([q, p])
+    js = JSDivergence()
+    smoothed = SmoothedJSDivergence(_GROUND, bandwidth=0.6)
+    assert np.allclose(
+        js.rowwise(stacked_p, stacked_q), [js(p, q), js(q, p)], atol=1e-9
+    )
+    assert np.allclose(
+        smoothed.rowwise(stacked_p, stacked_q), [smoothed(p, q), smoothed(q, p)], atol=1e-9
+    )

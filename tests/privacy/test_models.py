@@ -1,0 +1,207 @@
+"""Tests for the privacy models (k-anonymity, l-diversity, t-closeness, (B,t))."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
+from repro.data.table import MicrodataTable
+from repro.exceptions import PrivacyModelError
+from repro.knowledge.prior import kernel_prior
+from repro.privacy.models import (
+    BTPrivacy,
+    CompositeModel,
+    DistinctLDiversity,
+    EntropyLDiversity,
+    KAnonymity,
+    ProbabilisticLDiversity,
+    SkylineBTPrivacy,
+    TCloseness,
+)
+
+
+@pytest.fixture()
+def simple_table():
+    schema = Schema([numeric_qi("Age"), categorical_qi("Sex"), sensitive("Disease")])
+    return MicrodataTable.from_columns(
+        schema,
+        {
+            "Age": [20, 21, 22, 23, 60, 61, 62, 63],
+            "Sex": ["M", "M", "F", "F", "M", "M", "F", "F"],
+            "Disease": ["Flu", "Flu", "Cancer", "HIV", "Flu", "Cancer", "Cancer", "HIV"],
+        },
+    )
+
+
+def test_k_anonymity(simple_table):
+    model = KAnonymity(3)
+    model.prepare(simple_table)
+    assert model.is_satisfied(np.arange(3))
+    assert not model.is_satisfied(np.arange(2))
+    assert model.describe() == "k=3"
+    with pytest.raises(PrivacyModelError):
+        KAnonymity(0)
+
+
+def test_distinct_l_diversity(simple_table):
+    model = DistinctLDiversity(3)
+    model.prepare(simple_table)
+    assert model.is_satisfied(np.array([1, 2, 3]))  # Flu, Cancer, HIV
+    assert not model.is_satisfied(np.array([0, 1]))  # Flu, Flu
+    with pytest.raises(PrivacyModelError):
+        DistinctLDiversity(0)
+
+
+def test_unprepared_model_raises(simple_table):
+    model = DistinctLDiversity(2)
+    with pytest.raises(PrivacyModelError):
+        model.is_satisfied(np.arange(2))
+
+
+def test_empty_group_rejected(simple_table):
+    model = DistinctLDiversity(2)
+    model.prepare(simple_table)
+    with pytest.raises(PrivacyModelError):
+        model.is_satisfied(np.array([], dtype=int))
+
+
+def test_probabilistic_l_diversity(simple_table):
+    model = ProbabilisticLDiversity(2)
+    model.prepare(simple_table)
+    # Group with 2 Flu out of 4 -> max frequency 0.5 <= 1/2.
+    assert model.is_satisfied(np.array([0, 1, 2, 3]))
+    # Group with 2 Flu out of 3 -> 0.66 > 0.5.
+    assert not model.is_satisfied(np.array([0, 1, 2]))
+
+
+def test_entropy_l_diversity(simple_table):
+    model = EntropyLDiversity(3)
+    model.prepare(simple_table)
+    # Three equally frequent values: entropy = log 3 exactly.
+    assert model.is_satisfied(np.array([1, 2, 3]))
+    # Skewed group: entropy below log 3.
+    assert not model.is_satisfied(np.array([0, 1, 2]))
+
+
+def test_t_closeness_accepts_whole_table_and_rejects_skew(simple_table):
+    model = TCloseness(0.1, use_hierarchy=False)
+    model.prepare(simple_table)
+    assert model.is_satisfied(np.arange(simple_table.n_rows))
+    assert not model.is_satisfied(np.array([0, 1]))  # all-Flu group is far from overall
+
+
+def test_t_closeness_threshold_monotonicity(simple_table):
+    strict = TCloseness(0.05, use_hierarchy=False)
+    loose = TCloseness(0.9, use_hierarchy=False)
+    strict.prepare(simple_table)
+    loose.prepare(simple_table)
+    group = np.array([0, 1, 4])
+    assert loose.is_satisfied(group)
+    assert not strict.is_satisfied(group)
+
+
+def test_t_closeness_parameter_validation():
+    with pytest.raises(PrivacyModelError):
+        TCloseness(-0.1)
+    with pytest.raises(PrivacyModelError):
+        TCloseness(1.5)
+
+
+def test_t_closeness_uses_hierarchy_when_available(small_adult):
+    flat = TCloseness(0.2, use_hierarchy=False)
+    tree = TCloseness(0.2, use_hierarchy=True)
+    flat.prepare(small_adult)
+    tree.prepare(small_adult)
+    group = np.arange(40)
+    # Hierarchical EMD never exceeds the variational distance, so the
+    # hierarchy-aware check is at least as permissive.
+    assert (not flat.is_satisfied(group)) or tree.is_satisfied(group)
+
+
+def test_bt_privacy_whole_table_is_safe(small_adult):
+    model = BTPrivacy(0.3, 0.2)
+    model.prepare(small_adult)
+    assert model.is_satisfied(np.arange(small_adult.n_rows))
+    assert model.group_risk(np.arange(small_adult.n_rows)) < 0.05
+
+
+def test_bt_privacy_small_group_risky(small_adult):
+    model = BTPrivacy(0.3, 0.05)
+    model.prepare(small_adult)
+    risks = [model.group_risk(np.arange(start, start + 4)) for start in range(0, 40, 4)]
+    assert max(risks) > 0.05
+
+
+def test_bt_privacy_group_risk_monotone_in_group_size(small_adult):
+    """Splitting the table into smaller groups can only help the adversary."""
+    model = BTPrivacy(0.3, 0.2)
+    model.prepare(small_adult)
+    whole = model.group_risk(np.arange(small_adult.n_rows))
+    half = model.group_risk(np.arange(small_adult.n_rows // 2))
+    tiny = model.group_risk(np.arange(5))
+    assert whole <= half + 0.05
+    assert half <= tiny + 0.25
+
+
+def test_bt_privacy_parameter_validation():
+    with pytest.raises(PrivacyModelError):
+        BTPrivacy(0.3, 1.5)
+    with pytest.raises(PrivacyModelError):
+        BTPrivacy(0.3, 0.2, inference="quantum")
+
+
+def test_bt_privacy_requires_prepare(small_adult):
+    model = BTPrivacy(0.3, 0.2)
+    with pytest.raises(PrivacyModelError):
+        model.group_risk(np.arange(10))
+    with pytest.raises(PrivacyModelError):
+        model.priors
+
+
+def test_bt_privacy_set_priors_reuses_estimation(small_adult, small_adult_priors):
+    model = BTPrivacy(0.3, 0.2)
+    model.set_priors(
+        small_adult_priors, small_adult.sensitive_codes(), small_adult.sensitive_domain().size
+    )
+    model.prepare(small_adult)  # must not overwrite the injected priors
+    assert model.priors is small_adult_priors
+
+
+def test_bt_privacy_exact_inference_path(small_adult):
+    model = BTPrivacy(0.3, 0.5, inference="exact")
+    model.prepare(small_adult)
+    assert isinstance(model.group_risk(np.arange(6)), float)
+
+
+def test_bt_privacy_describe(small_adult):
+    assert "b=0.3" in BTPrivacy(0.3, 0.2).describe()
+    assert "t=0.2" in BTPrivacy(0.3, 0.2).describe()
+
+
+def test_skyline_bt_privacy(small_adult):
+    skyline = SkylineBTPrivacy([(0.3, 0.25), (0.5, 0.15)])
+    skyline.prepare(small_adult)
+    whole = np.arange(small_adult.n_rows)
+    assert skyline.is_satisfied(whole)
+    # The skyline is at least as strict as each of its points.
+    single = BTPrivacy(0.3, 0.25)
+    single.prepare(small_adult)
+    group = np.arange(12)
+    if skyline.is_satisfied(group):
+        assert single.is_satisfied(group)
+    assert ";" in skyline.describe()
+
+
+def test_skyline_requires_points():
+    with pytest.raises(PrivacyModelError):
+        SkylineBTPrivacy([])
+
+
+def test_composite_model(simple_table):
+    composite = CompositeModel([KAnonymity(3), DistinctLDiversity(3)])
+    composite.prepare(simple_table)
+    assert composite.is_satisfied(np.array([1, 2, 3]))
+    assert not composite.is_satisfied(np.array([2, 3]))  # diverse but too small
+    assert not composite.is_satisfied(np.array([0, 1, 4]))  # big enough but not diverse
+    assert "k-anonymity" in composite.describe()
+    with pytest.raises(PrivacyModelError):
+        CompositeModel([])

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.adult import adult_schema
+from repro.data.io import read_csv
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_generate_writes_csv(tmp_path, capsys):
+    output = tmp_path / "adult.csv"
+    code = main(["generate", "--rows", "120", "--seed", "7", "--output", str(output)])
+    assert code == 0
+    assert "wrote 120 rows" in capsys.readouterr().out
+    table = read_csv(output, adult_schema())
+    assert table.n_rows == 120
+
+
+def test_generate_is_deterministic(tmp_path):
+    first = tmp_path / "a.csv"
+    second = tmp_path / "b.csv"
+    main(["generate", "--rows", "50", "--seed", "3", "--output", str(first)])
+    main(["generate", "--rows", "50", "--seed", "3", "--output", str(second)])
+    assert first.read_text() == second.read_text()
+
+
+def test_anonymize_synthetic_table(tmp_path, capsys):
+    output = tmp_path / "release.csv"
+    code = main(
+        [
+            "anonymize",
+            "--rows", "300",
+            "--model", "bt",
+            "--b", "0.3",
+            "--t", "0.25",
+            "--k", "3",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "groups" in out and "DM=" in out
+    with output.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 300
+    # Quasi-identifiers are generalized (ranges or labels), sensitive values are exact.
+    assert any("[" in row["Age"] for row in rows)
+    assert all(row["Occupation"] for row in rows)
+
+
+def test_anonymize_from_csv_input(tmp_path):
+    source = tmp_path / "source.csv"
+    release = tmp_path / "release.csv"
+    main(["generate", "--rows", "200", "--seed", "5", "--output", str(source)])
+    code = main(
+        [
+            "anonymize",
+            "--input", str(source),
+            "--model", "distinct-l",
+            "--l", "3",
+            "--k", "3",
+            "--output", str(release),
+        ]
+    )
+    assert code == 0
+    with release.open() as handle:
+        assert len(list(csv.DictReader(handle))) == 200
+
+
+def test_attack_reports_vulnerable_tuples(capsys):
+    code = main(
+        [
+            "attack",
+            "--rows", "300",
+            "--model", "distinct-l",
+            "--l", "3",
+            "--k", "3",
+            "--t", "0.25",
+            "--b-prime", "0.3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "vulnerable tuples:" in out
+    assert "worst-case knowledge gain:" in out
+
+
+def test_attack_bt_matched_adversary_is_safe(capsys):
+    code = main(
+        [
+            "attack",
+            "--rows", "300",
+            "--model", "bt",
+            "--b", "0.3",
+            "--t", "0.25",
+            "--k", "3",
+            "--b-prime", "0.3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "vulnerable tuples: 0 /" in out
+
+
+def test_figure_command_prints_table(capsys):
+    code = main(["figure", "--id", "2", "--rows", "400", "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "N value" in out
+
+
+def test_figure_rejects_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["figure", "--id", "99", "--rows", "200"])
+
+
+def test_error_paths_return_nonzero(tmp_path, capsys):
+    # Impossible requirement: more distinct values than the domain holds.
+    code = main(
+        [
+            "anonymize",
+            "--rows", "100",
+            "--model", "distinct-l",
+            "--l", "50",
+            "--k", "2",
+            "--output", str(tmp_path / "x.csv"),
+        ]
+    )
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

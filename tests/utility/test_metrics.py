@@ -1,0 +1,100 @@
+"""Tests for the general utility measures (DM and GCP)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.anonymizer import anonymize
+from repro.anonymize.partition import AnonymizedRelease
+from repro.data.examples import table_i_groups, table_i_patients
+from repro.exceptions import UtilityError
+from repro.privacy.models import DistinctLDiversity, KAnonymity
+from repro.utility.metrics import (
+    average_group_size,
+    discernibility_metric,
+    global_certainty_penalty,
+    group_certainty_penalty,
+    utility_report,
+)
+
+
+@pytest.fixture()
+def paper_release():
+    table = table_i_patients()
+    return AnonymizedRelease(table, table_i_groups())
+
+
+def test_dm_of_paper_release(paper_release):
+    # Three groups of three tuples: DM = 3 * 3^2 = 27.
+    assert discernibility_metric(paper_release) == pytest.approx(27.0)
+
+
+def test_dm_extremes(patients):
+    one_group = AnonymizedRelease(patients, [np.arange(patients.n_rows)])
+    singletons = AnonymizedRelease(patients, [np.array([i]) for i in range(patients.n_rows)])
+    assert discernibility_metric(one_group) == pytest.approx(patients.n_rows**2)
+    assert discernibility_metric(singletons) == pytest.approx(patients.n_rows)
+
+
+def test_group_certainty_penalty_values(paper_release):
+    # Group 0 of Table I(b): Age spans [45,69] of global range [42,69]; Sex covers both values.
+    penalty = group_certainty_penalty(paper_release, 0)
+    age_share = (69 - 45) / (69 - 42)
+    assert penalty == pytest.approx(age_share + 1.0)
+    # Group 1: Age [42,47], Sex = F only (no penalty for Sex).
+    penalty_1 = group_certainty_penalty(paper_release, 1)
+    assert penalty_1 == pytest.approx((47 - 42) / (69 - 42))
+
+
+def test_group_certainty_penalty_index_check(paper_release):
+    with pytest.raises(UtilityError):
+        group_certainty_penalty(paper_release, 99)
+
+
+def test_gcp_is_size_weighted_sum(paper_release):
+    expected = sum(
+        len(paper_release.groups[i]) * group_certainty_penalty(paper_release, i)
+        for i in range(paper_release.n_groups)
+    )
+    assert global_certainty_penalty(paper_release) == pytest.approx(expected)
+
+
+def test_gcp_extremes(patients):
+    singletons = AnonymizedRelease(patients, [np.array([i]) for i in range(patients.n_rows)])
+    assert global_certainty_penalty(singletons) == pytest.approx(0.0)
+    one_group = AnonymizedRelease(patients, [np.arange(patients.n_rows)])
+    d = len(patients.quasi_identifier_names)
+    assert global_certainty_penalty(one_group) == pytest.approx(patients.n_rows * d)
+    assert global_certainty_penalty(one_group, normalised=True) == pytest.approx(1.0)
+
+
+def test_average_group_size(paper_release):
+    assert average_group_size(paper_release) == pytest.approx(3.0)
+
+
+def test_utility_report_keys(paper_release):
+    report = utility_report(paper_release)
+    assert set(report) == {
+        "n_groups",
+        "average_group_size",
+        "discernibility_metric",
+        "global_certainty_penalty",
+        "normalised_certainty_penalty",
+    }
+    assert report["n_groups"] == 3.0
+
+
+def test_utility_improves_with_weaker_privacy(tiny_adult):
+    """Stricter requirements force coarser groups, which costs DM and GCP."""
+    weak = anonymize(tiny_adult, KAnonymity(2)).release
+    strong = anonymize(tiny_adult, DistinctLDiversity(5), k=5).release
+    assert discernibility_metric(weak) < discernibility_metric(strong)
+    assert global_certainty_penalty(weak) < global_certainty_penalty(strong)
+
+
+def test_gcp_uses_taxonomy_leaf_counts(tiny_adult):
+    """With a taxonomy, a group's categorical penalty counts the leaves under the LCA."""
+    release = anonymize(tiny_adult, KAnonymity(20)).release
+    value = global_certainty_penalty(release)
+    assert value > 0.0
+    normalised = global_certainty_penalty(release, normalised=True)
+    assert 0.0 < normalised <= 1.0

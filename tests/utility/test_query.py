@@ -1,0 +1,152 @@
+"""Tests for the aggregate-query workload machinery."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.anonymizer import anonymize
+from repro.anonymize.partition import AnonymizedRelease
+from repro.exceptions import UtilityError
+from repro.privacy.models import KAnonymity
+from repro.utility.query import (
+    AggregateQuery,
+    QueryWorkloadGenerator,
+    average_relative_error,
+    estimated_count,
+    true_count,
+)
+
+
+@pytest.fixture(scope="module")
+def adult_and_release():
+    from repro.data.adult import generate_adult
+
+    table = generate_adult(800, seed=13)
+    release = anonymize(table, KAnonymity(4)).release
+    return table, release
+
+
+def test_generator_validation(adult_and_release):
+    table, _ = adult_and_release
+    with pytest.raises(UtilityError):
+        QueryWorkloadGenerator(table, query_dimension=0, selectivity=0.1)
+    with pytest.raises(UtilityError):
+        QueryWorkloadGenerator(table, query_dimension=99, selectivity=0.1)
+    with pytest.raises(UtilityError):
+        QueryWorkloadGenerator(table, query_dimension=2, selectivity=0.0)
+    generator = QueryWorkloadGenerator(table, query_dimension=2, selectivity=0.1)
+    with pytest.raises(UtilityError):
+        generator.generate(0)
+
+
+def test_generated_queries_have_requested_dimension(adult_and_release):
+    table, _ = adult_and_release
+    generator = QueryWorkloadGenerator(table, query_dimension=3, selectivity=0.1, seed=1)
+    queries = generator.generate(20)
+    assert len(queries) == 20
+    for query in queries:
+        assert query.dimension == 3
+        assert query.sensitive_values  # sensitive predicate present by default
+
+
+def test_generator_determinism(adult_and_release):
+    table, _ = adult_and_release
+    first = QueryWorkloadGenerator(table, query_dimension=2, selectivity=0.1, seed=3).generate(5)
+    second = QueryWorkloadGenerator(table, query_dimension=2, selectivity=0.1, seed=3).generate(5)
+    assert first == second
+
+
+def test_selectivity_controls_true_counts(adult_and_release):
+    """Queries with larger target selectivity match more tuples on average."""
+    table, _ = adult_and_release
+    small = QueryWorkloadGenerator(table, query_dimension=2, selectivity=0.03, seed=5).generate(60)
+    large = QueryWorkloadGenerator(table, query_dimension=2, selectivity=0.2, seed=5).generate(60)
+    small_mean = np.mean([true_count(table, q) for q in small])
+    large_mean = np.mean([true_count(table, q) for q in large])
+    assert large_mean > small_mean
+
+
+def test_true_count_manual_query(adult_and_release):
+    table, _ = adult_and_release
+    query = AggregateQuery(
+        numeric_predicates=(("Age", 30.0, 40.0),),
+        categorical_predicates=(("Gender", frozenset({"Male"})),),
+        sensitive_values=frozenset(),
+    )
+    expected = int(
+        (
+            (table.column("Age") >= 30)
+            & (table.column("Age") <= 40)
+            & (table.column("Gender") == "Male")
+        ).sum()
+    )
+    assert true_count(table, query) == expected
+
+
+def test_estimated_count_exact_for_singleton_groups(adult_and_release):
+    """With singleton groups the uniform assumption is exact, so estimates match truth."""
+    table, _ = adult_and_release
+    singleton_release = AnonymizedRelease(
+        table, [np.array([i]) for i in range(table.n_rows)]
+    )
+    generator = QueryWorkloadGenerator(table, query_dimension=2, selectivity=0.1, seed=2)
+    for query in generator.generate(10):
+        assert estimated_count(singleton_release, query) == pytest.approx(
+            true_count(table, query), abs=1e-9
+        )
+
+
+def test_estimated_count_nonnegative_and_bounded(adult_and_release):
+    table, release = adult_and_release
+    generator = QueryWorkloadGenerator(table, query_dimension=3, selectivity=0.1, seed=8)
+    for query in generator.generate(20):
+        estimate = estimated_count(release, query)
+        assert estimate >= 0.0
+        assert estimate <= table.n_rows
+
+
+def test_query_without_sensitive_predicate(adult_and_release):
+    table, release = adult_and_release
+    generator = QueryWorkloadGenerator(
+        table, query_dimension=2, selectivity=0.1, include_sensitive=False, seed=4
+    )
+    queries = generator.generate(10)
+    assert all(not query.sensitive_values for query in queries)
+    error = average_relative_error(release, queries)
+    assert error >= 0.0
+
+
+def test_average_relative_error_skips_empty_queries(adult_and_release):
+    table, release = adult_and_release
+    empty_query = AggregateQuery(
+        numeric_predicates=(("Age", 200.0, 300.0),),  # matches nothing
+    )
+    real_queries = QueryWorkloadGenerator(
+        table, query_dimension=2, selectivity=0.15, seed=6
+    ).generate(30)
+    with_empty = average_relative_error(release, real_queries + [empty_query])
+    without_empty = average_relative_error(release, real_queries)
+    assert with_empty == pytest.approx(without_empty)
+
+
+def test_average_relative_error_requires_nonempty_workload(adult_and_release):
+    _, release = adult_and_release
+    with pytest.raises(UtilityError):
+        average_relative_error(release, [])
+
+
+def test_error_all_queries_below_minimum(adult_and_release):
+    table, release = adult_and_release
+    empty_query = AggregateQuery(numeric_predicates=(("Age", 200.0, 300.0),))
+    with pytest.raises(UtilityError):
+        average_relative_error(release, [empty_query])
+
+
+def test_finer_release_answers_more_accurately(adult_and_release):
+    """Utility intuition: smaller groups give lower aggregate query error."""
+    table, _ = adult_and_release
+    fine = anonymize(table, KAnonymity(4)).release
+    coarse = anonymize(table, KAnonymity(80)).release
+    queries = QueryWorkloadGenerator(table, query_dimension=3, selectivity=0.15, seed=10).generate(
+        80
+    )
+    assert average_relative_error(fine, queries) < average_relative_error(coarse, queries)
