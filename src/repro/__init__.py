@@ -15,16 +15,41 @@ The package is organised around the paper's pipeline:
   (B,t)-privacy) and the background-knowledge attack;
 * :mod:`repro.anonymize` - Mondrian generalization and Anatomy bucketization;
 * :mod:`repro.utility` - utility metrics and aggregate-query workloads;
+* :mod:`repro.api` - the registry-driven pipeline layer: plugin registries,
+  cached :class:`Session` s, the fluent :class:`Pipeline` and parameter sweeps;
 * :mod:`repro.experiments` - runners that regenerate every figure of the
   paper's evaluation.
 
-Quickstart::
+Quickstart - anonymize, audit and report in one fluent run::
 
-    from repro import generate_adult, BTPrivacy, anonymize
+    from repro import Pipeline, generate_adult
 
     table = generate_adult(5000)
+    bundle = (
+        Pipeline(table)
+        .model("bt", b=0.3, t=0.2)   # (B,t)-privacy from the model registry
+        .with_k(4)                    # conjoin k-anonymity
+        .audit(b_prime=0.3)           # replay the background-knowledge attack
+        .run()
+    )
+    print(bundle.release.n_groups, "groups,",
+          bundle.attack.vulnerable_tuples, "vulnerable tuples")
+
+Repeated runs share the expensive kernel prior estimation through a session::
+
+    from repro import Session, expand_grid
+
+    session = Session(table)
+    outcome = session.sweep(expand_grid(model=["bt", "distinct-l", "t-closeness"],
+                                        b=0.3, t=[0.1, 0.2], l=4, k=4))
+    print(outcome.render())
+    assert session.stats.prior_estimations == 1   # estimated once, reused everywhere
+
+The classic one-call API is unchanged::
+
+    from repro import BTPrivacy, anonymize
+
     result = anonymize(table, BTPrivacy(b=0.3, t=0.2), k=4)
-    print(result.release.n_groups, "groups")
 """
 
 from repro.anonymize import (
@@ -33,6 +58,22 @@ from repro.anonymize import (
     MondrianAnonymizer,
     anatomy_partition,
     anonymize,
+)
+from repro.api import (
+    ALGORITHMS,
+    MEASURES,
+    MODELS,
+    PRIOR_ESTIMATORS,
+    Pipeline,
+    ReleaseBundle,
+    Session,
+    SweepOutcome,
+    SweepSpec,
+    expand_grid,
+    register_algorithm,
+    register_measure,
+    register_model,
+    register_prior_estimator,
 )
 from repro.data import (
     Attribute,
@@ -91,6 +132,7 @@ from repro.utility import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALGORITHMS",
     "AnonymizationError",
     "AnonymizationResult",
     "AnonymizedRelease",
@@ -102,6 +144,14 @@ __all__ = [
     "Bandwidth",
     "CompositeModel",
     "DataError",
+    "MEASURES",
+    "MODELS",
+    "PRIOR_ESTIMATORS",
+    "Pipeline",
+    "ReleaseBundle",
+    "Session",
+    "SweepOutcome",
+    "SweepSpec",
     "DistinctLDiversity",
     "EntropyLDiversity",
     "ExperimentError",
@@ -130,6 +180,7 @@ __all__ = [
     "average_relative_error",
     "discernibility_metric",
     "exact_posterior",
+    "expand_grid",
     "generate_adult",
     "global_certainty_penalty",
     "kernel_prior",
@@ -137,6 +188,10 @@ __all__ = [
     "omega_posterior",
     "overall_prior",
     "posterior_for_groups",
+    "register_algorithm",
+    "register_measure",
+    "register_model",
+    "register_prior_estimator",
     "sensitive_distance_measure",
     "tuple_disclosure_risks",
     "uniform_prior",

@@ -1,0 +1,225 @@
+"""The fluent pipeline: anonymize -> audit -> report in one composable run.
+
+The paper's workflow is a pipeline - estimate the adversary's priors,
+anonymize under a privacy requirement, then audit the disclosure risk and the
+remaining utility.  :class:`Pipeline` expresses it as a chainable builder::
+
+    bundle = (
+        Pipeline(table)
+        .model("bt", b=0.3, t=0.2)
+        .with_k(4)
+        .algorithm("mondrian")
+        .audit(b_prime=0.3)
+        .run()
+    )
+    bundle.release.n_groups
+    bundle.attack.vulnerable_tuples
+    bundle.utility["discernibility_metric"]
+    bundle.timings["prepare_seconds"]
+
+Model and algorithm names resolve through the registries of
+:mod:`repro.api.registry`; a pipeline built from a :class:`Session` (or via
+``session.pipeline()``) shares that session's preparation caches, so the
+kernel prior estimation - the dominant cost - runs at most once per
+``(bandwidth, kernel)`` no matter how many pipelines run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.anonymize.anonymizer import AnonymizationResult
+from repro.anonymize.partition import AnonymizedRelease
+from repro.api.session import Session
+from repro.data.table import MicrodataTable
+from repro.exceptions import PipelineError
+from repro.privacy.disclosure import AttackResult
+from repro.privacy.models import PrivacyModel
+from repro.utility.metrics import utility_report
+
+
+@dataclass
+class ReleaseBundle:
+    """Everything one pipeline run produces: release, audit, utility, timings."""
+
+    release: AnonymizedRelease
+    result: AnonymizationResult
+    model_description: str
+    attack: AttackResult | None = None
+    utility: dict[str, float] | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, Any]:
+        """Flat summary dictionary (one sweep-table row)."""
+        row: dict[str, Any] = {
+            "model": self.model_description,
+            "method": self.release.method,
+            "n_groups": self.release.n_groups,
+            "average_group_size": self.release.average_group_size(),
+            "prepare_seconds": self.timings.get("prepare_seconds", 0.0),
+            "partition_seconds": self.timings.get("partition_seconds", 0.0),
+            "total_seconds": self.timings.get("total_seconds", 0.0),
+        }
+        if self.attack is not None:
+            row["vulnerable_tuples"] = self.attack.vulnerable_tuples
+            row["worst_case_risk"] = self.attack.worst_case_risk
+        if self.utility is not None:
+            row["discernibility_metric"] = self.utility["discernibility_metric"]
+            row["global_certainty_penalty"] = self.utility["global_certainty_penalty"]
+        return row
+
+    def render(self) -> str:
+        """Human-readable multi-line report of this bundle."""
+        lines = [
+            f"model: {self.model_description}",
+            f"method: {self.release.method}",
+            f"groups: {self.release.n_groups} (avg size {self.release.average_group_size():.1f})",
+            "timings: "
+            + ", ".join(f"{name}={value:.3f}s" for name, value in self.timings.items()),
+        ]
+        if self.attack is not None:
+            lines.append(
+                f"audit Adv(b'={self.attack.adversary_b:g}): "
+                f"{self.attack.vulnerable_tuples} vulnerable tuples, "
+                f"worst-case gain {self.attack.worst_case_risk:.4f} "
+                f"(threshold {self.attack.threshold:g})"
+            )
+        if self.utility is not None:
+            lines.append(
+                f"utility: DM={self.utility['discernibility_metric']:.0f} "
+                f"GCP={self.utility['global_certainty_penalty']:.0f}"
+            )
+        return "\n".join(lines)
+
+
+class Pipeline:
+    """Chainable builder for one anonymize -> audit -> report run.
+
+    Construct from a table (an ephemeral session is created) or from an
+    existing :class:`~repro.api.session.Session` to share preparation caches::
+
+        Pipeline(table).model("bt", b=0.3, t=0.2).with_k(4).run()
+        session.pipeline().model("t-closeness", t=0.15).run()
+    """
+
+    def __init__(self, table: MicrodataTable | None = None, *, session: Session | None = None):
+        if session is None:
+            if table is None:
+                raise PipelineError("Pipeline requires a table or a session")
+            session = Session(table)
+        elif table is not None and table is not session.table:
+            raise PipelineError("Pipeline table and session table differ; pass only one")
+        self.session = session
+        self._model: str | PrivacyModel | None = None
+        self._model_params: dict[str, Any] = {}
+        self._k: int | None = None
+        self._algorithm: str = "mondrian"
+        self._algorithm_options: dict[str, Any] = {}
+        self._audit: dict[str, Any] | None = None
+        self._utility: bool = True
+
+    # -- builder steps ----------------------------------------------------------------
+    def model(self, model: str | PrivacyModel, **params: Any) -> "Pipeline":
+        """The privacy requirement: a registry name plus parameters, or an instance."""
+        self._model = model
+        self._model_params = dict(params)
+        return self
+
+    def with_k(self, k: int | None) -> "Pipeline":
+        """Conjoin a k-anonymity requirement (the paper's identity-disclosure guard)."""
+        self._k = k
+        return self
+
+    def algorithm(self, name: str, **options: Any) -> "Pipeline":
+        """The anonymization algorithm (registry name) and its options."""
+        self._algorithm = name
+        self._algorithm_options = dict(options)
+        return self
+
+    def audit(
+        self,
+        *,
+        b_prime: float = 0.3,
+        threshold: float | None = None,
+        kernel: str | None = None,
+        method: str = "omega",
+    ) -> "Pipeline":
+        """Replay the background-knowledge attack of ``Adv(b')`` on the release.
+
+        ``threshold`` defaults to the privacy model's own ``t`` when it has
+        one (the natural "did the model keep its promise" audit).
+        """
+        self._audit = {
+            "b_prime": float(b_prime),
+            "threshold": threshold,
+            "kernel": kernel,
+            "method": method,
+        }
+        return self
+
+    def with_utility(self, enabled: bool = True) -> "Pipeline":
+        """Toggle the utility report (on by default)."""
+        self._utility = bool(enabled)
+        return self
+
+    # -- execution --------------------------------------------------------------------
+    def _resolve_threshold(self, model: PrivacyModel, configured: float | None) -> float:
+        if configured is not None:
+            return float(configured)
+        for component in model.components():
+            t = getattr(component, "t", None)
+            if t is not None:
+                return float(t)
+        raise PipelineError(
+            "audit threshold not given and the model has no t parameter; "
+            "pass audit(threshold=...)"
+        )
+
+    def run(self) -> ReleaseBundle:
+        """Execute the configured pipeline and return its :class:`ReleaseBundle`."""
+        if self._model is None:
+            raise PipelineError("pipeline has no model; call .model(name, ...) first")
+        session = self.session
+        requirement = session.build_model(self._model, **self._model_params)
+
+        result = session.anonymize(
+            requirement,
+            k=self._k,
+            algorithm=self._algorithm,
+            **self._algorithm_options,
+        )
+        timings = {
+            "prepare_seconds": result.prepare_seconds,
+            "partition_seconds": result.partition_seconds,
+        }
+
+        attack: AttackResult | None = None
+        if self._audit is not None:
+            threshold = self._resolve_threshold(requirement, self._audit["threshold"])
+            start = time.perf_counter()
+            attack = session.attack(
+                result.release.groups,
+                b_prime=self._audit["b_prime"],
+                threshold=threshold,
+                kernel=self._audit["kernel"],
+                method=self._audit["method"],
+            )
+            timings["audit_seconds"] = time.perf_counter() - start
+
+        utility: dict[str, float] | None = None
+        if self._utility:
+            start = time.perf_counter()
+            utility = utility_report(result.release)
+            timings["utility_seconds"] = time.perf_counter() - start
+
+        timings["total_seconds"] = sum(timings.values())
+        return ReleaseBundle(
+            release=result.release,
+            result=result,
+            model_description=result.model_description,
+            attack=attack,
+            utility=utility,
+            timings=timings,
+        )

@@ -1,0 +1,196 @@
+"""Named, decorator-based plugin registries.
+
+Every extension point of the library - privacy models, anonymization
+algorithms, prior estimators and distance measures - is a :class:`Registry`
+of named factories.  Registering a factory makes it available *everywhere* at
+once: the CLI derives its ``--model`` choices from :data:`MODELS`, the
+:func:`repro.anonymize.anonymizer.anonymize` wrapper dispatches through
+:data:`ALGORITHMS`, and :class:`repro.api.session.Session` resolves prior
+estimators and measures by name.  Adding a new model is a single decorated
+function instead of a cross-cutting edit::
+
+    from repro.api import register_model
+
+    @register_model("my-model", summary="toy requirement")
+    def build_my_model(*, threshold=0.5):
+        return MyModel(threshold)
+
+Factories are keyword-only callables; :meth:`Registry.parameters` exposes the
+accepted keyword names so callers holding a superset of parameters (the CLI's
+``--b/--t/--l/--k`` flags, a sweep grid row) can filter before calling - see
+:meth:`Registry.build_filtered`.
+
+The built-in entries are registered by :mod:`repro.api.builtins`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.exceptions import (
+    AnonymizationError,
+    KnowledgeError,
+    PrivacyModelError,
+    RegistryError,
+)
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered factory: canonical name, aliases and a short summary."""
+
+    name: str
+    factory: Callable[..., Any]
+    aliases: tuple[str, ...]
+    summary: str
+
+
+class Registry:
+    """A mapping from names to factories with decorator-based registration.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable description of what the registry holds (used in error
+        messages, e.g. ``"privacy model"``).
+    error_class:
+        Exception raised on unknown-name lookups (defaults to
+        :class:`~repro.exceptions.RegistryError`).  Duplicate registrations
+        always raise :class:`~repro.exceptions.RegistryError`.
+    """
+
+    def __init__(self, kind: str, *, error_class: type[Exception] = RegistryError):
+        self.kind = kind
+        self.error_class = error_class
+        self._entries: dict[str, RegistryEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration -----------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        *,
+        aliases: tuple[str, ...] = (),
+        summary: str | None = None,
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering a factory under ``name`` (plus optional aliases)."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"a {self.kind} name must be a non-empty string")
+
+        def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+            for candidate in (name, *aliases):
+                if candidate in self._entries or candidate in self._aliases:
+                    raise RegistryError(
+                        f"{self.kind} {candidate!r} is already registered"
+                    )
+            doc = summary
+            if doc is None:
+                doc = (inspect.getdoc(factory) or "").strip().splitlines()
+                doc = doc[0] if doc else ""
+            entry = RegistryEntry(
+                name=name, factory=factory, aliases=tuple(aliases), summary=doc
+            )
+            self._entries[name] = entry
+            for alias in aliases:
+                self._aliases[alias] = name
+            return factory
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (mainly for tests exercising plugin lifecycles)."""
+        entry = self.entry(name)
+        del self._entries[entry.name]
+        for alias in entry.aliases:
+            self._aliases.pop(alias, None)
+
+    # -- lookup -----------------------------------------------------------------------
+    def entry(self, name: str) -> RegistryEntry:
+        """The :class:`RegistryEntry` for ``name`` (aliases resolve to it)."""
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._entries[canonical]
+        except KeyError:
+            raise self.error_class(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under ``name``."""
+        return self.entry(name).factory
+
+    def build(self, name: str, **params: Any) -> Any:
+        """Instantiate the ``name`` entry with exactly ``params``."""
+        return self.get(name)(**params)
+
+    def parameters(self, name: str) -> tuple[str, ...]:
+        """Keyword parameter names accepted by the ``name`` factory."""
+        signature = inspect.signature(self.get(name))
+        return tuple(
+            parameter.name
+            for parameter in signature.parameters.values()
+            if parameter.kind
+            in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        )
+
+    def keyword_parameters(self, name: str) -> tuple[str, ...]:
+        """Only the keyword-*only* parameters of the ``name`` factory.
+
+        This is the right filter for factories with positional context
+        arguments (an algorithm's ``(table, requirement, *, ...)``): the
+        positional names must not be supplied - or validated - as options.
+        """
+        signature = inspect.signature(self.get(name))
+        return tuple(
+            parameter.name
+            for parameter in signature.parameters.values()
+            if parameter.kind == parameter.KEYWORD_ONLY
+        )
+
+    def build_filtered(self, name: str, params: Mapping[str, Any]) -> Any:
+        """Instantiate ``name``, silently dropping parameters it does not accept.
+
+        This is the CLI/sweep entry point: the caller holds one parameter
+        superset (``b``, ``t``, ``l``, ...) and each model picks what it
+        understands.  Library code should prefer the strict :meth:`build`.
+        """
+        accepted = set(self.parameters(name))
+        return self.build(name, **{k: v for k, v in params.items() if k in accepted})
+
+    # -- introspection ----------------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        """Canonical names in registration order (aliases excluded)."""
+        return tuple(self._entries)
+
+    def summaries(self) -> dict[str, str]:
+        """Mapping of canonical name to one-line summary (for ``--help`` text)."""
+        return {name: entry.summary for name, entry in self._entries.items()}
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {list(self._entries)})"
+
+
+#: Privacy models (``anonymize``'s requirement, the CLI's ``--model`` choices).
+MODELS = Registry("privacy model", error_class=PrivacyModelError)
+#: Anonymization algorithms (Mondrian generalization, Anatomy bucketization, ...).
+ALGORITHMS = Registry("anonymization algorithm", error_class=AnonymizationError)
+#: Prior-belief estimators (kernel regression and the Section II-D baselines).
+PRIOR_ESTIMATORS = Registry("prior estimator", error_class=KnowledgeError)
+#: Distance measures ``D[P, Q]`` between prior and posterior beliefs.
+MEASURES = Registry("distance measure", error_class=PrivacyModelError)
+
+register_model = MODELS.register
+register_algorithm = ALGORITHMS.register
+register_prior_estimator = PRIOR_ESTIMATORS.register
+register_measure = MEASURES.register

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro`` once installed).
 
 The CLI wires the library's main workflows together for quick experiments on
 the synthetic Adult-like dataset (or any CSV file with the same schema):
@@ -8,11 +8,15 @@ the synthetic Adult-like dataset (or any CSV file with the same schema):
   generalized release as CSV;
 * ``attack``    - replay the probabilistic background-knowledge attack against
   a release built in-process and report vulnerable tuples;
+* ``sweep``     - run a model/parameter grid through one cached session and
+  print the resulting comparison table;
 * ``figure``    - regenerate one of the paper's figures and print it as a
   plain-text table.
 
-The CLI always works with the Table IV schema; arbitrary schemas are a
-library-level feature (see :mod:`repro.data.schema`).
+Model and algorithm choices are sourced from the plugin registries of
+:mod:`repro.api.registry`, so models registered with ``@register_model``
+surface here automatically.  The CLI always works with the Table IV schema;
+arbitrary schemas are a library-level feature (see :mod:`repro.data.schema`).
 """
 
 from __future__ import annotations
@@ -23,25 +27,17 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.anonymize.anonymizer import anonymize
+from repro.api import ALGORITHMS, MODELS, Pipeline, Session, expand_grid
 from repro.data.adult import adult_schema, generate_adult
 from repro.data.io import read_csv, write_csv
 from repro.data.table import MicrodataTable
 from repro.exceptions import ReproError
 from repro.experiments import config as experiment_config
 from repro.experiments import figures as experiment_figures
-from repro.privacy.disclosure import BackgroundKnowledgeAttack
-from repro.privacy.models import (
-    BTPrivacy,
-    DistinctLDiversity,
-    PrivacyModel,
-    ProbabilisticLDiversity,
-    TCloseness,
-)
-from repro.utility.metrics import utility_report
+from repro.privacy.models import PrivacyModel
 
-_MODEL_CHOICES = ("bt", "distinct-l", "probabilistic-l", "t-closeness")
 _FIGURE_CHOICES = ("1a", "1b", "2", "3a", "3b", "4a", "4b", "5a", "5b", "6a", "6b")
+_DEFAULT_SWEEP_MODELS = ("bt", "distinct-l", "probabilistic-l", "t-closeness")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +73,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="knowledge-gain threshold for counting vulnerable tuples (default: the model's t)",
     )
 
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a model/parameter grid through one cached session and print the comparison",
+    )
+    _add_table_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--model",
+        action="append",
+        choices=MODELS.names(),
+        help=(
+            "privacy model to include (repeatable; default "
+            + ", ".join(_DEFAULT_SWEEP_MODELS)
+            + ")"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--b", type=float, action="append",
+        help="(B,t)-privacy bandwidth b (repeatable grid axis; default 0.3)",
+    )
+    sweep_parser.add_argument(
+        "--t", type=float, action="append",
+        help="disclosure threshold t (repeatable grid axis; default 0.2)",
+    )
+    sweep_parser.add_argument(
+        "--l", type=float, action="append",
+        help="l-diversity parameter (repeatable grid axis; default 4)",
+    )
+    sweep_parser.add_argument("--k", type=int, default=4, help="k-anonymity parameter (default 4)")
+    sweep_parser.add_argument(
+        "--b-prime", type=float, default=0.3, help="audit adversary bandwidth b' (default 0.3)"
+    )
+    sweep_parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="audit knowledge-gain threshold (default: each grid row's t)",
+    )
+    sweep_parser.add_argument(
+        "--no-audit", action="store_true", help="skip the background-knowledge audit"
+    )
+    sweep_parser.add_argument(
+        "--processes", type=int, default=None,
+        help="distribute the grid over N worker processes (default: serial, shared cache)",
+    )
+
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate one of the paper's figures and print it"
     )
@@ -99,12 +138,22 @@ def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--model", default="bt", choices=_MODEL_CHOICES, help="privacy model (default bt)"
+        "--model", default="bt", choices=MODELS.names(), help="privacy model (default bt)"
+    )
+    parser.add_argument(
+        "--algorithm", default="mondrian", choices=ALGORITHMS.names(),
+        help="anonymization algorithm (default mondrian)",
     )
     parser.add_argument("--b", type=float, default=0.3, help="(B,t)-privacy bandwidth b (default 0.3)")
     parser.add_argument("--t", type=float, default=0.2, help="disclosure threshold t (default 0.2)")
-    parser.add_argument("--l", type=float, default=4, help="l-diversity parameter (default 4)")
+    parser.add_argument(
+        "--l", type=float, default=4,
+        help="l-diversity parameter (default 4; distinct-l rejects non-integer values)",
+    )
     parser.add_argument("--k", type=int, default=4, help="k-anonymity parameter (default 4)")
+    parser.add_argument(
+        "--anatomy-l", type=int, default=None, help="Anatomy bucket diversity (anatomy only)"
+    )
 
 
 def _load_table(args: argparse.Namespace) -> MicrodataTable:
@@ -114,13 +163,10 @@ def _load_table(args: argparse.Namespace) -> MicrodataTable:
 
 
 def _build_model(args: argparse.Namespace) -> PrivacyModel:
-    if args.model == "bt":
-        return BTPrivacy(args.b, args.t)
-    if args.model == "distinct-l":
-        return DistinctLDiversity(int(args.l))
-    if args.model == "probabilistic-l":
-        return ProbabilisticLDiversity(args.l)
-    return TCloseness(args.t)
+    """Build the chosen model from the registry; each model picks the flags it understands."""
+    return MODELS.build_filtered(
+        args.model, {"b": args.b, "t": args.t, "l": args.l, "k": args.k}
+    )
 
 
 def _write_release_csv(release, path: str | Path) -> None:
@@ -142,19 +188,23 @@ def _run_generate(args: argparse.Namespace) -> int:
 
 def _run_anonymize(args: argparse.Namespace) -> int:
     table = _load_table(args)
-    model = _build_model(args)
-    result = anonymize(table, model, k=args.k)
-    release = result.release
+    bundle = (
+        Pipeline(table)
+        .model(_build_model(args))
+        .with_k(args.k)
+        .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
+        .run()
+    )
+    release = bundle.release
     _write_release_csv(release, args.output)
-    report = utility_report(release)
     print(
         f"anonymized {table.n_rows} rows with {args.model} "
-        f"({result.model_description}): {release.n_groups} groups, "
+        f"({bundle.model_description}): {release.n_groups} groups, "
         f"avg size {release.average_group_size():.1f}"
     )
     print(
-        f"utility: DM={report['discernibility_metric']:.0f} "
-        f"GCP={report['global_certainty_penalty']:.0f}"
+        f"utility: DM={bundle.utility['discernibility_metric']:.0f} "
+        f"GCP={bundle.utility['global_certainty_penalty']:.0f}"
     )
     print(f"wrote generalized release to {args.output}")
     return 0
@@ -162,13 +212,19 @@ def _run_anonymize(args: argparse.Namespace) -> int:
 
 def _run_attack(args: argparse.Namespace) -> int:
     table = _load_table(args)
-    model = _build_model(args)
-    result = anonymize(table, model, k=args.k)
     threshold = args.threshold if args.threshold is not None else args.t
-    attack = BackgroundKnowledgeAttack(table, args.b_prime)
-    outcome = attack.attack(result.release.groups, threshold)
+    bundle = (
+        Pipeline(table)
+        .model(_build_model(args))
+        .with_k(args.k)
+        .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
+        .audit(b_prime=args.b_prime, threshold=threshold)
+        .with_utility(False)
+        .run()
+    )
+    outcome = bundle.attack
     print(
-        f"model={args.model} groups={result.release.n_groups} "
+        f"model={args.model} groups={bundle.release.n_groups} "
         f"adversary b'={args.b_prime:g} threshold={threshold:g}"
     )
     print(
@@ -179,23 +235,69 @@ def _run_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    session = Session(table)
+    models = tuple(args.model) if args.model else _DEFAULT_SWEEP_MODELS
+    audit = None
+    if not args.no_audit:
+        audit = {"b_prime": args.b_prime, "threshold": args.threshold}
+    specs = expand_grid(
+        model=list(models),
+        b=args.b or [0.3],
+        t=args.t or [0.2],
+        l=args.l or [4.0],
+        k=args.k,
+        audit=audit,
+    )
+    if audit is not None and args.threshold is None:
+        # Audit each grid row against its own t (so l-diversity rows, whose
+        # models carry no t, still have a threshold).
+        for spec in specs:
+            spec.audit = {**spec.audit, "threshold": spec.params.get("t")}
+    # Models ignore grid axes they don't understand (e.g. distinct-l and b),
+    # so a multi-valued axis can produce identical effective configurations;
+    # keep the first of each.
+    seen: set[tuple] = set()
+    unique_specs = []
+    for spec in specs:
+        key = (spec.resolved_label(), tuple(sorted((spec.audit or {}).items())))
+        if key not in seen:
+            seen.add(key)
+            unique_specs.append(spec)
+    outcome = session.sweep(unique_specs, processes=args.processes)
+    print(f"sweep: {len(outcome.rows)} configurations on {table.n_rows} rows")
+    print(outcome.render())
+    stats = outcome.stats
+    print(
+        f"cache: {stats['prior_estimations']} prior estimation(s), "
+        f"{stats['prior_cache_hits']} cache hit(s)"
+    )
+    return 0
+
+
 def _run_figure(args: argparse.Namespace) -> int:
     table = generate_adult(args.rows, seed=args.seed)
     parameters = experiment_config.parameters_by_name(args.parameters)
+    session = Session(table)
     runners = {
-        "1a": lambda: experiment_figures.figure_1a(table, parameters),
-        "1b": lambda: experiment_figures.figure_1b(table),
-        "2": lambda: experiment_figures.figure_2(table, repeats=20),
-        "3a": lambda: experiment_figures.figure_3a(table, t=parameters.t, k=parameters.k),
-        "3b": lambda: experiment_figures.figure_3b(table, t=parameters.t, k=parameters.k),
-        "4a": lambda: experiment_figures.figure_4a(table),
+        "1a": lambda: experiment_figures.figure_1a(table, parameters, session=session),
+        "1b": lambda: experiment_figures.figure_1b(table, session=session),
+        "2": lambda: experiment_figures.figure_2(table, repeats=20, session=session),
+        "3a": lambda: experiment_figures.figure_3a(
+            table, t=parameters.t, k=parameters.k, session=session
+        ),
+        "3b": lambda: experiment_figures.figure_3b(
+            table, t=parameters.t, k=parameters.k, session=session
+        ),
+        "4a": lambda: experiment_figures.figure_4a(table, session=session),
         "4b": lambda: experiment_figures.figure_4b(
             input_sizes=(args.rows // 2, args.rows, 2 * args.rows), seed=args.seed
         ),
-        "5a": lambda: experiment_figures.figure_5a(table),
-        "5b": lambda: experiment_figures.figure_5b(table),
-        "6a": lambda: experiment_figures.figure_6a(table, parameters),
-        "6b": lambda: experiment_figures.figure_6b(table, parameters),
+        "5a": lambda: experiment_figures.figure_5a(table, session=session),
+        "5b": lambda: experiment_figures.figure_5b(table, session=session),
+        "6a": lambda: experiment_figures.figure_6a(table, parameters, session=session),
+        "6b": lambda: experiment_figures.figure_6b(table, parameters, session=session),
     }
     result = runners[args.id]()
     print(result.render())
@@ -203,13 +305,14 @@ def _run_figure(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point used by ``python -m repro`` and the tests."""
+    """Entry point used by ``python -m repro``, the ``repro`` script and the tests."""
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
         "generate": _run_generate,
         "anonymize": _run_anonymize,
         "attack": _run_attack,
+        "sweep": _run_sweep,
         "figure": _run_figure,
     }
     try:

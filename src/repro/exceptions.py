@@ -46,3 +46,11 @@ class UtilityError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment runner is configured inconsistently."""
+
+
+class RegistryError(ReproError):
+    """Raised for invalid plugin registrations (duplicate or malformed names)."""
+
+
+class PipelineError(ReproError):
+    """Raised when a pipeline or sweep is configured inconsistently."""

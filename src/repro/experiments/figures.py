@@ -32,7 +32,9 @@ import time
 
 import numpy as np
 
-from repro.anonymize.anonymizer import AnonymizationResult, anonymize
+from repro.anonymize.anonymizer import AnonymizationResult
+from repro.api.session import Session
+from repro.api.sweep import SweepSpec
 from repro.data.adult import generate_adult
 from repro.data.table import MicrodataTable
 from repro.exceptions import ExperimentError
@@ -42,12 +44,7 @@ from repro.inference.exact import exact_posterior, group_sensitive_counts
 from repro.inference.omega import omega_posterior
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import kernel_prior
-from repro.privacy.disclosure import (
-    BackgroundKnowledgeAttack,
-    count_vulnerable_tuples,
-    worst_case_disclosure_risk,
-)
-from repro.privacy.measures import sensitive_distance_measure
+from repro.privacy.disclosure import worst_case_disclosure_risk
 from repro.privacy.models import BTPrivacy
 from repro.utility.metrics import discernibility_metric, global_certainty_penalty
 from repro.utility.query import QueryWorkloadGenerator, average_relative_error
@@ -58,6 +55,11 @@ DEFAULT_B_PRIME_VALUES = (0.2, 0.3, 0.4, 0.5)
 # ---------------------------------------------------------------------------
 # Shared helpers
 # ---------------------------------------------------------------------------
+#
+# Every runner accepts an optional Session; passing one shared session (as the
+# CLI ``figure`` command does) reuses the kernel prior estimations - the
+# dominant cost of the (B,t) experiments - across parameter sets, adversaries
+# and figures.
 
 
 def four_model_releases(
@@ -65,26 +67,30 @@ def four_model_releases(
     parameters: PrivacyParameters,
     *,
     with_k_anonymity: bool = True,
+    session: Session | None = None,
 ) -> dict[str, AnonymizationResult]:
     """Anonymize ``table`` with the four Section V models under one parameter set."""
+    session = session or Session(table)
     models = build_models(parameters, with_k_anonymity=with_k_anonymity)
-    releases: dict[str, AnonymizationResult] = {}
-    for name in MODEL_NAMES:
-        releases[name] = anonymize(table, models[name])
-    return releases
+    specs = [
+        SweepSpec(label=name, model=models[name], utility=False) for name in MODEL_NAMES
+    ]
+    outcome = session.sweep(specs)
+    return {row.label: row.bundle.result for row in outcome.rows}
 
 
 def _attack_counts(
-    table: MicrodataTable,
+    session: Session,
     releases: dict[str, AnonymizationResult],
     b_prime: float,
     threshold: float,
 ) -> dict[str, int]:
     """Vulnerable-tuple counts of one adversary against a set of releases."""
-    attack = BackgroundKnowledgeAttack(table, b_prime)
     counts: dict[str, int] = {}
     for name, result in releases.items():
-        outcome = attack.attack(result.release.groups, threshold)
+        outcome = session.attack(
+            result.release.groups, b_prime=b_prime, threshold=threshold
+        )
         counts[name] = outcome.vulnerable_tuples
     return counts
 
@@ -99,9 +105,11 @@ def figure_1a(
     parameters: PrivacyParameters,
     *,
     b_prime_values: tuple[float, ...] = DEFAULT_B_PRIME_VALUES,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 1(a): vulnerable tuples vs the adversary's bandwidth ``b'``."""
-    releases = four_model_releases(table, parameters)
+    session = session or Session(table)
+    releases = four_model_releases(table, parameters, session=session)
     result = ExperimentResult(
         experiment_id="Figure 1(a)",
         title=f"Probabilistic background-knowledge attack, {parameters.describe()}",
@@ -110,7 +118,7 @@ def figure_1a(
     )
     counts_per_model: dict[str, list[float]] = {name: [] for name in MODEL_NAMES}
     for b_prime in b_prime_values:
-        counts = _attack_counts(table, releases, b_prime, parameters.t)
+        counts = _attack_counts(session, releases, b_prime, parameters.t)
         for name in MODEL_NAMES:
             counts_per_model[name].append(float(counts[name]))
     for name in MODEL_NAMES:
@@ -123,6 +131,7 @@ def figure_1b(
     *,
     parameter_sets: tuple[PrivacyParameters, ...] = TABLE_V,
     b_prime: float = 0.3,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 1(b): vulnerable tuples vs the privacy parameter set (fixed ``b' = 0.3``)."""
     result = ExperimentResult(
@@ -131,10 +140,11 @@ def figure_1b(
         x_label="privacy parameter",
         y_label="number of vulnerable tuples",
     )
+    session = session or Session(table)
     counts_per_model: dict[str, list[float]] = {name: [] for name in MODEL_NAMES}
     for parameters in parameter_sets:
-        releases = four_model_releases(table, parameters)
-        counts = _attack_counts(table, releases, b_prime, parameters.t)
+        releases = four_model_releases(table, parameters, session=session)
+        counts = _attack_counts(session, releases, b_prime, parameters.t)
         for name in MODEL_NAMES:
             counts_per_model[name].append(float(counts[name]))
     labels = [parameters.name for parameters in parameter_sets]
@@ -155,6 +165,7 @@ def figure_2(
     b_values: tuple[float, ...] = DEFAULT_B_PRIME_VALUES,
     repeats: int = 100,
     seed: int = 42,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 2: average distance error of the Omega-estimate vs group size ``N``.
 
@@ -165,8 +176,9 @@ def figure_2(
     if repeats <= 0:
         raise ExperimentError("repeats must be positive")
     rng = np.random.default_rng(seed)
-    measure = sensitive_distance_measure(table)
-    sensitive_codes = table.sensitive_codes()
+    session = session or Session(table)
+    measure = session.measure("smoothed-js")
+    sensitive_codes = session.sensitive_codes()
     m = table.sensitive_domain().size
     result = ExperimentResult(
         experiment_id="Figure 2",
@@ -175,7 +187,7 @@ def figure_2(
         y_label="aggregate distance error",
     )
     for b in b_values:
-        priors = kernel_prior(table, b)
+        priors = session.priors(b)
         errors_per_size: list[float] = []
         for group_size in group_sizes:
             errors = []
@@ -205,13 +217,15 @@ def figure_3a(
     adversary_b_values: tuple[float, ...] = DEFAULT_B_PRIME_VALUES,
     t: float = 0.25,
     k: int = 3,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 3(a): worst-case disclosure risk vs the publisher's bandwidth ``b``."""
-    measure = sensitive_distance_measure(table)
-    sensitive_codes = table.sensitive_codes()
+    session = session or Session(table)
+    measure = session.measure("smoothed-js")
+    sensitive_codes = session.sensitive_codes()
     releases = {}
     for b in table_b_values:
-        releases[b] = anonymize(table, BTPrivacy(b, t), k=k).release
+        releases[b] = session.anonymize(BTPrivacy(b, t), k=k).release
     result = ExperimentResult(
         experiment_id="Figure 3(a)",
         title=f"Continuity of worst-case disclosure risk (t={t:g}, k={k})",
@@ -219,7 +233,7 @@ def figure_3a(
         y_label="worst-case disclosure risk",
     )
     for b_prime in adversary_b_values:
-        priors = kernel_prior(table, b_prime)
+        priors = session.priors(b_prime)
         risks = [
             worst_case_disclosure_risk(priors, sensitive_codes, releases[b].groups, measure)
             for b in table_b_values
@@ -237,6 +251,7 @@ def figure_3b(
     t: float = 0.25,
     k: int = 3,
     first_block_size: int = 3,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 3(b): worst-case disclosure risk over the ``(b1, b2)`` grid.
 
@@ -249,9 +264,10 @@ def figure_3b(
         raise ExperimentError("first_block_size must leave both attribute blocks non-empty")
     first_block = qi_names[:first_block_size]
     second_block = qi_names[first_block_size:]
-    measure = sensitive_distance_measure(table)
-    sensitive_codes = table.sensitive_codes()
-    priors = kernel_prior(table, adversary_b)
+    session = session or Session(table)
+    measure = session.measure("smoothed-js")
+    sensitive_codes = session.sensitive_codes()
+    priors = session.priors(adversary_b)
     result = ExperimentResult(
         experiment_id="Figure 3(b)",
         title=f"Continuity over (b1, b2), adversary b'={adversary_b:g}",
@@ -262,7 +278,7 @@ def figure_3b(
         risks = []
         for b2 in b2_values:
             bandwidth = Bandwidth.split(first_block, b1, second_block, b2)
-            release = anonymize(table, BTPrivacy(bandwidth, t), k=k).release
+            release = session.anonymize(BTPrivacy(bandwidth, t), k=k).release
             risks.append(
                 worst_case_disclosure_risk(priors, sensitive_codes, release.groups, measure)
             )
@@ -279,6 +295,7 @@ def figure_4a(
     table: MicrodataTable,
     *,
     parameter_sets: tuple[PrivacyParameters, ...] = TABLE_V,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 4(a): Mondrian anonymization time (seconds) for the four models.
 
@@ -286,6 +303,7 @@ def figure_4a(
     included for the (B,t) model; it is reported separately by
     :func:`figure_4b`.
     """
+    session = session or Session(table)
     result = ExperimentResult(
         experiment_id="Figure 4(a)",
         title="Anonymization time of the four privacy models",
@@ -294,7 +312,7 @@ def figure_4a(
     )
     times_per_model: dict[str, list[float]] = {name: [] for name in MODEL_NAMES}
     for parameters in parameter_sets:
-        releases = four_model_releases(table, parameters)
+        releases = four_model_releases(table, parameters, session=session)
         for name in MODEL_NAMES:
             times_per_model[name].append(releases[name].partition_seconds)
     labels = [parameters.name for parameters in parameter_sets]
@@ -336,10 +354,12 @@ def _general_utility(
     table: MicrodataTable,
     parameter_sets: tuple[PrivacyParameters, ...],
     metric: str,
+    session: Session | None = None,
 ) -> dict[str, list[float]]:
+    session = session or Session(table)
     values: dict[str, list[float]] = {name: [] for name in MODEL_NAMES}
     for parameters in parameter_sets:
-        releases = four_model_releases(table, parameters)
+        releases = four_model_releases(table, parameters, session=session)
         for name in MODEL_NAMES:
             release = releases[name].release
             if metric == "dm":
@@ -353,9 +373,10 @@ def figure_5a(
     table: MicrodataTable,
     *,
     parameter_sets: tuple[PrivacyParameters, ...] = TABLE_V,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 5(a): Discernibility Metric of the four models."""
-    values = _general_utility(table, parameter_sets, "dm")
+    values = _general_utility(table, parameter_sets, "dm", session=session)
     result = ExperimentResult(
         experiment_id="Figure 5(a)",
         title="Discernibility metric (DM)",
@@ -372,9 +393,10 @@ def figure_5b(
     table: MicrodataTable,
     *,
     parameter_sets: tuple[PrivacyParameters, ...] = TABLE_V,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 5(b): Global Certainty Penalty of the four models."""
-    values = _general_utility(table, parameter_sets, "gcp")
+    values = _general_utility(table, parameter_sets, "gcp", session=session)
     result = ExperimentResult(
         experiment_id="Figure 5(b)",
         title="Global certainty penalty (GCP)",
@@ -400,9 +422,10 @@ def figure_6a(
     selectivity: float = 0.07,
     n_queries: int = 200,
     seed: int = 7,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 6(a): average relative query error vs query dimension ``qd``."""
-    releases = four_model_releases(table, parameters)
+    releases = four_model_releases(table, parameters, session=session)
     result = ExperimentResult(
         experiment_id="Figure 6(a)",
         title=f"Aggregate query error vs query dimension, {parameters.describe()}",
@@ -432,9 +455,10 @@ def figure_6b(
     query_dimension: int = 3,
     n_queries: int = 200,
     seed: int = 7,
+    session: Session | None = None,
 ) -> ExperimentResult:
     """Figure 6(b): average relative query error vs query selectivity ``sel``."""
-    releases = four_model_releases(table, parameters)
+    releases = four_model_releases(table, parameters, session=session)
     result = ExperimentResult(
         experiment_id="Figure 6(b)",
         title=f"Aggregate query error vs selectivity, {parameters.describe()}",

@@ -106,6 +106,13 @@ class KernelPriorEstimator:
     batch_size:
         Number of query rows evaluated per vectorised batch.  Purely a
         speed/memory trade-off; results do not depend on it.
+    distance_matrices:
+        Optional mapping from attribute name to its precomputed ``|D_i| x
+        |D_i|`` normalised distance matrix.  The matrices depend only on the
+        attribute domains - not on the bandwidth - so callers fitting several
+        estimators on one table (e.g. a session sweeping over ``b`` values)
+        can compute them once and share them; attributes missing from the
+        mapping are computed as usual.
     """
 
     def __init__(
@@ -114,6 +121,7 @@ class KernelPriorEstimator:
         *,
         kernel: str = "epanechnikov",
         batch_size: int = _DEFAULT_BATCH_SIZE,
+        distance_matrices: dict[str, np.ndarray] | None = None,
     ):
         if batch_size <= 0:
             raise KnowledgeError("batch_size must be positive")
@@ -121,6 +129,7 @@ class KernelPriorEstimator:
         self.kernel_name = kernel
         self._kernel = get_kernel(kernel)
         self.batch_size = int(batch_size)
+        self._distance_matrices = dict(distance_matrices) if distance_matrices else {}
         self._table: MicrodataTable | None = None
         self._weight_matrices: list[np.ndarray] = []
         self._qi_codes: np.ndarray | None = None
@@ -140,7 +149,9 @@ class KernelPriorEstimator:
         self._table = table
         self._weight_matrices = []
         for name in qi_names:
-            distances = attribute_distance_matrix(table.domain(name))
+            distances = self._distance_matrices.get(name)
+            if distances is None:
+                distances = attribute_distance_matrix(table.domain(name))
             weights = self._kernel(distances, self.bandwidth[name])
             self._weight_matrices.append(np.asarray(weights, dtype=np.float64))
         self._qi_codes = table.qi_code_matrix()
@@ -232,6 +243,7 @@ def kernel_prior(
     *,
     kernel: str = "epanechnikov",
     batch_size: int = _DEFAULT_BATCH_SIZE,
+    distance_matrices: dict[str, np.ndarray] | None = None,
 ) -> PriorBeliefs:
     """One-call helper: fit a kernel estimator on ``table`` and return its priors.
 
@@ -243,7 +255,9 @@ def kernel_prior(
         bandwidth = b
     else:
         bandwidth = Bandwidth.uniform(table.quasi_identifier_names, float(b))
-    estimator = KernelPriorEstimator(bandwidth, kernel=kernel, batch_size=batch_size)
+    estimator = KernelPriorEstimator(
+        bandwidth, kernel=kernel, batch_size=batch_size, distance_matrices=distance_matrices
+    )
     return estimator.fit(table).prior_for_table()
 
 

@@ -113,6 +113,11 @@ class BackgroundKnowledgeAttack:
         Kernel for the prior estimation.
     method:
         Posterior inference method, ``"omega"`` or ``"exact"``.
+    priors:
+        Optional precomputed prior beliefs for ``Adv(b')`` on ``table``.  When
+        given, the (expensive) kernel estimation is skipped - this is how
+        :class:`repro.api.session.Session` shares one estimation between
+        anonymization and auditing.
     """
 
     def __init__(
@@ -123,13 +128,14 @@ class BackgroundKnowledgeAttack:
         measure: DistanceMeasure | None = None,
         kernel: str = "epanechnikov",
         method: str = "omega",
+        priors: PriorBeliefs | None = None,
     ):
         self.table = table
         self.b_prime = float(b_prime)
         self.kernel = kernel
         self.method = method
         self.measure = measure if measure is not None else sensitive_distance_measure(table)
-        self.priors = kernel_prior(table, self.b_prime, kernel=kernel)
+        self.priors = priors if priors is not None else kernel_prior(table, self.b_prime, kernel=kernel)
 
     def attack(self, groups: list[np.ndarray], threshold: float) -> AttackResult:
         """Attack a release given as a list of group index arrays."""

@@ -44,6 +44,15 @@ class PrivacyModel:
     def prepare(self, table: MicrodataTable) -> None:
         """Precompute any table-wide state (called once before anonymization)."""
 
+    def components(self):
+        """Iterate over this requirement's leaf models (itself for simple models).
+
+        Composite requirements (conjunctions, skylines) yield their nested
+        models, so callers can walk an arbitrary requirement tree - e.g. a
+        session injecting shared kernel priors into every (B,t) component.
+        """
+        yield self
+
     def is_satisfied(self, group_indices: np.ndarray) -> bool:  # pragma: no cover - interface
         """Whether a candidate group meets the requirement."""
         raise NotImplementedError
@@ -278,6 +287,11 @@ class BTPrivacy(PrivacyModel):
         self._domain_size = int(domain_size)
 
     @property
+    def has_priors(self) -> bool:
+        """Whether priors are already available (estimated or injected)."""
+        return self._priors is not None
+
+    @property
     def priors(self) -> PriorBeliefs:
         """The adversary's prior beliefs (available after :meth:`prepare`)."""
         if self._priors is None:
@@ -331,6 +345,10 @@ class SkylineBTPrivacy(PrivacyModel):
         for point in self.points:
             point.prepare(table)
 
+    def components(self):
+        for point in self.points:
+            yield from point.components()
+
     def is_satisfied(self, group_indices: np.ndarray) -> bool:
         return all(point.is_satisfied(group_indices) for point in self.points)
 
@@ -359,6 +377,10 @@ class CompositeModel(PrivacyModel):
     def prepare(self, table: MicrodataTable) -> None:
         for model in self.models:
             model.prepare(table)
+
+    def components(self):
+        for model in self.models:
+            yield from model.components()
 
     def is_satisfied(self, group_indices: np.ndarray) -> bool:
         return all(model.is_satisfied(group_indices) for model in self.models)

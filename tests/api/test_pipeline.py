@@ -1,0 +1,165 @@
+"""Tests for the fluent Pipeline and anonymize() back-compat."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.anonymizer import anonymize
+from repro.api.pipeline import Pipeline
+from repro.api.session import Session
+from repro.exceptions import PipelineError
+from repro.privacy.models import BTPrivacy, DistinctLDiversity
+
+
+def test_pipeline_end_to_end(tiny_adult):
+    bundle = (
+        Pipeline(tiny_adult)
+        .model("bt", b=0.3, t=0.25)
+        .with_k(3)
+        .algorithm("mondrian")
+        .audit(b_prime=0.3)
+        .run()
+    )
+    assert bundle.release.n_groups > 1
+    assert bundle.release.group_sizes().min() >= 3
+    assert "mondrian" in bundle.release.method
+    # The matched adversary breaches nothing (the paper's headline property).
+    assert bundle.attack.vulnerable_tuples == 0
+    assert bundle.attack.threshold == pytest.approx(0.25)  # defaults to the model's t
+    assert bundle.utility["discernibility_metric"] > 0
+    assert set(bundle.timings) >= {
+        "prepare_seconds", "partition_seconds", "audit_seconds",
+        "utility_seconds", "total_seconds",
+    }
+    summary = bundle.summary()
+    assert summary["n_groups"] == bundle.release.n_groups
+    assert "vulnerable_tuples" in summary
+    assert "worst-case" in bundle.render()
+
+
+def test_pipeline_matches_plain_anonymize(tiny_adult):
+    """Back-compat: the old one-call API and the pipeline agree exactly."""
+    plain = anonymize(tiny_adult, BTPrivacy(0.3, 0.25), k=4)
+    bundle = Pipeline(tiny_adult).model("bt", b=0.3, t=0.25).with_k(4).run()
+    assert bundle.release.method == plain.release.method
+    assert len(bundle.release.groups) == len(plain.release.groups)
+    for a, b in zip(plain.release.groups, bundle.release.groups):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_old_anonymize_signature_still_works(tiny_adult):
+    """The pre-pipeline keyword signature keeps working unchanged."""
+    result = anonymize(
+        tiny_adult,
+        DistinctLDiversity(3),
+        algorithm="anatomy",
+        k=None,
+        split_strategy="widest",
+        anatomy_l=3,
+    )
+    assert "anatomy" in result.release.method
+    codes = tiny_adult.sensitive_codes()
+    for group in result.release.groups:
+        assert len(set(codes[group].tolist())) >= 3
+
+
+def test_anatomy_method_string_built_once(tiny_adult):
+    """Requirement misses are reported in a single release construction."""
+    from repro.privacy.models import TCloseness
+
+    result = anonymize(tiny_adult, TCloseness(0.01), algorithm="anatomy", anatomy_l=3)
+    assert "groups exceed model" in result.release.method
+
+
+def test_pipeline_accepts_model_instances(tiny_adult):
+    bundle = Pipeline(tiny_adult).model(DistinctLDiversity(3)).with_k(3).run()
+    assert bundle.release.group_sizes().min() >= 3
+
+
+def test_pipeline_shares_session_cache(tiny_adult):
+    session = Session(tiny_adult)
+    session.pipeline().model("bt", b=0.3, t=0.25).with_k(3).run()
+    session.pipeline().model("bt", b=0.3, t=0.15).with_k(3).audit(b_prime=0.3).run()
+    assert session.stats.prior_estimations == 1
+
+
+def test_pipeline_requires_model(tiny_adult):
+    with pytest.raises(PipelineError, match="no model"):
+        Pipeline(tiny_adult).run()
+
+
+def test_pipeline_requires_table_or_session():
+    with pytest.raises(PipelineError, match="table or a session"):
+        Pipeline()
+
+
+def test_audit_threshold_required_for_models_without_t(tiny_adult):
+    pipeline = Pipeline(tiny_adult).model("distinct-l", l=3).with_k(3).audit(b_prime=0.3)
+    with pytest.raises(PipelineError, match="threshold"):
+        pipeline.run()
+    bundle = (
+        Pipeline(tiny_adult)
+        .model("distinct-l", l=3)
+        .with_k(3)
+        .audit(b_prime=0.3, threshold=0.25)
+        .run()
+    )
+    assert bundle.attack is not None
+
+
+def test_with_utility_toggle(tiny_adult):
+    bundle = Pipeline(tiny_adult).model("distinct-l", l=3).with_utility(False).run()
+    assert bundle.utility is None
+    assert "utility_seconds" not in bundle.timings
+
+
+def test_pipeline_prepare_time_includes_prior_estimation(tiny_adult):
+    """A cache-miss run reports the kernel estimation in prepare_seconds."""
+    session = Session(tiny_adult)
+    first = session.pipeline().model("bt", b=0.35, t=0.25).with_k(3).run()
+    second = session.pipeline().model("bt", b=0.35, t=0.25).with_k(3).run()
+    assert first.timings["prepare_seconds"] > 0.0
+    assert second.timings["prepare_seconds"] < first.timings["prepare_seconds"]
+
+
+def test_custom_algorithm_options_pass_through(tiny_adult):
+    import numpy as np
+
+    from repro.api import ALGORITHMS, register_algorithm
+    from repro.exceptions import AnonymizationError
+
+    @register_algorithm("test-chunked")
+    def run_chunked(table, requirement, *, chunk=50):
+        groups = [
+            np.arange(i, min(i + chunk, table.n_rows))
+            for i in range(0, table.n_rows, chunk)
+        ]
+        return groups, f"chunked[{chunk}]"
+
+    try:
+        bundle = (
+            Pipeline(tiny_adult)
+            .model("distinct-l", l=2)
+            .algorithm("test-chunked", chunk=100)
+            .with_utility(False)
+            .run()
+        )
+        assert bundle.release.method == "chunked[100]"
+        with pytest.raises(AnonymizationError, match="does not accept option"):
+            Pipeline(tiny_adult).model("distinct-l", l=2).algorithm(
+                "mondrian", chunk=9
+            ).run()
+    finally:
+        ALGORITHMS.unregister("test-chunked")
+
+
+def test_anatomy_missing_l_fails_before_preparation(tiny_adult):
+    """The validator hook fires before the expensive model preparation."""
+    from repro.exceptions import AnonymizationError
+    from repro.privacy.models import BTPrivacy
+
+    class ExplodingBT(BTPrivacy):
+        def prepare(self, table):  # pragma: no cover - must not be reached
+            raise AssertionError("prepare() ran before option validation")
+
+    with pytest.raises(AnonymizationError, match="anatomy_l"):
+        anonymize(tiny_adult, ExplodingBT(0.3, 0.2), algorithm="anatomy")

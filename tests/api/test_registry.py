@@ -1,0 +1,93 @@
+"""Tests for the plugin registries (registration, lookup, error reporting)."""
+
+import pytest
+
+from repro.api.registry import ALGORITHMS, MODELS, PRIOR_ESTIMATORS, Registry
+from repro.exceptions import (
+    AnonymizationError,
+    PrivacyModelError,
+    RegistryError,
+)
+from repro.privacy.models import BTPrivacy, DistinctLDiversity, TCloseness
+
+
+def test_builtin_models_registered():
+    for name in ("bt", "distinct-l", "probabilistic-l", "t-closeness", "k-anonymity"):
+        assert name in MODELS
+    assert "mondrian" in ALGORITHMS and "anatomy" in ALGORITHMS
+    assert "kernel" in PRIOR_ESTIMATORS
+
+
+def test_build_models_from_registry():
+    assert isinstance(MODELS.build("bt", b=0.3, t=0.2), BTPrivacy)
+    assert isinstance(MODELS.build("distinct-l", l=3), DistinctLDiversity)
+    closeness = MODELS.build("t-closeness", t=0.15)
+    assert isinstance(closeness, TCloseness)
+    assert closeness.t == pytest.approx(0.15)
+
+
+def test_aliases_resolve_to_canonical_entry():
+    assert MODELS.get("(B,t)-privacy") is MODELS.get("bt")
+    assert MODELS.get("distinct-l-diversity") is MODELS.get("distinct-l")
+    # Aliases are not listed among the canonical names.
+    assert "(B,t)-privacy" not in MODELS.names()
+
+
+def test_unknown_name_error_lists_available():
+    with pytest.raises(PrivacyModelError, match="unknown privacy model 'nope'"):
+        MODELS.get("nope")
+    with pytest.raises(PrivacyModelError, match="bt"):
+        MODELS.get("nope")
+    with pytest.raises(AnonymizationError, match="unknown anonymization algorithm"):
+        ALGORITHMS.get("teleport")
+
+
+def test_register_and_unregister_plugin():
+    registry = Registry("widget")
+
+    @registry.register("square", aliases=("quad",), summary="a square widget")
+    def build_square(*, side=1.0):
+        return ("square", side)
+
+    assert "square" in registry
+    assert "quad" in registry
+    assert registry.build("quad", side=2.0) == ("square", 2.0)
+    assert registry.summaries()["square"] == "a square widget"
+    assert registry.parameters("square") == ("side",)
+
+    registry.unregister("square")
+    assert "square" not in registry and "quad" not in registry
+
+
+def test_duplicate_registration_rejected():
+    registry = Registry("widget")
+    registry.register("a")(lambda: 1)
+    with pytest.raises(RegistryError, match="already registered"):
+        registry.register("a")(lambda: 2)
+    with pytest.raises(RegistryError, match="already registered"):
+        registry.register("b", aliases=("a",))(lambda: 3)
+
+
+def test_build_filtered_drops_unknown_parameters():
+    model = MODELS.build_filtered("distinct-l", {"l": 3, "b": 0.3, "t": 0.2, "k": 4})
+    assert isinstance(model, DistinctLDiversity)
+    assert model.l == 3
+
+
+def test_distinct_l_rejects_non_integer():
+    with pytest.raises(PrivacyModelError, match="integer"):
+        MODELS.build("distinct-l", l=3.5)
+    # Integral floats (as the CLI's float-typed --l produces) are accepted.
+    assert MODELS.build("distinct-l", l=3.0).l == 3
+
+
+def test_new_model_plugin_surfaces_in_choices():
+    @MODELS.register("test-always-ok", summary="test plugin")
+    def build_always_ok():
+        return DistinctLDiversity(1)
+
+    try:
+        assert "test-always-ok" in MODELS.names()
+        assert isinstance(MODELS.build("test-always-ok"), DistinctLDiversity)
+    finally:
+        MODELS.unregister("test-always-ok")

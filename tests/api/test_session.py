@@ -1,0 +1,98 @@
+"""Tests for Session: cached preparation shared across runs."""
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.knowledge.bandwidth import Bandwidth
+from repro.privacy.models import BTPrivacy, CompositeModel, KAnonymity, SkylineBTPrivacy
+
+
+def test_same_model_twice_estimates_priors_once(tiny_adult):
+    session = Session(tiny_adult)
+    first = session.anonymize("bt", params={"b": 0.3, "t": 0.25}, k=3)
+    second = session.anonymize("bt", params={"b": 0.3, "t": 0.25}, k=3)
+    assert session.stats.prior_estimations == 1
+    assert session.stats.prior_cache_hits == 1
+    # Same requirement, same cached priors -> identical partitions.
+    assert len(first.release.groups) == len(second.release.groups)
+    for a, b in zip(first.release.groups, second.release.groups):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_different_bandwidths_estimate_separately(tiny_adult):
+    session = Session(tiny_adult)
+    session.priors(0.3)
+    session.priors(0.5)
+    session.priors(0.3)
+    assert session.stats.prior_estimations == 2
+    assert session.stats.prior_cache_hits == 1
+
+
+def test_scalar_and_uniform_bandwidth_share_a_cache_entry(tiny_adult):
+    session = Session(tiny_adult)
+    session.priors(0.3)
+    uniform = Bandwidth.uniform(tiny_adult.quasi_identifier_names, 0.3)
+    session.priors(uniform)
+    assert session.stats.prior_estimations == 1
+    assert session.stats.prior_cache_hits == 1
+
+
+def test_session_priors_match_direct_estimation(tiny_adult):
+    from repro.knowledge.prior import kernel_prior
+
+    session = Session(tiny_adult)
+    np.testing.assert_allclose(
+        session.priors(0.3).matrix, kernel_prior(tiny_adult, 0.3).matrix
+    )
+
+
+def test_session_release_matches_plain_anonymize(tiny_adult):
+    from repro.anonymize.anonymizer import anonymize
+
+    plain = anonymize(tiny_adult, BTPrivacy(0.3, 0.25), k=3)
+    session = Session(tiny_adult)
+    cached = session.anonymize(BTPrivacy(0.3, 0.25), k=3)
+    assert len(plain.release.groups) == len(cached.release.groups)
+    for a, b in zip(plain.release.groups, cached.release.groups):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_prepare_model_walks_composites_and_skylines(tiny_adult):
+    session = Session(tiny_adult)
+    skyline = SkylineBTPrivacy([(0.3, 0.3), (0.5, 0.2)])
+    requirement = CompositeModel([KAnonymity(3), skyline])
+    session.prepare_model(requirement)
+    assert all(point.has_priors for point in skyline.points)
+    assert session.stats.prior_estimations == 2  # one per distinct bandwidth
+    # The matched (b = 0.3) point shares the cache with a later audit adversary.
+    session.attack([np.arange(tiny_adult.n_rows)], b_prime=0.3, threshold=0.3)
+    assert session.stats.prior_estimations == 2
+    assert session.stats.prior_cache_hits >= 1
+
+
+def test_attack_adversary_is_cached(tiny_adult):
+    session = Session(tiny_adult)
+    groups = [np.arange(tiny_adult.n_rows)]
+    session.attack(groups, b_prime=0.3, threshold=0.2)
+    session.attack(groups, b_prime=0.3, threshold=0.4)
+    assert session.stats.attack_builds == 1
+    assert session.stats.attack_cache_hits == 1
+
+
+def test_baseline_estimators_available(tiny_adult):
+    session = Session(tiny_adult)
+    uniform = session.priors(estimator="uniform")
+    m = tiny_adult.sensitive_domain().size
+    np.testing.assert_allclose(uniform.matrix, np.full((tiny_adult.n_rows, m), 1.0 / m))
+    # Parameter-free estimators ignore the kernel and need no bandwidth.
+    session.priors(estimator="uniform")
+    assert session.stats.prior_cache_hits == 1
+
+
+def test_kernel_estimator_requires_bandwidth(tiny_adult):
+    from repro.exceptions import KnowledgeError
+
+    session = Session(tiny_adult)
+    with pytest.raises(KnowledgeError, match="requires a bandwidth"):
+        session.priors()

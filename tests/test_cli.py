@@ -123,6 +123,77 @@ def test_figure_rejects_unknown_id():
         main(["figure", "--id", "99", "--rows", "200"])
 
 
+def test_model_choices_sourced_from_registry():
+    from repro.api import MODELS
+
+    parser = build_parser()
+    args = parser.parse_args(["anonymize", "--model", "bt", "--output", "x.csv"])
+    assert args.model == "bt"
+    for name in MODELS.names():
+        parser.parse_args(["anonymize", "--model", name, "--output", "x.csv"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["anonymize", "--model", "not-a-model", "--output", "x.csv"])
+
+
+def test_distinct_l_rejects_non_integer_l(tmp_path, capsys):
+    code = main(
+        [
+            "anonymize",
+            "--rows", "100",
+            "--model", "distinct-l",
+            "--l", "2.5",
+            "--k", "2",
+            "--output", str(tmp_path / "x.csv"),
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "integer" in err
+
+
+def test_sweep_runs_model_grid(capsys):
+    code = main(
+        [
+            "sweep",
+            "--rows", "250",
+            "--seed", "7",
+            "--k", "3",
+            "--t", "0.25",
+            "--l", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # The default grid spans the paper's four models through one session.
+    assert "4 configurations" in out
+    for label in ("bt(", "distinct-l(", "probabilistic-l(", "t-closeness("):
+        assert label in out
+    assert "vulnerable_tuples" in out
+    assert "1 prior estimation(s)" in out
+
+
+def test_sweep_explicit_models_and_no_audit(capsys):
+    code = main(
+        [
+            "sweep",
+            "--rows", "250",
+            "--seed", "7",
+            "--k", "3",
+            "--t", "0.25",
+            "--l", "3",
+            "--model", "distinct-l",
+            "--model", "entropy-l",
+            "--model", "t-closeness",
+            "--no-audit",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "3 configurations" in out
+    assert "entropy-l(" in out
+    assert "vulnerable_tuples" not in out
+
+
 def test_error_paths_return_nonzero(tmp_path, capsys):
     # Impossible requirement: more distinct values than the domain holds.
     code = main(
