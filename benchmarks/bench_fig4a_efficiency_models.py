@@ -5,7 +5,7 @@ Paper shape: once the background knowledge is precomputed, building the
 magnitude), and the running time does not explode as the requirement tightens.
 """
 
-from conftest import record
+from conftest import BENCH_ROWS, record, write_bench_json
 
 from repro.experiments.config import TABLE_V
 from repro.experiments.figures import figure_4a
@@ -18,6 +18,12 @@ def test_fig4a_anonymization_time(benchmark, adult_table):
         iterations=1,
     )
     record(result)
+    metrics = {"rows": BENCH_ROWS}
+    for series in result.series:
+        slug = series.label.lower().replace("(", "").replace(")", "").replace(",", "")
+        slug = slug.replace("-", "_").replace(" ", "_")
+        metrics[f"{slug}_seconds"] = float(sum(series.y))
+    write_bench_json("fig4", f"fig4a-rows-{BENCH_ROWS}", metrics)
     bt = result.series_by_label("(B,t)-privacy")
     others = [
         result.series_by_label(name)

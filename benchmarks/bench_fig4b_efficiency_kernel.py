@@ -6,7 +6,7 @@ minutes for 10K-25K tuples on 2005-era hardware; this Python reproduction uses
 proportionally smaller inputs by default - scale with REPRO_BENCH_ROWS).
 """
 
-from conftest import BENCH_ROWS, record
+from conftest import BENCH_ROWS, record, write_bench_json
 
 from repro.experiments.figures import figure_4b
 
@@ -19,6 +19,10 @@ def test_fig4b_kernel_estimation_time(benchmark):
         iterations=1,
     )
     record(result)
+    metrics = {"rows": BENCH_ROWS}
+    for size, series in zip(sizes, result.series):
+        metrics[f"size_{size}_seconds"] = float(sum(series.y))
+    write_bench_json("fig4", f"fig4b-rows-{BENCH_ROWS}", metrics)
     # Cost grows with the input size (compare the same b across sizes).
     per_size = [series.y[1] for series in result.series]  # timing at b = 0.3
     assert per_size == sorted(per_size) or per_size[-1] > per_size[0]

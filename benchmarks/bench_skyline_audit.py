@@ -1,0 +1,94 @@
+"""Skyline audit engine vs the per-adversary attack loop (the PR-gated bench).
+
+The engine's contract: auditing one release against a whole skyline
+``{(B_i, t_i)}`` must be *numerically identical* to looping a
+``BackgroundKnowledgeAttack`` per adversary while being at least
+``REPRO_BENCH_MIN_SPEEDUP`` (default 5) times faster, because the batched
+estimator shares every bandwidth-independent piece of the kernel regression.
+
+Scale knobs:
+
+* ``REPRO_BENCH_AUDIT_ROWS``  - table size (default 5000, the paper-scale
+  demonstration; CI runs a smaller size);
+* ``REPRO_BENCH_MIN_SPEEDUP`` - gate on engine speedup (default 5).
+
+The measured numbers land in ``BENCH_skyline_audit.json`` (section
+``rows-<n>``), which CI regenerates and compares against the committed
+baseline with ``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import write_bench_json
+
+from repro.anonymize.anonymizer import anonymize
+from repro.audit import SkylineAuditEngine
+from repro.data.adult import generate_adult
+from repro.privacy.disclosure import BackgroundKnowledgeAttack
+from repro.privacy.models import DistinctLDiversity
+
+AUDIT_ROWS = int(os.environ.get("REPRO_BENCH_AUDIT_ROWS", "5000"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5"))
+
+# The paper's Section V skyline shape: four adversaries of increasing
+# background knowledge, one shared disclosure budget.
+SKYLINE = ((0.1, 0.2), (0.2, 0.2), (0.3, 0.2), (0.5, 0.2))
+
+
+def test_skyline_audit_engine_speedup():
+    table = generate_adult(AUDIT_ROWS, seed=2009)
+    release = anonymize(table, DistinctLDiversity(3), k=4).release
+    groups = release.groups
+
+    start = time.perf_counter()
+    loop_results = [
+        BackgroundKnowledgeAttack(table, b).attack(groups, t) for b, t in SKYLINE
+    ]
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    engine = SkylineAuditEngine(table, SKYLINE)
+    report = engine.audit(groups)
+    engine_seconds = time.perf_counter() - start
+
+    max_risk_difference = max(
+        float(np.abs(entry.attack.risks - reference.risks).max())
+        for entry, reference in zip(report.entries, loop_results)
+    )
+    speedup = loop_seconds / engine_seconds
+
+    print(
+        f"\nskyline audit: rows={AUDIT_ROWS} adversaries={len(SKYLINE)} "
+        f"groups={release.n_groups} loop={loop_seconds:.3f}s "
+        f"engine={engine_seconds:.3f}s speedup={speedup:.1f}x "
+        f"max-risk-diff={max_risk_difference:.2e}"
+    )
+    write_bench_json(
+        "skyline_audit",
+        f"rows-{AUDIT_ROWS}",
+        {
+            "rows": AUDIT_ROWS,
+            "adversaries": len(SKYLINE),
+            "groups": release.n_groups,
+            "loop_seconds": loop_seconds,
+            "engine_seconds": engine_seconds,
+            "speedup": speedup,
+            "max_risk_difference": max_risk_difference,
+        },
+    )
+
+    # Numerically identical risks (the engine shares code with the attack path).
+    assert max_risk_difference < 1e-9
+    assert all(
+        entry.attack.vulnerable_tuples == reference.vulnerable_tuples
+        for entry, reference in zip(report.entries, loop_results)
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"skyline audit engine is only {speedup:.1f}x faster than the "
+        f"per-adversary loop (required: {MIN_SPEEDUP:g}x)"
+    )

@@ -1,0 +1,141 @@
+"""Gate benchmark JSON against a committed baseline (fail on slower).
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE CURRENT [--tolerance 0.30]
+
+Both files are ``BENCH_*.json`` documents produced by
+``benchmarks/conftest.write_bench_json``.  For every section present in *both*
+files the script compares:
+
+* every ``*_seconds`` metric - the current value may exceed the baseline by at
+  most ``tolerance`` (a fraction; 0.30 means +30%) plus ``--absolute-slack``
+  seconds (sub-100ms measurements are single-round and noisy; the additive
+  slack keeps the ratio gate from firing on scheduler jitter);
+* every ``speedup`` metric - the current value may fall below the baseline by
+  at most ``tolerance``.  This gate is dimensionless, so it stays meaningful
+  even when baseline and CI hardware differ.
+
+Sections only present in the baseline (e.g. a committed full-scale
+demonstration that CI does not re-run) or only in the current file (a new
+machine size) are reported but not compared.  Getting *faster* always passes -
+commit the regenerated JSON to ratchet the trajectory.
+
+Exit status: 0 when everything is within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        print(f"error: benchmark file {path} does not exist", file=sys.stderr)
+        raise SystemExit(1) from None
+    except json.JSONDecodeError as error:
+        print(f"error: {path} is not valid JSON: {error}", file=sys.stderr)
+        raise SystemExit(1) from None
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float, absolute_slack: float = 0.05
+) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures: list[str] = []
+    baseline_sections = baseline.get("sections", {})
+    current_sections = current.get("sections", {})
+    shared = sorted(set(baseline_sections) & set(current_sections))
+    if not shared:
+        return [
+            "no section is present in both files; nothing was compared "
+            f"(baseline: {sorted(baseline_sections)}, current: {sorted(current_sections)})"
+        ]
+    for section in shared:
+        base_metrics = baseline_sections[section]
+        cur_metrics = current_sections[section]
+        for key, base_value in sorted(base_metrics.items()):
+            if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+                continue
+            slower_is_bad = key.endswith("_seconds")
+            lower_is_bad = key == "speedup"
+            if not (slower_is_bad or lower_is_bad):
+                continue
+            current_value = cur_metrics.get(key)
+            if current_value is None:
+                failures.append(f"{section}: metric {key!r} missing from current run")
+                continue
+            if slower_is_bad:
+                limit = base_value * (1.0 + tolerance) + absolute_slack
+                ok = current_value <= limit or current_value - base_value < 1e-6
+                verdict = "" if ok else "  <-- REGRESSION"
+                print(
+                    f"  {section}.{key}: baseline {base_value:.4f} -> current "
+                    f"{current_value:.4f} (limit {limit:.4f}){verdict}"
+                )
+                if not ok:
+                    failures.append(
+                        f"{section}: {key} regressed {base_value:.4f} -> "
+                        f"{current_value:.4f} (+{100 * (current_value / base_value - 1):.0f}%, "
+                        f"tolerance +{100 * tolerance:.0f}%)"
+                    )
+            else:
+                limit = base_value * (1.0 - tolerance)
+                ok = current_value >= limit
+                verdict = "" if ok else "  <-- REGRESSION"
+                print(
+                    f"  {section}.{key}: baseline {base_value:.2f} -> current "
+                    f"{current_value:.2f} (floor {limit:.2f}){verdict}"
+                )
+                if not ok:
+                    failures.append(
+                        f"{section}: {key} dropped {base_value:.2f} -> {current_value:.2f} "
+                        f"(-{100 * (1 - current_value / base_value):.0f}%, "
+                        f"tolerance -{100 * tolerance:.0f}%)"
+                    )
+    for section in sorted(set(baseline_sections) - set(current_sections)):
+        print(f"  {section}: only in baseline (not re-run here); skipped")
+    for section in sorted(set(current_sections) - set(baseline_sections)):
+        print(f"  {section}: new section (no baseline); skipped")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="freshly regenerated BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed slowdown as a fraction (default 0.30 = +30%%)",
+    )
+    parser.add_argument(
+        "--absolute-slack", type=float, default=0.05,
+        help="additive seconds of slack on *_seconds gates (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0 or args.absolute_slack < 0:
+        parser.error("tolerance and absolute slack must be non-negative")
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    name = baseline.get("benchmark", Path(args.baseline).stem)
+    print(
+        f"bench-regression check: {name} "
+        f"(tolerance +{100 * args.tolerance:.0f}% + {args.absolute_slack:g}s)"
+    )
+    failures = compare(baseline, current, args.tolerance, args.absolute_slack)
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: no benchmark regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,21 @@ on a synthetic Adult-like table.  Two environment variables control the scale
 Each benchmark prints its reproduced figure as a plain-text table and also
 writes it to ``benchmarks/results/<experiment>.txt`` so the numbers recorded in
 EXPERIMENTS.md can be regenerated at any time.
+
+Perf-gated benchmarks additionally emit machine-readable ``BENCH_<name>.json``
+files (at the repo root by default, overridable with ``REPRO_BENCH_JSON_DIR``)
+through :func:`write_bench_json`.  Each file keeps the latest metrics per
+*section* plus a bounded ``trajectory`` of past runs; CI regenerates the files
+at a tiny scale and fails the build when a timing regresses beyond the
+tolerance of ``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -30,6 +39,39 @@ from repro.experiments.results import ExperimentResult  # noqa: E402
 BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "2000"))
 BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "30"))
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON_DIR = Path(os.environ.get("REPRO_BENCH_JSON_DIR", str(REPO_ROOT)))
+_TRAJECTORY_LIMIT = 100
+
+
+def write_bench_json(name: str, section: str, metrics: dict) -> Path:
+    """Merge one section of metrics into ``BENCH_<name>.json`` (with trajectory).
+
+    The file keeps the latest metrics of every section it has ever seen under
+    ``sections`` (so a tiny CI run does not clobber a committed full-scale
+    section) and appends each run to a bounded ``trajectory`` list, giving the
+    repo a perf history that regression gates can compare against.
+    """
+    path = BENCH_JSON_DIR / f"BENCH_{name}.json"
+    if path.exists():
+        data = json.loads(path.read_text())
+    else:
+        data = {"benchmark": name, "sections": {}, "trajectory": []}
+    metrics = {
+        key: (float(f"{value:.6g}") if isinstance(value, float) else value)
+        for key, value in metrics.items()
+    }
+    data.setdefault("sections", {})[section] = metrics
+    data.setdefault("trajectory", []).append(
+        {
+            "section": section,
+            "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            **metrics,
+        }
+    )
+    data["trajectory"] = data["trajectory"][-_TRAJECTORY_LIMIT:]
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def record(result: ExperimentResult) -> ExperimentResult:

@@ -49,6 +49,19 @@ def main() -> None:
     print(f"utility: DM = {bundle.utility['discernibility_metric']:.0f}, "
           f"GCP = {bundle.utility['global_certainty_penalty']:.0f}")
 
+    # 3b. The publisher does not know the adversary's knowledge level, so
+    #     audit the same release against a whole skyline of adversaries in one
+    #     batched pass (Definition 2); the session reuses every cached prior
+    #     and estimates the missing bandwidths together.
+    skyline_report = session.audit_skyline(
+        release.groups, [(0.1, 0.25), (0.3, 0.2), (0.5, 0.2)]
+    )
+    print(f"\nskyline audit ({'satisfied' if skyline_report.satisfied else 'breached'}):")
+    for entry in skyline_report.entries:
+        print(f"  Adv{entry.adversary.describe()}: "
+              f"worst-case gain {entry.attack.worst_case_risk:.3f} "
+              f"(margin {entry.margin:+.3f})")
+
     # 4. Compare against the classic baselines with a parameter sweep.  The
     #    grid spans heterogeneous models - each picks the parameters it
     #    understands - and the session cache means the kernel priors are

@@ -59,6 +59,13 @@ from repro.anonymize import (
     anatomy_partition,
     anonymize,
 )
+from repro.audit import (
+    SkylineAdversary,
+    SkylineAuditEngine,
+    SkylineAuditEntry,
+    SkylineAuditReport,
+    audit_skyline,
+)
 from repro.api import (
     ALGORITHMS,
     MEASURES,
@@ -87,6 +94,7 @@ from repro.data import (
 )
 from repro.exceptions import (
     AnonymizationError,
+    AuditError,
     DataError,
     ExperimentError,
     HierarchyError,
@@ -100,8 +108,10 @@ from repro.exceptions import (
 from repro.inference import exact_posterior, omega_posterior, posterior_for_groups
 from repro.knowledge import (
     Bandwidth,
+    BatchedKernelPriorEstimator,
     KernelPriorEstimator,
     PriorBeliefs,
+    batched_kernel_priors,
     kernel_prior,
     mle_prior,
     overall_prior,
@@ -139,9 +149,11 @@ __all__ = [
     "Attribute",
     "AttributeKind",
     "AttributeRole",
+    "AuditError",
     "BTPrivacy",
     "BackgroundKnowledgeAttack",
     "Bandwidth",
+    "BatchedKernelPriorEstimator",
     "CompositeModel",
     "DataError",
     "MEASURES",
@@ -169,6 +181,10 @@ __all__ = [
     "ReproError",
     "Schema",
     "SchemaError",
+    "SkylineAdversary",
+    "SkylineAuditEngine",
+    "SkylineAuditEntry",
+    "SkylineAuditReport",
     "SkylineBTPrivacy",
     "SmoothedJSDivergence",
     "TCloseness",
@@ -177,6 +193,8 @@ __all__ = [
     "adult_schema",
     "anatomy_partition",
     "anonymize",
+    "audit_skyline",
+    "batched_kernel_priors",
     "average_relative_error",
     "discernibility_metric",
     "exact_posterior",

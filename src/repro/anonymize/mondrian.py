@@ -152,7 +152,9 @@ class MondrianAnonymizer:
                 continue
             left, right = halves
             self.statistics.n_split_attempts += 1
-            if self.model.is_satisfied(left) and self.model.is_satisfied(right):
+            # One batched call so models with a vectorised posterior kernel
+            # ((B,t)-privacy, skylines) evaluate both halves in a single pass.
+            if all(self.model.is_satisfied_batch((left, right))):
                 return left, right
             self.statistics.n_rejected_splits += 1
         return None

@@ -28,15 +28,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any
 
 from repro.anonymize.anonymizer import AnonymizationResult
 from repro.anonymize.partition import AnonymizedRelease
 from repro.api.session import Session
+from repro.audit.engine import SkylineAuditReport
 from repro.data.table import MicrodataTable
 from repro.exceptions import PipelineError
 from repro.privacy.disclosure import AttackResult
-from repro.privacy.models import PrivacyModel
+from repro.privacy.models import BTPrivacy, PrivacyModel
 from repro.utility.metrics import utility_report
 
 
@@ -48,6 +49,7 @@ class ReleaseBundle:
     result: AnonymizationResult
     model_description: str
     attack: AttackResult | None = None
+    skyline_audit: SkylineAuditReport | None = None
     utility: dict[str, float] | None = None
     timings: dict[str, float] = field(default_factory=dict)
 
@@ -65,6 +67,9 @@ class ReleaseBundle:
         if self.attack is not None:
             row["vulnerable_tuples"] = self.attack.vulnerable_tuples
             row["worst_case_risk"] = self.attack.worst_case_risk
+        if self.skyline_audit is not None:
+            row["skyline_satisfied"] = self.skyline_audit.satisfied
+            row["skyline_worst_margin"] = self.skyline_audit.worst_entry().margin
         if self.utility is not None:
             row["discernibility_metric"] = self.utility["discernibility_metric"]
             row["global_certainty_penalty"] = self.utility["global_certainty_penalty"]
@@ -86,6 +91,8 @@ class ReleaseBundle:
                 f"worst-case gain {self.attack.worst_case_risk:.4f} "
                 f"(threshold {self.attack.threshold:g})"
             )
+        if self.skyline_audit is not None:
+            lines.append(self.skyline_audit.render())
         if self.utility is not None:
             lines.append(
                 f"utility: DM={self.utility['discernibility_metric']:.0f} "
@@ -118,6 +125,7 @@ class Pipeline:
         self._algorithm: str = "mondrian"
         self._algorithm_options: dict[str, Any] = {}
         self._audit: dict[str, Any] | None = None
+        self._skyline_audit: dict[str, Any] | None = None
         self._utility: bool = True
 
     # -- builder steps ----------------------------------------------------------------
@@ -159,6 +167,29 @@ class Pipeline:
         }
         return self
 
+    def audit_skyline(
+        self,
+        skyline: list[tuple[Any, float]] | None = None,
+        *,
+        method: str = "omega",
+        processes: int | None = None,
+        chunk_rows: int | None = None,
+    ) -> "Pipeline":
+        """Audit the release against a whole skyline ``{(B_i, t_i)}`` of adversaries.
+
+        With ``skyline=None`` the points are taken from the privacy model
+        itself (every (B,t) component contributes its ``(b, t)`` pair) - the
+        natural "did every promised adversary stay below budget" audit for
+        :class:`~repro.privacy.models.SkylineBTPrivacy` releases.
+        """
+        self._skyline_audit = {
+            "skyline": list(skyline) if skyline is not None else None,
+            "method": method,
+            "processes": processes,
+            "chunk_rows": chunk_rows,
+        }
+        return self
+
     def with_utility(self, enabled: bool = True) -> "Pipeline":
         """Toggle the utility report (on by default)."""
         self._utility = bool(enabled)
@@ -176,6 +207,23 @@ class Pipeline:
             "audit threshold not given and the model has no t parameter; "
             "pass audit(threshold=...)"
         )
+
+    def _resolve_skyline(
+        self, model: PrivacyModel, configured: list[tuple[Any, float]] | None
+    ) -> list[tuple[Any, float]]:
+        if configured is not None:
+            return configured
+        points = [
+            (component.b, component.t)
+            for component in model.components()
+            if isinstance(component, BTPrivacy)
+        ]
+        if not points:
+            raise PipelineError(
+                "audit_skyline() without points requires a model with (B,t) "
+                "components; pass audit_skyline([(b1, t1), ...])"
+            )
+        return points
 
     def run(self) -> ReleaseBundle:
         """Execute the configured pipeline and return its :class:`ReleaseBundle`."""
@@ -208,6 +256,19 @@ class Pipeline:
             )
             timings["audit_seconds"] = time.perf_counter() - start
 
+        skyline_audit: SkylineAuditReport | None = None
+        if self._skyline_audit is not None:
+            points = self._resolve_skyline(requirement, self._skyline_audit["skyline"])
+            start = time.perf_counter()
+            skyline_audit = session.audit_skyline(
+                result.release.groups,
+                points,
+                method=self._skyline_audit["method"],
+                processes=self._skyline_audit["processes"],
+                chunk_rows=self._skyline_audit["chunk_rows"],
+            )
+            timings["skyline_audit_seconds"] = time.perf_counter() - start
+
         utility: dict[str, float] | None = None
         if self._utility:
             start = time.perf_counter()
@@ -220,6 +281,7 @@ class Pipeline:
             result=result,
             model_description=result.model_description,
             attack=attack,
+            skyline_audit=skyline_audit,
             utility=utility,
             timings=timings,
         )

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.anonymize.anonymizer import AnonymizationResult, anonymize
 from repro.api.registry import MEASURES, MODELS, PRIOR_ESTIMATORS
+from repro.audit.engine import SkylineAuditEngine, SkylineAuditReport
 from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
 from repro.knowledge.bandwidth import Bandwidth
@@ -270,6 +271,68 @@ class Session:
         else:
             self.stats.attack_cache_hits += 1
         return adversary.attack(groups, threshold)
+
+    def audit_skyline(
+        self,
+        groups: list[np.ndarray],
+        skyline: Iterable[tuple[float | Bandwidth, float]],
+        *,
+        method: str = "omega",
+        kernel: str | None = None,
+        processes: int | None = None,
+        chunk_rows: int | None = None,
+    ) -> SkylineAuditReport:
+        """Audit a release against a whole skyline ``{(B_i, t_i)}`` in one pass.
+
+        Priors already held by the session (from anonymization or earlier
+        audits) are reused; the remaining bandwidths are estimated together by
+        one :class:`~repro.knowledge.prior.BatchedKernelPriorEstimator` pass
+        and enter the session cache, so a later ``session.attack(b_prime=B_i)``
+        is a cache hit.
+        """
+        kernel = kernel or self.default_kernel
+        points = [(self.bandwidth(b), float(t)) for b, t in skyline]
+        priors: list[PriorBeliefs | None] = []
+        keys: list[_PriorKey] = []
+        for bandwidth, _ in points:
+            key = _PriorKey(
+                table_id=self.table_id,
+                estimator="kernel",
+                kernel=kernel,
+                bandwidth=bandwidth.items(),
+            )
+            keys.append(key)
+            cached = self._priors.get(key)
+            if cached is not None:
+                self.stats.prior_cache_hits += 1
+            priors.append(cached)
+        missing = [i for i, prior in enumerate(priors) if prior is None]
+        engine = SkylineAuditEngine(
+            self.table,
+            points,
+            kernel=kernel,
+            method=method,
+            measure=self.measure("smoothed-js", kernel=kernel),
+            priors=priors,
+            chunk_rows=chunk_rows,
+            distance_matrices={
+                name: self.distance_matrix(name)
+                for name in self.table.quasi_identifier_names
+            },
+        )
+        if missing:
+            # One batched pass over every missing bandwidth (duplicates are
+            # computed once inside the engine's estimator but cached under
+            # each key); the engine's own prepare() does the work so there is
+            # exactly one estimation path.
+            estimated = engine.priors
+            unique_keys = set()
+            for index in missing:
+                if keys[index] not in self._priors:
+                    self._priors[keys[index]] = estimated[index]
+                unique_keys.add(keys[index])
+            self.stats.prior_estimations += len(unique_keys)
+        return engine.audit(groups, processes=processes)
 
     def pipeline(self) -> "Pipeline":
         """A fluent :class:`~repro.api.pipeline.Pipeline` bound to this session."""

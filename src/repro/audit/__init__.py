@@ -1,0 +1,29 @@
+"""Batched skyline auditing: one release against many adversaries at once.
+
+The skyline (B,t)-privacy principle (Definition 2) judges a release against a
+whole *set* of adversaries ``{Adv(B_1), ..., Adv(B_p)}``, each with its own
+disclosure budget ``t_i``.  :class:`SkylineAuditEngine` performs that audit as
+one batched computation - sharing the kernel-estimation work across
+bandwidths and the group bookkeeping across adversaries - instead of looping
+a :class:`~repro.privacy.disclosure.BackgroundKnowledgeAttack` per point.
+
+See :mod:`repro.audit.engine` for the implementation and
+:meth:`repro.api.session.Session.audit_skyline` /
+:meth:`repro.api.pipeline.Pipeline.audit_skyline` for the cached entry points.
+"""
+
+from repro.audit.engine import (
+    SkylineAdversary,
+    SkylineAuditEngine,
+    SkylineAuditEntry,
+    SkylineAuditReport,
+    audit_skyline,
+)
+
+__all__ = [
+    "SkylineAdversary",
+    "SkylineAuditEngine",
+    "SkylineAuditEntry",
+    "SkylineAuditReport",
+    "audit_skyline",
+]

@@ -8,6 +8,8 @@ the synthetic Adult-like dataset (or any CSV file with the same schema):
   generalized release as CSV;
 * ``attack``    - replay the probabilistic background-knowledge attack against
   a release built in-process and report vulnerable tuples;
+* ``audit``     - audit a release against a whole skyline of adversaries
+  ``{(B_i, t_i)}`` in one batched pass (optionally writing a JSON report);
 * ``sweep``     - run a model/parameter grid through one cached session and
   print the resulting comparison table;
 * ``figure``    - regenerate one of the paper's figures and print it as a
@@ -23,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -71,6 +74,36 @@ def build_parser() -> argparse.ArgumentParser:
     attack_parser.add_argument(
         "--threshold", type=float, default=None,
         help="knowledge-gain threshold for counting vulnerable tuples (default: the model's t)",
+    )
+
+    audit_parser = subparsers.add_parser(
+        "audit",
+        help="anonymize a table, then audit it against a whole skyline of adversaries",
+    )
+    _add_table_arguments(audit_parser)
+    _add_model_arguments(audit_parser)
+    audit_parser.add_argument(
+        "--skyline", default=None,
+        help=(
+            "comma-separated b:t adversary points, e.g. '0.1:0.25,0.3:0.2' "
+            "(default: the model's own (b, t))"
+        ),
+    )
+    audit_parser.add_argument(
+        "--method", default="omega", choices=("omega", "exact"),
+        help="posterior inference method (default omega)",
+    )
+    audit_parser.add_argument(
+        "--processes", type=int, default=None,
+        help="distribute adversaries over N worker processes (default: serial)",
+    )
+    audit_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable audit report to this JSON file",
+    )
+    audit_parser.add_argument(
+        "--fail-on-breach", action="store_true",
+        help="exit with status 3 when any skyline point is breached",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -235,6 +268,57 @@ def _run_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_skyline(text: str) -> list[tuple[float, float]]:
+    """Parse a ``b:t,b:t,...`` skyline specification."""
+    points = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) != 2:
+            raise ReproError(
+                f"bad skyline point {chunk!r}; expected 'b:t' (e.g. '0.3:0.2')"
+            )
+        try:
+            points.append((float(parts[0]), float(parts[1])))
+        except ValueError:
+            raise ReproError(
+                f"bad skyline point {chunk!r}; b and t must be numbers"
+            ) from None
+    if not points:
+        raise ReproError("the skyline specification contains no points")
+    return points
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    skyline = _parse_skyline(args.skyline) if args.skyline else None
+    bundle = (
+        Pipeline(table)
+        .model(_build_model(args))
+        .with_k(args.k)
+        .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
+        .audit_skyline(skyline, method=args.method, processes=args.processes)
+        .with_utility(False)
+        .run()
+    )
+    report = bundle.skyline_audit
+    print(
+        f"model={args.model} ({bundle.model_description}): "
+        f"{bundle.release.n_groups} groups on {table.n_rows} rows"
+    )
+    print(report.render())
+    if args.json:
+        payload = report.summary()
+        payload["model"] = bundle.model_description
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote audit report to {args.json}")
+    if args.fail_on_breach and not report.satisfied:
+        return 3
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     table = _load_table(args)
     session = Session(table)
@@ -312,6 +396,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _run_generate,
         "anonymize": _run_anonymize,
         "attack": _run_attack,
+        "audit": _run_audit,
         "sweep": _run_sweep,
         "figure": _run_figure,
     }

@@ -40,6 +40,10 @@ class AnonymizationError(ReproError):
     """Raised when an anonymization algorithm cannot produce a valid release."""
 
 
+class AuditError(ReproError):
+    """Raised when a skyline audit is configured inconsistently."""
+
+
 class UtilityError(ReproError):
     """Raised when a utility metric or query workload is misconfigured."""
 

@@ -5,13 +5,14 @@ from repro.inference.exact import (
     exact_posterior_bruteforce,
     group_sensitive_counts,
 )
-from repro.inference.omega import omega_posterior, posterior_for_groups
+from repro.inference.omega import grouped_posterior, omega_posterior, posterior_for_groups
 from repro.inference.permanent import permanent, permanent_bruteforce, permanent_ryser
 
 __all__ = [
     "exact_posterior",
     "exact_posterior_bruteforce",
     "group_sensitive_counts",
+    "grouped_posterior",
     "omega_posterior",
     "permanent",
     "permanent_bruteforce",

@@ -76,12 +76,111 @@ def omega_posterior(prior: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return posterior
 
 
+def _omega_posterior_flat(
+    prior_rows: np.ndarray,
+    code_rows: np.ndarray,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+) -> np.ndarray:
+    """Omega posteriors for many groups at once (one flat pass, no Python loop).
+
+    ``prior_rows``/``code_rows`` hold the member rows of every group laid out
+    contiguously (group ``g`` occupies ``offsets[g] : offsets[g] + sizes[g]``).
+    Returns the posterior rows in the same layout.  Exactly reproduces
+    :func:`omega_posterior` applied group by group, including both degenerate
+    fallbacks.
+    """
+    n_rows, m = prior_rows.shape
+    n_groups = offsets.shape[0]
+    group_of = np.repeat(np.arange(n_groups), sizes)
+
+    counts = np.bincount(group_of * m + code_rows, minlength=n_groups * m)
+    counts = counts.reshape(n_groups, m).astype(np.float64)
+    column_sums = np.add.reduceat(prior_rows, offsets, axis=0)
+    present = counts > 0.0
+    positive_columns = present & (column_sums > 0.0)
+    zero_columns = present & (column_sums <= 0.0)
+
+    safe_sums = np.where(column_sums > 0.0, column_sums, 1.0)
+    shares = np.where(positive_columns[group_of], prior_rows / safe_sums[group_of], 0.0)
+    if zero_columns.any():
+        uniform = (1.0 / sizes.astype(np.float64))[group_of]
+        shares = np.where(zero_columns[group_of], uniform[:, None], shares)
+
+    unnormalised = shares * counts[group_of]
+    row_sums = unnormalised.sum(axis=1)
+    good = row_sums > 0.0
+    posterior = np.where(
+        good[:, None], unnormalised / np.where(good, row_sums, 1.0)[:, None], 0.0
+    )
+    if not good.all():
+        empirical = counts / sizes.astype(np.float64)[:, None]
+        bad = ~good
+        posterior[bad] = empirical[group_of[bad]]
+    return posterior
+
+
+def grouped_posterior(
+    prior_rows: np.ndarray,
+    code_rows: np.ndarray,
+    offsets: np.ndarray,
+    *,
+    method: str = "omega",
+) -> np.ndarray:
+    """Posterior rows for a batch of groups laid out contiguously.
+
+    Parameters
+    ----------
+    prior_rows:
+        ``(r, m)`` prior beliefs of all group members, groups back to back.
+    code_rows:
+        Length-``r`` sensitive codes of the same members.
+    offsets:
+        Start index of each group within the rows (strictly increasing,
+        starting at 0); the last group runs to the end.
+    method:
+        ``"omega"`` (vectorised, one flat pass) or ``"exact"`` (count-DP per
+        group).
+
+    This is the shared kernel behind :func:`posterior_for_groups`, the batched
+    privacy-model checks and the skyline audit engine: callers that already
+    hold member rows (and may evaluate overlapping candidate groups, e.g. a
+    Mondrian split and its parent) use it directly.
+    """
+    from repro.inference.exact import exact_posterior, group_sensitive_counts
+
+    prior_rows = np.asarray(prior_rows, dtype=np.float64)
+    code_rows = np.asarray(code_rows, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if prior_rows.ndim != 2 or prior_rows.shape[0] != code_rows.shape[0]:
+        raise InferenceError("prior rows and sensitive codes must cover the same tuples")
+    if method not in {"omega", "exact"}:
+        raise InferenceError(f"unknown inference method {method!r}; use 'omega' or 'exact'")
+    if code_rows.size and (code_rows.min() < 0 or code_rows.max() >= prior_rows.shape[1]):
+        raise InferenceError("sensitive code out of range")
+    if offsets.size == 0:
+        return np.empty_like(prior_rows)
+    if offsets[0] != 0 or np.any(np.diff(offsets) <= 0) or offsets[-1] >= max(prior_rows.shape[0], 1):
+        raise InferenceError("group offsets must be strictly increasing and start at 0")
+    sizes = np.diff(np.append(offsets, prior_rows.shape[0]))
+    m = prior_rows.shape[1]
+    if method == "omega":
+        return _omega_posterior_flat(prior_rows, code_rows, offsets, sizes)
+    posterior = np.empty_like(prior_rows)
+    for start, size in zip(offsets, sizes):
+        stop = start + size
+        counts = group_sensitive_counts(code_rows[start:stop], m)
+        posterior[start:stop] = exact_posterior(prior_rows[start:stop], counts)
+    return posterior
+
+
 def posterior_for_groups(
     prior_matrix: np.ndarray,
     sensitive_codes: np.ndarray,
     groups: list[np.ndarray],
     *,
     method: str = "omega",
+    chunk_rows: int | None = None,
 ) -> np.ndarray:
     """Posterior beliefs for every tuple of a partitioned table.
 
@@ -97,35 +196,64 @@ def posterior_for_groups(
     method:
         ``"omega"`` (default) for the linear-time estimate or ``"exact"`` for
         the count-DP exact inference.
+    chunk_rows:
+        Optional cap on how many member rows are materialised per flat pass.
+        Groups are processed in runs of at most this many tuples (always at
+        least one group per run), bounding the working set on very large
+        tables; the result does not depend on it.
 
     Returns
     -------
     numpy.ndarray
         ``(n, m)`` posterior matrix.  Tuples not covered by any group keep
         their prior belief (releasing nothing about them).
-    """
-    from repro.inference.exact import exact_posterior, group_sensitive_counts
 
+    Notes
+    -----
+    All groups are processed in one vectorised pass (bucketed by a group-id
+    vector and segment sums) rather than a per-group Python loop; with
+    ``method="exact"`` the count DP still runs per group.
+    """
     prior_matrix = np.asarray(prior_matrix, dtype=np.float64)
     sensitive_codes = np.asarray(sensitive_codes, dtype=np.int64)
     if prior_matrix.ndim != 2 or prior_matrix.shape[0] != sensitive_codes.shape[0]:
         raise InferenceError("prior matrix and sensitive codes must cover the same tuples")
     if method not in {"omega", "exact"}:
         raise InferenceError(f"unknown inference method {method!r}; use 'omega' or 'exact'")
-    m = prior_matrix.shape[1]
+    if chunk_rows is not None and chunk_rows < 1:
+        raise InferenceError("chunk_rows must be a positive integer")
+    n = prior_matrix.shape[0]
     posterior = prior_matrix.copy()
-    seen = np.zeros(prior_matrix.shape[0], dtype=bool)
+    seen = np.zeros(n, dtype=bool)
+
+    populated = []
     for group in groups:
         indices = np.asarray(group, dtype=np.int64)
         if indices.size == 0:
             continue
+        if indices.min() < 0 or indices.max() >= n:
+            raise InferenceError("group index out of range")
         if seen[indices].any():
             raise InferenceError("groups overlap: a tuple appears in more than one group")
         seen[indices] = True
-        counts = group_sensitive_counts(sensitive_codes[indices], m)
-        group_prior = prior_matrix[indices]
-        if method == "omega":
-            posterior[indices] = omega_posterior(group_prior, counts)
-        else:
-            posterior[indices] = exact_posterior(group_prior, counts)
+        populated.append(indices)
+    if not populated:
+        return posterior
+
+    start = 0
+    while start < len(populated):
+        stop = start + 1
+        rows = populated[start].size
+        while stop < len(populated) and (
+            chunk_rows is None or rows + populated[stop].size <= chunk_rows
+        ):
+            rows += populated[stop].size
+            stop += 1
+        chunk = populated[start:stop]
+        members = np.concatenate(chunk)
+        offsets = np.cumsum([0] + [g.size for g in chunk[:-1]], dtype=np.int64)
+        posterior[members] = grouped_posterior(
+            prior_matrix[members], sensitive_codes[members], offsets, method=method
+        )
+        start = stop
     return posterior

@@ -18,8 +18,10 @@ from repro.knowledge.kernels import (
     uniform_kernel,
 )
 from repro.knowledge.prior import (
+    BatchedKernelPriorEstimator,
     KernelPriorEstimator,
     PriorBeliefs,
+    batched_kernel_priors,
     kernel_prior,
     mle_prior,
     overall_prior,
@@ -35,10 +37,12 @@ __all__ = [
     "AssociationRule",
     "Bandwidth",
     "BandwidthScore",
+    "BatchedKernelPriorEstimator",
     "KernelPriorEstimator",
     "PriorBeliefs",
     "cross_validation_score",
     "select_bandwidth",
+    "batched_kernel_priors",
     "biweight_kernel",
     "epanechnikov_kernel",
     "gaussian_kernel",

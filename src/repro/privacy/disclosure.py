@@ -36,6 +36,7 @@ def tuple_disclosure_risks(
     measure: DistanceMeasure,
     *,
     method: str = "omega",
+    chunk_rows: int | None = None,
 ) -> np.ndarray:
     """Knowledge gain ``D[prior, posterior]`` for every tuple of a partitioned table.
 
@@ -52,10 +53,50 @@ def tuple_disclosure_risks(
         Distance measure ``D[P, Q]``.
     method:
         Posterior inference method, ``"omega"`` (default) or ``"exact"``.
+    chunk_rows:
+        Optional row cap per posterior pass (see
+        :func:`repro.inference.omega.posterior_for_groups`).
     """
     prior_matrix = priors.matrix if isinstance(priors, PriorBeliefs) else np.asarray(priors)
-    posterior_matrix = posterior_for_groups(prior_matrix, sensitive_codes, groups, method=method)
+    posterior_matrix = posterior_for_groups(
+        prior_matrix, sensitive_codes, groups, method=method, chunk_rows=chunk_rows
+    )
     return measure.rowwise(prior_matrix, posterior_matrix)
+
+
+def max_risk(risks: np.ndarray) -> float:
+    """The worst-case risk of a risk vector (``0.0`` for an empty one)."""
+    risks = np.asarray(risks)
+    return float(risks.max()) if risks.size else 0.0
+
+
+def attack_result(
+    priors: PriorBeliefs | np.ndarray,
+    sensitive_codes: np.ndarray,
+    groups: list[np.ndarray],
+    measure: DistanceMeasure,
+    *,
+    adversary_b: float,
+    threshold: float,
+    method: str = "omega",
+    chunk_rows: int | None = None,
+) -> "AttackResult":
+    """One risks computation shared by every audit entry point.
+
+    :func:`worst_case_disclosure_risk`, :meth:`BackgroundKnowledgeAttack.attack`
+    and the skyline audit engine all route through here, so their reported
+    risks are byte-for-byte the same computation.
+    """
+    risks = tuple_disclosure_risks(
+        priors, sensitive_codes, groups, measure, method=method, chunk_rows=chunk_rows
+    )
+    return AttackResult(
+        adversary_b=float(adversary_b),
+        threshold=float(threshold),
+        risks=risks,
+        vulnerable_tuples=count_vulnerable_tuples(risks, threshold),
+        worst_case_risk=max_risk(risks),
+    )
 
 
 def worst_case_disclosure_risk(
@@ -67,8 +108,11 @@ def worst_case_disclosure_risk(
     method: str = "omega",
 ) -> float:
     """``max_q D[Ppri(B,q), Ppos(B,q,T*)]`` - the quantity bounded by (B,t)-privacy."""
-    risks = tuple_disclosure_risks(priors, sensitive_codes, groups, measure, method=method)
-    return float(risks.max())
+    result = attack_result(
+        priors, sensitive_codes, groups, measure,
+        adversary_b=float("nan"), threshold=0.0, method=method,
+    )
+    return result.worst_case_risk
 
 
 def count_vulnerable_tuples(risks: np.ndarray, threshold: float) -> int:
@@ -89,7 +133,9 @@ class AttackResult:
     worst_case_risk: float
 
     def vulnerability_rate(self) -> float:
-        """Fraction of tuples breached by the attack."""
+        """Fraction of tuples breached by the attack (0.0 for an empty result)."""
+        if self.risks.size == 0:
+            return 0.0
         return self.vulnerable_tuples / self.risks.size
 
 
@@ -139,17 +185,12 @@ class BackgroundKnowledgeAttack:
 
     def attack(self, groups: list[np.ndarray], threshold: float) -> AttackResult:
         """Attack a release given as a list of group index arrays."""
-        risks = tuple_disclosure_risks(
+        return attack_result(
             self.priors,
             self.table.sensitive_codes(),
             groups,
             self.measure,
-            method=self.method,
-        )
-        return AttackResult(
             adversary_b=self.b_prime,
-            threshold=float(threshold),
-            risks=risks,
-            vulnerable_tuples=count_vulnerable_tuples(risks, threshold),
-            worst_case_risk=float(risks.max()),
+            threshold=threshold,
+            method=self.method,
         )

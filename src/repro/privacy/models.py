@@ -19,13 +19,14 @@ against identity disclosure.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
 from repro.exceptions import PrivacyModelError
-from repro.inference.exact import exact_posterior, group_sensitive_counts
-from repro.inference.omega import omega_posterior
+from repro.inference.omega import grouped_posterior
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import KernelPriorEstimator, PriorBeliefs
 from repro.privacy.measures import (
@@ -56,6 +57,16 @@ class PrivacyModel:
     def is_satisfied(self, group_indices: np.ndarray) -> bool:  # pragma: no cover - interface
         """Whether a candidate group meets the requirement."""
         raise NotImplementedError
+
+    def is_satisfied_batch(self, groups: Sequence[np.ndarray]) -> list[bool]:
+        """Whether each candidate group meets the requirement.
+
+        Models whose check benefits from evaluating many groups in one pass
+        (e.g. :class:`BTPrivacy`'s batched posterior kernel) override this;
+        the default simply loops.  Mondrian evaluates the two halves of every
+        candidate split through this entry point.
+        """
+        return [self.is_satisfied(group) for group in groups]
 
     def describe(self) -> str:
         """Short human-readable description of the configured requirement."""
@@ -259,6 +270,14 @@ class BTPrivacy(PrivacyModel):
         self._priors: PriorBeliefs | None = None
         self._sensitive_codes: np.ndarray | None = None
         self._domain_size: int | None = None
+        # Per-group risk memo for one partition run: Mondrian re-examines the
+        # same candidate groups (and every skyline point sees the same split),
+        # so cache by the group's index bytes.  Reset whenever priors change,
+        # and bounded so long-lived prepared models cannot grow without limit.
+        self._risk_cache: dict[bytes, float] = {}
+        self._risk_cache_limit = 100_000
+        self.risk_evaluations = 0
+        self.risk_cache_hits = 0
 
     # -- preparation -----------------------------------------------------------------
     def prepare(self, table: MicrodataTable) -> None:
@@ -274,6 +293,7 @@ class BTPrivacy(PrivacyModel):
             self._priors = estimator.fit(table).prior_for_table()
         self._sensitive_codes = table.sensitive_codes()
         self._domain_size = table.sensitive_domain().size
+        self._risk_cache.clear()
         if self.measure is None:
             matrix = attribute_distance_matrix(table.sensitive_domain())
             self.measure = SmoothedJSDivergence(
@@ -285,6 +305,7 @@ class BTPrivacy(PrivacyModel):
         self._priors = priors
         self._sensitive_codes = np.asarray(sensitive_codes, dtype=np.int64)
         self._domain_size = int(domain_size)
+        self._risk_cache.clear()
 
     @property
     def has_priors(self) -> bool:
@@ -299,25 +320,62 @@ class BTPrivacy(PrivacyModel):
         return self._priors
 
     # -- evaluation -------------------------------------------------------------------
-    def group_risk(self, group_indices: np.ndarray) -> float:
-        """Maximum prior-to-posterior distance over the tuples of one group."""
+    def _require_prepared(self) -> None:
         if self._priors is None or self._sensitive_codes is None or self._domain_size is None:
             raise PrivacyModelError("(B,t)-privacy is not prepared; call prepare(table) first")
         if self.measure is None:
             raise PrivacyModelError("(B,t)-privacy has no distance measure configured")
-        indices = np.asarray(group_indices, dtype=np.int64)
-        if indices.size == 0:
-            raise PrivacyModelError("a group must contain at least one tuple")
-        prior = self._priors.matrix[indices]
-        counts = group_sensitive_counts(self._sensitive_codes[indices], self._domain_size)
-        if self.inference == "omega":
-            posterior = omega_posterior(prior, counts)
-        else:
-            posterior = exact_posterior(prior, counts)
-        return float(self.measure.rowwise(prior, posterior).max())
+
+    def group_risks(self, groups: Sequence[np.ndarray]) -> np.ndarray:
+        """Maximum prior-to-posterior distance of every candidate group, batched.
+
+        All uncached groups go through one flat posterior pass (the batched
+        Omega kernel) and one vectorised measure evaluation, so checking a
+        Mondrian split's two halves - or one group against every skyline
+        point - costs a single call.  Groups may overlap (candidate splits are
+        alternatives, not a partition).
+        """
+        self._require_prepared()
+        arrays = [np.asarray(group, dtype=np.int64) for group in groups]
+        risks = np.empty(len(arrays), dtype=np.float64)
+        pending: list[tuple[int, np.ndarray, bytes]] = []
+        for position, indices in enumerate(arrays):
+            if indices.size == 0:
+                raise PrivacyModelError("a group must contain at least one tuple")
+            key = indices.tobytes()
+            cached = self._risk_cache.get(key)
+            if cached is not None:
+                self.risk_cache_hits += 1
+                risks[position] = cached
+            else:
+                pending.append((position, indices, key))
+        if not pending:
+            return risks
+        self.risk_evaluations += len(pending)
+        members = np.concatenate([indices for _, indices, _ in pending])
+        offsets = np.cumsum([0] + [indices.size for _, indices, _ in pending[:-1]], dtype=np.int64)
+        prior_rows = self._priors.matrix[members]
+        code_rows = self._sensitive_codes[members]
+        posterior_rows = grouped_posterior(prior_rows, code_rows, offsets, method=self.inference)
+        distances = self.measure.rowwise(prior_rows, posterior_rows)
+        group_max = np.maximum.reduceat(distances, offsets)
+        if len(self._risk_cache) + len(pending) > self._risk_cache_limit:
+            self._risk_cache.clear()
+        for (position, _, key), value in zip(pending, group_max):
+            risk = float(value)
+            self._risk_cache[key] = risk
+            risks[position] = risk
+        return risks
+
+    def group_risk(self, group_indices: np.ndarray) -> float:
+        """Maximum prior-to-posterior distance over the tuples of one group."""
+        return float(self.group_risks([group_indices])[0])
 
     def is_satisfied(self, group_indices: np.ndarray) -> bool:
         return self.group_risk(group_indices) <= self.t + 1e-12
+
+    def is_satisfied_batch(self, groups: Sequence[np.ndarray]) -> list[bool]:
+        return [bool(risk <= self.t + 1e-12) for risk in self.group_risks(groups)]
 
     def describe(self) -> str:
         b_text = self.b.describe() if isinstance(self.b, Bandwidth) else f"b={self.b:g}"
@@ -352,6 +410,18 @@ class SkylineBTPrivacy(PrivacyModel):
     def is_satisfied(self, group_indices: np.ndarray) -> bool:
         return all(point.is_satisfied(group_indices) for point in self.points)
 
+    def is_satisfied_batch(self, groups: Sequence[np.ndarray]) -> list[bool]:
+        verdicts = np.ones(len(groups), dtype=bool)
+        for point in self.points:
+            # Evaluate the still-alive groups; a group rejected by one point
+            # needs no further checks.
+            alive = np.flatnonzero(verdicts)
+            if alive.size == 0:
+                break
+            point_verdicts = point.is_satisfied_batch([groups[i] for i in alive])
+            verdicts[alive] = point_verdicts
+        return verdicts.tolist()
+
     def group_risk(self, group_indices: np.ndarray) -> float:
         """Maximum risk over all skyline points (normalised by each point's ``t``)."""
         return max(point.group_risk(group_indices) / point.t for point in self.points)
@@ -384,6 +454,15 @@ class CompositeModel(PrivacyModel):
 
     def is_satisfied(self, group_indices: np.ndarray) -> bool:
         return all(model.is_satisfied(group_indices) for model in self.models)
+
+    def is_satisfied_batch(self, groups: Sequence[np.ndarray]) -> list[bool]:
+        verdicts = np.ones(len(groups), dtype=bool)
+        for model in self.models:
+            alive = np.flatnonzero(verdicts)
+            if alive.size == 0:
+                break
+            verdicts[alive] = model.is_satisfied_batch([groups[i] for i in alive])
+        return verdicts.tolist()
 
     def describe(self) -> str:
         return " AND ".join(f"{model.name}({model.describe()})" for model in self.models)

@@ -13,6 +13,7 @@ from repro.privacy.models import (
     CompositeModel,
     DistinctLDiversity,
     KAnonymity,
+    SkylineBTPrivacy,
     TCloseness,
 )
 
@@ -140,3 +141,43 @@ def test_rejected_splits_are_counted(tiny_adult):
     stats = mondrian.statistics
     assert stats.n_split_attempts >= stats.n_groups - 1
     assert stats.n_rejected_splits >= 0
+
+
+def test_batched_split_checks_match_scalar_path(tiny_adult):
+    """The one-call left/right evaluation must not change any partition."""
+    batched_model = CompositeModel([KAnonymity(3), BTPrivacy(0.3, 0.25)])
+    batched = MondrianAnonymizer(batched_model).partition(tiny_adult)
+
+    scalar_model = CompositeModel([KAnonymity(3), BTPrivacy(0.3, 0.25)])
+    # Force the pre-batching behaviour: every group checked one at a time
+    # through the scalar entry point.
+    scalar_model.is_satisfied_batch = lambda groups: [
+        scalar_model.is_satisfied(group) for group in groups
+    ]
+    scalar = MondrianAnonymizer(scalar_model).partition(tiny_adult)
+
+    assert len(batched) == len(scalar)
+    for a, b in zip(batched, scalar):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_bt_risk_memoisation_counts(tiny_adult):
+    model = CompositeModel([KAnonymity(3), BTPrivacy(0.3, 0.25)])
+    MondrianAnonymizer(model).partition(tiny_adult)
+    bt = model.models[1]
+    assert bt.risk_evaluations > 0
+    # Re-checking the final groups hits the memo, not the posterior kernel.
+    evaluations = bt.risk_evaluations
+    groups = MondrianAnonymizer(model).partition(tiny_adult, prepare=False)
+    assert bt.risk_cache_hits > 0
+    del groups, evaluations
+
+
+def test_skyline_model_partition_checks_every_point(tiny_adult):
+    model = CompositeModel(
+        [KAnonymity(3), SkylineBTPrivacy([(0.2, 0.3), (0.5, 0.25)])]
+    )
+    groups = MondrianAnonymizer(model).partition(tiny_adult)
+    for point in model.models[1].points:
+        for group in groups:
+            assert point.is_satisfied(group)

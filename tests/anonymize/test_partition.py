@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.anonymize.partition import AnonymizedRelease, GeneralizedValue, generalize_group
-from repro.data.examples import table_i_groups, table_i_patients
+from repro.data.examples import table_i_groups
 from repro.exceptions import AnonymizationError
 
 

@@ -163,3 +163,38 @@ def test_anatomy_missing_l_fails_before_preparation(tiny_adult):
 
     with pytest.raises(AnonymizationError, match="anatomy_l"):
         anonymize(tiny_adult, ExplodingBT(0.3, 0.2), algorithm="anatomy")
+
+
+def test_pipeline_audit_skyline_explicit_points(tiny_adult):
+    bundle = (
+        Pipeline(tiny_adult)
+        .model(DistinctLDiversity(3))
+        .with_k(3)
+        .audit_skyline([(0.2, 0.3), (0.4, 0.25)])
+        .run()
+    )
+    report = bundle.skyline_audit
+    assert report is not None and len(report.entries) == 2
+    assert "skyline_audit_seconds" in bundle.timings
+    assert bundle.summary()["skyline_satisfied"] == report.satisfied
+    assert "skyline audit" in bundle.render()
+
+
+def test_pipeline_audit_skyline_defaults_to_model_points(tiny_adult):
+    from repro.privacy.models import SkylineBTPrivacy
+
+    model = SkylineBTPrivacy([(0.2, 0.3), (0.5, 0.3)])
+    bundle = (
+        Pipeline(tiny_adult).model(model).with_k(3).audit_skyline().run()
+    )
+    report = bundle.skyline_audit
+    assert [entry.adversary.t for entry in report.entries] == [0.3, 0.3]
+    # The release was built to satisfy exactly these points, so the audit
+    # must come back clean (the Omega-estimate is used on both sides).
+    assert report.satisfied
+
+
+def test_pipeline_audit_skyline_requires_points_for_plain_models(tiny_adult):
+    pipeline = Pipeline(tiny_adult).model(DistinctLDiversity(3)).with_k(3).audit_skyline()
+    with pytest.raises(PipelineError, match="audit_skyline"):
+        pipeline.run()

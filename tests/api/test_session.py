@@ -96,3 +96,29 @@ def test_kernel_estimator_requires_bandwidth(tiny_adult):
     session = Session(tiny_adult)
     with pytest.raises(KnowledgeError, match="requires a bandwidth"):
         session.priors()
+
+
+def test_audit_skyline_reuses_and_fills_the_prior_cache(tiny_adult):
+    from repro.privacy.disclosure import BackgroundKnowledgeAttack
+
+    session = Session(tiny_adult)
+    groups = session.anonymize("distinct-l", params={"l": 3}, k=3).release.groups
+    session.priors(0.3)  # one point is already cached
+    report = session.audit_skyline(groups, [(0.1, 0.3), (0.3, 0.25), (0.5, 0.2)])
+    assert session.stats.prior_cache_hits == 1
+    # 0.3 was estimated above; the audit adds 0.1 and 0.5 in one batch.
+    assert session.stats.prior_estimations == 3
+    # The skyline's bandwidths entered the cache: a later single-adversary
+    # attack is free.
+    session.attack(groups, b_prime=0.5, threshold=0.2)
+    assert session.stats.prior_estimations == 3
+    # And the report matches the per-adversary attack exactly.
+    reference = BackgroundKnowledgeAttack(tiny_adult, 0.5).attack(groups, 0.2)
+    np.testing.assert_allclose(report.entries[2].attack.risks, reference.risks, atol=1e-9)
+
+
+def test_audit_skyline_duplicate_points_estimate_once(tiny_adult):
+    session = Session(tiny_adult)
+    groups = session.anonymize("distinct-l", params={"l": 3}, k=3).release.groups
+    session.audit_skyline(groups, [(0.25, 0.1), (0.25, 0.2)])
+    assert session.stats.prior_estimations == 1

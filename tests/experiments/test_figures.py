@@ -9,7 +9,7 @@ import pytest
 
 from repro.data.adult import generate_adult
 from repro.exceptions import ExperimentError
-from repro.experiments.config import MODEL_NAMES, PARA1, PrivacyParameters
+from repro.experiments.config import MODEL_NAMES, PrivacyParameters
 from repro.experiments.figures import (
     figure_1a,
     figure_1b,

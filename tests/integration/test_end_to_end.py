@@ -8,7 +8,6 @@ from repro import (
     BackgroundKnowledgeAttack,
     Bandwidth,
     DistinctLDiversity,
-    KAnonymity,
     ProbabilisticLDiversity,
     SkylineBTPrivacy,
     TCloseness,

@@ -1,7 +1,6 @@
 """Property-based integration tests over randomly generated microdata tables."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,85 @@
+"""Batched-vs-legacy equivalence for the multi-bandwidth kernel estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KnowledgeError
+from repro.knowledge.bandwidth import Bandwidth
+from repro.knowledge.prior import (
+    BatchedKernelPriorEstimator,
+    KernelPriorEstimator,
+    batched_kernel_priors,
+    kernel_prior,
+)
+
+BANDWIDTHS = (0.1, 0.3, 0.5)
+
+
+@pytest.fixture(scope="module")
+def factored(tiny_adult_module):
+    estimator = BatchedKernelPriorEstimator().fit(tiny_adult_module)
+    assert estimator.mode == "factored"
+    return estimator
+
+
+@pytest.fixture(scope="module")
+def tiny_adult_module():
+    from repro.data.adult import generate_adult
+
+    return generate_adult(300, seed=7)
+
+
+def test_factored_matches_legacy_per_bandwidth(factored, tiny_adult_module):
+    batched = factored.prior_for_table(BANDWIDTHS)
+    for b, priors in zip(BANDWIDTHS, batched):
+        reference = kernel_prior(tiny_adult_module, b)
+        np.testing.assert_allclose(priors.matrix, reference.matrix, atol=1e-9)
+        assert priors.description == reference.description
+
+
+def test_flat_fallback_matches_legacy(tiny_adult_module):
+    estimator = BatchedKernelPriorEstimator(max_cells=0).fit(tiny_adult_module)
+    assert estimator.mode == "flat"
+    batched = estimator.prior_for_table(BANDWIDTHS)
+    for b, priors in zip(BANDWIDTHS, batched):
+        reference = kernel_prior(tiny_adult_module, b)
+        np.testing.assert_allclose(priors.matrix, reference.matrix, atol=1e-12)
+
+
+@pytest.mark.parametrize("kernel", ["gaussian", "triangular", "uniform"])
+def test_other_kernels_match(tiny_adult_module, kernel):
+    batched = batched_kernel_priors(tiny_adult_module, [0.3], kernel=kernel)[0]
+    reference = kernel_prior(tiny_adult_module, 0.3, kernel=kernel)
+    np.testing.assert_allclose(batched.matrix, reference.matrix, atol=1e-9)
+
+
+def test_per_attribute_bandwidth_matches(factored, tiny_adult_module):
+    names = list(tiny_adult_module.quasi_identifier_names)
+    bandwidth = Bandwidth.split(names[:2], 0.15, names[2:], 0.45)
+    batched = factored.prior_for_table([bandwidth])[0]
+    legacy = (
+        KernelPriorEstimator(bandwidth).fit(tiny_adult_module).prior_for_table()
+    )
+    np.testing.assert_allclose(batched.matrix, legacy.matrix, atol=1e-9)
+
+
+def test_duplicate_bandwidths_share_one_computation(factored):
+    first, second = factored.prior_for_table([0.3, 0.3])
+    assert first.matrix is second.matrix
+
+
+def test_rows_are_distributions(factored):
+    for priors in factored.prior_for_table(BANDWIDTHS):
+        np.testing.assert_allclose(priors.matrix.sum(axis=1), 1.0, atol=1e-8)
+        assert np.all(priors.matrix >= -1e-12)
+
+
+def test_unfitted_estimator_rejected():
+    with pytest.raises(KnowledgeError, match="not fitted"):
+        BatchedKernelPriorEstimator().prior_for_table([0.3])
+
+
+def test_uncovering_bandwidth_rejected(factored):
+    partial = Bandwidth({"Age": 0.3})
+    with pytest.raises(KnowledgeError, match="does not cover"):
+        factored.prior_for_table([partial])

@@ -106,3 +106,34 @@ def test_exact_method_on_small_release(small_adult_module):
     attack = BackgroundKnowledgeAttack(table, 0.3, method="exact")
     outcome = attack.attack(release.groups, 0.25)
     assert outcome.risks.shape == (table.n_rows,)
+
+
+def test_vulnerability_rate_of_empty_result_is_zero():
+    from repro.privacy.disclosure import AttackResult
+
+    empty = AttackResult(
+        adversary_b=0.3,
+        threshold=0.2,
+        risks=np.array([]),
+        vulnerable_tuples=0,
+        worst_case_risk=0.0,
+    )
+    assert empty.vulnerability_rate() == 0.0
+
+
+def test_max_risk_of_empty_vector_is_zero():
+    from repro.privacy.disclosure import max_risk
+
+    assert max_risk(np.array([])) == 0.0
+    assert max_risk(np.array([0.2, 0.7, 0.1])) == 0.7
+
+
+def test_attack_and_worst_case_share_one_risks_path(releases):
+    table, bt, _ = releases
+    attack = BackgroundKnowledgeAttack(table, 0.3)
+    outcome = attack.attack(bt.groups, 0.25)
+    worst = worst_case_disclosure_risk(
+        attack.priors, table.sensitive_codes(), bt.groups, attack.measure
+    )
+    assert outcome.worst_case_risk == worst
+    assert outcome.vulnerability_rate() == outcome.vulnerable_tuples / table.n_rows

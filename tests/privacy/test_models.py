@@ -6,7 +6,6 @@ import pytest
 from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
 from repro.data.table import MicrodataTable
 from repro.exceptions import PrivacyModelError
-from repro.knowledge.prior import kernel_prior
 from repro.privacy.models import (
     BTPrivacy,
     CompositeModel,
@@ -205,3 +204,13 @@ def test_composite_model(simple_table):
     assert "k-anonymity" in composite.describe()
     with pytest.raises(PrivacyModelError):
         CompositeModel([])
+
+
+def test_bt_risk_cache_is_bounded(small_adult):
+    model = BTPrivacy(0.3, 0.25)
+    model.prepare(small_adult)
+    model._risk_cache_limit = 5
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        model.group_risk(np.sort(rng.choice(small_adult.n_rows, size=4, replace=False)))
+    assert len(model._risk_cache) <= 5

@@ -208,3 +208,46 @@ def test_error_paths_return_nonzero(tmp_path, capsys):
     )
     assert code == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_audit_reports_skyline(capsys, tmp_path):
+    import json
+
+    output = tmp_path / "audit.json"
+    code = main([
+        "audit", "--rows", "250", "--seed", "5", "--model", "distinct-l", "--l", "3",
+        "--k", "3", "--skyline", "0.1:0.3,0.4:0.25", "--json", str(output),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "skyline audit" in out and "2 adversaries" in out
+    payload = json.loads(output.read_text())
+    assert payload["skyline_size"] == 2
+    assert [entry["t"] for entry in payload["adversaries"]] == [0.3, 0.25]
+
+
+def test_audit_defaults_to_model_point_and_fail_on_breach(capsys):
+    # A bt release audited against its own (b, t) must satisfy the skyline.
+    code = main([
+        "audit", "--rows", "250", "--seed", "5", "--model", "bt",
+        "--b", "0.3", "--t", "0.3", "--k", "3", "--fail-on-breach",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 adversaries (SATISFIED)" in out
+    # An impossible budget breaches and, with --fail-on-breach, exits 3.
+    code = main([
+        "audit", "--rows", "250", "--seed", "5", "--model", "distinct-l", "--l", "3",
+        "--k", "3", "--skyline", "0.3:0.0", "--fail-on-breach",
+    ])
+    assert code == 3
+
+
+def test_audit_rejects_bad_skyline_spec(capsys):
+    for spec in ("0.3", "a:b", ","):
+        code = main([
+            "audit", "--rows", "200", "--model", "distinct-l", "--l", "3",
+            "--k", "3", "--skyline", spec,
+        ])
+        assert code == 1
+        assert "skyline" in capsys.readouterr().err
