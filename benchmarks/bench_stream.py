@@ -1,0 +1,157 @@
+"""Incremental stream publishing vs full republish (the PR-gated stream bench).
+
+The :class:`repro.stream.IncrementalPublisher` contract, measured end to end
+on an append-only stream (seed table + fixed-size batches):
+
+* **exact**: after every batch, the incrementally maintained per-tuple audit
+  risks must match a from-scratch :class:`SkylineAuditEngine` audit of the
+  same release on the concatenated table to ``<= 1e-12`` (the additive
+  count-tensor prior updates and the dirty-group audit introduce no drift);
+* **fast**: folding a batch in must beat re-running the published pipeline
+  (estimate -> Mondrian -> skyline audit via ``repro.api.Pipeline``) from
+  scratch by at least ``REPRO_BENCH_STREAM_MIN_SPEEDUP`` (default 5), and
+  beat even this repo's cheapest full republish (a fresh publisher's
+  ``publish()``, which shares the batched estimator and the frontier
+  Mondrian) by ``REPRO_BENCH_STREAM_MIN_REPUBLISH_SPEEDUP`` (default 2).
+
+Scale knobs:
+
+* ``REPRO_BENCH_STREAM_ROWS``        - seed rows (default 5000);
+* ``REPRO_BENCH_STREAM_BATCH_ROWS``  - rows per append batch (default 500);
+* ``REPRO_BENCH_STREAM_BATCHES``     - number of batches (default 5);
+* ``REPRO_BENCH_STREAM_MIN_SPEEDUP`` / ``..._MIN_REPUBLISH_SPEEDUP`` - gates.
+
+The measured numbers land in ``BENCH_stream.json`` (section
+``seed-<rows>-batches-<k>x<batch>``), which CI regenerates at a tiny size and
+compares against the committed baseline with ``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import write_bench_json
+
+from repro.api import Pipeline
+from repro.audit import SkylineAuditEngine
+from repro.data.adult import generate_adult
+from repro.privacy.models import BTPrivacy
+from repro.stream import IncrementalPublisher
+
+SEED_ROWS = int(os.environ.get("REPRO_BENCH_STREAM_ROWS", "5000"))
+BATCH_ROWS = int(os.environ.get("REPRO_BENCH_STREAM_BATCH_ROWS", "500"))
+BATCHES = int(os.environ.get("REPRO_BENCH_STREAM_BATCHES", "5"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_STREAM_MIN_SPEEDUP", "5"))
+MIN_REPUBLISH_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_STREAM_MIN_REPUBLISH_SPEEDUP", "2")
+)
+
+# The model the stream enforces and the paper-style skyline it is audited
+# against (four adversaries of increasing knowledge, one shared budget).
+MODEL_B, MODEL_T, K = 0.3, 0.2, 4
+SKYLINE = ((0.1, 0.2), (0.2, 0.2), (0.3, 0.2), (0.5, 0.2))
+
+
+def _pipeline_republish(table) -> float:
+    """Seconds for a from-scratch estimate -> partition -> audit pipeline run."""
+    start = time.perf_counter()
+    (
+        Pipeline(table)
+        .model(BTPrivacy(MODEL_B, MODEL_T))
+        .with_k(K)
+        .audit_skyline(list(SKYLINE))
+        .with_utility(False)
+        .run()
+    )
+    return time.perf_counter() - start
+
+
+def _publisher_republish(table) -> float:
+    """Seconds for this repo's cheapest full republish (fresh publisher)."""
+    start = time.perf_counter()
+    IncrementalPublisher(
+        table, BTPrivacy(MODEL_B, MODEL_T), skyline=list(SKYLINE), k=K
+    ).publish()
+    return time.perf_counter() - start
+
+
+def test_incremental_stream_speedup_and_equivalence():
+    total = SEED_ROWS + BATCHES * BATCH_ROWS
+    full = generate_adult(total, seed=2009)
+    seed = full.select(np.arange(SEED_ROWS))
+
+    publisher = IncrementalPublisher(
+        seed, BTPrivacy(MODEL_B, MODEL_T), skyline=list(SKYLINE), k=K
+    )
+    publisher.publish()
+
+    incremental_seconds = 0.0
+    pipeline_seconds = 0.0
+    republish_seconds = 0.0
+    max_risk_difference = 0.0
+    for index in range(BATCHES):
+        low = SEED_ROWS + index * BATCH_ROWS
+        batch = full.select(np.arange(low, low + BATCH_ROWS))
+        start = time.perf_counter()
+        version = publisher.append(batch)
+        incremental_seconds += time.perf_counter() - start
+
+        # Exactness: a fresh full audit of the same release must agree.
+        fresh = SkylineAuditEngine(publisher.table, SKYLINE).audit(
+            version.release.groups
+        )
+        max_risk_difference = max(
+            max_risk_difference,
+            max(
+                float(np.abs(entry.attack.risks - reference.attack.risks).max())
+                for entry, reference in zip(version.report.entries, fresh.entries)
+            ),
+        )
+
+        pipeline_seconds += _pipeline_republish(publisher.table)
+        republish_seconds += _publisher_republish(publisher.table)
+
+    speedup = pipeline_seconds / incremental_seconds
+    republish_speedup = republish_seconds / incremental_seconds
+    final = publisher.latest
+    print(
+        f"\nstream: seed={SEED_ROWS} +{BATCHES}x{BATCH_ROWS} rows "
+        f"incremental={incremental_seconds:.3f}s pipeline-republish={pipeline_seconds:.3f}s "
+        f"publisher-republish={republish_seconds:.3f}s "
+        f"speedup={speedup:.1f}x republish-speedup={republish_speedup:.1f}x "
+        f"groups={final.n_groups} max-risk-diff={max_risk_difference:.2e}"
+    )
+    write_bench_json(
+        "stream",
+        f"seed-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}",
+        {
+            "seed_rows": SEED_ROWS,
+            "batch_rows": BATCH_ROWS,
+            "batches": BATCHES,
+            "adversaries": len(SKYLINE),
+            "final_rows": total,
+            "final_groups": final.n_groups,
+            "incremental_seconds": incremental_seconds,
+            "pipeline_republish_seconds": pipeline_seconds,
+            "publisher_republish_seconds": republish_seconds,
+            "speedup": speedup,
+            "republish_speedup": republish_speedup,
+            "max_risk_difference": max_risk_difference,
+        },
+    )
+
+    # Numerically identical to a full re-audit of the published release.
+    assert max_risk_difference <= 1e-12
+    # Incremental beats re-running the published pipeline from scratch ...
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental publishing is only {speedup:.1f}x faster than the "
+        f"from-scratch pipeline republish (required: {MIN_SPEEDUP:g}x)"
+    )
+    # ... and the repo's cheapest full republish path.
+    assert republish_speedup >= MIN_REPUBLISH_SPEEDUP, (
+        f"incremental publishing is only {republish_speedup:.1f}x faster than a "
+        f"fresh publisher republish (required: {MIN_REPUBLISH_SPEEDUP:g}x)"
+    )

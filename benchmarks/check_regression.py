@@ -12,9 +12,9 @@ files the script compares:
   most ``tolerance`` (a fraction; 0.30 means +30%) plus ``--absolute-slack``
   seconds (sub-100ms measurements are single-round and noisy; the additive
   slack keeps the ratio gate from firing on scheduler jitter);
-* every ``speedup`` metric - the current value may fall below the baseline by
-  at most ``tolerance``.  This gate is dimensionless, so it stays meaningful
-  even when baseline and CI hardware differ.
+* every ``speedup`` / ``*_speedup`` metric - the current value may fall below
+  the baseline by at most ``tolerance``.  This gate is dimensionless, so it
+  stays meaningful even when baseline and CI hardware differ.
 
 Sections only present in the baseline (e.g. a committed full-scale
 demonstration that CI does not re-run) or only in the current file (a new
@@ -63,7 +63,7 @@ def compare(
             if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
                 continue
             slower_is_bad = key.endswith("_seconds")
-            lower_is_bad = key == "speedup"
+            lower_is_bad = key == "speedup" or key.endswith("_speedup")
             if not (slower_is_bad or lower_is_bad):
                 continue
             current_value = cur_metrics.get(key)

@@ -10,6 +10,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+import numpy as np
+
 from repro import MODELS, Session, expand_grid, generate_adult
 from repro.utility import QueryWorkloadGenerator, average_relative_error
 
@@ -87,6 +89,17 @@ def main() -> None:
     print("\nfirst three published rows:")
     for row in release.generalized_rows()[:3]:
         print("  ", row)
+
+    # 7. Growing data?  session.stream(...) turns the same configuration into
+    #    an incremental publisher: appended batches are folded in with
+    #    dirty-leaf re-splits and delta skyline audits instead of re-running
+    #    the whole pipeline (see examples/streaming_publisher.py).
+    publisher = session.stream("bt", params={"b": 0.3, "t": 0.2}, k=4)
+    version = publisher.append(table.sample(200, rng=np.random.default_rng(2)).rows())
+    print(f"\nstreaming: v{version.version} folded {version.delta.appended_rows} "
+          f"appended rows in {version.delta.timings['total_seconds']:.2f}s, "
+          f"reusing {version.delta.reused_groups} of {publisher.store[0].n_groups} "
+          f"seed groups verbatim")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+"""Streaming publication: append -> incremental republish -> delta audit.
+
+A production publisher receives rows continuously.  Re-running the whole
+estimate -> partition -> audit pipeline per batch wastes everything the
+previous run computed; the `repro.stream` engine instead folds each batch
+into the factored prior state, routes the new rows down the recorded
+Mondrian split tree, re-splits only the groups that actually changed, and
+re-audits the skyline touching only dirty groups - while staying numerically
+identical to a from-scratch audit of the published release.
+
+Run with:  python examples/streaming_publisher.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro import Session, SkylineAuditEngine, generate_adult
+
+SEED_ROWS = 4_000
+BATCH_ROWS = 400
+BATCHES = 4
+SKYLINE = [(0.1, 0.3), (0.3, 0.25), (0.5, 0.25)]
+
+
+def main() -> None:
+    # One draw for the whole stream, so batches share the seed's marginals.
+    everything = generate_adult(SEED_ROWS + BATCHES * BATCH_ROWS, seed=42)
+    seed_table = everything.select(np.arange(SEED_ROWS))
+
+    # 1. Seed release: skyline (B,t)-privacy (Definition 2) with a k-anonymity
+    #    guard - the release is *enforced* against every skyline adversary, so
+    #    the per-version audits below should stay satisfied.  Session.stream
+    #    publishes version 0 immediately; the audit skyline defaults to the
+    #    model's own (B_i, t_i) points.
+    session = Session(seed_table)
+    publisher = session.stream("skyline-bt", params={"points": SKYLINE}, k=4)
+    v0 = publisher.latest
+    print(f"stream: {publisher.describe()}")
+    print(f"v0: {v0.n_rows} rows -> {v0.n_groups} groups "
+          f"({v0.delta.timings['total_seconds']:.2f}s full publish)")
+
+    # 2. Append batches.  Each append is an *incremental* republish: watch how
+    #    many groups are reused verbatim and how little is recomputed.
+    for index in range(BATCHES):
+        low = SEED_ROWS + index * BATCH_ROWS
+        batch = everything.select(np.arange(low, low + BATCH_ROWS))
+        version = publisher.append(batch)
+        delta = version.delta
+        print(f"\nv{version.version}: +{delta.appended_rows} rows -> "
+              f"{version.n_groups} groups in {delta.timings['total_seconds']:.3f}s")
+        print(f"  reused {delta.reused_groups} groups verbatim, rechecked "
+              f"{delta.rechecked_leaves}, refined {delta.refined_leaves}, "
+              f"rebuilt {delta.rebuilt_regions} regions")
+        print(f"  delta audit recomputed {delta.audit_recomputed_groups} "
+              f"of {version.n_groups} groups per adversary")
+
+        # 3. The audit deltas show how each adversary's risk drifts as data
+        #    arrives - the finite-sample face of the paper's risk continuity.
+        for row in publisher.store.report_delta(version.version):
+            print(f"  {row['adversary']}: risk {row['worst_case_risk']:.4f} "
+                  f"({row['worst_case_risk_change']:+.2e}), "
+                  f"margin {row['margin']:+.3f} "
+                  f"[{'ok' if row['satisfied'] else 'BREACH'}]")
+
+    # 4. Trust but verify: the incrementally maintained risks are numerically
+    #    identical to a from-scratch audit of the same release.
+    final = publisher.latest
+    fresh = SkylineAuditEngine(publisher.table, SKYLINE).audit(final.release.groups)
+    drift = max(
+        float(np.abs(entry.attack.risks - reference.attack.risks).max())
+        for entry, reference in zip(final.report.entries, fresh.entries)
+    )
+    print(f"\nincremental vs from-scratch audit: max risk difference {drift:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -103,6 +103,7 @@ from repro.exceptions import (
     PrivacyModelError,
     ReproError,
     SchemaError,
+    StreamError,
     UtilityError,
 )
 from repro.inference import exact_posterior, omega_posterior, posterior_for_groups
@@ -116,6 +117,13 @@ from repro.knowledge import (
     mle_prior,
     overall_prior,
     uniform_prior,
+)
+from repro.stream import (
+    IncrementalPublisher,
+    PartitionTree,
+    ReleaseStore,
+    StreamDelta,
+    StreamVersion,
 )
 from repro.privacy import (
     BTPrivacy,
@@ -168,16 +176,19 @@ __all__ = [
     "EntropyLDiversity",
     "ExperimentError",
     "HierarchyError",
+    "IncrementalPublisher",
     "InferenceError",
     "KAnonymity",
     "KernelPriorEstimator",
     "KnowledgeError",
     "MicrodataTable",
     "MondrianAnonymizer",
+    "PartitionTree",
     "PriorBeliefs",
     "PrivacyModelError",
     "ProbabilisticLDiversity",
     "QueryWorkloadGenerator",
+    "ReleaseStore",
     "ReproError",
     "Schema",
     "SchemaError",
@@ -187,6 +198,9 @@ __all__ = [
     "SkylineAuditReport",
     "SkylineBTPrivacy",
     "SmoothedJSDivergence",
+    "StreamDelta",
+    "StreamError",
+    "StreamVersion",
     "TCloseness",
     "Taxonomy",
     "UtilityError",

@@ -2,7 +2,13 @@
 
 from repro.anonymize.anatomy import anatomy_partition
 from repro.anonymize.anonymizer import AnonymizationResult, anonymize
-from repro.anonymize.mondrian import MondrianAnonymizer, MondrianStatistics
+from repro.anonymize.mondrian import (
+    MondrianAnonymizer,
+    MondrianLeaf,
+    MondrianNode,
+    MondrianSplit,
+    MondrianStatistics,
+)
 from repro.anonymize.partition import (
     AnonymizedRelease,
     GeneralizedGroup,
@@ -16,6 +22,9 @@ __all__ = [
     "GeneralizedGroup",
     "GeneralizedValue",
     "MondrianAnonymizer",
+    "MondrianLeaf",
+    "MondrianNode",
+    "MondrianSplit",
     "MondrianStatistics",
     "anatomy_partition",
     "anonymize",

@@ -17,11 +17,26 @@ requirement is satisfied".  This module implements exactly that scheme:
 Categorical attributes are split on their domain code order (the common
 Mondrian relaxation when full hierarchical splits are not required); numeric
 attributes are split on raw values.
+
+The candidate evaluation is vectorised: per node, the normalised widths and
+the median cut points of *every* dimension come from one NumPy pass over the
+group's value matrix (instead of one pass per attribute).  Two entry points
+consume the shared search:
+
+* :meth:`MondrianAnonymizer.partition` - the classic depth-first run used by
+  ``anonymize()``;
+* :meth:`MondrianAnonymizer.partition_forest` - a frontier-synchronous run
+  over one or more *regions* that records the split decisions as a tree of
+  :class:`MondrianNode` / :class:`MondrianLeaf`.  All candidate splits of a
+  frontier round are checked through **one** ``is_satisfied_batch`` call, and
+  the recorded trees are what :mod:`repro.stream` replays to route appended
+  rows and re-split only dirty leaves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -40,6 +55,83 @@ class MondrianStatistics:
     n_split_attempts: int = 0
     n_rejected_splits: int = 0
     max_depth: int = 0
+
+
+@dataclass(frozen=True)
+class MondrianSplit:
+    """One accepted cut: ``value <= threshold`` goes left (``<`` when not inclusive).
+
+    Numeric attributes cut on raw values, categorical attributes on domain
+    codes - the same convention :meth:`MondrianAnonymizer._median_split` uses,
+    so a recorded split can route rows that were not part of the original run.
+    """
+
+    attribute: str
+    threshold: float
+    inclusive: bool = True
+
+    def goes_left(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of ``values`` (raw numeric or codes) routed to the left child."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.inclusive:
+            return values <= self.threshold
+        return values < self.threshold
+
+
+@dataclass
+class MondrianLeaf:
+    """A leaf of a recorded Mondrian tree: one released group.
+
+    ``searched_size`` records how many rows the group held when the split
+    search last declared it unsplittable; the streaming publisher uses it to
+    amortise re-searches (a group re-enters the search once it has outgrown
+    its last searched size by a configurable factor).
+    """
+
+    indices: np.ndarray
+    depth: int = 0
+    searched_size: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def leaves(self) -> Iterator["MondrianLeaf"]:
+        yield self
+
+
+@dataclass
+class MondrianNode:
+    """An internal node of a recorded Mondrian tree: a split and two subtrees."""
+
+    split: MondrianSplit
+    left: "MondrianNode | MondrianLeaf | None" = None
+    right: "MondrianNode | MondrianLeaf | None" = None
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def leaves(self) -> Iterator[MondrianLeaf]:
+        """Leaves in deterministic left-to-right order."""
+        yield from self.left.leaves()
+        yield from self.right.leaves()
+
+
+@dataclass
+class _Frontier:
+    """One unresolved region during a frontier-synchronous run."""
+
+    indices: np.ndarray
+    depth: int
+    parent: MondrianNode | None  # None while this region is a forest root
+    side: str  # "left" / "right" / "root"
+    root_slot: int
+    dimensions: list[int] = field(default_factory=list)  # candidate columns, in try order
+    next_dimension: int = 0
+    medians: np.ndarray | None = None
+    proposal: tuple[MondrianSplit, np.ndarray, np.ndarray] | None = None
 
 
 class MondrianAnonymizer:
@@ -81,98 +173,263 @@ class MondrianAnonymizer:
                 "the whole table does not satisfy the privacy requirement; no release is possible"
             )
         qi_names = list(table.quasi_identifier_names)
-        spans = self._global_spans(table, qi_names)
+        spans = self._span_vector(table, qi_names)
+        values = self._value_matrix(table, qi_names)
         groups: list[np.ndarray] = []
         # Iterative depth-first traversal to avoid recursion limits on large tables.
         stack: list[tuple[np.ndarray, int]] = [(all_indices, 0)]
         while stack:
             indices, depth = stack.pop()
             self.statistics.max_depth = max(self.statistics.max_depth, depth)
-            split = self._find_split(table, indices, qi_names, spans, depth)
+            split = self._find_split(values, indices, qi_names, spans, depth)
             if split is None:
                 groups.append(np.sort(indices))
                 self.statistics.n_groups += 1
             else:
-                left, right = split
+                _, left, right = split
                 stack.append((left, depth + 1))
                 stack.append((right, depth + 1))
         return groups
 
-    # -- helpers -----------------------------------------------------------------------
-    @staticmethod
-    def _global_spans(table: MicrodataTable, qi_names: list[str]) -> dict[str, float]:
-        spans: dict[str, float] = {}
-        for name in qi_names:
-            domain = table.domain(name)
-            if table.schema[name].is_numeric:
-                spans[name] = max(domain.numeric_range, 1e-12)
-            else:
-                spans[name] = max(float(domain.size - 1), 1e-12)
-        return spans
+    def partition_tree(
+        self, table: MicrodataTable, *, prepare: bool = True
+    ) -> MondrianNode | MondrianLeaf:
+        """Like :meth:`partition`, but record the split decisions as a tree.
 
-    def _normalised_width(
-        self, table: MicrodataTable, indices: np.ndarray, name: str, spans: dict[str, float]
-    ) -> float:
-        if table.schema[name].is_numeric:
-            column = table.column(name)[indices]
-            return float(column.max() - column.min()) / spans[name]
-        codes = table.codes(name)[indices]
-        return float(codes.max() - codes.min()) / spans[name]
+        The leaves of the returned tree (in :meth:`MondrianNode.leaves` order)
+        are exactly the groups a :meth:`partition` call would produce - the
+        two entry points share the same per-node candidate search - plus the
+        routing information (:class:`MondrianSplit`) the streaming publisher
+        needs to place appended rows.
+        """
+        if prepare:
+            self.model.prepare(table)
+        self.statistics = MondrianStatistics()
+        all_indices = np.arange(table.n_rows, dtype=np.int64)
+        if not self.model.is_satisfied(all_indices):
+            raise AnonymizationError(
+                "the whole table does not satisfy the privacy requirement; no release is possible"
+            )
+        return self.partition_forest(table, [all_indices])[0]
 
-    def _ordered_dimensions(
+    def partition_forest(
         self,
         table: MicrodataTable,
-        indices: np.ndarray,
-        qi_names: list[str],
-        spans: dict[str, float],
-        depth: int,
-    ) -> list[str]:
-        widths = {
-            name: self._normalised_width(table, indices, name, spans) for name in qi_names
-        }
-        candidates = [name for name in qi_names if widths[name] > 0.0]
+        regions: Sequence[np.ndarray],
+        *,
+        depths: Sequence[int] | None = None,
+    ) -> list[MondrianNode | MondrianLeaf]:
+        """Recursively split several regions at once, frontier-synchronously.
+
+        Every region is assumed to *already satisfy* the privacy model (the
+        caller checks, e.g. the whole-table check of :meth:`partition_tree` or
+        the merge-up walk of the streaming publisher).  Per frontier round all
+        candidate splits - across every region - are verified through a single
+        ``is_satisfied_batch`` call, so models with a batched risk kernel
+        evaluate the whole round in one posterior pass.
+
+        ``depths`` gives the tree depth each region starts at (it offsets the
+        ``round_robin`` dimension rotation and the depth statistics); it
+        defaults to 0 for every region.  Statistics are *accumulated*, not
+        reset, so a streaming publisher can total its incremental work.
+        """
+        qi_names = list(table.quasi_identifier_names)
+        spans = self._span_vector(table, qi_names)
+        values = self._value_matrix(table, qi_names)
+        if depths is None:
+            depths = [0] * len(regions)
+        if len(depths) != len(regions):
+            raise AnonymizationError("depths must align one-to-one with regions")
+
+        roots: list[MondrianNode | MondrianLeaf | None] = [None] * len(regions)
+        frontier = [
+            _Frontier(
+                indices=np.asarray(region, dtype=np.int64),
+                depth=int(depth),
+                parent=None,
+                side="root",
+                root_slot=slot,
+            )
+            for slot, (region, depth) in enumerate(zip(regions, depths))
+        ]
+        for entry in frontier:
+            self._start_entry(entry, values, spans)
+
+        while frontier:
+            proposals: list[_Frontier] = []
+            for entry in frontier:
+                self.statistics.max_depth = max(self.statistics.max_depth, entry.depth)
+                if self._propose(entry, values, qi_names):
+                    proposals.append(entry)
+                else:
+                    self._finalise_leaf(entry, roots)
+            if not proposals:
+                break
+            halves: list[np.ndarray] = []
+            for entry in proposals:
+                halves.extend(entry.proposal[1:])
+            verdicts = self.model.is_satisfied_batch(halves)
+            self.statistics.n_split_attempts += len(proposals)
+            frontier = []
+            for position, entry in enumerate(proposals):
+                split, left, right = entry.proposal
+                entry.proposal = None
+                if verdicts[2 * position] and verdicts[2 * position + 1]:
+                    node = MondrianNode(split=split, depth=entry.depth)
+                    self._attach(entry, node, roots)
+                    for side, indices in (("left", left), ("right", right)):
+                        child = _Frontier(
+                            indices=indices,
+                            depth=entry.depth + 1,
+                            parent=node,
+                            side=side,
+                            root_slot=entry.root_slot,
+                        )
+                        self._start_entry(child, values, spans)
+                        frontier.append(child)
+                else:
+                    self.statistics.n_rejected_splits += 1
+                    entry.next_dimension += 1
+                    frontier.append(entry)
+        return roots
+
+    # -- helpers -----------------------------------------------------------------------
+    @staticmethod
+    def _value_matrix(table: MicrodataTable, qi_names: list[str]) -> np.ndarray:
+        """``(n, d)`` float matrix: raw values (numeric) / domain codes (categorical)."""
+        columns = [
+            table.column(name)
+            if table.schema[name].is_numeric
+            else table.codes(name).astype(np.float64)
+            for name in qi_names
+        ]
+        return np.column_stack(columns)
+
+    @staticmethod
+    def _span_vector(table: MicrodataTable, qi_names: list[str]) -> np.ndarray:
+        spans = np.empty(len(qi_names), dtype=np.float64)
+        for position, name in enumerate(qi_names):
+            domain = table.domain(name)
+            if table.schema[name].is_numeric:
+                spans[position] = max(domain.numeric_range, 1e-12)
+            else:
+                spans[position] = max(float(domain.size - 1), 1e-12)
+        return spans
+
+    def _ordered_dimensions(
+        self, sub: np.ndarray, spans: np.ndarray, depth: int
+    ) -> list[int]:
+        """Candidate dimension columns in try order (one NumPy pass for all widths)."""
+        widths = (sub.max(axis=0) - sub.min(axis=0)) / spans
+        candidates = [int(j) for j in np.flatnonzero(widths > 0.0)]
         if not candidates:
             return []
         if self.split_strategy == "widest":
-            return sorted(candidates, key=lambda name: widths[name], reverse=True)
+            return sorted(candidates, key=lambda j: widths[j], reverse=True)
         offset = depth % len(candidates)
         return candidates[offset:] + candidates[:offset]
 
+    def _start_entry(self, entry: _Frontier, values: np.ndarray, spans: np.ndarray) -> None:
+        sub = values[entry.indices]
+        entry.dimensions = self._ordered_dimensions(sub, spans, entry.depth)
+        entry.medians = np.median(sub, axis=0) if entry.dimensions else None
+        entry.next_dimension = 0
+
+    def _propose(self, entry: _Frontier, values: np.ndarray, qi_names: list[str]) -> bool:
+        """Advance ``entry`` to its next viable candidate split (False = leaf)."""
+        while entry.next_dimension < len(entry.dimensions):
+            column = entry.dimensions[entry.next_dimension]
+            halves = self._cut(
+                values[entry.indices, column], float(entry.medians[column])
+            )
+            if halves is None:
+                entry.next_dimension += 1
+                continue
+            left_mask, inclusive = halves
+            split = MondrianSplit(
+                attribute=qi_names[column],
+                threshold=float(entry.medians[column]),
+                inclusive=inclusive,
+            )
+            entry.proposal = (
+                split,
+                entry.indices[left_mask],
+                entry.indices[~left_mask],
+            )
+            return True
+        return False
+
+    @staticmethod
+    def _cut(column: np.ndarray, median: float) -> tuple[np.ndarray, bool] | None:
+        """Left-half mask for a median cut (None when the cut is degenerate)."""
+        left_mask = column <= median
+        inclusive = True
+        if left_mask.all():
+            # Median equals the maximum; split strictly below it instead.
+            left_mask = column < median
+            inclusive = False
+        if not left_mask.any() or left_mask.all():
+            return None
+        return left_mask, inclusive
+
     def _find_split(
         self,
-        table: MicrodataTable,
+        values: np.ndarray,
         indices: np.ndarray,
         qi_names: list[str],
-        spans: dict[str, float],
+        spans: np.ndarray,
         depth: int,
-    ) -> tuple[np.ndarray, np.ndarray] | None:
-        for name in self._ordered_dimensions(table, indices, qi_names, spans, depth):
-            halves = self._median_split(table, indices, name)
+    ) -> tuple[MondrianSplit, np.ndarray, np.ndarray] | None:
+        """The best allowable split of one group (vectorised candidate search).
+
+        Widths and medians for *all* candidate dimensions come from one NumPy
+        pass over the group's value matrix; candidates are then tried in
+        strategy order, each verified with one batched model call.
+        """
+        sub = values[indices]
+        ordered = self._ordered_dimensions(sub, spans, depth)
+        if not ordered:
+            return None
+        medians = np.median(sub, axis=0)
+        for column in ordered:
+            halves = self._cut(sub[:, column], float(medians[column]))
             if halves is None:
                 continue
-            left, right = halves
+            left_mask, inclusive = halves
+            left, right = indices[left_mask], indices[~left_mask]
             self.statistics.n_split_attempts += 1
             # One batched call so models with a vectorised posterior kernel
             # ((B,t)-privacy, skylines) evaluate both halves in a single pass.
             if all(self.model.is_satisfied_batch((left, right))):
-                return left, right
+                split = MondrianSplit(
+                    attribute=qi_names[column],
+                    threshold=float(medians[column]),
+                    inclusive=inclusive,
+                )
+                return split, left, right
             self.statistics.n_rejected_splits += 1
         return None
 
+    def _finalise_leaf(
+        self, entry: _Frontier, roots: list[MondrianNode | MondrianLeaf | None]
+    ) -> None:
+        leaf = MondrianLeaf(
+            indices=np.sort(entry.indices),
+            depth=entry.depth,
+            searched_size=int(entry.indices.size),
+        )
+        self.statistics.n_groups += 1
+        self._attach(entry, leaf, roots)
+
     @staticmethod
-    def _median_split(
-        table: MicrodataTable, indices: np.ndarray, name: str
-    ) -> tuple[np.ndarray, np.ndarray] | None:
-        """Split ``indices`` at the median of attribute ``name`` (None if impossible)."""
-        if table.schema[name].is_numeric:
-            values = table.column(name)[indices]
+    def _attach(
+        entry: _Frontier,
+        node: MondrianNode | MondrianLeaf,
+        roots: list[MondrianNode | MondrianLeaf | None],
+    ) -> None:
+        if entry.parent is None:
+            roots[entry.root_slot] = node
+        elif entry.side == "left":
+            entry.parent.left = node
         else:
-            values = table.codes(name)[indices].astype(np.float64)
-        median = float(np.median(values))
-        left_mask = values <= median
-        if left_mask.all():
-            # Median equals the maximum; split strictly below it instead.
-            left_mask = values < median
-        if not left_mask.any() or left_mask.all():
-            return None
-        return indices[left_mask], indices[~left_mask]
+            entry.parent.right = node

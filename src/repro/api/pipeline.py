@@ -225,6 +225,40 @@ class Pipeline:
             )
         return points
 
+    def streaming(
+        self, *, refine_factor: float = 1.5
+    ) -> "IncrementalPublisher":
+        """Launch this pipeline's configuration as an incremental stream.
+
+        Instead of one :meth:`run`, the configured model (plus ``with_k`` and
+        the ``audit_skyline`` points, when set) seeds an
+        :class:`~repro.stream.IncrementalPublisher` on the session's table;
+        the seed release is published immediately and subsequent
+        ``append(batch)`` calls republish incrementally.  Only the Mondrian
+        algorithm supports streaming (the split tree is what gets reused).
+        """
+        if self._model is None:
+            raise PipelineError("pipeline has no model; call .model(name, ...) first")
+        if self._algorithm != "mondrian":
+            raise PipelineError(
+                f"streaming supports only the 'mondrian' algorithm, not {self._algorithm!r}"
+            )
+        requirement = self.session.build_model(self._model, **self._model_params)
+        skyline = None
+        if self._skyline_audit is not None:
+            skyline = self._resolve_skyline(requirement, self._skyline_audit["skyline"])
+        method = (
+            self._skyline_audit["method"] if self._skyline_audit is not None else "omega"
+        )
+        return self.session.stream(
+            requirement,
+            skyline=skyline,
+            k=self._k,
+            method=method,
+            split_strategy=self._algorithm_options.get("split_strategy", "widest"),
+            refine_factor=refine_factor,
+        )
+
     def run(self) -> ReleaseBundle:
         """Execute the configured pipeline and return its :class:`ReleaseBundle`."""
         if self._model is None:

@@ -334,6 +334,51 @@ class Session:
             self.stats.prior_estimations += len(unique_keys)
         return engine.audit(groups, processes=processes)
 
+    def stream(
+        self,
+        model: str | PrivacyModel,
+        *,
+        params: Mapping[str, Any] | None = None,
+        skyline: Iterable[tuple[float | Bandwidth, float]] | None = None,
+        k: int | None = None,
+        method: str = "omega",
+        split_strategy: str = "widest",
+        refine_factor: float = 1.5,
+        max_cells: int = 64_000_000,
+    ) -> "IncrementalPublisher":
+        """An :class:`~repro.stream.IncrementalPublisher` seeded with this table.
+
+        The session's table becomes version 0 of an append-only stream: the
+        returned publisher has already published the seed release and accepts
+        ``append(batch)`` calls that republish incrementally (additive prior
+        updates, dirty-leaf re-splits, delta skyline audits).  The publisher
+        shares the session's cached distance matrices; its own prior state is
+        incremental and therefore private to the stream.
+
+        ``skyline`` defaults to the ``(b, t)`` pairs of the model's (B,t)
+        components, mirroring :meth:`Pipeline.audit_skyline`.
+        """
+        from repro.stream import IncrementalPublisher
+
+        requirement = self.build_model(model, **(params or {}))
+        publisher = IncrementalPublisher(
+            self.table,
+            requirement,
+            skyline=skyline,
+            k=k,
+            kernel=self.default_kernel,
+            method=method,
+            split_strategy=split_strategy,
+            refine_factor=refine_factor,
+            max_cells=max_cells,
+            distance_matrices={
+                name: self.distance_matrix(name)
+                for name in self.table.quasi_identifier_names
+            },
+        )
+        publisher.publish()
+        return publisher
+
     def pipeline(self) -> "Pipeline":
         """A fluent :class:`~repro.api.pipeline.Pipeline` bound to this session."""
         from repro.api.pipeline import Pipeline

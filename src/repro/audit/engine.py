@@ -28,9 +28,15 @@ import numpy as np
 
 from repro.data.table import MicrodataTable
 from repro.exceptions import AuditError
+from repro.inference.omega import grouped_posterior
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import BatchedKernelPriorEstimator, PriorBeliefs
-from repro.privacy.disclosure import AttackResult, attack_result
+from repro.privacy.disclosure import (
+    AttackResult,
+    attack_result,
+    count_vulnerable_tuples,
+    max_risk,
+)
 from repro.privacy.measures import DistanceMeasure, sensitive_distance_measure
 
 _TOLERANCE = 1e-12
@@ -97,6 +103,7 @@ class SkylineAuditReport:
     n_rows: int
     n_groups: int
     timings: dict[str, float] = field(default_factory=dict)
+    delta: dict[str, Any] | None = None  # set by incremental re-audits
 
     @property
     def satisfied(self) -> bool:
@@ -299,6 +306,107 @@ class SkylineAuditEngine:
             n_rows=self.table.n_rows,
             n_groups=sum(1 for group in group_list if group.size),
             timings=timings,
+        )
+
+    def audit_incremental(
+        self,
+        groups: Sequence[np.ndarray],
+        *,
+        previous_groups: Sequence[np.ndarray],
+        previous_report: SkylineAuditReport,
+        dirty_rows: np.ndarray | Sequence[np.ndarray],
+    ) -> SkylineAuditReport:
+        """Re-audit a release after an append batch, touching only changed groups.
+
+        The engine's dirty-group mode for append-only streams: the table grew
+        at the end (previous row indices unchanged) and only some rows are
+        *dirty* - appended, or with a changed prior.  Per adversary, a group's
+        member risks are copied verbatim from ``previous_report`` when the
+        identical index array appeared in ``previous_groups`` and none of its
+        members is dirty for that adversary; every other group goes through
+        the same posterior pass as :meth:`audit`, so the assembled risks are
+        numerically identical to a full re-audit.
+
+        Parameters
+        ----------
+        groups:
+            The current release (its groups must cover every current row).
+        previous_groups:
+            The previous release's groups (sorted index arrays, as released).
+        previous_report:
+            The report :meth:`audit` / :meth:`audit_incremental` produced for
+            ``previous_groups``; its per-tuple risks are the reuse source.
+        dirty_rows:
+            One boolean mask over the current table's rows - or one mask per
+            skyline adversary - marking rows whose risk may have changed.
+            Appended rows must always be marked dirty.
+        """
+        self.prepare()
+        start = time.perf_counter()
+        n_rows = self.table.n_rows
+        sensitive_codes = self.table.sensitive_codes()
+        group_list = [np.asarray(group, dtype=np.int64) for group in groups]
+        if len(previous_report.entries) != len(self.adversaries):
+            raise AuditError(
+                "previous report does not cover the same skyline as this engine"
+            )
+        if isinstance(dirty_rows, np.ndarray):
+            masks = [dirty_rows] * len(self.adversaries)
+        else:
+            masks = list(dirty_rows)
+        if len(masks) != len(self.adversaries):
+            raise AuditError("dirty_rows must align one-to-one with the skyline points")
+        masks = [np.asarray(mask, dtype=bool) for mask in masks]
+        for mask in masks:
+            if mask.shape != (n_rows,):
+                raise AuditError("each dirty-row mask must cover every current row")
+        previous_keys = {np.asarray(g, dtype=np.int64).tobytes() for g in previous_groups}
+
+        entries: list[SkylineAuditEntry] = []
+        recomputed: list[int] = []
+        for prior, adversary, mask, previous_entry in zip(
+            self._priors, self.adversaries, masks, previous_report.entries
+        ):
+            previous_risks = previous_entry.attack.risks
+            risks = np.zeros(n_rows, dtype=np.float64)
+            risks[: previous_risks.shape[0]] = previous_risks
+            stale = [
+                group
+                for group in group_list
+                if mask[group].any() or group.tobytes() not in previous_keys
+            ]
+            if stale:
+                members = np.concatenate(stale)
+                offsets = np.cumsum(
+                    [0] + [group.size for group in stale[:-1]], dtype=np.int64
+                )
+                prior_rows = prior.matrix[members]
+                posterior_rows = grouped_posterior(
+                    prior_rows, sensitive_codes[members], offsets, method=self.method
+                )
+                risks[members] = self.measure.rowwise(prior_rows, posterior_rows)
+            attack = AttackResult(
+                adversary_b=adversary.scalar_b,
+                threshold=adversary.t,
+                risks=risks,
+                vulnerable_tuples=count_vulnerable_tuples(risks, adversary.t),
+                worst_case_risk=max_risk(risks),
+            )
+            entries.append(SkylineAuditEntry(adversary=adversary, attack=attack))
+            recomputed.append(len(stale))
+        timings = {
+            "prepare_seconds": self.prepare_seconds,
+            "audit_seconds": time.perf_counter() - start,
+        }
+        return SkylineAuditReport(
+            entries=entries,
+            n_rows=n_rows,
+            n_groups=sum(1 for group in group_list if group.size),
+            timings=timings,
+            delta={
+                "recomputed_groups": recomputed,
+                "total_groups": len(group_list),
+            },
         )
 
 

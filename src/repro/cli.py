@@ -10,6 +10,9 @@ the synthetic Adult-like dataset (or any CSV file with the same schema):
   a release built in-process and report vulnerable tuples;
 * ``audit``     - audit a release against a whole skyline of adversaries
   ``{(B_i, t_i)}`` in one batched pass (optionally writing a JSON report);
+* ``stream``    - publish a growing table incrementally: seed release first,
+  then append batches that are folded in with dirty-leaf re-splits and delta
+  skyline audits (exit 3 with ``--fail-on-breach`` when a version breaches);
 * ``sweep``     - run a model/parameter grid through one cached session and
   print the resulting comparison table;
 * ``figure``    - regenerate one of the paper's figures and print it as a
@@ -83,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_table_arguments(audit_parser)
     _add_model_arguments(audit_parser)
     audit_parser.add_argument(
-        "--skyline", default=None,
+        "--skyline", default=None, type=_skyline_argument,
         help=(
             "comma-separated b:t adversary points, e.g. '0.1:0.25,0.3:0.2' "
             "(default: the model's own (b, t))"
@@ -104,6 +107,50 @@ def build_parser() -> argparse.ArgumentParser:
     audit_parser.add_argument(
         "--fail-on-breach", action="store_true",
         help="exit with status 3 when any skyline point is breached",
+    )
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help=(
+            "publish a growing table incrementally: seed release, then append "
+            "batches with dirty-leaf re-splits and delta skyline audits"
+        ),
+    )
+    _add_table_arguments(stream_parser)
+    _add_model_arguments(stream_parser, algorithm=False)
+    stream_parser.add_argument(
+        "--batch-size", type=int, default=500,
+        help="rows appended per batch (default 500)",
+    )
+    stream_parser.add_argument(
+        "--batches", type=int, default=5,
+        help="number of append batches to publish (default 5)",
+    )
+    stream_parser.add_argument(
+        "--skyline", default=None, type=_skyline_argument,
+        help=(
+            "comma-separated b:t audit adversaries, e.g. '0.1:0.25,0.3:0.2' "
+            "(default: the model's own (b, t))"
+        ),
+    )
+    stream_parser.add_argument(
+        "--method", default="omega", choices=("omega", "exact"),
+        help="posterior inference method (default omega)",
+    )
+    stream_parser.add_argument(
+        "--refine-factor", type=float, default=1.5,
+        help=(
+            "re-search a grown group once it exceeds this multiple of its last "
+            "searched size (default 1.5; 1.0 refines on every batch)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable version lineage to this JSON file",
+    )
+    stream_parser.add_argument(
+        "--fail-on-breach", action="store_true",
+        help="exit with status 3 when any published version breaches its skyline",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -169,14 +216,15 @@ def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2009, help="random seed for synthetic data")
 
 
-def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_model_arguments(parser: argparse.ArgumentParser, *, algorithm: bool = True) -> None:
     parser.add_argument(
         "--model", default="bt", choices=MODELS.names(), help="privacy model (default bt)"
     )
-    parser.add_argument(
-        "--algorithm", default="mondrian", choices=ALGORITHMS.names(),
-        help="anonymization algorithm (default mondrian)",
-    )
+    if algorithm:
+        parser.add_argument(
+            "--algorithm", default="mondrian", choices=ALGORITHMS.names(),
+            help="anonymization algorithm (default mondrian)",
+        )
     parser.add_argument("--b", type=float, default=0.3, help="(B,t)-privacy bandwidth b (default 0.3)")
     parser.add_argument("--t", type=float, default=0.2, help="disclosure threshold t (default 0.2)")
     parser.add_argument(
@@ -184,9 +232,10 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         help="l-diversity parameter (default 4; distinct-l rejects non-integer values)",
     )
     parser.add_argument("--k", type=int, default=4, help="k-anonymity parameter (default 4)")
-    parser.add_argument(
-        "--anatomy-l", type=int, default=None, help="Anatomy bucket diversity (anatomy only)"
-    )
+    if algorithm:
+        parser.add_argument(
+            "--anatomy-l", type=int, default=None, help="Anatomy bucket diversity (anatomy only)"
+        )
 
 
 def _load_table(args: argparse.Namespace) -> MicrodataTable:
@@ -269,7 +318,7 @@ def _run_attack(args: argparse.Namespace) -> int:
 
 
 def _parse_skyline(text: str) -> list[tuple[float, float]]:
-    """Parse a ``b:t,b:t,...`` skyline specification."""
+    """Parse and validate a ``b:t,b:t,...`` skyline specification."""
     points = []
     for chunk in text.split(","):
         chunk = chunk.strip()
@@ -281,19 +330,32 @@ def _parse_skyline(text: str) -> list[tuple[float, float]]:
                 f"bad skyline point {chunk!r}; expected 'b:t' (e.g. '0.3:0.2')"
             )
         try:
-            points.append((float(parts[0]), float(parts[1])))
+            b, t = float(parts[0]), float(parts[1])
         except ValueError:
             raise ReproError(
                 f"bad skyline point {chunk!r}; b and t must be numbers"
             ) from None
+        if not b > 0.0:
+            raise ReproError(f"bad skyline point {chunk!r}; the bandwidth b must be positive")
+        if not 0.0 <= t <= 1.0:
+            raise ReproError(f"bad skyline point {chunk!r}; t must lie in [0, 1]")
+        points.append((b, t))
     if not points:
         raise ReproError("the skyline specification contains no points")
     return points
 
 
+def _skyline_argument(text: str) -> list[tuple[float, float]]:
+    """argparse ``type`` wrapper: malformed specs exit 2 with a one-line usage error."""
+    try:
+        return _parse_skyline(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _run_audit(args: argparse.Namespace) -> int:
     table = _load_table(args)
-    skyline = _parse_skyline(args.skyline) if args.skyline else None
+    skyline = args.skyline
     bundle = (
         Pipeline(table)
         .model(_build_model(args))
@@ -315,6 +377,68 @@ def _run_audit(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote audit report to {args.json}")
     if args.fail_on_breach and not report.satisfied:
+        return 3
+    return 0
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    if args.batches < 1 or args.batch_size < 1:
+        raise ReproError("--batches and --batch-size must be positive")
+    appended_total = args.batches * args.batch_size
+    if getattr(args, "input", None):
+        table = read_csv(args.input, adult_schema())
+        if table.n_rows <= appended_total:
+            raise ReproError(
+                f"--input has {table.n_rows} rows but {appended_total} are reserved "
+                "for append batches; reduce --batches/--batch-size"
+            )
+    else:
+        # Generate seed + stream in one draw so the batches share the seed's
+        # marginals (the publisher handles unseen values with a full rebuild).
+        table = generate_adult(args.rows + appended_total, seed=args.seed)
+    seed_rows = table.n_rows - appended_total
+    seed = table.select(range(seed_rows))
+    session = Session(seed)
+    publisher = session.stream(
+        _build_model(args),
+        skyline=args.skyline,
+        k=args.k,
+        method=args.method,
+        refine_factor=args.refine_factor,
+    )
+    v0 = publisher.latest
+    print(f"stream: {publisher.describe()}")
+    print(
+        f"v0: seed {v0.n_rows} rows -> {v0.n_groups} groups "
+        f"[{'ok' if v0.satisfied else 'BREACH'}] "
+        f"({v0.delta.timings['total_seconds']:.3f}s)"
+    )
+    for index in range(args.batches):
+        lo = seed_rows + index * args.batch_size
+        batch = table.select(range(lo, lo + args.batch_size))
+        version = publisher.append(batch)
+        delta = version.delta
+        print(
+            f"v{version.version}: +{delta.appended_rows} rows -> {version.n_groups} groups "
+            f"({delta.reused_groups} reused, {delta.rechecked_leaves} rechecked, "
+            f"{delta.refined_leaves} refined, {delta.rebuilt_regions} rebuilt) "
+            f"[{'ok' if version.satisfied else 'BREACH'}] "
+            f"({delta.timings['total_seconds']:.3f}s)"
+        )
+        if version.report is not None:
+            worst = version.report.worst_entry()
+            print(
+                f"    worst adversary {worst.adversary.describe()}: "
+                f"risk {worst.attack.worst_case_risk:.4f} (margin {worst.margin:+.4f})"
+            )
+    if args.json:
+        payload = {
+            "stream": publisher.describe(),
+            "versions": publisher.store.lineage(),
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote stream lineage to {args.json}")
+    if args.fail_on_breach and any(not version.satisfied for version in publisher.store):
         return 3
     return 0
 
@@ -397,6 +521,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "anonymize": _run_anonymize,
         "attack": _run_attack,
         "audit": _run_audit,
+        "stream": _run_stream,
         "sweep": _run_sweep,
         "figure": _run_figure,
     }

@@ -86,8 +86,23 @@ class AttributeDomain:
             ) from None
 
     def encode(self, values: Sequence) -> np.ndarray:
-        """Vector of integer codes for ``values`` (all must belong to the domain)."""
-        return np.asarray([self.code_of(value) for value in values], dtype=np.int32)
+        """Vector of integer codes for ``values`` (all must belong to the domain).
+
+        Vectorised: the (typically few) distinct values are looked up once and
+        broadcast back, so encoding a column costs one ``np.unique`` pass
+        instead of one dictionary lookup per row.
+        """
+        array = np.asarray(
+            values, dtype=np.float64 if self.attribute.is_numeric else object
+        )
+        if array.size == 0:
+            return np.asarray([], dtype=np.int32)
+        try:
+            uniques, inverse = np.unique(array, return_inverse=True)
+        except TypeError:  # non-comparable mixed types: fall back to the row loop
+            return np.asarray([self.code_of(value) for value in array], dtype=np.int32)
+        codes = np.asarray([self.code_of(value) for value in uniques], dtype=np.int32)
+        return codes[inverse]
 
     def decode(self, codes: Sequence[int]) -> np.ndarray:
         """Original values for a vector of integer codes."""
@@ -141,7 +156,7 @@ class MicrodataTable:
             else:
                 raw = np.asarray([str(v) for v in values], dtype=object)
             self._raw[attribute.name] = raw
-            self._codes[attribute.name] = domain.encode(raw.tolist())
+            self._codes[attribute.name] = domain.encode(raw)
 
     # -- constructors -------------------------------------------------------------
     @classmethod
@@ -259,6 +274,41 @@ class MicrodataTable:
             raise DataError("cannot compute a sensitive distribution over an empty group")
         counts = np.bincount(codes, minlength=self.sensitive_domain().size).astype(np.float64)
         return counts / counts.sum()
+
+    def extend(self, columns: Mapping[str, Sequence]) -> "MicrodataTable":
+        """A new table with the rows of ``columns`` appended (domains preserved).
+
+        The append-only fast path for streams: only the appended rows are
+        encoded, existing raw/code columns are concatenated unchanged.  Raises
+        :class:`~repro.exceptions.DataError` when an appended value falls
+        outside this table's domains (the caller must then rebuild with fresh
+        domains, since codes would shift).
+        """
+        missing = [name for name in self._schema.names if name not in columns]
+        if missing:
+            raise DataError(f"missing columns for attributes {missing}")
+        lengths = {name: len(columns[name]) for name in self._schema.names}
+        if len(set(lengths.values())) != 1:
+            raise DataError(f"columns have inconsistent lengths: {lengths}")
+        appended = next(iter(lengths.values()))
+        if appended == 0:
+            raise DataError("extend requires at least one appended row")
+        grown = object.__new__(MicrodataTable)
+        grown._schema = self._schema
+        grown._domains = dict(self._domains)
+        grown._raw = {}
+        grown._codes = {}
+        grown._n_rows = self._n_rows + appended
+        for attribute in self._schema:
+            name = attribute.name
+            if attribute.is_numeric:
+                fresh = np.asarray(columns[name], dtype=np.float64)
+            else:
+                fresh = np.asarray([str(v) for v in columns[name]], dtype=object)
+            codes = self._domains[name].encode(fresh)
+            grown._raw[name] = np.concatenate([self._raw[name], fresh])
+            grown._codes[name] = np.concatenate([self._codes[name], codes])
+        return grown
 
     def select(self, indices: Sequence[int]) -> "MicrodataTable":
         """A new table containing only the rows in ``indices`` (domains are preserved)."""

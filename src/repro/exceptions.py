@@ -52,6 +52,10 @@ class ExperimentError(ReproError):
     """Raised when an experiment runner is configured inconsistently."""
 
 
+class StreamError(ReproError):
+    """Raised when an incremental publication stream is used inconsistently."""
+
+
 class RegistryError(ReproError):
     """Raised for invalid plugin registrations (duplicate or malformed names)."""
 

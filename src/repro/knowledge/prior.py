@@ -263,6 +263,16 @@ class BatchedKernelPriorEstimator:
     ``max_cells`` budget) it falls back to one flat estimator per bandwidth
     that still shares the distance matrices.
 
+    Append-only streams can grow a fitted estimator with :meth:`append_rows`:
+    the count tensor is additive in rows, so the priors of the extended table
+    are produced by folding the appended rows' counts into the factored state
+    instead of re-sweeping all ``n`` rows.  With ``incremental=True`` the
+    per-bandwidth contraction artefacts (rest-combination joint weights, the
+    contracted tensor and the per-query numerators) are cached between calls
+    and only the queries whose kernel neighbourhood contains an appended row
+    are recontracted - the compact support of the paper's kernels makes every
+    other query's prior provably unchanged.
+
     Parameters
     ----------
     kernel:
@@ -275,6 +285,10 @@ class BatchedKernelPriorEstimator:
         Memory budget (in float64 cells) for the factored path's count tensor
         and joint weight matrix; above it the estimator falls back to the flat
         path.  Purely a speed/memory trade-off.
+    incremental:
+        Cache the per-bandwidth contraction state so :meth:`append_rows`
+        updates it in place (costs memory proportional to the joint weight
+        matrix per distinct bandwidth; off by default).
     """
 
     def __init__(
@@ -284,6 +298,7 @@ class BatchedKernelPriorEstimator:
         batch_size: int = _DEFAULT_BATCH_SIZE,
         distance_matrices: dict[str, np.ndarray] | None = None,
         max_cells: int = 64_000_000,
+        incremental: bool = False,
     ):
         if batch_size <= 0:
             raise KnowledgeError("batch_size must be positive")
@@ -293,30 +308,60 @@ class BatchedKernelPriorEstimator:
         self._kernel = get_kernel(kernel)
         self.batch_size = int(batch_size)
         self.max_cells = int(max_cells)
+        self.incremental = bool(incremental)
         self._distance_matrices = dict(distance_matrices) if distance_matrices else {}
         self._table: MicrodataTable | None = None
         self.mode: str | None = None
-        # Factored-path state (see fit()).
+        # Factored-path state (see fit()).  Rest combinations live in *slot*
+        # order: slots 0..n-1 are assigned in lexicographic order at fit time
+        # and appended combinations take the next free slots, so growing the
+        # state never reshuffles the (large) per-combination arrays.
         self._solo_index: int = 0
         self._rest_indices: list[int] = []
-        self._rest_combos: np.ndarray | None = None
-        self._count_tensor: np.ndarray | None = None
+        self._rest_radix: np.ndarray | None = None
+        self._rest_total: int = 0
+        self._n_combos: int = 0
+        self._rest_combos: np.ndarray | None = None  # (capacity, d-1), slot order
+        self._sorted_keys: np.ndarray | None = None  # sorted rest keys
+        self._slot_of_sorted: np.ndarray | None = None  # slot of each sorted key
+        self._count_storage: np.ndarray | None = None  # (solo, capacity, m)
+        self._solo_of_row: np.ndarray | None = None
+        self._rest_key_of_row: np.ndarray | None = None
+        self._pair_keys: np.ndarray | None = None
         self._query_solo: np.ndarray | None = None
-        self._query_rest: np.ndarray | None = None
+        self._query_rest: np.ndarray | None = None  # slot ids
         self._query_inverse: np.ndarray | None = None
-        self._query_order: np.ndarray | None = None
         self._solo_bounds: np.ndarray | None = None
         self._overall: np.ndarray | None = None
+        # Per-bandwidth contraction caches (incremental mode only), keyed by
+        # Bandwidth.items(): {"bandwidth", "joint", "contracted", "numerators"}
+        # with joint/contracted allocated at the shared combo capacity.
+        self._contractions: dict[tuple, dict] = {}
+
+    @property
+    def _count_tensor(self) -> np.ndarray:
+        """Active ``(solo, n_combos, m)`` view of the count storage."""
+        return self._count_storage[:, : self._n_combos, :]
+
+    def _capacity(self, n_combos: int) -> int:
+        """Combo capacity: headroom so appends rarely reallocate (incremental only)."""
+        if not self.incremental:
+            return n_combos
+        return n_combos + max(128, n_combos // 4)
 
     # -- fitting --------------------------------------------------------------------
     def fit(self, table: MicrodataTable) -> "BatchedKernelPriorEstimator":
         """Precompute every bandwidth-independent artefact for ``table``."""
         qi_names = list(table.quasi_identifier_names)
         for name in qi_names:
-            if name not in self._distance_matrices:
+            cached = self._distance_matrices.get(name)
+            if cached is None or cached.shape[0] != table.domain(name).size:
+                # Also replaces matrices cached against an outgrown domain
+                # (refitting after a stream append introduced new values).
                 self._distance_matrices[name] = attribute_distance_matrix(table.domain(name))
         self._table = table
         self._overall = table.sensitive_distribution()
+        self._contractions = {}
         codes = table.qi_code_matrix()
         sensitive = table.sensitive_codes()
         m = table.sensitive_domain().size
@@ -333,31 +378,268 @@ class BatchedKernelPriorEstimator:
         if solo_size * n_combos * m + n_combos * n_combos > self.max_cells:
             self.mode = "flat"
             return self
+        # Mixed-radix keys over the *domain* sizes identify rest combinations
+        # and (solo, rest) pairs stably across appends; their sorted order is
+        # the lexicographic code order np.unique(axis=0) produces.  Schemas too
+        # wide for an int64 key cannot be grown in place (they refit instead).
+        rest_sizes = np.asarray([sizes[i] for i in rest], dtype=np.float64)
+        if rest_sizes.prod() * solo_size >= float(2**62):
+            self.mode = "flat"
+            return self
         self.mode = "factored"
         self._solo_index = solo
         self._rest_indices = rest
-        self._rest_combos = rest_combos
+        radix = np.ones(len(rest), dtype=np.int64)
+        for position in range(len(rest) - 2, -1, -1):
+            radix[position] = radix[position + 1] * int(sizes[rest[position + 1]])
+        self._rest_radix = radix
+        self._rest_total = int(radix[0] * sizes[rest[0]])
+        self._n_combos = n_combos
+        capacity = self._capacity(n_combos)
+        self._rest_combos = np.zeros((capacity, len(rest)), dtype=rest_combos.dtype)
+        self._rest_combos[:n_combos] = rest_combos
+        self._sorted_keys = rest_combos.astype(np.int64) @ radix
+        self._slot_of_sorted = np.arange(n_combos, dtype=np.int64)
+        self._solo_of_row = codes[:, solo].astype(np.int64)
+        self._rest_key_of_row = self._sorted_keys[rest_of_row]
 
         # M[a, r, s]: tuple counts per (solo code, rest combination, sensitive value).
-        flat = (codes[:, solo].astype(np.int64) * n_combos + rest_of_row) * m + sensitive
-        self._count_tensor = (
+        flat = (self._solo_of_row * n_combos + rest_of_row) * m + sensitive
+        self._count_storage = np.zeros((solo_size, capacity, m), dtype=np.float64)
+        self._count_storage[:, :n_combos, :] = (
             np.bincount(flat, minlength=solo_size * n_combos * m)
-            .reshape(solo_size, n_combos * m)
+            .reshape(solo_size, n_combos, m)
             .astype(np.float64)
         )
-
-        # Unique queries are unique (solo code, rest combination) pairs, grouped
-        # by solo code so the per-bandwidth contraction runs as real matmuls.
-        pair_key = codes[:, solo].astype(np.int64) * n_combos + rest_of_row
-        unique_pairs, self._query_inverse = np.unique(pair_key, return_inverse=True)
-        query_solo = unique_pairs // n_combos
-        query_rest = unique_pairs % n_combos
-        order = np.argsort(query_solo, kind="stable")
-        self._query_order = order
-        self._query_solo = query_solo[order]
-        self._query_rest = query_rest[order]
-        self._solo_bounds = np.searchsorted(self._query_solo, np.arange(solo_size + 1))
+        self._rebuild_query_index()
         return self
+
+    def _rebuild_query_index(self) -> None:
+        """Derive the unique (solo, rest) query structures from the per-row keys.
+
+        Pair keys ascend with (solo code, rest key), so the unique array is
+        already grouped by solo code - exactly the layout the per-bandwidth
+        contraction wants for its per-solo matmuls.
+        """
+        solo_size = self._count_storage.shape[0]
+        pair_key = self._solo_of_row * self._rest_total + self._rest_key_of_row
+        self._pair_keys, self._query_inverse = np.unique(pair_key, return_inverse=True)
+        self._query_solo = self._pair_keys // self._rest_total
+        self._query_rest = self._slot_of_sorted[
+            np.searchsorted(self._sorted_keys, self._pair_keys % self._rest_total)
+        ]
+        self._solo_bounds = np.searchsorted(self._query_solo, np.arange(solo_size + 1))
+
+    def _same_domains(self, table: MicrodataTable) -> bool:
+        fitted = self._table
+        if tuple(table.quasi_identifier_names) != tuple(fitted.quasi_identifier_names):
+            return False
+        names = list(table.quasi_identifier_names) + [table.sensitive_name]
+        return all(
+            np.array_equal(table.domain(name).values, fitted.domain(name).values)
+            for name in names
+        )
+
+    def append_rows(self, table: MicrodataTable) -> str:
+        """Grow the fitted state to ``table`` (the previous table plus appended rows).
+
+        ``table`` must extend the fitted table: its first ``n`` rows are the
+        fitted rows and every attribute keeps its domain (append-only streams
+        with stable domains).  The appended rows' counts are folded into the
+        count tensor - and, in ``incremental`` mode, into every cached
+        per-bandwidth contraction - so the next :meth:`prior_for_table` only
+        recontracts queries whose kernel neighbourhood actually changed.
+
+        Returns ``"incremental"`` when the factored state was updated in
+        place, or ``"refit"`` when the estimator had to fall back to a full
+        :meth:`fit` (flat mode, changed domains, or a blown cell budget).
+        """
+        fitted = self._require_fitted()
+        n_previous = fitted.n_rows
+        if table.n_rows < n_previous:
+            raise KnowledgeError(
+                f"append_rows expects a grown table; got {table.n_rows} rows after {n_previous}"
+            )
+        if self.mode != "factored" or not self._same_domains(table):
+            self.fit(table)
+            return "refit"
+        if table.n_rows == n_previous:
+            self._table = table
+            return "incremental"
+
+        m = table.sensitive_domain().size
+        codes_new = table.qi_code_matrix()[n_previous:]
+        sensitive_new = table.sensitive_codes()[n_previous:]
+        delta_solo = codes_new[:, self._solo_index].astype(np.int64)
+        delta_rest_key = codes_new[:, self._rest_indices].astype(np.int64) @ self._rest_radix
+
+        # Assign fresh slots to rest combinations first seen in this batch.
+        new_keys = np.setdiff1d(delta_rest_key, self._sorted_keys)
+        if new_keys.size:
+            solo_size = self._count_storage.shape[0]
+            n_after = self._n_combos + new_keys.size
+            if solo_size * n_after * m + n_after * n_after > self.max_cells:
+                self.fit(table)
+                return "refit"
+            first_seen = np.searchsorted(np.sort(delta_rest_key), new_keys)
+            order = np.argsort(delta_rest_key, kind="stable")
+            new_combos = codes_new[order[first_seen]][:, self._rest_indices]
+            self._grow_combos(new_keys, new_combos)
+
+        delta_rest = self._slot_of_sorted[
+            np.searchsorted(self._sorted_keys, delta_rest_key)
+        ]
+        n_combos = self._n_combos
+        solo_size = self._count_storage.shape[0]
+        # Count the batch only over the touched rest slots - O(batch), not
+        # O(count tensor) - and scatter the block into the storage.
+        rest_touched = np.unique(delta_rest)
+        touched_position = np.searchsorted(rest_touched, delta_rest)
+        flat = (
+            delta_solo * rest_touched.size + touched_position
+        ) * m + sensitive_new.astype(np.int64)
+        block = (
+            np.bincount(flat, minlength=solo_size * rest_touched.size * m)
+            .reshape(solo_size, rest_touched.size, m)
+            .astype(np.float64)
+        )
+        self._count_storage[:, rest_touched, :] += block
+        cells = np.unique(delta_solo * n_combos + delta_rest)
+        cell_solo = cells // n_combos
+        cell_rest = cells % n_combos
+
+        self._table = table
+        self._overall = table.sensitive_distribution()
+        self._solo_of_row = np.concatenate([self._solo_of_row, delta_solo])
+        self._rest_key_of_row = np.concatenate([self._rest_key_of_row, delta_rest_key])
+        previous_pairs = self._pair_keys
+        self._rebuild_query_index()
+        for cache in self._contractions.values():
+            self._update_cache(
+                cache, block, rest_touched, cell_solo, cell_rest, previous_pairs
+            )
+        return "incremental"
+
+    def _bandwidth_weights(self, bandwidth: Bandwidth, name: str) -> np.ndarray:
+        return self._kernel(self._distance_matrices[name], bandwidth[name])
+
+    def _grow_combos(self, new_keys: np.ndarray, new_combos: np.ndarray) -> None:
+        """Assign slots to new rest combinations, reallocating storage if full."""
+        n_old = self._n_combos
+        n_after = n_old + new_keys.size
+        capacity = self._rest_combos.shape[0]
+        if n_after > capacity:
+            capacity = self._capacity(n_after)
+            combos = np.zeros((capacity, self._rest_combos.shape[1]), self._rest_combos.dtype)
+            combos[:n_old] = self._rest_combos[:n_old]
+            self._rest_combos = combos
+            storage = np.zeros(
+                (self._count_storage.shape[0], capacity, self._count_storage.shape[2])
+            )
+            storage[:, :n_old, :] = self._count_storage[:, :n_old, :]
+            self._count_storage = storage
+            for cache in self._contractions.values():
+                joint = np.zeros((capacity, capacity), dtype=np.float64)
+                joint[:n_old, :n_old] = cache["joint_storage"][:n_old, :n_old]
+                cache["joint_storage"] = joint
+                contracted = np.zeros_like(storage)
+                contracted[:, :n_old, :] = cache["contracted_storage"][:, :n_old, :]
+                cache["contracted_storage"] = contracted
+        slots = np.arange(n_old, n_after, dtype=np.int64)
+        self._rest_combos[slots] = new_combos
+        positions = np.searchsorted(self._sorted_keys, new_keys)
+        self._sorted_keys = np.insert(self._sorted_keys, positions, new_keys)
+        self._slot_of_sorted = np.insert(self._slot_of_sorted, positions, slots)
+        self._n_combos = n_after
+        qi_names = list(self._table.quasi_identifier_names)
+        for cache in self._contractions.values():
+            # New joint rows/columns; the matrix is symmetric because every
+            # attribute distance matrix is.
+            joint = cache["joint_storage"]
+            rows = np.ones((slots.size, n_after), dtype=np.float64)
+            for position, attribute_index in enumerate(self._rest_indices):
+                weights = self._bandwidth_weights(cache["bandwidth"], qi_names[attribute_index])
+                column = self._rest_combos[:n_after, position]
+                rows *= weights[column[slots]][:, column]
+            joint[slots, :n_after] = rows
+            joint[:n_after, slots] = rows.T
+            cache["contracted_storage"][:, slots, :] = 0.0
+
+    def _update_cache(
+        self,
+        cache: dict,
+        block: np.ndarray,
+        rest_touched: np.ndarray,
+        cell_solo: np.ndarray,
+        cell_rest: np.ndarray,
+        previous_pairs: np.ndarray,
+    ) -> None:
+        """Fold an append batch into one bandwidth's cached contraction.
+
+        ``block`` holds the batch's counts over the touched rest slots
+        (``(solo, len(rest_touched), m)``).  Only queries with a positive
+        kernel weight towards some appended row can change: the kernels are
+        non-negative with compact support, so a query whose solo weight or
+        joint rest weight is zero for every touched cell keeps a
+        bitwise-identical numerator.
+        """
+        qi_names = list(self._table.quasi_identifier_names)
+        n_combos = self._n_combos
+        solo_weights = self._bandwidth_weights(cache["bandwidth"], qi_names[self._solo_index])
+        contracted = cache["contracted_storage"][:, :n_combos, :]
+        joint = cache["joint_storage"][:n_combos, :n_combos]
+        m = contracted.shape[2]
+        contracted_delta = (
+            solo_weights @ block.reshape(block.shape[0], -1)
+        ).reshape(solo_weights.shape[0], rest_touched.size, m)
+        contracted[:, rest_touched, :] += contracted_delta
+
+        # Realign the cached numerators with the (possibly grown) query set.
+        numerators = np.zeros((self._pair_keys.size, m), dtype=np.float64)
+        kept = np.searchsorted(self._pair_keys, previous_pairs)
+        numerators[kept] = cache["numerators"]
+        fresh = np.ones(self._pair_keys.size, dtype=bool)
+        fresh[kept] = False
+
+        # A query (a, r) is affected iff some touched cell (a0, r0) has
+        # positive solo weight a->a0 *and* positive joint weight r->r0; count
+        # the witnessing cells with one small matmul instead of materialising
+        # the (queries x cells) mask.
+        witnesses = (solo_weights[:, cell_solo] > 0.0).astype(np.float32) @ (
+            joint[:, cell_rest] > 0.0
+        ).astype(np.float32).T
+        affected = witnesses[self._query_solo, self._query_rest] > 0.0
+        # Existing affected queries take the *delta* contraction (touched
+        # columns only); brand-new queries need the full contraction.  Both
+        # sides are sums of non-negative kernel terms, so an exactly-zero
+        # numerator can neither appear nor vanish spuriously.
+        update = np.flatnonzero(affected & ~fresh)
+        if update.size:
+            selected_solo = self._query_solo[update]
+            boundaries = np.flatnonzero(np.diff(selected_solo)) + 1
+            for run in np.split(update, boundaries):
+                a = int(self._query_solo[run[0]])
+                numerators[run] += (
+                    joint[self._query_rest[run]][:, rest_touched] @ contracted_delta[a]
+                )
+        self._contract_queries(numerators, np.flatnonzero(fresh), joint, contracted)
+        cache["numerators"] = numerators
+
+    def _contract_queries(
+        self,
+        numerators: np.ndarray,
+        selection: np.ndarray,
+        joint: np.ndarray,
+        contracted: np.ndarray,
+    ) -> None:
+        """Numerators for the selected query positions (grouped by solo code)."""
+        if selection.size == 0:
+            return
+        selected_solo = self._query_solo[selection]
+        boundaries = np.flatnonzero(np.diff(selected_solo)) + 1
+        for run in np.split(selection, boundaries):
+            a = int(self._query_solo[run[0]])
+            numerators[run] = joint[self._query_rest[run]] @ contracted[a]
 
     def _require_fitted(self) -> MicrodataTable:
         if self._table is None:
@@ -380,36 +662,53 @@ class BatchedKernelPriorEstimator:
         table = self._table
         qi_names = list(table.quasi_identifier_names)
         m = table.sensitive_domain().size
-        solo_name = qi_names[self._solo_index]
-        solo_weights = self._kernel(self._distance_matrices[solo_name], bandwidth[solo_name])
+        cache = self._contractions.get(bandwidth.items()) if self.incremental else None
+        if cache is not None:
+            numerators = cache["numerators"]
+        else:
+            solo_name = qi_names[self._solo_index]
+            solo_weights = self._kernel(self._distance_matrices[solo_name], bandwidth[solo_name])
 
-        combos = self._rest_combos
-        joint = np.ones((combos.shape[0], combos.shape[0]), dtype=np.float64)
-        for position, attribute_index in enumerate(self._rest_indices):
-            name = qi_names[attribute_index]
-            weights = self._kernel(self._distance_matrices[name], bandwidth[name])
-            column = combos[:, position]
-            joint *= weights[column][:, column]
+            n_combos = self._n_combos
+            capacity = self._rest_combos.shape[0]
+            # Padding slots (growth headroom) only exist in incremental mode,
+            # where they must be zero; one-shot estimations get exact-size,
+            # uninitialised buffers.
+            allocate = np.zeros if self.incremental else np.empty
+            joint_storage = allocate((capacity, capacity), dtype=np.float64)
+            joint = joint_storage[:n_combos, :n_combos]
+            joint[:] = 1.0
+            for position, attribute_index in enumerate(self._rest_indices):
+                name = qi_names[attribute_index]
+                weights = self._kernel(self._distance_matrices[name], bandwidth[name])
+                column = self._rest_combos[:n_combos, position]
+                joint *= weights[column][:, column]
 
-        # Contract the solo axis first (it is the largest single domain, yet
-        # |D_solo|^2 stays tiny next to n^2): K[a_q, r, s].
-        solo_size = solo_weights.shape[0]
-        contracted = (solo_weights @ self._count_tensor).reshape(solo_size, combos.shape[0], m)
+            # Contract the solo axis first (it is the largest single domain, yet
+            # |D_solo|^2 stays tiny next to n^2): K[a_q, r, s].
+            solo_size = solo_weights.shape[0]
+            contracted_storage = allocate(self._count_storage.shape, dtype=np.float64)
+            contracted = contracted_storage[:, :n_combos, :]
+            contracted[:] = (
+                solo_weights @ self._count_tensor.reshape(solo_size, -1)
+            ).reshape(solo_size, n_combos, m)
 
-        unique_count = self._query_solo.shape[0]
-        numerators = np.empty((unique_count, m), dtype=np.float64)
-        for a in range(solo_size):
-            lo, hi = self._solo_bounds[a], self._solo_bounds[a + 1]
-            if lo == hi:
-                continue
-            numerators[lo:hi] = joint[self._query_rest[lo:hi]] @ contracted[a]
+            numerators = np.empty((self._pair_keys.size, m), dtype=np.float64)
+            self._contract_queries(
+                numerators, np.arange(self._pair_keys.size), joint, contracted
+            )
+            if self.incremental:
+                self._contractions[bandwidth.items()] = {
+                    "bandwidth": bandwidth,
+                    "joint_storage": joint_storage,
+                    "contracted_storage": contracted_storage,
+                    "numerators": numerators,
+                }
         denominators = numerators.sum(axis=1)
         degenerate = denominators <= 0.0
-        result_sorted = numerators / np.where(degenerate, 1.0, denominators)[:, None]
+        result = numerators / np.where(degenerate, 1.0, denominators)[:, None]
         if degenerate.any():
-            result_sorted[degenerate] = self._overall
-        result = np.empty_like(result_sorted)
-        result[self._query_order] = result_sorted
+            result[degenerate] = self._overall
         return result[self._query_inverse]
 
     def prior_for_table(

@@ -68,6 +68,28 @@ class PrivacyModel:
         """
         return [self.is_satisfied(group) for group in groups]
 
+    def stream_update(self, table: MicrodataTable, n_previous: int) -> np.ndarray:
+        """Refresh state for a grown table; report which rows' verdicts may change.
+
+        The streaming publisher's invalidation hook: ``table`` extends the
+        previously prepared table by appending rows (the first ``n_previous``
+        rows are unchanged).  Implementations refresh any table-wide state and
+        return a boolean *dirty* mask over the new table - ``True`` where a
+        group containing that row must be re-checked.  The conservative
+        default re-prepares and marks every row dirty, which is always sound;
+        models whose verdicts depend only on a group's own members override it
+        to mark just the appended rows.  (:class:`BTPrivacy` is refreshed
+        through :meth:`update_priors` instead - its dirtiness is a property of
+        the re-estimated priors, which the publisher owns.)
+        """
+        self.prepare(table)
+        return np.ones(table.n_rows, dtype=bool)
+
+    def _appended_only_dirty(self, table: MicrodataTable, n_previous: int) -> np.ndarray:
+        dirty = np.ones(table.n_rows, dtype=bool)
+        dirty[:n_previous] = False
+        return dirty
+
     def describe(self) -> str:
         """Short human-readable description of the configured requirement."""
         return self.name
@@ -89,6 +111,11 @@ class KAnonymity(PrivacyModel):
     def is_satisfied(self, group_indices: np.ndarray) -> bool:
         return len(group_indices) >= self.k
 
+    def stream_update(self, table: MicrodataTable, n_previous: int) -> np.ndarray:
+        # Group size only: appending rows cannot change untouched groups.
+        self.prepare(table)
+        return self._appended_only_dirty(table, n_previous)
+
     def describe(self) -> str:
         return f"k={self.k}"
 
@@ -103,6 +130,12 @@ class _SensitiveGroupModel(PrivacyModel):
     def prepare(self, table: MicrodataTable) -> None:
         self._sensitive_codes = table.sensitive_codes()
         self._domain_size = table.sensitive_domain().size
+
+    def stream_update(self, table: MicrodataTable, n_previous: int) -> np.ndarray:
+        # Verdicts depend only on a group's own sensitive counts, and
+        # append-only growth keeps previous rows' codes unchanged.
+        self.prepare(table)
+        return self._appended_only_dirty(table, n_previous)
 
     def _group_counts(self, group_indices: np.ndarray) -> np.ndarray:
         if self._sensitive_codes is None or self._domain_size is None:
@@ -203,6 +236,15 @@ class TCloseness(_SensitiveGroupModel):
             self._emd = HierarchicalEMD(taxonomy, leaf_order)
         else:
             self._emd = None
+
+    def stream_update(self, table: MicrodataTable, n_previous: int) -> np.ndarray:
+        # The reference is the *overall* sensitive distribution: when the
+        # appended rows move it, every group's distance to it may move too.
+        previous_overall = self._overall
+        self.prepare(table)
+        if previous_overall is not None and np.array_equal(previous_overall, self._overall):
+            return self._appended_only_dirty(table, n_previous)
+        return np.ones(table.n_rows, dtype=bool)
 
     def is_satisfied(self, group_indices: np.ndarray) -> bool:
         counts = self._group_counts(group_indices)
@@ -306,6 +348,49 @@ class BTPrivacy(PrivacyModel):
         self._sensitive_codes = np.asarray(sensitive_codes, dtype=np.int64)
         self._domain_size = int(domain_size)
         self._risk_cache.clear()
+
+    def update_priors(
+        self, priors: PriorBeliefs, sensitive_codes: np.ndarray, domain_size: int
+    ) -> np.ndarray:
+        """Replace the priors of a *grown* table, keeping still-valid risk memos.
+
+        This is the append-only streaming entry point: the new ``priors``
+        cover the previous rows (same order) plus any appended rows.  Instead
+        of dropping the whole risk memo - as :meth:`set_priors` does - only
+        cache entries containing a row whose prior row actually changed are
+        invalidated, so re-checking untouched groups stays a memo hit.
+
+        Returns a boolean mask over the *new* table: ``True`` for appended
+        rows and for previous rows whose prior distribution changed (the
+        "dirty" rows whose group risks may differ).  Without previous priors
+        this degrades to :meth:`set_priors` and every row is dirty.
+        """
+        new_codes = np.asarray(sensitive_codes, dtype=np.int64)
+        n_new = priors.matrix.shape[0]
+        if (
+            self._priors is None
+            or self._priors.n_rows > n_new
+            or self._sensitive_codes is None
+            or self._domain_size != int(domain_size)
+            or not np.array_equal(self._sensitive_codes, new_codes[: self._priors.n_rows])
+        ):
+            self.set_priors(priors, new_codes, domain_size)
+            return np.ones(n_new, dtype=bool)
+        n_previous = self._priors.n_rows
+        dirty = np.ones(n_new, dtype=bool)
+        dirty[:n_previous] = (priors.matrix[:n_previous] != self._priors.matrix).any(axis=1)
+        self._priors = priors
+        self._sensitive_codes = new_codes
+        self._domain_size = int(domain_size)
+        if dirty.any():
+            stale = [
+                key
+                for key in self._risk_cache
+                if dirty[np.frombuffer(key, dtype=np.int64)].any()
+            ]
+            for key in stale:
+                del self._risk_cache[key]
+        return dirty
 
     @property
     def has_priors(self) -> bool:

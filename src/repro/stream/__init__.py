@@ -1,0 +1,30 @@
+"""Incremental publication of append-only microdata streams.
+
+The paper publishes one static table; this package turns the pipeline into a
+continuously running publisher:
+
+* :mod:`repro.stream.publisher` - :class:`IncrementalPublisher`: accepts
+  append batches and republishes incrementally (additive prior updates, dirty
+  leaf re-splits, delta skyline audits) instead of re-running estimate ->
+  partition -> audit from scratch;
+* :mod:`repro.stream.tree` - :class:`PartitionTree`: the recorded Mondrian
+  split tree that routes appended rows and supports local subtree surgery;
+* :mod:`repro.stream.store` - :class:`ReleaseStore` / :class:`StreamVersion`
+  / :class:`StreamDelta`: version lineage with per-version audit deltas.
+
+Entry points: :meth:`repro.api.session.Session.stream`,
+:meth:`repro.api.pipeline.Pipeline.streaming`, and the CLI ``stream``
+subcommand.
+"""
+
+from repro.stream.publisher import IncrementalPublisher
+from repro.stream.store import ReleaseStore, StreamDelta, StreamVersion
+from repro.stream.tree import PartitionTree
+
+__all__ = [
+    "IncrementalPublisher",
+    "PartitionTree",
+    "ReleaseStore",
+    "StreamDelta",
+    "StreamVersion",
+]

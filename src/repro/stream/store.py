@@ -1,0 +1,156 @@
+"""Release versioning for incremental publication streams.
+
+Every accepted batch produces one :class:`StreamVersion`: the release, its
+skyline audit report, and a :class:`StreamDelta` describing exactly how much
+work the incremental engine did (and skipped) relative to a full republish.
+The :class:`ReleaseStore` keeps the version lineage and derives per-version
+audit *deltas* - how each adversary's worst-case risk and vulnerable-tuple
+count moved when the batch landed, the quantity the paper's risk-continuity
+result says should move smoothly with the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.anonymize.partition import AnonymizedRelease
+from repro.audit.engine import SkylineAuditReport
+from repro.exceptions import StreamError
+
+
+@dataclass
+class StreamDelta:
+    """What one batch changed, and what the incremental engine reused."""
+
+    appended_rows: int
+    reused_groups: int
+    rechecked_leaves: int
+    refined_leaves: int
+    rebuilt_regions: int
+    rebuild: bool = False  # full from-scratch rebuild (e.g. a domain grew)
+    audit_recomputed_groups: list[int] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat, JSON-able summary of this delta."""
+        return {
+            "appended_rows": self.appended_rows,
+            "reused_groups": self.reused_groups,
+            "rechecked_leaves": self.rechecked_leaves,
+            "refined_leaves": self.refined_leaves,
+            "rebuilt_regions": self.rebuilt_regions,
+            "rebuild": self.rebuild,
+            "audit_recomputed_groups": list(self.audit_recomputed_groups),
+            "timings": dict(self.timings),
+        }
+
+
+@dataclass
+class StreamVersion:
+    """One published version of the stream: release + audit + provenance."""
+
+    version: int
+    release: AnonymizedRelease
+    report: SkylineAuditReport | None
+    delta: StreamDelta
+
+    @property
+    def n_rows(self) -> int:
+        """Rows covered by this version."""
+        return self.release.table.n_rows
+
+    @property
+    def n_groups(self) -> int:
+        """Groups released in this version."""
+        return self.release.n_groups
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether this version honours its whole skyline (True when unaudited)."""
+        return self.report is None or self.report.satisfied
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat, JSON-able summary of this version."""
+        row: dict[str, Any] = {
+            "version": self.version,
+            "rows": self.n_rows,
+            "groups": self.n_groups,
+            "satisfied": self.satisfied,
+            "delta": self.delta.as_dict(),
+        }
+        if self.report is not None:
+            row["audit"] = self.report.summary()
+        return row
+
+
+class ReleaseStore:
+    """The ordered lineage of a stream's published versions."""
+
+    def __init__(self) -> None:
+        self._versions: list[StreamVersion] = []
+
+    def add(self, version: StreamVersion) -> StreamVersion:
+        """Append the next version (versions must be contiguous from 0)."""
+        if version.version != len(self._versions):
+            raise StreamError(
+                f"version {version.version} breaks the lineage; expected {len(self._versions)}"
+            )
+        self._versions.append(version)
+        return version
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[StreamVersion]:
+        return iter(self._versions)
+
+    def __getitem__(self, version: int) -> StreamVersion:
+        return self._versions[version]
+
+    def latest(self) -> StreamVersion:
+        """The most recently published version."""
+        if not self._versions:
+            raise StreamError("the stream has not published any version yet")
+        return self._versions[-1]
+
+    def report_delta(self, version: int) -> list[dict[str, Any]] | None:
+        """Per-adversary audit movement from ``version - 1`` to ``version``.
+
+        Returns one row per skyline point with the change in worst-case risk,
+        margin and vulnerable-tuple count, or ``None`` when either version is
+        unaudited (or ``version`` is the seed release).
+        """
+        if version <= 0 or version >= len(self._versions):
+            return None
+        current = self._versions[version].report
+        previous = self._versions[version - 1].report
+        if current is None or previous is None:
+            return None
+        rows = []
+        for entry, before in zip(current.entries, previous.entries):
+            rows.append(
+                {
+                    "adversary": entry.adversary.describe(),
+                    "worst_case_risk": entry.attack.worst_case_risk,
+                    "worst_case_risk_change": entry.attack.worst_case_risk
+                    - before.attack.worst_case_risk,
+                    "margin": entry.margin,
+                    "vulnerable_tuples": entry.attack.vulnerable_tuples,
+                    "vulnerable_tuples_change": entry.attack.vulnerable_tuples
+                    - before.attack.vulnerable_tuples,
+                    "satisfied": entry.satisfied,
+                }
+            )
+        return rows
+
+    def lineage(self) -> list[dict[str, Any]]:
+        """JSON-able summaries of every version, with audit deltas attached."""
+        rows = []
+        for version in self._versions:
+            row = version.as_dict()
+            delta = self.report_delta(version.version)
+            if delta is not None:
+                row["audit_delta"] = delta
+            rows.append(row)
+        return rows

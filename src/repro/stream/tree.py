@@ -1,0 +1,154 @@
+"""Versioned partition trees: routing appended rows and local subtree surgery.
+
+A :class:`PartitionTree` wraps the :class:`~repro.anonymize.mondrian.MondrianNode`
+tree recorded by ``MondrianAnonymizer.partition_forest`` and adds what the
+incremental publisher needs between batches:
+
+* **routing** - every appended row descends the recorded
+  :class:`~repro.anonymize.mondrian.MondrianSplit` predicates to the leaf
+  (released group) whose region contains it;
+* **parent links** - a failing leaf merges *up*: the publisher climbs towards
+  the root until the enclosing region satisfies the privacy model again;
+* **replacement** - a dirty leaf (or a merged region's subtree) is swapped for
+  a freshly partitioned subtree, leaving every untouched subtree - and hence
+  every untouched released group - byte-for-byte intact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.anonymize.mondrian import MondrianLeaf, MondrianNode
+from repro.data.table import MicrodataTable
+from repro.exceptions import StreamError
+
+
+class PartitionTree:
+    """A mutable view over one recorded Mondrian tree (see module docstring)."""
+
+    def __init__(self, root: MondrianNode | MondrianLeaf):
+        self.root = root
+        self._parents: dict[int, tuple[MondrianNode, str]] = {}
+        self._reindex()
+
+    # -- structure --------------------------------------------------------------------
+    def reindex(self) -> None:
+        """Rebuild the parent links (after deferred :meth:`replace` calls)."""
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._parents = {}
+        stack: list[MondrianNode | MondrianLeaf] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, MondrianNode):
+                for side, child in (("left", node.left), ("right", node.right)):
+                    self._parents[id(child)] = (node, side)
+                    stack.append(child)
+
+    def leaves(self) -> list[MondrianLeaf]:
+        """All leaves in deterministic left-to-right order."""
+        return list(self.root.leaves())
+
+    def iter_nodes(self) -> Iterator[MondrianNode | MondrianLeaf]:
+        """Every node of the tree (pre-order)."""
+        stack: list[MondrianNode | MondrianLeaf] = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, MondrianNode):
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def parent_of(
+        self, node: MondrianNode | MondrianLeaf
+    ) -> tuple[MondrianNode, str] | None:
+        """``(parent, side)`` of a node, or ``None`` for the root."""
+        return self._parents.get(id(node))
+
+    def replace(
+        self,
+        old: MondrianNode | MondrianLeaf,
+        new: MondrianNode | MondrianLeaf,
+        *,
+        reindex: bool = True,
+    ) -> None:
+        """Swap ``old`` (a node of this tree) for ``new`` in place.
+
+        Batched surgery can pass ``reindex=False`` for every swap and call
+        :meth:`reindex` once afterwards - valid as long as the replaced nodes
+        are disjoint (none is a descendant of another), which is what the
+        publisher's maximal-region selection guarantees.
+        """
+        link = self._parents.get(id(old))
+        if link is None:
+            if old is not self.root:
+                raise StreamError("cannot replace a node that is not part of this tree")
+            self.root = new
+        else:
+            parent, side = link
+            if side == "left":
+                parent.left = new
+            else:
+                parent.right = new
+        if reindex:
+            self._reindex()
+
+    def contains(self, node: MondrianNode | MondrianLeaf) -> bool:
+        """Whether ``node`` is part of this tree."""
+        return node is self.root or id(node) in self._parents
+
+    # -- routing ----------------------------------------------------------------------
+    @staticmethod
+    def _routing_values(table: MicrodataTable, attribute: str) -> np.ndarray:
+        """Raw values (numeric) / domain codes (categorical) - split coordinates."""
+        if table.schema[attribute].is_numeric:
+            return table.column(attribute)
+        return table.codes(attribute).astype(np.float64)
+
+    def route(
+        self, table: MicrodataTable, indices: np.ndarray
+    ) -> dict[int, np.ndarray]:
+        """Descend ``indices`` (row ids of ``table``) to their leaves.
+
+        Returns a mapping from ``id(leaf)`` to the sorted row indices routed
+        into that leaf; leaves receiving no rows are absent.  Routing uses the
+        recorded split predicates, so it places rows exactly where the splits
+        that produced the release would have placed them - table domains must
+        therefore match the domains the tree was built against.
+        """
+        routed: dict[int, np.ndarray] = {}
+        columns: dict[str, np.ndarray] = {}
+        stack: list[tuple[MondrianNode | MondrianLeaf, np.ndarray]] = [
+            (self.root, np.asarray(indices, dtype=np.int64))
+        ]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            if isinstance(node, MondrianLeaf):
+                routed[id(node)] = np.sort(rows)
+                continue
+            name = node.split.attribute
+            if name not in columns:
+                columns[name] = self._routing_values(table, name)
+            left_mask = node.split.goes_left(columns[name][rows])
+            stack.append((node.left, rows[left_mask]))
+            stack.append((node.right, rows[~left_mask]))
+        return routed
+
+    # -- membership -------------------------------------------------------------------
+    @staticmethod
+    def current_members(
+        node: MondrianNode | MondrianLeaf, routed: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """All rows currently inside ``node``'s region: leaf members plus routed rows."""
+        parts: list[np.ndarray] = []
+        for leaf in node.leaves():
+            parts.append(leaf.indices)
+            addition = routed.get(id(leaf))
+            if addition is not None:
+                parts.append(addition)
+        return np.sort(np.concatenate(parts))

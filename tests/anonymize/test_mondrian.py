@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.anonymize.mondrian import MondrianAnonymizer
+from repro.anonymize.mondrian import (
+    MondrianAnonymizer,
+    MondrianNode,
+    MondrianSplit,
+)
 from repro.anonymize.partition import AnonymizedRelease
 from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
 from repro.data.table import MicrodataTable
@@ -181,3 +185,110 @@ def test_skyline_model_partition_checks_every_point(tiny_adult):
     for point in model.models[1].points:
         for group in groups:
             assert point.is_satisfied(group)
+
+
+# -- vectorised candidate search and recorded split trees ---------------------------
+
+
+class _ScalarSearchMondrian(MondrianAnonymizer):
+    """Reference implementation: the pre-vectorisation per-attribute search."""
+
+    def _find_split(self, values, indices, qi_names, spans, depth):
+        widths = {}
+        for column, name in enumerate(qi_names):
+            sub = values[indices, column]
+            widths[name] = float(sub.max() - sub.min()) / spans[column]
+        candidates = [name for name in qi_names if widths[name] > 0.0]
+        if not candidates:
+            return None
+        if self.split_strategy == "widest":
+            ordered = sorted(candidates, key=lambda name: widths[name], reverse=True)
+        else:
+            offset = depth % len(candidates)
+            ordered = candidates[offset:] + candidates[:offset]
+        for name in ordered:
+            column = qi_names.index(name)
+            sub = values[indices, column]
+            median = float(np.median(sub))
+            left_mask = sub <= median
+            inclusive = True
+            if left_mask.all():
+                left_mask = sub < median
+                inclusive = False
+            if not left_mask.any() or left_mask.all():
+                continue
+            left, right = indices[left_mask], indices[~left_mask]
+            self.statistics.n_split_attempts += 1
+            if all(self.model.is_satisfied_batch((left, right))):
+                split = MondrianSplit(attribute=name, threshold=median, inclusive=inclusive)
+                return split, left, right
+            self.statistics.n_rejected_splits += 1
+        return None
+
+
+@pytest.mark.parametrize("strategy", ["widest", "round_robin"])
+@pytest.mark.parametrize(
+    "model_factory",
+    [
+        lambda: KAnonymity(5),
+        lambda: CompositeModel([KAnonymity(3), BTPrivacy(0.3, 0.25)]),
+    ],
+)
+def test_vectorised_search_matches_scalar_reference(tiny_adult, strategy, model_factory):
+    """One-NumPy-pass widths/medians must not change any partition."""
+    batched = MondrianAnonymizer(model_factory(), split_strategy=strategy).partition(
+        tiny_adult
+    )
+    scalar = _ScalarSearchMondrian(model_factory(), split_strategy=strategy).partition(
+        tiny_adult
+    )
+    assert len(batched) == len(scalar)
+    for a, b in zip(batched, scalar):
+        np.testing.assert_array_equal(a, b)
+
+
+@pytest.mark.parametrize("strategy", ["widest", "round_robin"])
+def test_partition_tree_leaves_match_partition(tiny_adult, strategy):
+    model = CompositeModel([KAnonymity(3), DistinctLDiversity(3)])
+    groups = MondrianAnonymizer(model, split_strategy=strategy).partition(tiny_adult)
+    tree = MondrianAnonymizer(model, split_strategy=strategy).partition_tree(tiny_adult)
+    leaves = [leaf.indices for leaf in tree.leaves()]
+    assert sorted(tuple(g.tolist()) for g in groups) == sorted(
+        tuple(leaf.tolist()) for leaf in leaves
+    )
+    for leaf in tree.leaves():
+        assert leaf.searched_size == leaf.indices.size
+
+
+def test_partition_tree_records_routable_splits(tiny_adult):
+    tree = MondrianAnonymizer(KAnonymity(10)).partition_tree(tiny_adult)
+    assert isinstance(tree, MondrianNode)
+    node = tree
+    # Every internal split routes its own members consistently.
+    values = (
+        tiny_adult.column(node.split.attribute)
+        if tiny_adult.schema[node.split.attribute].is_numeric
+        else tiny_adult.codes(node.split.attribute).astype(np.float64)
+    )
+    left_leaf_rows = np.concatenate([leaf.indices for leaf in node.left.leaves()])
+    right_leaf_rows = np.concatenate([leaf.indices for leaf in node.right.leaves()])
+    assert node.split.goes_left(values[left_leaf_rows]).all()
+    assert not node.split.goes_left(values[right_leaf_rows]).any()
+
+
+def test_partition_forest_partitions_each_region(tiny_adult):
+    model = KAnonymity(4)
+    model.prepare(tiny_adult)
+    regions = [
+        np.arange(0, 150, dtype=np.int64),
+        np.arange(150, 300, dtype=np.int64),
+    ]
+    mondrian = MondrianAnonymizer(model)
+    roots = mondrian.partition_forest(tiny_adult, regions, depths=[2, 2])
+    assert len(roots) == 2
+    for region, root in zip(regions, roots):
+        covered = np.concatenate([leaf.indices for leaf in root.leaves()])
+        assert sorted(covered.tolist()) == region.tolist()
+        for leaf in root.leaves():
+            assert leaf.indices.size >= 4
+            assert leaf.depth >= 2

@@ -198,3 +198,24 @@ def test_pipeline_audit_skyline_requires_points_for_plain_models(tiny_adult):
     pipeline = Pipeline(tiny_adult).model(DistinctLDiversity(3)).with_k(3).audit_skyline()
     with pytest.raises(PipelineError, match="audit_skyline"):
         pipeline.run()
+
+
+def test_pipeline_streaming_builds_publisher(tiny_adult):
+    publisher = (
+        Session(tiny_adult)
+        .pipeline()
+        .model("bt", b=0.3, t=0.3)
+        .with_k(4)
+        .audit_skyline([(0.2, 0.35), (0.3, 0.3)])
+        .streaming()
+    )
+    assert len(publisher.store) == 1
+    assert len(publisher.skyline) == 2
+    version = publisher.append(tiny_adult.rows()[:30])
+    assert version.version == 1 and version.report is not None
+
+
+def test_pipeline_streaming_requires_mondrian(tiny_adult):
+    pipeline = Pipeline(tiny_adult).model("distinct-l", l=3).algorithm("anatomy")
+    with pytest.raises(PipelineError, match="mondrian"):
+        pipeline.streaming()

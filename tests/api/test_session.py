@@ -122,3 +122,25 @@ def test_audit_skyline_duplicate_points_estimate_once(tiny_adult):
     groups = session.anonymize("distinct-l", params={"l": 3}, k=3).release.groups
     session.audit_skyline(groups, [(0.25, 0.1), (0.25, 0.2)])
     assert session.stats.prior_estimations == 1
+
+
+def test_session_stream_publishes_seed_and_appends(tiny_adult):
+    session = Session(tiny_adult)
+    publisher = session.stream("distinct-l", params={"l": 3}, k=4, skyline=[(0.3, 0.3)])
+    assert len(publisher.store) == 1  # the seed release is already published
+    assert publisher.latest.n_rows == tiny_adult.n_rows
+    version = publisher.append(tiny_adult.rows()[:40])
+    assert version.version == 1
+    assert version.n_rows == tiny_adult.n_rows + 40
+    assert version.report is not None
+
+
+def test_session_stream_defaults_skyline_to_bt_model(tiny_adult):
+    session = Session(tiny_adult)
+    publisher = session.stream("bt", params={"b": 0.3, "t": 0.3}, k=4)
+    assert len(publisher.skyline) == 1
+    bandwidth, t = publisher.skyline[0]
+    assert t == 0.3
+    assert dict(bandwidth.items()) == {
+        name: 0.3 for name in tiny_adult.quasi_identifier_names
+    }

@@ -146,3 +146,72 @@ def test_priors_accepted_as_generator(audit_table, release, loop_results):
     assert len(report.entries) == len(SKYLINE)
     for entry, reference in zip(report.entries, loop_results):
         np.testing.assert_allclose(entry.attack.risks, reference.risks, atol=1e-9)
+
+
+# -- dirty-group (incremental) re-audit ---------------------------------------------
+
+
+def test_audit_incremental_matches_full_audit():
+    from repro.data.adult import generate_adult
+
+    full = generate_adult(700, seed=13)
+    previous_table = full.select(np.arange(600))
+    previous_release = anonymize(previous_table, DistinctLDiversity(3), k=4).release
+    previous_report = SkylineAuditEngine(previous_table, SKYLINE).audit(
+        previous_release.groups
+    )
+
+    # Grow the release naively: appended rows join the last group, a few
+    # groups are reused byte-for-byte.
+    grown_groups = [group.copy() for group in previous_release.groups]
+    grown_groups[-1] = np.sort(
+        np.concatenate([grown_groups[-1], np.arange(600, 700, dtype=np.int64)])
+    )
+    engine = SkylineAuditEngine(full, SKYLINE)
+    # Dirty rows: the appended block plus every row whose prior changed.
+    previous_priors = SkylineAuditEngine(previous_table, SKYLINE).priors
+    masks = []
+    for before, after in zip(previous_priors, engine.priors):
+        mask = np.ones(full.n_rows, dtype=bool)
+        mask[:600] = (after.matrix[:600] != before.matrix).any(axis=1)
+        masks.append(mask)
+    incremental = engine.audit_incremental(
+        grown_groups,
+        previous_groups=previous_release.groups,
+        previous_report=previous_report,
+        dirty_rows=masks,
+    )
+    reference = SkylineAuditEngine(full, SKYLINE).audit(grown_groups)
+    assert incremental.delta is not None
+    for recomputed, entry, ref in zip(
+        incremental.delta["recomputed_groups"], incremental.entries, reference.entries
+    ):
+        assert recomputed <= len(grown_groups)
+        np.testing.assert_allclose(entry.attack.risks, ref.attack.risks, atol=1e-12)
+        assert entry.attack.vulnerable_tuples == ref.attack.vulnerable_tuples
+        assert entry.attack.worst_case_risk == pytest.approx(
+            ref.attack.worst_case_risk, abs=1e-12
+        )
+
+
+def test_audit_incremental_validates_inputs():
+    from repro.data.adult import generate_adult
+
+    table = generate_adult(300, seed=13)
+    release = anonymize(table, DistinctLDiversity(3), k=4).release
+    engine = SkylineAuditEngine(table, SKYLINE)
+    report = engine.audit(release.groups)
+    with pytest.raises(AuditError, match="dirty"):
+        engine.audit_incremental(
+            release.groups,
+            previous_groups=release.groups,
+            previous_report=report,
+            dirty_rows=[np.ones(table.n_rows, dtype=bool)],  # wrong arity
+        )
+    with pytest.raises(AuditError, match="cover"):
+        engine.audit_incremental(
+            release.groups,
+            previous_groups=release.groups,
+            previous_report=report,
+            dirty_rows=np.ones(10, dtype=bool),
+        )

@@ -1,0 +1,212 @@
+"""Tests for the incremental publisher: equivalence, validity, lineage."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.audit.engine import SkylineAuditEngine
+from repro.data.adult import generate_adult
+from repro.exceptions import StreamError
+from repro.privacy.models import (
+    BTPrivacy,
+    DistinctLDiversity,
+    KAnonymity,
+    ProbabilisticLDiversity,
+)
+from repro.stream import IncrementalPublisher
+
+SEED_ROWS = 800
+BATCH_ROWS = 100
+BATCHES = 3
+SKYLINE = [(0.1, 0.3), (0.3, 0.25), (0.5, 0.25)]
+
+
+def _stream_tables(seed=17):
+    full = generate_adult(SEED_ROWS + BATCHES * BATCH_ROWS, seed=seed)
+    seed_table = full.select(np.arange(SEED_ROWS))
+    batches = [
+        full.select(np.arange(SEED_ROWS + i * BATCH_ROWS, SEED_ROWS + (i + 1) * BATCH_ROWS))
+        for i in range(BATCHES)
+    ]
+    return seed_table, batches
+
+
+def _release_is_valid(version, requirement_checks):
+    release = version.release
+    covered = np.concatenate(release.groups)
+    assert sorted(covered.tolist()) == list(range(release.table.n_rows))
+    for group in release.groups:
+        for check in requirement_checks:
+            assert check(group)
+
+
+@pytest.mark.parametrize("split_strategy", ["widest", "round_robin"])
+@pytest.mark.parametrize(
+    "model_factory",
+    [
+        lambda: BTPrivacy(0.3, 0.25),
+        lambda: DistinctLDiversity(3),
+        lambda: ProbabilisticLDiversity(2.0),
+    ],
+    ids=["bt", "distinct-l", "probabilistic-l"],
+)
+def test_incremental_stream_matches_full_reaudit(model_factory, split_strategy):
+    """The equivalence property: after every batch, the incrementally
+    maintained audit risks equal a from-scratch skyline audit of the same
+    release on the concatenated table (<= 1e-12), for (B,t) and l-diversity
+    models and both split strategies."""
+    seed_table, batches = _stream_tables()
+    publisher = IncrementalPublisher(
+        seed_table,
+        model_factory(),
+        skyline=SKYLINE,
+        k=4,
+        split_strategy=split_strategy,
+    )
+    publisher.publish()
+    for batch in batches:
+        version = publisher.append(batch)
+        fresh = SkylineAuditEngine(publisher.table, SKYLINE).audit(
+            version.release.groups
+        )
+        for entry, reference in zip(version.report.entries, fresh.entries):
+            assert (
+                float(np.abs(entry.attack.risks - reference.attack.risks).max())
+                <= 1e-12
+            )
+            assert entry.attack.vulnerable_tuples == reference.attack.vulnerable_tuples
+            assert entry.attack.worst_case_risk == pytest.approx(
+                reference.attack.worst_case_risk, abs=1e-12
+            )
+
+
+def test_every_version_is_a_valid_release():
+    seed_table, batches = _stream_tables(seed=23)
+    model = BTPrivacy(0.3, 0.25)
+    publisher = IncrementalPublisher(seed_table, model, k=4)
+    publisher.publish()
+    for batch in batches:
+        publisher.append(batch)
+    # Every published group of the final version satisfies the requirement
+    # under priors estimated from the *current* table.
+    final = publisher.latest
+    checks = [
+        lambda group: group.size >= 4,
+        lambda group: model.is_satisfied(group),
+    ]
+    _release_is_valid(final, checks)
+
+
+def test_clean_groups_are_reused_verbatim():
+    seed_table, batches = _stream_tables(seed=29)
+    publisher = IncrementalPublisher(
+        seed_table, DistinctLDiversity(3), skyline=[(0.3, 0.3)], k=4
+    )
+    v0 = publisher.publish()
+    v1 = publisher.append(batches[0])
+    assert v1.delta.reused_groups > 0
+    previous = {group.tobytes() for group in v0.release.groups}
+    reused = sum(1 for group in v1.release.groups if group.tobytes() in previous)
+    assert reused >= v1.delta.reused_groups
+    # The delta audit really skipped clean groups.
+    assert all(
+        recomputed < v1.n_groups for recomputed in v1.delta.audit_recomputed_groups
+    )
+
+
+def test_lineage_and_report_deltas():
+    seed_table, batches = _stream_tables(seed=31)
+    publisher = IncrementalPublisher(
+        seed_table, BTPrivacy(0.3, 0.25), skyline=SKYLINE, k=4
+    )
+    publisher.publish()
+    for batch in batches:
+        publisher.append(batch)
+    store = publisher.store
+    assert len(store) == BATCHES + 1
+    assert [version.version for version in store] == list(range(BATCHES + 1))
+    assert store.report_delta(0) is None
+    delta = store.report_delta(1)
+    assert delta is not None and len(delta) == len(SKYLINE)
+    assert all("worst_case_risk_change" in row for row in delta)
+    lineage = store.lineage()
+    json.dumps(lineage)  # JSON-able end to end
+    assert lineage[1]["delta"]["appended_rows"] == BATCH_ROWS
+    assert "audit_delta" in lineage[1]
+
+
+def test_append_requires_publish_and_publish_is_single_shot():
+    seed_table, batches = _stream_tables(seed=37)
+    publisher = IncrementalPublisher(seed_table, DistinctLDiversity(3), k=4)
+    with pytest.raises(StreamError):
+        publisher.append(batches[0])
+    publisher.publish()
+    with pytest.raises(StreamError):
+        publisher.publish()
+
+
+def test_row_dict_batches_are_accepted():
+    seed_table, batches = _stream_tables(seed=41)
+    publisher = IncrementalPublisher(seed_table, DistinctLDiversity(3), k=4)
+    publisher.publish()
+    rows = batches[0].rows()
+    version = publisher.append(rows)
+    assert version.n_rows == SEED_ROWS + BATCH_ROWS
+    with pytest.raises(StreamError):
+        publisher.append([])
+
+
+def test_out_of_domain_batch_triggers_full_rebuild():
+    seed_table, batches = _stream_tables(seed=43)
+    publisher = IncrementalPublisher(
+        seed_table, DistinctLDiversity(3), skyline=[(0.3, 0.3)], k=4
+    )
+    publisher.publish()
+    rows = batches[0].rows()
+    rows[0]["Age"] = 123.0  # outside the seed's observed Age domain
+    version = publisher.append(rows)
+    assert version.delta.rebuild
+    assert version.n_rows == SEED_ROWS + BATCH_ROWS
+    fresh = SkylineAuditEngine(publisher.table, [(0.3, 0.3)]).audit(
+        version.release.groups
+    )
+    for entry, reference in zip(version.report.entries, fresh.entries):
+        assert float(np.abs(entry.attack.risks - reference.attack.risks).max()) <= 1e-12
+    # The stream keeps working incrementally after the rebuild.
+    follow_up = publisher.append(batches[1])
+    assert not follow_up.delta.rebuild
+
+
+def test_merge_up_restores_validity_when_a_leaf_breaks():
+    """Appending a skewed batch concentrated on one sensitive value must force
+    local merges/rebuilds, never an invalid release."""
+    seed_table, batches = _stream_tables(seed=47)
+    model = DistinctLDiversity(3)
+    publisher = IncrementalPublisher(seed_table, model, k=4)
+    publisher.publish()
+    skew = [dict(row, Occupation="Armed-Forces") for row in batches[0].rows()]
+    version = publisher.append(skew)
+    _release_is_valid(version, [lambda g: g.size >= 4, model.is_satisfied])
+
+
+def test_skyline_defaults_to_model_points():
+    seed_table, _ = _stream_tables(seed=53)
+    publisher = IncrementalPublisher(seed_table, BTPrivacy(0.3, 0.25), k=4)
+    assert [(b.items(), t) for b, t in publisher.skyline] == [
+        (
+            tuple((name, 0.3) for name in seed_table.quasi_identifier_names),
+            0.25,
+        )
+    ]
+    version = publisher.publish()
+    assert version.report is not None
+
+
+def test_unaudited_stream_when_skyline_empty():
+    seed_table, batches = _stream_tables(seed=59)
+    publisher = IncrementalPublisher(seed_table, DistinctLDiversity(3), skyline=[], k=4)
+    publisher.publish()
+    version = publisher.append(batches[0])
+    assert version.report is None
+    assert version.satisfied  # unaudited versions count as satisfied

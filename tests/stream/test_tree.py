@@ -1,0 +1,71 @@
+"""Tests for the partition tree: routing, surgery, membership."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.mondrian import MondrianAnonymizer, MondrianLeaf
+from repro.data.adult import generate_adult
+from repro.exceptions import StreamError
+from repro.privacy.models import KAnonymity
+from repro.stream.tree import PartitionTree
+
+
+@pytest.fixture()
+def grown_pair():
+    full = generate_adult(400, seed=5)
+    return full.select(np.arange(300)), full
+
+
+@pytest.fixture()
+def tree(grown_pair):
+    seed, _ = grown_pair
+    return PartitionTree(MondrianAnonymizer(KAnonymity(8)).partition_tree(seed))
+
+
+def test_leaves_partition_the_seed(tree, grown_pair):
+    seed, _ = grown_pair
+    covered = np.concatenate([leaf.indices for leaf in tree.leaves()])
+    assert sorted(covered.tolist()) == list(range(seed.n_rows))
+
+
+def test_route_respects_split_predicates(tree, grown_pair):
+    _, full = grown_pair
+    appended = np.arange(300, 400, dtype=np.int64)
+    routed = tree.route(full, appended)
+    placed = np.concatenate(list(routed.values()))
+    assert sorted(placed.tolist()) == appended.tolist()
+    leaves_by_id = {id(leaf): leaf for leaf in tree.leaves()}
+    assert set(routed) <= set(leaves_by_id)
+    # A routed row agrees with every split predicate on its root-to-leaf path.
+    for leaf_id, rows in routed.items():
+        node = leaves_by_id[leaf_id]
+        link = tree.parent_of(node)
+        while link is not None:
+            parent, side = link
+            values = tree._routing_values(full, parent.split.attribute)[rows]
+            if side == "left":
+                assert parent.split.goes_left(values).all()
+            else:
+                assert not parent.split.goes_left(values).any()
+            node = parent
+            link = tree.parent_of(node)
+
+
+def test_replace_swaps_subtree(tree):
+    target = tree.leaves()[0]
+    replacement = MondrianLeaf(indices=target.indices, depth=target.depth)
+    tree.replace(target, replacement)
+    assert not tree.contains(target)
+    assert tree.contains(replacement)
+
+
+def test_replace_rejects_foreign_nodes(tree):
+    with pytest.raises(StreamError):
+        tree.replace(MondrianLeaf(indices=np.arange(3)), MondrianLeaf(indices=np.arange(3)))
+
+
+def test_current_members_includes_routed_rows(tree, grown_pair):
+    _, full = grown_pair
+    routed = tree.route(full, np.arange(300, 400, dtype=np.int64))
+    members = PartitionTree.current_members(tree.root, routed)
+    assert members.tolist() == list(range(400))

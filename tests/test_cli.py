@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import csv
+import json
 
 import pytest
 
@@ -244,10 +245,75 @@ def test_audit_defaults_to_model_point_and_fail_on_breach(capsys):
 
 
 def test_audit_rejects_bad_skyline_spec(capsys):
-    for spec in ("0.3", "a:b", ","):
-        code = main([
-            "audit", "--rows", "200", "--model", "distinct-l", "--l", "3",
-            "--k", "3", "--skyline", spec,
+    # Malformed specs are caught by argparse validation: usage error, exit 2,
+    # one line on stderr instead of a traceback.
+    for spec in ("0.3", "a:b", ",", "b:t:x", "0.3:-0.1", "-0.2:0.1", "0.3:1.5"):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "audit", "--rows", "200", "--model", "distinct-l", "--l", "3",
+                "--k", "3", "--skyline", spec,
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "skyline" in err
+        assert "Traceback" not in err
+
+
+def test_stream_publishes_versions(capsys):
+    code = main([
+        "stream", "--rows", "400", "--batch-size", "60", "--batches", "2",
+        "--model", "distinct-l", "--l", "3", "--k", "3",
+        "--skyline", "0.3:0.35",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "v0: seed 400 rows" in out
+    assert "v1: +60 rows" in out and "v2: +60 rows" in out
+    assert "reused" in out and "rebuilt" in out
+
+
+def test_stream_writes_json_lineage(tmp_path, capsys):
+    lineage_path = tmp_path / "lineage.json"
+    code = main([
+        "stream", "--rows", "400", "--batch-size", "50", "--batches", "2",
+        "--model", "distinct-l", "--l", "3", "--k", "3",
+        "--skyline", "0.3:0.35", "--json", str(lineage_path),
+    ])
+    assert code == 0
+    payload = json.loads(lineage_path.read_text())
+    assert len(payload["versions"]) == 3
+    assert payload["versions"][1]["delta"]["appended_rows"] == 50
+    assert "audit" in payload["versions"][0]
+    assert "audit_delta" in payload["versions"][1]
+
+
+def test_stream_fail_on_breach_exits_3(capsys):
+    # A t=0.01 budget is unsatisfiable for the seed release: every version
+    # breaches and --fail-on-breach must report it via exit status 3.
+    code = main([
+        "stream", "--rows", "400", "--batch-size", "50", "--batches", "1",
+        "--model", "distinct-l", "--l", "3", "--k", "3",
+        "--skyline", "0.3:0.01", "--fail-on-breach",
+    ])
+    assert code == 3
+    assert "BREACH" in capsys.readouterr().out
+
+
+def test_stream_rejects_malformed_skyline(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "stream", "--rows", "200", "--model", "distinct-l", "--l", "3",
+            "--skyline", "0.3",
         ])
-        assert code == 1
-        assert "skyline" in capsys.readouterr().err
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "skyline" in err and "Traceback" not in err
+
+
+def test_stream_rejects_bad_batch_configuration(capsys):
+    code = main([
+        "stream", "--rows", "200", "--model", "distinct-l", "--l", "3",
+        "--batches", "0",
+    ])
+    assert code == 1
+    assert "batch" in capsys.readouterr().err
