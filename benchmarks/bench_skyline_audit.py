@@ -3,14 +3,22 @@
 The engine's contract: auditing one release against a whole skyline
 ``{(B_i, t_i)}`` must be *numerically identical* to looping a
 ``BackgroundKnowledgeAttack`` per adversary while being at least
-``REPRO_BENCH_MIN_SPEEDUP`` (default 5) times faster, because the batched
+``REPRO_BENCH_MIN_SPEEDUP`` (default 1.2) times faster, because the batched
 estimator shares every bandwidth-independent piece of the kernel regression.
+
+Historical note on the floor: the engine used to be ~20x faster, because the
+per-adversary loop paid a flat ``O(n^2 d)`` kernel sweep per bandwidth.
+Since the factored contraction backend (PR 4) serves *every* consumer -
+including the looped ``BackgroundKnowledgeAttack`` - the loop now rides the
+same count-tensor machinery, and the engine's remaining edge is sharing one
+backend fit (distance matrices, QI dedup, count tensor) across adversaries.
+The whole system got faster; the *relative* spread shrank accordingly.
 
 Scale knobs:
 
 * ``REPRO_BENCH_AUDIT_ROWS``  - table size (default 5000, the paper-scale
   demonstration; CI runs a smaller size);
-* ``REPRO_BENCH_MIN_SPEEDUP`` - gate on engine speedup (default 5).
+* ``REPRO_BENCH_MIN_SPEEDUP`` - gate on engine speedup (default 1.2).
 
 The measured numbers land in ``BENCH_skyline_audit.json`` (section
 ``rows-<n>``), which CI regenerates and compares against the committed
@@ -33,7 +41,7 @@ from repro.privacy.disclosure import BackgroundKnowledgeAttack
 from repro.privacy.models import DistinctLDiversity
 
 AUDIT_ROWS = int(os.environ.get("REPRO_BENCH_AUDIT_ROWS", "5000"))
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.2"))
 
 # The paper's Section V skyline shape: four adversaries of increasing
 # background knowledge, one shared disclosure budget.

@@ -110,6 +110,8 @@ from repro.inference import exact_posterior, omega_posterior, posterior_for_grou
 from repro.knowledge import (
     Bandwidth,
     BatchedKernelPriorEstimator,
+    EstimatorConfig,
+    FactoredPriorBackend,
     KernelPriorEstimator,
     PriorBeliefs,
     batched_kernel_priors,
@@ -164,6 +166,8 @@ __all__ = [
     "BatchedKernelPriorEstimator",
     "CompositeModel",
     "DataError",
+    "EstimatorConfig",
+    "FactoredPriorBackend",
     "MEASURES",
     "MODELS",
     "PRIOR_ESTIMATORS",

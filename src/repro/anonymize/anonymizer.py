@@ -66,8 +66,10 @@ def anonymize(
         enforces ``k`` together with each model to prevent identity
         disclosure).
     split_strategy:
-        Mondrian dimension-selection heuristic (``"widest"``, the default,
-        or ``"round_robin"``).
+        Mondrian split strategy: ``"widest"`` (default; frontier-synchronous
+        traversal with the paper's widest-dimension heuristic),
+        ``"round_robin"`` (ablation) or ``"dfs"`` (legacy depth-first
+        traversal - identical partition, legacy group order).
     anatomy_l:
         Number of distinct sensitive values per Anatomy bucket.
     **options:

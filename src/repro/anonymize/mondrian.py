@@ -23,14 +23,19 @@ the median cut points of *every* dimension come from one NumPy pass over the
 group's value matrix (instead of one pass per attribute).  Two entry points
 consume the shared search:
 
-* :meth:`MondrianAnonymizer.partition` - the classic depth-first run used by
-  ``anonymize()``;
-* :meth:`MondrianAnonymizer.partition_forest` - a frontier-synchronous run
+* :meth:`MondrianAnonymizer.partition` - the run used by ``anonymize()``.
+  By default it executes **frontier-synchronously** (all candidate splits of
+  a round are checked through one ``is_satisfied_batch`` call - one batched
+  posterior pass for (B,t) models) and returns the groups in the recorded
+  tree's deterministic left-to-right leaf order.  The legacy depth-first
+  traversal survives as ``split_strategy="dfs"``; it cuts the *identical
+  partition* (both traversals try the same candidate splits per node), only
+  the emission order of the groups differs.
+* :meth:`MondrianAnonymizer.partition_forest` - the frontier-synchronous run
   over one or more *regions* that records the split decisions as a tree of
-  :class:`MondrianNode` / :class:`MondrianLeaf`.  All candidate splits of a
-  frontier round are checked through **one** ``is_satisfied_batch`` call, and
-  the recorded trees are what :mod:`repro.stream` replays to route appended
-  rows and re-split only dirty leaves.
+  :class:`MondrianNode` / :class:`MondrianLeaf`.  The recorded trees are what
+  :mod:`repro.stream` replays to route appended rows and re-split only dirty
+  leaves.
 """
 
 from __future__ import annotations
@@ -44,7 +49,7 @@ from repro.data.table import MicrodataTable
 from repro.exceptions import AnonymizationError
 from repro.privacy.models import PrivacyModel
 
-_STRATEGIES = ("widest", "round_robin")
+_STRATEGIES = ("widest", "round_robin", "dfs")
 
 
 @dataclass
@@ -144,7 +149,10 @@ class MondrianAnonymizer:
         ``prepare``-d on the table at the start of :meth:`partition`.
     split_strategy:
         ``"widest"`` (paper / original Mondrian heuristic: split the dimension
-        with the widest normalised range) or ``"round_robin"`` (ablation).
+        with the widest normalised range, frontier-synchronous traversal),
+        ``"round_robin"`` (rotating dimension choice, ablation) or ``"dfs"``
+        (widest dimension ordering with the legacy depth-first traversal -
+        identical partition, legacy group emission order).
     """
 
     def __init__(self, model: PrivacyModel, *, split_strategy: str = "widest"):
@@ -163,6 +171,16 @@ class MondrianAnonymizer:
         Returns the list of group index arrays.  Raises
         :class:`~repro.exceptions.AnonymizationError` if even the whole table
         fails the requirement (no release is possible).
+
+        The default strategies run frontier-synchronously (every candidate
+        split of a round verified through one batched model call) and return
+        the groups in a **deterministic, documented order**: the left-to-right
+        leaf order of the recorded split tree, i.e. for every accepted cut the
+        ``value <= threshold`` half's groups precede the other half's.
+        ``split_strategy="dfs"`` opts back into the legacy iterative
+        depth-first traversal; both traversals try the same candidate splits
+        per node, so the *partition* is identical - only the group emission
+        order differs.
         """
         if prepare:
             self.model.prepare(table)
@@ -172,6 +190,15 @@ class MondrianAnonymizer:
             raise AnonymizationError(
                 "the whole table does not satisfy the privacy requirement; no release is possible"
             )
+        if self.split_strategy != "dfs":
+            root = self.partition_forest(table, [all_indices])[0]
+            return [leaf.indices for leaf in root.leaves()]
+        return self._partition_dfs(table, all_indices)
+
+    def _partition_dfs(
+        self, table: MicrodataTable, all_indices: np.ndarray
+    ) -> list[np.ndarray]:
+        """The legacy iterative depth-first traversal (``split_strategy="dfs"``)."""
         qi_names = list(table.quasi_identifier_names)
         spans = self._span_vector(table, qi_names)
         values = self._value_matrix(table, qi_names)
@@ -324,7 +351,8 @@ class MondrianAnonymizer:
         candidates = [int(j) for j in np.flatnonzero(widths > 0.0)]
         if not candidates:
             return []
-        if self.split_strategy == "widest":
+        if self.split_strategy != "round_robin":
+            # "widest" and its depth-first twin "dfs" share the dimension order.
             return sorted(candidates, key=lambda j: widths[j], reverse=True)
         offset = depth % len(candidates)
         return candidates[offset:] + candidates[:offset]

@@ -32,6 +32,7 @@ from repro.api.registry import (
 from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
 from repro.exceptions import AnonymizationError, PrivacyModelError
+from repro.knowledge.backend import DEFAULT_MAX_CELLS
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import kernel_prior, mle_prior, overall_prior, uniform_prior
 from repro.privacy.measures import (
@@ -78,6 +79,7 @@ def build_bt(
     measure: DistanceMeasure | None = None,
     inference: str = "omega",
     smoothing_bandwidth: float = 0.5,
+    max_cells: int = DEFAULT_MAX_CELLS,
 ) -> BTPrivacy:
     """(B,t)-privacy: bound the knowledge gain of the Adv(B) adversary by t."""
     return BTPrivacy(
@@ -87,6 +89,7 @@ def build_bt(
         measure=measure,
         inference=inference,
         smoothing_bandwidth=smoothing_bandwidth,
+        max_cells=max_cells,
     )
 
 
@@ -98,10 +101,11 @@ def build_skyline_bt(
     t: float = 0.2,
     kernel: str = "epanechnikov",
     inference: str = "omega",
+    max_cells: int = DEFAULT_MAX_CELLS,
 ) -> SkylineBTPrivacy:
     """Skyline (B,t)-privacy: enforce several (B_i, t_i) pairs at once."""
     skyline = list(points) if points is not None else [(b, t)]
-    return SkylineBTPrivacy(skyline, kernel=kernel, inference=inference)
+    return SkylineBTPrivacy(skyline, kernel=kernel, inference=inference, max_cells=max_cells)
 
 
 @register_model("distinct-l", aliases=("distinct-l-diversity",))
@@ -150,7 +154,13 @@ def run_mondrian(
     *,
     split_strategy: str = "widest",
 ) -> tuple[list[np.ndarray], str]:
-    """Mondrian multidimensional generalization (the paper's algorithm)."""
+    """Mondrian multidimensional generalization (the paper's algorithm).
+
+    The default ``"widest"`` strategy runs frontier-synchronously (one batched
+    requirement check per round, groups in deterministic left-to-right tree
+    order); ``"dfs"`` opts back into the legacy depth-first traversal, which
+    cuts the identical partition in the legacy emission order.
+    """
     mondrian = MondrianAnonymizer(requirement, split_strategy=split_strategy)
     groups = mondrian.partition(table, prepare=False)
     return groups, f"mondrian[{requirement.describe()}]"
@@ -202,10 +212,21 @@ def estimate_kernel_prior(
     kernel: str = "epanechnikov",
     batch_size: int = 256,
     distance_matrices: dict[str, np.ndarray] | None = None,
+    max_cells: int = DEFAULT_MAX_CELLS,
 ):
-    """Nadaraya-Watson kernel regression prior (Section II-B, the paper's estimator)."""
+    """Nadaraya-Watson kernel regression prior (Section II-B, the paper's estimator).
+
+    Estimation runs through the factored contraction backend of
+    :mod:`repro.knowledge.backend`; ``max_cells`` bounds its blocked
+    contraction (``0`` selects the flat reference sweep).
+    """
     return kernel_prior(
-        table, b, kernel=kernel, batch_size=batch_size, distance_matrices=distance_matrices
+        table,
+        b,
+        kernel=kernel,
+        batch_size=batch_size,
+        distance_matrices=distance_matrices,
+        max_cells=max_cells,
     )
 
 

@@ -36,6 +36,7 @@ from repro.api.registry import MEASURES, MODELS, PRIOR_ESTIMATORS
 from repro.audit.engine import SkylineAuditEngine, SkylineAuditReport
 from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
+from repro.knowledge.backend import DEFAULT_MAX_CELLS, backend_name
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import PriorBeliefs
 from repro.privacy.disclosure import AttackResult, BackgroundKnowledgeAttack
@@ -67,6 +68,12 @@ class _PriorKey:
     estimator: str
     kernel: str | None
     bandwidth: tuple[tuple[str, float], ...] | None
+    # Estimator-backend identity: differing backend configurations (the
+    # factored/flat switch and the max_cells contraction budget) must never
+    # collide on one cache entry - their priors differ at round-off level
+    # and their costs differ wildly.  None for estimators without the knob.
+    backend: str | None = None
+    max_cells: int | None = None
 
 
 class Session:
@@ -80,11 +87,22 @@ class Session:
     kernel:
         Default kernel for prior estimation and smoothing (the paper uses
         Epanechnikov throughout).
+    max_cells:
+        Default cell budget for the factored prior-estimation backend (see
+        :class:`~repro.knowledge.backend.FactoredPriorBackend`); part of the
+        prior cache key, overridable per :meth:`priors` call.
     """
 
-    def __init__(self, table: MicrodataTable, *, kernel: str = "epanechnikov"):
+    def __init__(
+        self,
+        table: MicrodataTable,
+        *,
+        kernel: str = "epanechnikov",
+        max_cells: int = DEFAULT_MAX_CELLS,
+    ):
         self.table = table
         self.default_kernel = kernel
+        self.max_cells = int(max_cells)
         self.stats = SessionStats()
         self._priors: dict[_PriorKey, PriorBeliefs] = {}
         self._distance_matrices: dict[str, np.ndarray] = {}
@@ -112,29 +130,49 @@ class Session:
             self._distance_matrices[attribute_name] = matrix
         return matrix
 
+    def _kernel_prior_key(
+        self, bandwidth: Bandwidth, kernel: str, max_cells: int
+    ) -> _PriorKey:
+        """The cache key of one kernel-estimated prior (backend config included)."""
+        return _PriorKey(
+            table_id=self.table_id,
+            estimator="kernel",
+            kernel=kernel,
+            bandwidth=bandwidth.items(),
+            backend=backend_name(max_cells),
+            max_cells=int(max_cells),
+        )
+
     def priors(
         self,
         b: float | Bandwidth | None = None,
         *,
         estimator: str = "kernel",
         kernel: str | None = None,
+        max_cells: int | None = None,
     ) -> PriorBeliefs:
         """Prior beliefs of the ``Adv(b)`` adversary, estimated at most once.
 
         ``estimator`` names an entry of the prior-estimator registry
         (``"kernel"`` needs ``b``; the ``"uniform"``/``"overall"``/``"mle"``
-        baselines ignore it).
+        baselines ignore it).  ``max_cells`` overrides the session's backend
+        cell budget for estimators that take it; the backend configuration is
+        part of the cache key, so differing budgets never collide.
         """
         kernel = kernel or self.default_kernel
+        max_cells = self.max_cells if max_cells is None else int(max_cells)
         # Parameters the estimator ignores must not fragment the cache: the
         # uniform/overall/mle baselines are keyed independently of b/kernel.
         accepted = set(PRIOR_ESTIMATORS.keyword_parameters(estimator))
         bandwidth = self.bandwidth(b) if b is not None and "b" in accepted else None
+        takes_max_cells = "max_cells" in accepted
         key = _PriorKey(
             table_id=self.table_id,
             estimator=estimator,
             kernel=kernel if "kernel" in accepted else None,
             bandwidth=bandwidth.items() if bandwidth is not None else None,
+            backend=backend_name(max_cells) if takes_max_cells else None,
+            max_cells=max_cells if takes_max_cells else None,
         )
         cached = self._priors.get(key)
         if cached is not None:
@@ -149,6 +187,8 @@ class Session:
             params["b"] = bandwidth
         if "kernel" in accepted:
             params["kernel"] = kernel
+        if takes_max_cells:
+            params["max_cells"] = max_cells
         if "distance_matrices" in accepted:
             params["distance_matrices"] = {
                 name: self.distance_matrix(name)
@@ -190,7 +230,13 @@ class Session:
 
     # -- model construction and preparation -------------------------------------------
     def build_model(self, model: str | PrivacyModel, **params: Any) -> PrivacyModel:
-        """Resolve a model name through the registry (instances pass through)."""
+        """Resolve a model name through the registry (instances pass through).
+
+        Models that take the estimator cell budget default to the *session's*
+        ``max_cells`` (instead of the factory default), so the budget a
+        session was configured with governs its models' prior estimation and
+        its audits alike; an explicit ``max_cells`` parameter still wins.
+        """
         if isinstance(model, PrivacyModel):
             if params:
                 raise MODELS.error_class(
@@ -198,6 +244,12 @@ class Session:
                     "not an already-constructed instance"
                 )
             return model
+        if (
+            "max_cells" not in params
+            and model in MODELS
+            and "max_cells" in MODELS.keyword_parameters(model)
+        ):
+            params["max_cells"] = self.max_cells
         return MODELS.build(model, **params)
 
     def prepare_model(self, model: PrivacyModel) -> PrivacyModel:
@@ -210,7 +262,9 @@ class Session:
         domain_size = self.table.sensitive_domain().size
         for component in model.components():
             if isinstance(component, BTPrivacy) and not component.has_priors:
-                priors = self.priors(component.b, kernel=component.kernel)
+                priors = self.priors(
+                    component.b, kernel=component.kernel, max_cells=component.max_cells
+                )
                 component.set_priors(priors, self.sensitive_codes(), domain_size)
                 if component.measure is None:
                     component.measure = self.measure(
@@ -295,12 +349,7 @@ class Session:
         priors: list[PriorBeliefs | None] = []
         keys: list[_PriorKey] = []
         for bandwidth, _ in points:
-            key = _PriorKey(
-                table_id=self.table_id,
-                estimator="kernel",
-                kernel=kernel,
-                bandwidth=bandwidth.items(),
-            )
+            key = self._kernel_prior_key(bandwidth, kernel, self.max_cells)
             keys.append(key)
             cached = self._priors.get(key)
             if cached is not None:
@@ -315,6 +364,7 @@ class Session:
             measure=self.measure("smoothed-js", kernel=kernel),
             priors=priors,
             chunk_rows=chunk_rows,
+            max_cells=self.max_cells,
             distance_matrices={
                 name: self.distance_matrix(name)
                 for name in self.table.quasi_identifier_names
@@ -344,7 +394,7 @@ class Session:
         method: str = "omega",
         split_strategy: str = "widest",
         refine_factor: float = 1.5,
-        max_cells: int = 64_000_000,
+        max_cells: int | None = None,
     ) -> "IncrementalPublisher":
         """An :class:`~repro.stream.IncrementalPublisher` seeded with this table.
 
@@ -356,7 +406,8 @@ class Session:
         incremental and therefore private to the stream.
 
         ``skyline`` defaults to the ``(b, t)`` pairs of the model's (B,t)
-        components, mirroring :meth:`Pipeline.audit_skyline`.
+        components, mirroring :meth:`Pipeline.audit_skyline`; ``max_cells``
+        defaults to the session's backend cell budget.
         """
         from repro.stream import IncrementalPublisher
 
@@ -370,7 +421,7 @@ class Session:
             method=method,
             split_strategy=split_strategy,
             refine_factor=refine_factor,
-            max_cells=max_cells,
+            max_cells=self.max_cells if max_cells is None else max_cells,
             distance_matrices={
                 name: self.distance_matrix(name)
                 for name in self.table.quasi_identifier_names

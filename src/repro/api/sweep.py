@@ -22,6 +22,7 @@ which maximises cache sharing.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import multiprocessing
 from collections import Counter
@@ -60,6 +61,11 @@ class SweepSpec:
             return str(self.model)
         accepted = set(MODELS.parameters(self.model))
         shown = {name: value for name, value in self.params.items() if name in accepted}
+        # The estimator cell budget is backend plumbing, not model identity:
+        # only label it when it differs from the factory default.
+        budget = inspect.signature(MODELS.get(self.model)).parameters.get("max_cells")
+        if budget is not None and shown.get("max_cells") == budget.default:
+            shown.pop("max_cells", None)
         inner = ", ".join(f"{name}={value!r}" for name, value in sorted(shown.items()))
         text = f"{self.model}({inner})" if inner else self.model
         return f"{text}+k={self.k}" if self.k is not None else text
@@ -195,7 +201,10 @@ def _execute_spec(session: Session, spec: SweepSpec, on_error: str) -> SweepRow:
     label = spec.resolved_label()
     try:
         if isinstance(spec.model, str):
-            model = MODELS.build_filtered(spec.model, spec.params)
+            # Session-built models default to the session's estimator cell
+            # budget; an explicit max_cells param still wins.
+            params = {"max_cells": session.max_cells, **spec.params}
+            model = MODELS.build_filtered(spec.model, params)
         else:
             model = spec.model
         pipeline = (
@@ -224,9 +233,9 @@ _WORKER_SESSION: Session | None = None
 _WORKER_ON_ERROR: str = "raise"
 
 
-def _init_worker(table, kernel: str, on_error: str) -> None:
+def _init_worker(table, kernel: str, max_cells: int, on_error: str) -> None:
     global _WORKER_SESSION, _WORKER_ON_ERROR
-    _WORKER_SESSION = Session(table, kernel=kernel)
+    _WORKER_SESSION = Session(table, kernel=kernel, max_cells=max_cells)
     _WORKER_ON_ERROR = on_error
 
 
@@ -288,7 +297,7 @@ def run_sweep(
         with multiprocessing.Pool(
             processes=min(processes, len(resolved)),
             initializer=_init_worker,
-            initargs=(session.table, session.default_kernel, on_error),
+            initargs=(session.table, session.default_kernel, session.max_cells, on_error),
         ) as pool:
             outcomes = pool.map(_run_in_worker, resolved)
         rows = [row for row, _ in outcomes]

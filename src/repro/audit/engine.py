@@ -29,6 +29,7 @@ import numpy as np
 from repro.data.table import MicrodataTable
 from repro.exceptions import AuditError
 from repro.inference.omega import grouped_posterior
+from repro.knowledge.backend import DEFAULT_MAX_CELLS
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import BatchedKernelPriorEstimator, PriorBeliefs
 from repro.privacy.disclosure import (
@@ -190,8 +191,9 @@ class SkylineAuditEngine:
     chunk_rows:
         Optional row cap per posterior pass (bounds memory on huge tables).
     max_cells:
-        Budget for the batched estimator's factored path (see
-        :class:`~repro.knowledge.prior.BatchedKernelPriorEstimator`).
+        Cell budget for the factored estimation backend's blocked contraction
+        (see :class:`~repro.knowledge.backend.FactoredPriorBackend`; ``0``
+        selects the flat reference sweep).
 
     One engine may audit many releases (each :meth:`audit` call takes its own
     ``groups``); the priors are estimated once, on first use.
@@ -207,7 +209,7 @@ class SkylineAuditEngine:
         measure: DistanceMeasure | None = None,
         priors: Sequence[PriorBeliefs | None] | None = None,
         chunk_rows: int | None = None,
-        max_cells: int = 64_000_000,
+        max_cells: int = DEFAULT_MAX_CELLS,
         distance_matrices: dict[str, np.ndarray] | None = None,
     ):
         if method not in {"omega", "exact"}:

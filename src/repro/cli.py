@@ -33,13 +33,14 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.api import ALGORITHMS, MODELS, Pipeline, Session, expand_grid
+from repro.api import ALGORITHMS, MODELS, Session, expand_grid
 from repro.data.adult import adult_schema, generate_adult
 from repro.data.io import read_csv, write_csv
 from repro.data.table import MicrodataTable
 from repro.exceptions import ReproError
 from repro.experiments import config as experiment_config
 from repro.experiments import figures as experiment_figures
+from repro.knowledge.backend import DEFAULT_MAX_CELLS
 from repro.privacy.models import PrivacyModel
 
 _FIGURE_CHOICES = ("1a", "1b", "2", "3a", "3b", "4a", "4b", "5a", "5b", "6a", "6b")
@@ -181,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="l-diversity parameter (repeatable grid axis; default 4)",
     )
     sweep_parser.add_argument("--k", type=int, default=4, help="k-anonymity parameter (default 4)")
+    _add_max_cells_argument(sweep_parser)
     sweep_parser.add_argument(
         "--b-prime", type=float, default=0.3, help="audit adversary bandwidth b' (default 0.3)"
     )
@@ -216,6 +218,16 @@ def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2009, help="random seed for synthetic data")
 
 
+def _add_max_cells_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-cells", type=_max_cells_argument, default=DEFAULT_MAX_CELLS,
+        help=(
+            "cell budget for the factored prior-estimation backend's blocked "
+            f"contraction (0 = flat reference sweep; default {DEFAULT_MAX_CELLS})"
+        ),
+    )
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser, *, algorithm: bool = True) -> None:
     parser.add_argument(
         "--model", default="bt", choices=MODELS.names(), help="privacy model (default bt)"
@@ -232,6 +244,7 @@ def _add_model_arguments(parser: argparse.ArgumentParser, *, algorithm: bool = T
         help="l-diversity parameter (default 4; distinct-l rejects non-integer values)",
     )
     parser.add_argument("--k", type=int, default=4, help="k-anonymity parameter (default 4)")
+    _add_max_cells_argument(parser)
     if algorithm:
         parser.add_argument(
             "--anatomy-l", type=int, default=None, help="Anatomy bucket diversity (anatomy only)"
@@ -247,8 +260,14 @@ def _load_table(args: argparse.Namespace) -> MicrodataTable:
 def _build_model(args: argparse.Namespace) -> PrivacyModel:
     """Build the chosen model from the registry; each model picks the flags it understands."""
     return MODELS.build_filtered(
-        args.model, {"b": args.b, "t": args.t, "l": args.l, "k": args.k}
+        args.model,
+        {"b": args.b, "t": args.t, "l": args.l, "k": args.k, "max_cells": args.max_cells},
     )
+
+
+def _session(table: MicrodataTable, args: argparse.Namespace) -> Session:
+    """A session carrying the CLI's estimator-backend configuration."""
+    return Session(table, max_cells=args.max_cells)
 
 
 def _write_release_csv(release, path: str | Path) -> None:
@@ -271,7 +290,8 @@ def _run_generate(args: argparse.Namespace) -> int:
 def _run_anonymize(args: argparse.Namespace) -> int:
     table = _load_table(args)
     bundle = (
-        Pipeline(table)
+        _session(table, args)
+        .pipeline()
         .model(_build_model(args))
         .with_k(args.k)
         .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
@@ -296,7 +316,8 @@ def _run_attack(args: argparse.Namespace) -> int:
     table = _load_table(args)
     threshold = args.threshold if args.threshold is not None else args.t
     bundle = (
-        Pipeline(table)
+        _session(table, args)
+        .pipeline()
         .model(_build_model(args))
         .with_k(args.k)
         .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
@@ -353,11 +374,28 @@ def _skyline_argument(text: str) -> list[tuple[float, float]]:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _max_cells_argument(text: str) -> int:
+    """argparse ``type`` wrapper: malformed/negative budgets exit 2 like ``--skyline``."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad cell budget {text!r}; expected a non-negative integer"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"bad cell budget {text!r}; the budget must be non-negative "
+            "(0 selects the flat reference sweep)"
+        )
+    return value
+
+
 def _run_audit(args: argparse.Namespace) -> int:
     table = _load_table(args)
     skyline = args.skyline
     bundle = (
-        Pipeline(table)
+        _session(table, args)
+        .pipeline()
         .model(_build_model(args))
         .with_k(args.k)
         .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
@@ -398,7 +436,7 @@ def _run_stream(args: argparse.Namespace) -> int:
         table = generate_adult(args.rows + appended_total, seed=args.seed)
     seed_rows = table.n_rows - appended_total
     seed = table.select(range(seed_rows))
-    session = Session(seed)
+    session = _session(seed, args)
     publisher = session.stream(
         _build_model(args),
         skyline=args.skyline,
@@ -445,7 +483,7 @@ def _run_stream(args: argparse.Namespace) -> int:
 
 def _run_sweep(args: argparse.Namespace) -> int:
     table = _load_table(args)
-    session = Session(table)
+    session = _session(table, args)
     models = tuple(args.model) if args.model else _DEFAULT_SWEEP_MODELS
     audit = None
     if not args.no_audit:
@@ -456,6 +494,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         t=args.t or [0.2],
         l=args.l or [4.0],
         k=args.k,
+        max_cells=args.max_cells,
         audit=audit,
     )
     if audit is not None and args.threshold is None:

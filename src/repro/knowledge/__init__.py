@@ -6,6 +6,11 @@ from repro.knowledge.association import (
     mine_positive_rules,
     rule_violation_mass,
 )
+from repro.knowledge.backend import (
+    DEFAULT_MAX_CELLS,
+    EstimatorConfig,
+    FactoredPriorBackend,
+)
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.kernels import (
     biweight_kernel,
@@ -38,6 +43,9 @@ __all__ = [
     "Bandwidth",
     "BandwidthScore",
     "BatchedKernelPriorEstimator",
+    "DEFAULT_MAX_CELLS",
+    "EstimatorConfig",
+    "FactoredPriorBackend",
     "KernelPriorEstimator",
     "PriorBeliefs",
     "cross_validation_score",

@@ -1,0 +1,896 @@
+"""The factored count-tensor contraction backend behind every kernel-prior path.
+
+Estimating the adversary's prior belief function (Section II-B) is the hot
+path of every stage of the pipeline - publishing, skyline auditing and
+streaming republication all reduce to Nadaraya-Watson sums
+
+.. math::
+
+    \\hat P_{pri}(q) \\propto \\sum_{t_j \\in T} \\prod_i K_i(d_i(q_i, t_j[A_i]))
+                             \\, P(t_j)
+
+over the whole table.  Evaluated naively this is an ``O(n^2 d)`` sweep *per
+bandwidth*.  This module holds the one shared backend that every estimator
+view (:class:`~repro.knowledge.prior.KernelPriorEstimator`,
+:class:`~repro.knowledge.prior.BatchedKernelPriorEstimator`) delegates to:
+
+**Factored storage.**  The *solo* attribute (the largest single domain) is
+split off from the *rest* of the quasi-identifiers.  The observed rest
+combinations are deduplicated into *slots* and the table collapses into a
+count tensor ``M[a, r, s]`` = number of tuples with solo code ``a``, rest
+slot ``r`` and sensitive value ``s``.  All of this is bandwidth-independent
+and shared across every estimation.
+
+**Per-bandwidth contraction.**  A bandwidth only contributes tiny
+per-attribute kernel matrices.  The numerator of every deduplicated query
+``(a_q, r_q)`` is the two-step contraction ``N = J[r_q, :] @ (W_solo @ M)``
+where ``J`` is the joint kernel weight between rest combinations - exactly
+the flat Nadaraya-Watson sum, reassociated.
+
+**Hierarchical multi-block contraction.**  The joint matrix has
+``n_combos^2`` cells, which wide or high-cardinality schemas blow past any
+budget.  Instead of abandoning the factorisation, the rest attributes are
+split - greedily, in schema order - into *blocks* whose observed
+per-block combination counts ``c_b`` satisfy ``c_b^2 <= max_cells``.  Each
+block gets its own small joint matrix ``J_b`` (the kernel product over just
+its attributes) and the full joint row of a query is recovered on the fly as
+the Hadamard chain ``prod_b J_b[beta_b(r_q), beta_b(r)]``, materialised only
+in row tiles bounded by ``max_cells`` cells.  The chained contraction is
+algebraically identical to the single-joint contraction (products are merely
+re-grouped per block), so blocked priors match the flat reference to
+floating-point round-off while wide schemas keep the factored speedup: per
+bandwidth the work is ``O(n_q n_combos (k + m))`` for ``k`` blocks instead
+of the flat ``O(n_q n (d + m))``.  A single attribute whose own observed
+combinations exceed the budget forms a singleton block (its kernel matrix
+exists anyway at ``|D_i|^2``).  The flat sweep survives only as the
+``max_cells == 0`` equivalence reference - plus an absolute memory guard
+(``max_count_cells``) for pathological schemas whose count tensor itself
+would not fit, where slow-but-bounded beats an out-of-memory abort.
+
+**Incremental deltas.**  Appending rows is additive in ``M``; with
+``incremental=True`` the per-bandwidth artefacts (block joints, the
+solo-contracted tensor and the per-query numerators) are cached and
+:meth:`FactoredPriorBackend.append_rows` folds a batch in by recontracting
+only the queries whose compact-support kernel neighbourhood contains an
+appended row - every other query keeps a bitwise-identical numerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.distance import attribute_distance_matrix
+from repro.data.table import MicrodataTable
+from repro.exceptions import KnowledgeError
+from repro.knowledge.bandwidth import Bandwidth
+from repro.knowledge.kernels import get_kernel
+
+DEFAULT_MAX_CELLS = 64_000_000
+DEFAULT_BATCH_SIZE = 256
+DEFAULT_MAX_COUNT_CELLS = 128_000_000
+
+
+def backend_name(max_cells: int) -> str:
+    """The backend a ``max_cells`` budget selects: ``"flat"`` only for ``0``.
+
+    The single definition of backend identity - prior caches key on it.
+    """
+    return "flat" if max_cells == 0 else "factored"
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """The one estimator configuration shared by every kernel-prior consumer.
+
+    Sessions, the skyline audit engine, the incremental publisher and the CLI
+    all parameterise prior estimation through this object (or its fields), so
+    there is a single definition of what a "kernel estimator" is.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel function name (default ``"epanechnikov"``, as in the paper).
+    max_cells:
+        Cell budget for the *per-bandwidth contraction working set*: block
+        joint matrices and materialised joint-row tiles stay below this many
+        float64 cells.  It deliberately does **not** bound the factored count
+        tensor, which scales linearly with the data (``solo domain x
+        observed rest combinations x m``) - shrinking the budget makes the
+        blocks and tiles smaller, never the storage.  ``0`` selects the flat
+        ``O(n^2 d)`` reference sweep instead (kept only for small-size
+        equivalence checks).
+    batch_size:
+        Query rows per vectorised batch of the flat reference sweep.
+    max_count_cells:
+        Hard memory guard on the count tensor (and the per-bandwidth
+        contracted tensor of the same shape): fits whose ``solo x combos x
+        m`` storage would exceed this many float64 cells fall back to the
+        flat sweep, which is slow but memory-bounded.  An absolute ceiling
+        (~1 GB by default), independent of ``max_cells`` so tiny contraction
+        budgets still take the blocked factored path.
+    """
+
+    kernel: str = "epanechnikov"
+    max_cells: int = DEFAULT_MAX_CELLS
+    batch_size: int = DEFAULT_BATCH_SIZE
+    max_count_cells: int = DEFAULT_MAX_COUNT_CELLS
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise KnowledgeError("batch_size must be positive")
+        if self.max_cells < 0:
+            raise KnowledgeError("max_cells must be non-negative")
+        if self.max_count_cells <= 0:
+            raise KnowledgeError("max_count_cells must be positive")
+
+    @property
+    def backend_name(self) -> str:
+        """``"factored"`` or ``"flat"`` - what this configuration selects."""
+        return backend_name(self.max_cells)
+
+
+@dataclass
+class _RestBlock:
+    """One block of rest attributes in the hierarchical contraction.
+
+    ``positions`` are column indices into the rest-combination matrix (and
+    ``names`` the matching attribute names); ``combos`` holds the observed
+    per-block combinations in stable id order (appended combinations take
+    the next ids, never reshuffling); ``code_of_slot`` maps every rest slot
+    to its block combination id (allocated at the shared slot capacity).
+    """
+
+    positions: tuple[int, ...]
+    names: tuple[str, ...]
+    n_combos: int
+    combos: np.ndarray
+    code_of_slot: np.ndarray = field(repr=False)
+
+
+class FactoredPriorBackend:
+    """Shared contraction backend for kernel prior estimation.
+
+    One backend is fitted per table and serves every bandwidth: the estimator
+    classes in :mod:`repro.knowledge.prior` are thin views over it.  See the
+    module docstring for the factorisation, the blocking scheme and the
+    incremental delta path.
+
+    Parameters
+    ----------
+    config:
+        The :class:`EstimatorConfig` (kernel, ``max_cells`` budget, flat
+        batch size).
+    distance_matrices:
+        Optional precomputed per-attribute distance matrices to share
+        (matrices cached against an outgrown domain are replaced at fit).
+    incremental:
+        Cache per-bandwidth contraction state so :meth:`append_rows` updates
+        it in place (costs memory per distinct bandwidth; off by default).
+    """
+
+    def __init__(
+        self,
+        config: EstimatorConfig | None = None,
+        *,
+        distance_matrices: dict[str, np.ndarray] | None = None,
+        incremental: bool = False,
+    ):
+        self.config = config if config is not None else EstimatorConfig()
+        self._kernel = get_kernel(self.config.kernel)
+        self.incremental = bool(incremental)
+        self._distance_matrices = dict(distance_matrices) if distance_matrices else {}
+        self._table: MicrodataTable | None = None
+        self.mode: str | None = None
+        self._overall: np.ndarray | None = None
+        # Factored state.  Rest combinations live in *slot* order: slots
+        # 0..n_combos-1 are assigned in lexicographic order at fit time and
+        # appended combinations take the next free slots, so growing the
+        # state never reshuffles the (large) per-combination arrays.
+        self._solo_index: int = 0
+        self._rest_indices: list[int] = []
+        self._n_combos: int = 0
+        self._rest_combos: np.ndarray | None = None  # (capacity, d-1), slot order
+        self._blocks: list[_RestBlock] = []
+        self._count_storage: np.ndarray | None = None  # (solo, capacity, m)
+        self._solo_of_row: np.ndarray | None = None
+        self._slot_of_row: np.ndarray | None = None
+        self._pair_keys: np.ndarray | None = None
+        self._query_solo: np.ndarray | None = None
+        self._query_rest: np.ndarray | None = None  # slot ids
+        self._query_inverse: np.ndarray | None = None
+        # Flat-reference state.
+        self._qi_codes: np.ndarray | None = None
+        self._one_hot: np.ndarray | None = None
+        self._flat_unique: np.ndarray | None = None
+        self._flat_inverse: np.ndarray | None = None
+        # Per-bandwidth contraction caches (incremental mode only), keyed by
+        # Bandwidth.items(): {"bandwidth", "block_joints", "contracted_storage",
+        # "numerators"} with contracted storage at the shared slot capacity.
+        self._contractions: dict[tuple, dict] = {}
+
+    # -- small helpers ----------------------------------------------------------------
+    @property
+    def _count_tensor(self) -> np.ndarray:
+        """Active ``(solo, n_combos, m)`` view of the count storage."""
+        return self._count_storage[:, : self._n_combos, :]
+
+    @property
+    def blocks(self) -> tuple[tuple[str, ...], ...]:
+        """Attribute names of each rest block of the hierarchical contraction."""
+        return tuple(block.names for block in self._blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of rest blocks (0 for single-QI tables and flat mode)."""
+        return len(self._blocks)
+
+    @property
+    def table(self) -> MicrodataTable | None:
+        """The fitted table (``None`` before :meth:`fit`)."""
+        return self._table
+
+    def _require_fitted(self) -> MicrodataTable:
+        if self._table is None:
+            raise KnowledgeError("estimator is not fitted; call fit(table) first")
+        return self._table
+
+    def _capacity(self, n_combos: int) -> int:
+        """Slot capacity: headroom so appends rarely reallocate (incremental only)."""
+        if not self.incremental:
+            return n_combos
+        return n_combos + max(128, n_combos // 4)
+
+    def _tile_rows(self, n_columns: int) -> int:
+        """Contraction tile height bounding the materialised joint rows."""
+        return max(1, max(1, self.config.max_cells) // max(1, n_columns))
+
+    def resolve_bandwidth(self, b: float | Bandwidth) -> Bandwidth:
+        """Normalise ``b`` to a full bandwidth covering every fitted QI attribute."""
+        table = self._require_fitted()
+        if isinstance(b, Bandwidth):
+            missing = [name for name in table.quasi_identifier_names if name not in b]
+            if missing:
+                raise KnowledgeError(
+                    f"bandwidth does not cover quasi-identifier attributes {missing}"
+                )
+            return b
+        return Bandwidth.uniform(table.quasi_identifier_names, float(b))
+
+    def _bandwidth_weights(self, bandwidth: Bandwidth, name: str) -> np.ndarray:
+        return self._kernel(self._distance_matrices[name], bandwidth[name])
+
+    def _same_domains(self, table: MicrodataTable) -> bool:
+        fitted = self._table
+        if tuple(table.quasi_identifier_names) != tuple(fitted.quasi_identifier_names):
+            return False
+        names = list(table.quasi_identifier_names) + [table.sensitive_name]
+        return all(
+            np.array_equal(table.domain(name).values, fitted.domain(name).values)
+            for name in names
+        )
+
+    # -- fitting ----------------------------------------------------------------------
+    def fit(self, table: MicrodataTable) -> "FactoredPriorBackend":
+        """Precompute every bandwidth-independent artefact for ``table``."""
+        qi_names = list(table.quasi_identifier_names)
+        for name in qi_names:
+            cached = self._distance_matrices.get(name)
+            if cached is None or cached.shape[0] != table.domain(name).size:
+                # Also replaces matrices cached against an outgrown domain
+                # (refitting after a stream append introduced new values).
+                self._distance_matrices[name] = attribute_distance_matrix(table.domain(name))
+        self._table = table
+        self._overall = table.sensitive_distribution()
+        self._contractions = {}
+        codes = table.qi_code_matrix().astype(np.int64)
+        sensitive = table.sensitive_codes().astype(np.int64)
+        m = table.sensitive_domain().size
+
+        sizes = [self._distance_matrices[name].shape[0] for name in qi_names]
+        solo = int(np.argmax(sizes))
+        rest = [i for i in range(len(qi_names)) if i != solo]
+        rest_combos, slot_of_row = np.unique(codes[:, rest], axis=0, return_inverse=True)
+        n_combos = rest_combos.shape[0]
+
+        # Refitting may switch modes (e.g. append growth tripping the count
+        # guard); drop the other mode's large artefacts so they cannot keep
+        # roughly a second copy of the state alive.
+        self._count_storage = None
+        self._rest_combos = None
+        self._blocks = []
+        self._solo_of_row = self._slot_of_row = None
+        self._pair_keys = self._query_solo = self._query_rest = self._query_inverse = None
+        self._qi_codes = self._one_hot = None
+        self._flat_unique = self._flat_inverse = None
+
+        # The count tensor scales with the data, not with max_cells; fits
+        # whose storage would exceed the absolute guard fall back to the
+        # flat sweep (slow but memory-bounded), as does max_cells == 0 (the
+        # explicit equivalence-reference switch).
+        if (
+            self.config.max_cells == 0
+            or sizes[solo] * n_combos * m > self.config.max_count_cells
+        ):
+            self.mode = "flat"
+            self._qi_codes = codes
+            one_hot = np.zeros((table.n_rows, m), dtype=np.float64)
+            one_hot[np.arange(table.n_rows), sensitive] = 1.0
+            self._one_hot = one_hot
+            self._flat_unique, self._flat_inverse = np.unique(
+                codes, axis=0, return_inverse=True
+            )
+            return self
+
+        self.mode = "factored"
+        self._solo_index = solo
+        self._rest_indices = rest
+        self._n_combos = n_combos
+        capacity = self._capacity(n_combos)
+        self._rest_combos = np.zeros((capacity, len(rest)), dtype=rest_combos.dtype)
+        self._rest_combos[:n_combos] = rest_combos
+        self._blocks = self._build_blocks(rest_combos, [qi_names[i] for i in rest], capacity)
+        self._solo_of_row = codes[:, solo]
+        self._slot_of_row = slot_of_row.astype(np.int64)
+
+        # M[a, r, s]: tuple counts per (solo code, rest slot, sensitive value).
+        solo_size = sizes[solo]
+        flat = (self._solo_of_row * n_combos + self._slot_of_row) * m + sensitive
+        self._count_storage = np.zeros((solo_size, capacity, m), dtype=np.float64)
+        self._count_storage[:, :n_combos, :] = (
+            np.bincount(flat, minlength=solo_size * n_combos * m)
+            .reshape(solo_size, n_combos, m)
+            .astype(np.float64)
+        )
+        self._rebuild_query_index()
+        return self
+
+    def _build_blocks(
+        self, rest_combos: np.ndarray, rest_names: list[str], capacity: int
+    ) -> list[_RestBlock]:
+        """Greedily block the rest attributes so every block joint fits the budget.
+
+        Attributes are taken in schema order (the fixed, documented layout);
+        a block grows while the observed combinations of the candidate block
+        keep ``c^2 <= max_cells``.  A lone attribute over budget still forms a
+        singleton block - its kernel matrix exists anyway at ``|D_i|^2`` - so
+        the factored path never degrades to the flat sweep.
+        """
+        budget = max(1, self.config.max_cells)
+        blocks: list[_RestBlock] = []
+        positions: list[int] = []
+        combos = codes = None
+
+        def close() -> None:
+            code_of_slot = np.zeros(capacity, dtype=np.int64)
+            code_of_slot[: rest_combos.shape[0]] = codes
+            blocks.append(
+                _RestBlock(
+                    positions=tuple(positions),
+                    names=tuple(rest_names[p] for p in positions),
+                    n_combos=combos.shape[0],
+                    combos=combos,
+                    code_of_slot=code_of_slot,
+                )
+            )
+
+        for column in range(rest_combos.shape[1]):
+            trial_combos, trial_codes = np.unique(
+                rest_combos[:, positions + [column]], axis=0, return_inverse=True
+            )
+            if positions and trial_combos.shape[0] ** 2 > budget:
+                close()
+                positions = [column]
+                combos, codes = np.unique(
+                    rest_combos[:, positions], axis=0, return_inverse=True
+                )
+            else:
+                positions = positions + [column]
+                combos, codes = trial_combos, trial_codes
+        if positions:
+            close()
+        return blocks
+
+    def _rebuild_query_index(self) -> None:
+        """Derive the unique (solo, rest slot) query structures from the rows.
+
+        Pair keys ascend with (solo code, slot), so the unique array is
+        already grouped by solo code - exactly the layout the per-bandwidth
+        contraction wants for its per-solo matmuls.  The slot multiplier is
+        the current combination count; slots are stable across appends, so
+        re-keying old query arrays with a newer multiplier keeps their order.
+        """
+        multiplier = max(1, self._n_combos)
+        pair_key = self._solo_of_row * multiplier + self._slot_of_row
+        self._pair_keys, self._query_inverse = np.unique(pair_key, return_inverse=True)
+        self._query_solo = self._pair_keys // multiplier
+        self._query_rest = self._pair_keys % multiplier
+
+    # -- appending --------------------------------------------------------------------
+    def append_rows(self, table: MicrodataTable) -> str:
+        """Grow the fitted state to ``table`` (the previous table plus appended rows).
+
+        ``table`` must extend the fitted table: its first ``n`` rows are the
+        fitted rows and every attribute keeps its domain (append-only streams
+        with stable domains).  The appended rows' counts are folded into the
+        count tensor - and, in ``incremental`` mode, into every cached
+        per-bandwidth contraction - so the next estimation only recontracts
+        queries whose kernel neighbourhood actually changed.
+
+        Returns ``"incremental"`` when the factored state was updated in
+        place, or ``"refit"`` when a full :meth:`fit` was required (flat
+        reference mode, or changed domains).
+        """
+        fitted = self._require_fitted()
+        n_previous = fitted.n_rows
+        if table.n_rows < n_previous:
+            raise KnowledgeError(
+                f"append_rows expects a grown table; got {table.n_rows} rows after {n_previous}"
+            )
+        if self.mode != "factored" or not self._same_domains(table):
+            self.fit(table)
+            return "refit"
+        if table.n_rows == n_previous:
+            self._table = table
+            return "incremental"
+
+        m = table.sensitive_domain().size
+        codes_new = table.qi_code_matrix()[n_previous:].astype(np.int64)
+        sensitive_new = table.sensitive_codes()[n_previous:].astype(np.int64)
+        delta_solo = codes_new[:, self._solo_index]
+        rest_new = codes_new[:, self._rest_indices]
+
+        # Assign fresh slots to rest combinations first seen in this batch.
+        n_combos = self._n_combos
+        stacked = np.concatenate([self._rest_combos[:n_combos], rest_new], axis=0)
+        uniq, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        slot_of_uid = np.full(uniq.shape[0], -1, dtype=np.int64)
+        slot_of_uid[inverse[:n_combos]] = np.arange(n_combos, dtype=np.int64)
+        fresh_uids = np.flatnonzero(slot_of_uid < 0)
+        if fresh_uids.size:
+            solo_size = self._count_storage.shape[0]
+            if solo_size * (n_combos + fresh_uids.size) * m > self.config.max_count_cells:
+                # Growth would breach the count-tensor memory guard; refit
+                # (which takes the flat path under the same guard).
+                self.fit(table)
+                return "refit"
+            slot_of_uid[fresh_uids] = n_combos + np.arange(fresh_uids.size, dtype=np.int64)
+            self._grow_combos(uniq[fresh_uids])
+            if any(
+                len(block.positions) > 1
+                and block.n_combos**2 > max(1, self.config.max_cells)
+                for block in self._blocks
+            ):
+                # A multi-attribute block outgrew the contraction budget;
+                # refit to re-derive a budget-respecting block layout
+                # (singleton blocks are admissible over budget by design).
+                self.fit(table)
+                return "refit"
+        delta_rest = slot_of_uid[inverse[n_combos:]]
+        n_combos = self._n_combos
+        solo_size = self._count_storage.shape[0]
+
+        # Count the batch only over the touched rest slots - O(batch), not
+        # O(count tensor) - and scatter the block into the storage.
+        rest_touched = np.unique(delta_rest)
+        touched_position = np.searchsorted(rest_touched, delta_rest)
+        flat = (delta_solo * rest_touched.size + touched_position) * m + sensitive_new
+        delta_counts = (
+            np.bincount(flat, minlength=solo_size * rest_touched.size * m)
+            .reshape(solo_size, rest_touched.size, m)
+            .astype(np.float64)
+        )
+        self._count_storage[:, rest_touched, :] += delta_counts
+        cells = np.unique(delta_solo * n_combos + delta_rest)
+        cell_solo = cells // n_combos
+        cell_rest = cells % n_combos
+
+        self._table = table
+        self._overall = table.sensitive_distribution()
+        self._solo_of_row = np.concatenate([self._solo_of_row, delta_solo])
+        self._slot_of_row = np.concatenate([self._slot_of_row, delta_rest])
+        previous_solo, previous_rest = self._query_solo, self._query_rest
+        self._rebuild_query_index()
+        previous_pairs = previous_solo * max(1, self._n_combos) + previous_rest
+        for cache in self._contractions.values():
+            self._update_cache(
+                cache, delta_counts, rest_touched, cell_solo, cell_rest, previous_pairs
+            )
+        return "incremental"
+
+    def _grow_combos(self, new_combos: np.ndarray) -> None:
+        """Assign slots to new rest combinations, reallocating storage if full."""
+        n_old = self._n_combos
+        n_after = n_old + new_combos.shape[0]
+        capacity = self._rest_combos.shape[0]
+        if n_after > capacity:
+            capacity = self._capacity(n_after)
+            combos = np.zeros((capacity, self._rest_combos.shape[1]), self._rest_combos.dtype)
+            combos[:n_old] = self._rest_combos[:n_old]
+            self._rest_combos = combos
+            storage = np.zeros(
+                (self._count_storage.shape[0], capacity, self._count_storage.shape[2])
+            )
+            storage[:, :n_old, :] = self._count_storage[:, :n_old, :]
+            self._count_storage = storage
+            for block in self._blocks:
+                code_of_slot = np.zeros(capacity, dtype=np.int64)
+                code_of_slot[:n_old] = block.code_of_slot[:n_old]
+                block.code_of_slot = code_of_slot
+            for cache in self._contractions.values():
+                contracted = np.zeros_like(storage)
+                contracted[:, :n_old, :] = cache["contracted_storage"][:, :n_old, :]
+                cache["contracted_storage"] = contracted
+        slots = np.arange(n_old, n_after, dtype=np.int64)
+        self._rest_combos[slots] = new_combos
+        self._n_combos = n_after
+        grown = [
+            self._grow_block(block, new_combos[:, list(block.positions)], slots)
+            for block in self._blocks
+        ]
+        for cache in self._contractions.values():
+            cache["block_joints"] = [
+                self._grow_block_joint(block, joint, n_new, cache["bandwidth"])
+                for block, joint, n_new in zip(self._blocks, cache["block_joints"], grown)
+            ]
+            cache["contracted_storage"][:, slots, :] = 0.0
+
+    def _grow_block(self, block: _RestBlock, sub_combos: np.ndarray, slots: np.ndarray) -> int:
+        """Grow one block with a batch of new rest combinations; return new combo count."""
+        c_old = block.n_combos
+        stacked = np.concatenate([block.combos, sub_combos], axis=0)
+        uniq, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        id_of_uid = np.full(uniq.shape[0], -1, dtype=np.int64)
+        id_of_uid[inverse[:c_old]] = np.arange(c_old, dtype=np.int64)
+        fresh = np.flatnonzero(id_of_uid < 0)
+        id_of_uid[fresh] = c_old + np.arange(fresh.size, dtype=np.int64)
+        block.code_of_slot[slots] = id_of_uid[inverse[c_old:]]
+        if fresh.size:
+            block.combos = np.concatenate([block.combos, uniq[fresh]], axis=0)
+            block.n_combos = c_old + fresh.size
+        return int(fresh.size)
+
+    def _grow_block_joint(
+        self, block: _RestBlock, joint: np.ndarray, n_new: int, bandwidth: Bandwidth
+    ) -> np.ndarray:
+        """Extend a cached block joint with rows/columns for new block combos.
+
+        The matrix stays symmetric because every attribute distance matrix is.
+        """
+        if n_new == 0:
+            return joint
+        c_after = block.n_combos
+        c_old = c_after - n_new
+        grown = np.empty((c_after, c_after), dtype=np.float64)
+        grown[:c_old, :c_old] = joint
+        rows = np.ones((n_new, c_after), dtype=np.float64)
+        for offset, name in enumerate(block.names):
+            weights = self._bandwidth_weights(bandwidth, name)
+            column = block.combos[:c_after, offset]
+            rows *= weights[column[c_old:]][:, column]
+        grown[c_old:, :] = rows
+        grown[:c_old, c_old:] = rows[:, :c_old].T
+        return grown
+
+    # -- per-bandwidth contraction ----------------------------------------------------
+    def _block_joint(self, block: _RestBlock, bandwidth: Bandwidth) -> np.ndarray:
+        """The kernel-product joint weight matrix of one block's combinations."""
+        c = block.n_combos
+        joint: np.ndarray | None = None
+        for offset, name in enumerate(block.names):
+            weights = self._bandwidth_weights(bandwidth, name)
+            column = block.combos[:c, offset]
+            gathered = np.take(np.take(weights, column, axis=0), column, axis=1)
+            joint = gathered if joint is None else joint * gathered
+        if joint is None:  # pragma: no cover - blocks always hold >= 1 attribute
+            joint = np.ones((c, c), dtype=np.float64)
+        return joint
+
+    def _joint_rows(
+        self,
+        query_slots: np.ndarray,
+        block_joints: list[np.ndarray],
+        columns: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Joint weight rows ``J[query_slots, columns]``, chained over the blocks.
+
+        ``columns`` defaults to every active slot.  This is the only place the
+        full joint is ever materialised - callers tile ``query_slots`` so the
+        result stays within the cell budget.
+        """
+        rows: np.ndarray | None = None
+        for block, joint in zip(self._blocks, block_joints):
+            q = block.code_of_slot[query_slots]
+            d = (
+                block.code_of_slot[: self._n_combos]
+                if columns is None
+                else block.code_of_slot[columns]
+            )
+            # Gather the smaller axis first so the intermediate stays at
+            # min(|q|, |d|) x c_b cells - delta updates pass few columns but
+            # many query slots, the full contraction the other way around.
+            if len(q) <= len(d):
+                gathered = np.take(np.take(joint, q, axis=0), d, axis=1)
+            else:
+                gathered = np.take(np.take(joint, d, axis=1), q, axis=0)
+            rows = gathered if rows is None else rows * gathered
+        if rows is None:
+            n_columns = self._n_combos if columns is None else len(columns)
+            rows = np.ones((len(query_slots), n_columns), dtype=np.float64)
+        return rows
+
+    def _contract_queries(
+        self,
+        numerators: np.ndarray,
+        selection: np.ndarray,
+        block_joints: list[np.ndarray],
+        contracted: np.ndarray,
+        columns: np.ndarray | None = None,
+        accumulate: bool = False,
+    ) -> None:
+        """Numerators for the selected query positions (grouped by solo code, tiled).
+
+        ``columns`` restricts the contraction to a subset of rest slots (with
+        ``contracted`` holding just those columns) and ``accumulate`` adds to
+        the existing numerators instead of overwriting - together they serve
+        the incremental delta updates of :meth:`_update_cache`.
+        """
+        if selection.size == 0:
+            return
+        tile = self._tile_rows(self._n_combos if columns is None else len(columns))
+        selected_solo = self._query_solo[selection]
+        boundaries = np.flatnonzero(np.diff(selected_solo)) + 1
+        for run in np.split(selection, boundaries):
+            a = int(self._query_solo[run[0]])
+            for start in range(0, run.size, tile):
+                chunk = run[start : start + tile]
+                rows = self._joint_rows(self._query_rest[chunk], block_joints, columns)
+                if accumulate:
+                    numerators[chunk] += rows @ contracted[a]
+                else:
+                    numerators[chunk] = rows @ contracted[a]
+
+    def _update_cache(
+        self,
+        cache: dict,
+        delta_counts: np.ndarray,
+        rest_touched: np.ndarray,
+        cell_solo: np.ndarray,
+        cell_rest: np.ndarray,
+        previous_pairs: np.ndarray,
+    ) -> None:
+        """Fold an append batch into one bandwidth's cached contraction.
+
+        ``delta_counts`` holds the batch's counts over the touched rest slots
+        (``(solo, len(rest_touched), m)``).  Only queries with a positive
+        kernel weight towards some appended row can change: the kernels are
+        non-negative with compact support, so a query whose solo weight or
+        chained rest weight is zero for every touched cell keeps a
+        bitwise-identical numerator.
+        """
+        qi_names = list(self._table.quasi_identifier_names)
+        n_combos = self._n_combos
+        solo_weights = self._bandwidth_weights(cache["bandwidth"], qi_names[self._solo_index])
+        contracted = cache["contracted_storage"][:, :n_combos, :]
+        block_joints = cache["block_joints"]
+        m = contracted.shape[2]
+        contracted_delta = (
+            solo_weights @ delta_counts.reshape(delta_counts.shape[0], -1)
+        ).reshape(solo_weights.shape[0], rest_touched.size, m)
+        contracted[:, rest_touched, :] += contracted_delta
+
+        # Realign the cached numerators with the (possibly grown) query set.
+        numerators = np.zeros((self._pair_keys.size, m), dtype=np.float64)
+        kept = np.searchsorted(self._pair_keys, previous_pairs)
+        numerators[kept] = cache["numerators"]
+        fresh = np.ones(self._pair_keys.size, dtype=bool)
+        fresh[kept] = False
+
+        # A query (a, r) is affected iff some touched cell (a0, r0) has
+        # positive solo weight a->a0 *and* positive chained rest weight
+        # r->r0; count the witnessing cells with small matmuls (tiled over
+        # rest slots so the transient weight rows respect the cell budget)
+        # instead of materialising the (queries x cells) mask.
+        solo_positive = (solo_weights[:, cell_solo] > 0.0).astype(np.float32)
+        witnesses = np.empty((solo_weights.shape[0], n_combos), dtype=np.float32)
+        tile = self._tile_rows(max(1, cell_rest.size))
+        for start in range(0, n_combos, tile):
+            stop = min(start + tile, n_combos)
+            slots = np.arange(start, stop, dtype=np.int64)
+            cell_weights = self._joint_rows(slots, block_joints, columns=cell_rest)
+            witnesses[:, start:stop] = solo_positive @ (
+                cell_weights > 0.0
+            ).astype(np.float32).T
+        affected = witnesses[self._query_solo, self._query_rest] > 0.0
+        # Existing affected queries take the *delta* contraction (touched
+        # columns only); brand-new queries need the full contraction.  Both
+        # sides are sums of non-negative kernel terms, so an exactly-zero
+        # numerator can neither appear nor vanish spuriously.
+        self._contract_queries(
+            numerators,
+            np.flatnonzero(affected & ~fresh),
+            block_joints,
+            contracted_delta,
+            columns=rest_touched,
+            accumulate=True,
+        )
+        self._contract_queries(numerators, np.flatnonzero(fresh), block_joints, contracted)
+        cache["numerators"] = numerators
+
+    def _factored_matrix(self, bandwidth: Bandwidth) -> np.ndarray:
+        """The per-row prior matrix of the fitted table under one bandwidth."""
+        table = self._table
+        qi_names = list(table.quasi_identifier_names)
+        m = table.sensitive_domain().size
+        cache = self._contractions.get(bandwidth.items()) if self.incremental else None
+        if cache is not None:
+            numerators = cache["numerators"]
+        else:
+            solo_name = qi_names[self._solo_index]
+            solo_weights = self._bandwidth_weights(bandwidth, solo_name)
+            block_joints = [self._block_joint(block, bandwidth) for block in self._blocks]
+
+            n_combos = self._n_combos
+            solo_size = solo_weights.shape[0]
+            # Padding slots (growth headroom) only exist in incremental mode,
+            # where they must be zero; one-shot estimations get exact-size,
+            # uninitialised buffers.
+            allocate = np.zeros if self.incremental else np.empty
+            contracted_storage = allocate(self._count_storage.shape, dtype=np.float64)
+            contracted = contracted_storage[:, :n_combos, :]
+            contracted[:] = (
+                solo_weights @ self._count_tensor.reshape(solo_size, -1)
+            ).reshape(solo_size, n_combos, m)
+
+            numerators = np.empty((self._pair_keys.size, m), dtype=np.float64)
+            self._contract_queries(
+                numerators,
+                np.arange(self._pair_keys.size, dtype=np.int64),
+                block_joints,
+                contracted,
+            )
+            if self.incremental:
+                self._contractions[bandwidth.items()] = {
+                    "bandwidth": bandwidth,
+                    "block_joints": block_joints,
+                    "contracted_storage": contracted_storage,
+                    "numerators": numerators,
+                }
+        return self._normalise(numerators)[self._query_inverse]
+
+    def _normalise(self, numerators: np.ndarray) -> np.ndarray:
+        """Row-normalise numerators; degenerate rows fall back to the overall."""
+        denominators = numerators.sum(axis=1)
+        degenerate = denominators <= 0.0
+        result = numerators / np.where(degenerate, 1.0, denominators)[:, None]
+        if degenerate.any():
+            result[degenerate] = self._overall
+        return result
+
+    # -- flat reference ---------------------------------------------------------------
+    def _flat_matrix_for_codes(
+        self, query_codes: np.ndarray, bandwidth: Bandwidth
+    ) -> np.ndarray:
+        """The reference O(n^2 d) Nadaraya-Watson sweep over raw query codes."""
+        table = self._table
+        qi_names = list(table.quasi_identifier_names)
+        weight_matrices = [self._bandwidth_weights(bandwidth, name) for name in qi_names]
+        m = table.sensitive_domain().size
+        data_codes = self._qi_codes
+        n_queries = query_codes.shape[0]
+        batch_size = self.config.batch_size
+        result = np.empty((n_queries, m), dtype=np.float64)
+        for start in range(0, n_queries, batch_size):
+            stop = min(start + batch_size, n_queries)
+            batch = query_codes[start:stop]
+            weights = np.ones((stop - start, data_codes.shape[0]), dtype=np.float64)
+            for attribute_index, weight_matrix in enumerate(weight_matrices):
+                weights *= weight_matrix[batch[:, attribute_index]][:, data_codes[:, attribute_index]]
+            numerators = weights @ self._one_hot
+            denominators = weights.sum(axis=1)
+            degenerate = denominators <= 0.0
+            safe = np.where(degenerate, 1.0, denominators)
+            chunk = numerators / safe[:, None]
+            if degenerate.any():
+                chunk[degenerate] = self._overall
+            result[start:stop] = chunk
+        return result
+
+    # -- estimation -------------------------------------------------------------------
+    def matrices(self, bandwidths: Sequence[float | Bandwidth]) -> list[np.ndarray]:
+        """Per-row prior matrices of the fitted table, one per bandwidth.
+
+        Identical bandwidths (common in skyline grids) are computed once and
+        share the returned array object.
+        """
+        self._require_fitted()
+        resolved = [self.resolve_bandwidth(b) for b in bandwidths]
+        computed: dict[tuple[tuple[str, float], ...], np.ndarray] = {}
+        results: list[np.ndarray] = []
+        for bandwidth in resolved:
+            key = bandwidth.items()
+            matrix = computed.get(key)
+            if matrix is None:
+                if self.mode == "factored":
+                    matrix = self._factored_matrix(bandwidth)
+                else:
+                    matrix = self._flat_matrix_for_codes(self._flat_unique, bandwidth)[
+                        self._flat_inverse
+                    ]
+                computed[key] = matrix
+            results.append(matrix)
+        return results
+
+    def matrix_for_codes(
+        self, query_codes: np.ndarray, b: float | Bandwidth
+    ) -> np.ndarray:
+        """Prior distributions for query rows given as QI *code* combinations.
+
+        ``query_codes`` is a ``(q, d)`` integer matrix in the fitted table's
+        code space; the queries need not occur in the table (the factored
+        path computes rectangular query-vs-data block weights on the fly).
+        """
+        table = self._require_fitted()
+        bandwidth = self.resolve_bandwidth(b)
+        query_codes = np.atleast_2d(np.asarray(query_codes, dtype=np.int64))
+        n_attributes = query_codes.shape[1]
+        if n_attributes != len(table.quasi_identifier_names):
+            raise KnowledgeError(
+                f"query has {n_attributes} attributes but the estimator was fitted on "
+                f"{len(table.quasi_identifier_names)}"
+            )
+        unique_codes, inverse = np.unique(query_codes, axis=0, return_inverse=True)
+        if self.mode == "flat":
+            return self._flat_matrix_for_codes(unique_codes, bandwidth)[inverse]
+
+        qi_names = list(table.quasi_identifier_names)
+        m = table.sensitive_domain().size
+        n_combos = self._n_combos
+        solo_weights = self._bandwidth_weights(bandwidth, qi_names[self._solo_index])
+        solo_size = solo_weights.shape[0]
+        contracted = (
+            solo_weights @ self._count_tensor.reshape(solo_size, -1)
+        ).reshape(solo_size, n_combos, m)
+        attribute_weights = {
+            name: self._bandwidth_weights(bandwidth, name)
+            for block in self._blocks
+            for name in block.names
+        }
+
+        def joint_rows_for(chunk: np.ndarray) -> np.ndarray:
+            # Rectangular query-vs-data block weights, one tile at a time
+            # (query combos may be unseen, so this cannot gather from the
+            # square block joints); the (tile x n_combos) expansion respects
+            # the same cell budget as the table-query path.
+            rows: np.ndarray | None = None
+            for block in self._blocks:
+                weights = np.ones((chunk.size, block.n_combos), dtype=np.float64)
+                for position, (rest_column, name) in enumerate(
+                    zip(block.positions, block.names)
+                ):
+                    attribute = self._rest_indices[rest_column]
+                    column = block.combos[: block.n_combos, position]
+                    weights *= np.take(
+                        np.take(attribute_weights[name], unique_codes[chunk, attribute], axis=0),
+                        column,
+                        axis=1,
+                    )
+                gathered = np.take(weights, block.code_of_slot[:n_combos], axis=1)
+                rows = gathered if rows is None else rows * gathered
+            if rows is None:
+                rows = np.ones((chunk.size, n_combos), dtype=np.float64)
+            return rows
+
+        numerators = np.empty((unique_codes.shape[0], m), dtype=np.float64)
+        query_solo = unique_codes[:, self._solo_index]
+        order = np.argsort(query_solo, kind="stable")
+        boundaries = np.flatnonzero(np.diff(query_solo[order])) + 1
+        tile = self._tile_rows(n_combos)
+        for run in np.split(order, boundaries):
+            a = int(query_solo[run[0]])
+            for start in range(0, run.size, tile):
+                chunk = run[start : start + tile]
+                numerators[chunk] = joint_rows_for(chunk) @ contracted[a]
+        return self._normalise(numerators)[inverse]

@@ -13,10 +13,21 @@ Nadaraya-Watson kernel regression:
 where ``P(t_j)`` is the one-hot distribution of tuple ``t_j``'s sensitive
 value and ``d_i`` is the normalised attribute distance of Section II-C.
 
-:class:`KernelPriorEstimator` implements this estimator.  Distances are
-precomputed per attribute as ``|D_i| x |D_i|`` matrices, so evaluating the
-prior for every tuple of an ``n``-row table costs ``O(n^2 d)`` arithmetic but
-is fully vectorised (batched numpy), which keeps 10K-30K row tables practical.
+All estimation is served by one shared engine - the factored count-tensor
+contraction backend of :mod:`repro.knowledge.backend` - which deduplicates
+quasi-identifier combinations, factors the kernel product into a solo
+attribute times (hierarchically blocked) rest combinations, and supports
+additive append-only updates.  The classes here are thin views over it:
+
+* :class:`KernelPriorEstimator` - one bandwidth (the ``Adv(B)`` adversary of
+  a single (B,t) requirement or attack);
+* :class:`BatchedKernelPriorEstimator` - many bandwidths in one pass (the
+  skyline's estimator), with optional incremental ``append_rows`` deltas for
+  streaming publishers.
+
+Both produce priors numerically identical (to floating-point round-off) to
+the flat ``O(n^2 d)`` reference sweep, which survives only as a small-size
+equivalence reference behind ``max_cells=0``.
 
 Three baseline adversaries from Section II-D are also provided:
 
@@ -35,13 +46,17 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
 from repro.exceptions import KnowledgeError
+from repro.knowledge.backend import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_MAX_CELLS,
+    EstimatorConfig,
+    FactoredPriorBackend,
+)
 from repro.knowledge.bandwidth import Bandwidth
-from repro.knowledge.kernels import get_kernel
 
-_DEFAULT_BATCH_SIZE = 256
+_DEFAULT_BATCH_SIZE = DEFAULT_BATCH_SIZE
 
 
 @dataclass(frozen=True)
@@ -94,7 +109,13 @@ class PriorBeliefs:
 
 
 class KernelPriorEstimator:
-    """Nadaraya-Watson product-kernel estimator of the prior belief function.
+    """Nadaraya-Watson product-kernel estimator for one bandwidth.
+
+    A thin single-bandwidth view over the shared
+    :class:`~repro.knowledge.backend.FactoredPriorBackend`: fitting builds
+    the factored count-tensor state once, estimation contracts it for this
+    estimator's bandwidth.  Results are numerically interchangeable with the
+    flat reference sweep (``max_cells=0``).
 
     Parameters
     ----------
@@ -105,15 +126,13 @@ class KernelPriorEstimator:
         Name of the kernel function (default ``"epanechnikov"``, as in the
         paper).
     batch_size:
-        Number of query rows evaluated per vectorised batch.  Purely a
-        speed/memory trade-off; results do not depend on it.
+        Query rows per vectorised batch of the flat reference sweep.
     distance_matrices:
         Optional mapping from attribute name to its precomputed ``|D_i| x
-        |D_i|`` normalised distance matrix.  The matrices depend only on the
-        attribute domains - not on the bandwidth - so callers fitting several
-        estimators on one table (e.g. a session sweeping over ``b`` values)
-        can compute them once and share them; attributes missing from the
-        mapping are computed as usual.
+        |D_i|`` normalised distance matrix, shared between estimators.
+    max_cells:
+        Cell budget of the backend's blocked contraction (``0`` selects the
+        flat reference sweep).
     """
 
     def __init__(
@@ -123,51 +142,32 @@ class KernelPriorEstimator:
         kernel: str = "epanechnikov",
         batch_size: int = _DEFAULT_BATCH_SIZE,
         distance_matrices: dict[str, np.ndarray] | None = None,
+        max_cells: int = DEFAULT_MAX_CELLS,
     ):
-        if batch_size <= 0:
-            raise KnowledgeError("batch_size must be positive")
         self.bandwidth = bandwidth
         self.kernel_name = kernel
-        self._kernel = get_kernel(kernel)
         self.batch_size = int(batch_size)
-        self._distance_matrices = dict(distance_matrices) if distance_matrices else {}
-        self._table: MicrodataTable | None = None
-        self._weight_matrices: list[np.ndarray] = []
-        self._qi_codes: np.ndarray | None = None
-        self._sensitive_codes: np.ndarray | None = None
-        self._one_hot: np.ndarray | None = None
-        self._overall: np.ndarray | None = None
+        self.max_cells = int(max_cells)
+        self._backend = FactoredPriorBackend(
+            EstimatorConfig(kernel=kernel, max_cells=self.max_cells, batch_size=self.batch_size),
+            distance_matrices=distance_matrices,
+        )
+
+    @property
+    def backend(self) -> FactoredPriorBackend:
+        """The shared contraction backend this view delegates to."""
+        return self._backend
 
     # -- fitting --------------------------------------------------------------------
     def fit(self, table: MicrodataTable) -> "KernelPriorEstimator":
-        """Precompute per-attribute kernel weight matrices for ``table``."""
-        qi_names = table.quasi_identifier_names
-        missing = [name for name in qi_names if name not in self.bandwidth]
+        """Build the backend's factored state for ``table``."""
+        missing = [name for name in table.quasi_identifier_names if name not in self.bandwidth]
         if missing:
             raise KnowledgeError(
                 f"bandwidth does not cover quasi-identifier attributes {missing}"
             )
-        self._table = table
-        self._weight_matrices = []
-        for name in qi_names:
-            distances = self._distance_matrices.get(name)
-            if distances is None:
-                distances = attribute_distance_matrix(table.domain(name))
-            weights = self._kernel(distances, self.bandwidth[name])
-            self._weight_matrices.append(np.asarray(weights, dtype=np.float64))
-        self._qi_codes = table.qi_code_matrix()
-        self._sensitive_codes = table.sensitive_codes()
-        m = table.sensitive_domain().size
-        one_hot = np.zeros((table.n_rows, m), dtype=np.float64)
-        one_hot[np.arange(table.n_rows), self._sensitive_codes] = 1.0
-        self._one_hot = one_hot
-        self._overall = table.sensitive_distribution()
+        self._backend.fit(table)
         return self
-
-    def _require_fitted(self) -> MicrodataTable:
-        if self._table is None:
-            raise KnowledgeError("estimator is not fitted; call fit(table) first")
-        return self._table
 
     # -- estimation -----------------------------------------------------------------
     def prior_for_codes(self, query_codes: np.ndarray) -> np.ndarray:
@@ -187,50 +187,24 @@ class KernelPriorEstimator:
             far away from any data) fall back to the overall sensitive
             distribution, which is the least-informative consistent belief.
         """
-        table = self._require_fitted()
-        query_codes = np.atleast_2d(np.asarray(query_codes, dtype=np.int64))
-        n_queries, n_attributes = query_codes.shape
-        if n_attributes != len(self._weight_matrices):
-            raise KnowledgeError(
-                f"query has {n_attributes} attributes but the estimator was fitted on "
-                f"{len(self._weight_matrices)}"
-            )
-        m = table.sensitive_domain().size
-        data_codes = self._qi_codes
-        result = np.empty((n_queries, m), dtype=np.float64)
-        for start in range(0, n_queries, self.batch_size):
-            stop = min(start + self.batch_size, n_queries)
-            batch = query_codes[start:stop]
-            weights = np.ones((stop - start, data_codes.shape[0]), dtype=np.float64)
-            for attribute_index, weight_matrix in enumerate(self._weight_matrices):
-                weights *= weight_matrix[batch[:, attribute_index]][:, data_codes[:, attribute_index]]
-            numerators = weights @ self._one_hot
-            denominators = weights.sum(axis=1)
-            degenerate = denominators <= 0.0
-            safe = np.where(degenerate, 1.0, denominators)
-            block = numerators / safe[:, None]
-            if degenerate.any():
-                block[degenerate] = self._overall
-            result[start:stop] = block
-        return result
+        return self._backend.matrix_for_codes(query_codes, self.bandwidth)
 
     def prior_for_table(self, table: MicrodataTable | None = None) -> PriorBeliefs:
         """Prior beliefs for every tuple of ``table`` (default: the fitted table)."""
-        fitted = self._require_fitted()
-        target = table if table is not None else fitted
-        if target is not fitted:
+        fitted = self._backend.table
+        if fitted is None:
+            raise KnowledgeError("estimator is not fitted; call fit(table) first")
+        if table is None or table is fitted:
+            matrix = self._backend.matrices([self.bandwidth])[0]
+        else:
             # Re-encode the target's QI values against the fitted table's domains.
             codes = np.column_stack(
                 [
-                    fitted.domain(name).encode(target.column(name).tolist())
+                    fitted.domain(name).encode(table.column(name).tolist())
                     for name in fitted.quasi_identifier_names
                 ]
             )
-        else:
-            codes = self._qi_codes
-        unique_codes, inverse = np.unique(codes, axis=0, return_inverse=True)
-        unique_priors = self.prior_for_codes(unique_codes)
-        matrix = unique_priors[inverse]
+            matrix = self._backend.matrix_for_codes(codes, self.bandwidth)
         return PriorBeliefs(
             matrix=matrix,
             sensitive_values=tuple(fitted.sensitive_domain().values.tolist()),
@@ -242,53 +216,38 @@ class BatchedKernelPriorEstimator:
     """Kernel priors for *many* bandwidths in one pass (the skyline's estimator).
 
     Auditing a release against a skyline ``{(B_1, t_1), ..., (B_p, t_p)}``
-    needs one prior belief function per adversary.  Fitting a separate
-    :class:`KernelPriorEstimator` per bandwidth repeats the ``O(n^2 d)`` weight
-    products ``p`` times, even though everything except the kernel evaluation
-    is bandwidth-independent.  This estimator batches the bandwidth axis:
-
-    * **shared work** (done once in :meth:`fit`): attribute distance matrices,
-      the de-duplication of QI combinations, and - on schemas where one block
-      of attributes has a small observed joint domain - a count tensor
-      ``M[a, r, s]`` = number of tuples with solo-attribute code ``a``, joint
-      rest-combination ``r`` and sensitive value ``s``;
-    * **per-bandwidth work**: tiny per-attribute kernel matrices plus two
-      small matrix products contracting ``M`` (first over the solo attribute,
-      then - batched per solo value - over the rest combinations).
-
-    The factored contraction is algebraically identical to the flat
-    Nadaraya-Watson sum, so results match :class:`KernelPriorEstimator` to
-    floating-point round-off.  When the factorisation would not pay off (a
-    single quasi-identifier, or too many observed joint combinations for the
-    ``max_cells`` budget) it falls back to one flat estimator per bandwidth
-    that still shares the distance matrices.
+    needs one prior belief function per adversary.  This view shares one
+    :class:`~repro.knowledge.backend.FactoredPriorBackend` fit across every
+    bandwidth: distance matrices, QI deduplication and the count tensor are
+    computed once, each bandwidth only pays its tiny kernel matrices and the
+    chained contraction.  Results match the flat reference to floating-point
+    round-off.
 
     Append-only streams can grow a fitted estimator with :meth:`append_rows`:
     the count tensor is additive in rows, so the priors of the extended table
     are produced by folding the appended rows' counts into the factored state
     instead of re-sweeping all ``n`` rows.  With ``incremental=True`` the
-    per-bandwidth contraction artefacts (rest-combination joint weights, the
-    contracted tensor and the per-query numerators) are cached between calls
-    and only the queries whose kernel neighbourhood contains an appended row
-    are recontracted - the compact support of the paper's kernels makes every
-    other query's prior provably unchanged.
+    per-bandwidth contraction artefacts (block joints, the solo-contracted
+    tensor and the per-query numerators) are cached between calls and only
+    the queries whose compact-support kernel neighbourhood contains an
+    appended row are recontracted.
 
     Parameters
     ----------
     kernel:
         Kernel function name (default ``"epanechnikov"``, as in the paper).
     batch_size:
-        Query rows per vectorised batch for the flat fallback path.
+        Query rows per vectorised batch of the flat reference sweep.
     distance_matrices:
         Optional precomputed per-attribute distance matrices to share.
     max_cells:
-        Memory budget (in float64 cells) for the factored path's count tensor
-        and joint weight matrix; above it the estimator falls back to the flat
-        path.  Purely a speed/memory trade-off.
+        Cell budget for the backend's blocked contraction (``0`` selects the
+        flat reference sweep); see
+        :class:`~repro.knowledge.backend.FactoredPriorBackend`.
     incremental:
         Cache the per-bandwidth contraction state so :meth:`append_rows`
-        updates it in place (costs memory proportional to the joint weight
-        matrix per distinct bandwidth; off by default).
+        updates it in place (costs memory proportional to the contracted
+        tensor per distinct bandwidth; off by default).
     """
 
     def __init__(
@@ -297,420 +256,50 @@ class BatchedKernelPriorEstimator:
         kernel: str = "epanechnikov",
         batch_size: int = _DEFAULT_BATCH_SIZE,
         distance_matrices: dict[str, np.ndarray] | None = None,
-        max_cells: int = 64_000_000,
+        max_cells: int = DEFAULT_MAX_CELLS,
         incremental: bool = False,
     ):
-        if batch_size <= 0:
-            raise KnowledgeError("batch_size must be positive")
-        if max_cells < 0:
-            raise KnowledgeError("max_cells must be non-negative")
         self.kernel_name = kernel
-        self._kernel = get_kernel(kernel)
         self.batch_size = int(batch_size)
         self.max_cells = int(max_cells)
         self.incremental = bool(incremental)
-        self._distance_matrices = dict(distance_matrices) if distance_matrices else {}
-        self._table: MicrodataTable | None = None
-        self.mode: str | None = None
-        # Factored-path state (see fit()).  Rest combinations live in *slot*
-        # order: slots 0..n-1 are assigned in lexicographic order at fit time
-        # and appended combinations take the next free slots, so growing the
-        # state never reshuffles the (large) per-combination arrays.
-        self._solo_index: int = 0
-        self._rest_indices: list[int] = []
-        self._rest_radix: np.ndarray | None = None
-        self._rest_total: int = 0
-        self._n_combos: int = 0
-        self._rest_combos: np.ndarray | None = None  # (capacity, d-1), slot order
-        self._sorted_keys: np.ndarray | None = None  # sorted rest keys
-        self._slot_of_sorted: np.ndarray | None = None  # slot of each sorted key
-        self._count_storage: np.ndarray | None = None  # (solo, capacity, m)
-        self._solo_of_row: np.ndarray | None = None
-        self._rest_key_of_row: np.ndarray | None = None
-        self._pair_keys: np.ndarray | None = None
-        self._query_solo: np.ndarray | None = None
-        self._query_rest: np.ndarray | None = None  # slot ids
-        self._query_inverse: np.ndarray | None = None
-        self._solo_bounds: np.ndarray | None = None
-        self._overall: np.ndarray | None = None
-        # Per-bandwidth contraction caches (incremental mode only), keyed by
-        # Bandwidth.items(): {"bandwidth", "joint", "contracted", "numerators"}
-        # with joint/contracted allocated at the shared combo capacity.
-        self._contractions: dict[tuple, dict] = {}
+        self._backend = FactoredPriorBackend(
+            EstimatorConfig(kernel=kernel, max_cells=self.max_cells, batch_size=self.batch_size),
+            distance_matrices=distance_matrices,
+            incremental=incremental,
+        )
 
     @property
-    def _count_tensor(self) -> np.ndarray:
-        """Active ``(solo, n_combos, m)`` view of the count storage."""
-        return self._count_storage[:, : self._n_combos, :]
+    def backend(self) -> FactoredPriorBackend:
+        """The shared contraction backend this view delegates to."""
+        return self._backend
 
-    def _capacity(self, n_combos: int) -> int:
-        """Combo capacity: headroom so appends rarely reallocate (incremental only)."""
-        if not self.incremental:
-            return n_combos
-        return n_combos + max(128, n_combos // 4)
+    @property
+    def mode(self) -> str | None:
+        """``"factored"`` or ``"flat"`` (``None`` before :meth:`fit`)."""
+        return self._backend.mode
+
+    @property
+    def blocks(self) -> tuple[tuple[str, ...], ...]:
+        """Attribute names of each rest block of the blocked contraction."""
+        return self._backend.blocks
 
     # -- fitting --------------------------------------------------------------------
     def fit(self, table: MicrodataTable) -> "BatchedKernelPriorEstimator":
         """Precompute every bandwidth-independent artefact for ``table``."""
-        qi_names = list(table.quasi_identifier_names)
-        for name in qi_names:
-            cached = self._distance_matrices.get(name)
-            if cached is None or cached.shape[0] != table.domain(name).size:
-                # Also replaces matrices cached against an outgrown domain
-                # (refitting after a stream append introduced new values).
-                self._distance_matrices[name] = attribute_distance_matrix(table.domain(name))
-        self._table = table
-        self._overall = table.sensitive_distribution()
-        self._contractions = {}
-        codes = table.qi_code_matrix()
-        sensitive = table.sensitive_codes()
-        m = table.sensitive_domain().size
-
-        sizes = [self._distance_matrices[name].shape[0] for name in qi_names]
-        if len(qi_names) < 2:
-            self.mode = "flat"
-            return self
-        solo = int(np.argmax(sizes))
-        rest = [i for i in range(len(qi_names)) if i != solo]
-        rest_combos, rest_of_row = np.unique(codes[:, rest], axis=0, return_inverse=True)
-        n_combos = rest_combos.shape[0]
-        solo_size = sizes[solo]
-        if solo_size * n_combos * m + n_combos * n_combos > self.max_cells:
-            self.mode = "flat"
-            return self
-        # Mixed-radix keys over the *domain* sizes identify rest combinations
-        # and (solo, rest) pairs stably across appends; their sorted order is
-        # the lexicographic code order np.unique(axis=0) produces.  Schemas too
-        # wide for an int64 key cannot be grown in place (they refit instead).
-        rest_sizes = np.asarray([sizes[i] for i in rest], dtype=np.float64)
-        if rest_sizes.prod() * solo_size >= float(2**62):
-            self.mode = "flat"
-            return self
-        self.mode = "factored"
-        self._solo_index = solo
-        self._rest_indices = rest
-        radix = np.ones(len(rest), dtype=np.int64)
-        for position in range(len(rest) - 2, -1, -1):
-            radix[position] = radix[position + 1] * int(sizes[rest[position + 1]])
-        self._rest_radix = radix
-        self._rest_total = int(radix[0] * sizes[rest[0]])
-        self._n_combos = n_combos
-        capacity = self._capacity(n_combos)
-        self._rest_combos = np.zeros((capacity, len(rest)), dtype=rest_combos.dtype)
-        self._rest_combos[:n_combos] = rest_combos
-        self._sorted_keys = rest_combos.astype(np.int64) @ radix
-        self._slot_of_sorted = np.arange(n_combos, dtype=np.int64)
-        self._solo_of_row = codes[:, solo].astype(np.int64)
-        self._rest_key_of_row = self._sorted_keys[rest_of_row]
-
-        # M[a, r, s]: tuple counts per (solo code, rest combination, sensitive value).
-        flat = (self._solo_of_row * n_combos + rest_of_row) * m + sensitive
-        self._count_storage = np.zeros((solo_size, capacity, m), dtype=np.float64)
-        self._count_storage[:, :n_combos, :] = (
-            np.bincount(flat, minlength=solo_size * n_combos * m)
-            .reshape(solo_size, n_combos, m)
-            .astype(np.float64)
-        )
-        self._rebuild_query_index()
+        self._backend.fit(table)
         return self
-
-    def _rebuild_query_index(self) -> None:
-        """Derive the unique (solo, rest) query structures from the per-row keys.
-
-        Pair keys ascend with (solo code, rest key), so the unique array is
-        already grouped by solo code - exactly the layout the per-bandwidth
-        contraction wants for its per-solo matmuls.
-        """
-        solo_size = self._count_storage.shape[0]
-        pair_key = self._solo_of_row * self._rest_total + self._rest_key_of_row
-        self._pair_keys, self._query_inverse = np.unique(pair_key, return_inverse=True)
-        self._query_solo = self._pair_keys // self._rest_total
-        self._query_rest = self._slot_of_sorted[
-            np.searchsorted(self._sorted_keys, self._pair_keys % self._rest_total)
-        ]
-        self._solo_bounds = np.searchsorted(self._query_solo, np.arange(solo_size + 1))
-
-    def _same_domains(self, table: MicrodataTable) -> bool:
-        fitted = self._table
-        if tuple(table.quasi_identifier_names) != tuple(fitted.quasi_identifier_names):
-            return False
-        names = list(table.quasi_identifier_names) + [table.sensitive_name]
-        return all(
-            np.array_equal(table.domain(name).values, fitted.domain(name).values)
-            for name in names
-        )
 
     def append_rows(self, table: MicrodataTable) -> str:
         """Grow the fitted state to ``table`` (the previous table plus appended rows).
 
-        ``table`` must extend the fitted table: its first ``n`` rows are the
-        fitted rows and every attribute keeps its domain (append-only streams
-        with stable domains).  The appended rows' counts are folded into the
-        count tensor - and, in ``incremental`` mode, into every cached
-        per-bandwidth contraction - so the next :meth:`prior_for_table` only
-        recontracts queries whose kernel neighbourhood actually changed.
-
         Returns ``"incremental"`` when the factored state was updated in
-        place, or ``"refit"`` when the estimator had to fall back to a full
-        :meth:`fit` (flat mode, changed domains, or a blown cell budget).
+        place, or ``"refit"`` when the backend fell back to a full
+        :meth:`fit` (flat reference mode, or changed domains).
         """
-        fitted = self._require_fitted()
-        n_previous = fitted.n_rows
-        if table.n_rows < n_previous:
-            raise KnowledgeError(
-                f"append_rows expects a grown table; got {table.n_rows} rows after {n_previous}"
-            )
-        if self.mode != "factored" or not self._same_domains(table):
-            self.fit(table)
-            return "refit"
-        if table.n_rows == n_previous:
-            self._table = table
-            return "incremental"
-
-        m = table.sensitive_domain().size
-        codes_new = table.qi_code_matrix()[n_previous:]
-        sensitive_new = table.sensitive_codes()[n_previous:]
-        delta_solo = codes_new[:, self._solo_index].astype(np.int64)
-        delta_rest_key = codes_new[:, self._rest_indices].astype(np.int64) @ self._rest_radix
-
-        # Assign fresh slots to rest combinations first seen in this batch.
-        new_keys = np.setdiff1d(delta_rest_key, self._sorted_keys)
-        if new_keys.size:
-            solo_size = self._count_storage.shape[0]
-            n_after = self._n_combos + new_keys.size
-            if solo_size * n_after * m + n_after * n_after > self.max_cells:
-                self.fit(table)
-                return "refit"
-            first_seen = np.searchsorted(np.sort(delta_rest_key), new_keys)
-            order = np.argsort(delta_rest_key, kind="stable")
-            new_combos = codes_new[order[first_seen]][:, self._rest_indices]
-            self._grow_combos(new_keys, new_combos)
-
-        delta_rest = self._slot_of_sorted[
-            np.searchsorted(self._sorted_keys, delta_rest_key)
-        ]
-        n_combos = self._n_combos
-        solo_size = self._count_storage.shape[0]
-        # Count the batch only over the touched rest slots - O(batch), not
-        # O(count tensor) - and scatter the block into the storage.
-        rest_touched = np.unique(delta_rest)
-        touched_position = np.searchsorted(rest_touched, delta_rest)
-        flat = (
-            delta_solo * rest_touched.size + touched_position
-        ) * m + sensitive_new.astype(np.int64)
-        block = (
-            np.bincount(flat, minlength=solo_size * rest_touched.size * m)
-            .reshape(solo_size, rest_touched.size, m)
-            .astype(np.float64)
-        )
-        self._count_storage[:, rest_touched, :] += block
-        cells = np.unique(delta_solo * n_combos + delta_rest)
-        cell_solo = cells // n_combos
-        cell_rest = cells % n_combos
-
-        self._table = table
-        self._overall = table.sensitive_distribution()
-        self._solo_of_row = np.concatenate([self._solo_of_row, delta_solo])
-        self._rest_key_of_row = np.concatenate([self._rest_key_of_row, delta_rest_key])
-        previous_pairs = self._pair_keys
-        self._rebuild_query_index()
-        for cache in self._contractions.values():
-            self._update_cache(
-                cache, block, rest_touched, cell_solo, cell_rest, previous_pairs
-            )
-        return "incremental"
-
-    def _bandwidth_weights(self, bandwidth: Bandwidth, name: str) -> np.ndarray:
-        return self._kernel(self._distance_matrices[name], bandwidth[name])
-
-    def _grow_combos(self, new_keys: np.ndarray, new_combos: np.ndarray) -> None:
-        """Assign slots to new rest combinations, reallocating storage if full."""
-        n_old = self._n_combos
-        n_after = n_old + new_keys.size
-        capacity = self._rest_combos.shape[0]
-        if n_after > capacity:
-            capacity = self._capacity(n_after)
-            combos = np.zeros((capacity, self._rest_combos.shape[1]), self._rest_combos.dtype)
-            combos[:n_old] = self._rest_combos[:n_old]
-            self._rest_combos = combos
-            storage = np.zeros(
-                (self._count_storage.shape[0], capacity, self._count_storage.shape[2])
-            )
-            storage[:, :n_old, :] = self._count_storage[:, :n_old, :]
-            self._count_storage = storage
-            for cache in self._contractions.values():
-                joint = np.zeros((capacity, capacity), dtype=np.float64)
-                joint[:n_old, :n_old] = cache["joint_storage"][:n_old, :n_old]
-                cache["joint_storage"] = joint
-                contracted = np.zeros_like(storage)
-                contracted[:, :n_old, :] = cache["contracted_storage"][:, :n_old, :]
-                cache["contracted_storage"] = contracted
-        slots = np.arange(n_old, n_after, dtype=np.int64)
-        self._rest_combos[slots] = new_combos
-        positions = np.searchsorted(self._sorted_keys, new_keys)
-        self._sorted_keys = np.insert(self._sorted_keys, positions, new_keys)
-        self._slot_of_sorted = np.insert(self._slot_of_sorted, positions, slots)
-        self._n_combos = n_after
-        qi_names = list(self._table.quasi_identifier_names)
-        for cache in self._contractions.values():
-            # New joint rows/columns; the matrix is symmetric because every
-            # attribute distance matrix is.
-            joint = cache["joint_storage"]
-            rows = np.ones((slots.size, n_after), dtype=np.float64)
-            for position, attribute_index in enumerate(self._rest_indices):
-                weights = self._bandwidth_weights(cache["bandwidth"], qi_names[attribute_index])
-                column = self._rest_combos[:n_after, position]
-                rows *= weights[column[slots]][:, column]
-            joint[slots, :n_after] = rows
-            joint[:n_after, slots] = rows.T
-            cache["contracted_storage"][:, slots, :] = 0.0
-
-    def _update_cache(
-        self,
-        cache: dict,
-        block: np.ndarray,
-        rest_touched: np.ndarray,
-        cell_solo: np.ndarray,
-        cell_rest: np.ndarray,
-        previous_pairs: np.ndarray,
-    ) -> None:
-        """Fold an append batch into one bandwidth's cached contraction.
-
-        ``block`` holds the batch's counts over the touched rest slots
-        (``(solo, len(rest_touched), m)``).  Only queries with a positive
-        kernel weight towards some appended row can change: the kernels are
-        non-negative with compact support, so a query whose solo weight or
-        joint rest weight is zero for every touched cell keeps a
-        bitwise-identical numerator.
-        """
-        qi_names = list(self._table.quasi_identifier_names)
-        n_combos = self._n_combos
-        solo_weights = self._bandwidth_weights(cache["bandwidth"], qi_names[self._solo_index])
-        contracted = cache["contracted_storage"][:, :n_combos, :]
-        joint = cache["joint_storage"][:n_combos, :n_combos]
-        m = contracted.shape[2]
-        contracted_delta = (
-            solo_weights @ block.reshape(block.shape[0], -1)
-        ).reshape(solo_weights.shape[0], rest_touched.size, m)
-        contracted[:, rest_touched, :] += contracted_delta
-
-        # Realign the cached numerators with the (possibly grown) query set.
-        numerators = np.zeros((self._pair_keys.size, m), dtype=np.float64)
-        kept = np.searchsorted(self._pair_keys, previous_pairs)
-        numerators[kept] = cache["numerators"]
-        fresh = np.ones(self._pair_keys.size, dtype=bool)
-        fresh[kept] = False
-
-        # A query (a, r) is affected iff some touched cell (a0, r0) has
-        # positive solo weight a->a0 *and* positive joint weight r->r0; count
-        # the witnessing cells with one small matmul instead of materialising
-        # the (queries x cells) mask.
-        witnesses = (solo_weights[:, cell_solo] > 0.0).astype(np.float32) @ (
-            joint[:, cell_rest] > 0.0
-        ).astype(np.float32).T
-        affected = witnesses[self._query_solo, self._query_rest] > 0.0
-        # Existing affected queries take the *delta* contraction (touched
-        # columns only); brand-new queries need the full contraction.  Both
-        # sides are sums of non-negative kernel terms, so an exactly-zero
-        # numerator can neither appear nor vanish spuriously.
-        update = np.flatnonzero(affected & ~fresh)
-        if update.size:
-            selected_solo = self._query_solo[update]
-            boundaries = np.flatnonzero(np.diff(selected_solo)) + 1
-            for run in np.split(update, boundaries):
-                a = int(self._query_solo[run[0]])
-                numerators[run] += (
-                    joint[self._query_rest[run]][:, rest_touched] @ contracted_delta[a]
-                )
-        self._contract_queries(numerators, np.flatnonzero(fresh), joint, contracted)
-        cache["numerators"] = numerators
-
-    def _contract_queries(
-        self,
-        numerators: np.ndarray,
-        selection: np.ndarray,
-        joint: np.ndarray,
-        contracted: np.ndarray,
-    ) -> None:
-        """Numerators for the selected query positions (grouped by solo code)."""
-        if selection.size == 0:
-            return
-        selected_solo = self._query_solo[selection]
-        boundaries = np.flatnonzero(np.diff(selected_solo)) + 1
-        for run in np.split(selection, boundaries):
-            a = int(self._query_solo[run[0]])
-            numerators[run] = joint[self._query_rest[run]] @ contracted[a]
-
-    def _require_fitted(self) -> MicrodataTable:
-        if self._table is None:
-            raise KnowledgeError("estimator is not fitted; call fit(table) first")
-        return self._table
-
-    def _bandwidth(self, b: float | Bandwidth) -> Bandwidth:
-        table = self._require_fitted()
-        if isinstance(b, Bandwidth):
-            missing = [name for name in table.quasi_identifier_names if name not in b]
-            if missing:
-                raise KnowledgeError(
-                    f"bandwidth does not cover quasi-identifier attributes {missing}"
-                )
-            return b
-        return Bandwidth.uniform(table.quasi_identifier_names, float(b))
+        return self._backend.append_rows(table)
 
     # -- estimation -----------------------------------------------------------------
-    def _factored_prior(self, bandwidth: Bandwidth) -> np.ndarray:
-        table = self._table
-        qi_names = list(table.quasi_identifier_names)
-        m = table.sensitive_domain().size
-        cache = self._contractions.get(bandwidth.items()) if self.incremental else None
-        if cache is not None:
-            numerators = cache["numerators"]
-        else:
-            solo_name = qi_names[self._solo_index]
-            solo_weights = self._kernel(self._distance_matrices[solo_name], bandwidth[solo_name])
-
-            n_combos = self._n_combos
-            capacity = self._rest_combos.shape[0]
-            # Padding slots (growth headroom) only exist in incremental mode,
-            # where they must be zero; one-shot estimations get exact-size,
-            # uninitialised buffers.
-            allocate = np.zeros if self.incremental else np.empty
-            joint_storage = allocate((capacity, capacity), dtype=np.float64)
-            joint = joint_storage[:n_combos, :n_combos]
-            joint[:] = 1.0
-            for position, attribute_index in enumerate(self._rest_indices):
-                name = qi_names[attribute_index]
-                weights = self._kernel(self._distance_matrices[name], bandwidth[name])
-                column = self._rest_combos[:n_combos, position]
-                joint *= weights[column][:, column]
-
-            # Contract the solo axis first (it is the largest single domain, yet
-            # |D_solo|^2 stays tiny next to n^2): K[a_q, r, s].
-            solo_size = solo_weights.shape[0]
-            contracted_storage = allocate(self._count_storage.shape, dtype=np.float64)
-            contracted = contracted_storage[:, :n_combos, :]
-            contracted[:] = (
-                solo_weights @ self._count_tensor.reshape(solo_size, -1)
-            ).reshape(solo_size, n_combos, m)
-
-            numerators = np.empty((self._pair_keys.size, m), dtype=np.float64)
-            self._contract_queries(
-                numerators, np.arange(self._pair_keys.size), joint, contracted
-            )
-            if self.incremental:
-                self._contractions[bandwidth.items()] = {
-                    "bandwidth": bandwidth,
-                    "joint_storage": joint_storage,
-                    "contracted_storage": contracted_storage,
-                    "numerators": numerators,
-                }
-        denominators = numerators.sum(axis=1)
-        degenerate = denominators <= 0.0
-        result = numerators / np.where(degenerate, 1.0, denominators)[:, None]
-        if degenerate.any():
-            result[degenerate] = self._overall
-        return result[self._query_inverse]
-
     def prior_for_table(
         self, bandwidths: Sequence[float | Bandwidth]
     ) -> list[PriorBeliefs]:
@@ -718,41 +307,24 @@ class BatchedKernelPriorEstimator:
 
         Returns one :class:`PriorBeliefs` per entry of ``bandwidths``, in
         order; numerically interchangeable with fitting a
-        :class:`KernelPriorEstimator` per bandwidth.
+        :class:`KernelPriorEstimator` per bandwidth.  Identical bandwidths
+        (common in ``|skyline| > 1`` grids) are computed once and share one
+        matrix object.
         """
-        table = self._require_fitted()
-        resolved = [self._bandwidth(b) for b in bandwidths]
+        table = self._backend.table
+        if table is None:
+            raise KnowledgeError("estimator is not fitted; call fit(table) first")
+        resolved = [self._backend.resolve_bandwidth(b) for b in bandwidths]
+        matrices = self._backend.matrices(resolved)
         sensitive_values = tuple(table.sensitive_domain().values.tolist())
-        results: list[PriorBeliefs] = []
-        # Identical bandwidths (common in |skyline| > 1 grids) are computed once.
-        computed: dict[tuple[tuple[str, float], ...], np.ndarray] = {}
-        for bandwidth in resolved:
-            key = bandwidth.items()
-            matrix = computed.get(key)
-            if matrix is None:
-                if self.mode == "factored":
-                    matrix = self._factored_prior(bandwidth)
-                else:
-                    matrix = (
-                        KernelPriorEstimator(
-                            bandwidth,
-                            kernel=self.kernel_name,
-                            batch_size=self.batch_size,
-                            distance_matrices=self._distance_matrices,
-                        )
-                        .fit(table)
-                        .prior_for_table()
-                        .matrix
-                    )
-                computed[key] = matrix
-            results.append(
-                PriorBeliefs(
-                    matrix=matrix,
-                    sensitive_values=sensitive_values,
-                    description=f"kernel={self.kernel_name}, {bandwidth.describe()}",
-                )
+        return [
+            PriorBeliefs(
+                matrix=matrix,
+                sensitive_values=sensitive_values,
+                description=f"kernel={self.kernel_name}, {bandwidth.describe()}",
             )
-        return results
+            for bandwidth, matrix in zip(resolved, matrices)
+        ]
 
 
 def batched_kernel_priors(
@@ -761,7 +333,7 @@ def batched_kernel_priors(
     *,
     kernel: str = "epanechnikov",
     distance_matrices: dict[str, np.ndarray] | None = None,
-    max_cells: int = 64_000_000,
+    max_cells: int = DEFAULT_MAX_CELLS,
 ) -> list[PriorBeliefs]:
     """One-call helper: priors for several adversaries sharing the kernel work."""
     estimator = BatchedKernelPriorEstimator(
@@ -777,19 +349,26 @@ def kernel_prior(
     kernel: str = "epanechnikov",
     batch_size: int = _DEFAULT_BATCH_SIZE,
     distance_matrices: dict[str, np.ndarray] | None = None,
+    max_cells: int = DEFAULT_MAX_CELLS,
 ) -> PriorBeliefs:
     """One-call helper: fit a kernel estimator on ``table`` and return its priors.
 
     ``b`` may be a scalar (applied uniformly to every QI attribute, the
     ``B' = (b', ..., b')`` adversary of Section V) or a full
-    :class:`~repro.knowledge.bandwidth.Bandwidth`.
+    :class:`~repro.knowledge.bandwidth.Bandwidth`.  Estimation runs through
+    the factored contraction backend; ``max_cells=0`` selects the flat
+    reference sweep.
     """
     if isinstance(b, Bandwidth):
         bandwidth = b
     else:
         bandwidth = Bandwidth.uniform(table.quasi_identifier_names, float(b))
     estimator = KernelPriorEstimator(
-        bandwidth, kernel=kernel, batch_size=batch_size, distance_matrices=distance_matrices
+        bandwidth,
+        kernel=kernel,
+        batch_size=batch_size,
+        distance_matrices=distance_matrices,
+        max_cells=max_cells,
     )
     return estimator.fit(table).prior_for_table()
 

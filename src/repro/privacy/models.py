@@ -27,8 +27,9 @@ from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
 from repro.exceptions import PrivacyModelError
 from repro.inference.omega import grouped_posterior
+from repro.knowledge.backend import DEFAULT_MAX_CELLS
 from repro.knowledge.bandwidth import Bandwidth
-from repro.knowledge.prior import KernelPriorEstimator, PriorBeliefs
+from repro.knowledge.prior import PriorBeliefs, kernel_prior
 from repro.privacy.measures import (
     DistanceMeasure,
     HierarchicalEMD,
@@ -285,6 +286,10 @@ class BTPrivacy(PrivacyModel):
         measure over the sensitive attribute's distance matrix.
     inference:
         ``"omega"`` or ``"exact"``.
+    max_cells:
+        Cell budget of the factored prior-estimation backend (see
+        :class:`~repro.knowledge.backend.FactoredPriorBackend`; ``0`` selects
+        the flat reference sweep).
     """
 
     name = "(B,t)-privacy"
@@ -298,6 +303,7 @@ class BTPrivacy(PrivacyModel):
         measure: DistanceMeasure | None = None,
         inference: str = "omega",
         smoothing_bandwidth: float = 0.5,
+        max_cells: int = DEFAULT_MAX_CELLS,
     ):
         if not 0.0 <= t <= 1.0:
             raise PrivacyModelError("t must lie in [0, 1]")
@@ -307,6 +313,7 @@ class BTPrivacy(PrivacyModel):
         self.t = float(t)
         self.kernel = kernel
         self.inference = inference
+        self.max_cells = int(max_cells)
         self.smoothing_bandwidth = float(smoothing_bandwidth)
         self.measure = measure
         self._priors: PriorBeliefs | None = None
@@ -326,13 +333,10 @@ class BTPrivacy(PrivacyModel):
         if self._priors is None:
             # Priors may have been injected with set_priors (to share one kernel
             # estimation across several models); only estimate when absent.
-            bandwidth = (
-                self.b
-                if isinstance(self.b, Bandwidth)
-                else Bandwidth.uniform(table.quasi_identifier_names, float(self.b))
+            # Estimation runs through the factored contraction backend.
+            self._priors = kernel_prior(
+                table, self.b, kernel=self.kernel, max_cells=self.max_cells
             )
-            estimator = KernelPriorEstimator(bandwidth, kernel=self.kernel)
-            self._priors = estimator.fit(table).prior_for_table()
         self._sensitive_codes = table.sensitive_codes()
         self._domain_size = table.sensitive_domain().size
         self._risk_cache.clear()

@@ -52,6 +52,7 @@ from repro.anonymize.partition import AnonymizedRelease
 from repro.audit.engine import SkylineAuditEngine, SkylineAuditReport
 from repro.data.table import MicrodataTable
 from repro.exceptions import AnonymizationError, DataError, StreamError
+from repro.knowledge.backend import DEFAULT_MAX_CELLS
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import BatchedKernelPriorEstimator, PriorBeliefs
 from repro.privacy.measures import DistanceMeasure, sensitive_distance_measure
@@ -109,7 +110,7 @@ class IncrementalPublisher:
         kernel: str = "epanechnikov",
         method: str = "omega",
         split_strategy: str = "widest",
-        max_cells: int = 64_000_000,
+        max_cells: int = DEFAULT_MAX_CELLS,
         refine_factor: float = 1.5,
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,

@@ -201,7 +201,7 @@ class _ScalarSearchMondrian(MondrianAnonymizer):
         candidates = [name for name in qi_names if widths[name] > 0.0]
         if not candidates:
             return None
-        if self.split_strategy == "widest":
+        if self.split_strategy != "round_robin":
             ordered = sorted(candidates, key=lambda name: widths[name], reverse=True)
         else:
             offset = depth % len(candidates)
@@ -226,7 +226,6 @@ class _ScalarSearchMondrian(MondrianAnonymizer):
         return None
 
 
-@pytest.mark.parametrize("strategy", ["widest", "round_robin"])
 @pytest.mark.parametrize(
     "model_factory",
     [
@@ -234,17 +233,47 @@ class _ScalarSearchMondrian(MondrianAnonymizer):
         lambda: CompositeModel([KAnonymity(3), BTPrivacy(0.3, 0.25)]),
     ],
 )
-def test_vectorised_search_matches_scalar_reference(tiny_adult, strategy, model_factory):
-    """One-NumPy-pass widths/medians must not change any partition."""
-    batched = MondrianAnonymizer(model_factory(), split_strategy=strategy).partition(
+def test_vectorised_search_matches_scalar_reference(tiny_adult, model_factory):
+    """One-NumPy-pass widths/medians must not change any depth-first partition."""
+    batched = MondrianAnonymizer(model_factory(), split_strategy="dfs").partition(
         tiny_adult
     )
-    scalar = _ScalarSearchMondrian(model_factory(), split_strategy=strategy).partition(
+    scalar = _ScalarSearchMondrian(model_factory(), split_strategy="dfs").partition(
         tiny_adult
     )
     assert len(batched) == len(scalar)
     for a, b in zip(batched, scalar):
         np.testing.assert_array_equal(a, b)
+
+
+@pytest.mark.parametrize(
+    "model_factory",
+    [
+        lambda: KAnonymity(5),
+        lambda: CompositeModel([KAnonymity(3), DistinctLDiversity(3)]),
+        lambda: CompositeModel([KAnonymity(3), BTPrivacy(0.3, 0.25)]),
+    ],
+)
+def test_frontier_default_matches_dfs_partition(tiny_adult, model_factory):
+    """The frontier default cuts the identical partition the DFS opt-out does."""
+    frontier = MondrianAnonymizer(model_factory()).partition(tiny_adult)
+    dfs = MondrianAnonymizer(model_factory(), split_strategy="dfs").partition(tiny_adult)
+    assert sorted(tuple(g.tolist()) for g in frontier) == sorted(
+        tuple(g.tolist()) for g in dfs
+    )
+
+
+def test_frontier_partition_order_is_deterministic_tree_order(tiny_adult):
+    """Default groups come in the recorded tree's left-to-right leaf order."""
+    model = CompositeModel([KAnonymity(3), DistinctLDiversity(3)])
+    first = MondrianAnonymizer(model).partition(tiny_adult)
+    second = MondrianAnonymizer(model).partition(tiny_adult, prepare=False)
+    tree = MondrianAnonymizer(model).partition_tree(tiny_adult, prepare=False)
+    leaves = [leaf.indices for leaf in tree.leaves()]
+    assert len(first) == len(second) == len(leaves)
+    for a, b, c in zip(first, second, leaves):
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, c)
 
 
 @pytest.mark.parametrize("strategy", ["widest", "round_robin"])

@@ -38,6 +38,31 @@ def test_scalar_and_uniform_bandwidth_share_a_cache_entry(tiny_adult):
     assert session.stats.prior_cache_hits == 1
 
 
+def test_differing_max_cells_never_collide_in_the_cache(tiny_adult):
+    """Backend config is part of the prior cache key (regression: it wasn't)."""
+    session = Session(tiny_adult)
+    factored = session.priors(0.3, max_cells=64_000_000)
+    flat = session.priors(0.3, max_cells=0)
+    assert session.stats.prior_estimations == 2
+    assert session.stats.prior_cache_hits == 0
+    # Both configs stay individually cached ...
+    assert session.priors(0.3, max_cells=64_000_000) is factored
+    assert session.priors(0.3, max_cells=0) is flat
+    assert session.stats.prior_estimations == 2
+    assert session.stats.prior_cache_hits == 2
+    # ... and agree numerically (the blocked contraction is exact).
+    np.testing.assert_allclose(factored.matrix, flat.matrix, atol=1e-12, rtol=0)
+
+
+def test_session_default_max_cells_keys_the_cache(tiny_adult):
+    session = Session(tiny_adult, max_cells=1_000)
+    session.priors(0.3)
+    session.priors(0.3, max_cells=1_000)  # explicit == session default: a hit
+    session.priors(0.3, max_cells=2_000)  # different budget: a separate entry
+    assert session.stats.prior_estimations == 2
+    assert session.stats.prior_cache_hits == 1
+
+
 def test_session_priors_match_direct_estimation(tiny_adult):
     from repro.knowledge.prior import kernel_prior
 

@@ -72,7 +72,22 @@ def test_append_rows_with_new_domain_values_refits():
     )
 
 
-def test_append_rows_flat_mode_refits():
+def test_append_rows_flat_reference_mode_refits():
+    """The flat reference (max_cells=0) has no incremental state: it refits."""
+    tables = _grown_tables(total_rows=700, seed_rows=600, step=100)
+    estimator = BatchedKernelPriorEstimator(incremental=True, max_cells=0).fit(tables[0])
+    assert estimator.mode == "flat"
+    assert estimator.append_rows(tables[1]) == "refit"
+    np.testing.assert_allclose(
+        estimator.prior_for_table([0.3])[0].matrix,
+        BatchedKernelPriorEstimator().fit(tables[1]).prior_for_table([0.3])[0].matrix,
+        atol=1e-12,
+        rtol=0,
+    )
+
+
+def test_append_rows_single_qi_table_stays_factored():
+    """A lone quasi-identifier no longer forces the flat sweep (zero rest blocks)."""
     schema = Schema(
         [
             Attribute("Age", AttributeKind.NUMERIC, AttributeRole.QUASI_IDENTIFIER),
@@ -83,12 +98,13 @@ def test_append_rows_flat_mode_refits():
         schema, {"Age": [30.0, 40.0, 50.0], "Disease": ["a", "b", "a"]}
     )
     estimator = BatchedKernelPriorEstimator(incremental=True).fit(table)
-    assert estimator.mode == "flat"
+    assert estimator.mode == "factored"
+    assert estimator.blocks == ()
     grown = table.extend({"Age": [40.0], "Disease": ["b"]})
-    assert estimator.append_rows(grown) == "refit"
+    assert estimator.append_rows(grown) == "incremental"
     np.testing.assert_allclose(
         estimator.prior_for_table([0.3])[0].matrix,
-        BatchedKernelPriorEstimator().fit(grown).prior_for_table([0.3])[0].matrix,
+        BatchedKernelPriorEstimator(max_cells=0).fit(grown).prior_for_table([0.3])[0].matrix,
         atol=1e-12,
         rtol=0,
     )

@@ -244,6 +244,40 @@ def test_audit_defaults_to_model_point_and_fail_on_breach(capsys):
     assert code == 3
 
 
+@pytest.mark.parametrize("command", ["anonymize", "attack", "audit", "sweep", "stream"])
+def test_max_cells_rejects_malformed_budgets(capsys, command):
+    # Malformed/negative budgets are caught by argparse validation: usage
+    # error, exit 2, one line on stderr instead of a traceback - like --skyline.
+    for bad in ("-1", "abc", "1.5", ""):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--rows", "100", "--max-cells", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cell budget" in err
+        assert "Traceback" not in err
+
+
+def test_max_cells_threads_through_audit(capsys):
+    # A tiny budget forces the blocked contraction; the audit still runs and
+    # reports the same shape of output.
+    code = main([
+        "audit", "--rows", "150", "--model", "distinct-l", "--l", "3", "--k", "3",
+        "--max-cells", "40", "--skyline", "0.2:0.4,0.4:0.4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "skyline audit" in out and "2 adversaries" in out
+
+
+def test_max_cells_zero_selects_flat_reference(capsys, tmp_path):
+    code = main([
+        "anonymize", "--rows", "120", "--model", "bt", "--b", "0.3", "--t", "0.35",
+        "--k", "3", "--max-cells", "0", "--output", str(tmp_path / "release.csv"),
+    ])
+    assert code == 0
+    assert "anonymized 120 rows" in capsys.readouterr().out
+
+
 def test_audit_rejects_bad_skyline_spec(capsys):
     # Malformed specs are caught by argparse validation: usage error, exit 2,
     # one line on stderr instead of a traceback.
