@@ -18,6 +18,8 @@ Scale knobs:
 
 * ``REPRO_BENCH_AUDIT_ROWS``  - table size (default 5000, the paper-scale
   demonstration; CI runs a smaller size);
+* ``REPRO_BENCH_ADVERSARIES`` - skyline adversary count (default 4, the
+  paper shape; other counts spread bandwidths over [0.1, 0.5]);
 * ``REPRO_BENCH_MIN_SPEEDUP`` - gate on engine speedup (default 1.2).
 
 The measured numbers land in ``BENCH_skyline_audit.json`` (section
@@ -32,7 +34,7 @@ import time
 
 import numpy as np
 
-from conftest import write_bench_json
+from conftest import bench_skyline, write_bench_json
 
 from repro.anonymize.anonymizer import anonymize
 from repro.audit import SkylineAuditEngine
@@ -43,9 +45,11 @@ from repro.privacy.models import DistinctLDiversity
 AUDIT_ROWS = int(os.environ.get("REPRO_BENCH_AUDIT_ROWS", "5000"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.2"))
 
-# The paper's Section V skyline shape: four adversaries of increasing
-# background knowledge, one shared disclosure budget.
-SKYLINE = ((0.1, 0.2), (0.2, 0.2), (0.3, 0.2), (0.5, 0.2))
+# The paper's Section V skyline shape: by default four adversaries of
+# increasing background knowledge, one shared disclosure budget
+# (REPRO_BENCH_ADVERSARIES rescales the skyline for nightly dispatch runs).
+SKYLINE = bench_skyline()
+_ADVERSARY_SUFFIX = "" if len(SKYLINE) == 4 else f"-adv{len(SKYLINE)}"
 
 
 def test_skyline_audit_engine_speedup():
@@ -78,7 +82,7 @@ def test_skyline_audit_engine_speedup():
     )
     write_bench_json(
         "skyline_audit",
-        f"rows-{AUDIT_ROWS}",
+        f"rows-{AUDIT_ROWS}{_ADVERSARY_SUFFIX}",
         {
             "rows": AUDIT_ROWS,
             "adversaries": len(SKYLINE),

@@ -21,16 +21,29 @@ defaults everywhere (PR 4), the from-scratch references are themselves
 several times faster, so the *relative* incremental advantage shrank while
 absolute version latency dropped across the board.
 
+A second, **mixed-lifecycle** section exercises the full delete/update
+engine: each round appends a batch, then retracts a random slice of the
+current table and corrects another slice in place, comparing every published
+version against a from-scratch audit (<= 1e-12) and the summed incremental
+cost against one pipeline republish per mutation
+(``REPRO_BENCH_STREAM_MIXED_MIN_SPEEDUP``, default 2).
+
 Scale knobs:
 
 * ``REPRO_BENCH_STREAM_ROWS``        - seed rows (default 5000);
 * ``REPRO_BENCH_STREAM_BATCH_ROWS``  - rows per append batch (default 500);
 * ``REPRO_BENCH_STREAM_BATCHES``     - number of batches (default 5);
-* ``REPRO_BENCH_STREAM_MIN_SPEEDUP`` / ``..._MIN_REPUBLISH_SPEEDUP`` - gates.
+* ``REPRO_BENCH_ADVERSARIES``        - skyline adversary count (default 4,
+  the paper shape; other counts spread bandwidths over [0.1, 0.5]);
+* ``REPRO_BENCH_STREAM_DELETE_FRAC`` / ``..._UPDATE_FRAC`` - mixed-workload
+  retraction/correction sizes as fractions of the batch (default 0.2 each);
+* ``REPRO_BENCH_STREAM_MIN_SPEEDUP`` / ``..._MIN_REPUBLISH_SPEEDUP`` /
+  ``..._MIXED_MIN_SPEEDUP`` - gates.
 
-The measured numbers land in ``BENCH_stream.json`` (section
-``seed-<rows>-batches-<k>x<batch>``), which CI regenerates at a tiny size and
-compares against the committed baseline with ``benchmarks/check_regression.py``.
+The measured numbers land in ``BENCH_stream.json`` (sections
+``seed-<rows>-batches-<k>x<batch>`` and ``mixed-...``), which CI regenerates
+at a tiny size and compares against the committed baseline with
+``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
@@ -40,7 +53,7 @@ import time
 
 import numpy as np
 
-from conftest import write_bench_json
+from conftest import bench_skyline, write_bench_json
 
 from repro.api import Pipeline
 from repro.audit import SkylineAuditEngine
@@ -55,11 +68,16 @@ MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_STREAM_MIN_SPEEDUP", "2"))
 MIN_REPUBLISH_SPEEDUP = float(
     os.environ.get("REPRO_BENCH_STREAM_MIN_REPUBLISH_SPEEDUP", "1.5")
 )
+DELETE_FRAC = float(os.environ.get("REPRO_BENCH_STREAM_DELETE_FRAC", "0.2"))
+UPDATE_FRAC = float(os.environ.get("REPRO_BENCH_STREAM_UPDATE_FRAC", "0.2"))
+MIXED_MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_STREAM_MIXED_MIN_SPEEDUP", "2"))
 
 # The model the stream enforces and the paper-style skyline it is audited
-# against (four adversaries of increasing knowledge, one shared budget).
+# against (by default four adversaries of increasing knowledge, one shared
+# budget; REPRO_BENCH_ADVERSARIES rescales the skyline).
 MODEL_B, MODEL_T, K = 0.3, 0.2, 4
-SKYLINE = ((0.1, 0.2), (0.2, 0.2), (0.3, 0.2), (0.5, 0.2))
+SKYLINE = bench_skyline()
+_ADVERSARY_SUFFIX = "" if len(SKYLINE) == 4 else f"-adv{len(SKYLINE)}"
 
 
 def _pipeline_republish(table) -> float:
@@ -133,7 +151,7 @@ def test_incremental_stream_speedup_and_equivalence():
     )
     write_bench_json(
         "stream",
-        f"seed-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}",
+        f"seed-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}{_ADVERSARY_SUFFIX}",
         {
             "seed_rows": SEED_ROWS,
             "batch_rows": BATCH_ROWS,
@@ -161,4 +179,99 @@ def test_incremental_stream_speedup_and_equivalence():
     assert republish_speedup >= MIN_REPUBLISH_SPEEDUP, (
         f"incremental publishing is only {republish_speedup:.1f}x faster than a "
         f"fresh publisher republish (required: {MIN_REPUBLISH_SPEEDUP:g}x)"
+    )
+
+
+def test_mixed_lifecycle_stream_speedup_and_equivalence():
+    """The full-lifecycle contract: appends, deletions and in-place
+    corrections all republish incrementally, each version's maintained audit
+    risks match a from-scratch audit to <= 1e-12, and the summed incremental
+    cost beats one pipeline republish per mutation by the gated factor."""
+    deletes = max(1, round(DELETE_FRAC * BATCH_ROWS))
+    updates = max(1, round(UPDATE_FRAC * BATCH_ROWS))
+    total = SEED_ROWS + BATCHES * BATCH_ROWS
+    full = generate_adult(total, seed=2009)
+    seed = full.select(np.arange(SEED_ROWS))
+    rng = np.random.default_rng(2009)
+
+    publisher = IncrementalPublisher(
+        seed, BTPrivacy(MODEL_B, MODEL_T), skyline=list(SKYLINE), k=K
+    )
+    publisher.publish()
+
+    incremental_seconds = 0.0
+    pipeline_seconds = 0.0
+    max_risk_difference = 0.0
+    compactions = 0
+
+    def publish_and_verify(operation) -> None:
+        nonlocal incremental_seconds, pipeline_seconds, max_risk_difference, compactions
+        start = time.perf_counter()
+        version = operation()
+        incremental_seconds += time.perf_counter() - start
+        compactions += int(version.delta.compacted)
+        fresh = SkylineAuditEngine(publisher.table, SKYLINE).audit(
+            version.release.groups
+        )
+        max_risk_difference = max(
+            max_risk_difference,
+            max(
+                float(np.abs(entry.attack.risks - reference.attack.risks).max())
+                for entry, reference in zip(version.report.entries, fresh.entries)
+            ),
+        )
+        # The from-scratch reference pays one full pipeline per mutation.
+        pipeline_seconds += _pipeline_republish(publisher.table)
+
+    for index in range(BATCHES):
+        low = SEED_ROWS + index * BATCH_ROWS
+        batch = full.select(np.arange(low, low + BATCH_ROWS))
+        publish_and_verify(lambda: publisher.append(batch))
+        removed = np.sort(
+            rng.choice(publisher.table.n_rows, size=deletes, replace=False)
+        )
+        publish_and_verify(lambda: publisher.delete(removed))
+        positions = np.sort(
+            rng.choice(publisher.table.n_rows, size=updates, replace=False)
+        )
+        donors = rng.integers(0, publisher.table.n_rows, size=updates)
+        replacements = [publisher.table.row(int(donor)) for donor in donors]
+        publish_and_verify(lambda: publisher.update(positions, replacements))
+
+    speedup = pipeline_seconds / incremental_seconds
+    final = publisher.latest
+    print(
+        f"\nmixed stream: seed={SEED_ROWS} +{BATCHES}x({BATCH_ROWS} app, {deletes} del, "
+        f"{updates} upd) incremental={incremental_seconds:.3f}s "
+        f"pipeline-republish={pipeline_seconds:.3f}s speedup={speedup:.1f}x "
+        f"compactions={compactions} rows={final.n_rows} groups={final.n_groups} "
+        f"max-risk-diff={max_risk_difference:.2e}"
+    )
+    write_bench_json(
+        "stream",
+        f"mixed-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}"
+        f"-del{deletes}-upd{updates}{_ADVERSARY_SUFFIX}",
+        {
+            "seed_rows": SEED_ROWS,
+            "batch_rows": BATCH_ROWS,
+            "batches": BATCHES,
+            "deletes_per_round": deletes,
+            "updates_per_round": updates,
+            "adversaries": len(SKYLINE),
+            "final_rows": final.n_rows,
+            "final_groups": final.n_groups,
+            "compactions": compactions,
+            "incremental_seconds": incremental_seconds,
+            "pipeline_republish_seconds": pipeline_seconds,
+            "speedup": speedup,
+            "max_risk_difference": max_risk_difference,
+        },
+    )
+
+    # Numerically identical to a full re-audit after every mutation ...
+    assert max_risk_difference <= 1e-12
+    # ... and faster than republishing the pipeline per mutation.
+    assert speedup >= MIXED_MIN_SPEEDUP, (
+        f"mixed-lifecycle publishing is only {speedup:.1f}x faster than the "
+        f"from-scratch pipeline republish (required: {MIXED_MIN_SPEEDUP:g}x)"
     )

@@ -16,10 +16,15 @@ files the script compares:
   the baseline by at most ``tolerance``.  This gate is dimensionless, so it
   stays meaningful even when baseline and CI hardware differ.
 
-Sections only present in the baseline (e.g. a committed full-scale
-demonstration that CI does not re-run) or only in the current file (a new
-machine size) are reported but not compared.  Getting *faster* always passes -
-commit the regenerated JSON to ratchet the trajectory.
+A baseline section that *disappears* from the regenerated file is a hard
+failure naming every missing section key at once (``write_bench_json`` merges
+fresh sections into the committed file, so a vanished section means the bench
+was renamed or stopped running - exactly the silent-gate-bypass this script
+exists to catch; update the committed baseline deliberately instead).  The
+same aggregation applies to metric keys that vanish from a surviving section.
+Sections only present in the current file (a new machine size) are reported
+but not compared.  Getting *faster* always passes - commit the regenerated
+JSON to ratchet the trajectory.
 
 Exit status: 0 when everything is within tolerance, 1 otherwise.
 """
@@ -59,6 +64,7 @@ def compare(
     for section in shared:
         base_metrics = baseline_sections[section]
         cur_metrics = current_sections[section]
+        missing_keys: list[str] = []
         for key, base_value in sorted(base_metrics.items()):
             if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
                 continue
@@ -68,7 +74,7 @@ def compare(
                 continue
             current_value = cur_metrics.get(key)
             if current_value is None:
-                failures.append(f"{section}: metric {key!r} missing from current run")
+                missing_keys.append(key)
                 continue
             if slower_is_bad:
                 limit = base_value * (1.0 + tolerance) + absolute_slack
@@ -98,8 +104,20 @@ def compare(
                         f"(-{100 * (1 - current_value / base_value):.0f}%, "
                         f"tolerance -{100 * tolerance:.0f}%)"
                     )
-    for section in sorted(set(baseline_sections) - set(current_sections)):
-        print(f"  {section}: only in baseline (not re-run here); skipped")
+        if missing_keys:
+            failures.append(
+                f"{section}: gated metrics missing from the current run: "
+                + ", ".join(repr(key) for key in missing_keys)
+            )
+    vanished = sorted(set(baseline_sections) - set(current_sections))
+    if vanished:
+        failures.append(
+            "baseline sections missing from the current run: "
+            + ", ".join(repr(section) for section in vanished)
+            + " (a regenerated BENCH_*.json keeps every committed section; a "
+            "vanished one means its bench was renamed or stopped running - "
+            "update the committed baseline deliberately instead)"
+        )
     for section in sorted(set(current_sections) - set(baseline_sections)):
         print(f"  {section}: new section (no baseline); skipped")
     return failures

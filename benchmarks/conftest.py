@@ -27,6 +27,7 @@ import sys
 from datetime import datetime, timezone
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 _SRC = Path(__file__).resolve().parents[1] / "src"
@@ -38,6 +39,24 @@ from repro.experiments.results import ExperimentResult  # noqa: E402
 
 BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "2000"))
 BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "30"))
+BENCH_ADVERSARIES = int(os.environ.get("REPRO_BENCH_ADVERSARIES", "4"))
+
+
+def bench_skyline(adversaries: int | None = None) -> tuple[tuple[float, float], ...]:
+    """The ``(B_i, t_i)`` audit skyline the gated benches share.
+
+    The default four adversaries keep the paper's Section V shape (increasing
+    background knowledge, one shared budget); other counts - e.g. the
+    nightly workflow's ``adversaries`` dispatch input, or the commented
+    paper-scale 8-adversary step - spread the bandwidths evenly over the
+    same [0.1, 0.5] range.
+    """
+    count = BENCH_ADVERSARIES if adversaries is None else adversaries
+    if count == 4:
+        return ((0.1, 0.2), (0.2, 0.2), (0.3, 0.2), (0.5, 0.2))
+    return tuple(
+        (float(round(b, 3)), 0.2) for b in np.linspace(0.1, 0.5, count)
+    )
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_JSON_DIR = Path(os.environ.get("REPRO_BENCH_JSON_DIR", str(REPO_ROOT)))

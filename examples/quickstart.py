@@ -90,16 +90,27 @@ def main() -> None:
     for row in release.generalized_rows()[:3]:
         print("  ", row)
 
-    # 7. Growing data?  session.stream(...) turns the same configuration into
-    #    an incremental publisher: appended batches are folded in with
-    #    dirty-leaf re-splits and delta skyline audits instead of re-running
-    #    the whole pipeline (see examples/streaming_publisher.py).
+    # 7. Changing data?  session.stream(...) turns the same configuration
+    #    into an incremental publisher covering the full stream lifecycle:
+    #    appended batches, GDPR-style deletions and in-place corrections are
+    #    all folded in with exact count-tensor deltas, dirty-leaf re-splits
+    #    and delta skyline audits instead of re-running the whole pipeline
+    #    (see examples/streaming_publisher.py, which also persists the
+    #    stream to a disk-backed ReleaseStore and resumes it).
     publisher = session.stream("bt", params={"b": 0.3, "t": 0.2}, k=4)
     version = publisher.append(table.sample(200, rng=np.random.default_rng(2)).rows())
     print(f"\nstreaming: v{version.version} folded {version.delta.appended_rows} "
           f"appended rows in {version.delta.timings['total_seconds']:.2f}s, "
           f"reusing {version.delta.reused_groups} of {publisher.store[0].n_groups} "
           f"seed groups verbatim")
+    version = publisher.delete(np.arange(0, 40))       # retract 40 rows
+    print(f"streaming: v{version.version} retracted {version.delta.deleted_rows} "
+          f"rows, {version.delta.rebuilt_regions} region(s) merged/rebuilt")
+    donors = publisher.table.sample(10, rng=np.random.default_rng(3)).rows()
+    version = publisher.update(np.arange(10), donors)  # correct 10 rows in place
+    print(f"streaming: v{version.version} corrected {version.delta.updated_rows} "
+          f"rows, audit recomputed {version.delta.audit_recomputed_groups or 'no'} "
+          f"groups")
 
 
 if __name__ == "__main__":

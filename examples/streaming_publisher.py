@@ -1,12 +1,22 @@
-"""Streaming publication: append -> incremental republish -> delta audit.
+"""Streaming publication: the full lifecycle, persisted and resumable.
 
-A production publisher receives rows continuously.  Re-running the whole
-estimate -> partition -> audit pipeline per batch wastes everything the
-previous run computed; the `repro.stream` engine instead folds each batch
-into the factored prior state, routes the new rows down the recorded
-Mondrian split tree, re-splits only the groups that actually changed, and
-re-audits the skyline touching only dirty groups - while staying numerically
-identical to a from-scratch audit of the published release.
+A production publisher receives rows continuously - and retracts rows
+(GDPR-style erasure) and corrects rows (late-arriving fixes) just as
+continuously.  Re-running the whole estimate -> partition -> audit pipeline
+per mutation wastes everything the previous run computed; the `repro.stream`
+engine instead folds each batch into the factored prior state as *exact*
+count-tensor deltas (additive for appends, negative for deletions, paired
+for corrections), routes moved rows down the recorded Mondrian split tree,
+re-splits only the groups that actually changed, merges regions up when a
+shrunken group falls below the requirement, and re-audits the skyline
+touching only dirty groups - while staying numerically identical to a
+from-scratch audit of the published release.
+
+With ``store_dir=...`` every version also lands in a disk-backed
+``ReleaseStore`` (JSON-lines lineage + npz releases + restart state), so the
+stream survives a process restart: ``IncrementalPublisher.resume`` picks it
+up mid-lineage and continues with versions identical to an uninterrupted
+publisher.
 
 Run with:  python examples/streaming_publisher.py
 """
@@ -14,6 +24,7 @@ Run with:  python examples/streaming_publisher.py
 from __future__ import annotations
 
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
@@ -21,55 +32,93 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 import numpy as np
 
 from repro import Session, SkylineAuditEngine, generate_adult
+from repro.data.adult import adult_schema
+from repro.privacy.models import SkylineBTPrivacy
+from repro.stream import IncrementalPublisher
 
 SEED_ROWS = 4_000
 BATCH_ROWS = 400
-BATCHES = 4
+BATCHES = 3
 SKYLINE = [(0.1, 0.3), (0.3, 0.25), (0.5, 0.25)]
+DELETES, UPDATES = 80, 60
+
+
+def describe(version) -> None:
+    delta = version.delta
+    changes = " ".join(
+        part
+        for part in (
+            f"+{delta.appended_rows}" if delta.appended_rows else "",
+            f"-{delta.deleted_rows}" if delta.deleted_rows else "",
+            f"~{delta.updated_rows}" if delta.updated_rows else "",
+        )
+        if part
+    )
+    tag = " [compacted]" if delta.compacted else (" [rebuild]" if delta.rebuild else "")
+    print(f"\nv{version.version}: {changes or 'seed'} rows -> "
+          f"{version.n_groups} groups in {delta.timings['total_seconds']:.3f}s{tag}")
+    print(f"  reused {delta.reused_groups} groups verbatim, rechecked "
+          f"{delta.rechecked_leaves}, refined {delta.refined_leaves}, "
+          f"rebuilt {delta.rebuilt_regions} regions; delta audit recomputed "
+          f"{delta.audit_recomputed_groups} of {version.n_groups} groups")
 
 
 def main() -> None:
     # One draw for the whole stream, so batches share the seed's marginals.
     everything = generate_adult(SEED_ROWS + BATCHES * BATCH_ROWS, seed=42)
     seed_table = everything.select(np.arange(SEED_ROWS))
+    store_dir = Path(tempfile.mkdtemp()) / "releases"
+    rng = np.random.default_rng(7)
 
     # 1. Seed release: skyline (B,t)-privacy (Definition 2) with a k-anonymity
-    #    guard - the release is *enforced* against every skyline adversary, so
-    #    the per-version audits below should stay satisfied.  Session.stream
-    #    publishes version 0 immediately; the audit skyline defaults to the
-    #    model's own (B_i, t_i) points.
+    #    guard, persisted to a disk-backed ReleaseStore from the first version.
     session = Session(seed_table)
-    publisher = session.stream("skyline-bt", params={"points": SKYLINE}, k=4)
+    publisher = session.stream(
+        "skyline-bt", params={"points": SKYLINE}, k=4, store_dir=str(store_dir)
+    )
     v0 = publisher.latest
     print(f"stream: {publisher.describe()}")
     print(f"v0: {v0.n_rows} rows -> {v0.n_groups} groups "
-          f"({v0.delta.timings['total_seconds']:.2f}s full publish)")
+          f"({v0.delta.timings['total_seconds']:.2f}s full publish), "
+          f"persisted to {store_dir}")
 
-    # 2. Append batches.  Each append is an *incremental* republish: watch how
-    #    many groups are reused verbatim and how little is recomputed.
-    for index in range(BATCHES):
+    # 2. The full lifecycle, incrementally: append a batch, erase a random
+    #    slice (exact negative count-tensor deltas; regions that fall below
+    #    k merge up), correct another slice in place (paired deltas; a
+    #    corrected QI value re-routes across split boundaries).
+    for index in range(BATCHES - 1):
         low = SEED_ROWS + index * BATCH_ROWS
-        batch = everything.select(np.arange(low, low + BATCH_ROWS))
-        version = publisher.append(batch)
-        delta = version.delta
-        print(f"\nv{version.version}: +{delta.appended_rows} rows -> "
-              f"{version.n_groups} groups in {delta.timings['total_seconds']:.3f}s")
-        print(f"  reused {delta.reused_groups} groups verbatim, rechecked "
-              f"{delta.rechecked_leaves}, refined {delta.refined_leaves}, "
-              f"rebuilt {delta.rebuilt_regions} regions")
-        print(f"  delta audit recomputed {delta.audit_recomputed_groups} "
-              f"of {version.n_groups} groups per adversary")
+        describe(publisher.append(everything.select(np.arange(low, low + BATCH_ROWS))))
+        erased = np.sort(rng.choice(publisher.table.n_rows, size=DELETES, replace=False))
+        describe(publisher.delete(erased))
+        positions = np.sort(rng.choice(publisher.table.n_rows, size=UPDATES, replace=False))
+        donors = rng.integers(0, publisher.table.n_rows, size=UPDATES)
+        corrections = [publisher.table.row(int(d)) for d in donors]
+        describe(publisher.update(positions, corrections))
 
-        # 3. The audit deltas show how each adversary's risk drifts as data
-        #    arrives - the finite-sample face of the paper's risk continuity.
-        for row in publisher.store.report_delta(version.version):
-            print(f"  {row['adversary']}: risk {row['worst_case_risk']:.4f} "
-                  f"({row['worst_case_risk_change']:+.2e}), "
-                  f"margin {row['margin']:+.3f} "
-                  f"[{'ok' if row['satisfied'] else 'BREACH'}]")
+    # 3. The audit deltas show how each adversary's risk drifts as the data
+    #    changes - the finite-sample face of the paper's risk continuity.
+    latest = publisher.latest
+    for row in publisher.store.report_delta(latest.version):
+        print(f"  {row['adversary']}: risk {row['worst_case_risk']:.4f} "
+              f"({row['worst_case_risk_change']:+.2e}), margin {row['margin']:+.3f} "
+              f"[{'ok' if row['satisfied'] else 'BREACH'}]")
 
-    # 4. Trust but verify: the incrementally maintained risks are numerically
-    #    identical to a from-scratch audit of the same release.
+    # 4. Process restart: resume the stream from the store directory.  The
+    #    resumed publisher continues the lineage (and can serve any
+    #    historical version) with releases identical to an uninterrupted run.
+    del publisher
+    publisher = IncrementalPublisher.resume(
+        store_dir, schema=adult_schema(), model=SkylineBTPrivacy(SKYLINE)
+    )
+    print(f"\nresumed from {store_dir} at v{publisher.latest.version} "
+          f"({len(publisher.store)} versions on disk; "
+          f"v1 had {publisher.store[1].n_groups} groups)")
+    low = SEED_ROWS + (BATCHES - 1) * BATCH_ROWS
+    describe(publisher.append(everything.select(np.arange(low, low + BATCH_ROWS))))
+
+    # 5. Trust but verify: the incrementally maintained risks are numerically
+    #    identical to a from-scratch audit of the final release.
     final = publisher.latest
     fresh = SkylineAuditEngine(publisher.table, SKYLINE).audit(final.release.groups)
     drift = max(

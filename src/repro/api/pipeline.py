@@ -226,7 +226,11 @@ class Pipeline:
         return points
 
     def streaming(
-        self, *, refine_factor: float = 1.5
+        self,
+        *,
+        refine_factor: float = 1.5,
+        compact_drift: float = 0.5,
+        store_dir: str | None = None,
     ) -> "IncrementalPublisher":
         """Launch this pipeline's configuration as an incremental stream.
 
@@ -234,8 +238,12 @@ class Pipeline:
         the ``audit_skyline`` points, when set) seeds an
         :class:`~repro.stream.IncrementalPublisher` on the session's table;
         the seed release is published immediately and subsequent
-        ``append(batch)`` calls republish incrementally.  Only the Mondrian
-        algorithm supports streaming (the split tree is what gets reused).
+        ``append(batch)`` / ``delete(rows)`` / ``update(rows, batch)`` calls
+        republish incrementally.  ``store_dir`` persists every version to a
+        disk-backed :class:`~repro.stream.ReleaseStore` (resumable with
+        :meth:`~repro.stream.IncrementalPublisher.resume`).  Only the
+        Mondrian algorithm supports streaming (the split tree is what gets
+        reused).
         """
         if self._model is None:
             raise PipelineError("pipeline has no model; call .model(name, ...) first")
@@ -257,6 +265,8 @@ class Pipeline:
             method=method,
             split_strategy=self._algorithm_options.get("split_strategy", "widest"),
             refine_factor=refine_factor,
+            compact_drift=compact_drift,
+            store_dir=store_dir,
         )
 
     def run(self) -> ReleaseBundle:

@@ -394,20 +394,28 @@ class Session:
         method: str = "omega",
         split_strategy: str = "widest",
         refine_factor: float = 1.5,
+        compact_drift: float = 0.5,
         max_cells: int | None = None,
+        store_dir: str | None = None,
     ) -> "IncrementalPublisher":
         """An :class:`~repro.stream.IncrementalPublisher` seeded with this table.
 
-        The session's table becomes version 0 of an append-only stream: the
+        The session's table becomes version 0 of a full-lifecycle stream: the
         returned publisher has already published the seed release and accepts
-        ``append(batch)`` calls that republish incrementally (additive prior
-        updates, dirty-leaf re-splits, delta skyline audits).  The publisher
-        shares the session's cached distance matrices; its own prior state is
-        incremental and therefore private to the stream.
+        ``append(batch)``, ``delete(rows)`` and ``update(rows, batch)`` calls
+        that republish incrementally (exact additive/negative prior deltas,
+        dirty-leaf re-splits and merge-ups, delta skyline audits, periodic
+        full-refine compaction once ``compact_drift`` worth of deferred
+        maintenance accumulates).  The publisher shares the session's cached
+        distance matrices; its own prior state is incremental and therefore
+        private to the stream.
 
         ``skyline`` defaults to the ``(b, t)`` pairs of the model's (B,t)
         components, mirroring :meth:`Pipeline.audit_skyline`; ``max_cells``
-        defaults to the session's backend cell budget.
+        defaults to the session's backend cell budget.  ``store_dir`` makes
+        the publisher's :class:`~repro.stream.ReleaseStore` disk-backed, so
+        :meth:`~repro.stream.IncrementalPublisher.resume` can later continue
+        the stream from the directory.
         """
         from repro.stream import IncrementalPublisher
 
@@ -421,11 +429,13 @@ class Session:
             method=method,
             split_strategy=split_strategy,
             refine_factor=refine_factor,
+            compact_drift=compact_drift,
             max_cells=self.max_cells if max_cells is None else max_cells,
             distance_matrices={
                 name: self.distance_matrix(name)
                 for name in self.table.quasi_identifier_names
             },
+            store_path=store_dir,
         )
         publisher.publish()
         return publisher

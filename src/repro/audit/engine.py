@@ -317,31 +317,39 @@ class SkylineAuditEngine:
         previous_groups: Sequence[np.ndarray],
         previous_report: SkylineAuditReport,
         dirty_rows: np.ndarray | Sequence[np.ndarray],
+        previous_of: np.ndarray | None = None,
     ) -> SkylineAuditReport:
-        """Re-audit a release after an append batch, touching only changed groups.
+        """Re-audit a release after a stream batch, touching only changed groups.
 
-        The engine's dirty-group mode for append-only streams: the table grew
-        at the end (previous row indices unchanged) and only some rows are
-        *dirty* - appended, or with a changed prior.  Per adversary, a group's
-        member risks are copied verbatim from ``previous_report`` when the
-        identical index array appeared in ``previous_groups`` and none of its
-        members is dirty for that adversary; every other group goes through
-        the same posterior pass as :meth:`audit`, so the assembled risks are
-        numerically identical to a full re-audit.
+        The engine's dirty-group mode for streams: only some rows are *dirty*
+        - appended, corrected, or with a changed prior.  Per adversary, a
+        group's member risks are copied verbatim from ``previous_report``
+        when its previous-index image appeared in ``previous_groups`` and
+        none of its members is dirty for that adversary; every other group
+        goes through the same posterior pass as :meth:`audit`, so the
+        assembled risks are numerically identical to a full re-audit.
 
         Parameters
         ----------
         groups:
             The current release (its groups must cover every current row).
         previous_groups:
-            The previous release's groups (sorted index arrays, as released).
+            The previous release's groups (sorted index arrays, as released,
+            in the *previous* table's index space).
         previous_report:
             The report :meth:`audit` / :meth:`audit_incremental` produced for
             ``previous_groups``; its per-tuple risks are the reuse source.
         dirty_rows:
             One boolean mask over the current table's rows - or one mask per
             skyline adversary - marking rows whose risk may have changed.
-            Appended rows must always be marked dirty.
+            Rows without a previous counterpart must always be marked dirty.
+        previous_of:
+            Optional int array mapping every current row to its position in
+            the previous table (``-1`` for rows with no counterpart, e.g.
+            appended rows).  Omitted, the table is assumed to have grown at
+            the end (previous indices unchanged) - the append-only case.
+            Deleting/updating publishers pass the surviving-row map so clean
+            shrunken releases still reuse their groups' risks.
         """
         self.prepare()
         start = time.perf_counter()
@@ -362,6 +370,17 @@ class SkylineAuditEngine:
         for mask in masks:
             if mask.shape != (n_rows,):
                 raise AuditError("each dirty-row mask must cover every current row")
+        n_previous = previous_report.n_rows
+        if previous_of is None:
+            previous_of = np.arange(n_rows, dtype=np.int64)
+            previous_of[n_previous:] = -1
+        else:
+            previous_of = np.asarray(previous_of, dtype=np.int64)
+            if previous_of.shape != (n_rows,):
+                raise AuditError("previous_of must map every current row")
+            if previous_of.size and previous_of.max() >= n_previous:
+                raise AuditError("previous_of points beyond the previous report's rows")
+        surviving = previous_of >= 0
         previous_keys = {np.asarray(g, dtype=np.int64).tobytes() for g in previous_groups}
 
         entries: list[SkylineAuditEntry] = []
@@ -371,11 +390,13 @@ class SkylineAuditEngine:
         ):
             previous_risks = previous_entry.attack.risks
             risks = np.zeros(n_rows, dtype=np.float64)
-            risks[: previous_risks.shape[0]] = previous_risks
+            risks[surviving] = previous_risks[previous_of[surviving]]
             stale = [
                 group
                 for group in group_list
-                if mask[group].any() or group.tobytes() not in previous_keys
+                if mask[group].any()
+                or not surviving[group].all()
+                or previous_of[group].tobytes() not in previous_keys
             ]
             if stale:
                 members = np.concatenate(stale)

@@ -10,9 +10,12 @@ the synthetic Adult-like dataset (or any CSV file with the same schema):
   a release built in-process and report vulnerable tuples;
 * ``audit``     - audit a release against a whole skyline of adversaries
   ``{(B_i, t_i)}`` in one batched pass (optionally writing a JSON report);
-* ``stream``    - publish a growing table incrementally: seed release first,
-  then append batches that are folded in with dirty-leaf re-splits and delta
-  skyline audits (exit 3 with ``--fail-on-breach`` when a version breaches);
+* ``stream``    - publish a changing table incrementally: seed release first,
+  then append batches - plus random deletions (``--delete-frac``) and
+  in-place corrections (``--update-frac``) - folded in with dirty-leaf
+  re-splits and delta skyline audits (exit 3 with ``--fail-on-breach`` when
+  a version breaches); ``--store-dir`` persists every version to a
+  disk-backed ReleaseStore and ``--resume`` continues a stored stream;
 * ``sweep``     - run a model/parameter grid through one cached session and
   print the resulting comparison table;
 * ``figure``    - regenerate one of the paper's figures and print it as a
@@ -32,6 +35,8 @@ import json
 import sys
 from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 from repro.api import ALGORITHMS, MODELS, Session, expand_grid
 from repro.data.adult import adult_schema, generate_adult
@@ -113,8 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser = subparsers.add_parser(
         "stream",
         help=(
-            "publish a growing table incrementally: seed release, then append "
-            "batches with dirty-leaf re-splits and delta skyline audits"
+            "publish a changing table incrementally: seed release, then append/"
+            "delete/update batches with dirty-leaf re-splits and delta skyline audits"
         ),
     )
     _add_table_arguments(stream_parser)
@@ -126,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument(
         "--batches", type=int, default=5,
         help="number of append batches to publish (default 5)",
+    )
+    stream_parser.add_argument(
+        "--delete-frac", type=_fraction_argument, default=0.0,
+        help=(
+            "after each append batch, additionally delete this fraction of the "
+            "batch size as random retractions (default 0: append-only)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--update-frac", type=_fraction_argument, default=0.0,
+        help=(
+            "after each append batch, additionally correct this fraction of the "
+            "batch size as random in-place row updates (default 0)"
+        ),
     )
     stream_parser.add_argument(
         "--skyline", default=None, type=_skyline_argument,
@@ -143,6 +162,29 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "re-search a grown group once it exceeds this multiple of its last "
             "searched size (default 1.5; 1.0 refines on every batch)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--compact-drift", type=_positive_float_argument, default=0.5,
+        help=(
+            "full-refine compaction threshold: re-partition from scratch once "
+            "deferred maintenance has touched this fraction of the current "
+            "rows (default 0.5; 'inf' disables compaction)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=(
+            "persist every version to a disk-backed ReleaseStore in this "
+            "directory (JSON-lines lineage + npz releases)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "reconstruct the publisher from --store-dir and continue the "
+            "stream (pass the same model flags the stream was created with; "
+            "synthetic sources draw fresh batches from a derived seed)"
         ),
     )
     stream_parser.add_argument(
@@ -374,6 +416,36 @@ def _skyline_argument(text: str) -> list[tuple[float, float]]:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _fraction_argument(text: str) -> float:
+    """argparse ``type`` wrapper: malformed/out-of-range fractions exit 2."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad fraction {text!r}; expected a number in [0, 1]"
+        ) from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"bad fraction {text!r}; the fraction must lie in [0, 1]"
+        )
+    return value
+
+
+def _positive_float_argument(text: str) -> float:
+    """argparse ``type`` wrapper: malformed/non-positive values exit 2 ('inf' ok)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad value {text!r}; expected a positive number (or 'inf')"
+        ) from None
+    if not value > 0.0:
+        raise argparse.ArgumentTypeError(
+            f"bad value {text!r}; the value must be positive (or 'inf')"
+        )
+    return value
+
+
 def _max_cells_argument(text: str) -> int:
     """argparse ``type`` wrapper: malformed/negative budgets exit 2 like ``--skyline``."""
     try:
@@ -419,56 +491,162 @@ def _run_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_stream_version(version) -> None:
+    delta = version.delta
+    changes = []
+    if delta.appended_rows:
+        changes.append(f"+{delta.appended_rows}")
+    if delta.deleted_rows:
+        changes.append(f"-{delta.deleted_rows}")
+    if delta.updated_rows:
+        changes.append(f"~{delta.updated_rows}")
+    tags = []
+    if delta.rebuild:
+        tags.append("rebuild")
+    if delta.compacted:
+        tags.append("compacted")
+    suffix = f" {{{','.join(tags)}}}" if tags else ""
+    print(
+        f"v{version.version}: {'/'.join(changes) or '+0'} rows -> {version.n_groups} groups "
+        f"({delta.reused_groups} reused, {delta.rechecked_leaves} rechecked, "
+        f"{delta.refined_leaves} refined, {delta.rebuilt_regions} rebuilt){suffix} "
+        f"[{'ok' if version.satisfied else 'BREACH'}] "
+        f"({delta.timings['total_seconds']:.3f}s)"
+    )
+    if version.report is not None:
+        worst = version.report.worst_entry()
+        print(
+            f"    worst adversary {worst.adversary.describe()}: "
+            f"risk {worst.attack.worst_case_risk:.4f} (margin {worst.margin:+.4f})"
+        )
+
+
+def _resume_stream(args: argparse.Namespace):
+    """Reconstruct the publisher from --store-dir and its append source."""
+    from repro.stream import IncrementalPublisher
+
+    publisher = IncrementalPublisher.resume(
+        args.store_dir, schema=adult_schema(), model=_build_model(args)
+    )
+    # A resumed publisher is governed by the store's recorded state, not by
+    # these flags; call out only effective differences (passing the stream's
+    # actual values, or omitting --skyline, stays silent).
+    stored = publisher.store.state or {}
+    differing = [
+        flag
+        for flag, value in (
+            ("--k", args.k),
+            ("--method", args.method),
+            ("--refine-factor", args.refine_factor),
+            ("--compact-drift", args.compact_drift),
+            ("--max-cells", args.max_cells),
+        )
+        if stored.get(flag.strip("-").replace("-", "_")) != value
+    ]
+    if args.skyline is not None:
+        stored_skyline = [
+            (b, t) for b, t in publisher.skyline if len({v for _, v in b.items()}) == 1
+        ]
+        as_scalars = [(next(v for _, v in b.items()), t) for b, t in stored_skyline]
+        if len(stored_skyline) != len(publisher.skyline) or as_scalars != [
+            (float(b), float(t)) for b, t in args.skyline
+        ]:
+            differing.append("--skyline")
+    if differing:
+        flags = ", ".join(differing)
+        verb = "differs" if len(differing) == 1 else "differ"
+        print(
+            f"note: {flags} {verb} from the stored stream state, which "
+            "governs a resumed stream; the stored value"
+            f"{'' if len(differing) == 1 else 's'} will be used"
+        )
+    appended_total = args.batches * args.batch_size
+    consumed = publisher.store[0].n_rows + sum(
+        version.delta.appended_rows for version in publisher.store
+    )
+    if getattr(args, "input", None):
+        table = read_csv(args.input, adult_schema())
+        if table.n_rows < consumed + appended_total:
+            raise ReproError(
+                f"--input has {table.n_rows} rows but the resumed stream already "
+                f"consumed {consumed} and {appended_total} more are requested"
+            )
+        source = table.select(range(consumed, consumed + appended_total))
+    else:
+        # Synthetic sources are not prefix-stable across sizes: draw fresh
+        # batches from a seed derived from the stream position (values
+        # outside the stored domains trigger the publisher's full rebuild).
+        source = generate_adult(
+            appended_total, seed=args.seed + 7919 * len(publisher.store)
+        )
+    return publisher, source
+
+
 def _run_stream(args: argparse.Namespace) -> int:
     if args.batches < 1 or args.batch_size < 1:
         raise ReproError("--batches and --batch-size must be positive")
+    if args.resume and not args.store_dir:
+        raise ReproError("--resume requires --store-dir")
     appended_total = args.batches * args.batch_size
-    if getattr(args, "input", None):
-        table = read_csv(args.input, adult_schema())
-        if table.n_rows <= appended_total:
-            raise ReproError(
-                f"--input has {table.n_rows} rows but {appended_total} are reserved "
-                "for append batches; reduce --batches/--batch-size"
-            )
-    else:
-        # Generate seed + stream in one draw so the batches share the seed's
-        # marginals (the publisher handles unseen values with a full rebuild).
-        table = generate_adult(args.rows + appended_total, seed=args.seed)
-    seed_rows = table.n_rows - appended_total
-    seed = table.select(range(seed_rows))
-    session = _session(seed, args)
-    publisher = session.stream(
-        _build_model(args),
-        skyline=args.skyline,
-        k=args.k,
-        method=args.method,
-        refine_factor=args.refine_factor,
-    )
-    v0 = publisher.latest
-    print(f"stream: {publisher.describe()}")
-    print(
-        f"v0: seed {v0.n_rows} rows -> {v0.n_groups} groups "
-        f"[{'ok' if v0.satisfied else 'BREACH'}] "
-        f"({v0.delta.timings['total_seconds']:.3f}s)"
-    )
-    for index in range(args.batches):
-        lo = seed_rows + index * args.batch_size
-        batch = table.select(range(lo, lo + args.batch_size))
-        version = publisher.append(batch)
-        delta = version.delta
+    if args.resume:
+        publisher, source = _resume_stream(args)
+        print(f"stream (resumed from {args.store_dir}): {publisher.describe()}")
         print(
-            f"v{version.version}: +{delta.appended_rows} rows -> {version.n_groups} groups "
-            f"({delta.reused_groups} reused, {delta.rechecked_leaves} rechecked, "
-            f"{delta.refined_leaves} refined, {delta.rebuilt_regions} rebuilt) "
-            f"[{'ok' if version.satisfied else 'BREACH'}] "
-            f"({delta.timings['total_seconds']:.3f}s)"
+            f"resumed at v{publisher.latest.version}: {publisher.latest.n_rows} rows, "
+            f"{publisher.latest.n_groups} groups"
         )
-        if version.report is not None:
-            worst = version.report.worst_entry()
-            print(
-                f"    worst adversary {worst.adversary.describe()}: "
-                f"risk {worst.attack.worst_case_risk:.4f} (margin {worst.margin:+.4f})"
+    else:
+        if getattr(args, "input", None):
+            table = read_csv(args.input, adult_schema())
+            if table.n_rows <= appended_total:
+                raise ReproError(
+                    f"--input has {table.n_rows} rows but {appended_total} are reserved "
+                    "for append batches; reduce --batches/--batch-size"
+                )
+        else:
+            # Generate seed + stream in one draw so the batches share the
+            # seed's marginals (the publisher handles unseen values with a
+            # full rebuild).
+            table = generate_adult(args.rows + appended_total, seed=args.seed)
+        seed_rows = table.n_rows - appended_total
+        seed = table.select(range(seed_rows))
+        source = table.select(range(seed_rows, table.n_rows))
+        session = _session(seed, args)
+        publisher = session.stream(
+            _build_model(args),
+            skyline=args.skyline,
+            k=args.k,
+            method=args.method,
+            refine_factor=args.refine_factor,
+            compact_drift=args.compact_drift,
+            store_dir=args.store_dir,
+        )
+        v0 = publisher.latest
+        print(f"stream: {publisher.describe()}")
+        print(
+            f"v0: seed {v0.n_rows} rows -> {v0.n_groups} groups "
+            f"[{'ok' if v0.satisfied else 'BREACH'}] "
+            f"({v0.delta.timings['total_seconds']:.3f}s)"
+        )
+    deletes = round(args.delete_frac * args.batch_size)
+    updates = round(args.update_frac * args.batch_size)
+    rng = np.random.default_rng(args.seed + len(publisher.store))
+    for index in range(args.batches):
+        lo = index * args.batch_size
+        batch = source.select(range(lo, lo + args.batch_size))
+        _print_stream_version(publisher.append(batch))
+        if deletes:
+            rows = np.sort(
+                rng.choice(publisher.table.n_rows, size=deletes, replace=False)
             )
+            _print_stream_version(publisher.delete(rows))
+        if updates:
+            positions = np.sort(
+                rng.choice(publisher.table.n_rows, size=updates, replace=False)
+            )
+            donors = rng.integers(0, publisher.table.n_rows, size=updates)
+            replacements = [publisher.table.row(int(donor)) for donor in donors]
+            _print_stream_version(publisher.update(positions, replacements))
     if args.json:
         payload = {
             "stream": publisher.describe(),

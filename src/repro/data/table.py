@@ -310,6 +310,57 @@ class MicrodataTable:
             grown._codes[name] = np.concatenate([self._codes[name], codes])
         return grown
 
+    def replace_rows(
+        self, indices: Sequence[int], columns: Mapping[str, Sequence]
+    ) -> "MicrodataTable":
+        """A new table with the rows at ``indices`` replaced (domains preserved).
+
+        The in-place correction fast path for streams: only the replacement
+        rows are encoded, every other row's raw/code entries are copied
+        unchanged.  ``columns`` align positionally with ``indices`` (any
+        order; duplicates are rejected).  Raises
+        :class:`~repro.exceptions.DataError` when a replacement value falls
+        outside this table's domains (the caller must then rebuild with
+        fresh domains, since codes would shift).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise DataError("replace_rows requires at least one row index")
+        if np.unique(indices).size != indices.size:
+            raise DataError("replace_rows indices must be distinct")
+        if indices.min() < 0 or indices.max() >= self._n_rows:
+            raise DataError(
+                f"row index out of range for table of {self._n_rows} rows"
+            )
+        missing = [name for name in self._schema.names if name not in columns]
+        if missing:
+            raise DataError(f"missing columns for attributes {missing}")
+        lengths = {name: len(columns[name]) for name in self._schema.names}
+        if any(length != indices.size for length in lengths.values()):
+            raise DataError(
+                f"replacement columns must hold {indices.size} rows; got {lengths}"
+            )
+        replaced = object.__new__(MicrodataTable)
+        replaced._schema = self._schema
+        replaced._domains = dict(self._domains)
+        replaced._raw = {}
+        replaced._codes = {}
+        replaced._n_rows = self._n_rows
+        for attribute in self._schema:
+            name = attribute.name
+            if attribute.is_numeric:
+                fresh = np.asarray(columns[name], dtype=np.float64)
+            else:
+                fresh = np.asarray([str(v) for v in columns[name]], dtype=object)
+            codes = self._domains[name].encode(fresh)
+            raw = self._raw[name].copy()
+            raw[indices] = fresh
+            code_column = self._codes[name].copy()
+            code_column[indices] = codes
+            replaced._raw[name] = raw
+            replaced._codes[name] = code_column
+        return replaced
+
     def select(self, indices: Sequence[int]) -> "MicrodataTable":
         """A new table containing only the rows in ``indices`` (domains are preserved)."""
         indices = np.asarray(indices, dtype=np.int64)

@@ -53,6 +53,26 @@ solo-contracted tensor and the per-query numerators) are cached and
 :meth:`FactoredPriorBackend.append_rows` folds a batch in by recontracting
 only the queries whose compact-support kernel neighbourhood contains an
 appended row - every other query keeps a bitwise-identical numerator.
+
+**Full-lifecycle deltas.**  Retracting and correcting rows are just as
+additive: :meth:`FactoredPriorBackend.remove_rows` subtracts the removed
+rows' counts from ``M`` and :meth:`FactoredPriorBackend.update_rows` applies
+the paired (negative old cell, positive new cell) deltas of an in-place
+correction.  The count tensor holds small integers in float64, so these
+subtractions are *exact* - and instead of delta-accumulating the cached
+numerators (where a numerator that should become exactly zero could survive
+as a cancellation residue and poison the normalisation), every query with a
+positive kernel weight towards a touched cell is **fully recontracted** from
+the updated count tensor.  Untouched queries keep their cached numerators
+(every changed cell contributes an exact ``0.0`` to them), so maintained
+priors match a from-scratch fit of the post-batch table to floating-point
+round-off.  A removal that empties a rest slot *retires* it in place: the
+slot's exactly-zero counts contribute exact zeros to every contraction, so
+the layout does not shift and untouched queries stay bitwise stable.  The
+backend refits once retired slots accumulate past ``_MAX_RETIRED_FRACTION``
+of the layout (the empty-slot refit valve, amortised so realistic delete
+streams stay incremental), or when slot growth breaches the count-tensor /
+block-budget guards.
 """
 
 from __future__ import annotations
@@ -71,6 +91,10 @@ from repro.knowledge.kernels import get_kernel
 DEFAULT_MAX_CELLS = 64_000_000
 DEFAULT_BATCH_SIZE = 256
 DEFAULT_MAX_COUNT_CELLS = 128_000_000
+# Retired (exactly-zero) rest slots tolerated before a removal-heavy stream
+# refits into a compact layout; see the module docstring.
+_MAX_RETIRED_FRACTION = 0.25
+_MIN_RETIRED_SLOTS = 16
 
 
 def backend_name(max_cells: int) -> str:
@@ -193,6 +217,7 @@ class FactoredPriorBackend:
         self._rest_indices: list[int] = []
         self._n_combos: int = 0
         self._rest_combos: np.ndarray | None = None  # (capacity, d-1), slot order
+        self._slot_totals: np.ndarray | None = None  # (capacity,) rows per slot
         self._blocks: list[_RestBlock] = []
         self._count_storage: np.ndarray | None = None  # (solo, capacity, m)
         self._solo_of_row: np.ndarray | None = None
@@ -300,6 +325,7 @@ class FactoredPriorBackend:
         # roughly a second copy of the state alive.
         self._count_storage = None
         self._rest_combos = None
+        self._slot_totals = None
         self._blocks = []
         self._solo_of_row = self._slot_of_row = None
         self._pair_keys = self._query_solo = self._query_rest = self._query_inverse = None
@@ -344,6 +370,8 @@ class FactoredPriorBackend:
             .reshape(solo_size, n_combos, m)
             .astype(np.float64)
         )
+        self._slot_totals = np.zeros(capacity, dtype=np.float64)
+        self._slot_totals[:n_combos] = self._count_storage[:, :n_combos, :].sum(axis=(0, 2))
         self._rebuild_query_index()
         return self
 
@@ -442,33 +470,12 @@ class FactoredPriorBackend:
         delta_solo = codes_new[:, self._solo_index]
         rest_new = codes_new[:, self._rest_indices]
 
-        # Assign fresh slots to rest combinations first seen in this batch.
-        n_combos = self._n_combos
-        stacked = np.concatenate([self._rest_combos[:n_combos], rest_new], axis=0)
-        uniq, inverse = np.unique(stacked, axis=0, return_inverse=True)
-        slot_of_uid = np.full(uniq.shape[0], -1, dtype=np.int64)
-        slot_of_uid[inverse[:n_combos]] = np.arange(n_combos, dtype=np.int64)
-        fresh_uids = np.flatnonzero(slot_of_uid < 0)
-        if fresh_uids.size:
-            solo_size = self._count_storage.shape[0]
-            if solo_size * (n_combos + fresh_uids.size) * m > self.config.max_count_cells:
-                # Growth would breach the count-tensor memory guard; refit
-                # (which takes the flat path under the same guard).
-                self.fit(table)
-                return "refit"
-            slot_of_uid[fresh_uids] = n_combos + np.arange(fresh_uids.size, dtype=np.int64)
-            self._grow_combos(uniq[fresh_uids])
-            if any(
-                len(block.positions) > 1
-                and block.n_combos**2 > max(1, self.config.max_cells)
-                for block in self._blocks
-            ):
-                # A multi-attribute block outgrew the contraction budget;
-                # refit to re-derive a budget-respecting block layout
-                # (singleton blocks are admissible over budget by design).
-                self.fit(table)
-                return "refit"
-        delta_rest = slot_of_uid[inverse[n_combos:]]
+        delta_rest = self._assign_fresh_slots(rest_new, m)
+        if delta_rest is None:
+            # Growth breached a guard; refit (which takes the flat path
+            # under the same count-tensor guard).
+            self.fit(table)
+            return "refit"
         n_combos = self._n_combos
         solo_size = self._count_storage.shape[0]
 
@@ -483,6 +490,7 @@ class FactoredPriorBackend:
             .astype(np.float64)
         )
         self._count_storage[:, rest_touched, :] += delta_counts
+        self._slot_totals[rest_touched] += delta_counts.sum(axis=(0, 2))
         cells = np.unique(delta_solo * n_combos + delta_rest)
         cell_solo = cells // n_combos
         cell_rest = cells % n_combos
@@ -500,6 +508,261 @@ class FactoredPriorBackend:
             )
         return "incremental"
 
+    # -- removing and updating --------------------------------------------------------
+    def remove_rows(self, table: MicrodataTable, removed: np.ndarray) -> str:
+        """Shrink the fitted state to ``table`` (the fitted table minus ``removed``).
+
+        ``removed`` holds row positions of the *fitted* table; ``table`` must
+        be the fitted table with exactly those rows dropped and every domain
+        unchanged (e.g. ``fitted.select(kept)``).  The removed rows' counts
+        are subtracted from the count tensor - exactly, since counts are
+        small integers in float64 - and, in ``incremental`` mode, every query
+        whose kernel neighbourhood contained a removed row is fully
+        recontracted from the updated tensor (see the module docstring for
+        why removals never delta-accumulate numerators).
+
+        Returns ``"incremental"`` when the factored state was updated in
+        place, or ``"refit"`` when a full :meth:`fit` was required (flat
+        reference mode, changed domains, or retired slots accumulating past
+        the layout guard).
+        """
+        fitted = self._require_fitted()
+        removed = np.unique(np.asarray(removed, dtype=np.int64))
+        if removed.size == 0:
+            raise KnowledgeError("remove_rows requires at least one removed row")
+        if removed[0] < 0 or removed[-1] >= fitted.n_rows:
+            raise KnowledgeError("removed row positions fall outside the fitted table")
+        if removed.size >= fitted.n_rows:
+            raise KnowledgeError("cannot remove every row of the fitted table")
+        if table.n_rows != fitted.n_rows - removed.size:
+            raise KnowledgeError(
+                f"table has {table.n_rows} rows; expected "
+                f"{fitted.n_rows - removed.size} (the fitted table minus the removed rows)"
+            )
+        if self.mode != "factored" or not self._same_domains(table):
+            self.fit(table)
+            return "refit"
+        sensitive = fitted.sensitive_codes().astype(np.int64)
+        delta = self._exact_cell_deltas(
+            removed_solo=self._solo_of_row[removed],
+            removed_slot=self._slot_of_row[removed],
+            removed_sensitive=sensitive[removed],
+        )
+        if self._retired_guard_breached():
+            # Too many slots emptied to exactly zero: refit into a compact
+            # layout (the emptied-slot refit valve, amortised).
+            self.fit(table)
+            return "refit"
+        keep = np.ones(fitted.n_rows, dtype=bool)
+        keep[removed] = False
+        self._table = table
+        self._overall = table.sensitive_distribution()
+        self._solo_of_row = self._solo_of_row[keep]
+        self._slot_of_row = self._slot_of_row[keep]
+        self._finish_exact_update(*delta)
+        return "incremental"
+
+    def update_rows(self, table: MicrodataTable, positions: np.ndarray) -> str:
+        """Re-point the fitted state at ``table`` after in-place row corrections.
+
+        ``table`` holds the same rows as the fitted table except at
+        ``positions``, whose QI/sensitive values changed *within the fitted
+        domains* (callers rebuild from scratch when a correction introduces
+        new values - codes would shift).  The old cells' counts are
+        subtracted and the new cells' counts added in one exact pass; rest
+        combinations first seen in the correction take fresh slots exactly
+        as appends do, under the same count-tensor and block-budget guards.
+
+        Returns ``"incremental"`` or ``"refit"`` (flat mode, changed
+        domains, retired slots past the layout guard, or a breached growth
+        guard).
+        """
+        fitted = self._require_fitted()
+        positions = np.unique(np.asarray(positions, dtype=np.int64))
+        if positions.size == 0:
+            raise KnowledgeError("update_rows requires at least one updated row")
+        if positions[0] < 0 or positions[-1] >= fitted.n_rows:
+            raise KnowledgeError("updated row positions fall outside the fitted table")
+        if table.n_rows != fitted.n_rows:
+            raise KnowledgeError(
+                f"update_rows expects the same number of rows; got {table.n_rows} "
+                f"after {fitted.n_rows}"
+            )
+        if self.mode != "factored" or not self._same_domains(table):
+            self.fit(table)
+            return "refit"
+        m = table.sensitive_domain().size
+        old_solo = self._solo_of_row[positions]
+        old_slot = self._slot_of_row[positions]
+        old_sensitive = fitted.sensitive_codes().astype(np.int64)[positions]
+        codes_new = table.qi_code_matrix()[positions].astype(np.int64)
+        new_sensitive = table.sensitive_codes()[positions].astype(np.int64)
+        new_solo = codes_new[:, self._solo_index]
+        rest_new = codes_new[:, self._rest_indices]
+
+        new_slot = self._assign_fresh_slots(rest_new, m)
+        if new_slot is None:
+            self.fit(table)
+            return "refit"
+        delta = self._exact_cell_deltas(
+            removed_solo=old_solo,
+            removed_slot=old_slot,
+            removed_sensitive=old_sensitive,
+            added_solo=new_solo,
+            added_slot=new_slot,
+            added_sensitive=new_sensitive,
+        )
+        if self._retired_guard_breached():
+            self.fit(table)
+            return "refit"
+        self._table = table
+        self._overall = table.sensitive_distribution()
+        self._solo_of_row = self._solo_of_row.copy()
+        self._solo_of_row[positions] = new_solo
+        self._slot_of_row = self._slot_of_row.copy()
+        self._slot_of_row[positions] = new_slot
+        self._finish_exact_update(*delta)
+        return "incremental"
+
+    def _exact_cell_deltas(
+        self,
+        *,
+        removed_solo: np.ndarray | None = None,
+        removed_slot: np.ndarray | None = None,
+        removed_sensitive: np.ndarray | None = None,
+        added_solo: np.ndarray | None = None,
+        added_slot: np.ndarray | None = None,
+        added_sensitive: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply paired integer count deltas to the count storage.
+
+        Returns ``(rest_touched, cell_solo, cell_rest)`` - the touched rest
+        slots and the distinct touched (solo, slot) cells - after folding the
+        removed rows' counts out of (and the added rows' counts into) the
+        count storage.  Counts are integers in float64, so the subtraction is
+        exact and an emptied slot lands on exactly ``0.0`` (a *retired* slot
+        whose contributions are exact zeros everywhere).
+        """
+        m = self._count_storage.shape[2]
+        solo_size = self._count_storage.shape[0]
+        slot_parts = [s for s in (removed_slot, added_slot) if s is not None]
+        rest_touched = np.unique(np.concatenate(slot_parts))
+
+        def scatter(solo: np.ndarray, slot: np.ndarray, sensitive: np.ndarray, sign: float) -> None:
+            position = np.searchsorted(rest_touched, slot)
+            flat = (solo * rest_touched.size + position) * m + sensitive
+            counts = (
+                np.bincount(flat, minlength=solo_size * rest_touched.size * m)
+                .reshape(solo_size, rest_touched.size, m)
+                .astype(np.float64)
+            )
+            self._count_storage[:, rest_touched, :] += sign * counts
+            self._slot_totals[rest_touched] += sign * counts.sum(axis=(0, 2))
+
+        cells = []
+        if removed_slot is not None:
+            scatter(removed_solo, removed_slot, removed_sensitive, -1.0)
+            cells.append(removed_solo * self._n_combos + removed_slot)
+        if added_slot is not None:
+            scatter(added_solo, added_slot, added_sensitive, 1.0)
+            cells.append(added_solo * self._n_combos + added_slot)
+        distinct = np.unique(np.concatenate(cells))
+        return rest_touched, distinct // self._n_combos, distinct % self._n_combos
+
+    def _retired_guard_breached(self) -> bool:
+        """Whether retired (exactly-zero) slots warrant a compact refit."""
+        retired = int((self._slot_totals[: self._n_combos] == 0.0).sum())
+        return retired > max(_MIN_RETIRED_SLOTS, _MAX_RETIRED_FRACTION * self._n_combos)
+
+    def _finish_exact_update(
+        self, rest_touched: np.ndarray, cell_solo: np.ndarray, cell_rest: np.ndarray
+    ) -> None:
+        """Rebuild the query index and exactly refresh every cached contraction."""
+        previous_solo, previous_rest = self._query_solo, self._query_rest
+        self._rebuild_query_index()
+        previous_pairs = previous_solo * max(1, self._n_combos) + previous_rest
+        for cache in self._contractions.values():
+            self._refresh_cache_exact(
+                cache, rest_touched, cell_solo, cell_rest, previous_pairs
+            )
+
+    def _refresh_cache_exact(
+        self,
+        cache: dict,
+        rest_touched: np.ndarray,
+        cell_solo: np.ndarray,
+        cell_rest: np.ndarray,
+        previous_pairs: np.ndarray,
+    ) -> None:
+        """Fold removals/updates into one bandwidth's cached contraction.
+
+        Unlike the append path (:meth:`_update_cache`), nothing is
+        delta-accumulated: the touched contracted columns are recomputed from
+        the exactly-updated count tensor and every affected or fresh query is
+        fully recontracted, so a numerator whose neighbourhood emptied lands
+        on exactly zero (and takes the overall-distribution fallback) instead
+        of surviving as a cancellation residue.
+        """
+        qi_names = list(self._table.quasi_identifier_names)
+        n_combos = self._n_combos
+        m = self._count_storage.shape[2]
+        solo_weights = self._bandwidth_weights(cache["bandwidth"], qi_names[self._solo_index])
+        solo_size = solo_weights.shape[0]
+        contracted = cache["contracted_storage"][:, :n_combos, :]
+        counts_touched = self._count_storage[:, rest_touched, :]
+        contracted[:, rest_touched, :] = (
+            solo_weights @ counts_touched.reshape(solo_size, -1)
+        ).reshape(solo_size, rest_touched.size, m)
+        block_joints = cache["block_joints"]
+
+        # Realign numerators with the (shrunk or grown) query set: vanished
+        # pairs are dropped, fresh pairs recontract fully below.
+        numerators = np.zeros((self._pair_keys.size, m), dtype=np.float64)
+        positions = np.searchsorted(self._pair_keys, previous_pairs)
+        positions = np.minimum(positions, max(0, self._pair_keys.size - 1))
+        survives = self._pair_keys[positions] == previous_pairs
+        numerators[positions[survives]] = cache["numerators"][survives]
+        fresh = np.ones(self._pair_keys.size, dtype=bool)
+        fresh[positions[survives]] = False
+        affected = self._affected_query_mask(
+            cache["bandwidth"], block_joints, cell_solo, cell_rest
+        )
+        self._contract_queries(
+            numerators, np.flatnonzero(affected | fresh), block_joints, contracted
+        )
+        cache["numerators"] = numerators
+
+    def _assign_fresh_slots(self, rest_new: np.ndarray, m: int) -> np.ndarray | None:
+        """Slots for a batch of rest combinations, growing the layout as needed.
+
+        Combinations first seen in the batch take the next free slots (the
+        shared scheme of :meth:`append_rows` and :meth:`update_rows`).
+        Returns the per-row slot ids, or ``None`` when growth breaches a
+        guard and the caller must refit: the count-tensor memory guard, or a
+        multi-attribute block outgrowing the contraction budget (the layout
+        must be re-derived; singleton blocks are admissible over budget by
+        design).
+        """
+        n_combos = self._n_combos
+        stacked = np.concatenate([self._rest_combos[:n_combos], rest_new], axis=0)
+        uniq, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        slot_of_uid = np.full(uniq.shape[0], -1, dtype=np.int64)
+        slot_of_uid[inverse[:n_combos]] = np.arange(n_combos, dtype=np.int64)
+        fresh_uids = np.flatnonzero(slot_of_uid < 0)
+        if fresh_uids.size:
+            solo_size = self._count_storage.shape[0]
+            if solo_size * (n_combos + fresh_uids.size) * m > self.config.max_count_cells:
+                return None
+            slot_of_uid[fresh_uids] = n_combos + np.arange(fresh_uids.size, dtype=np.int64)
+            self._grow_combos(uniq[fresh_uids])
+            if any(
+                len(block.positions) > 1
+                and block.n_combos**2 > max(1, self.config.max_cells)
+                for block in self._blocks
+            ):
+                return None
+        return slot_of_uid[inverse[n_combos:]]
+
     def _grow_combos(self, new_combos: np.ndarray) -> None:
         """Assign slots to new rest combinations, reallocating storage if full."""
         n_old = self._n_combos
@@ -515,6 +778,9 @@ class FactoredPriorBackend:
             )
             storage[:, :n_old, :] = self._count_storage[:, :n_old, :]
             self._count_storage = storage
+            totals = np.zeros(capacity, dtype=np.float64)
+            totals[:n_old] = self._slot_totals[:n_old]
+            self._slot_totals = totals
             for block in self._blocks:
                 code_of_slot = np.zeros(capacity, dtype=np.int64)
                 code_of_slot[:n_old] = block.code_of_slot[:n_old]
@@ -671,9 +937,8 @@ class FactoredPriorBackend:
         bitwise-identical numerator.
         """
         qi_names = list(self._table.quasi_identifier_names)
-        n_combos = self._n_combos
         solo_weights = self._bandwidth_weights(cache["bandwidth"], qi_names[self._solo_index])
-        contracted = cache["contracted_storage"][:, :n_combos, :]
+        contracted = cache["contracted_storage"][:, : self._n_combos, :]
         block_joints = cache["block_joints"]
         m = contracted.shape[2]
         contracted_delta = (
@@ -688,22 +953,9 @@ class FactoredPriorBackend:
         fresh = np.ones(self._pair_keys.size, dtype=bool)
         fresh[kept] = False
 
-        # A query (a, r) is affected iff some touched cell (a0, r0) has
-        # positive solo weight a->a0 *and* positive chained rest weight
-        # r->r0; count the witnessing cells with small matmuls (tiled over
-        # rest slots so the transient weight rows respect the cell budget)
-        # instead of materialising the (queries x cells) mask.
-        solo_positive = (solo_weights[:, cell_solo] > 0.0).astype(np.float32)
-        witnesses = np.empty((solo_weights.shape[0], n_combos), dtype=np.float32)
-        tile = self._tile_rows(max(1, cell_rest.size))
-        for start in range(0, n_combos, tile):
-            stop = min(start + tile, n_combos)
-            slots = np.arange(start, stop, dtype=np.int64)
-            cell_weights = self._joint_rows(slots, block_joints, columns=cell_rest)
-            witnesses[:, start:stop] = solo_positive @ (
-                cell_weights > 0.0
-            ).astype(np.float32).T
-        affected = witnesses[self._query_solo, self._query_rest] > 0.0
+        affected = self._affected_query_mask(
+            cache["bandwidth"], block_joints, cell_solo, cell_rest
+        )
         # Existing affected queries take the *delta* contraction (touched
         # columns only); brand-new queries need the full contraction.  Both
         # sides are sums of non-negative kernel terms, so an exactly-zero
@@ -718,6 +970,36 @@ class FactoredPriorBackend:
         )
         self._contract_queries(numerators, np.flatnonzero(fresh), block_joints, contracted)
         cache["numerators"] = numerators
+
+    def _affected_query_mask(
+        self,
+        bandwidth: Bandwidth,
+        block_joints: list[np.ndarray],
+        cell_solo: np.ndarray,
+        cell_rest: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean mask over the query positions whose numerator may change.
+
+        A query (a, r) is affected iff some touched cell (a0, r0) has
+        positive solo weight a->a0 *and* positive chained rest weight
+        r->r0; count the witnessing cells with small matmuls (tiled over
+        rest slots so the transient weight rows respect the cell budget)
+        instead of materialising the (queries x cells) mask.
+        """
+        qi_names = list(self._table.quasi_identifier_names)
+        n_combos = self._n_combos
+        solo_weights = self._bandwidth_weights(bandwidth, qi_names[self._solo_index])
+        solo_positive = (solo_weights[:, cell_solo] > 0.0).astype(np.float32)
+        witnesses = np.empty((solo_weights.shape[0], n_combos), dtype=np.float32)
+        tile = self._tile_rows(max(1, cell_rest.size))
+        for start in range(0, n_combos, tile):
+            stop = min(start + tile, n_combos)
+            slots = np.arange(start, stop, dtype=np.int64)
+            cell_weights = self._joint_rows(slots, block_joints, columns=cell_rest)
+            witnesses[:, start:stop] = solo_positive @ (
+                cell_weights > 0.0
+            ).astype(np.float32).T
+        return witnesses[self._query_solo, self._query_rest] > 0.0
 
     def _factored_matrix(self, bandwidth: Bandwidth) -> np.ndarray:
         """The per-row prior matrix of the fitted table under one bandwidth."""

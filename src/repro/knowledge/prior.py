@@ -22,8 +22,9 @@ additive append-only updates.  The classes here are thin views over it:
 * :class:`KernelPriorEstimator` - one bandwidth (the ``Adv(B)`` adversary of
   a single (B,t) requirement or attack);
 * :class:`BatchedKernelPriorEstimator` - many bandwidths in one pass (the
-  skyline's estimator), with optional incremental ``append_rows`` deltas for
-  streaming publishers.
+  skyline's estimator), with optional incremental ``append_rows`` /
+  ``remove_rows`` / ``update_rows`` deltas for full-lifecycle streaming
+  publishers.
 
 Both produce priors numerically identical (to floating-point round-off) to
 the flat ``O(n^2 d)`` reference sweep, which survives only as a small-size
@@ -223,14 +224,15 @@ class BatchedKernelPriorEstimator:
     chained contraction.  Results match the flat reference to floating-point
     round-off.
 
-    Append-only streams can grow a fitted estimator with :meth:`append_rows`:
-    the count tensor is additive in rows, so the priors of the extended table
-    are produced by folding the appended rows' counts into the factored state
-    instead of re-sweeping all ``n`` rows.  With ``incremental=True`` the
-    per-bandwidth contraction artefacts (block joints, the solo-contracted
-    tensor and the per-query numerators) are cached between calls and only
-    the queries whose compact-support kernel neighbourhood contains an
-    appended row are recontracted.
+    Streams can mutate a fitted estimator with :meth:`append_rows`,
+    :meth:`remove_rows` and :meth:`update_rows`: the count tensor is additive
+    in rows, so the priors of the changed table are produced by folding the
+    batch's (possibly negative, exactly-integer) count deltas into the
+    factored state instead of re-sweeping all ``n`` rows.  With
+    ``incremental=True`` the per-bandwidth contraction artefacts (block
+    joints, the solo-contracted tensor and the per-query numerators) are
+    cached between calls and only the queries whose compact-support kernel
+    neighbourhood contains a changed row are recontracted.
 
     Parameters
     ----------
@@ -298,6 +300,26 @@ class BatchedKernelPriorEstimator:
         :meth:`fit` (flat reference mode, or changed domains).
         """
         return self._backend.append_rows(table)
+
+    def remove_rows(self, table: MicrodataTable, removed: np.ndarray) -> str:
+        """Shrink the fitted state to ``table`` (the fitted table minus ``removed``).
+
+        ``removed`` holds row positions of the fitted table.  Counts are
+        subtracted from the factored state exactly; returns ``"incremental"``
+        or ``"refit"`` (flat mode, changed domains, or an emptied rest slot -
+        see :meth:`~repro.knowledge.backend.FactoredPriorBackend.remove_rows`).
+        """
+        return self._backend.remove_rows(table, removed)
+
+    def update_rows(self, table: MicrodataTable, positions: np.ndarray) -> str:
+        """Fold in-place row corrections at ``positions`` into the fitted state.
+
+        ``table`` has the fitted table's rows with the ones at ``positions``
+        replaced (within the fitted domains).  Paired negative/positive count
+        deltas are exact; returns ``"incremental"`` or ``"refit"`` (see
+        :meth:`~repro.knowledge.backend.FactoredPriorBackend.update_rows`).
+        """
+        return self._backend.update_rows(table, positions)
 
     # -- estimation -----------------------------------------------------------------
     def prior_for_table(

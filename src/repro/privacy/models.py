@@ -86,6 +86,21 @@ class PrivacyModel:
         self.prepare(table)
         return np.ones(table.n_rows, dtype=bool)
 
+    def stream_replace(self, table: MicrodataTable, previous_of: np.ndarray) -> np.ndarray:
+        """Refresh state after rows were removed or corrected in place.
+
+        The full-lifecycle counterpart of :meth:`stream_update`:
+        ``previous_of`` maps every row of ``table`` to its position in the
+        previously prepared table (``-1`` for rows with no previous
+        counterpart).  Implementations refresh table-wide state and return a
+        boolean dirty mask over ``table``'s rows.  The conservative default
+        re-prepares and marks everything dirty; models whose verdicts depend
+        only on a group's own members override it.  (:class:`BTPrivacy` is
+        refreshed through :meth:`update_priors` with ``previous_of``.)
+        """
+        self.prepare(table)
+        return np.ones(table.n_rows, dtype=bool)
+
     def _appended_only_dirty(self, table: MicrodataTable, n_previous: int) -> np.ndarray:
         dirty = np.ones(table.n_rows, dtype=bool)
         dirty[:n_previous] = False
@@ -117,6 +132,12 @@ class KAnonymity(PrivacyModel):
         self.prepare(table)
         return self._appended_only_dirty(table, n_previous)
 
+    def stream_replace(self, table: MicrodataTable, previous_of: np.ndarray) -> np.ndarray:
+        # Group size only: the publisher re-checks every group whose
+        # *membership* changed, which is the only thing k-anonymity sees.
+        self.prepare(table)
+        return np.asarray(previous_of, dtype=np.int64) < 0
+
     def describe(self) -> str:
         return f"k={self.k}"
 
@@ -137,6 +158,22 @@ class _SensitiveGroupModel(PrivacyModel):
         # append-only growth keeps previous rows' codes unchanged.
         self.prepare(table)
         return self._appended_only_dirty(table, n_previous)
+
+    def stream_replace(self, table: MicrodataTable, previous_of: np.ndarray) -> np.ndarray:
+        # Verdicts depend only on a group's own sensitive counts: a row is
+        # dirty when it has no previous counterpart or its code changed
+        # (membership changes are the publisher's responsibility).
+        previous_codes = self._sensitive_codes
+        self.prepare(table)
+        previous_of = np.asarray(previous_of, dtype=np.int64)
+        dirty = previous_of < 0
+        if previous_codes is None:
+            return np.ones(table.n_rows, dtype=bool)
+        surviving = ~dirty
+        dirty[surviving] = (
+            self._sensitive_codes[surviving] != previous_codes[previous_of[surviving]]
+        )
+        return dirty
 
     def _group_counts(self, group_indices: np.ndarray) -> np.ndarray:
         if self._sensitive_codes is None or self._domain_size is None:
@@ -247,6 +284,15 @@ class TCloseness(_SensitiveGroupModel):
             return self._appended_only_dirty(table, n_previous)
         return np.ones(table.n_rows, dtype=bool)
 
+    def stream_replace(self, table: MicrodataTable, previous_of: np.ndarray) -> np.ndarray:
+        # Same reference sensitivity as stream_update: an unchanged overall
+        # distribution reduces dirtiness to membership/code changes.
+        previous_overall = self._overall
+        dirty = super().stream_replace(table, previous_of)
+        if previous_overall is not None and np.array_equal(previous_overall, self._overall):
+            return dirty
+        return np.ones(table.n_rows, dtype=bool)
+
     def is_satisfied(self, group_indices: np.ndarray) -> bool:
         counts = self._group_counts(group_indices)
         if self._overall is None:
@@ -354,23 +400,38 @@ class BTPrivacy(PrivacyModel):
         self._risk_cache.clear()
 
     def update_priors(
-        self, priors: PriorBeliefs, sensitive_codes: np.ndarray, domain_size: int
+        self,
+        priors: PriorBeliefs,
+        sensitive_codes: np.ndarray,
+        domain_size: int,
+        *,
+        previous_of: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Replace the priors of a *grown* table, keeping still-valid risk memos.
+        """Replace the priors of a changed table, keeping still-valid risk memos.
 
-        This is the append-only streaming entry point: the new ``priors``
-        cover the previous rows (same order) plus any appended rows.  Instead
-        of dropping the whole risk memo - as :meth:`set_priors` does - only
-        cache entries containing a row whose prior row actually changed are
-        invalidated, so re-checking untouched groups stays a memo hit.
+        This is the streaming entry point.  Without ``previous_of`` the table
+        *grew*: the new ``priors`` cover the previous rows (same order) plus
+        any appended rows.  With ``previous_of`` - an int array mapping every
+        new row to its position in the previously prepared table (``-1`` for
+        rows with no counterpart) - the table shrank or was corrected in
+        place, and risk memos are *remapped* into the new index space (a memo
+        survives when every member row survives clean).  Either way, instead
+        of dropping the whole memo - as :meth:`set_priors` does - only
+        entries containing a changed row are invalidated, so re-checking
+        untouched groups stays a memo hit.
 
-        Returns a boolean mask over the *new* table: ``True`` for appended
-        rows and for previous rows whose prior distribution changed (the
-        "dirty" rows whose group risks may differ).  Without previous priors
-        this degrades to :meth:`set_priors` and every row is dirty.
+        Returns a boolean mask over the *new* table: ``True`` for rows with
+        no previous counterpart and for rows whose prior distribution or
+        sensitive code changed (the "dirty" rows whose group risks may
+        differ).  Without previous priors this degrades to
+        :meth:`set_priors` and every row is dirty.
         """
         new_codes = np.asarray(sensitive_codes, dtype=np.int64)
         n_new = priors.matrix.shape[0]
+        if previous_of is not None:
+            return self._update_priors_remapped(
+                priors, new_codes, domain_size, np.asarray(previous_of, dtype=np.int64)
+            )
         if (
             self._priors is None
             or self._priors.n_rows > n_new
@@ -394,6 +455,76 @@ class BTPrivacy(PrivacyModel):
             ]
             for key in stale:
                 del self._risk_cache[key]
+        return dirty
+
+    def _update_priors_remapped(
+        self,
+        priors: PriorBeliefs,
+        new_codes: np.ndarray,
+        domain_size: int,
+        previous_of: np.ndarray,
+    ) -> np.ndarray:
+        """The remapped (deletion/correction) arm of :meth:`update_priors`."""
+        n_new = priors.matrix.shape[0]
+        if (
+            self._priors is None
+            or self._sensitive_codes is None
+            or self._domain_size != int(domain_size)
+            or previous_of.shape != (n_new,)
+            or (previous_of.size and previous_of.max() >= self._priors.n_rows)
+        ):
+            self.set_priors(priors, new_codes, domain_size)
+            return np.ones(n_new, dtype=bool)
+        n_previous = self._priors.n_rows
+        dirty = previous_of < 0
+        surviving = np.flatnonzero(~dirty)
+        survivors_previous = previous_of[surviving]
+        dirty[surviving] = (
+            priors.matrix[surviving] != self._priors.matrix[survivors_previous]
+        ).any(axis=1) | (new_codes[surviving] != self._sensitive_codes[survivors_previous])
+        # Remap still-valid memos into the new index space: a memo survives
+        # when every member row survives clean (keys stay sorted because the
+        # old -> new map is monotone on survivors).  One vectorised pass over
+        # the concatenated keys decides survival; only surviving entries pay
+        # a per-entry re-encode - and none do when the map is the identity
+        # (in-place corrections), where keys cannot change.
+        current_of = np.full(n_previous, -1, dtype=np.int64)
+        current_of[survivors_previous] = surviving
+        if self._risk_cache:
+            keys = list(self._risk_cache)
+            lengths = np.fromiter(
+                (len(key) // 8 for key in keys), dtype=np.int64, count=len(keys)
+            )
+            old_indices = np.frombuffer(b"".join(keys), dtype=np.int64)
+            in_range = (old_indices >= 0) & (old_indices < n_previous)
+            new_indices = np.where(
+                in_range, current_of[np.where(in_range, old_indices, 0)], -1
+            )
+            alive = new_indices >= 0
+            alive &= ~dirty[np.where(alive, new_indices, 0)]
+            offsets = np.zeros(len(keys), dtype=np.int64)
+            np.cumsum(lengths[:-1], out=offsets[1:])
+            entry_alive = np.minimum.reduceat(alive.astype(np.int8), offsets).astype(bool)
+            identity = n_new == n_previous and bool(
+                (previous_of == np.arange(n_previous)).all()
+            )
+            if identity:
+                self._risk_cache = {
+                    key: self._risk_cache[key]
+                    for key, ok in zip(keys, entry_alive)
+                    if ok
+                }
+            else:
+                bounds = np.append(offsets, old_indices.size)
+                self._risk_cache = {
+                    new_indices[bounds[position] : bounds[position + 1]].tobytes():
+                        self._risk_cache[key]
+                    for position, key in enumerate(keys)
+                    if entry_alive[position]
+                }
+        self._priors = priors
+        self._sensitive_codes = new_codes
+        self._domain_size = int(domain_size)
         return dirty
 
     @property

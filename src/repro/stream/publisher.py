@@ -1,33 +1,46 @@
-"""The incremental publication engine for append-only microdata streams.
+"""The incremental publication engine for full-lifecycle microdata streams.
 
 A production publisher does not receive its table once: rows keep arriving,
-and re-running the whole estimate -> partition -> audit pipeline per batch
-throws away almost everything the previous run computed.  The paper's
-risk-continuity result (worst-case disclosure risk varies continuously with
-the background-knowledge bandwidth ``B``, Section V-C) has an exact
-finite-sample counterpart that this engine exploits: with the paper's
-compact-support kernels, appending rows changes the estimated prior belief
-only at quasi-identifier combinations within kernel range of an appended row,
-so a previously satisfied release is only *threatened where counts actually
-changed*.
+rows are *retracted* (GDPR-style erasure) and rows are *corrected* (late
+fixes).  Re-running the whole estimate -> partition -> audit pipeline per
+mutation throws away almost everything the previous run computed.  The
+paper's risk-continuity result (worst-case disclosure risk varies
+continuously with the background-knowledge bandwidth ``B``, Section V-C)
+has an exact finite-sample counterpart that this engine exploits: with the
+paper's compact-support kernels, changing rows changes the estimated prior
+belief only at quasi-identifier combinations within kernel range of a
+changed row, so a previously satisfied release is only *threatened where
+counts actually changed*.
 
 :class:`IncrementalPublisher` holds a versioned release and, per
-:meth:`append` batch:
+:meth:`append` / :meth:`delete` / :meth:`update` batch:
 
-1. folds the batch into the factored kernel-prior state
-   (:meth:`~repro.knowledge.prior.BatchedKernelPriorEstimator.append_rows` -
-   additive count-tensor update, no ``O(n^2 d)`` re-sweep);
-2. computes the exact set of **dirty rows** - appended rows plus rows whose
-   prior distribution changed for some configured adversary (a bitwise
-   comparison, so no false "clean" verdicts);
-3. routes appended rows down the recorded Mondrian split tree to their leaf
-   groups, re-checks only dirty leaves (one batched ``is_satisfied_batch``
-   call, reusing the (B,t) model's surviving risk memos), locally re-splits
-   leaves that grew and merges-up/rebuilds regions around leaves that now
-   violate the requirement - every untouched subtree is reused verbatim;
+1. folds the batch into the factored kernel-prior state as **exact**
+   count-tensor deltas (additive for appends, negative for retractions,
+   paired for corrections - no ``O(n^2 d)`` re-sweep; see
+   :mod:`repro.knowledge.backend`);
+2. computes the exact set of **dirty rows** - rows without a previous
+   counterpart plus rows whose prior distribution or sensitive code changed
+   for some configured adversary (a bitwise comparison, so no false "clean"
+   verdicts);
+3. routes appended/corrected rows down the recorded Mondrian split tree to
+   their leaf groups (a corrected QI value may cross a split boundary),
+   shrinks leaves that lost retracted rows, re-checks only dirty leaves
+   (one batched ``is_satisfied_batch`` call, reusing the (B,t) model's
+   surviving - and, after deletions, index-remapped - risk memos), locally
+   re-splits leaves that grew and merges-up/rebuilds regions around leaves
+   that now violate the requirement (or emptied entirely) - every untouched
+   subtree is reused verbatim;
 4. re-audits the release in the skyline engine's dirty-group mode, copying
-   the risks of byte-identical clean groups from the previous version's
-   report.
+   the risks of clean surviving groups from the previous version's report
+   through the row remap.
+
+Deferred maintenance - rows joining grown groups below the
+``refine_factor`` trigger, retracted rows shrinking groups, corrected rows
+re-routed in place - accumulates **drift**; once it reaches
+``compact_drift`` of the current table the next version publishes through a
+full-refine **compaction** (a fresh partition; priors and audits stay
+incremental) and the drift resets.
 
 The published groups therefore always satisfy the privacy requirement under
 priors estimated from the *current* table, and the maintained audit risks are
@@ -36,13 +49,20 @@ equivalence the stream tests pin to ``<= 1e-12``).
 
 The partition itself is maintained, not recomputed: it is a valid Mondrian
 refinement lineage, generally *not* the same tree a from-scratch run on the
-grown table would cut (medians move with the data), which is the usual - and
-here explicit - trade-off of incremental Mondrian publishing.
+current table would cut (medians move with the data), which is the usual -
+and here explicit, ``compact_drift``-bounded - trade-off of incremental
+Mondrian publishing.
+
+With ``store_path=...`` every version persists to a disk-backed
+:class:`~repro.stream.store.ReleaseStore` and :meth:`IncrementalPublisher.resume`
+reconstructs a publisher mid-stream (identical continuation, historical
+version serving).
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -89,15 +109,31 @@ class IncrementalPublisher:
         batch; the default amortises the search so a group is never more than
         ~``refine_factor`` times coarser than a fresh run would leave it.
         Privacy is unaffected - grown groups are always re-checked.
+    compact_drift:
+        Periodic full-refine compaction threshold.  Deferred maintenance
+        (rows joining grown groups below the ``refine_factor`` trigger,
+        retracted rows shrinking groups, corrected rows re-routed in place)
+        accumulates *drift* - utility the maintained partition leaves on the
+        table relative to a fresh run.  Once the accumulated drifted-row
+        count reaches ``compact_drift`` times the current table size, the
+        next batch is published through a full re-partition (priors and
+        audits stay incremental), resetting the drift.  ``float("inf")``
+        disables compaction.
     measure:
         Audit distance measure (defaults to the paper's smoothed-JS measure).
     distance_matrices:
         Optional precomputed attribute distance matrices to share (e.g. from a
         :class:`~repro.api.session.Session`).
+    store_path:
+        Optional directory for a disk-backed :class:`ReleaseStore`: every
+        published version is persisted (JSON-lines lineage + one ``.npz``
+        per release), and :meth:`resume` can reconstruct the publisher from
+        the directory to continue the stream or serve historical versions.
 
     Appended batches with values outside the seed domains force a full
     rebuild (codes, distance matrices and priors all shift); batches inside
-    the domains take the incremental path.
+    the domains take the incremental path.  The same holds for corrections
+    that introduce values outside the current domains.
     """
 
     def __init__(
@@ -112,19 +148,25 @@ class IncrementalPublisher:
         split_strategy: str = "widest",
         max_cells: int = DEFAULT_MAX_CELLS,
         refine_factor: float = 1.5,
+        compact_drift: float = 0.5,
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
+        store_path: str | Path | None = None,
     ):
         if method not in {"omega", "exact"}:
             raise StreamError("method must be 'omega' or 'exact'")
         if refine_factor < 1.0:
             raise StreamError("refine_factor must be at least 1.0")
+        if not compact_drift > 0.0:
+            raise StreamError("compact_drift must be positive (inf disables compaction)")
         self.refine_factor = float(refine_factor)
+        self.compact_drift = float(compact_drift)
         self._table = table
         self.model = model
         self.kernel = kernel
         self.method = method
         self.max_cells = int(max_cells)
+        self._k = k
         self._requirement: PrivacyModel = (
             CompositeModel([KAnonymity(k), model]) if k is not None else model
         )
@@ -150,9 +192,21 @@ class IncrementalPublisher:
             distance_matrices=distance_matrices,
             incremental=True,
         )
-        self.store = ReleaseStore()
+        self.split_strategy = split_strategy
+        self.store = (
+            ReleaseStore(path=store_path, schema=table.schema)
+            if store_path is not None
+            else ReleaseStore()
+        )
         self._tree: PartitionTree | None = None
         self._audit_matrices: list[np.ndarray] = []
+        self._drift_rows = 0
+        # Set while a mutation is in flight and cleared when its version is
+        # recorded: a raise mid-mutation (e.g. the documented
+        # AnonymizationError when the whole table fails) leaves the
+        # maintained state half-updated, so further publishing must refuse
+        # loudly instead of silently emitting a wrong version.
+        self._inconsistent = False
 
     # -- small helpers ----------------------------------------------------------------
     def _bandwidth(self, b: float | Bandwidth) -> Bandwidth:
@@ -196,18 +250,135 @@ class IncrementalPublisher:
         priors = self._estimator.prior_for_table(bandwidths)
         return {b.items(): p for b, p in zip(bandwidths, priors)}
 
+    # -- resuming from a disk-backed store ---------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        *,
+        schema,
+        model: PrivacyModel,
+        measure: DistanceMeasure | None = None,
+        distance_matrices: dict[str, np.ndarray] | None = None,
+    ) -> "IncrementalPublisher":
+        """Reconstruct a publisher from a disk-backed store and continue the stream.
+
+        ``schema`` decodes the persisted tables; ``model`` must be (a fresh
+        instance of) the attribute-disclosure model the stream was created
+        with - the store records the full requirement's description and
+        refuses a mismatch.  The returned publisher holds the loaded version
+        lineage (so it can serve every historical release), the recorded
+        split tree and accumulated compaction drift, and freshly refit
+        priors; subsequent :meth:`append` / :meth:`delete` / :meth:`update`
+        calls continue the stream where it stopped, producing versions
+        identical to an uninterrupted publisher.
+        """
+        store = ReleaseStore(path=path, schema=schema)
+        if not len(store):
+            raise StreamError(f"the release store at {path} holds no versions")
+        if store.state is None:
+            raise StreamError(
+                f"the release store at {path} holds no publisher state (state.json)"
+            )
+        state = store.state
+        table = store.latest().release.table
+        try:
+            skyline = [
+                (Bandwidth({name: float(value) for name, value in items}), float(t))
+                for items, t in state["skyline"]
+            ]
+            publisher = cls(
+                table,
+                model,
+                skyline=skyline,
+                k=state["k"],
+                kernel=state["kernel"],
+                method=state["method"],
+                split_strategy=state["split_strategy"],
+                max_cells=int(state["max_cells"]),
+                refine_factor=float(state["refine_factor"]),
+                compact_drift=float(state["compact_drift"]),
+                measure=measure,
+                distance_matrices=distance_matrices,
+            )
+            recorded_model = state["model"]
+            tree_payload = state["tree"]
+            drift_rows = int(state["drift_rows"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise StreamError(
+                f"corrupt release store: state.json cannot be decoded ({error})"
+            ) from None
+        if publisher._requirement.describe() != recorded_model:
+            raise StreamError(
+                f"model mismatch: the store was published under {recorded_model!r}, "
+                f"resume() was given {publisher._requirement.describe()!r}"
+            )
+        if tree_payload is None:
+            raise StreamError("corrupt release store: state.json records no partition tree")
+        tree = PartitionTree(PartitionTree.from_jsonable(tree_payload))
+        # The recorded tree's leaves must be exactly the latest release's
+        # groups: a crash between the lineage append and the state.json
+        # replace leaves the two files one version apart, and continuing
+        # from a stale tree would publish wrong (or out-of-range) groups.
+        latest_groups = store.latest().release.groups
+        leaves = tree.leaves()
+        if len(leaves) != len(latest_groups) or not all(
+            np.array_equal(leaf.indices, group)
+            for leaf, group in zip(leaves, latest_groups)
+        ):
+            raise StreamError(
+                f"the release store at {path} was interrupted mid-persist: "
+                "state.json's partition tree does not match the latest "
+                "version's groups, so the stream cannot be continued "
+                "(historical versions remain servable via ReleaseStore)"
+            )
+        publisher.store = store
+        publisher._tree = tree
+        publisher._drift_rows = drift_rows
+        # Rebuild the estimation state the incremental paths maintain: a
+        # fresh fit on the current table (the maintained state it replaces
+        # matches a from-scratch fit to round-off).
+        if publisher._measure is None and publisher._points:
+            publisher._measure = sensitive_distance_measure(table)
+        publisher._estimator.fit(table)
+        prior_map = publisher._priors_by_bandwidth()
+        codes = table.sensitive_codes()
+        domain_size = table.sensitive_domain().size
+        for component in publisher._bt_components:
+            component.set_priors(
+                prior_map[publisher._bandwidth(component.b).items()], codes, domain_size
+            )
+        publisher._requirement.prepare(table)
+        if publisher._points:
+            publisher._audit_matrices = [
+                prior_map[bandwidth.items()].matrix for bandwidth, _ in publisher._points
+            ]
+        return publisher
+
     # -- initial publication ----------------------------------------------------------
     def publish(self) -> StreamVersion:
         """Publish version 0 from the seed table."""
         if len(self.store):
-            raise StreamError("the stream is already published; use append()")
+            raise StreamError(
+                "the stream is already published; use append()/delete()/update() "
+                "(or IncrementalPublisher.resume to continue a stored stream)"
+            )
+        self._begin_mutation()
         return self._publish_full(self._table, appended=0, rebuild=False)
 
     def _publish_full(
-        self, table: MicrodataTable, *, appended: int, rebuild: bool
+        self,
+        table: MicrodataTable,
+        *,
+        appended: int,
+        rebuild: bool,
+        deleted: int = 0,
+        updated: int = 0,
+        table_seconds: float | None = None,
     ) -> StreamVersion:
         start = time.perf_counter()
         self._table = table
+        self._drift_rows = 0  # a fresh partition leaves no deferred maintenance
         if rebuild:
             # Domains changed: every code-indexed artefact is stale.
             self._estimator = BatchedKernelPriorEstimator(
@@ -247,26 +418,80 @@ class IncrementalPublisher:
             self._audit_matrices = [
                 prior_map[bandwidth.items()].matrix for bandwidth, _ in self._points
             ]
+        timings = {
+            "prior_seconds": prior_seconds,
+            "partition_seconds": partition_seconds,
+            "audit_seconds": time.perf_counter() - audit_start,
+        }
+        if table_seconds is not None:
+            # Recorded before persisting, so the disk lineage and the
+            # in-memory version agree byte for byte.
+            timings["table_seconds"] = table_seconds
+        timings["total_seconds"] = time.perf_counter() - start
         delta = StreamDelta(
             appended_rows=appended,
+            deleted_rows=deleted,
+            updated_rows=updated,
             reused_groups=0,
             rechecked_leaves=len(groups),
             refined_leaves=0,
             rebuilt_regions=1,
             rebuild=rebuild,
             audit_recomputed_groups=[len(groups)] * len(self._points),
-            timings={
-                "prior_seconds": prior_seconds,
-                "partition_seconds": partition_seconds,
-                "audit_seconds": time.perf_counter() - audit_start,
-                "total_seconds": time.perf_counter() - start,
-            },
+            timings=timings,
         )
-        return self.store.add(
+        return self._add_version(release, report, delta)
+
+    def _add_version(
+        self, release: AnonymizedRelease, report: SkylineAuditReport | None, delta: StreamDelta
+    ) -> StreamVersion:
+        """Record the next version in the store (persisting publisher state)."""
+        version = self.store.add(
             StreamVersion(
                 version=len(self.store), release=release, report=report, delta=delta
-            )
+            ),
+            # The state payload exists for disk-backed resume; serialising
+            # the whole tree per version is wasted work on in-memory stores.
+            state=self._state_payload() if self.store.path is not None else None,
         )
+        self._inconsistent = False
+        return version
+
+    def _begin_mutation(self) -> None:
+        """Refuse to mutate a publisher whose last batch failed mid-flight.
+
+        The maintained state (table, priors, tree) updates in stages; when a
+        batch raises after the first stage - most notably the documented
+        :class:`~repro.exceptions.AnonymizationError` when even the whole
+        table no longer satisfies the requirement - the publisher is left
+        between versions.  The store still serves every published version,
+        but further publishing requires a reconstructed publisher
+        (:meth:`resume` from a disk-backed store, or a fresh one).
+        """
+        if self._inconsistent:
+            raise StreamError(
+                "a previous batch failed mid-publication and the maintained "
+                "state is inconsistent; the store still serves published "
+                "versions, but continue the stream from a reconstructed "
+                "publisher (IncrementalPublisher.resume) instead"
+            )
+        self._inconsistent = True
+
+    def _state_payload(self) -> dict[str, Any]:
+        """Everything :meth:`resume` needs beyond the versions themselves."""
+        return {
+            "model": self._requirement.describe(),
+            "skyline": [[list(b.items()), t] for b, t in self._points],
+            "k": self._k,
+            "kernel": self.kernel,
+            "method": self.method,
+            "split_strategy": self.split_strategy,
+            "max_cells": self.max_cells,
+            "refine_factor": self.refine_factor,
+            "compact_drift": self.compact_drift,
+            "drift_rows": self._drift_rows,
+            "tree": PartitionTree.to_jsonable(self._tree.root) if self._tree else None,
+        }
 
     def _engine(
         self, table: MicrodataTable, prior_map: dict[tuple, PriorBeliefs]
@@ -337,6 +562,205 @@ class IncrementalPublisher:
             )
         return component.stream_update(table, n_previous)
 
+    def _component_replace_dirty(
+        self,
+        component: PrivacyModel,
+        table: MicrodataTable,
+        previous_of: np.ndarray,
+        prior_map: dict[tuple, PriorBeliefs],
+    ) -> np.ndarray:
+        """Dirty-row mask of one component after a delete/update batch.
+
+        ``previous_of`` maps every current row to its previous position
+        (``-1`` for rows with no counterpart); (B,t) components remap their
+        risk memos through it, every other model answers through
+        :meth:`~repro.privacy.models.PrivacyModel.stream_replace`.
+        """
+        if isinstance(component, BTPrivacy):
+            priors = prior_map[self._bandwidth(component.b).items()]
+            return component.update_priors(
+                priors,
+                table.sensitive_codes(),
+                table.sensitive_domain().size,
+                previous_of=previous_of,
+            )
+        return component.stream_replace(table, previous_of)
+
+    def _compaction_due(self) -> bool:
+        """Whether accumulated drift warrants a full-refine compaction."""
+        return self._drift_rows >= self.compact_drift * self._table.n_rows
+
+    def _audit_step(
+        self,
+        table: MicrodataTable,
+        prior_map: dict[tuple, PriorBeliefs],
+        groups: list[np.ndarray],
+        previous: StreamVersion,
+        previous_of: np.ndarray,
+    ) -> tuple[SkylineAuditReport | None, list[int], float]:
+        """Dirty-group re-audit: clean surviving groups keep their risks.
+
+        A current row is dirty for an adversary when it has no previous
+        counterpart, its sensitive code changed, or its prior row for that
+        adversary changed (a bitwise comparison, so no false "clean"
+        verdicts).
+        """
+        start = time.perf_counter()
+        report: SkylineAuditReport | None = None
+        audit_recomputed: list[int] = []
+        if self._points:
+            priors_list = [
+                prior_map[bandwidth.items()] for bandwidth, _ in self._points
+            ]
+            surviving = previous_of >= 0
+            survivors_previous = previous_of[surviving]
+            previous_codes = previous.release.table.sensitive_codes()
+            codes = table.sensitive_codes()
+            code_changed = np.ones(table.n_rows, dtype=bool)
+            code_changed[surviving] = (
+                codes[surviving] != previous_codes[survivors_previous]
+            )
+            masks = []
+            for previous_matrix, priors in zip(self._audit_matrices, priors_list):
+                mask = np.ones(table.n_rows, dtype=bool)
+                mask[surviving] = (
+                    priors.matrix[surviving] != previous_matrix[survivors_previous]
+                ).any(axis=1)
+                masks.append(mask | code_changed)
+            engine = self._engine(table, prior_map)
+            report = engine.audit_incremental(
+                groups,
+                previous_groups=previous.release.groups,
+                previous_report=previous.report,
+                dirty_rows=masks,
+                previous_of=previous_of,
+            )
+            audit_recomputed = list(report.delta["recomputed_groups"])
+            self._audit_matrices = [priors.matrix for priors in priors_list]
+        return report, audit_recomputed, time.perf_counter() - start
+
+    def _maintain_partition(
+        self,
+        table: MicrodataTable,
+        dirty_leaves: list,
+        members: Mapping[int, np.ndarray],
+        routed: dict[int, np.ndarray],
+    ) -> tuple[list, list, list, set, float, float]:
+        """The shared local-surgery step of every incremental mutation.
+
+        Re-checks the dirty leaves (one batched model call; empty members are
+        unconditionally failing), merges-up/rebuilds regions around violated
+        leaves, and locally re-splits or rejoins leaves that received routed
+        rows (the ``refine_factor`` amortisation).  Returns ``(rebuild_nodes,
+        refine, rejoined, under_rebuild, recheck_seconds,
+        repartition_seconds)``; drift accounting stays with the callers
+        (appends count rejoined routed rows, deletions/corrections count
+        their batch size up front).
+        """
+        recheck_start = time.perf_counter()
+        checkable = [leaf for leaf in dirty_leaves if members[id(leaf)].size]
+        verdicts = dict(
+            zip(
+                (id(leaf) for leaf in checkable),
+                self._requirement.is_satisfied_batch(
+                    [members[id(leaf)] for leaf in checkable]
+                ),
+            )
+        )
+        recheck_seconds = time.perf_counter() - recheck_start
+
+        repartition_start = time.perf_counter()
+        failing = [leaf for leaf in dirty_leaves if not verdicts.get(id(leaf), False)]
+        rebuild_nodes = self._merge_up(failing, routed)
+        under_rebuild = {id(leaf) for node in rebuild_nodes for leaf in node.leaves()}
+        refine = []
+        rejoined = []
+        for leaf in dirty_leaves:
+            if (
+                not verdicts.get(id(leaf), False)
+                or id(leaf) not in routed
+                or id(leaf) in under_rebuild
+            ):
+                continue
+            if members[id(leaf)].size >= self.refine_factor * leaf.searched_size:
+                refine.append(leaf)
+            else:
+                # Satisfied and still close to its searched size: the routed
+                # rows simply join the group (deferred refinement).
+                rejoined.append(leaf)
+        for leaf in rejoined:
+            leaf.indices = members[id(leaf)]
+        regions = [
+            PartitionTree.current_members(node, routed) for node in rebuild_nodes
+        ] + [members[id(leaf)] for leaf in refine]
+        depths = [node.depth for node in rebuild_nodes] + [leaf.depth for leaf in refine]
+        if regions:
+            subtrees = self._mondrian.partition_forest(table, regions, depths=depths)
+            for node, subtree in zip(list(rebuild_nodes) + list(refine), subtrees):
+                self._tree.replace(node, subtree, reindex=False)
+            self._tree.reindex()
+        repartition_seconds = time.perf_counter() - repartition_start
+        return (
+            rebuild_nodes,
+            refine,
+            rejoined,
+            under_rebuild,
+            recheck_seconds,
+            repartition_seconds,
+        )
+
+    def _publish_compacted(
+        self,
+        table: MicrodataTable,
+        prior_map: dict[tuple, PriorBeliefs],
+        previous: StreamVersion,
+        previous_of: np.ndarray,
+        *,
+        start: float,
+        timings: dict[str, float],
+        appended: int = 0,
+        deleted: int = 0,
+        updated: int = 0,
+    ) -> StreamVersion:
+        """Publish this batch through a full-refine compaction.
+
+        The maintained partition is discarded and the current table is
+        re-partitioned from scratch (priors and the skyline audit stay
+        incremental), resetting the accumulated drift.  Raises
+        :class:`~repro.exceptions.AnonymizationError` when even the whole
+        table fails the requirement, as a from-scratch run would.
+        """
+        partition_start = time.perf_counter()
+        root = self._mondrian.partition_tree(table, prepare=False)
+        self._tree = PartitionTree(root)
+        self._drift_rows = 0
+        groups = [leaf.indices for leaf in self._tree.leaves()]
+        release = AnonymizedRelease(
+            table, groups, method=f"stream[{self._requirement.describe()}]"
+        )
+        partition_seconds = time.perf_counter() - partition_start
+        report, audit_recomputed, audit_seconds = self._audit_step(
+            table, prior_map, groups, previous, previous_of
+        )
+        delta = StreamDelta(
+            appended_rows=appended,
+            deleted_rows=deleted,
+            updated_rows=updated,
+            reused_groups=0,
+            rechecked_leaves=len(groups),
+            refined_leaves=0,
+            rebuilt_regions=1,
+            compacted=True,
+            audit_recomputed_groups=audit_recomputed,
+            timings={
+                **timings,
+                "partition_seconds": partition_seconds,
+                "audit_seconds": audit_seconds,
+                "total_seconds": time.perf_counter() - start,
+            },
+        )
+        return self._add_version(release, report, delta)
+
     def append(
         self, batch: MicrodataTable | Sequence[Mapping[str, Any]]
     ) -> StreamVersion:
@@ -351,11 +775,12 @@ class IncrementalPublisher:
         previous = self.store.latest()
         n_previous = self._table.n_rows
         table, appended, rebuild = self._concatenate(batch)
+        self._begin_mutation()
         table_seconds = time.perf_counter() - start
         if rebuild:
-            version = self._publish_full(table, appended=appended, rebuild=True)
-            version.delta.timings["table_seconds"] = table_seconds
-            return version
+            return self._publish_full(
+                table, appended=appended, rebuild=True, table_seconds=table_seconds
+            )
 
         # 1. Fold the batch into the factored prior state; find dirty rows.
         prior_start = time.perf_counter()
@@ -370,6 +795,15 @@ class IncrementalPublisher:
             )
         self._table = table
         prior_seconds = time.perf_counter() - prior_start
+
+        if self._compaction_due():
+            previous_of = np.full(table.n_rows, -1, dtype=np.int64)
+            previous_of[:n_previous] = np.arange(n_previous, dtype=np.int64)
+            return self._publish_compacted(
+                table, prior_map, previous, previous_of,
+                appended=appended, start=start,
+                timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+            )
 
         # 2. Route appended rows to their leaves; re-check only dirty leaves.
         route_start = time.perf_counter()
@@ -390,47 +824,22 @@ class IncrementalPublisher:
                     dirty_leaves.append(leaf)
         route_seconds = time.perf_counter() - route_start
 
-        recheck_start = time.perf_counter()
-        verdicts = self._requirement.is_satisfied_batch(
-            [members[id(leaf)] for leaf in dirty_leaves]
-        )
-        recheck_seconds = time.perf_counter() - recheck_start
-
-        # 3. Merge-up around violated leaves, re-split grown leaves, locally.
-        repartition_start = time.perf_counter()
-        failing = [leaf for leaf, ok in zip(dirty_leaves, verdicts) if not ok]
-        rebuild_nodes = self._merge_up(failing, routed)
-        under_rebuild = {
-            id(leaf) for node in rebuild_nodes for leaf in node.leaves()
-        }
-        refine = []
-        grown_in_place = []
-        for leaf, ok in zip(dirty_leaves, verdicts):
-            if not ok or id(leaf) not in routed or id(leaf) in under_rebuild:
-                continue
-            if members[id(leaf)].size >= self.refine_factor * leaf.searched_size:
-                refine.append(leaf)
-            else:
-                grown_in_place.append(leaf)
-        for leaf in grown_in_place:
-            # Satisfied and still close to its searched size: the appended
-            # rows simply join the group (deferred refinement).
-            leaf.indices = members[id(leaf)]
-        regions = [
-            PartitionTree.current_members(node, routed) for node in rebuild_nodes
-        ] + [members[id(leaf)] for leaf in refine]
-        depths = [node.depth for node in rebuild_nodes] + [leaf.depth for leaf in refine]
-        if regions:
-            subtrees = self._mondrian.partition_forest(table, regions, depths=depths)
-            for node, subtree in zip(list(rebuild_nodes) + list(refine), subtrees):
-                self._tree.replace(node, subtree, reindex=False)
-            self._tree.reindex()
-        repartition_seconds = time.perf_counter() - repartition_start
+        # 3. Merge-up around violated leaves, re-split grown leaves, locally;
+        #    rows joining grown groups in place count as compaction drift.
+        (
+            rebuild_nodes,
+            refine,
+            rejoined,
+            under_rebuild,
+            recheck_seconds,
+            repartition_seconds,
+        ) = self._maintain_partition(table, dirty_leaves, members, routed)
+        self._drift_rows += sum(int(routed[id(leaf)].size) for leaf in rejoined)
 
         touched = (
             under_rebuild
             | {id(leaf) for leaf in refine}
-            | {id(leaf) for leaf in grown_in_place}
+            | {id(leaf) for leaf in rejoined}
         )
         reused = sum(1 for leaf in leaves if id(leaf) not in touched)
         groups = [leaf.indices for leaf in self._tree.leaves()]
@@ -439,30 +848,11 @@ class IncrementalPublisher:
         )
 
         # 4. Dirty-group re-audit: clean byte-identical groups keep their risks.
-        audit_start = time.perf_counter()
-        report: SkylineAuditReport | None = None
-        audit_recomputed: list[int] = []
-        if self._points:
-            priors_list = [
-                prior_map[bandwidth.items()] for bandwidth, _ in self._points
-            ]
-            masks = []
-            for previous_matrix, priors in zip(self._audit_matrices, priors_list):
-                mask = np.ones(table.n_rows, dtype=bool)
-                mask[:n_previous] = (
-                    priors.matrix[:n_previous] != previous_matrix
-                ).any(axis=1)
-                masks.append(mask)
-            engine = self._engine(table, prior_map)
-            report = engine.audit_incremental(
-                groups,
-                previous_groups=previous.release.groups,
-                previous_report=previous.report,
-                dirty_rows=masks,
-            )
-            audit_recomputed = list(report.delta["recomputed_groups"])
-            self._audit_matrices = [priors.matrix for priors in priors_list]
-        audit_seconds = time.perf_counter() - audit_start
+        previous_of = np.full(table.n_rows, -1, dtype=np.int64)
+        previous_of[:n_previous] = np.arange(n_previous, dtype=np.int64)
+        report, audit_recomputed, audit_seconds = self._audit_step(
+            table, prior_map, groups, previous, previous_of
+        )
 
         delta = StreamDelta(
             appended_rows=appended,
@@ -482,11 +872,290 @@ class IncrementalPublisher:
                 "total_seconds": time.perf_counter() - start,
             },
         )
-        return self.store.add(
-            StreamVersion(
-                version=len(self.store), release=release, report=report, delta=delta
+        return self._add_version(release, report, delta)
+
+    # -- deleting ---------------------------------------------------------------------
+    def delete(self, rows: Sequence[int] | np.ndarray) -> StreamVersion:
+        """Retract rows (positions in the current table) and publish a version.
+
+        The GDPR-style erasure path: the rows vanish from the maintained
+        table, their counts leave the factored prior state as exact negative
+        count-tensor deltas, the leaves that held them shrink in place, and
+        regions whose shrunken groups no longer satisfy the requirement
+        (e.g. fall below ``k``) merge up exactly like violated leaves after
+        an append.  Deleting every remaining row raises
+        :class:`~repro.exceptions.StreamError` (an empty table cannot be
+        released); a deletion under which even the whole table fails the
+        requirement raises :class:`~repro.exceptions.AnonymizationError`, as
+        a from-scratch run would.
+        """
+        if not len(self.store):
+            raise StreamError("publish() the seed release before deleting rows")
+        start = time.perf_counter()
+        previous = self.store.latest()
+        n_previous = self._table.n_rows
+        removed = np.unique(np.asarray(rows, dtype=np.int64))
+        if removed.size == 0:
+            raise StreamError("a delete batch requires at least one row")
+        if removed[0] < 0 or removed[-1] >= n_previous:
+            raise StreamError("delete positions fall outside the current table")
+        if removed.size >= n_previous:
+            raise StreamError("cannot delete every remaining row of the stream")
+        self._begin_mutation()
+        keep = np.ones(n_previous, dtype=bool)
+        keep[removed] = False
+        kept = np.flatnonzero(keep)
+        table = self._table.select(kept)
+        table_seconds = time.perf_counter() - start
+
+        # 1. Fold the removals out of the factored prior state; find dirty rows.
+        prior_start = time.perf_counter()
+        self._estimator.remove_rows(table, removed)
+        prior_map = self._priors_by_bandwidth()
+        dirty_model = np.zeros(table.n_rows, dtype=bool)
+        for component in self._requirement.components():
+            dirty_model |= self._component_replace_dirty(
+                component, table, kept, prior_map
             )
+        self._table = table
+        self._drift_rows += int(removed.size)
+        prior_seconds = time.perf_counter() - prior_start
+
+        if self._compaction_due():
+            return self._publish_compacted(
+                table, prior_map, previous, kept,
+                deleted=int(removed.size), start=start,
+                timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+            )
+
+        # 2. Shrink the leaves in place; only shrunken or prior-dirty leaves
+        #    are re-checked.
+        route_start = time.perf_counter()
+        current_of = np.full(n_previous, -1, dtype=np.int64)
+        current_of[kept] = np.arange(kept.size, dtype=np.int64)
+        leaves = self._tree.leaves()
+        shrunk: set[int] = set()
+        for leaf in leaves:
+            mapped = current_of[leaf.indices]
+            survivors = mapped >= 0
+            if not survivors.all():
+                shrunk.add(id(leaf))
+                mapped = mapped[survivors]
+            leaf.indices = mapped  # the old -> new map is monotone: still sorted
+        dirty_leaves = [
+            leaf
+            for leaf in leaves
+            if id(leaf) in shrunk
+            or (leaf.indices.size and dirty_model[leaf.indices].any())
+        ]
+        route_seconds = time.perf_counter() - route_start
+
+        # 3. Merge-up around violated (or emptied) leaves; nothing was
+        #    routed, so no leaf can refine or rejoin.
+        members = {id(leaf): leaf.indices for leaf in leaves}
+        (
+            rebuild_nodes,
+            _,
+            _,
+            under_rebuild,
+            recheck_seconds,
+            repartition_seconds,
+        ) = self._maintain_partition(table, dirty_leaves, members, {})
+
+        touched = under_rebuild | shrunk
+        reused = sum(1 for leaf in leaves if id(leaf) not in touched)
+        groups = [leaf.indices for leaf in self._tree.leaves()]
+        release = AnonymizedRelease(
+            table, groups, method=f"stream[{self._requirement.describe()}]"
         )
+
+        report, audit_recomputed, audit_seconds = self._audit_step(
+            table, prior_map, groups, previous, kept
+        )
+        delta = StreamDelta(
+            appended_rows=0,
+            deleted_rows=int(removed.size),
+            reused_groups=reused,
+            rechecked_leaves=len(dirty_leaves),
+            refined_leaves=0,
+            rebuilt_regions=len(rebuild_nodes),
+            audit_recomputed_groups=audit_recomputed,
+            timings={
+                "table_seconds": table_seconds,
+                "prior_seconds": prior_seconds,
+                "route_seconds": route_seconds,
+                "recheck_seconds": recheck_seconds,
+                "repartition_seconds": repartition_seconds,
+                "audit_seconds": audit_seconds,
+                "total_seconds": time.perf_counter() - start,
+            },
+        )
+        return self._add_version(release, report, delta)
+
+    # -- updating ---------------------------------------------------------------------
+    def update(
+        self,
+        rows: Sequence[int] | np.ndarray,
+        batch: MicrodataTable | Sequence[Mapping[str, Any]],
+    ) -> StreamVersion:
+        """Correct rows in place (late-arriving fixes) and publish a version.
+
+        ``rows`` are positions in the current table; ``batch`` supplies the
+        replacement rows (a :class:`~repro.data.table.MicrodataTable` with
+        the stream's schema or a sequence of ``{attribute: value}`` rows)
+        aligned one-to-one with ``rows``.  Corrections within the current
+        domains are folded into the prior state as paired negative/positive
+        count deltas, and the corrected rows are re-routed down the recorded
+        split tree (a corrected QI value may cross a split boundary).  A
+        correction introducing values outside the current domains forces a
+        full rebuild, exactly like an out-of-domain append.
+        """
+        if not len(self.store):
+            raise StreamError("publish() the seed release before updating rows")
+        start = time.perf_counter()
+        previous = self.store.latest()
+        n_rows = self._table.n_rows
+        positions = np.asarray(rows, dtype=np.int64)
+        if positions.size == 0:
+            raise StreamError("an update batch requires at least one row")
+        if np.unique(positions).size != positions.size:
+            raise StreamError("update positions must be distinct")
+        if positions.min() < 0 or positions.max() >= n_rows:
+            raise StreamError("update positions fall outside the current table")
+        schema = self._table.schema
+        if isinstance(batch, MicrodataTable):
+            if tuple(batch.schema.names) != tuple(schema.names):
+                raise StreamError("batch schema does not match the stream's schema")
+            fresh = {name: batch.column(name) for name in schema.names}
+        else:
+            replacement_rows = list(batch)
+            fresh = {
+                name: [row[name] for row in replacement_rows] for name in schema.names
+            }
+        if any(len(column) != positions.size for column in fresh.values()):
+            raise StreamError("update values must align one-to-one with the updated rows")
+        self._begin_mutation()
+        order = np.argsort(positions)
+        positions = positions[order]
+        fresh = {
+            name: [fresh[name][int(i)] for i in order] for name in schema.names
+        }
+        try:
+            table = self._table.replace_rows(positions, fresh)
+        except DataError:
+            # A corrected value outside the current domains: codes shift,
+            # full rebuild - exactly like an out-of-domain append.
+            columns = {}
+            for name in schema.names:
+                column = np.array(self._table.column(name), copy=True)
+                column[positions] = np.asarray(
+                    fresh[name],
+                    dtype=np.float64 if schema[name].is_numeric else object,
+                )
+                columns[name] = column
+            return self._publish_full(
+                MicrodataTable(schema, columns),
+                appended=0, rebuild=True, updated=int(positions.size),
+                table_seconds=time.perf_counter() - start,
+            )
+        table_seconds = time.perf_counter() - start
+
+        # 1. Fold the paired correction deltas into the prior state.
+        prior_start = time.perf_counter()
+        self._estimator.update_rows(table, positions)
+        prior_map = self._priors_by_bandwidth()
+        identity = np.arange(n_rows, dtype=np.int64)
+        dirty_model = np.zeros(n_rows, dtype=bool)
+        for component in self._requirement.components():
+            dirty_model |= self._component_replace_dirty(
+                component, table, identity, prior_map
+            )
+        self._table = table
+        self._drift_rows += int(positions.size)
+        prior_seconds = time.perf_counter() - prior_start
+
+        if self._compaction_due():
+            return self._publish_compacted(
+                table, prior_map, previous, identity,
+                updated=int(positions.size), start=start,
+                timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+            )
+
+        # 2. Pull the corrected rows out of their leaves and re-route them
+        #    (a corrected QI value may belong to a different region now).
+        route_start = time.perf_counter()
+        leaves = self._tree.leaves()
+        updated_mask = np.zeros(n_rows, dtype=bool)
+        updated_mask[positions] = True
+        lost: set[int] = set()
+        for leaf in leaves:
+            member_updated = updated_mask[leaf.indices]
+            if member_updated.any():
+                leaf.indices = leaf.indices[~member_updated]
+                lost.add(id(leaf))
+        routed = self._tree.route(table, positions)
+        members: dict[int, np.ndarray] = {}
+        dirty_leaves = []
+        for leaf in leaves:
+            addition = routed.get(id(leaf))
+            if addition is not None:
+                members[id(leaf)] = np.sort(np.concatenate([leaf.indices, addition]))
+                dirty_leaves.append(leaf)
+            else:
+                members[id(leaf)] = leaf.indices
+                if id(leaf) in lost or (
+                    leaf.indices.size and dirty_model[leaf.indices].any()
+                ):
+                    dirty_leaves.append(leaf)
+        route_seconds = time.perf_counter() - route_start
+
+        # 3. Merge-up around violated (or emptied) leaves; locally re-split
+        #    leaves the re-routing grew past the refine trigger.  Drift was
+        #    counted once for the whole batch above, so rejoined leaves add
+        #    nothing here.
+        (
+            rebuild_nodes,
+            refine,
+            rejoined,
+            under_rebuild,
+            recheck_seconds,
+            repartition_seconds,
+        ) = self._maintain_partition(table, dirty_leaves, members, routed)
+
+        touched = (
+            under_rebuild
+            | lost
+            | {id(leaf) for leaf in refine}
+            | {id(leaf) for leaf in rejoined}
+        )
+        reused = sum(1 for leaf in leaves if id(leaf) not in touched)
+        groups = [leaf.indices for leaf in self._tree.leaves()]
+        release = AnonymizedRelease(
+            table, groups, method=f"stream[{self._requirement.describe()}]"
+        )
+
+        report, audit_recomputed, audit_seconds = self._audit_step(
+            table, prior_map, groups, previous, identity
+        )
+        delta = StreamDelta(
+            appended_rows=0,
+            updated_rows=int(positions.size),
+            reused_groups=reused,
+            rechecked_leaves=len(dirty_leaves),
+            refined_leaves=len(refine),
+            rebuilt_regions=len(rebuild_nodes),
+            audit_recomputed_groups=audit_recomputed,
+            timings={
+                "table_seconds": table_seconds,
+                "prior_seconds": prior_seconds,
+                "route_seconds": route_seconds,
+                "recheck_seconds": recheck_seconds,
+                "repartition_seconds": repartition_seconds,
+                "audit_seconds": audit_seconds,
+                "total_seconds": time.perf_counter() - start,
+            },
+        )
+        return self._add_version(release, report, delta)
 
     def _merge_up(self, failing: list, routed: dict[int, np.ndarray]) -> list:
         """Climb from each violated leaf to the nearest satisfiable region.
@@ -511,7 +1180,9 @@ class IncrementalPublisher:
                     break
                 parent = link[0]
                 region = PartitionTree.current_members(parent, routed)
-                if self._requirement.is_satisfied(region):
+                # An empty region (every member deleted or re-routed away)
+                # cannot satisfy anything: keep climbing.
+                if region.size and self._requirement.is_satisfied(region):
                     chosen[id(parent)] = parent
                     break
                 node = parent

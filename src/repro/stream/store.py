@@ -7,16 +7,38 @@ The :class:`ReleaseStore` keeps the version lineage and derives per-version
 audit *deltas* - how each adversary's worst-case risk and vulnerable-tuple
 count moved when the batch landed, the quantity the paper's risk-continuity
 result says should move smoothly with the data.
+
+The store is in-memory by default; constructed with ``path=...`` it becomes
+**disk-backed**: every accepted version is persisted as one line of
+``lineage.jsonl`` (the JSON-able version summary) plus one
+``version-NNNNN.npz`` (the table's columns and domains, the released groups
+and the per-adversary risk vectors), and the publisher's restart state (the
+recorded split tree, accumulated compaction drift, configuration) lands in
+``state.json``.  Opening a directory that already holds a lineage *loads* it
+- pass the table ``schema`` so the persisted columns can be decoded - after
+which the store serves historical versions and
+:meth:`~repro.stream.publisher.IncrementalPublisher.resume` can continue the
+stream exactly where it stopped.  Corrupt or partial directories raise
+:class:`~repro.exceptions.StreamError` naming the offending file.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterator
 
+import numpy as np
+
 from repro.anonymize.partition import AnonymizedRelease
-from repro.audit.engine import SkylineAuditReport
-from repro.exceptions import StreamError
+from repro.audit.engine import SkylineAdversary, SkylineAuditEntry, SkylineAuditReport
+from repro.data.schema import Schema
+from repro.data.table import AttributeDomain, MicrodataTable
+from repro.exceptions import DataError, StreamError
+from repro.knowledge.bandwidth import Bandwidth
+from repro.privacy.disclosure import AttackResult, count_vulnerable_tuples, max_risk
 
 
 @dataclass
@@ -29,6 +51,9 @@ class StreamDelta:
     refined_leaves: int
     rebuilt_regions: int
     rebuild: bool = False  # full from-scratch rebuild (e.g. a domain grew)
+    deleted_rows: int = 0
+    updated_rows: int = 0
+    compacted: bool = False  # periodic full-refine compaction of drift
     audit_recomputed_groups: list[int] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
 
@@ -36,14 +61,34 @@ class StreamDelta:
         """Flat, JSON-able summary of this delta."""
         return {
             "appended_rows": self.appended_rows,
+            "deleted_rows": self.deleted_rows,
+            "updated_rows": self.updated_rows,
             "reused_groups": self.reused_groups,
             "rechecked_leaves": self.rechecked_leaves,
             "refined_leaves": self.refined_leaves,
             "rebuilt_regions": self.rebuilt_regions,
             "rebuild": self.rebuild,
+            "compacted": self.compacted,
             "audit_recomputed_groups": list(self.audit_recomputed_groups),
             "timings": dict(self.timings),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "StreamDelta":
+        """Rebuild a delta from its :meth:`as_dict` payload (store round-trip)."""
+        return cls(
+            appended_rows=int(payload["appended_rows"]),
+            reused_groups=int(payload["reused_groups"]),
+            rechecked_leaves=int(payload["rechecked_leaves"]),
+            refined_leaves=int(payload["refined_leaves"]),
+            rebuilt_regions=int(payload["rebuilt_regions"]),
+            rebuild=bool(payload.get("rebuild", False)),
+            deleted_rows=int(payload.get("deleted_rows", 0)),
+            updated_rows=int(payload.get("updated_rows", 0)),
+            compacted=bool(payload.get("compacted", False)),
+            audit_recomputed_groups=[int(v) for v in payload.get("audit_recomputed_groups", [])],
+            timings={k: float(v) for k, v in payload.get("timings", {}).items()},
+        )
 
 
 @dataclass
@@ -85,19 +130,223 @@ class StreamVersion:
 
 
 class ReleaseStore:
-    """The ordered lineage of a stream's published versions."""
+    """The ordered lineage of a stream's published versions.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    path:
+        Optional directory for the disk-backed mode (see the module
+        docstring).  Created when absent; a directory already holding a
+        ``lineage.jsonl`` is *loaded*, which requires ``schema``.
+    schema:
+        The table schema used to decode persisted columns when loading.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        schema: Schema | None = None,
+    ) -> None:
         self._versions: list[StreamVersion] = []
+        self._path = Path(path) if path is not None else None
+        self._schema = schema
+        self.state: dict[str, Any] | None = None
+        if self._path is not None:
+            self._path.mkdir(parents=True, exist_ok=True)
+            if (self._path / "lineage.jsonl").exists():
+                if schema is None:
+                    raise StreamError(
+                        f"loading the release store at {self._path} requires a schema"
+                    )
+                self._load()
 
-    def add(self, version: StreamVersion) -> StreamVersion:
-        """Append the next version (versions must be contiguous from 0)."""
+    @property
+    def path(self) -> Path | None:
+        """The backing directory (``None`` for in-memory stores)."""
+        return self._path
+
+    def add(self, version: StreamVersion, *, state: dict[str, Any] | None = None) -> StreamVersion:
+        """Append the next version (versions must be contiguous from 0).
+
+        ``state`` is the publisher's restart payload; disk-backed stores
+        persist it (latest wins) so :meth:`IncrementalPublisher.resume` can
+        reconstruct the publisher mid-stream.
+        """
         if version.version != len(self._versions):
             raise StreamError(
                 f"version {version.version} breaks the lineage; expected {len(self._versions)}"
             )
         self._versions.append(version)
+        if state is not None:
+            self.state = state
+        if self._path is not None:
+            self._persist(version, state)
         return version
+
+    # -- persistence -------------------------------------------------------------------
+    def _version_file(self, version: int) -> Path:
+        return self._path / f"version-{version:05d}.npz"
+
+    def _persist(self, version: StreamVersion, state: dict[str, Any] | None) -> None:
+        table = version.release.table
+        arrays: dict[str, np.ndarray] = {
+            "groups": np.concatenate(version.release.groups).astype(np.int64),
+            "group_sizes": np.asarray(
+                [group.size for group in version.release.groups], dtype=np.int64
+            ),
+        }
+        for attribute in table.schema:
+            name = attribute.name
+            if attribute.is_numeric:
+                arrays[f"col_{name}"] = table.column(name).astype(np.float64)
+                arrays[f"dom_{name}"] = table.domain(name).values.astype(np.float64)
+            else:
+                arrays[f"col_{name}"] = np.asarray(table.column(name), dtype=np.str_)
+                arrays[f"dom_{name}"] = np.asarray(
+                    table.domain(name).values, dtype=np.str_
+                )
+        payload = version.as_dict()
+        payload["release_method"] = version.release.method
+        if version.report is not None:
+            arrays["risks"] = np.stack(
+                [entry.attack.risks for entry in version.report.entries]
+            )
+            payload["report"] = {
+                "skyline": [
+                    [list(entry.adversary.bandwidth.items()), entry.adversary.t]
+                    for entry in version.report.entries
+                ],
+                "timings": dict(version.report.timings),
+                "delta": version.report.delta,
+            }
+        np.savez_compressed(self._version_file(version.version), **arrays)
+        with (self._path / "lineage.jsonl").open("a") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        if state is not None:
+            # state.json is the only copy of the resume state: write the new
+            # one beside it and atomically replace, so a crash mid-write
+            # never destroys the previous good state.
+            scratch = self._path / "state.json.tmp"
+            scratch.write_text(json.dumps(state, sort_keys=True) + "\n")
+            os.replace(scratch, self._path / "state.json")
+
+    def _load(self) -> None:
+        lineage_path = self._path / "lineage.jsonl"
+        lines = [
+            line for line in lineage_path.read_text().splitlines() if line.strip()
+        ]
+        if not lines:
+            raise StreamError(f"corrupt release store: {lineage_path} holds no versions")
+        for position, line in enumerate(lines):
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise StreamError(
+                    f"corrupt release store: {lineage_path} line {position + 1} "
+                    f"is not valid JSON ({error})"
+                ) from None
+            if payload.get("version") != position:
+                raise StreamError(
+                    f"corrupt release store: {lineage_path} line {position + 1} "
+                    f"holds version {payload.get('version')!r}, expected {position} "
+                    "(the lineage must be contiguous from 0)"
+                )
+            self._versions.append(self._load_version(payload))
+        state_path = self._path / "state.json"
+        if state_path.exists():
+            try:
+                self.state = json.loads(state_path.read_text())
+            except json.JSONDecodeError as error:
+                raise StreamError(
+                    f"corrupt release store: {state_path} is not valid JSON ({error})"
+                ) from None
+
+    def _load_version(self, payload: dict[str, Any]) -> StreamVersion:
+        number = int(payload["version"])
+        version_path = self._version_file(number)
+        if not version_path.exists():
+            raise StreamError(
+                f"corrupt release store: {version_path} is missing "
+                f"(version {number} is in the lineage)"
+            )
+        try:
+            with np.load(version_path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+        except (OSError, ValueError) as error:
+            raise StreamError(
+                f"corrupt release store: {version_path} is unreadable ({error})"
+            ) from None
+        try:
+            columns: dict[str, Any] = {}
+            domains: dict[str, AttributeDomain] = {}
+            for attribute in self._schema:
+                name = attribute.name
+                columns[name] = arrays[f"col_{name}"].tolist()
+                domains[name] = AttributeDomain(
+                    attribute, arrays[f"dom_{name}"].tolist()
+                )
+            table = MicrodataTable(self._schema, columns, domains=domains)
+            boundaries = np.cumsum(arrays["group_sizes"])[:-1]
+            groups = [
+                np.asarray(group, dtype=np.int64)
+                for group in np.split(arrays["groups"], boundaries)
+            ]
+            release = AnonymizedRelease(
+                table, groups, method=str(payload["release_method"])
+            )
+            report = None
+            if "report" in payload:
+                risks = arrays["risks"]
+                skyline = payload["report"]["skyline"]
+                if risks.shape != (len(skyline), table.n_rows):
+                    raise StreamError(
+                        f"corrupt release store: {version_path} holds a "
+                        f"{risks.shape} risks array but the lineage records "
+                        f"{len(skyline)} adversaries over {table.n_rows} rows"
+                    )
+                report = self._load_report(
+                    payload["report"], risks, table.n_rows, groups
+                )
+            return StreamVersion(
+                version=number,
+                release=release,
+                report=report,
+                delta=StreamDelta.from_dict(payload["delta"]),
+            )
+        except (KeyError, TypeError, ValueError, DataError) as error:
+            raise StreamError(
+                f"corrupt release store: version {number} cannot be decoded ({error})"
+            ) from None
+
+    def _load_report(
+        self,
+        payload: dict[str, Any],
+        risks: np.ndarray,
+        n_rows: int,
+        groups: list[np.ndarray],
+    ) -> SkylineAuditReport:
+        entries = []
+        for (items, t), risk_row in zip(payload["skyline"], risks):
+            adversary = SkylineAdversary(
+                bandwidth=Bandwidth({name: float(value) for name, value in items}),
+                t=float(t),
+            )
+            attack = AttackResult(
+                adversary_b=adversary.scalar_b,
+                threshold=adversary.t,
+                risks=np.asarray(risk_row, dtype=np.float64),
+                vulnerable_tuples=count_vulnerable_tuples(risk_row, adversary.t),
+                worst_case_risk=max_risk(risk_row),
+            )
+            entries.append(SkylineAuditEntry(adversary=adversary, attack=attack))
+        return SkylineAuditReport(
+            entries=entries,
+            n_rows=n_rows,
+            n_groups=sum(1 for group in groups if group.size),
+            timings={k: float(v) for k, v in payload.get("timings", {}).items()},
+            delta=payload.get("delta"),
+        )
 
     def __len__(self) -> int:
         return len(self._versions)

@@ -16,11 +16,11 @@ incremental publisher needs between batches:
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
-from repro.anonymize.mondrian import MondrianLeaf, MondrianNode
+from repro.anonymize.mondrian import MondrianLeaf, MondrianNode, MondrianSplit
 from repro.data.table import MicrodataTable
 from repro.exceptions import StreamError
 
@@ -99,6 +99,53 @@ class PartitionTree:
     def contains(self, node: MondrianNode | MondrianLeaf) -> bool:
         """Whether ``node`` is part of this tree."""
         return node is self.root or id(node) in self._parents
+
+    # -- (de)serialization -------------------------------------------------------------
+    @staticmethod
+    def to_jsonable(node: MondrianNode | MondrianLeaf) -> dict[str, Any]:
+        """A plain-JSON representation of a recorded tree (disk-backed stores)."""
+        if isinstance(node, MondrianLeaf):
+            return {
+                "leaf": True,
+                "indices": node.indices.tolist(),
+                "depth": int(node.depth),
+                "searched_size": int(node.searched_size),
+            }
+        return {
+            "leaf": False,
+            "depth": int(node.depth),
+            "split": {
+                "attribute": node.split.attribute,
+                "threshold": float(node.split.threshold),
+                "inclusive": bool(node.split.inclusive),
+            },
+            "left": PartitionTree.to_jsonable(node.left),
+            "right": PartitionTree.to_jsonable(node.right),
+        }
+
+    @staticmethod
+    def from_jsonable(payload: Mapping[str, Any]) -> MondrianNode | MondrianLeaf:
+        """Rebuild a recorded tree from its :meth:`to_jsonable` representation."""
+        try:
+            if payload["leaf"]:
+                return MondrianLeaf(
+                    indices=np.asarray(payload["indices"], dtype=np.int64),
+                    depth=int(payload["depth"]),
+                    searched_size=int(payload["searched_size"]),
+                )
+            split = payload["split"]
+            return MondrianNode(
+                split=MondrianSplit(
+                    attribute=str(split["attribute"]),
+                    threshold=float(split["threshold"]),
+                    inclusive=bool(split["inclusive"]),
+                ),
+                left=PartitionTree.from_jsonable(payload["left"]),
+                right=PartitionTree.from_jsonable(payload["right"]),
+                depth=int(payload["depth"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StreamError(f"malformed partition-tree payload: {error}") from None
 
     # -- routing ----------------------------------------------------------------------
     @staticmethod

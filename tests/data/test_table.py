@@ -181,3 +181,44 @@ def test_attribute_domain_direct_construction():
     assert domain.size == 3
     assert list(domain.values) == [1.0, 3.0, 5.0]
     assert domain.code_of(3) == 1
+
+
+def test_replace_rows_aligns_values_with_unsorted_indices():
+    import numpy as np
+
+    from repro.data.examples import table_i_patients
+
+    table = table_i_patients()
+    ages = table.column("Age")
+    assert ages[2] != ages[5]
+    # A swap given in unsorted index order: each replacement row must land
+    # on its own index, not on the sorted position.
+    replaced = table.replace_rows(
+        [5, 2],
+        {
+            name: [table.row(2)[name], table.row(5)[name]]
+            for name in table.schema.names
+        },
+    )
+    assert replaced.column("Age")[5] == ages[2]
+    assert replaced.column("Age")[2] == ages[5]
+    assert np.array_equal(np.delete(replaced.column("Age"), [2, 5]),
+                          np.delete(ages, [2, 5]))
+
+
+def test_replace_rows_validation():
+    import pytest
+
+    from repro.data.examples import table_i_patients
+    from repro.exceptions import DataError
+
+    table = table_i_patients()
+    row = {name: [table.row(0)[name]] for name in table.schema.names}
+    with pytest.raises(DataError):
+        table.replace_rows([], {name: [] for name in table.schema.names})
+    with pytest.raises(DataError):
+        table.replace_rows([0, 0], {n: v * 2 for n, v in row.items()})
+    with pytest.raises(DataError):
+        table.replace_rows([table.n_rows], row)
+    with pytest.raises(DataError):
+        table.replace_rows([0, 1], row)  # column length mismatch

@@ -214,3 +214,82 @@ def test_bt_risk_cache_is_bounded(small_adult):
     for _ in range(20):
         model.group_risk(np.sort(rng.choice(small_adult.n_rows, size=4, replace=False)))
     assert len(model._risk_cache) <= 5
+
+
+def test_update_priors_remap_keeps_clean_memos_and_flags_dirty_rows():
+    """The deletion/correction arm of BTPrivacy.update_priors: risk memos of
+    groups whose members all survive clean are remapped to the new indices,
+    rows whose prior or sensitive code changed come back dirty."""
+    import numpy as np
+
+    from repro.data.examples import table_i_patients
+    from repro.privacy.models import BTPrivacy
+
+    table = table_i_patients()
+    model = BTPrivacy(0.3, 0.5)
+    model.prepare(table)
+    clean_group = np.asarray([0, 1], dtype=np.int64)
+    doomed_group = np.asarray([2, 3], dtype=np.int64)
+    model.group_risks([clean_group, doomed_group])
+    assert model.risk_evaluations == 2
+
+    # Pretend nothing changed for the surviving rows: identical priors and
+    # codes remapped through the identity.  Every row must come back clean
+    # and both memos must survive (re-checks are cache hits).
+    identity = np.arange(table.n_rows, dtype=np.int64)
+    dirty = model.update_priors(
+        model.priors, table.sensitive_codes(), table.sensitive_domain().size,
+        previous_of=identity,
+    )
+    assert not dirty.any()
+    hits_before = model.risk_cache_hits
+    model.group_risks([clean_group, doomed_group])
+    assert model.risk_cache_hits == hits_before + 2
+
+    # Delete row 2: indices shift; the clean group's memo is remapped to the
+    # new index space, the group containing the deleted row is dropped.
+    kept = np.asarray(
+        [i for i in range(table.n_rows) if i != 2], dtype=np.int64
+    )
+    shrunk = table.select(kept)
+    from repro.knowledge.prior import kernel_prior
+
+    priors = kernel_prior(shrunk, 0.3)
+    dirty = model.update_priors(
+        priors, shrunk.sensitive_codes(), shrunk.sensitive_domain().size,
+        previous_of=kept,
+    )
+    assert dirty.shape == (shrunk.n_rows,)
+    if not dirty[clean_group].any():
+        hits_before = model.risk_cache_hits
+        model.group_risks([clean_group])  # rows 0, 1 keep their indices
+        assert model.risk_cache_hits == hits_before + 1
+
+
+def test_stream_replace_masks_for_group_local_models():
+    import numpy as np
+
+    from repro.data.examples import table_i_patients
+    from repro.privacy.models import DistinctLDiversity, KAnonymity
+
+    table = table_i_patients()
+    k_model = KAnonymity(2)
+    k_model.prepare(table)
+    l_model = DistinctLDiversity(2)
+    l_model.prepare(table)
+
+    kept = np.arange(1, table.n_rows, dtype=np.int64)  # drop row 0
+    shrunk = table.select(kept)
+    assert not k_model.stream_replace(shrunk, kept).any()
+    assert not l_model.stream_replace(shrunk, kept).any()
+
+    # An in-place sensitive correction marks exactly the corrected row.
+    identity = np.arange(shrunk.n_rows, dtype=np.int64)
+    values = shrunk.sensitive_values().tolist()
+    replacement = next(v for v in set(values) if v != values[0])
+    corrected = shrunk.replace_rows([0], {
+        name: [shrunk.row(0)[name]] if name != shrunk.sensitive_name else [replacement]
+        for name in shrunk.schema.names
+    })
+    mask = l_model.stream_replace(corrected, identity)
+    assert mask[0] and mask.sum() == 1

@@ -1,0 +1,75 @@
+"""The bench-regression gate: tolerances, vanished sections, missing keys."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_MODULE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules["check_regression"] = check_regression
+_spec.loader.exec_module(check_regression)
+
+
+def _doc(sections):
+    return {"benchmark": "test", "sections": sections}
+
+
+def test_within_tolerance_passes():
+    baseline = _doc({"a": {"run_seconds": 1.0, "speedup": 3.0}})
+    current = _doc({"a": {"run_seconds": 1.1, "speedup": 2.8}})
+    assert check_regression.compare(baseline, current, tolerance=0.30) == []
+
+
+def test_slowdown_and_speedup_drop_fail():
+    baseline = _doc({"a": {"run_seconds": 1.0, "speedup": 3.0}})
+    current = _doc({"a": {"run_seconds": 2.0, "speedup": 1.0}})
+    failures = check_regression.compare(baseline, current, tolerance=0.30)
+    assert len(failures) == 2
+    assert any("run_seconds" in failure for failure in failures)
+    assert any("speedup" in failure for failure in failures)
+
+
+def test_vanished_baseline_sections_fail_with_every_name():
+    """A baseline section missing from the regenerated file is a hard
+    failure naming every vanished section key at once - not a silent skip
+    (and never a KeyError)."""
+    baseline = _doc(
+        {
+            "kept": {"run_seconds": 1.0},
+            "renamed-away": {"run_seconds": 1.0},
+            "stopped-running": {"speedup": 2.0},
+        }
+    )
+    current = _doc({"kept": {"run_seconds": 1.0}})
+    failures = check_regression.compare(baseline, current, tolerance=0.30)
+    assert len(failures) == 1
+    assert "'renamed-away'" in failures[0]
+    assert "'stopped-running'" in failures[0]
+    assert "baseline sections missing" in failures[0]
+
+
+def test_missing_metric_keys_reported_together():
+    baseline = _doc(
+        {"a": {"run_seconds": 1.0, "audit_seconds": 2.0, "speedup": 3.0, "rows": 5}}
+    )
+    current = _doc({"a": {"rows": 5}})
+    failures = check_regression.compare(baseline, current, tolerance=0.30)
+    assert len(failures) == 1
+    for key in ("'run_seconds'", "'audit_seconds'", "'speedup'"):
+        assert key in failures[0]
+    # Ungated metadata (rows) is not demanded back.
+    assert "'rows'" not in failures[0]
+
+
+def test_new_current_sections_are_skipped():
+    baseline = _doc({"a": {"run_seconds": 1.0}})
+    current = _doc({"a": {"run_seconds": 1.0}, "b": {"run_seconds": 9.0}})
+    assert check_regression.compare(baseline, current, tolerance=0.30) == []
+
+
+def test_no_shared_sections_is_reported():
+    failures = check_regression.compare(
+        _doc({"a": {}}), _doc({"b": {}}), tolerance=0.30
+    )
+    assert failures and "nothing was compared" in failures[0]

@@ -351,3 +351,63 @@ def test_stream_rejects_bad_batch_configuration(capsys):
     ])
     assert code == 1
     assert "batch" in capsys.readouterr().err
+
+
+def test_stream_full_lifecycle_with_store_and_resume(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    code = main([
+        "stream", "--rows", "300", "--batch-size", "40", "--batches", "2",
+        "--model", "distinct-l", "--l", "2", "--k", "2",
+        "--skyline", "0.3:0.5",
+        "--delete-frac", "0.25", "--update-frac", "0.25",
+        "--store-dir", store_dir,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "v1: +40 rows" in out
+    assert "v2: -10 rows" in out  # the delete slice of each round
+    assert "v3: ~10 rows" in out  # the update slice of each round
+    assert (tmp_path / "store" / "lineage.jsonl").exists()
+    assert (tmp_path / "store" / "state.json").exists()
+
+    # Resume from the persisted store and keep streaming.
+    code = main([
+        "stream", "--rows", "300", "--batch-size", "40", "--batches", "1",
+        "--model", "distinct-l", "--l", "2", "--k", "2",
+        "--resume", "--store-dir", store_dir,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "resumed at v6" in out
+    assert "v7: +40 rows" in out
+
+
+def test_stream_rejects_malformed_fractions(capsys):
+    for flag, value in (("--delete-frac", "1.5"), ("--update-frac", "nope")):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "stream", "--rows", "200", "--model", "distinct-l", "--l", "3",
+                flag, value,
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "fraction" in err and "Traceback" not in err
+
+
+def test_stream_rejects_bad_compact_drift(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "stream", "--rows", "200", "--model", "distinct-l", "--l", "3",
+            "--compact-drift", "0",
+        ])
+    assert excinfo.value.code == 2
+    assert "positive" in capsys.readouterr().err
+
+
+def test_stream_resume_requires_store_dir(capsys):
+    code = main([
+        "stream", "--rows", "200", "--model", "distinct-l", "--l", "3",
+        "--resume",
+    ])
+    assert code == 1
+    assert "--store-dir" in capsys.readouterr().err
