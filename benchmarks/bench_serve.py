@@ -1,0 +1,260 @@
+"""The serving daemon under a mixed multi-stream workload (PR-gated).
+
+Starts a real :class:`repro.serve.ServeApp` on an ephemeral port and drives
+it over actual HTTP: several streams are created, writer threads fire
+append/delete/update batches at every stream concurrently (so the per-stream
+workers get genuine coalescing pressure), and reader threads hammer
+historical versions and audit reports the whole time.  Two numbers are
+gated:
+
+* **mutations/sec** - accepted mutation batches per second of wall clock
+  across all streams (each batch individually acknowledged with its
+  published version; coalescing means batches >= publishes);
+* **p99 read latency** - the 99th percentile of historical-version and
+  audit GETs issued *while publications are in flight*.  Reads are answered
+  lock-free from immutable versions, so this must stay flat however busy
+  the writers are.
+
+Scale knobs:
+
+* ``REPRO_BENCH_SERVE_STREAMS``    - hosted streams (default 3);
+* ``REPRO_BENCH_SERVE_SEED_ROWS``  - seed rows per stream (default 1000);
+* ``REPRO_BENCH_SERVE_BATCH_ROWS`` - rows per append batch (default 60);
+* ``REPRO_BENCH_SERVE_ROUNDS``     - mutation rounds per stream (default 4;
+  each round fires one append, one delete and one update concurrently);
+* ``REPRO_BENCH_SERVE_READERS``    - concurrent reader threads (default 4);
+* ``REPRO_BENCH_SERVE_COALESCE_MS``- the daemon's coalescing window (default 25);
+* ``REPRO_BENCH_SERVE_MIN_MUTATIONS_PER_SECOND`` - throughput gate (default 0.5);
+* ``REPRO_BENCH_SERVE_MAX_READ_P99_SECONDS``     - latency gate (default 0.5).
+
+The measured numbers land in ``BENCH_serve.json`` (section
+``streams-<n>-seed-<rows>-rounds-<k>x<batch>``); CI regenerates the file at
+a tiny size and gates it with ``benchmarks/check_regression.py``, whose
+``*_per_second`` keys are floors and ``*_seconds`` keys are ceilings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from conftest import write_bench_json
+
+from repro.data.adult import generate_adult
+from repro.serve import ServeApp
+
+STREAMS = int(os.environ.get("REPRO_BENCH_SERVE_STREAMS", "3"))
+SEED_ROWS = int(os.environ.get("REPRO_BENCH_SERVE_SEED_ROWS", "1000"))
+BATCH_ROWS = int(os.environ.get("REPRO_BENCH_SERVE_BATCH_ROWS", "60"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_SERVE_ROUNDS", "4"))
+READERS = int(os.environ.get("REPRO_BENCH_SERVE_READERS", "4"))
+COALESCE_MS = float(os.environ.get("REPRO_BENCH_SERVE_COALESCE_MS", "25"))
+MIN_MUTATIONS_PER_SECOND = float(
+    os.environ.get("REPRO_BENCH_SERVE_MIN_MUTATIONS_PER_SECOND", "0.5")
+)
+MAX_READ_P99_SECONDS = float(
+    os.environ.get("REPRO_BENCH_SERVE_MAX_READ_P99_SECONDS", "0.5")
+)
+
+#: One stream config for every hosted stream (modest k keeps versions fast).
+CONFIG = {"model": "bt", "b": 0.3, "t": 0.25, "k": 2}
+
+
+def _json_rows(table):
+    return [
+        {
+            name: (value.item() if hasattr(value, "item") else value)
+            for name, value in table.row(index).items()
+        }
+        for index in range(table.n_rows)
+    ]
+
+
+class _Client:
+    """Minimal JSON-over-HTTP client against the benched daemon."""
+
+    def __init__(self, port: int):
+        self.base = f"http://127.0.0.1:{port}"
+
+    def request(self, method: str, path: str, payload=None, timeout=600):
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base + path, data=body, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+
+def test_serve_mixed_workload_throughput_and_read_latency(tmp_path):
+    app = ServeApp(tmp_path / "serve-data", port=0, coalesce_ms=COALESCE_MS)
+    loop = asyncio.new_event_loop()
+    loop_thread = threading.Thread(target=loop.run_forever, daemon=True)
+    loop_thread.start()
+    asyncio.run_coroutine_threadsafe(app.start(), loop).result(60)
+    client = _Client(app.port)
+
+    rows_per_stream = SEED_ROWS + ROUNDS * BATCH_ROWS
+    names = [f"stream-{index}" for index in range(STREAMS)]
+    pools = {}
+    try:
+        # -- create every stream (not measured: one-off seeding) -----------------------
+        for index, name in enumerate(names):
+            table = generate_adult(rows_per_stream, seed=100 + index)
+            rows = _json_rows(table)
+            pools[name] = rows[SEED_ROWS:]
+            status, payload = client.request(
+                "POST", "/streams", {"name": name, "rows": rows[:SEED_ROWS],
+                                     "config": CONFIG},
+            )
+            assert status == 201, payload
+
+        # -- mixed read/write phase (measured) ------------------------------------------
+        errors: list[str] = []
+        batches_done = 0
+        batches_lock = threading.Lock()
+        read_latencies: list[float] = []
+        stop_reading = threading.Event()
+
+        def mutate(name: str) -> None:
+            nonlocal batches_done
+            pool = pools[name]
+            for round_index in range(ROUNDS):
+                batch = pool[round_index * BATCH_ROWS:(round_index + 1) * BATCH_ROWS]
+                third = max(1, len(batch) // 3)
+                low = round_index * 7
+                # One append, one delete and one update in flight together:
+                # the worker drains them into a single coalesced publish.
+                requests = [
+                    ("append", {"rows": batch}),
+                    ("delete", {"positions": list(range(low, low + third))}),
+                    (
+                        "update",
+                        {
+                            "positions": list(range(low + third, low + 2 * third)),
+                            "rows": batch[:third],
+                        },
+                    ),
+                ]
+                threads = []
+                outcomes = []
+
+                def fire(kind, payload):
+                    status, body = client.request(
+                        "POST", f"/streams/{name}/{kind}", payload
+                    )
+                    outcomes.append((kind, status, body))
+
+                for kind, payload in requests:
+                    thread = threading.Thread(target=fire, args=(kind, payload))
+                    thread.start()
+                    threads.append(thread)
+                for thread in threads:
+                    thread.join()
+                for kind, status, body in outcomes:
+                    if status != 200:
+                        errors.append(f"{name}/{kind}: {status} {body}")
+                with batches_lock:
+                    batches_done += len(requests)
+
+        def read(worker: int) -> None:
+            index = worker
+            while not stop_reading.is_set():
+                name = names[index % len(names)]
+                path = (
+                    f"/streams/{name}/versions/0"
+                    if index % 2
+                    else f"/streams/{name}/audit"
+                )
+                start = time.perf_counter()
+                status, body = client.request("GET", path)
+                elapsed = time.perf_counter() - start
+                if status != 200:
+                    errors.append(f"read {path}: {status} {body}")
+                read_latencies.append(elapsed)
+                index += 1
+
+        writers = [threading.Thread(target=mutate, args=(name,)) for name in names]
+        readers = [threading.Thread(target=read, args=(worker,)) for worker in range(READERS)]
+        wall_start = time.perf_counter()
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        write_wall_seconds = time.perf_counter() - wall_start
+        stop_reading.set()
+        for thread in readers:
+            thread.join()
+
+        assert not errors, errors[:5]
+        assert batches_done == STREAMS * ROUNDS * 3
+
+        # -- collect daemon-side numbers -------------------------------------------------
+        status, metrics = client.request("GET", "/metrics")
+        assert status == 200
+        publishes = sum(
+            stream["counters"]["publishes"] for stream in metrics["streams"].values()
+        )
+        failed = sum(
+            stream["counters"]["failed_batches"]
+            for stream in metrics["streams"].values()
+        )
+        assert failed == 0
+    finally:
+        asyncio.run_coroutine_threadsafe(app.stop(), loop).result(120)
+        loop.call_soon_threadsafe(loop.stop)
+        loop_thread.join(timeout=10)
+        loop.close()
+
+    mutations_per_second = batches_done / write_wall_seconds
+    ordered = sorted(read_latencies)
+
+    def percentile(q: float) -> float:
+        rank = min(len(ordered), max(1, -(-(q * len(ordered)) // 100)))
+        return ordered[int(rank) - 1]
+
+    read_p50, read_p99 = percentile(50.0), percentile(99.0)
+    coalesce_ratio = batches_done / publishes if publishes else float("nan")
+    print(
+        f"\nserve: {STREAMS} streams seed={SEED_ROWS} {ROUNDS} rounds x "
+        f"{BATCH_ROWS} rows  mutations={batches_done} publishes={publishes} "
+        f"(coalesce {coalesce_ratio:.1f}x)  {mutations_per_second:.2f} mutations/s  "
+        f"reads={len(ordered)} p50={read_p50 * 1000:.1f}ms p99={read_p99 * 1000:.1f}ms"
+    )
+    write_bench_json(
+        "serve",
+        f"streams-{STREAMS}-seed-{SEED_ROWS}-rounds-{ROUNDS}x{BATCH_ROWS}",
+        {
+            "streams": STREAMS,
+            "seed_rows": SEED_ROWS,
+            "batch_rows": BATCH_ROWS,
+            "rounds": ROUNDS,
+            "readers": READERS,
+            "mutation_batches": batches_done,
+            "publishes": publishes,
+            "coalesce_ratio": coalesce_ratio,
+            "reads": len(ordered),
+            "mutations_per_second": mutations_per_second,
+            "read_p50_seconds": read_p50,
+            "read_p99_seconds": read_p99,
+        },
+    )
+
+    # Coalescing means a burst of batches never needs a publish each.
+    assert publishes <= batches_done
+    assert mutations_per_second >= MIN_MUTATIONS_PER_SECOND, (
+        f"the daemon only sustained {mutations_per_second:.2f} mutation "
+        f"batches/s (required: {MIN_MUTATIONS_PER_SECOND:g})"
+    )
+    assert read_p99 <= MAX_READ_P99_SECONDS, (
+        f"p99 read latency {read_p99 * 1000:.1f}ms while publications were in "
+        f"flight (allowed: {MAX_READ_P99_SECONDS * 1000:g}ms)"
+    )

@@ -14,7 +14,9 @@ files the script compares:
   slack keeps the ratio gate from firing on scheduler jitter);
 * every ``speedup`` / ``*_speedup`` metric - the current value may fall below
   the baseline by at most ``tolerance``.  This gate is dimensionless, so it
-  stays meaningful even when baseline and CI hardware differ.
+  stays meaningful even when baseline and CI hardware differ;
+* every ``*_per_second`` throughput metric - gated like speedups (a floor:
+  the current value may fall below the baseline by at most ``tolerance``).
 
 A baseline section that *disappears* from the regenerated file is a hard
 failure naming every missing section key at once (``write_bench_json`` merges
@@ -69,7 +71,11 @@ def compare(
             if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
                 continue
             slower_is_bad = key.endswith("_seconds")
-            lower_is_bad = key == "speedup" or key.endswith("_speedup")
+            lower_is_bad = (
+                key == "speedup"
+                or key.endswith("_speedup")
+                or key.endswith("_per_second")
+            )
             if not (slower_is_bad or lower_is_bad):
                 continue
             current_value = cur_metrics.get(key)

@@ -112,6 +112,43 @@ def main() -> None:
           f"rows, audit recomputed {version.delta.audit_recomputed_groups or 'no'} "
           f"groups")
 
+    # 8. Serving many tenants?  `repro serve --data-dir DIR` hosts any number
+    #    of named streams as a long-running HTTP daemon: writes to a stream
+    #    are coalesced into single published versions, reads (history,
+    #    lineage, audit reports) are answered lock-free from immutable
+    #    versions, and a restart resumes every stream from its disk shard.
+    #    The same app runs in-process:
+    import asyncio
+    import json as _json
+    import tempfile
+    import threading
+    import urllib.request
+
+    from repro.serve import ServeApp
+
+    app = ServeApp(tempfile.mkdtemp(prefix="repro-quickstart-"), port=0)
+    loop = asyncio.new_event_loop()
+    threading.Thread(target=loop.run_forever, daemon=True).start()
+    asyncio.run_coroutine_threadsafe(app.start(), loop).result(30)
+    seed_rows = [
+        {name: (value.item() if hasattr(value, "item") else value)
+         for name, value in table.row(index).items()}
+        for index in range(400)
+    ]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{app.port}/streams", method="POST",
+        data=_json.dumps({"name": "census", "rows": seed_rows,
+                          "config": {"model": "bt", "b": 0.3, "t": 0.25}}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        stream = _json.loads(response.read())["stream"]
+    print(f"\nserving: POST /streams published version 0 of {stream['name']!r} "
+          f"({stream['groups']} groups); see examples/serve_client.py for the "
+          f"full coalesce/read/restart lifecycle")
+    asyncio.run_coroutine_threadsafe(app.stop(), loop).result(60)
+    loop.call_soon_threadsafe(loop.stop)
+
 
 if __name__ == "__main__":
     main()

@@ -42,24 +42,30 @@ from repro.knowledge.prior import PriorBeliefs
 from repro.privacy.disclosure import AttackResult, BackgroundKnowledgeAttack
 from repro.privacy.measures import DistanceMeasure
 from repro.privacy.models import BTPrivacy, PrivacyModel
+from repro.stats import CounterSet
 
 from repro.api import builtins as _builtins  # noqa: F401  (registers the built-in entries)
 
 
-@dataclass
-class SessionStats:
-    """Counters for the session's preparation caches."""
+class SessionStats(CounterSet):
+    """Counters for the session's preparation caches.
 
-    prior_estimations: int = 0
-    prior_cache_hits: int = 0
-    measure_builds: int = 0
-    measure_cache_hits: int = 0
-    attack_builds: int = 0
-    attack_cache_hits: int = 0
+    A :class:`~repro.stats.CounterSet` with a fixed field list - the same
+    counting primitive the serving daemon's metrics are built on, so there is
+    exactly one counter implementation in the codebase.
+    """
 
-    def as_dict(self) -> dict[str, int]:
-        """Plain dictionary of all counters."""
-        return dict(self.__dict__)
+    _FIELDS = (
+        "prior_estimations",
+        "prior_cache_hits",
+        "measure_builds",
+        "measure_cache_hits",
+        "attack_builds",
+        "attack_cache_hits",
+    )
+
+    def __init__(self) -> None:
+        super().__init__(self._FIELDS)
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,9 @@ the synthetic Adult-like dataset (or any CSV file with the same schema):
   disk-backed ReleaseStore and ``--resume`` continues a stored stream;
 * ``sweep``     - run a model/parameter grid through one cached session and
   print the resulting comparison table;
+* ``serve``     - run the :mod:`repro.serve` HTTP daemon: many named streams
+  under one ``--data-dir``, created over HTTP and resumed on restart, with
+  per-stream write coalescing and lock-free reads of historical versions;
 * ``figure``    - regenerate one of the paper's figures and print it as a
   plain-text table.
 
@@ -240,6 +243,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="distribute the grid over N worker processes (default: serial, shared cache)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the multi-stream release-serving HTTP daemon (streams are "
+            "created over HTTP and resumed from --data-dir on restart)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--data-dir", required=True, type=_data_dir_argument, metavar="DIR",
+        help="directory holding one disk-backed ReleaseStore shard per stream",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", type=_host_argument,
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", default=8750, type=_port_argument,
+        help="TCP port to bind (default 8750; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--coalesce-ms", default=50.0, type=_coalesce_ms_argument,
+        help=(
+            "per-stream write-coalescing window in milliseconds: mutation "
+            "batches queued within one tick publish as a single version "
+            "(default 50; 0 still coalesces whatever queued during the "
+            "previous publication)"
+        ),
+    )
+
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate one of the paper's figures and print it"
     )
@@ -460,6 +492,73 @@ def _max_cells_argument(text: str) -> int:
             "(0 selects the flat reference sweep)"
         )
     return value
+
+
+def _port_argument(text: str) -> int:
+    """argparse ``type`` wrapper: malformed/out-of-range ports exit 2."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad port {text!r}; expected an integer in [0, 65535]"
+        ) from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"bad port {text!r}; the port must lie in [0, 65535] (0 picks a free port)"
+        )
+    return value
+
+
+def _host_argument(text: str) -> str:
+    """argparse ``type`` wrapper: syntactically hopeless hosts exit 2."""
+    value = text.strip()
+    if not value or any(c.isspace() for c in value) or "/" in value:
+        raise argparse.ArgumentTypeError(
+            f"bad host {text!r}; expected a hostname or address "
+            "(no whitespace or slashes)"
+        )
+    return value
+
+
+def _data_dir_argument(text: str) -> str:
+    """argparse ``type`` wrapper: a data dir colliding with a file exits 2."""
+    if not text:
+        raise argparse.ArgumentTypeError("bad data dir ''; expected a directory path")
+    path = Path(text)
+    if path.exists() and not path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"bad data dir {text!r}; the path exists and is not a directory"
+        )
+    return text
+
+
+def _coalesce_ms_argument(text: str) -> float:
+    """argparse ``type`` wrapper: malformed/negative/non-finite windows exit 2."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad coalescing window {text!r}; expected milliseconds >= 0"
+        ) from None
+    if not 0.0 <= value < float("inf"):
+        raise argparse.ArgumentTypeError(
+            f"bad coalescing window {text!r}; the window must be a finite "
+            "number of milliseconds >= 0"
+        )
+    return value
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeApp
+
+    app = ServeApp(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        coalesce_ms=args.coalesce_ms,
+    )
+    app.run()
+    return 0
 
 
 def _run_audit(args: argparse.Namespace) -> int:
@@ -740,6 +839,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "audit": _run_audit,
         "stream": _run_stream,
         "sweep": _run_sweep,
+        "serve": _run_serve,
         "figure": _run_figure,
     }
     try:

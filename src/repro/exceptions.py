@@ -56,6 +56,10 @@ class StreamError(ReproError):
     """Raised when an incremental publication stream is used inconsistently."""
 
 
+class ServeError(ReproError):
+    """Raised when the serving daemon is misconfigured or a request is invalid."""
+
+
 class RegistryError(ReproError):
     """Raised for invalid plugin registrations (duplicate or malformed names)."""
 

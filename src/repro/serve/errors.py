@@ -1,0 +1,59 @@
+"""HTTP-shaped errors for the serving daemon.
+
+Handlers raise these; the app layer renders any :class:`ApiError` as a JSON
+error body with the class's status code.  All of them derive from
+:class:`~repro.exceptions.ServeError` (and therefore from
+:class:`~repro.exceptions.ReproError`), so library callers embedding the
+service can still catch everything with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ServeError
+
+
+class ApiError(ServeError):
+    """An error carrying an HTTP status, rendered as a JSON error body."""
+
+    status = 500
+    reason = "Internal Server Error"
+
+
+class BadRequest(ApiError):
+    """The request body or parameters are malformed (400)."""
+
+    status = 400
+    reason = "Bad Request"
+
+
+class NotFound(ApiError):
+    """No such stream, version or route (404)."""
+
+    status = 404
+    reason = "Not Found"
+
+
+class MethodNotAllowed(ApiError):
+    """The route exists but not for this method (405)."""
+
+    status = 405
+    reason = "Method Not Allowed"
+
+
+class Conflict(ApiError):
+    """The stream cannot accept the mutation in its current state (409).
+
+    Raised for duplicate stream names and for mutations against a poisoned
+    stream - the message points at the PR-5 recovery path
+    (:meth:`~repro.stream.IncrementalPublisher.resume`).
+    """
+
+    status = 409
+    reason = "Conflict"
+
+
+class PayloadTooLarge(ApiError):
+    """The request body exceeds the daemon's size limit (413)."""
+
+    status = 413
+    reason = "Payload Too Large"

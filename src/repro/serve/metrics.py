@@ -1,0 +1,77 @@
+"""Daemon and per-stream metrics on the shared counting primitives.
+
+Everything here is built from :class:`~repro.stats.CounterSet` and
+:class:`~repro.stats.Histogram` - the same classes behind
+``Session.stats`` - so the codebase has exactly one counter/histogram
+implementation.  The ``/metrics`` endpoint renders these snapshots together
+with live registry state (version counts, drift, queue depths).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.stats import CounterSet, Histogram
+
+
+class StreamMetrics:
+    """One stream's mutation/publish counters and publish-latency histogram."""
+
+    COUNTERS = (
+        "append_batches",
+        "delete_batches",
+        "update_batches",
+        "publishes",
+        "coalesced_operations",
+        "failed_batches",
+    )
+
+    def __init__(self) -> None:
+        self.counters = CounterSet(self.COUNTERS)
+        self.publish_seconds = Histogram()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able snapshot of this stream's counters and latencies."""
+        return {
+            "counters": self.counters.as_dict(),
+            "publish_seconds": self.publish_seconds.summary(),
+        }
+
+
+class ServeMetrics:
+    """Daemon-wide request counters and per-class latency histograms."""
+
+    COUNTERS = ("requests", "reads", "writes", "errors")
+
+    def __init__(self) -> None:
+        self.counters = CounterSet(self.COUNTERS)
+        self.read_seconds = Histogram()
+        self.write_seconds = Histogram()
+        self._started = time.monotonic()
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the metrics (and therefore the daemon) started."""
+        return time.monotonic() - self._started
+
+    def observe_request(self, method: str, seconds: float, *, error: bool) -> None:
+        """Record one handled request in the counters and the right histogram."""
+        self.counters.increment("requests")
+        if error:
+            self.counters.increment("errors")
+        if method == "GET":
+            self.counters.increment("reads")
+            self.read_seconds.observe(seconds)
+        else:
+            self.counters.increment("writes")
+            self.write_seconds.observe(seconds)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able snapshot of the daemon-wide counters and latencies."""
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "counters": self.counters.as_dict(),
+            "read_seconds": self.read_seconds.summary(),
+            "write_seconds": self.write_seconds.summary(),
+        }

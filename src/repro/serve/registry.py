@@ -1,0 +1,463 @@
+"""Multi-tenant stream hosting: one publisher + store shard + writer per stream.
+
+The :class:`StreamRegistry` owns a data directory with one shard per named
+stream::
+
+    data/
+      census/   stream.json  lineage.jsonl  state.json  version-*.npz  store.lock
+      hospital/ ...
+
+``stream.json`` records the creation config (model name and parameters), so a
+daemon restart can rebuild each stream's privacy model and hand it to
+:meth:`~repro.stream.IncrementalPublisher.resume` - every stream resumes
+automatically, with versions identical to an uninterrupted publisher.
+
+Writes are serialized per stream through a :class:`StreamHost` worker thread:
+every mutation submitted while a tick is in flight (plus anything arriving
+within the ``coalesce_ms`` window) is drained into **one**
+:meth:`~repro.stream.IncrementalPublisher.publish_coalesced` call, so a burst
+of N batches publishes one version instead of N.  Reads never enter the
+worker: published versions are immutable and the store's version list is
+append-only, so historical versions, lineages and audit reports are served
+lock-free from memory while a publication is in flight.
+
+A publication failure poisons only its own stream (PR 5's poisoning
+semantics): the host fails the tick's waiters, marks itself poisoned, and
+keeps serving reads; sibling streams keep publishing.  The daemon surfaces
+the state as 409 pointing at the restart-resume path.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import re
+import shutil
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.api.registry import MODELS
+from repro.data.adult import adult_schema
+from repro.data.schema import Schema
+from repro.data.table import MicrodataTable
+from repro.exceptions import ReproError, StreamError
+from repro.knowledge.backend import DEFAULT_MAX_CELLS
+from repro.serve.errors import ApiError, BadRequest, Conflict, NotFound
+from repro.serve.metrics import StreamMetrics
+from repro.stream import IncrementalPublisher
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+_STOP = object()
+
+#: Creation config: accepted keys and their defaults (persisted per shard).
+CONFIG_DEFAULTS: dict[str, Any] = {
+    "model": "bt",
+    "b": 0.3,
+    "t": 0.2,
+    "l": 4.0,
+    "k": 4,
+    "skyline": None,
+    "method": "omega",
+    "split_strategy": "widest",
+    "refine_factor": 1.5,
+    "compact_drift": 0.5,
+    "max_cells": DEFAULT_MAX_CELLS,
+}
+
+CONFIG_FILE = "stream.json"
+
+
+class _Submission:
+    """One queued mutation and the future its submitter awaits."""
+
+    __slots__ = ("operation", "future")
+
+    def __init__(self, operation: tuple[str, Any]):
+        self.operation = operation
+        self.future: Future = Future()
+
+
+class StreamHost:
+    """One hosted stream: its publisher, config and serialized write worker."""
+
+    def __init__(
+        self,
+        name: str,
+        publisher: IncrementalPublisher,
+        config: dict[str, Any],
+        *,
+        coalesce_seconds: float = 0.05,
+    ):
+        self.name = name
+        self.publisher = publisher
+        self.config = config
+        # The real release store, captured once: during a coalesced publish
+        # the publisher temporarily swaps ``publisher.store`` for its
+        # intermediate-version buffer, and readers must never see that -
+        # they keep serving the (append-only) published history.
+        self._store = publisher.store
+        self.metrics = StreamMetrics()
+        self._coalesce_seconds = float(coalesce_seconds)
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._poisoned: str | None = None
+        self._gate = threading.Event()
+        self._gate.set()
+        self._worker = threading.Thread(
+            target=self._run, name=f"repro-serve-{name}", daemon=True
+        )
+        self._worker.start()
+
+    # -- read-side accessors (lock-free: published versions are immutable) -------------
+    @property
+    def store(self):
+        """The stream's release store (always the real one, never a buffer)."""
+        return self._store
+
+    @property
+    def poisoned(self) -> str | None:
+        """The poisoning error message, or ``None`` while healthy."""
+        return self._poisoned
+
+    @property
+    def queue_depth(self) -> int:
+        """Mutations waiting for the worker (approximate, by nature)."""
+        return self._queue.qsize()
+
+    def poisoned_message(self) -> str:
+        return (
+            f"stream {self.name!r} is poisoned ({self._poisoned}); historical "
+            "versions remain servable, and the stream continues after a daemon "
+            "restart (IncrementalPublisher.resume reconstructs it from disk)"
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able summary: lineage position, drift, queue and health."""
+        latest = self.store.latest()
+        return {
+            "name": self.name,
+            "versions": len(self.store),
+            "rows": latest.n_rows,
+            "groups": latest.n_groups,
+            "satisfied": latest.satisfied,
+            "drift_rows": self.publisher.drift_rows,
+            "queue_depth": self.queue_depth,
+            "poisoned": self._poisoned,
+            "config": self.config,
+        }
+
+    # -- write side ---------------------------------------------------------------------
+    def submit(self, operation: tuple[str, Any]) -> Future:
+        """Enqueue one mutation; the future resolves to the published version.
+
+        All operations drained in one worker tick coalesce into a single
+        version, so concurrent submitters may receive the *same* version.
+        Raises :class:`~repro.exceptions.StreamError` immediately when the
+        stream is already poisoned.
+        """
+        with self._lock:
+            if self._poisoned is not None:
+                raise StreamError(self.poisoned_message())
+            submission = _Submission(operation)
+            self._queue.put(submission)
+            return submission.future
+
+    def pause(self) -> None:
+        """Hold the worker before its next tick (tests/benchmarks only).
+
+        Submissions made while paused pile up in the queue and coalesce into
+        one deterministic tick on :meth:`unpause`.
+        """
+        self._gate.clear()
+
+    def unpause(self) -> None:
+        """Release a :meth:`pause`."""
+        self._gate.set()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            self._gate.wait()
+            batch = [item]
+            stop = False
+            deadline = time.monotonic() + self._coalesce_seconds
+            while True:
+                remaining = deadline - time.monotonic()
+                try:
+                    nxt = (
+                        self._queue.get(timeout=remaining)
+                        if remaining > 0
+                        else self._queue.get_nowait()
+                    )
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._publish_tick(batch)
+            if stop:
+                return
+
+    def _publish_tick(self, batch: list[_Submission]) -> None:
+        """Publish one coalesced version for every submission of this tick."""
+        # A submitter may have cancelled (e.g. its connection died); marking
+        # the rest RUNNING makes them uncancellable for the publish.
+        live = [s for s in batch if s.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        if self._poisoned is not None:
+            error = StreamError(self.poisoned_message())
+            for submission in live:
+                submission.future.set_exception(error)
+            return
+        start = time.perf_counter()
+        try:
+            version = self.publisher.publish_coalesced(
+                [submission.operation for submission in live]
+            )
+        except BaseException as error:  # noqa: BLE001 - forwarded to every waiter
+            if self.publisher.poisoned:
+                with self._lock:
+                    self._poisoned = f"{type(error).__name__}: {error}"
+            self.metrics.counters.increment("failed_batches", len(live))
+            for submission in live:
+                submission.future.set_exception(error)
+            return
+        self.metrics.publish_seconds.observe(time.perf_counter() - start)
+        self.metrics.counters.increment("publishes")
+        self.metrics.counters.increment("coalesced_operations", len(live))
+        for submission in live:
+            self.metrics.counters.increment(f"{submission.operation[0]}_batches")
+            submission.future.set_result(version)
+
+    def close(self) -> None:
+        """Stop the worker, fail unserved waiters and release the store lock."""
+        self._gate.set()
+        self._queue.put(_STOP)
+        self._worker.join(timeout=60.0)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(
+                    StreamError(f"stream {self.name!r} is shutting down")
+                )
+        self.publisher.close()
+
+
+class StreamRegistry:
+    """Every hosted stream under one data directory.
+
+    Construction scans ``data_dir`` and resumes every shard holding a
+    ``stream.json`` (failed shards raise, naming the directory - a daemon
+    must not silently drop a stream).  ``schema`` defaults to the Adult
+    (Table IV) schema the CLI is bound to.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        coalesce_ms: float = 50.0,
+        schema: Schema | None = None,
+    ):
+        if coalesce_ms < 0:
+            raise BadRequest("coalesce_ms must be non-negative")
+        self.schema = schema if schema is not None else adult_schema()
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._coalesce_seconds = float(coalesce_ms) / 1000.0
+        self._lock = threading.Lock()
+        self._hosts: dict[str, StreamHost] = {}
+        for config_path in sorted(self.data_dir.glob(f"*/{CONFIG_FILE}")):
+            self._resume_shard(config_path.parent)
+
+    # -- lookup -------------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered stream names, sorted."""
+        with self._lock:
+            return sorted(self._hosts)
+
+    def hosts(self) -> list[StreamHost]:
+        """A snapshot of every registered host."""
+        with self._lock:
+            return [self._hosts[name] for name in sorted(self._hosts)]
+
+    def get(self, name: str) -> StreamHost:
+        """The host serving ``name`` (404 when unknown)."""
+        with self._lock:
+            host = self._hosts.get(name)
+        if host is None:
+            raise NotFound(f"no stream named {name!r}")
+        return host
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._hosts)
+
+    # -- creation and resume --------------------------------------------------------------
+    @staticmethod
+    def resolve_config(config: Mapping[str, Any] | None) -> dict[str, Any]:
+        """Validate a creation config and fill in the defaults."""
+        config = dict(config or {})
+        unknown = sorted(set(config) - set(CONFIG_DEFAULTS))
+        if unknown:
+            raise BadRequest(
+                f"unknown stream config keys {unknown}; "
+                f"accepted: {sorted(CONFIG_DEFAULTS)}"
+            )
+        resolved = {**CONFIG_DEFAULTS, **config}
+        if resolved["model"] not in MODELS.names():
+            raise BadRequest(
+                f"unknown model {resolved['model']!r}; choose one of {list(MODELS.names())}"
+            )
+        for key in ("b", "t", "l", "refine_factor", "compact_drift"):
+            try:
+                resolved[key] = float(resolved[key])
+            except (TypeError, ValueError):
+                raise BadRequest(f"stream config {key!r} must be a number") from None
+        if resolved["k"] is not None:
+            try:
+                resolved["k"] = int(resolved["k"])
+            except (TypeError, ValueError):
+                raise BadRequest("stream config 'k' must be an integer or null") from None
+        try:
+            resolved["max_cells"] = int(resolved["max_cells"])
+        except (TypeError, ValueError):
+            raise BadRequest("stream config 'max_cells' must be an integer") from None
+        if resolved["skyline"] is not None:
+            try:
+                resolved["skyline"] = [
+                    [float(b), float(t)] for b, t in resolved["skyline"]
+                ]
+            except (TypeError, ValueError):
+                raise BadRequest(
+                    "stream config 'skyline' must be a list of [b, t] pairs"
+                ) from None
+        if resolved["method"] not in ("omega", "exact"):
+            raise BadRequest("stream config 'method' must be 'omega' or 'exact'")
+        return resolved
+
+    def _build_model(self, config: Mapping[str, Any]):
+        return MODELS.build_filtered(
+            config["model"],
+            {
+                "b": config["b"],
+                "t": config["t"],
+                "l": config["l"],
+                "k": config["k"],
+                "max_cells": config["max_cells"],
+            },
+        )
+
+    def create(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        config: Mapping[str, Any] | None = None,
+    ) -> StreamHost:
+        """Create a stream: seed table -> version 0 -> registered host.
+
+        The shard directory, its ``stream.json`` and the seed publication are
+        all in place before the host is registered; a failed creation tears
+        the shard down again.  Runs the full estimate -> partition -> audit
+        pipeline, so callers on an event loop should dispatch to an executor.
+        """
+        if not _NAME_PATTERN.match(name or ""):
+            raise BadRequest(
+                f"bad stream name {name!r}; use 1-64 characters from "
+                "[A-Za-z0-9._-], starting with a letter or digit"
+            )
+        resolved = self.resolve_config(config)
+        with self._lock:
+            if name in self._hosts:
+                raise Conflict(f"stream {name!r} already exists")
+        shard = self.data_dir / name
+        if shard.exists():
+            raise Conflict(
+                f"the shard directory {shard} already exists but is not a "
+                "registered stream; remove the leftover directory first"
+            )
+        try:
+            table = MicrodataTable.from_rows(self.schema, list(rows))
+        except ApiError:
+            raise
+        except (ReproError, TypeError, ValueError) as error:
+            raise BadRequest(f"bad seed rows: {error}") from None
+        model = self._build_model(resolved)
+        skyline = (
+            [(b, t) for b, t in resolved["skyline"]]
+            if resolved["skyline"] is not None
+            else None
+        )
+        publisher = None
+        try:
+            publisher = IncrementalPublisher(
+                table,
+                model,
+                skyline=skyline,
+                k=resolved["k"],
+                method=resolved["method"],
+                split_strategy=resolved["split_strategy"],
+                refine_factor=resolved["refine_factor"],
+                compact_drift=resolved["compact_drift"],
+                max_cells=resolved["max_cells"],
+                store_path=shard,
+            )
+            publisher.publish()
+            (shard / CONFIG_FILE).write_text(
+                json.dumps(resolved, sort_keys=True) + "\n"
+            )
+        except ApiError:
+            if publisher is not None:
+                publisher.close()
+            shutil.rmtree(shard, ignore_errors=True)
+            raise
+        except ReproError as error:
+            if publisher is not None:
+                publisher.close()
+            shutil.rmtree(shard, ignore_errors=True)
+            raise BadRequest(f"cannot publish the seed release: {error}") from None
+        return self._register(name, publisher, resolved)
+
+    def _resume_shard(self, shard: Path) -> StreamHost:
+        """Rebuild one stream from its shard (daemon restart)."""
+        name = shard.name
+        try:
+            config = self.resolve_config(json.loads((shard / CONFIG_FILE).read_text()))
+        except (OSError, json.JSONDecodeError) as error:
+            raise StreamError(
+                f"cannot resume stream {name!r}: {shard / CONFIG_FILE} is "
+                f"unreadable ({error})"
+            ) from None
+        publisher = IncrementalPublisher.resume(
+            shard, schema=self.schema, model=self._build_model(config)
+        )
+        return self._register(name, publisher, config)
+
+    def _register(
+        self, name: str, publisher: IncrementalPublisher, config: dict[str, Any]
+    ) -> StreamHost:
+        host = StreamHost(
+            name, publisher, config, coalesce_seconds=self._coalesce_seconds
+        )
+        with self._lock:
+            self._hosts[name] = host
+        return host
+
+    def close(self) -> None:
+        """Stop every worker and release every shard lock."""
+        for host in self.hosts():
+            host.close()
+        with self._lock:
+            self._hosts.clear()

@@ -1,0 +1,114 @@
+"""A small HTTP router: path templates with ``{param}`` segments.
+
+The daemon deliberately runs on the stdlib alone (the clean-venv
+package-smoke job must need nothing beyond numpy/scipy), so this module
+supplies the few pieces a framework would: a :class:`Request` /
+:class:`Response` pair and a :class:`Router` that matches method + path
+templates like ``/streams/{name}/versions/{version}`` and extracts the
+parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+from urllib.parse import parse_qsl, unquote
+
+from repro.serve.errors import BadRequest, MethodNotAllowed, NotFound
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request as the handlers see it."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    params: dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        """The request body decoded as JSON (400 on malformed bodies)."""
+        if not self.body:
+            raise BadRequest("the request requires a JSON body")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise BadRequest(f"the request body is not valid JSON ({error})") from None
+
+
+@dataclass
+class Response:
+    """One handler result: a status code and a JSON-able payload."""
+
+    status: int = 200
+    payload: Any = None
+
+    def body(self) -> bytes:
+        """The serialized JSON body.
+
+        ``sort_keys`` keeps the serialization deterministic, which is what
+        makes "concurrent readers see byte-identical historical versions"
+        testable at the HTTP layer.
+        """
+        return (json.dumps(self.payload, sort_keys=True) + "\n").encode()
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class Router:
+    """Method + path-template dispatch.
+
+    Templates are ``/``-joined literal segments and ``{param}`` captures;
+    a captured segment is URL-unquoted and lands in ``request.params``.
+    Resolution distinguishes "no such path" (404) from "path exists, method
+    does not" (405, naming the allowed methods).
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, tuple[str, ...], Handler]] = []
+
+    @staticmethod
+    def _segments(path: str) -> tuple[str, ...]:
+        return tuple(segment for segment in path.split("/") if segment)
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` requests matching ``template``."""
+        self._routes.append((method.upper(), self._segments(template), handler))
+
+    @staticmethod
+    def _match(template: tuple[str, ...], segments: tuple[str, ...]) -> dict[str, str] | None:
+        if len(template) != len(segments):
+            return None
+        params: dict[str, str] = {}
+        for expected, actual in zip(template, segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = unquote(actual)
+            elif expected != actual:
+                return None
+        return params
+
+    def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
+        """The handler and extracted parameters for one request line."""
+        segments = self._segments(path)
+        allowed: list[str] = []
+        for route_method, template, handler in self._routes:
+            params = self._match(template, segments)
+            if params is None:
+                continue
+            if route_method == method.upper():
+                return handler, params
+            allowed.append(route_method)
+        if allowed:
+            raise MethodNotAllowed(
+                f"{method} is not allowed on {path}; allowed: {', '.join(sorted(set(allowed)))}"
+            )
+        raise NotFound(f"no route matches {path}")
+
+
+def parse_query(raw: str) -> dict[str, str]:
+    """Decode a query string into a flat dict (last value wins)."""
+    return dict(parse_qsl(raw, keep_blank_values=True))

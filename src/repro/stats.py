@@ -1,0 +1,156 @@
+"""Shared counting primitives: named counters and latency histograms.
+
+Two consumers need the same bookkeeping: :class:`~repro.api.session.Session`
+counts cache hits and estimations (``session.stats``), and the serving daemon
+(:mod:`repro.serve`) counts requests, mutations and publish latencies per
+stream.  Instead of each growing its own ad-hoc dict, both build on the two
+classes here:
+
+* :class:`CounterSet` - a *fixed* set of named integer counters with
+  attribute access (``stats.prior_estimations += 1``) and a JSON-able
+  :meth:`~CounterSet.as_dict`.  The set is fixed at construction so a typo'd
+  counter name fails loudly instead of silently creating a new counter.
+* :class:`Histogram` - a streaming latency histogram: exact count / total /
+  min / max plus a bounded reservoir of the most recent samples for
+  percentile estimates (p50/p95/p99 in :meth:`~Histogram.summary`).
+
+Both are safe to *read* from any thread; cross-thread writers should use
+:meth:`CounterSet.increment` / :meth:`Histogram.observe`, which take the
+internal lock (the plain ``+=`` attribute form is for single-threaded owners
+such as a session).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+
+class CounterSet:
+    """A fixed set of named integer counters with attribute access.
+
+    ``CounterSet(("hits", "misses"))`` exposes ``counters.hits`` /
+    ``counters.misses`` starting at 0; assignment and ``+=`` work through
+    plain attribute syntax, and unknown names raise :class:`AttributeError`
+    on read *and* write (the set of counters is part of the type's contract,
+    not something call sites may grow implicitly).
+    """
+
+    def __init__(self, names: Iterable[str]):
+        object.__setattr__(self, "_lock", threading.Lock())
+        object.__setattr__(self, "_counters", {str(name): 0 for name in names})
+
+    def __getattr__(self, name: str) -> int:
+        # Only reached when normal attribute lookup fails, i.e. for counters.
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            return counters[name]
+        except KeyError:
+            raise AttributeError(
+                f"{type(self).__name__} has no counter {name!r}"
+            ) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        if name not in counters:
+            raise AttributeError(
+                f"{type(self).__name__} has no counter {name!r}; "
+                "the counter set is fixed at construction"
+            )
+        counters[name] = int(value)
+
+    def increment(self, name: str, by: int = 1) -> int:
+        """Atomically add ``by`` to counter ``name`` (for cross-thread writers)."""
+        counters = object.__getattribute__(self, "_counters")
+        if name not in counters:
+            raise AttributeError(f"{type(self).__name__} has no counter {name!r}")
+        with object.__getattribute__(self, "_lock"):
+            counters[name] += int(by)
+            return counters[name]
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain dictionary of all counters."""
+        return dict(object.__getattribute__(self, "_counters"))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({body})"
+
+
+class Histogram:
+    """A streaming histogram of non-negative samples (latencies, sizes).
+
+    Tracks the exact count, total, minimum and maximum, plus a bounded ring
+    buffer of the most recent ``max_samples`` observations from which
+    :meth:`percentile` estimates are drawn - recent-window percentiles are
+    what a serving dashboard wants, and the memory stays O(max_samples)
+    however long the daemon runs.
+    """
+
+    def __init__(self, max_samples: int = 4096):
+        if max_samples < 1:
+            raise ValueError("max_samples must be at least 1")
+        self._max_samples = int(max_samples)
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+        self._cursor = 0
+        self._count = 0
+        self._total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+            else:
+                self._samples[self._cursor] = value
+                self._cursor = (self._cursor + 1) % self._max_samples
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed (all time, not just the window)."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of every observed sample."""
+        return self._total
+
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-th percentile (0-100) of the recent-sample window.
+
+        Uses the nearest-rank definition; ``None`` before any observation.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("the percentile must lie in [0, 100]")
+        with self._lock:
+            window = sorted(self._samples)
+        if not window:
+            return None
+        # Nearest-rank: ceil(q/100 * n), clamped to [1, n].
+        rank = min(len(window), max(1, -(-(q * len(window)) // 100)))
+        return window[int(rank) - 1]
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able digest: count, mean, min, max and p50/p95/p99."""
+        with self._lock:
+            count = self._count
+            total = self._total
+            low = self._min
+            high = self._max
+        return {
+            "count": count,
+            "mean": (total / count) if count else None,
+            "min": low,
+            "max": high,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }

@@ -80,6 +80,48 @@ from repro.privacy.models import BTPrivacy, CompositeModel, KAnonymity, PrivacyM
 from repro.stream.store import ReleaseStore, StreamDelta, StreamVersion
 from repro.stream.tree import PartitionTree
 
+#: The mutation kinds :meth:`IncrementalPublisher.publish_coalesced` accepts.
+OPERATION_KINDS = ("append", "delete", "update")
+
+
+class _CoalescingStore:
+    """A write buffer standing in for the real store during one coalesced tick.
+
+    :meth:`IncrementalPublisher.publish_coalesced` applies a tick's operations
+    through the normal :meth:`~IncrementalPublisher.append` /
+    :meth:`~IncrementalPublisher.delete` / :meth:`~IncrementalPublisher.update`
+    paths, each of which records a version.  Buffering those intermediates
+    keeps version numbering and ``latest()`` consistent for the mutation code
+    while nothing hits the real lineage (``path`` is ``None``, so no
+    intermediate state payload is even built); only the final state of the
+    tick is then published to the real store.
+    """
+
+    # The publisher persists resume state only for disk-backed stores;
+    # intermediates must never reach disk.
+    path = None
+
+    def __init__(self, real: ReleaseStore):
+        self._real = real
+        self.versions: list[StreamVersion] = []
+        self.state: dict[str, Any] | None = real.state
+
+    def __len__(self) -> int:
+        return len(self._real) + len(self.versions)
+
+    def add(self, version: StreamVersion, *, state: dict[str, Any] | None = None) -> StreamVersion:
+        if version.version != len(self):
+            raise StreamError(
+                f"version {version.version} breaks the lineage; expected {len(self)}"
+            )
+        self.versions.append(version)
+        return version
+
+    def latest(self) -> StreamVersion:
+        if self.versions:
+            return self.versions[-1]
+        return self._real.latest()
+
 
 class IncrementalPublisher:
     """Publish an append-only microdata stream under one privacy requirement.
@@ -228,6 +270,25 @@ class IncrementalPublisher:
     def skyline(self) -> list[tuple[Bandwidth, float]]:
         """The audit skyline (empty when auditing is disabled)."""
         return list(self._points)
+
+    @property
+    def drift_rows(self) -> int:
+        """Deferred-maintenance drift accumulated since the last full refine."""
+        return self._drift_rows
+
+    @property
+    def poisoned(self) -> bool:
+        """Whether a previous batch failed mid-publication (state between versions).
+
+        A poisoned publisher refuses further mutations (see
+        :meth:`_begin_mutation`); its store still serves every published
+        version, and a disk-backed stream continues via :meth:`resume`.
+        """
+        return self._inconsistent
+
+    def close(self) -> None:
+        """Release the store's publisher lock (see :meth:`ReleaseStore.close`)."""
+        self.store.close()
 
     def describe(self) -> str:
         """One-line description of the configured stream."""
@@ -1156,6 +1217,100 @@ class IncrementalPublisher:
             },
         )
         return self._add_version(release, report, delta)
+
+    # -- coalescing ---------------------------------------------------------------------
+    def _apply(self, operation: tuple[str, Any]) -> StreamVersion:
+        """Dispatch one ``(kind, payload)`` mutation tuple."""
+        kind, payload = operation
+        if kind == "append":
+            return self.append(payload)
+        if kind == "delete":
+            return self.delete(payload)
+        if kind == "update":
+            rows, batch = payload
+            return self.update(rows, batch)
+        raise StreamError(
+            f"unknown stream operation {kind!r}; expected one of {OPERATION_KINDS}"
+        )
+
+    def publish_coalesced(
+        self, operations: Sequence[tuple[str, Any]]
+    ) -> StreamVersion:
+        """Apply one tick's worth of mutations and publish a *single* version.
+
+        ``operations`` is a non-empty sequence of ``("append", batch)``,
+        ``("delete", rows)`` and ``("update", (rows, batch))`` tuples - the
+        unit the serving daemon's per-stream worker drains from its queue per
+        tick.  The operations run through the ordinary sequential mutation
+        paths against a write buffer, so the published release, audit risks
+        and resume state are *identical* to publishing them one version at a
+        time (the serving tests pin the audit identity to ``<= 1e-12``; it is
+        bitwise by construction); only the intermediate versions are
+        dropped.  The recorded :class:`~repro.stream.store.StreamDelta`
+        aggregates the whole tick and counts the folded batches in
+        ``coalesced_operations``.
+
+        Failure semantics match the sequential paths: once any operation of
+        the tick has advanced the maintained state (a buffered version
+        exists, or the failing operation itself got past validation), the
+        publisher is poisoned - the real store never saw the intermediate
+        versions, so the state is ahead of the published lineage.  A tick
+        whose *first* operation fails pure validation leaves the publisher
+        consistent.
+        """
+        operations = list(operations)
+        if not operations:
+            raise StreamError("a coalesced tick requires at least one operation")
+        if len(operations) == 1:
+            return self._apply(operations[0])
+        if not len(self.store):
+            raise StreamError("publish() the seed release before coalescing mutations")
+        self._begin_mutation()
+        self._inconsistent = False  # re-armed per operation below
+        start = time.perf_counter()
+        real = self.store
+        buffer = _CoalescingStore(real)
+        self.store = buffer
+        try:
+            for operation in operations:
+                self._apply(operation)
+        except BaseException:
+            if buffer.versions:
+                self._inconsistent = True
+            raise
+        finally:
+            self.store = real
+        delta = self._merge_deltas(
+            [version.delta for version in buffer.versions],
+            time.perf_counter() - start,
+        )
+        final = buffer.versions[-1]
+        self._inconsistent = True  # cleared when the merged version lands
+        return self._add_version(final.release, final.report, delta)
+
+    @staticmethod
+    def _merge_deltas(deltas: list[StreamDelta], total_seconds: float) -> StreamDelta:
+        """One tick-wide delta: volumes sum, the final publication's shape wins."""
+        timings: dict[str, float] = {}
+        for delta in deltas:
+            for key, value in delta.timings.items():
+                timings[key] = timings.get(key, 0.0) + value
+        timings["total_seconds"] = total_seconds
+        last = deltas[-1]
+        return StreamDelta(
+            appended_rows=sum(delta.appended_rows for delta in deltas),
+            deleted_rows=sum(delta.deleted_rows for delta in deltas),
+            updated_rows=sum(delta.updated_rows for delta in deltas),
+            reused_groups=last.reused_groups,
+            rechecked_leaves=sum(delta.rechecked_leaves for delta in deltas),
+            refined_leaves=sum(delta.refined_leaves for delta in deltas),
+            rebuilt_regions=sum(delta.rebuilt_regions for delta in deltas),
+            rebuild=any(delta.rebuild for delta in deltas),
+            compacted=any(delta.compacted for delta in deltas),
+            coalesced_operations=len(deltas),
+            audit_recomputed_groups=list(last.audit_recomputed_groups),
+            timings=timings,
+        )
 
     def _merge_up(self, failing: list, routed: dict[int, np.ndarray]) -> list:
         """Climb from each violated leaf to the nearest satisfiable region.

@@ -40,6 +40,23 @@ from repro.exceptions import DataError, StreamError
 from repro.knowledge.bandwidth import Bandwidth
 from repro.privacy.disclosure import AttackResult, count_vulnerable_tuples, max_risk
 
+#: Name of the exclusive publisher lock inside a disk-backed store directory.
+LOCK_FILE = "store.lock"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal 0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # e.g. PermissionError: the process exists but belongs to someone else.
+        return True
+    return True
+
 
 @dataclass
 class StreamDelta:
@@ -54,6 +71,7 @@ class StreamDelta:
     deleted_rows: int = 0
     updated_rows: int = 0
     compacted: bool = False  # periodic full-refine compaction of drift
+    coalesced_operations: int = 1  # mutation batches folded into this version
     audit_recomputed_groups: list[int] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
 
@@ -69,6 +87,7 @@ class StreamDelta:
             "rebuilt_regions": self.rebuilt_regions,
             "rebuild": self.rebuild,
             "compacted": self.compacted,
+            "coalesced_operations": self.coalesced_operations,
             "audit_recomputed_groups": list(self.audit_recomputed_groups),
             "timings": dict(self.timings),
         }
@@ -86,6 +105,7 @@ class StreamDelta:
             deleted_rows=int(payload.get("deleted_rows", 0)),
             updated_rows=int(payload.get("updated_rows", 0)),
             compacted=bool(payload.get("compacted", False)),
+            coalesced_operations=int(payload.get("coalesced_operations", 1)),
             audit_recomputed_groups=[int(v) for v in payload.get("audit_recomputed_groups", [])],
             timings={k: float(v) for k, v in payload.get("timings", {}).items()},
         )
@@ -151,9 +171,11 @@ class ReleaseStore:
         self._versions: list[StreamVersion] = []
         self._path = Path(path) if path is not None else None
         self._schema = schema
+        self._owns_lock = False
         self.state: dict[str, Any] | None = None
         if self._path is not None:
             self._path.mkdir(parents=True, exist_ok=True)
+            self._acquire_lock()
             if (self._path / "lineage.jsonl").exists():
                 if schema is None:
                     raise StreamError(
@@ -165,6 +187,69 @@ class ReleaseStore:
     def path(self) -> Path | None:
         """The backing directory (``None`` for in-memory stores)."""
         return self._path
+
+    # -- the exclusive publisher lock ---------------------------------------------------
+    def _acquire_lock(self) -> None:
+        """Take the directory's exclusive publisher lock (pid + ``O_EXCL``).
+
+        Two live publishers writing one directory would interleave
+        ``lineage.jsonl`` appends and clobber each other's ``state.json``, so
+        a disk-backed store stamps its pid into ``store.lock`` on open.  A
+        lock held by a *dead* process is stale and is stolen; a lock held by
+        this process is re-entrant (the same process may reopen a directory
+        it is already publishing, e.g. to serve historical versions), and
+        only the first opener releases the file on :meth:`close`.
+        """
+        lock_path = self._path / LOCK_FILE
+        while True:
+            try:
+                descriptor = os.open(lock_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                holder = self._lock_holder(lock_path)
+                if holder == os.getpid():
+                    return
+                if holder is not None and _pid_alive(holder):
+                    raise StreamError(
+                        f"the release store at {self._path} is locked by "
+                        f"process {holder} ({LOCK_FILE}); close that "
+                        "publisher (or remove the lock file if the holder "
+                        "is gone) before opening the store"
+                    )
+                # Unparseable or dead holder: stale.  Removing it races
+                # against other stealers, so loop back to the O_EXCL create -
+                # exactly one contender wins, the others see the fresh lock.
+                try:
+                    lock_path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            try:
+                os.write(descriptor, f"{os.getpid()}\n".encode())
+            finally:
+                os.close(descriptor)
+            self._owns_lock = True
+            return
+
+    @staticmethod
+    def _lock_holder(lock_path: Path) -> int | None:
+        """The pid recorded in a lock file (``None`` when unreadable)."""
+        try:
+            return int(lock_path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    def close(self) -> None:
+        """Release the publisher lock (a no-op for in-memory stores).
+
+        The store object stays readable - historical versions live in
+        memory - but the directory becomes available to another publisher.
+        """
+        if self._path is not None and self._owns_lock:
+            try:
+                (self._path / LOCK_FILE).unlink()
+            except FileNotFoundError:
+                pass
+            self._owns_lock = False
 
     def add(self, version: StreamVersion, *, state: dict[str, Any] | None = None) -> StreamVersion:
         """Append the next version (versions must be contiguous from 0).
@@ -352,7 +437,9 @@ class ReleaseStore:
         return len(self._versions)
 
     def __iter__(self) -> Iterator[StreamVersion]:
-        return iter(self._versions)
+        # Iterate a snapshot: the serving daemon reads lineages concurrently
+        # with the (append-only) writer thread.
+        return iter(list(self._versions))
 
     def __getitem__(self, version: int) -> StreamVersion:
         return self._versions[version]
@@ -396,7 +483,7 @@ class ReleaseStore:
     def lineage(self) -> list[dict[str, Any]]:
         """JSON-able summaries of every version, with audit deltas attached."""
         rows = []
-        for version in self._versions:
+        for version in list(self._versions):
             row = version.as_dict()
             delta = self.report_delta(version.version)
             if delta is not None:

@@ -1,0 +1,94 @@
+"""Fixtures for the serving-layer tests.
+
+The HTTP tests run a real :class:`~repro.serve.ServeApp` on an event loop in
+a background thread and talk to it over actual sockets with ``urllib`` - the
+project has no async test plugin, and the daemon's concurrency claims
+(lock-free reads during an in-flight publication) are only meaningful
+against the real wire protocol anyway.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.data.adult import generate_adult
+from repro.serve import ServeApp
+
+
+def json_rows(table, start=0, stop=None):
+    """Table rows as JSON-native dictionaries (numpy scalars unwrapped)."""
+    stop = table.n_rows if stop is None else stop
+    return [
+        {
+            name: (value.item() if hasattr(value, "item") else value)
+            for name, value in table.row(index).items()
+        }
+        for index in range(start, stop)
+    ]
+
+
+@pytest.fixture(scope="session")
+def adult_rows():
+    """320 deterministic Adult rows: 260 for seeding, the rest for appends."""
+    return json_rows(generate_adult(320, seed=11))
+
+
+class LiveServer:
+    """One running daemon on an ephemeral port, driven over real HTTP."""
+
+    def __init__(self, data_dir, *, coalesce_ms=25.0):
+        self.app = ServeApp(data_dir, port=0, coalesce_ms=coalesce_ms)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever, daemon=True)
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self.app.start(), self._loop).result(30)
+        self._closed = False
+
+    @property
+    def base_url(self):
+        return f"http://127.0.0.1:{self.app.port}"
+
+    def request(self, method, path, payload=None, timeout=180):
+        """One request; returns ``(status, decoded_json, raw_body_bytes)``."""
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                raw = response.read()
+                return response.status, json.loads(raw), raw
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            return error.code, json.loads(raw), raw
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        asyncio.run_coroutine_threadsafe(self.app.stop(), self._loop).result(60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """Factory for live daemons; every started server is torn down."""
+    servers = []
+
+    def start(data_dir=None, **kwargs):
+        server = LiveServer(data_dir or tmp_path / "serve-data", **kwargs)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()

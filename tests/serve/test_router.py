@@ -1,0 +1,79 @@
+"""Router, Request and Response: matching, params, errors, determinism."""
+
+import json
+
+import pytest
+
+from repro.serve import BadRequest, MethodNotAllowed, NotFound, Request, Response, Router
+from repro.serve.router import parse_query
+
+
+async def _noop(request):
+    return Response(200, {"ok": True})
+
+
+def _router():
+    router = Router()
+    router.add("GET", "/healthz", _noop)
+    router.add("GET", "/streams/{name}", _noop)
+    router.add("POST", "/streams/{name}/append", _noop)
+    router.add("GET", "/streams/{name}/versions/{version}", _noop)
+    return router
+
+
+def test_literal_and_param_matching():
+    router = _router()
+    _, params = router.resolve("GET", "/healthz")
+    assert params == {}
+    _, params = router.resolve("GET", "/streams/census")
+    assert params == {"name": "census"}
+    _, params = router.resolve("GET", "/streams/census/versions/3")
+    assert params == {"name": "census", "version": "3"}
+
+
+def test_params_are_url_unquoted():
+    _, params = _router().resolve("GET", "/streams/a%20b")
+    assert params == {"name": "a b"}
+
+
+def test_trailing_slash_is_tolerated():
+    _, params = _router().resolve("GET", "/streams/census/")
+    assert params == {"name": "census"}
+
+
+def test_unknown_path_is_404():
+    with pytest.raises(NotFound):
+        _router().resolve("GET", "/nope")
+    with pytest.raises(NotFound):
+        _router().resolve("GET", "/streams/census/versions")
+
+
+def test_wrong_method_is_405_naming_allowed():
+    with pytest.raises(MethodNotAllowed) as excinfo:
+        _router().resolve("DELETE", "/streams/census")
+    assert "GET" in str(excinfo.value)
+    with pytest.raises(MethodNotAllowed):
+        _router().resolve("GET", "/streams/census/append")
+
+
+def test_request_json_rejects_empty_and_malformed_bodies():
+    with pytest.raises(BadRequest):
+        Request(method="POST", path="/x").json()
+    with pytest.raises(BadRequest):
+        Request(method="POST", path="/x", body=b"{nope").json()
+    assert Request(method="POST", path="/x", body=b'{"a": 1}').json() == {"a": 1}
+
+
+def test_response_body_is_deterministic():
+    # sort_keys makes equal payloads byte-identical regardless of insertion
+    # order - the property the concurrent-reader HTTP test leans on.
+    first = Response(200, {"b": 1, "a": [1, 2]}).body()
+    second = Response(200, {"a": [1, 2], "b": 1}).body()
+    assert first == second
+    assert json.loads(first) == {"a": [1, 2], "b": 1}
+    assert first.endswith(b"\n")
+
+
+def test_parse_query():
+    assert parse_query("a=1&b=x%20y&a=2") == {"a": "2", "b": "x y"}
+    assert parse_query("") == {}

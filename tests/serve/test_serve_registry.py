@@ -1,0 +1,281 @@
+"""StreamRegistry / StreamHost: creation, coalescing, poisoning, resume.
+
+The load-bearing contracts from the issue:
+
+* N batches queued against one stream coalesce into ONE published version
+  whose release matches a sequential publish of the same batches to within
+  ``1e-12``;
+* a publication failure poisons only its own stream - siblings keep
+  publishing and the poisoned stream keeps serving history;
+* a new registry over the same data directory resumes every stream, and the
+  next published version is identical to an uninterrupted publisher's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.adult import adult_schema, generate_adult
+from repro.data.table import MicrodataTable
+from repro.exceptions import StreamError
+from repro.privacy.models import BTPrivacy
+from repro.serve import BadRequest, Conflict, NotFound, StreamRegistry
+from repro.serve.registry import CONFIG_DEFAULTS
+from repro.stream import IncrementalPublisher
+
+#: Small stream config that keeps the full pipeline fast in CI.
+FAST_CONFIG = {"model": "bt", "b": 0.3, "t": 0.25, "k": 2, "max_cells": 20000}
+
+SEED_ROWS = 260
+SCHEMA = adult_schema()
+ROWS = generate_adult(320, seed=11).rows()
+
+
+def _table(rows):
+    # The same construction the daemon uses for HTTP payloads, so the twin
+    # publisher sees identical domains (and therefore identical splits).
+    return MicrodataTable.from_rows(SCHEMA, rows)
+
+
+SEED_TABLE = _table(ROWS[:SEED_ROWS])
+
+
+def _registry(tmp_path, **kwargs):
+    return StreamRegistry(tmp_path / "data", coalesce_ms=0.0, **kwargs)
+
+
+def _twin_publisher(store_path=None):
+    """A plain sequential publisher configured exactly like FAST_CONFIG."""
+    return IncrementalPublisher(
+        _table(ROWS[:SEED_ROWS]),
+        BTPrivacy(FAST_CONFIG["b"], FAST_CONFIG["t"]),
+        k=FAST_CONFIG["k"],
+        max_cells=FAST_CONFIG["max_cells"],
+        store_path=store_path,
+    )
+
+
+def _operations():
+    """The mixed batch every equivalence test replays."""
+    return [
+        ("append", _table(ROWS[SEED_ROWS:SEED_ROWS + 30])),
+        ("delete", [0, 7, 19, 42]),
+        ("append", _table(ROWS[SEED_ROWS + 30:SEED_ROWS + 60])),
+    ]
+
+
+def _apply_sequentially(publisher, operations):
+    for kind, payload in operations:
+        if kind == "append":
+            publisher.append(payload)
+        elif kind == "delete":
+            publisher.delete(payload)
+        else:
+            publisher.update(*payload)
+    return publisher.store.latest()
+
+
+def _assert_same_release(actual, expected, tolerance=1e-12):
+    assert actual.n_rows == expected.n_rows
+    assert actual.n_groups == expected.n_groups
+    assert len(actual.release.groups) == len(expected.release.groups)
+    assert all(
+        np.array_equal(a, b)
+        for a, b in zip(actual.release.groups, expected.release.groups)
+    )
+    assert actual.report is not None and expected.report is not None
+    for ours, theirs in zip(actual.report.entries, expected.report.entries):
+        assert float(np.max(np.abs(ours.attack.risks - theirs.attack.risks))) <= tolerance
+
+
+# -- creation and lookup ------------------------------------------------------------------
+
+
+def test_create_publishes_seed_and_registers(tmp_path):
+    registry = _registry(tmp_path)
+    try:
+        host = registry.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+        assert registry.names() == ["census"]
+        assert registry.get("census") is host
+        summary = host.describe()
+        assert summary["versions"] == 1
+        assert summary["rows"] == SEED_ROWS
+        assert summary["poisoned"] is None
+        assert summary["config"]["b"] == FAST_CONFIG["b"]
+        # The shard persists the creation config for restart-resume.
+        assert (registry.data_dir / "census" / "stream.json").exists()
+    finally:
+        registry.close()
+
+
+def test_create_rejects_bad_names_duplicates_and_configs(tmp_path):
+    registry = _registry(tmp_path)
+    try:
+        rows = SEED_TABLE.rows()
+        for name in ("", ".hidden", "a b", "x" * 65, "../escape"):
+            with pytest.raises(BadRequest):
+                registry.create(name, rows, FAST_CONFIG)
+        registry.create("census", rows, FAST_CONFIG)
+        with pytest.raises(Conflict):
+            registry.create("census", rows, FAST_CONFIG)
+        with pytest.raises(BadRequest):
+            registry.create("other", rows, {"nope": 1})
+        with pytest.raises(BadRequest):
+            registry.create("other", rows, {"model": "nope"})
+        with pytest.raises(BadRequest):
+            registry.create("other", rows, {"b": "many"})
+        with pytest.raises(BadRequest):
+            registry.create("other", [{"Age": "not a row"}], FAST_CONFIG)
+        # Failed creations must not leave half-built shards behind.
+        assert not (registry.data_dir / "other").exists()
+        with pytest.raises(NotFound):
+            registry.get("other")
+    finally:
+        registry.close()
+
+
+def test_resolve_config_fills_defaults():
+    resolved = StreamRegistry.resolve_config({"b": "0.4", "k": "3"})
+    assert resolved["b"] == 0.4
+    assert resolved["k"] == 3
+    assert resolved["model"] == CONFIG_DEFAULTS["model"]
+    assert resolved["method"] == "omega"
+
+
+# -- coalescing ----------------------------------------------------------------------------
+
+
+def test_queued_batches_coalesce_into_one_version(tmp_path):
+    registry = _registry(tmp_path)
+    try:
+        host = registry.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+        host.pause()
+        futures = [host.submit(operation) for operation in _operations()]
+        assert host.queue_depth == len(futures)
+        host.unpause()
+        versions = [future.result(timeout=300) for future in futures]
+
+        # One tick, one version, shared by every waiter.
+        assert len(host.store) == 2
+        assert {version.version for version in versions} == {1}
+        assert versions[0].delta.coalesced_operations == 3
+        assert host.metrics.counters.publishes == 1
+        assert host.metrics.counters.coalesced_operations == 3
+        assert host.metrics.counters.append_batches == 2
+        assert host.metrics.counters.delete_batches == 1
+    finally:
+        registry.close()
+
+
+def test_coalesced_version_matches_sequential_publish(tmp_path):
+    registry = _registry(tmp_path)
+    try:
+        host = registry.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+        host.pause()
+        futures = [host.submit(operation) for operation in _operations()]
+        host.unpause()
+        coalesced = futures[-1].result(timeout=300)
+    finally:
+        registry.close()
+
+    twin = _twin_publisher()
+    twin.publish()
+    sequential = _apply_sequentially(twin, _operations())
+
+    # Same rows, same groups, risks within 1e-12 of the sequential stream -
+    # intermediate versions simply never exist on the coalesced side.
+    assert coalesced.version == 1
+    assert sequential.version == len(_operations())
+    _assert_same_release(coalesced, sequential)
+
+
+# -- poisoning isolation -------------------------------------------------------------------
+
+
+def test_poisoning_is_contained_to_one_stream(tmp_path, monkeypatch):
+    registry = _registry(tmp_path)
+    try:
+        sick = registry.create("sick", SEED_TABLE.rows(), FAST_CONFIG)
+        healthy = registry.create("healthy", SEED_TABLE.rows(), FAST_CONFIG)
+
+        def explode(operations):
+            sick.publisher._inconsistent = True
+            raise StreamError("mid-publication failure")
+
+        monkeypatch.setattr(sick.publisher, "publish_coalesced", explode)
+        batch = _table(ROWS[SEED_ROWS:SEED_ROWS + 20])
+        future = sick.submit(("append", batch))
+        with pytest.raises(StreamError):
+            future.result(timeout=300)
+
+        # The stream is poisoned: new writes are refused up front...
+        assert sick.poisoned is not None
+        with pytest.raises(StreamError, match="poisoned"):
+            sick.submit(("append", batch))
+        assert sick.metrics.counters.failed_batches == 1
+        # ... but history stays servable and the sibling keeps publishing.
+        assert len(sick.store) == 1
+        assert sick.store[0].n_rows == SEED_ROWS
+        version = healthy.submit(("append", batch)).result(timeout=300)
+        assert version.version == 1
+        assert healthy.poisoned is None
+    finally:
+        registry.close()
+
+
+def test_validation_failures_do_not_poison(tmp_path):
+    registry = _registry(tmp_path)
+    try:
+        host = registry.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+        future = host.submit(("delete", [10**9]))
+        with pytest.raises(Exception):
+            future.result(timeout=300)
+        # Rejected input never began a publication: the stream stays healthy.
+        assert host.poisoned is None
+        batch = _table(ROWS[SEED_ROWS:SEED_ROWS + 20])
+        assert host.submit(("append", batch)).result(timeout=300).version == 1
+    finally:
+        registry.close()
+
+
+# -- restart-resume ------------------------------------------------------------------------
+
+
+def test_restart_resumes_every_stream_identically(tmp_path):
+    operations = _operations()
+    first = _registry(tmp_path)
+    try:
+        host = first.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+        for operation in operations[:2]:
+            host.submit(operation).result(timeout=300)
+        first.create("second", SEED_TABLE.rows(), FAST_CONFIG)
+        lineage_before = host.store.lineage()
+    finally:
+        first.close()
+
+    second = _registry(tmp_path)
+    try:
+        assert second.names() == ["census", "second"]
+        resumed = second.get("census")
+        assert resumed.store.lineage() == lineage_before
+        # The next version after a restart is identical to an uninterrupted
+        # publisher's: same groups, risks within 1e-12.
+        final = resumed.submit(operations[2]).result(timeout=300)
+    finally:
+        second.close()
+
+    twin = _twin_publisher()
+    twin.publish()
+    expected = _apply_sequentially(twin, operations)
+    assert final.version == expected.version == 3
+    _assert_same_release(final, expected)
+
+
+def test_resume_fails_loudly_on_unreadable_config(tmp_path):
+    registry = _registry(tmp_path)
+    try:
+        registry.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+    finally:
+        registry.close()
+    (tmp_path / "data" / "census" / "stream.json").write_text("{broken")
+    with pytest.raises(StreamError, match="census"):
+        _registry(tmp_path)

@@ -30,6 +30,22 @@ def test_slowdown_and_speedup_drop_fail():
     assert any("speedup" in failure for failure in failures)
 
 
+def test_throughput_metrics_are_floor_gated():
+    # *_per_second keys gate like speedups: dropping below the baseline by
+    # more than the tolerance fails, exceeding it always passes.
+    baseline = _doc({"a": {"mutations_per_second": 10.0, "rows": 100}})
+    ok = _doc({"a": {"mutations_per_second": 8.0, "rows": 100}})
+    assert check_regression.compare(baseline, ok, tolerance=0.30) == []
+    faster = _doc({"a": {"mutations_per_second": 50.0, "rows": 100}})
+    assert check_regression.compare(baseline, faster, tolerance=0.30) == []
+    slow = _doc({"a": {"mutations_per_second": 5.0, "rows": 100}})
+    failures = check_regression.compare(baseline, slow, tolerance=0.30)
+    assert len(failures) == 1 and "mutations_per_second" in failures[0]
+    gone = _doc({"a": {"rows": 100}})
+    failures = check_regression.compare(baseline, gone, tolerance=0.30)
+    assert len(failures) == 1 and "'mutations_per_second'" in failures[0]
+
+
 def test_vanished_baseline_sections_fail_with_every_name():
     """A baseline section missing from the regenerated file is a hard
     failure naming every vanished section key at once - not a silent skip

@@ -411,3 +411,63 @@ def test_stream_resume_requires_store_dir(capsys):
     ])
     assert code == 1
     assert "--store-dir" in capsys.readouterr().err
+
+
+def test_serve_requires_data_dir(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "--data-dir" in err and "Traceback" not in err
+
+
+def test_serve_rejects_malformed_ports(capsys, tmp_path):
+    # Malformed/out-of-range ports are argparse usage errors: exit 2, one
+    # line on stderr, no traceback - same contract as --skyline/--max-cells.
+    for bad in ("-1", "65536", "abc", "8.5", ""):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--data-dir", str(tmp_path), "--port", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error: argument --port" in err and "Traceback" not in err
+
+
+def test_serve_rejects_malformed_hosts(capsys, tmp_path):
+    for bad in ("", "   ", "bad host", "http://x/y"):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--data-dir", str(tmp_path), "--host", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "host" in err and "Traceback" not in err
+
+
+def test_serve_rejects_malformed_coalesce_windows(capsys, tmp_path):
+    for bad in ("-1", "nan", "inf", "soon", ""):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--data-dir", str(tmp_path), "--coalesce-ms", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "coalescing window" in err and "Traceback" not in err
+
+
+def test_serve_rejects_data_dir_colliding_with_a_file(capsys, tmp_path):
+    collision = tmp_path / "not-a-dir"
+    collision.write_text("occupied")
+    for bad in (str(collision), ""):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--data-dir", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "data dir" in err and "Traceback" not in err
+
+
+def test_serve_reports_bind_failures_as_one_line_errors(capsys, tmp_path):
+    # An unresolvable host passes syntactic validation but cannot bind; the
+    # daemon wraps the OSError as a ReproError -> exit 1, one line, no trace.
+    code = main([
+        "serve", "--data-dir", str(tmp_path),
+        "--host", "definitely-not-a-host-xyz.invalid", "--port", "0",
+    ])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "cannot serve" in err and "Traceback" not in err

@@ -1,0 +1,114 @@
+"""The shared counter/histogram primitives and their two consumers.
+
+``repro.stats`` exists so that ``Session.stats`` and the serving daemon's
+metrics are the *same* implementation - the last tests here pin that reuse.
+"""
+
+import threading
+
+import pytest
+
+from repro.api.session import SessionStats
+from repro.serve.metrics import ServeMetrics, StreamMetrics
+from repro.stats import CounterSet, Histogram
+
+# -- CounterSet ----------------------------------------------------------------------------
+
+
+def test_counters_start_at_zero_and_support_attribute_math():
+    counters = CounterSet(("hits", "misses"))
+    assert counters.hits == 0
+    counters.hits += 1
+    counters.hits += 2
+    counters.misses = 5
+    assert counters.hits == 3
+    assert counters.as_dict() == {"hits": 3, "misses": 5}
+
+
+def test_counter_set_is_fixed_at_construction():
+    counters = CounterSet(("hits",))
+    with pytest.raises(AttributeError, match="no counter 'misses'"):
+        _ = counters.misses
+    with pytest.raises(AttributeError, match="fixed at construction"):
+        counters.misses = 1
+    with pytest.raises(AttributeError):
+        counters.increment("misses")
+
+
+def test_increment_is_thread_safe():
+    counters = CounterSet(("events",))
+
+    def bump():
+        for _ in range(1000):
+            counters.increment("events")
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counters.events == 8000
+
+
+# -- Histogram -----------------------------------------------------------------------------
+
+
+def test_histogram_summary_before_any_observation():
+    summary = Histogram().summary()
+    assert summary["count"] == 0
+    assert summary["mean"] is None
+    assert summary["p99"] is None
+
+
+def test_histogram_nearest_rank_percentiles():
+    histogram = Histogram()
+    for value in range(1, 101):  # 1..100
+        histogram.observe(float(value))
+    assert histogram.count == 100
+    assert histogram.total == pytest.approx(5050.0)
+    assert histogram.percentile(0.0) == 1.0
+    assert histogram.percentile(50.0) == 50.0
+    assert histogram.percentile(99.0) == 99.0
+    assert histogram.percentile(100.0) == 100.0
+    with pytest.raises(ValueError):
+        histogram.percentile(101.0)
+
+
+def test_histogram_window_is_bounded_but_count_is_exact():
+    histogram = Histogram(max_samples=8)
+    for value in range(100):
+        histogram.observe(float(value))
+    # Exact aggregates survive the eviction; percentiles use the recent window.
+    assert histogram.count == 100
+    assert histogram.summary()["min"] == 0.0
+    assert histogram.summary()["max"] == 99.0
+    assert histogram.percentile(0.0) >= 92.0
+
+
+# -- the two consumers share the implementation --------------------------------------------
+
+
+def test_session_stats_is_a_counter_set():
+    stats = SessionStats()
+    assert isinstance(stats, CounterSet)
+    stats.prior_estimations += 1
+    assert stats.as_dict()["prior_estimations"] == 1
+    with pytest.raises(AttributeError):
+        stats.not_a_counter = 1
+
+
+def test_serve_metrics_reuse_the_shared_primitives():
+    stream = StreamMetrics()
+    assert isinstance(stream.counters, CounterSet)
+    assert isinstance(stream.publish_seconds, Histogram)
+
+    serve = ServeMetrics()
+    assert isinstance(serve.counters, CounterSet)
+    serve.observe_request("GET", 0.01, error=False)
+    serve.observe_request("POST", 0.20, error=False)
+    serve.observe_request("POST", 0.30, error=True)
+    snapshot = serve.as_dict()
+    assert snapshot["counters"] == {"requests": 3, "reads": 1, "writes": 2, "errors": 1}
+    assert snapshot["read_seconds"]["count"] == 1
+    assert snapshot["write_seconds"]["count"] == 2
+    assert snapshot["uptime_seconds"] >= 0.0
