@@ -2,8 +2,10 @@
 
 Usage::
 
-    python serve_smoke.py seed   http://127.0.0.1:8751
-    python serve_smoke.py resume http://127.0.0.1:8751
+    python serve_smoke.py seed           http://127.0.0.1:8751
+    python serve_smoke.py resume         http://127.0.0.1:8751
+    python serve_smoke.py flood          http://127.0.0.1:8752
+    python serve_smoke.py resume-workers http://127.0.0.1:8752
 
 ``seed`` waits for the daemon to come up, creates a stream from 200 Adult
 rows, fires one append, one delete and one update (sequentially, so each
@@ -14,6 +16,19 @@ restart also exercises stale-lock recovery: the killed daemon leaves
 ``store.lock`` behind and the new one must steal it), then appends once
 more and checks the version numbering continues where it left off.
 
+``flood`` drives a daemon started with ``--publish-workers N`` and a
+one-slot queue (``--max-queue-batches 1``): it creates a stream, fires a
+burst of concurrent appends, asserts at least one was rejected with 429 +
+``Retry-After``, retries every rejected batch until accepted (the recovery
+half of the backpressure contract), checks the pool and rejection counters
+in ``/metrics`` - then leaves one final append *in flight* and exits, so
+the workflow can SIGKILL the daemon mid-publication.
+``resume-workers`` runs after that kill + restart: the orphaned publication
+worker processes must have self-exited (parent watchdog), their stale
+``store.lock`` files must have been stolen, and the stream must accept new
+appends with the version numbering continuing from whatever was durably
+published before the kill.
+
 The script only needs the installed package (``repro`` + numpy) and the
 stdlib - it is the clean-venv counterpart of ``examples/serve_client.py``.
 """
@@ -22,6 +37,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -39,6 +55,20 @@ def call(base: str, method: str, path: str, payload=None):
     )
     with urllib.request.urlopen(request, timeout=120) as response:
         return response.status, json.loads(response.read())
+
+
+def call_full(base: str, method: str, path: str, payload=None):
+    """Like :func:`call`, but 4xx is returned (with headers), not raised."""
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        base + path, data=body, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
 
 
 def wait_healthy(base: str, attempts: int = 150) -> None:
@@ -115,13 +145,119 @@ def resume(base: str) -> None:
     print("serve smoke (resume): stream resumed from disk, version numbering continued")
 
 
+def flood(base: str) -> None:
+    burst = 6
+    rows = adult_rows(SEED_ROWS + (burst + 2) * BATCH_ROWS, seed=21)
+    status, body = call(
+        base, "POST", "/streams",
+        {"name": "burst", "rows": rows[:SEED_ROWS], "config": CONFIG},
+    )
+    assert status == 201, (status, body)
+    pool = rows[SEED_ROWS:]
+    batches = [
+        pool[index * BATCH_ROWS:(index + 1) * BATCH_ROWS] for index in range(burst)
+    ]
+
+    lock = threading.Lock()
+    rejections = []
+    failures = []
+
+    def fire(batch) -> None:
+        # Retry on 429 until accepted: the recovery half of the contract -
+        # backpressure costs the client time, never data.
+        while True:
+            status, body, headers = call_full(
+                base, "POST", "/streams/burst/append", {"rows": batch}
+            )
+            if status == 200:
+                return
+            if status == 429:
+                with lock:
+                    rejections.append(headers.get("Retry-After"))
+                time.sleep(0.1)
+                continue
+            with lock:
+                failures.append((status, body))
+            return
+
+    threads = [threading.Thread(target=fire, args=(batch,)) for batch in batches]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures[:3]
+    # A one-slot queue against 6 concurrent writers must have pushed back,
+    # and every 429 must have carried its pacing hint.
+    assert rejections, "the flood never saw a 429 despite the one-slot queue"
+    assert all(value and int(value) >= 1 for value in rejections), rejections
+
+    status, body = call(base, "GET", "/streams/burst")
+    assert status == 200, (status, body)
+    versions = body["stream"]["versions"]
+    assert versions >= 2, body  # every batch landed (coalescing allowed)
+
+    status, body = call(base, "GET", "/metrics")
+    assert status == 200, (status, body)
+    stream = body["streams"]["burst"]
+    assert stream["counters"]["rejected_batches"] == len(rejections), body
+    assert stream["counters"]["failed_batches"] == 0, body
+    assert stream["queue_high_water"] == 1, body
+    pool_state = body["server"]["publication_pool"]
+    assert pool_state["workers"] >= 1 and pool_state["restarts"] == 0, body
+
+    # Leave one publication in flight for the workflow's SIGKILL: fire the
+    # append without awaiting it and give it a moment to reach the worker.
+    threading.Thread(
+        target=call_full,
+        args=(base, "POST", "/streams/burst/append"),
+        kwargs={"payload": {"rows": pool[burst * BATCH_ROWS:(burst + 1) * BATCH_ROWS]}},
+        daemon=True,
+    ).start()
+    time.sleep(0.4)
+    print(
+        f"serve smoke (flood): {len(rejections)} rejections with Retry-After, "
+        f"all {burst} batches recovered into {versions} versions"
+    )
+
+
+def resume_workers(base: str) -> None:
+    status, body = call(base, "GET", "/healthz")
+    assert status == 200 and "burst" in body["streams"], (status, body)
+    status, body = call(base, "GET", "/streams/burst")
+    assert status == 200, (status, body)
+    versions = body["stream"]["versions"]
+    assert versions >= 2, body
+    assert body["stream"]["poisoned"] is None, body
+
+    # The killed daemon's orphaned workers held the shard lock; the restart
+    # proves it went stale and was stolen.  New writes must publish with the
+    # numbering continuing from whatever survived on disk.
+    rows = adult_rows(BATCH_ROWS, seed=22)
+    status, body = call(base, "POST", "/streams/burst/append", {"rows": rows})
+    assert status == 200 and body["version"]["version"] == versions, (status, body)
+    status, body = call(base, "GET", "/streams/burst/audit")
+    assert status == 200 and body["version"] == versions, (status, body)
+    print(
+        "serve smoke (resume-workers): pool-published shard resumed after "
+        f"SIGKILL, version numbering continued at {versions}"
+    )
+
+
+MODES = {
+    "seed": seed,
+    "resume": resume,
+    "flood": flood,
+    "resume-workers": resume_workers,
+}
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2 or argv[0] not in ("seed", "resume"):
+    if len(argv) != 2 or argv[0] not in MODES:
         print(__doc__, file=sys.stderr)
         return 2
     mode, base = argv
     wait_healthy(base)
-    (seed if mode == "seed" else resume)(base)
+    MODES[mode](base)
     return 0
 
 

@@ -16,7 +16,16 @@ files the script compares:
   the baseline by at most ``tolerance``.  This gate is dimensionless, so it
   stays meaningful even when baseline and CI hardware differ;
 * every ``*_per_second`` throughput metric - gated like speedups (a floor:
-  the current value may fall below the baseline by at most ``tolerance``).
+  the current value may fall below the baseline by at most ``tolerance``);
+* every ``*_p99`` / ``*_p99_*`` tail-latency metric - a ceiling, like
+  ``*_seconds`` (most tail latencies already end in ``_seconds``; the
+  explicit pattern keeps dimensionless or differently-suffixed p99s gated);
+* every ``*_rejected_frac`` metric - a symmetric *band*: the saturation
+  benches are engineered to overload their queues, so a 429 rate that
+  *collapses* (backpressure silently stopped firing) fails exactly like one
+  that explodes.  The band is ``baseline * (1 +- tolerance)`` widened by
+  ``--absolute-slack`` on both sides (fractions are small; the additive
+  slack plays the same anti-jitter role it plays for seconds).
 
 A baseline section that *disappears* from the regenerated file is a hard
 failure naming every missing section key at once (``write_bench_json`` merges
@@ -70,19 +79,40 @@ def compare(
         for key, base_value in sorted(base_metrics.items()):
             if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
                 continue
-            slower_is_bad = key.endswith("_seconds")
-            lower_is_bad = (
+            banded = key.endswith("_rejected_frac")
+            slower_is_bad = not banded and (
+                key.endswith("_seconds")
+                or key.endswith("_p99")
+                or "_p99_" in key
+            )
+            lower_is_bad = not banded and (
                 key == "speedup"
                 or key.endswith("_speedup")
                 or key.endswith("_per_second")
             )
-            if not (slower_is_bad or lower_is_bad):
+            if not (banded or slower_is_bad or lower_is_bad):
                 continue
             current_value = cur_metrics.get(key)
             if current_value is None:
                 missing_keys.append(key)
                 continue
-            if slower_is_bad:
+            if banded:
+                low = base_value * (1.0 - tolerance) - absolute_slack
+                high = base_value * (1.0 + tolerance) + absolute_slack
+                ok = low <= current_value <= high
+                verdict = "" if ok else "  <-- REGRESSION"
+                print(
+                    f"  {section}.{key}: baseline {base_value:.4f} -> current "
+                    f"{current_value:.4f} (band [{low:.4f}, {high:.4f}]){verdict}"
+                )
+                if not ok:
+                    failures.append(
+                        f"{section}: {key} left the band {base_value:.4f} -> "
+                        f"{current_value:.4f} (allowed [{low:.4f}, {high:.4f}]; "
+                        "a collapsed rejection rate means backpressure stopped "
+                        "firing, an inflated one means the bench is drowning)"
+                    )
+            elif slower_is_bad:
                 limit = base_value * (1.0 + tolerance) + absolute_slack
                 ok = current_value <= limit or current_value - base_value < 1e-6
                 verdict = "" if ok else "  <-- REGRESSION"

@@ -21,7 +21,12 @@ This script is the whole lifecycle over real HTTP:
 4. read back the lineage, a historical version and the latest skyline-audit
    report, plus the daemon's /metrics view,
 5. restart the daemon on the same data dir and show every stream resumed
-   from disk with its version numbering intact.
+   from disk with its version numbering intact,
+6. restart once more with a publication *process pool* and a one-slot write
+   queue (``--publish-workers 2 --max-queue-batches 1`` on the CLI), flood
+   the stream with concurrent writers, and show a well-behaved client: on
+   429 it reads the ``Retry-After`` header, sleeps that many seconds and
+   retries - backpressure costs it time, never data.
 
 Run with:  python examples/serve_client.py
 """
@@ -33,6 +38,7 @@ import json
 import sys
 import tempfile
 import threading
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -49,8 +55,8 @@ BATCH_ROWS = 80
 class Daemon:
     """An in-process daemon on an ephemeral port (the CLI runs the same app)."""
 
-    def __init__(self, data_dir: Path):
-        self.app = ServeApp(data_dir, port=0, coalesce_ms=50.0)
+    def __init__(self, data_dir: Path, **app_kwargs):
+        self.app = ServeApp(data_dir, port=0, coalesce_ms=50.0, **app_kwargs)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._loop.run_forever, daemon=True)
         self._thread.start()
@@ -67,6 +73,20 @@ class Daemon:
                 return response.status, json.loads(response.read())
         except urllib.error.HTTPError as error:
             return error.code, json.loads(error.read())
+
+    def request_with_headers(self, method: str, path: str, payload=None):
+        """Like :meth:`request`, also returning the response headers -
+        a 429's ``Retry-After`` is how the daemon paces a flooding client."""
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{self.app.port}{path}", data=body, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.status, json.loads(response.read()), dict(response.headers)
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read()), dict(error.headers)
 
     def stop(self):
         asyncio.run_coroutine_threadsafe(self.app.stop(), self._loop).result(60)
@@ -86,7 +106,7 @@ def json_rows(table):
 
 
 def main() -> None:
-    rows = json_rows(generate_adult(SEED_ROWS + 2 * BATCH_ROWS, seed=42))
+    rows = json_rows(generate_adult(SEED_ROWS + 5 * BATCH_ROWS, seed=42))
     data_dir = Path(tempfile.mkdtemp(prefix="repro-serve-"))
 
     # -- 1-2. start the daemon, create a stream over HTTP -------------------------------
@@ -169,6 +189,53 @@ def main() -> None:
     assert status == 200, body
     print(f"append after resume: published v{body['version']['version']} "
           f"(numbering continued across the restart)")
+
+    # -- 6. process-pool publication + bounded-queue backpressure -----------------------
+    # The same data dir, now served with publication running in worker
+    # *processes* and a deliberately tiny write queue.  Three writers flood
+    # the stream concurrently; each one honors Retry-After when throttled.
+    daemon.stop()
+    daemon = Daemon(data_dir, publish_workers=2, max_queue_batches=1)
+    print("\nrestarted with publish_workers=2, max_queue_batches=1 "
+          "(CLI: repro serve --publish-workers 2 --max-queue-batches 1)")
+    flood = [
+        rows[SEED_ROWS + (2 + writer) * BATCH_ROWS:
+             SEED_ROWS + (3 + writer) * BATCH_ROWS]
+        for writer in range(3)
+    ]
+    throttles = []
+    lock = threading.Lock()
+
+    def polite_append(writer: int, batch) -> None:
+        while True:
+            status, body, headers = daemon.request_with_headers(
+                "POST", "/streams/census/append", {"rows": batch}
+            )
+            if status == 200:
+                print(f"writer {writer}: published v{body['version']['version']}")
+                return
+            assert status == 429, (status, body)
+            wait = int(headers["Retry-After"])
+            with lock:
+                throttles.append(wait)
+            print(f"writer {writer}: 429 (queue full), honoring "
+                  f"Retry-After: {wait}s")
+            time.sleep(wait)
+
+    writers = [
+        threading.Thread(target=polite_append, args=(writer, batch))
+        for writer, batch in enumerate(flood)
+    ]
+    for thread in writers:
+        thread.start()
+    for thread in writers:
+        thread.join()
+    status, body = daemon.request("GET", "/metrics")
+    stream = body["streams"]["census"]
+    print(f"backpressure: {stream['counters']['rejected_batches']} rejected "
+          f"batch(es) ({len(throttles)} throttle(s) honored), queue high-water "
+          f"{stream['queue_high_water']}/{stream['max_queue_batches']}; every "
+          f"batch still landed - {stream['versions']} versions on disk")
     daemon.stop()
 
 

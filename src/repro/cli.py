@@ -271,6 +271,41 @@ def build_parser() -> argparse.ArgumentParser:
             "previous publication)"
         ),
     )
+    serve_parser.add_argument(
+        "--publish-workers", default=0, type=_publish_workers_argument,
+        metavar="N",
+        help=(
+            "publish through N worker processes so concurrent tenants' "
+            "publication compute runs on separate cores (default 0 = "
+            "in-process threads; each stream's jobs stick to one worker)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--publish-timeout", default=0.0, type=_publish_timeout_argument,
+        metavar="SECONDS",
+        help=(
+            "kill a publication job (and poison only its stream) after this "
+            "many seconds in a worker process (default 0 = no timeout; only "
+            "meaningful with --publish-workers > 0)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-queue-batches", default=None, type=_queue_bound_argument,
+        metavar="N",
+        help=(
+            "bound each stream's write queue to N mutation batches; overflow "
+            "is rejected with 429 + Retry-After instead of buffering "
+            "(default 64)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-queued-rows", default=None, type=_queue_bound_argument,
+        metavar="N",
+        help=(
+            "bound each stream's write queue to N total queued rows, "
+            "rejecting overflow with 429 + Retry-After (default 100000)"
+        ),
+    )
 
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate one of the paper's figures and print it"
@@ -548,6 +583,50 @@ def _coalesce_ms_argument(text: str) -> float:
     return value
 
 
+def _publish_workers_argument(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad worker count {text!r}; expected an integer >= 0"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"bad worker count {text!r}; 0 means in-process threads, N > 0 "
+            "means N publication worker processes"
+        )
+    return value
+
+
+def _publish_timeout_argument(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad publish timeout {text!r}; expected seconds >= 0"
+        ) from None
+    if not 0.0 <= value < float("inf"):
+        raise argparse.ArgumentTypeError(
+            f"bad publish timeout {text!r}; expected a finite number of "
+            "seconds >= 0 (0 disables the timeout)"
+        )
+    return value
+
+
+def _queue_bound_argument(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad queue bound {text!r}; expected an integer >= 1"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"bad queue bound {text!r}; the bound must be at least 1"
+        )
+    return value
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeApp
 
@@ -556,6 +635,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         coalesce_ms=args.coalesce_ms,
+        publish_workers=args.publish_workers,
+        publish_timeout=args.publish_timeout,
+        max_queue_batches=args.max_queue_batches,
+        max_queued_rows=args.max_queued_rows,
     )
     app.run()
     return 0

@@ -20,9 +20,17 @@ from repro.serve.errors import (
     MethodNotAllowed,
     NotFound,
     PayloadTooLarge,
+    TooManyRequests,
 )
 from repro.serve.metrics import ServeMetrics, StreamMetrics
-from repro.serve.registry import CONFIG_DEFAULTS, StreamHost, StreamRegistry
+from repro.serve.pool import PublicationError, PublicationPool
+from repro.serve.registry import (
+    CONFIG_DEFAULTS,
+    DEFAULT_MAX_QUEUE_BATCHES,
+    DEFAULT_MAX_QUEUED_ROWS,
+    StreamHost,
+    StreamRegistry,
+)
 from repro.serve.router import Request, Response, Router
 from repro.serve.service import ReproService
 
@@ -31,10 +39,14 @@ __all__ = [
     "BadRequest",
     "CONFIG_DEFAULTS",
     "Conflict",
+    "DEFAULT_MAX_QUEUE_BATCHES",
+    "DEFAULT_MAX_QUEUED_ROWS",
     "MAX_BODY_BYTES",
     "MethodNotAllowed",
     "NotFound",
     "PayloadTooLarge",
+    "PublicationError",
+    "PublicationPool",
     "ReproService",
     "Request",
     "Response",
@@ -44,4 +56,5 @@ __all__ = [
     "StreamHost",
     "StreamMetrics",
     "StreamRegistry",
+    "TooManyRequests",
 ]

@@ -47,11 +47,21 @@ class ServeApp:
         port: int = 8750,
         coalesce_ms: float = 50.0,
         schema: Schema | None = None,
+        publish_workers: int = 0,
+        publish_timeout: float = 0.0,
+        max_queue_batches: int | None = None,
+        max_queued_rows: int | None = None,
     ):
         self.host = host
         self.port = int(port)
         self.registry = StreamRegistry(
-            data_dir, coalesce_ms=coalesce_ms, schema=schema
+            data_dir,
+            coalesce_ms=coalesce_ms,
+            schema=schema,
+            publish_workers=publish_workers,
+            publish_timeout=publish_timeout,
+            max_queue_batches=max_queue_batches,
+            max_queued_rows=max_queued_rows,
         )
         self.metrics = ServeMetrics()
         self.service = ReproService(self.registry, self.metrics)
@@ -116,13 +126,11 @@ class ServeApp:
                     # cannot be reused: answer 413 and close.
                     self.metrics.counters.increment("requests")
                     self.metrics.counters.increment("errors")
-                    writer.write(
-                        self._encode(
-                            Response(exc.status, self._error_payload(exc.reason, exc)),
-                            keep_alive=False,
-                        )
+                    await self._write_response(
+                        writer,
+                        Response(exc.status, self._error_payload(exc.reason, exc)),
+                        keep_alive=False,
                     )
-                    await writer.drain()
                     break
                 if request is None:
                     break
@@ -131,8 +139,7 @@ class ServeApp:
                     request.headers.get("connection", "keep-alive").lower()
                     != "close"
                 )
-                writer.write(self._encode(response, keep_alive=keep_alive))
-                await writer.drain()
+                await self._write_response(writer, response, keep_alive=keep_alive)
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
@@ -195,7 +202,11 @@ class ServeApp:
             response = await handler(request)
         except ApiError as exc:
             error = True
-            response = Response(exc.status, self._error_payload(exc.reason, exc))
+            response = Response(
+                exc.status,
+                self._error_payload(exc.reason, exc),
+                headers=exc.headers(),
+            )
         except Exception as exc:  # noqa: BLE001 - one request must not kill the daemon
             error = True
             response = Response(
@@ -214,20 +225,57 @@ class ServeApp:
         return {"error": reason, "message": str(detail)}
 
     @staticmethod
-    def _encode(response: Response, *, keep_alive: bool) -> bytes:
-        body = response.body()
+    def _head(
+        response: Response, *, keep_alive: bool, body_length: int | None
+    ) -> bytes:
+        """The status line and headers (``body_length=None`` means chunked)."""
         try:
             reason = HTTPStatus(response.status).phrase
         except ValueError:
             reason = "Unknown"
-        head = (
-            f"HTTP/1.1 {response.status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        )
-        return head.encode("latin-1") + body
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            "Content-Type: application/json",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in response.headers.items())
+        if body_length is None:
+            lines.append("Transfer-Encoding: chunked")
+        else:
+            lines.append(f"Content-Length: {body_length}")
+        lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        *,
+        keep_alive: bool,
+    ) -> None:
+        """Send one response: chunked for ``stream=True``, Content-Length else.
+
+        Streaming serializes the payload incrementally (historical versions
+        and audit reports can run to many megabytes of JSON) and drains
+        between chunks, so a slow client back-pressures the serialization
+        instead of forcing the whole body into memory.  The chunk payloads
+        concatenate to exactly the non-streaming body, so clients that decode
+        the chunked framing still see byte-identical documents.
+        """
+        if response.stream:
+            writer.write(self._head(response, keep_alive=keep_alive, body_length=None))
+            for chunk in response.body_chunks():
+                writer.write(
+                    f"{len(chunk):X}\r\n".encode("latin-1") + chunk + b"\r\n"
+                )
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+        else:
+            body = response.body()
+            writer.write(
+                self._head(response, keep_alive=keep_alive, body_length=len(body))
+                + body
+            )
+        await writer.drain()
 
 
 __all__ = ["ServeApp", "MAX_BODY_BYTES"]

@@ -18,6 +18,10 @@ class ApiError(ServeError):
     status = 500
     reason = "Internal Server Error"
 
+    def headers(self) -> dict[str, str]:
+        """Extra response headers this error carries (e.g. ``Retry-After``)."""
+        return {}
+
 
 class BadRequest(ApiError):
     """The request body or parameters are malformed (400)."""
@@ -57,3 +61,24 @@ class PayloadTooLarge(ApiError):
 
     status = 413
     reason = "Payload Too Large"
+
+
+class TooManyRequests(ApiError):
+    """The stream's bounded write queue is full (429).
+
+    Backpressure instead of buffering: a mutation that would push the queue
+    past ``--max-queue-batches`` / ``--max-queued-rows`` is rejected with
+    this error, and ``retry_after`` (whole seconds, derived from the
+    stream's observed publish latency) is rendered as the ``Retry-After``
+    header so well-behaved clients pace themselves.
+    """
+
+    status = 429
+    reason = "Too Many Requests"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+    def headers(self) -> dict[str, str]:
+        return {"Retry-After": str(self.retry_after)}

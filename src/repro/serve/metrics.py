@@ -25,6 +25,9 @@ class StreamMetrics:
         "publishes",
         "coalesced_operations",
         "failed_batches",
+        # Mutations rejected with 429 because the bounded queue was full -
+        # cumulative, so saturation stays observable after the burst passes.
+        "rejected_batches",
     )
 
     def __init__(self) -> None:

@@ -1,0 +1,304 @@
+"""Process-parallel publication: a pool of persistent worker processes.
+
+The daemon's per-stream workers are threads, so with ``--publish-workers 0``
+concurrent tenants' publication compute (estimate -> partition -> audit)
+contends on the GIL outside the BLAS calls.  With ``--publish-workers N`` the
+registry routes every coalesced tick through this pool instead: a publication
+job is just ``(shard path, queued mutation batches, stream config)``, executed
+in a worker process via
+:meth:`~repro.stream.IncrementalPublisher.publish_to_shard` - the worker
+resumes the shard (taking ``store.lock``), publishes the tick and caches the
+warm publisher for the shard's next tick.  The parent never holds a shard
+lock in this mode; it re-pins its lock-free reader store
+(:meth:`~repro.stream.store.ReleaseStore.refresh`) after each job and keeps
+serving reads from immutable versions exactly as in thread mode.
+
+Streams have **sticky worker affinity**: a stream's jobs always land on the
+same worker slot, so its cached publisher (and its ``store.lock``) stay in
+exactly one process.  The pool is deliberately *not* a
+:class:`concurrent.futures.ProcessPoolExecutor` - there, one dead worker
+breaks the whole pool (``BrokenProcessPool``), which would poison every
+stream at once.  Here a worker crash or a job timeout raises
+:class:`PublicationError` with ``poisoned=True`` for the affected stream only
+(the host 409s pointing at restart-resume, matching an in-process
+mid-publication failure) and the slot is respawned, so sibling streams keep
+publishing.  The dead worker's ``store.lock`` files are stale (their pid is
+gone) and are stolen by whichever process resumes the shard next.
+
+Every worker runs a parent-death watchdog: if the daemon is SIGKILLed, the
+orphaned workers ``os._exit`` within a poll interval, so their locks go stale
+and a restarted daemon resumes every shard cleanly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.data.schema import Schema
+from repro.exceptions import StreamError
+
+#: Seconds between parent-liveness polls in the worker watchdog.
+_WATCHDOG_INTERVAL = 0.2
+
+
+class PublicationError(StreamError):
+    """A dispatched publication job failed.
+
+    ``poisoned`` mirrors the in-process poisoning semantics: ``True`` when
+    the shard's maintained state may be ahead of its published lineage (the
+    job died mid-publication, timed out, or the worker crashed), in which
+    case the stream must stop accepting writes until a restart resumes it;
+    ``False`` for pure validation failures that left the shard consistent.
+    """
+
+    def __init__(self, message: str, *, poisoned: bool = True):
+        super().__init__(message)
+        self.poisoned = poisoned
+
+
+def build_stream_model(config: Mapping[str, Any]):
+    """Build a stream's privacy model from its (resolved) creation config.
+
+    Worker processes reconstruct the model from the JSON config shipped with
+    every job - models themselves are not sent across the pipe - so this is
+    shared by the registry (thread mode, creation, resume) and the workers.
+    """
+    from repro.api.registry import MODELS
+
+    return MODELS.build_filtered(
+        config["model"],
+        {
+            "b": config["b"],
+            "t": config["t"],
+            "l": config["l"],
+            "k": config["k"],
+            "max_cells": config["max_cells"],
+        },
+    )
+
+
+def _watch_parent(parent_pid: int) -> None:
+    """Exit hard as soon as the parent daemon is gone (we were orphaned)."""
+    while True:
+        if os.getppid() != parent_pid:
+            os._exit(1)
+        time.sleep(_WATCHDOG_INTERVAL)
+
+
+def _worker_main(
+    connection: multiprocessing.connection.Connection,
+    schema: Schema,
+    parent_pid: int,
+) -> None:
+    """One publication worker: jobs in, version numbers out, publishers cached."""
+    threading.Thread(
+        target=_watch_parent, args=(parent_pid,), daemon=True
+    ).start()
+    from repro.stream import IncrementalPublisher
+
+    cache: dict[str, Any] = {}
+    try:
+        while True:
+            try:
+                job = connection.recv()
+            except (EOFError, OSError):
+                break
+            if job is None:
+                break
+            shard = job["shard"]
+            try:
+                publisher, version = IncrementalPublisher.publish_to_shard(
+                    shard,
+                    job["operations"],
+                    schema=schema,
+                    model=build_stream_model(job["config"]),
+                    cached=cache.get(shard),
+                )
+            except BaseException as error:  # noqa: BLE001 - reported to the parent
+                poisoned = bool(getattr(error, "shard_poisoned", True))
+                if poisoned:
+                    # publish_to_shard already closed the broken publisher
+                    # (releasing the lock); drop it from the cache too.
+                    cache.pop(shard, None)
+                connection.send(
+                    {
+                        "ok": False,
+                        "poisoned": poisoned,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+                continue
+            cache[shard] = publisher
+            connection.send({"ok": True, "version": version.version})
+    finally:
+        for publisher in cache.values():
+            publisher.close()
+
+
+class _WorkerHandle:
+    """One pool slot: its process, its pipe, and the lock serializing jobs."""
+
+    def __init__(self, context, schema: Schema, index: int):
+        self._context = context
+        self._schema = schema
+        self.index = index
+        self.lock = threading.Lock()
+        self.restarts = 0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.connection, child = self._context.Pipe()
+        self.process = self._context.Process(
+            target=_worker_main,
+            args=(child, self._schema, os.getpid()),
+            name=f"repro-serve-publish-{self.index}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def respawn(self) -> None:
+        """Kill whatever is left of the worker and start a fresh one."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=10)
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+        self.restarts += 1
+        self._spawn()
+
+
+class PublicationPool:
+    """N persistent publication worker processes with sticky stream affinity."""
+
+    def __init__(
+        self,
+        workers: int,
+        schema: Schema,
+        *,
+        timeout: float = 0.0,
+    ):
+        if workers < 1:
+            raise StreamError("a publication pool requires at least one worker")
+        if timeout < 0:
+            raise StreamError("the publication timeout must be >= 0 (0 disables it)")
+        # "spawn" keeps workers free of inherited thread/lock state (the
+        # daemon is heavily threaded by the time streams are created).
+        self._context = multiprocessing.get_context("spawn")
+        self._timeout = float(timeout) or None
+        self._assign_lock = threading.Lock()
+        self._assignments: dict[str, int] = {}
+        self._workers = [
+            _WorkerHandle(self._context, schema, index) for index in range(workers)
+        ]
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def _worker_for(self, stream: str) -> _WorkerHandle:
+        with self._assign_lock:
+            index = self._assignments.get(stream)
+            if index is None:
+                index = len(self._assignments) % len(self._workers)
+                self._assignments[stream] = index
+        return self._workers[index]
+
+    def pid_for(self, stream: str) -> int:
+        """The pid of the worker a stream's jobs run on (tests, diagnostics)."""
+        return self._worker_for(stream).process.pid
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able pool state for ``/metrics``."""
+        return {
+            "workers": len(self._workers),
+            "restarts": sum(worker.restarts for worker in self._workers),
+            "assignments": dict(sorted(self._assignments.items())),
+        }
+
+    def publish(
+        self,
+        stream: str,
+        shard: str | Path,
+        config: Mapping[str, Any],
+        operations: Sequence[tuple[str, Any]],
+    ) -> int:
+        """Run one coalesced tick on the stream's worker; return its version.
+
+        Raises :class:`PublicationError` on any failure; ``poisoned`` on the
+        error says whether the stream must stop (crash/timeout/poisoned
+        shard) or merely failed validation.  A crashed or timed-out worker is
+        respawned before the error is raised, so other streams on the same
+        slot only ever see a cold publisher cache, never a dead pipe.
+        """
+        if self._closed:
+            raise PublicationError(
+                f"the publication pool is shut down (stream {stream!r})",
+                poisoned=False,
+            )
+        worker = self._worker_for(stream)
+        job = {
+            "shard": str(shard),
+            "config": dict(config),
+            "operations": list(operations),
+        }
+        with worker.lock:
+            try:
+                worker.connection.send(job)
+                if self._timeout is not None and not worker.connection.poll(
+                    self._timeout
+                ):
+                    worker.respawn()
+                    raise PublicationError(
+                        f"publication of stream {stream!r} timed out after "
+                        f"{self._timeout:g}s in worker process; the worker was "
+                        "killed and the stream is poisoned until a restart "
+                        "resumes it",
+                        poisoned=True,
+                    )
+                result = worker.connection.recv()
+            except PublicationError:
+                raise
+            except (EOFError, OSError, BrokenPipeError) as error:
+                worker.respawn()
+                raise PublicationError(
+                    f"the publication worker for stream {stream!r} died "
+                    f"mid-job ({type(error).__name__}); the stream is "
+                    "poisoned until a restart resumes it",
+                    poisoned=True,
+                ) from None
+        if not result["ok"]:
+            raise PublicationError(result["error"], poisoned=bool(result["poisoned"]))
+        return int(result["version"])
+
+    def close(self) -> None:
+        """Shut every worker down (cached publishers close, locks release)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            with worker.lock:
+                try:
+                    worker.connection.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=10)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5)
+            try:
+                worker.connection.close()
+            except OSError:
+                pass
+
+
+__all__ = ["PublicationPool", "PublicationError", "build_stream_model"]

@@ -14,16 +14,36 @@ automatically, with versions identical to an uninterrupted publisher.
 
 Writes are serialized per stream through a :class:`StreamHost` worker thread:
 every mutation submitted while a tick is in flight (plus anything arriving
-within the ``coalesce_ms`` window) is drained into **one**
-:meth:`~repro.stream.IncrementalPublisher.publish_coalesced` call, so a burst
-of N batches publishes one version instead of N.  Reads never enter the
-worker: published versions are immutable and the store's version list is
-append-only, so historical versions, lineages and audit reports are served
-lock-free from memory while a publication is in flight.
+within the ``coalesce_ms`` window) is drained into **one** coalesced publish,
+so a burst of N batches publishes one version instead of N.  Reads never
+enter the worker: published versions are immutable and the store's version
+list is append-only, so historical versions, lineages and audit reports are
+served lock-free from memory while a publication is in flight.
+
+Publication runs in one of two modes.  With ``publish_workers=0`` (the
+default) the tick calls
+:meth:`~repro.stream.IncrementalPublisher.publish_coalesced` in-process, on
+the host's own publisher.  With ``publish_workers=N`` the registry owns a
+:class:`~repro.serve.pool.PublicationPool` and the tick is dispatched as a
+job ``(shard path, operations, config)`` to a worker *process*, which
+resumes the shard (holding its ``store.lock``) and publishes there; the host
+then re-pins its lock-free reader store
+(:meth:`~repro.stream.store.ReleaseStore.refresh`) and resolves the waiters
+from the refreshed, immutable version - so heavy publication compute for
+different tenants runs on different cores instead of contending on the GIL.
+
+Every host's queue is **bounded** (``max_queue_batches`` /
+``max_queued_rows``): a mutation that would overflow it is rejected
+immediately with :class:`~repro.serve.errors.TooManyRequests` (HTTP 429 +
+``Retry-After`` derived from observed publish latency) instead of buffering
+without limit.  The queue's high-water marks and the cumulative rejected
+count stay visible in ``/metrics`` after the burst passes.
 
 A publication failure poisons only its own stream (PR 5's poisoning
 semantics): the host fails the tick's waiters, marks itself poisoned, and
-keeps serving reads; sibling streams keep publishing.  The daemon surfaces
+keeps serving reads; sibling streams keep publishing.  This holds in process
+mode too - a worker crash or job timeout poisons exactly the stream whose
+job died (the pool respawns the slot for its siblings).  The daemon surfaces
 the state as 409 pointing at the restart-resume path.
 """
 
@@ -45,12 +65,31 @@ from repro.data.schema import Schema
 from repro.data.table import MicrodataTable
 from repro.exceptions import ReproError, StreamError
 from repro.knowledge.backend import DEFAULT_MAX_CELLS
-from repro.serve.errors import ApiError, BadRequest, Conflict, NotFound
+from repro.serve.errors import ApiError, BadRequest, Conflict, NotFound, TooManyRequests
 from repro.serve.metrics import StreamMetrics
+from repro.serve.pool import PublicationPool, build_stream_model
 from repro.stream import IncrementalPublisher
+from repro.stream.store import ReleaseStore
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _STOP = object()
+
+#: Bounded-queue defaults: generous enough that a well-paced client never
+#: sees 429, small enough that a flood cannot buffer without limit.
+DEFAULT_MAX_QUEUE_BATCHES = 64
+DEFAULT_MAX_QUEUED_ROWS = 100_000
+
+
+def _operation_rows(operation: tuple[str, Any]) -> int:
+    """Rows a queued mutation pins in memory (the queue's row accounting)."""
+    kind, payload = operation
+    if kind == "append":
+        return len(payload)
+    if kind == "delete":
+        return len(payload)
+    if kind == "update":
+        return len(payload[0])
+    return 0
 
 #: Creation config: accepted keys and their defaults (persisted per shard).
 CONFIG_DEFAULTS: dict[str, Any] = {
@@ -71,26 +110,43 @@ CONFIG_FILE = "stream.json"
 
 
 class _Submission:
-    """One queued mutation and the future its submitter awaits."""
+    """One queued mutation, its row weight and the future its submitter awaits."""
 
-    __slots__ = ("operation", "future")
+    __slots__ = ("operation", "rows", "future")
 
     def __init__(self, operation: tuple[str, Any]):
         self.operation = operation
+        self.rows = _operation_rows(operation)
         self.future: Future = Future()
 
 
 class StreamHost:
-    """One hosted stream: its publisher, config and serialized write worker."""
+    """One hosted stream: its config, bounded queue and serialized write worker.
+
+    In thread mode (``pool=None``) the host owns an
+    :class:`~repro.stream.IncrementalPublisher` and publishes in-process.  In
+    process mode (``pool`` given) ``publisher`` is ``None``: the host owns a
+    lock-free reader :class:`~repro.stream.store.ReleaseStore` over the shard
+    and dispatches every tick to the pool, whose worker process holds the
+    shard's ``store.lock`` and warm publisher.
+    """
 
     def __init__(
         self,
         name: str,
-        publisher: IncrementalPublisher,
+        publisher: IncrementalPublisher | None,
         config: dict[str, Any],
         *,
         coalesce_seconds: float = 0.05,
+        max_queue_batches: int = DEFAULT_MAX_QUEUE_BATCHES,
+        max_queued_rows: int = DEFAULT_MAX_QUEUED_ROWS,
+        pool: PublicationPool | None = None,
+        store: ReleaseStore | None = None,
     ):
+        if publisher is None and (pool is None or store is None):
+            raise StreamError(
+                "a host without a publisher needs a publication pool and a store"
+            )
         self.name = name
         self.publisher = publisher
         self.config = config
@@ -98,9 +154,16 @@ class StreamHost:
         # the publisher temporarily swaps ``publisher.store`` for its
         # intermediate-version buffer, and readers must never see that -
         # they keep serving the (append-only) published history.
-        self._store = publisher.store
+        self._store = store if store is not None else publisher.store
+        self._pool = pool
         self.metrics = StreamMetrics()
         self._coalesce_seconds = float(coalesce_seconds)
+        self._max_queue_batches = int(max_queue_batches)
+        self._max_queued_rows = int(max_queued_rows)
+        self._queued_batches = 0
+        self._queued_rows = 0
+        self._queue_high_water_batches = 0
+        self._queue_high_water_rows = 0
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self._poisoned: str | None = None
@@ -124,8 +187,33 @@ class StreamHost:
 
     @property
     def queue_depth(self) -> int:
-        """Mutations waiting for the worker (approximate, by nature)."""
-        return self._queue.qsize()
+        """Mutation batches waiting for the worker (approximate, by nature)."""
+        with self._lock:
+            return self._queued_batches
+
+    def queue_stats(self) -> dict[str, int]:
+        """Bounded-queue accounting: depth, bounds and high-water marks."""
+        with self._lock:
+            return {
+                "queue_depth": self._queued_batches,
+                "queue_depth_rows": self._queued_rows,
+                "queue_high_water": self._queue_high_water_batches,
+                "queue_high_water_rows": self._queue_high_water_rows,
+                "max_queue_batches": self._max_queue_batches,
+                "max_queued_rows": self._max_queued_rows,
+            }
+
+    def retry_after_seconds(self) -> int:
+        """Whole seconds a 429'd client should wait: the publish-latency p50.
+
+        One median publication usually frees the whole queue (a tick drains
+        everything queued), so the observed p50 - floored at the protocol's
+        minimum of one second - is an honest pacing hint.
+        """
+        p50 = self.metrics.publish_seconds.percentile(50.0)
+        if p50 is None:
+            return 1
+        return max(1, int(-(-p50 // 1)))
 
     def poisoned_message(self) -> str:
         return (
@@ -137,17 +225,24 @@ class StreamHost:
     def describe(self) -> dict[str, Any]:
         """JSON-able summary: lineage position, drift, queue and health."""
         latest = self.store.latest()
-        return {
+        if self.publisher is not None:
+            drift = self.publisher.drift_rows
+        else:
+            # Process mode: the worker's publisher owns the live drift; the
+            # persisted resume state carries it to the parent on refresh.
+            drift = int((self.store.state or {}).get("drift_rows", 0))
+        summary = {
             "name": self.name,
             "versions": len(self.store),
             "rows": latest.n_rows,
             "groups": latest.n_groups,
             "satisfied": latest.satisfied,
-            "drift_rows": self.publisher.drift_rows,
-            "queue_depth": self.queue_depth,
+            "drift_rows": drift,
             "poisoned": self._poisoned,
             "config": self.config,
         }
+        summary.update(self.queue_stats())
+        return summary
 
     # -- write side ---------------------------------------------------------------------
     def submit(self, operation: tuple[str, Any]) -> Future:
@@ -156,12 +251,36 @@ class StreamHost:
         All operations drained in one worker tick coalesce into a single
         version, so concurrent submitters may receive the *same* version.
         Raises :class:`~repro.exceptions.StreamError` immediately when the
-        stream is already poisoned.
+        stream is already poisoned, and
+        :class:`~repro.serve.errors.TooManyRequests` when accepting the
+        mutation would push the queue past its batch or row bound -
+        backpressure instead of unbounded buffering.
         """
+        submission = _Submission(operation)
         with self._lock:
             if self._poisoned is not None:
                 raise StreamError(self.poisoned_message())
-            submission = _Submission(operation)
+            if (
+                self._queued_batches + 1 > self._max_queue_batches
+                or self._queued_rows + submission.rows > self._max_queued_rows
+            ):
+                self.metrics.counters.increment("rejected_batches")
+                raise TooManyRequests(
+                    f"stream {self.name!r} write queue is full "
+                    f"({self._queued_batches} batches / {self._queued_rows} rows "
+                    f"queued; bounds: {self._max_queue_batches} batches, "
+                    f"{self._max_queued_rows} rows); retry once the in-flight "
+                    "publication drains the queue",
+                    retry_after=self.retry_after_seconds(),
+                )
+            self._queued_batches += 1
+            self._queued_rows += submission.rows
+            self._queue_high_water_batches = max(
+                self._queue_high_water_batches, self._queued_batches
+            )
+            self._queue_high_water_rows = max(
+                self._queue_high_water_rows, self._queued_rows
+            )
             self._queue.put(submission)
             return submission.future
 
@@ -200,6 +319,12 @@ class StreamHost:
                     stop = True
                     break
                 batch.append(nxt)
+            # The tick owns its batch now: free the queue budget *before*
+            # publishing, so clients rejected during a long publication can
+            # refill the queue up to the bound while it runs.
+            with self._lock:
+                self._queued_batches -= len(batch)
+                self._queued_rows -= sum(item.rows for item in batch)
             self._publish_tick(batch)
             if stop:
                 return
@@ -217,12 +342,24 @@ class StreamHost:
                 submission.future.set_exception(error)
             return
         start = time.perf_counter()
+        operations = [submission.operation for submission in live]
         try:
-            version = self.publisher.publish_coalesced(
-                [submission.operation for submission in live]
-            )
+            if self._pool is None:
+                version = self.publisher.publish_coalesced(operations)
+            else:
+                number = self._pool.publish(
+                    self.name, self._store.path, self.config, operations
+                )
+                # Re-pin: load exactly what the worker persisted (the reload
+                # is byte-identical by the store's round-trip guarantee).
+                self._store.refresh()
+                version = self._store[number]
         except BaseException as error:  # noqa: BLE001 - forwarded to every waiter
-            if self.publisher.poisoned:
+            if self._pool is None:
+                poisoned = self.publisher.poisoned
+            else:
+                poisoned = getattr(error, "poisoned", True)
+            if poisoned:
                 with self._lock:
                     self._poisoned = f"{type(error).__name__}: {error}"
             self.metrics.counters.increment("failed_batches", len(live))
@@ -252,7 +389,12 @@ class StreamHost:
                 item.future.set_exception(
                     StreamError(f"stream {self.name!r} is shutting down")
                 )
-        self.publisher.close()
+        if self.publisher is not None:
+            self.publisher.close()
+        else:
+            # Process mode: the shard lock lives in a worker process (the
+            # pool's close releases it); the reader store holds no lock.
+            self._store.close()
 
 
 class StreamRegistry:
@@ -270,17 +412,46 @@ class StreamRegistry:
         *,
         coalesce_ms: float = 50.0,
         schema: Schema | None = None,
+        publish_workers: int = 0,
+        publish_timeout: float = 0.0,
+        max_queue_batches: int | None = None,
+        max_queued_rows: int | None = None,
     ):
         if coalesce_ms < 0:
             raise BadRequest("coalesce_ms must be non-negative")
+        if publish_workers < 0:
+            raise BadRequest("publish_workers must be >= 0 (0 = in-process threads)")
+        if publish_timeout < 0:
+            raise BadRequest("publish_timeout must be >= 0 (0 disables it)")
+        self._max_queue_batches = (
+            DEFAULT_MAX_QUEUE_BATCHES if max_queue_batches is None
+            else int(max_queue_batches)
+        )
+        self._max_queued_rows = (
+            DEFAULT_MAX_QUEUED_ROWS if max_queued_rows is None
+            else int(max_queued_rows)
+        )
+        if self._max_queue_batches < 1 or self._max_queued_rows < 1:
+            raise BadRequest("the queue bounds must be at least 1")
         self.schema = schema if schema is not None else adult_schema()
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self._coalesce_seconds = float(coalesce_ms) / 1000.0
         self._lock = threading.Lock()
         self._hosts: dict[str, StreamHost] = {}
-        for config_path in sorted(self.data_dir.glob(f"*/{CONFIG_FILE}")):
-            self._resume_shard(config_path.parent)
+        # The pool spawns before any host thread starts, so worker processes
+        # never inherit mid-flight daemon state.
+        self.pool: PublicationPool | None = (
+            PublicationPool(publish_workers, self.schema, timeout=publish_timeout)
+            if publish_workers
+            else None
+        )
+        try:
+            for config_path in sorted(self.data_dir.glob(f"*/{CONFIG_FILE}")):
+                self._resume_shard(config_path.parent)
+        except BaseException:
+            self.close()
+            raise
 
     # -- lookup -------------------------------------------------------------------------
     def names(self) -> list[str]:
@@ -349,16 +520,7 @@ class StreamRegistry:
         return resolved
 
     def _build_model(self, config: Mapping[str, Any]):
-        return MODELS.build_filtered(
-            config["model"],
-            {
-                "b": config["b"],
-                "t": config["t"],
-                "l": config["l"],
-                "k": config["k"],
-                "max_cells": config["max_cells"],
-            },
-        )
+        return build_stream_model(config)
 
     def create(
         self,
@@ -440,16 +602,50 @@ class StreamRegistry:
                 f"cannot resume stream {name!r}: {shard / CONFIG_FILE} is "
                 f"unreadable ({error})"
             ) from None
-        publisher = IncrementalPublisher.resume(
-            shard, schema=self.schema, model=self._build_model(config)
-        )
-        return self._register(name, publisher, config)
+        if self.pool is None:
+            publisher = IncrementalPublisher.resume(
+                shard, schema=self.schema, model=self._build_model(config)
+            )
+            return self._register(name, publisher, config)
+        # Process mode: the parent only *reads* the shard (no lock - the
+        # publication workers take it); the first dispatched tick runs the
+        # full resume validation in its worker.
+        store = ReleaseStore(shard, schema=self.schema, lock=False)
+        if not len(store):
+            raise StreamError(
+                f"cannot resume stream {name!r}: the release store at {shard} "
+                "holds no versions"
+            )
+        if store.state is None:
+            raise StreamError(
+                f"cannot resume stream {name!r}: the release store at {shard} "
+                "holds no publisher state (state.json)"
+            )
+        return self._register(name, None, config, store=store)
 
     def _register(
-        self, name: str, publisher: IncrementalPublisher, config: dict[str, Any]
+        self,
+        name: str,
+        publisher: IncrementalPublisher | None,
+        config: dict[str, Any],
+        store: ReleaseStore | None = None,
     ) -> StreamHost:
+        if self.pool is not None and publisher is not None:
+            # Lock handoff after an in-process creation: release the shard so
+            # the first dispatched tick's worker can take it; keep the (still
+            # readable, refreshable) store as the parent's reader.
+            store = publisher.store
+            publisher.close()
+            publisher = None
         host = StreamHost(
-            name, publisher, config, coalesce_seconds=self._coalesce_seconds
+            name,
+            publisher,
+            config,
+            coalesce_seconds=self._coalesce_seconds,
+            max_queue_batches=self._max_queue_batches,
+            max_queued_rows=self._max_queued_rows,
+            pool=self.pool,
+            store=store,
         )
         with self._lock:
             self._hosts[name] = host
@@ -459,5 +655,7 @@ class StreamRegistry:
         """Stop every worker and release every shard lock."""
         for host in self.hosts():
             host.close()
+        if self.pool is not None:
+            self.pool.close()
         with self._lock:
             self._hosts.clear()

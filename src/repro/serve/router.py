@@ -41,10 +41,18 @@ class Request:
 
 @dataclass
 class Response:
-    """One handler result: a status code and a JSON-able payload."""
+    """One handler result: status code, JSON-able payload, extra headers.
+
+    ``stream=True`` marks responses whose bodies may be large (historical
+    versions, whole lineages, audit reports): the app layer sends them with
+    chunked transfer encoding, serializing incrementally via
+    :meth:`body_chunks` instead of materializing one JSON string.
+    """
 
     status: int = 200
     payload: Any = None
+    headers: dict[str, str] = field(default_factory=dict)
+    stream: bool = False
 
     def body(self) -> bytes:
         """The serialized JSON body.
@@ -54,6 +62,29 @@ class Response:
         testable at the HTTP layer.
         """
         return (json.dumps(self.payload, sort_keys=True) + "\n").encode()
+
+    def body_chunks(self, chunk_bytes: int = 64 * 1024):
+        """Yield the serialized body in bounded pieces (for chunked sends).
+
+        Uses :meth:`json.JSONEncoder.iterencode` with the same ``sort_keys``
+        encoder settings as :meth:`body`, so the concatenation of the chunks
+        is byte-identical to the non-streaming body - a client that decodes
+        the chunked framing sees exactly the bytes ``body()`` would have
+        sent.  ``iterencode`` emits ASCII (the default ``ensure_ascii``), so
+        character counts are byte counts.
+        """
+        encoder = json.JSONEncoder(sort_keys=True)
+        pending: list[str] = []
+        size = 0
+        for piece in encoder.iterencode(self.payload):
+            pending.append(piece)
+            size += len(piece)
+            if size >= chunk_bytes:
+                yield "".join(pending).encode()
+                pending = []
+                size = 0
+        pending.append("\n")
+        yield "".join(pending).encode()
 
 
 Handler = Callable[[Request], Awaitable[Response]]

@@ -119,6 +119,10 @@ class ReproService:
         """Submit one mutation and await its (possibly shared) version."""
         try:
             future = host.submit(operation)
+        except ApiError:
+            # TooManyRequests from the bounded queue must reach the client
+            # as 429 (+ Retry-After), not be blurred into a 409.
+            raise
         except ReproError as error:
             raise Conflict(str(error)) from None
         try:
@@ -144,7 +148,10 @@ class ReproService:
             summary.pop("config", None)
             summary.update(host.metrics.as_dict())
             streams[host.name] = summary
-        return Response(200, {"server": self.metrics.as_dict(), "streams": streams})
+        server = self.metrics.as_dict()
+        if self.registry.pool is not None:
+            server["publication_pool"] = self.registry.pool.describe()
+        return Response(200, {"server": server, "streams": streams})
 
     # -- stream lifecycle ----------------------------------------------------------------
     async def list_streams(self, request: Request) -> Response:
@@ -177,12 +184,20 @@ class ReproService:
     # -- history -------------------------------------------------------------------------
     async def versions(self, request: Request) -> Response:
         host = self._host(request)
-        return Response(200, {"stream": host.name, "versions": host.store.lineage()})
+        return Response(
+            200,
+            {"stream": host.name, "versions": host.store.lineage()},
+            stream=True,
+        )
 
     async def version_detail(self, request: Request) -> Response:
         host = self._host(request)
         version = self._version(host, request.params["version"])
-        return Response(200, {"stream": host.name, "version": version.as_dict()})
+        return Response(
+            200,
+            {"stream": host.name, "version": version.as_dict()},
+            stream=True,
+        )
 
     async def version_audit(self, request: Request) -> Response:
         host = self._host(request)
@@ -199,7 +214,7 @@ class ReproService:
         delta = host.store.report_delta(version.version)
         if delta is not None:
             payload["audit_delta"] = delta
-        return Response(200, payload)
+        return Response(200, payload, stream=True)
 
     async def latest_audit(self, request: Request) -> Response:
         host = self._host(request)

@@ -40,8 +40,8 @@ def adult_rows():
 class LiveServer:
     """One running daemon on an ephemeral port, driven over real HTTP."""
 
-    def __init__(self, data_dir, *, coalesce_ms=25.0):
-        self.app = ServeApp(data_dir, port=0, coalesce_ms=coalesce_ms)
+    def __init__(self, data_dir, *, coalesce_ms=25.0, **app_kwargs):
+        self.app = ServeApp(data_dir, port=0, coalesce_ms=coalesce_ms, **app_kwargs)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._loop.run_forever, daemon=True)
         self._thread.start()
@@ -68,6 +68,22 @@ class LiveServer:
         except urllib.error.HTTPError as error:
             raw = error.read()
             return error.code, json.loads(raw), raw
+
+    def request_with_headers(self, method, path, payload=None, timeout=180):
+        """Like :meth:`request`, but returns the response *headers* instead
+        of the raw body - for contracts like 429's ``Retry-After``."""
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read()), dict(response.headers)
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read()), dict(error.headers)
 
     def close(self):
         if self._closed:

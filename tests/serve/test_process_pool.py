@@ -1,0 +1,247 @@
+"""Process-parallel publication: equivalence, crash isolation, timeouts.
+
+The load-bearing contracts from the issue:
+
+* a registry with ``publish_workers=N`` publishes versions whose releases
+  match thread-mode (``publish_workers=0``) to within ``1e-12`` and whose
+  lineage JSON is equal once per-run timings are stripped;
+* a worker crash (SIGKILL mid-job) or a job timeout poisons exactly the
+  stream whose job died - a sibling stream sharing the same worker slot
+  keeps publishing through the respawned worker;
+* a data directory written in process mode restart-resumes (in either
+  mode), with the next version identical to an uninterrupted publisher's.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.data.adult import adult_schema, generate_adult
+from repro.data.table import MicrodataTable
+from repro.exceptions import StreamError
+from repro.privacy.models import BTPrivacy
+from repro.serve import PublicationError, StreamRegistry
+from repro.stream import IncrementalPublisher
+
+FAST_CONFIG = {"model": "bt", "b": 0.3, "t": 0.25, "k": 2, "max_cells": 20000}
+
+SEED_ROWS = 260
+SCHEMA = adult_schema()
+ROWS = generate_adult(320, seed=11).rows()
+
+
+def _table(rows):
+    return MicrodataTable.from_rows(SCHEMA, rows)
+
+
+SEED_TABLE = _table(ROWS[:SEED_ROWS])
+
+
+def _registry(tmp_path, sub="data", **kwargs):
+    return StreamRegistry(tmp_path / sub, coalesce_ms=0.0, **kwargs)
+
+
+def _twin_publisher(store_path=None):
+    return IncrementalPublisher(
+        _table(ROWS[:SEED_ROWS]),
+        BTPrivacy(FAST_CONFIG["b"], FAST_CONFIG["t"]),
+        k=FAST_CONFIG["k"],
+        max_cells=FAST_CONFIG["max_cells"],
+        store_path=store_path,
+    )
+
+
+def _operations():
+    return [
+        ("append", _table(ROWS[SEED_ROWS:SEED_ROWS + 30])),
+        ("delete", [0, 7, 19, 42]),
+        ("append", _table(ROWS[SEED_ROWS + 30:SEED_ROWS + 60])),
+    ]
+
+
+def _assert_same_release(actual, expected, tolerance=1e-12):
+    assert actual.n_rows == expected.n_rows
+    assert actual.n_groups == expected.n_groups
+    assert len(actual.release.groups) == len(expected.release.groups)
+    assert all(
+        np.array_equal(a, b)
+        for a, b in zip(actual.release.groups, expected.release.groups)
+    )
+    assert actual.report is not None and expected.report is not None
+    for ours, theirs in zip(actual.report.entries, expected.report.entries):
+        assert float(np.max(np.abs(ours.attack.risks - theirs.attack.risks))) <= tolerance
+
+
+def _canonical(payload):
+    """Lineage JSON minus per-run timings, floats rounded to 12 digits."""
+    if isinstance(payload, dict):
+        return {
+            key: _canonical(value)
+            for key, value in payload.items()
+            if key != "timings" and not key.endswith("_seconds")
+        }
+    if isinstance(payload, list):
+        return [_canonical(value) for value in payload]
+    if isinstance(payload, float):
+        return float(f"{payload:.12g}")
+    return payload
+
+
+def _wait_dead(process, timeout=30.0):
+    # join() reaps the SIGKILLed child; a bare os.kill(pid, 0) probe would
+    # keep succeeding against the zombie.
+    process.join(timeout=timeout)
+    assert not process.is_alive(), f"worker pid {process.pid} did not die"
+
+
+# -- equivalence ---------------------------------------------------------------------------
+
+
+def test_process_mode_matches_thread_mode(tmp_path):
+    """Same operations, both modes: equal groups, risks within 1e-12."""
+    operations = _operations()
+    finals = {}
+    lineages = {}
+    for mode, workers in (("threads", 0), ("procs", 2)):
+        registry = _registry(tmp_path, mode, publish_workers=workers)
+        try:
+            host = registry.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+            for operation in operations:
+                final = host.submit(operation).result(timeout=300)
+            finals[mode] = final
+            lineages[mode] = host.store.lineage()
+        finally:
+            registry.close()
+
+    assert finals["procs"].version == finals["threads"].version == 3
+    _assert_same_release(finals["procs"], finals["threads"])
+    # The lineage rows (deltas, audit summaries, row counts) agree too -
+    # only the wall-clock timings differ between a thread-mode publish and
+    # a worker-process publish.
+    assert _canonical(lineages["procs"]) == _canonical(lineages["threads"])
+
+
+def test_process_mode_coalesces_into_one_version(tmp_path):
+    registry = _registry(tmp_path, publish_workers=1)
+    try:
+        host = registry.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+        host.pause()
+        futures = [host.submit(operation) for operation in _operations()]
+        host.unpause()
+        versions = [future.result(timeout=300) for future in futures]
+        assert len(host.store) == 2
+        assert {version.version for version in versions} == {1}
+        assert host.metrics.counters.publishes == 1
+        coalesced = versions[0]
+    finally:
+        registry.close()
+
+    twin = _twin_publisher()
+    twin.publish()
+    for kind, payload in _operations():
+        if kind == "append":
+            twin.append(payload)
+        elif kind == "delete":
+            twin.delete(payload)
+        else:
+            twin.update(*payload)
+    _assert_same_release(coalesced, twin.store.latest())
+
+
+def test_process_mode_restart_resumes(tmp_path):
+    """A shard published by workers resumes cleanly - in either mode."""
+    operations = _operations()
+    first = _registry(tmp_path, publish_workers=1)
+    try:
+        host = first.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+        for operation in operations[:2]:
+            host.submit(operation).result(timeout=300)
+        lineage_before = host.store.lineage()
+    finally:
+        first.close()
+
+    second = _registry(tmp_path, publish_workers=1)
+    try:
+        resumed = second.get("census")
+        assert resumed.store.lineage() == lineage_before
+        final = resumed.submit(operations[2]).result(timeout=300)
+    finally:
+        second.close()
+
+    twin = _twin_publisher()
+    twin.publish()
+    for kind, payload in operations:
+        if kind == "append":
+            twin.append(payload)
+        elif kind == "delete":
+            twin.delete(payload)
+        else:
+            twin.update(*payload)
+    expected = twin.store.latest()
+    assert final.version == expected.version == 3
+    _assert_same_release(final, expected)
+
+
+# -- failure isolation ---------------------------------------------------------------------
+
+
+def test_worker_crash_poisons_only_its_stream(tmp_path):
+    registry = _registry(tmp_path, publish_workers=1)
+    try:
+        sick = registry.create("sick", SEED_TABLE.rows(), FAST_CONFIG)
+        healthy = registry.create("healthy", SEED_TABLE.rows(), FAST_CONFIG)
+        # One worker slot serves both streams: the crash must poison only
+        # the stream whose job was in flight.
+        assert registry.pool.pid_for("sick") == registry.pool.pid_for("healthy")
+
+        sick.pause()
+        batch = _table(ROWS[SEED_ROWS:SEED_ROWS + 20])
+        future = sick.submit(("append", batch))
+        worker = registry.pool._worker_for("sick")
+        pid = worker.process.pid
+        os.kill(pid, signal.SIGKILL)
+        _wait_dead(worker.process)
+        sick.unpause()
+        with pytest.raises(PublicationError):
+            future.result(timeout=300)
+
+        assert sick.poisoned is not None
+        with pytest.raises(StreamError, match="poisoned"):
+            sick.submit(("append", batch))
+        # History stays servable and the sibling publishes through the
+        # respawned worker process.
+        assert len(sick.store) == 1
+        version = healthy.submit(("append", batch)).result(timeout=300)
+        assert version.version == 1
+        assert healthy.poisoned is None
+        assert registry.pool.pid_for("healthy") != pid
+        assert registry.pool.describe()["restarts"] == 1
+    finally:
+        registry.close()
+
+
+def test_worker_timeout_poisons_stream_and_shard_resumes(tmp_path):
+    registry = _registry(tmp_path, publish_workers=1, publish_timeout=0.02)
+    try:
+        host = registry.create("census", SEED_TABLE.rows(), FAST_CONFIG)
+        batch = _table(ROWS[SEED_ROWS:SEED_ROWS + 20])
+        future = host.submit(("append", batch))
+        with pytest.raises(PublicationError, match="timed out"):
+            future.result(timeout=300)
+        assert host.poisoned is not None
+        assert len(host.store) == 1
+    finally:
+        registry.close()
+
+    # The kill landed mid-compute, before anything was persisted: a fresh
+    # registry (thread mode here) resumes the seed and publishes on.
+    second = _registry(tmp_path)
+    try:
+        resumed = second.get("census")
+        assert len(resumed.store) == 1
+        batch = _table(ROWS[SEED_ROWS:SEED_ROWS + 20])
+        assert resumed.submit(("append", batch)).result(timeout=300).version == 1
+    finally:
+        second.close()

@@ -78,6 +78,35 @@ def test_missing_metric_keys_reported_together():
     assert "'rows'" not in failures[0]
 
 
+def test_p99_latencies_are_ceiling_gated():
+    # Tail latencies gate like *_seconds even without the suffix: a p99 that
+    # explodes under the same load is a regression in its own right.
+    baseline = _doc({"a": {"read_p99_millis": 10.0, "latency_p99": 0.2}})
+    ok = _doc({"a": {"read_p99_millis": 11.0, "latency_p99": 0.21}})
+    assert check_regression.compare(baseline, ok, tolerance=0.30) == []
+    slow = _doc({"a": {"read_p99_millis": 30.0, "latency_p99": 0.2}})
+    failures = check_regression.compare(baseline, slow, tolerance=0.30)
+    assert len(failures) == 1 and "read_p99_millis" in failures[0]
+
+
+def test_rejected_frac_is_band_gated_both_ways():
+    """The 429 rate of a saturation bench must stay in a band around its
+    baseline: collapsing to zero (backpressure stopped firing) fails just
+    like exploding does."""
+    baseline = _doc({"a": {"overload_rejected_frac": 0.4}})
+    in_band = _doc({"a": {"overload_rejected_frac": 0.45}})
+    assert check_regression.compare(baseline, in_band, tolerance=0.30) == []
+    collapsed = _doc({"a": {"overload_rejected_frac": 0.0}})
+    failures = check_regression.compare(baseline, collapsed, tolerance=0.30)
+    assert len(failures) == 1 and "overload_rejected_frac" in failures[0]
+    exploded = _doc({"a": {"overload_rejected_frac": 0.95}})
+    failures = check_regression.compare(baseline, exploded, tolerance=0.30)
+    assert len(failures) == 1 and "overload_rejected_frac" in failures[0]
+    gone = _doc({"a": {}})
+    failures = check_regression.compare(baseline, gone, tolerance=0.30)
+    assert len(failures) == 1 and "'overload_rejected_frac'" in failures[0]
+
+
 def test_new_current_sections_are_skipped():
     baseline = _doc({"a": {"run_seconds": 1.0}})
     current = _doc({"a": {"run_seconds": 1.0}, "b": {"run_seconds": 9.0}})
