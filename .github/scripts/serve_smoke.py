@@ -10,7 +10,8 @@ Usage::
 ``seed`` waits for the daemon to come up, creates a stream from 200 Adult
 rows, fires one append, one delete and one update (sequentially, so each
 publishes its own version), and reads back version 0, the latest audit
-report and the metrics view.  ``resume`` runs against a *restarted* daemon
+report, the metrics view and the Prometheus text exposition (validated line
+by line against the 0.0.4 format contract).  ``resume`` runs against a *restarted* daemon
 on the same data dir and asserts every version survived on disk (the
 restart also exercises stale-lock recovery: the killed daemon leaves
 ``store.lock`` behind and the new one must steal it), then appends once
@@ -71,6 +72,59 @@ def call_full(base: str, method: str, path: str, payload=None):
         return error.code, json.loads(error.read()), dict(error.headers)
 
 
+def call_text(base: str, path: str):
+    """GET a non-JSON endpoint, returning (status, text, headers)."""
+    request = urllib.request.Request(base + path, method="GET")
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return (
+            response.status,
+            response.read().decode("utf-8"),
+            dict(response.headers),
+        )
+
+
+def check_prometheus(base: str) -> int:
+    """Scrape the Prometheus exposition and validate it line by line.
+
+    Returns the number of samples.  The format contract (text exposition
+    0.0.4): every non-empty line is either a ``# HELP``/``# TYPE`` comment or
+    a ``name{labels} value`` sample whose value parses as a float; every
+    sample's metric name was announced by a preceding ``# TYPE`` line.
+    """
+    status, text, headers = call_text(base, "/metrics?format=prometheus")
+    assert status == 200, status
+    assert headers.get("Content-Type", "").startswith("text/plain"), headers
+    assert text.endswith("\n"), "the exposition must end with a newline"
+    typed: set[str] = set()
+    samples = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            assert parts[1] in ("HELP", "TYPE") and len(parts) >= 3, line
+            if parts[1] == "TYPE":
+                typed.add(parts[2])
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        float(value_part)  # must parse (raises on a malformed sample)
+        name = name_part.split("{", 1)[0]
+        # A summary's _count/_sum samples belong to the family announced
+        # under the base name.
+        family = name
+        for suffix in ("_count", "_sum"):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+        assert family in typed, f"sample {name!r} has no preceding # TYPE line"
+        assert name.startswith("repro_"), line
+        samples += 1
+    assert samples, "the exposition carried no samples"
+    # The alias endpoint must serve the same families.
+    alias_status, alias_text, _ = call_text(base, "/metrics.prom")
+    assert alias_status == 200 and alias_text.splitlines()[0] == text.splitlines()[0]
+    return samples
+
+
 def wait_healthy(base: str, attempts: int = 150) -> None:
     for _ in range(attempts):
         try:
@@ -128,7 +182,11 @@ def seed(base: str) -> None:
     assert status == 200, (status, body)
     counters = body["streams"]["census"]["counters"]
     assert counters["publishes"] == 3 and counters["failed_batches"] == 0, body
-    print("serve smoke (seed): 4 versions published, audit + metrics read back")
+    samples = check_prometheus(base)
+    print(
+        "serve smoke (seed): 4 versions published, audit + metrics read "
+        f"back, {samples} Prometheus samples validated"
+    )
 
 
 def resume(base: str) -> None:

@@ -28,6 +28,14 @@ version against a from-scratch audit (<= 1e-12) and the summed incremental
 cost against one pipeline republish per mutation
 (``REPRO_BENCH_STREAM_MIXED_MIN_SPEEDUP``, default 2).
 
+A third, **tracing-overhead** section runs the same append-only stream twice
+- once under an enabled :class:`repro.obs.Tracer` (the publisher default:
+every publication records its full span tree) and once under a disabled one
+- and gates the relative cost of leaving tracing on
+(``tracing_overhead_frac``, best-of-3 each way) at
+``REPRO_BENCH_STREAM_MAX_TRACING_OVERHEAD`` (default 0.05): tracing is
+designed to be cheap enough to never turn off.
+
 Scale knobs:
 
 * ``REPRO_BENCH_STREAM_ROWS``        - seed rows (default 5000);
@@ -38,7 +46,7 @@ Scale knobs:
 * ``REPRO_BENCH_STREAM_DELETE_FRAC`` / ``..._UPDATE_FRAC`` - mixed-workload
   retraction/correction sizes as fractions of the batch (default 0.2 each);
 * ``REPRO_BENCH_STREAM_MIN_SPEEDUP`` / ``..._MIN_REPUBLISH_SPEEDUP`` /
-  ``..._MIXED_MIN_SPEEDUP`` - gates.
+  ``..._MIXED_MIN_SPEEDUP`` / ``..._MAX_TRACING_OVERHEAD`` - gates.
 
 The measured numbers land in ``BENCH_stream.json`` (sections
 ``seed-<rows>-batches-<k>x<batch>`` and ``mixed-...``), which CI regenerates
@@ -58,6 +66,7 @@ from conftest import bench_skyline, write_bench_json
 from repro.api import Pipeline
 from repro.audit import SkylineAuditEngine
 from repro.data.adult import generate_adult
+from repro.obs.tracing import Tracer
 from repro.privacy.models import BTPrivacy
 from repro.stream import IncrementalPublisher
 
@@ -71,6 +80,9 @@ MIN_REPUBLISH_SPEEDUP = float(
 DELETE_FRAC = float(os.environ.get("REPRO_BENCH_STREAM_DELETE_FRAC", "0.2"))
 UPDATE_FRAC = float(os.environ.get("REPRO_BENCH_STREAM_UPDATE_FRAC", "0.2"))
 MIXED_MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_STREAM_MIXED_MIN_SPEEDUP", "2"))
+MAX_TRACING_OVERHEAD = float(
+    os.environ.get("REPRO_BENCH_STREAM_MAX_TRACING_OVERHEAD", "0.05")
+)
 
 # The model the stream enforces and the paper-style skyline it is audited
 # against (by default four adversaries of increasing knowledge, one shared
@@ -274,4 +286,62 @@ def test_mixed_lifecycle_stream_speedup_and_equivalence():
     assert speedup >= MIXED_MIN_SPEEDUP, (
         f"mixed-lifecycle publishing is only {speedup:.1f}x faster than the "
         f"from-scratch pipeline republish (required: {MIXED_MIN_SPEEDUP:g}x)"
+    )
+
+
+def _stream_run_seconds(full, tracer: Tracer) -> float:
+    """Seconds for one seed publish plus every append, under ``tracer``."""
+    seed = full.select(np.arange(SEED_ROWS))
+    publisher = IncrementalPublisher(
+        seed, BTPrivacy(MODEL_B, MODEL_T), skyline=list(SKYLINE), k=K, tracer=tracer
+    )
+    start = time.perf_counter()
+    publisher.publish()
+    for index in range(BATCHES):
+        low = SEED_ROWS + index * BATCH_ROWS
+        publisher.append(full.select(np.arange(low, low + BATCH_ROWS)))
+    return time.perf_counter() - start
+
+
+def test_tracing_overhead_stays_negligible():
+    """Leaving span tracing on must cost at most MAX_TRACING_OVERHEAD.
+
+    The publisher traces by default (an enabled tracer records the full span
+    tree of every publication); the serving daemon and the CLI rely on that
+    being cheap enough to never disable.  Interleaved best-of-3 runs each way
+    keep scheduler jitter out of the ratio.
+    """
+    total = SEED_ROWS + BATCHES * BATCH_ROWS
+    full = generate_adult(total, seed=2009)
+    enabled_runs: list[float] = []
+    disabled_runs: list[float] = []
+    for _ in range(3):
+        enabled_runs.append(_stream_run_seconds(full, Tracer()))
+        disabled_runs.append(_stream_run_seconds(full, Tracer(enabled=False)))
+    enabled_seconds = min(enabled_runs)
+    disabled_seconds = min(disabled_runs)
+    overhead = max(0.0, (enabled_seconds - disabled_seconds) / disabled_seconds)
+    print(
+        f"\ntracing: seed={SEED_ROWS} +{BATCHES}x{BATCH_ROWS} rows "
+        f"enabled={enabled_seconds:.3f}s disabled={disabled_seconds:.3f}s "
+        f"overhead={100 * overhead:.1f}%"
+    )
+    write_bench_json(
+        "stream",
+        f"tracing-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}{_ADVERSARY_SUFFIX}",
+        {
+            "seed_rows": SEED_ROWS,
+            "batch_rows": BATCH_ROWS,
+            "batches": BATCHES,
+            "adversaries": len(SKYLINE),
+            "enabled_seconds": enabled_seconds,
+            "disabled_seconds": disabled_seconds,
+            "tracing_overhead_frac": overhead,
+        },
+    )
+
+    assert overhead <= MAX_TRACING_OVERHEAD, (
+        f"span tracing costs {100 * overhead:.1f}% on top of a disabled tracer "
+        f"(allowed: {100 * MAX_TRACING_OVERHEAD:.0f}%); it must stay cheap "
+        "enough to leave on"
     )

@@ -20,6 +20,10 @@ files the script compares:
 * every ``*_p99`` / ``*_p99_*`` tail-latency metric - a ceiling, like
   ``*_seconds`` (most tail latencies already end in ``_seconds``; the
   explicit pattern keeps dimensionless or differently-suffixed p99s gated);
+* every ``*_overhead_frac`` instrumentation-cost metric - a ceiling, like
+  ``*_seconds``: tracing must stay cheap enough to leave on, so a growing
+  overhead fraction is a regression even when absolute latencies hold (the
+  additive slack absorbs timer jitter on the tiny CI sizes);
 * every ``*_rejected_frac`` metric - a symmetric *band*: the saturation
   benches are engineered to overload their queues, so a 429 rate that
   *collapses* (backpressure silently stopped firing) fails exactly like one
@@ -84,6 +88,7 @@ def compare(
                 key.endswith("_seconds")
                 or key.endswith("_p99")
                 or "_p99_" in key
+                or key.endswith("_overhead_frac")
             )
             lower_is_bad = not banded and (
                 key == "speedup"

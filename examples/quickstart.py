@@ -146,6 +146,22 @@ def main() -> None:
     print(f"\nserving: POST /streams published version 0 of {stream['name']!r} "
           f"({stream['groups']} groups); see examples/serve_client.py for the "
           f"full coalesce/read/restart lifecycle")
+
+    # 9. Observability: the daemon is born instrumented.  `repro serve
+    #    --log-format json` emits one JSON log record per line (each request
+    #    carries a trace id, echoed back as X-Repro-Trace-Id), a Prometheus
+    #    scrape target lives at /metrics?format=prometheus, and every
+    #    freshly published version exposes its span-derived stage breakdown
+    #    (prior/partition/audit) under GET /streams/<name>/versions/<v>.
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{app.port}/metrics?format=prometheus", timeout=120
+    ) as response:
+        families = sum(
+            line.startswith(b"# TYPE") for line in response.read().splitlines()
+        )
+    print(f"observability: /metrics?format=prometheus exposes {families} "
+          f"metric families; repro anonymize/audit/stream --trace-out PATH "
+          f"dumps the same span tree for one-shot runs")
     asyncio.run_coroutine_threadsafe(app.stop(), loop).result(60)
     loop.call_soon_threadsafe(loop.stop)
 

@@ -19,7 +19,9 @@ This script is the whole lifecycle over real HTTP:
 3. fire an append, a deletion and a correction *concurrently* so the worker
    coalesces them into one version,
 4. read back the lineage, a historical version and the latest skyline-audit
-   report, plus the daemon's /metrics view,
+   report, plus the daemon's /metrics view and the span-derived per-stage
+   breakdown (prior/partition/audit timings) a freshly published version
+   carries,
 5. restart the daemon on the same data dir and show every stream resumed
    from disk with its version numbering intact,
 6. restart once more with a publication *process pool* and a one-slot write
@@ -46,6 +48,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.data.adult import generate_adult
+from repro.obs.log import configure
 from repro.serve import ServeApp
 
 SEED_ROWS = 600
@@ -106,6 +109,11 @@ def json_rows(table):
 
 
 def main() -> None:
+    # Structured logging, exactly as `repro serve --log-format json
+    # --log-level warning` wires it: throttled requests and slow publishes
+    # land on stderr as one JSON object per line, each carrying the
+    # request's trace id (also echoed in the X-Repro-Trace-Id header).
+    configure(level="warning", log_format="json")
     rows = json_rows(generate_adult(SEED_ROWS + 5 * BATCH_ROWS, seed=42))
     data_dir = Path(tempfile.mkdtemp(prefix="repro-serve-"))
 
@@ -161,6 +169,16 @@ def main() -> None:
     status, body = daemon.request("GET", "/streams/census/versions/0")
     print(f"version 0 (immutable history): {body['version']['rows']} rows, "
           f"{body['version']['groups']} groups")
+    # A version published by this daemon carries its publish trace: the
+    # span-derived stage breakdown says where the publication time went.
+    status, body = daemon.request("GET", "/streams/census/versions/1")
+    stages = body["stages"]
+    breakdown = ", ".join(
+        f"{name} {seconds * 1e3:.1f}ms"
+        for name, seconds in sorted(stages["stages"].items())
+    )
+    print(f"v1 stage breakdown ({stages['publish']}, "
+          f"{stages['duration_s'] * 1e3:.1f}ms total): {breakdown}")
     status, body = daemon.request("GET", "/streams/census/audit")
     worst = max(
         (entry["worst_case_risk"] for entry in body["audit"]["adversaries"]),
@@ -236,6 +254,18 @@ def main() -> None:
           f"batch(es) ({len(throttles)} throttle(s) honored), queue high-water "
           f"{stream['queue_high_water']}/{stream['max_queue_batches']}; every "
           f"batch still landed - {stream['versions']} versions on disk")
+    # Pool mode stitches the worker-side publish trace under the daemon's
+    # tick span: the per-stage breakdown was recorded inside the worker
+    # process and shipped back over the job pipe.
+    status, body = daemon.request(
+        "GET", f"/streams/census/versions/{stream['versions'] - 1}"
+    )
+    worker = body["trace"]["children"][0]
+    stages = body["stages"]
+    print(f"pool-published v{stream['versions'] - 1}: stages "
+          f"{sorted(stages['stages'])} recorded in worker pid "
+          f"{worker['attributes']['pid']}, stitched under the daemon's "
+          f"{body['trace']['name']} span")
     daemon.stop()
 
 

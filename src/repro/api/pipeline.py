@@ -26,11 +26,11 @@ kernel prior estimation - the dominant cost - runs at most once per
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.anonymize.anonymizer import AnonymizationResult
+from repro.obs.tracing import Tracer, current_tracer
 from repro.anonymize.partition import AnonymizedRelease
 from repro.api.session import Session
 from repro.audit.engine import SkylineAuditReport
@@ -269,57 +269,77 @@ class Pipeline:
             store_dir=store_dir,
         )
 
-    def run(self) -> ReleaseBundle:
-        """Execute the configured pipeline and return its :class:`ReleaseBundle`."""
+    def run(self, *, tracer: Tracer | None = None) -> ReleaseBundle:
+        """Execute the configured pipeline and return its :class:`ReleaseBundle`.
+
+        ``tracer`` (default: the thread's ambient tracer) records one
+        ``pipeline.run`` span with an ``anonymize`` / ``audit`` /
+        ``skyline_audit`` / ``utility`` child per executed stage; the
+        bundle's ``timings`` dict is derived from those spans, with the same
+        keys whether tracing is enabled or not.
+        """
         if self._model is None:
             raise PipelineError("pipeline has no model; call .model(name, ...) first")
         session = self.session
         requirement = session.build_model(self._model, **self._model_params)
+        tracer = tracer if tracer is not None else current_tracer()
 
-        result = session.anonymize(
-            requirement,
-            k=self._k,
-            algorithm=self._algorithm,
-            **self._algorithm_options,
-        )
-        timings = {
-            "prepare_seconds": result.prepare_seconds,
-            "partition_seconds": result.partition_seconds,
-        }
-
-        attack: AttackResult | None = None
-        if self._audit is not None:
-            threshold = self._resolve_threshold(requirement, self._audit["threshold"])
-            start = time.perf_counter()
-            attack = session.attack(
-                result.release.groups,
-                b_prime=self._audit["b_prime"],
-                threshold=threshold,
-                kernel=self._audit["kernel"],
-                method=self._audit["method"],
+        with tracer.activate(), tracer.timed("pipeline.run") as run_span:
+            with tracer.timed("anonymize", algorithm=self._algorithm) as anonymize_span:
+                result = session.anonymize(
+                    requirement,
+                    k=self._k,
+                    algorithm=self._algorithm,
+                    **self._algorithm_options,
+                )
+            anonymize_span.annotate(
+                groups=result.release.n_groups,
+                prepare_seconds=result.prepare_seconds,
+                partition_seconds=result.partition_seconds,
             )
-            timings["audit_seconds"] = time.perf_counter() - start
+            timings = {
+                "prepare_seconds": result.prepare_seconds,
+                "partition_seconds": result.partition_seconds,
+            }
 
-        skyline_audit: SkylineAuditReport | None = None
-        if self._skyline_audit is not None:
-            points = self._resolve_skyline(requirement, self._skyline_audit["skyline"])
-            start = time.perf_counter()
-            skyline_audit = session.audit_skyline(
-                result.release.groups,
-                points,
-                method=self._skyline_audit["method"],
-                processes=self._skyline_audit["processes"],
-                chunk_rows=self._skyline_audit["chunk_rows"],
-            )
-            timings["skyline_audit_seconds"] = time.perf_counter() - start
+            attack: AttackResult | None = None
+            if self._audit is not None:
+                threshold = self._resolve_threshold(requirement, self._audit["threshold"])
+                with tracer.timed(
+                    "audit", b_prime=self._audit["b_prime"]
+                ) as audit_span:
+                    attack = session.attack(
+                        result.release.groups,
+                        b_prime=self._audit["b_prime"],
+                        threshold=threshold,
+                        kernel=self._audit["kernel"],
+                        method=self._audit["method"],
+                    )
+                timings["audit_seconds"] = audit_span.duration_s
 
-        utility: dict[str, float] | None = None
-        if self._utility:
-            start = time.perf_counter()
-            utility = utility_report(result.release)
-            timings["utility_seconds"] = time.perf_counter() - start
+            skyline_audit: SkylineAuditReport | None = None
+            if self._skyline_audit is not None:
+                points = self._resolve_skyline(requirement, self._skyline_audit["skyline"])
+                with tracer.timed(
+                    "skyline_audit", adversaries=len(points)
+                ) as skyline_span:
+                    skyline_audit = session.audit_skyline(
+                        result.release.groups,
+                        points,
+                        method=self._skyline_audit["method"],
+                        processes=self._skyline_audit["processes"],
+                        chunk_rows=self._skyline_audit["chunk_rows"],
+                    )
+                timings["skyline_audit_seconds"] = skyline_span.duration_s
 
-        timings["total_seconds"] = sum(timings.values())
+            utility: dict[str, float] | None = None
+            if self._utility:
+                with tracer.timed("utility") as utility_span:
+                    utility = utility_report(result.release)
+                timings["utility_seconds"] = utility_span.duration_s
+
+            timings["total_seconds"] = sum(timings.values())
+            run_span.annotate(model=result.model_description)
         return ReleaseBundle(
             release=result.release,
             result=result,

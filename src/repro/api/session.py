@@ -39,6 +39,7 @@ from repro.data.table import MicrodataTable
 from repro.knowledge.backend import DEFAULT_MAX_CELLS, backend_name
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import PriorBeliefs
+from repro.obs.tracing import Tracer
 from repro.privacy.disclosure import AttackResult, BackgroundKnowledgeAttack
 from repro.privacy.measures import DistanceMeasure
 from repro.privacy.models import BTPrivacy, PrivacyModel
@@ -403,6 +404,7 @@ class Session:
         compact_drift: float = 0.5,
         max_cells: int | None = None,
         store_dir: str | None = None,
+        tracer: Tracer | None = None,
     ) -> "IncrementalPublisher":
         """An :class:`~repro.stream.IncrementalPublisher` seeded with this table.
 
@@ -421,7 +423,9 @@ class Session:
         defaults to the session's backend cell budget.  ``store_dir`` makes
         the publisher's :class:`~repro.stream.ReleaseStore` disk-backed, so
         :meth:`~repro.stream.IncrementalPublisher.resume` can later continue
-        the stream from the directory.
+        the stream from the directory.  ``tracer`` hands the publisher a
+        specific :class:`~repro.obs.tracing.Tracer` (e.g. a disabled one, or
+        one whose root span should enclose the whole stream).
         """
         from repro.stream import IncrementalPublisher
 
@@ -442,6 +446,7 @@ class Session:
                 for name in self.table.quasi_identifier_names
             },
             store_path=store_dir,
+            tracer=tracer,
         )
         publisher.publish()
         return publisher

@@ -32,6 +32,7 @@ from repro.inference.omega import grouped_posterior
 from repro.knowledge.backend import DEFAULT_MAX_CELLS
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import BatchedKernelPriorEstimator, PriorBeliefs
+from repro.obs.tracing import current_tracer
 from repro.privacy.disclosure import (
     AttackResult,
     attack_result,
@@ -240,16 +241,17 @@ class SkylineAuditEngine:
         if not missing:
             return self
         start = time.perf_counter()
-        estimator = BatchedKernelPriorEstimator(
-            kernel=self.kernel,
-            max_cells=self.max_cells,
-            distance_matrices=self._distance_matrices,
-        ).fit(self.table)
-        estimated = estimator.prior_for_table(
-            [self.adversaries[i].bandwidth for i in missing]
-        )
-        for index, prior in zip(missing, estimated):
-            self._priors[index] = prior
+        with current_tracer().span("engine.prepare", adversaries=len(missing)):
+            estimator = BatchedKernelPriorEstimator(
+                kernel=self.kernel,
+                max_cells=self.max_cells,
+                distance_matrices=self._distance_matrices,
+            ).fit(self.table)
+            estimated = estimator.prior_for_table(
+                [self.adversaries[i].bandwidth for i in missing]
+            )
+            for index, prior in zip(missing, estimated):
+                self._priors[index] = prior
         self.prepare_seconds += time.perf_counter() - start
         return self
 
@@ -280,14 +282,17 @@ class SkylineAuditEngine:
             for prior, adversary in zip(self._priors, self.adversaries)
         ]
         if processes is None or processes == 1 or len(jobs) == 1:
-            attacks = [
-                attack_result(
-                    matrix, sensitive_codes, group_list, self.measure,
-                    adversary_b=b, threshold=t,
-                    method=self.method, chunk_rows=self.chunk_rows,
-                )
-                for matrix, b, t in jobs
-            ]
+            tracer = current_tracer()
+            attacks = []
+            for matrix, b, t in jobs:
+                with tracer.span("engine.adversary", b=b, t=t):
+                    attacks.append(
+                        attack_result(
+                            matrix, sensitive_codes, group_list, self.measure,
+                            adversary_b=b, threshold=t,
+                            method=self.method, chunk_rows=self.chunk_rows,
+                        )
+                    )
         else:
             with multiprocessing.Pool(
                 processes=min(processes, len(jobs)),
@@ -383,40 +388,45 @@ class SkylineAuditEngine:
         surviving = previous_of >= 0
         previous_keys = {np.asarray(g, dtype=np.int64).tobytes() for g in previous_groups}
 
+        tracer = current_tracer()
         entries: list[SkylineAuditEntry] = []
         recomputed: list[int] = []
         for prior, adversary, mask, previous_entry in zip(
             self._priors, self.adversaries, masks, previous_report.entries
         ):
-            previous_risks = previous_entry.attack.risks
-            risks = np.zeros(n_rows, dtype=np.float64)
-            risks[surviving] = previous_risks[previous_of[surviving]]
-            stale = [
-                group
-                for group in group_list
-                if mask[group].any()
-                or not surviving[group].all()
-                or previous_of[group].tobytes() not in previous_keys
-            ]
-            if stale:
-                members = np.concatenate(stale)
-                offsets = np.cumsum(
-                    [0] + [group.size for group in stale[:-1]], dtype=np.int64
+            with tracer.span(
+                "engine.adversary", b=adversary.scalar_b, t=adversary.t
+            ) as adversary_span:
+                previous_risks = previous_entry.attack.risks
+                risks = np.zeros(n_rows, dtype=np.float64)
+                risks[surviving] = previous_risks[previous_of[surviving]]
+                stale = [
+                    group
+                    for group in group_list
+                    if mask[group].any()
+                    or not surviving[group].all()
+                    or previous_of[group].tobytes() not in previous_keys
+                ]
+                if stale:
+                    members = np.concatenate(stale)
+                    offsets = np.cumsum(
+                        [0] + [group.size for group in stale[:-1]], dtype=np.int64
+                    )
+                    prior_rows = prior.matrix[members]
+                    posterior_rows = grouped_posterior(
+                        prior_rows, sensitive_codes[members], offsets, method=self.method
+                    )
+                    risks[members] = self.measure.rowwise(prior_rows, posterior_rows)
+                attack = AttackResult(
+                    adversary_b=adversary.scalar_b,
+                    threshold=adversary.t,
+                    risks=risks,
+                    vulnerable_tuples=count_vulnerable_tuples(risks, adversary.t),
+                    worst_case_risk=max_risk(risks),
                 )
-                prior_rows = prior.matrix[members]
-                posterior_rows = grouped_posterior(
-                    prior_rows, sensitive_codes[members], offsets, method=self.method
-                )
-                risks[members] = self.measure.rowwise(prior_rows, posterior_rows)
-            attack = AttackResult(
-                adversary_b=adversary.scalar_b,
-                threshold=adversary.t,
-                risks=risks,
-                vulnerable_tuples=count_vulnerable_tuples(risks, adversary.t),
-                worst_case_risk=max_risk(risks),
-            )
-            entries.append(SkylineAuditEntry(adversary=adversary, attack=attack))
-            recomputed.append(len(stale))
+                adversary_span.annotate(recomputed_groups=len(stale))
+                entries.append(SkylineAuditEntry(adversary=adversary, attack=attack))
+                recomputed.append(len(stale))
         timings = {
             "prepare_seconds": self.prepare_seconds,
             "audit_seconds": time.perf_counter() - start,

@@ -49,6 +49,8 @@ from repro.exceptions import ReproError
 from repro.experiments import config as experiment_config
 from repro.experiments import figures as experiment_figures
 from repro.knowledge.backend import DEFAULT_MAX_CELLS
+from repro.obs.log import LOG_FORMATS, LOG_LEVELS, configure as configure_logging
+from repro.obs.tracing import Tracer
 from repro.privacy.models import PrivacyModel
 
 _FIGURE_CHOICES = ("1a", "1b", "2", "3a", "3b", "4a", "4b", "5a", "5b", "6a", "6b")
@@ -74,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_table_arguments(anonymize_parser)
     _add_model_arguments(anonymize_parser)
     anonymize_parser.add_argument("--output", required=True, help="path of the release CSV to write")
+    _add_trace_argument(anonymize_parser)
 
     attack_parser = subparsers.add_parser(
         "attack", help="anonymize a table, then attack it with Adv(b') and report vulnerable tuples"
@@ -117,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-breach", action="store_true",
         help="exit with status 3 when any skyline point is breached",
     )
+    _add_trace_argument(audit_parser)
 
     stream_parser = subparsers.add_parser(
         "stream",
@@ -198,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-breach", action="store_true",
         help="exit with status 3 when any published version breaches its skyline",
     )
+    _add_trace_argument(stream_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -306,6 +311,26 @@ def build_parser() -> argparse.ArgumentParser:
             "rejecting overflow with 429 + Retry-After (default 100000)"
         ),
     )
+    serve_parser.add_argument(
+        "--log-level", default="info", choices=LOG_LEVELS,
+        help="minimum level of the daemon's structured logs (default info)",
+    )
+    serve_parser.add_argument(
+        "--log-format", default="text", choices=LOG_FORMATS,
+        help=(
+            "log record format: 'text' for classic one-line records, 'json' "
+            "for one JSON object per line with trace ids and timings as "
+            "fields (default text)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--slow-publish-seconds", default=None, type=_positive_float_argument,
+        metavar="SECONDS",
+        help=(
+            "log a WARNING whenever one publication tick takes longer than "
+            "this many seconds (default 5; 'inf' disables the warning)"
+        ),
+    )
 
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate one of the paper's figures and print it"
@@ -333,6 +358,16 @@ def _add_max_cells_argument(parser: argparse.ArgumentParser) -> None:
         help=(
             "cell budget for the factored prior-estimation backend's blocked "
             f"contraction (0 = flat reference sweep; default {DEFAULT_MAX_CELLS})"
+        ),
+    )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, type=_trace_out_argument, metavar="PATH",
+        help=(
+            "write the run's span trace (the nested per-stage timing tree) "
+            "to this JSON file"
         ),
     )
 
@@ -398,14 +433,16 @@ def _run_generate(args: argparse.Namespace) -> int:
 
 def _run_anonymize(args: argparse.Namespace) -> int:
     table = _load_table(args)
-    bundle = (
-        _session(table, args)
-        .pipeline()
-        .model(_build_model(args))
-        .with_k(args.k)
-        .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
-        .run()
-    )
+    tracer = Tracer(enabled=bool(args.trace_out))
+    with tracer.activate():
+        bundle = (
+            _session(table, args)
+            .pipeline()
+            .model(_build_model(args))
+            .with_k(args.k)
+            .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
+            .run()
+        )
     release = bundle.release
     _write_release_csv(release, args.output)
     print(
@@ -418,6 +455,8 @@ def _run_anonymize(args: argparse.Namespace) -> int:
         f"GCP={bundle.utility['global_certainty_penalty']:.0f}"
     )
     print(f"wrote generalized release to {args.output}")
+    if args.trace_out:
+        _write_trace(tracer, args.trace_out)
     return 0
 
 
@@ -529,6 +568,35 @@ def _max_cells_argument(text: str) -> int:
     return value
 
 
+def _trace_out_argument(text: str) -> str:
+    """argparse ``type`` wrapper: a hopeless trace path exits 2 up front.
+
+    Validating before the run means a typo'd directory fails in milliseconds
+    instead of after minutes of anonymization.
+    """
+    if not text:
+        raise argparse.ArgumentTypeError("bad trace path ''; expected a file path")
+    path = Path(text)
+    if path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"bad trace path {text!r}; the path is a directory"
+        )
+    parent = path.parent
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"bad trace path {text!r}; the directory {str(parent)!r} does not exist"
+        )
+    return text
+
+
+def _write_trace(tracer: Tracer, path: str) -> None:
+    """Dump the tracer's finished root span tree as indented JSON."""
+    root = tracer.take_root()
+    payload = root.to_dict() if root is not None else None
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote span trace to {path}")
+
+
 def _port_argument(text: str) -> int:
     """argparse ``type`` wrapper: malformed/out-of-range ports exit 2."""
     try:
@@ -630,6 +698,10 @@ def _queue_bound_argument(text: str) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeApp
 
+    configure_logging(level=args.log_level, log_format=args.log_format)
+    extra = {}
+    if args.slow_publish_seconds is not None:
+        extra["slow_publish_seconds"] = args.slow_publish_seconds
     app = ServeApp(
         args.data_dir,
         host=args.host,
@@ -639,6 +711,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         publish_timeout=args.publish_timeout,
         max_queue_batches=args.max_queue_batches,
         max_queued_rows=args.max_queued_rows,
+        **extra,
     )
     app.run()
     return 0
@@ -647,16 +720,18 @@ def _run_serve(args: argparse.Namespace) -> int:
 def _run_audit(args: argparse.Namespace) -> int:
     table = _load_table(args)
     skyline = args.skyline
-    bundle = (
-        _session(table, args)
-        .pipeline()
-        .model(_build_model(args))
-        .with_k(args.k)
-        .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
-        .audit_skyline(skyline, method=args.method, processes=args.processes)
-        .with_utility(False)
-        .run()
-    )
+    tracer = Tracer(enabled=bool(args.trace_out))
+    with tracer.activate():
+        bundle = (
+            _session(table, args)
+            .pipeline()
+            .model(_build_model(args))
+            .with_k(args.k)
+            .algorithm(args.algorithm, anatomy_l=args.anatomy_l)
+            .audit_skyline(skyline, method=args.method, processes=args.processes)
+            .with_utility(False)
+            .run()
+        )
     report = bundle.skyline_audit
     print(
         f"model={args.model} ({bundle.model_description}): "
@@ -668,6 +743,8 @@ def _run_audit(args: argparse.Namespace) -> int:
         payload["model"] = bundle.model_description
         Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote audit report to {args.json}")
+    if args.trace_out:
+        _write_trace(tracer, args.trace_out)
     if args.fail_on_breach and not report.satisfied:
         return 3
     return 0
@@ -703,12 +780,12 @@ def _print_stream_version(version) -> None:
         )
 
 
-def _resume_stream(args: argparse.Namespace):
+def _resume_stream(args: argparse.Namespace, tracer: Tracer):
     """Reconstruct the publisher from --store-dir and its append source."""
     from repro.stream import IncrementalPublisher
 
     publisher = IncrementalPublisher.resume(
-        args.store_dir, schema=adult_schema(), model=_build_model(args)
+        args.store_dir, schema=adult_schema(), model=_build_model(args), tracer=tracer
     )
     # A resumed publisher is governed by the store's recorded state, not by
     # these flags; call out only effective differences (passing the stream's
@@ -769,9 +846,23 @@ def _run_stream(args: argparse.Namespace) -> int:
         raise ReproError("--batches and --batch-size must be positive")
     if args.resume and not args.store_dir:
         raise ReproError("--resume requires --store-dir")
+    tracer = Tracer(enabled=bool(args.trace_out))
+    # One enclosing span makes every publication of the run - the seed
+    # release included - a child of a single root, so --trace-out captures
+    # the whole stream as one tree.
+    with tracer.activate(), tracer.timed(
+        "cli.stream", batches=args.batches, batch_size=args.batch_size
+    ):
+        status = _stream_publications(args, tracer)
+    if args.trace_out:
+        _write_trace(tracer, args.trace_out)
+    return status
+
+
+def _stream_publications(args: argparse.Namespace, tracer: Tracer) -> int:
     appended_total = args.batches * args.batch_size
     if args.resume:
-        publisher, source = _resume_stream(args)
+        publisher, source = _resume_stream(args, tracer)
         print(f"stream (resumed from {args.store_dir}): {publisher.describe()}")
         print(
             f"resumed at v{publisher.latest.version}: {publisher.latest.n_rows} rows, "
@@ -802,6 +893,7 @@ def _run_stream(args: argparse.Namespace) -> int:
             refine_factor=args.refine_factor,
             compact_drift=args.compact_drift,
             store_dir=args.store_dir,
+            tracer=tracer,
         )
         v0 = publisher.latest
         print(f"stream: {publisher.describe()}")

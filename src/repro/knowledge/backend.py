@@ -87,6 +87,7 @@ from repro.data.table import MicrodataTable
 from repro.exceptions import KnowledgeError
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.kernels import get_kernel
+from repro.obs.tracing import current_tracer
 
 DEFAULT_MAX_CELLS = 64_000_000
 DEFAULT_BATCH_SIZE = 256
@@ -300,6 +301,12 @@ class FactoredPriorBackend:
     # -- fitting ----------------------------------------------------------------------
     def fit(self, table: MicrodataTable) -> "FactoredPriorBackend":
         """Precompute every bandwidth-independent artefact for ``table``."""
+        with current_tracer().span("backend.fit", rows=table.n_rows) as fit_span:
+            self._fit(table)
+        fit_span.annotate(mode=self.mode, blocks=len(self._blocks))
+        return self
+
+    def _fit(self, table: MicrodataTable) -> None:
         qi_names = list(table.quasi_identifier_names)
         for name in qi_names:
             cached = self._distance_matrices.get(name)
@@ -348,7 +355,7 @@ class FactoredPriorBackend:
             self._flat_unique, self._flat_inverse = np.unique(
                 codes, axis=0, return_inverse=True
             )
-            return self
+            return
 
         self.mode = "factored"
         self._solo_index = solo
@@ -373,7 +380,6 @@ class FactoredPriorBackend:
         self._slot_totals = np.zeros(capacity, dtype=np.float64)
         self._slot_totals[:n_combos] = self._count_storage[:, :n_combos, :].sum(axis=(0, 2))
         self._rebuild_query_index()
-        return self
 
     def _build_blocks(
         self, rest_combos: np.ndarray, rest_names: list[str], capacity: int
@@ -451,6 +457,12 @@ class FactoredPriorBackend:
         place, or ``"refit"`` when a full :meth:`fit` was required (flat
         reference mode, or changed domains).
         """
+        with current_tracer().span("backend.append_rows", rows=table.n_rows) as span:
+            result = self._append_rows(table)
+        span.annotate(result=result)
+        return result
+
+    def _append_rows(self, table: MicrodataTable) -> str:
         fitted = self._require_fitted()
         n_previous = fitted.n_rows
         if table.n_rows < n_previous:
@@ -1010,29 +1022,41 @@ class FactoredPriorBackend:
         if cache is not None:
             numerators = cache["numerators"]
         else:
-            solo_name = qi_names[self._solo_index]
-            solo_weights = self._bandwidth_weights(bandwidth, solo_name)
-            block_joints = [self._block_joint(block, bandwidth) for block in self._blocks]
+            tracer = current_tracer()
+            with tracer.span(
+                "backend.contract", bandwidth=dict(bandwidth.items())
+            ) as contract_span:
+                solo_name = qi_names[self._solo_index]
+                solo_weights = self._bandwidth_weights(bandwidth, solo_name)
+                block_joints = []
+                for block in self._blocks:
+                    with tracer.span(
+                        "backend.block_joint",
+                        names=list(block.names),
+                        combos=block.n_combos,
+                    ):
+                        block_joints.append(self._block_joint(block, bandwidth))
 
-            n_combos = self._n_combos
-            solo_size = solo_weights.shape[0]
-            # Padding slots (growth headroom) only exist in incremental mode,
-            # where they must be zero; one-shot estimations get exact-size,
-            # uninitialised buffers.
-            allocate = np.zeros if self.incremental else np.empty
-            contracted_storage = allocate(self._count_storage.shape, dtype=np.float64)
-            contracted = contracted_storage[:, :n_combos, :]
-            contracted[:] = (
-                solo_weights @ self._count_tensor.reshape(solo_size, -1)
-            ).reshape(solo_size, n_combos, m)
+                n_combos = self._n_combos
+                solo_size = solo_weights.shape[0]
+                # Padding slots (growth headroom) only exist in incremental mode,
+                # where they must be zero; one-shot estimations get exact-size,
+                # uninitialised buffers.
+                allocate = np.zeros if self.incremental else np.empty
+                contracted_storage = allocate(self._count_storage.shape, dtype=np.float64)
+                contracted = contracted_storage[:, :n_combos, :]
+                contracted[:] = (
+                    solo_weights @ self._count_tensor.reshape(solo_size, -1)
+                ).reshape(solo_size, n_combos, m)
 
-            numerators = np.empty((self._pair_keys.size, m), dtype=np.float64)
-            self._contract_queries(
-                numerators,
-                np.arange(self._pair_keys.size, dtype=np.int64),
-                block_joints,
-                contracted,
-            )
+                numerators = np.empty((self._pair_keys.size, m), dtype=np.float64)
+                self._contract_queries(
+                    numerators,
+                    np.arange(self._pair_keys.size, dtype=np.int64),
+                    block_joints,
+                    contracted,
+                )
+                contract_span.annotate(queries=int(self._pair_keys.size))
             if self.incremental:
                 self._contractions[bandwidth.items()] = {
                     "bandwidth": bandwidth,

@@ -1,0 +1,109 @@
+"""Structured (JSON-lines) logging on top of stdlib :mod:`logging`.
+
+The serving daemon logs one JSON object per line so a collector can ingest
+request traces, slow-publish warnings and worker lifecycle events without
+regex scraping::
+
+    {"ts": "2026-08-08T12:00:00.123456+00:00", "level": "WARNING",
+     "logger": "repro.serve", "message": "slow publish", "stream": "census",
+     "trace_id": "f3b4...", "publish_seconds": 7.25}
+
+Anything passed via ``logger.info(..., extra={...})`` lands as a top-level
+JSON field - that is how per-request trace ids and stream/slot context
+travel on every record.  :func:`configure` wires a stderr handler in either
+``json`` or classic ``text`` format (the ``repro serve --log-level
+--log-format`` flags call it).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+from typing import Any
+
+#: LogRecord attributes that are plumbing, not payload; everything else a
+#: caller attaches through ``extra=`` becomes a top-level JSON field.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+LOG_FORMATS = ("text", "json")
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class JsonFormatter(logging.Formatter):
+    """Format every record as one sorted-keys JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = datetime.datetime.fromtimestamp(
+            record.created, tz=datetime.timezone.utc
+        )
+        payload: dict[str, Any] = {
+            "ts": stamp.isoformat(),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_") or key in payload:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class TextFormatter(logging.Formatter):
+    """Classic human-readable lines, with the extras appended as k=v pairs."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s: %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        extras = [
+            f"{key}={value}"
+            for key, value in sorted(record.__dict__.items())
+            if key not in _RESERVED and not key.startswith("_")
+        ]
+        return f"{line} [{' '.join(extras)}]" if extras else line
+
+
+def configure(
+    level: str = "info",
+    log_format: str = "text",
+    logger_name: str = "repro",
+    stream: Any = None,
+) -> logging.Logger:
+    """Wire the ``repro`` logger hierarchy to stderr in the chosen format.
+
+    Replaces any handler a previous call installed (the daemon may be
+    restarted in-process, e.g. by tests), never touches the root logger,
+    and returns the configured logger.
+    """
+    if log_format not in LOG_FORMATS:
+        raise ValueError(f"unknown log format {log_format!r}; expected one of {LOG_FORMATS}")
+    try:
+        numeric = getattr(logging, level.upper())
+    except AttributeError:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LOG_LEVELS}") from None
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(numeric)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter() if log_format == "json" else TextFormatter())
+    for stale in [h for h in logger.handlers if getattr(h, "_repro_obs", False)]:
+        logger.removeHandler(stale)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

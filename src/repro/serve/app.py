@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import time
 from http import HTTPStatus
 from pathlib import Path
@@ -25,15 +26,18 @@ from typing import Any
 
 from repro.data.schema import Schema
 from repro.exceptions import ServeError
+from repro.obs.tracing import new_trace_id
 from repro.serve.errors import ApiError, PayloadTooLarge
 from repro.serve.metrics import ServeMetrics
-from repro.serve.registry import StreamRegistry
+from repro.serve.registry import DEFAULT_SLOW_PUBLISH_SECONDS, StreamRegistry
 from repro.serve.router import Request, Response, Router, parse_query
 from repro.serve.service import ReproService
 
 #: Hard cap on request bodies (seed tables arrive as JSON rows).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 _MAX_HEADER_LINE = 64 * 1024
+
+_logger = logging.getLogger("repro.serve.app")
 
 
 class ServeApp:
@@ -51,6 +55,7 @@ class ServeApp:
         publish_timeout: float = 0.0,
         max_queue_batches: int | None = None,
         max_queued_rows: int | None = None,
+        slow_publish_seconds: float = DEFAULT_SLOW_PUBLISH_SECONDS,
     ):
         self.host = host
         self.port = int(port)
@@ -62,6 +67,7 @@ class ServeApp:
             publish_timeout=publish_timeout,
             max_queue_batches=max_queue_batches,
             max_queued_rows=max_queued_rows,
+            slow_publish_seconds=slow_publish_seconds,
         )
         self.metrics = ServeMetrics()
         self.service = ReproService(self.registry, self.metrics)
@@ -195,6 +201,7 @@ class ServeApp:
 
     async def _dispatch(self, request: Request) -> Response:
         start = time.perf_counter()
+        request.trace_id = new_trace_id()
         error = False
         try:
             handler, params = self.router.resolve(request.method, request.path)
@@ -215,8 +222,19 @@ class ServeApp:
                     "Internal Server Error", f"{type(exc).__name__}: {exc}"
                 ),
             )
-        self.metrics.observe_request(
-            request.method, time.perf_counter() - start, error=error
+        seconds = time.perf_counter() - start
+        response.headers.setdefault("X-Repro-Trace-Id", request.trace_id)
+        self.metrics.observe_request(request.method, seconds, error=error)
+        _logger.log(
+            logging.WARNING if error else logging.DEBUG,
+            "request handled",
+            extra={
+                "trace_id": request.trace_id,
+                "method": request.method,
+                "path": request.path,
+                "status": response.status,
+                "seconds": seconds,
+            },
         )
         return response
 
@@ -235,7 +253,7 @@ class ServeApp:
             reason = "Unknown"
         lines = [
             f"HTTP/1.1 {response.status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {response.content_type}",
         ]
         lines.extend(f"{name}: {value}" for name, value in response.headers.items())
         if body_length is None:

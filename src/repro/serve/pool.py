@@ -32,6 +32,7 @@ and a restarted daemon resumes every shard cleanly.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -42,9 +43,12 @@ from typing import Any, Mapping, Sequence
 
 from repro.data.schema import Schema
 from repro.exceptions import StreamError
+from repro.obs.tracing import Tracer
 
 #: Seconds between parent-liveness polls in the worker watchdog.
 _WATCHDOG_INTERVAL = 0.2
+
+_logger = logging.getLogger("repro.serve.pool")
 
 
 class PublicationError(StreamError):
@@ -103,6 +107,7 @@ def _worker_main(
     from repro.stream import IncrementalPublisher
 
     cache: dict[str, Any] = {}
+    tracer = Tracer()
     try:
         while True:
             try:
@@ -112,30 +117,47 @@ def _worker_main(
             if job is None:
                 break
             shard = job["shard"]
-            try:
-                publisher, version = IncrementalPublisher.publish_to_shard(
-                    shard,
-                    job["operations"],
-                    schema=schema,
-                    model=build_stream_model(job["config"]),
-                    cached=cache.get(shard),
-                )
-            except BaseException as error:  # noqa: BLE001 - reported to the parent
-                poisoned = bool(getattr(error, "shard_poisoned", True))
-                if poisoned:
-                    # publish_to_shard already closed the broken publisher
-                    # (releasing the lock); drop it from the cache too.
-                    cache.pop(shard, None)
-                connection.send(
-                    {
+            failure = None
+            with tracer.span(
+                "pool.worker",
+                stream=job.get("stream"),
+                shard=shard,
+                pid=os.getpid(),
+            ) as job_span:
+                try:
+                    publisher, version = IncrementalPublisher.publish_to_shard(
+                        shard,
+                        job["operations"],
+                        schema=schema,
+                        model=build_stream_model(job["config"]),
+                        cached=cache.get(shard),
+                        tracer=tracer,
+                    )
+                except BaseException as error:  # noqa: BLE001 - reported to the parent
+                    poisoned = bool(getattr(error, "shard_poisoned", True))
+                    if poisoned:
+                        # publish_to_shard already closed the broken publisher
+                        # (releasing the lock); drop it from the cache too.
+                        cache.pop(shard, None)
+                    failure = {
                         "ok": False,
                         "poisoned": poisoned,
                         "error": f"{type(error).__name__}: {error}",
                     }
-                )
+                else:
+                    cache[shard] = publisher
+                    job_span.annotate(version=version.version)
+            root = tracer.take_root()
+            if failure is not None:
+                connection.send(failure)
                 continue
-            cache[shard] = publisher
-            connection.send({"ok": True, "version": version.version})
+            connection.send(
+                {
+                    "ok": True,
+                    "version": version.version,
+                    "trace": root.to_dict() if root is not None else None,
+                }
+            )
     finally:
         for publisher in cache.values():
             publisher.close()
@@ -174,6 +196,10 @@ class _WorkerHandle:
             pass
         self.restarts += 1
         self._spawn()
+        _logger.warning(
+            "publication worker respawned",
+            extra={"slot": self.index, "restarts": self.restarts, "pid": self.process.pid},
+        )
 
 
 class PublicationPool:
@@ -230,8 +256,11 @@ class PublicationPool:
         shard: str | Path,
         config: Mapping[str, Any],
         operations: Sequence[tuple[str, Any]],
-    ) -> int:
-        """Run one coalesced tick on the stream's worker; return its version.
+    ) -> tuple[int, dict[str, Any] | None]:
+        """Run one coalesced tick on the stream's worker.
+
+        Returns ``(version number, trace)`` where ``trace`` is the worker's
+        serialized publish span tree (``None`` when the worker sent none).
 
         Raises :class:`PublicationError` on any failure; ``poisoned`` on the
         error says whether the stream must stop (crash/timeout/poisoned
@@ -246,6 +275,7 @@ class PublicationPool:
             )
         worker = self._worker_for(stream)
         job = {
+            "stream": stream,
             "shard": str(shard),
             "config": dict(config),
             "operations": list(operations),
@@ -256,6 +286,14 @@ class PublicationPool:
                 if self._timeout is not None and not worker.connection.poll(
                     self._timeout
                 ):
+                    _logger.error(
+                        "publication worker timed out; respawning",
+                        extra={
+                            "stream": stream,
+                            "slot": worker.index,
+                            "timeout_seconds": self._timeout,
+                        },
+                    )
                     worker.respawn()
                     raise PublicationError(
                         f"publication of stream {stream!r} timed out after "
@@ -268,6 +306,14 @@ class PublicationPool:
             except PublicationError:
                 raise
             except (EOFError, OSError, BrokenPipeError) as error:
+                _logger.error(
+                    "publication worker died mid-job; respawning",
+                    extra={
+                        "stream": stream,
+                        "slot": worker.index,
+                        "error": type(error).__name__,
+                    },
+                )
                 worker.respawn()
                 raise PublicationError(
                     f"the publication worker for stream {stream!r} died "
@@ -276,8 +322,17 @@ class PublicationPool:
                     poisoned=True,
                 ) from None
         if not result["ok"]:
+            _logger.error(
+                "publication job failed in worker",
+                extra={
+                    "stream": stream,
+                    "slot": worker.index,
+                    "poisoned": bool(result["poisoned"]),
+                    "error": result["error"],
+                },
+            )
             raise PublicationError(result["error"], poisoned=bool(result["poisoned"]))
-        return int(result["version"])
+        return int(result["version"]), result.get("trace")
 
     def close(self) -> None:
         """Shut every worker down (cached publishers close, locks release)."""

@@ -50,6 +50,7 @@ the state as 409 pointing at the restart-resume path.
 from __future__ import annotations
 
 import json
+import logging
 import queue
 import re
 import shutil
@@ -65,6 +66,7 @@ from repro.data.schema import Schema
 from repro.data.table import MicrodataTable
 from repro.exceptions import ReproError, StreamError
 from repro.knowledge.backend import DEFAULT_MAX_CELLS
+from repro.obs.tracing import Span, Tracer
 from repro.serve.errors import ApiError, BadRequest, Conflict, NotFound, TooManyRequests
 from repro.serve.metrics import StreamMetrics
 from repro.serve.pool import PublicationPool, build_stream_model
@@ -74,10 +76,18 @@ from repro.stream.store import ReleaseStore
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _STOP = object()
 
+_logger = logging.getLogger("repro.serve.registry")
+
 #: Bounded-queue defaults: generous enough that a well-paced client never
 #: sees 429, small enough that a flood cannot buffer without limit.
 DEFAULT_MAX_QUEUE_BATCHES = 64
 DEFAULT_MAX_QUEUED_ROWS = 100_000
+
+#: Publications slower than this (seconds) log a warning by default.
+DEFAULT_SLOW_PUBLISH_SECONDS = 5.0
+
+#: Completed tick traces kept in memory per stream (oldest evicted first).
+_MAX_TRACES = 64
 
 
 def _operation_rows(operation: tuple[str, Any]) -> int:
@@ -112,12 +122,13 @@ CONFIG_FILE = "stream.json"
 class _Submission:
     """One queued mutation, its row weight and the future its submitter awaits."""
 
-    __slots__ = ("operation", "rows", "future")
+    __slots__ = ("operation", "rows", "future", "trace_id")
 
-    def __init__(self, operation: tuple[str, Any]):
+    def __init__(self, operation: tuple[str, Any], trace_id: str | None = None):
         self.operation = operation
         self.rows = _operation_rows(operation)
         self.future: Future = Future()
+        self.trace_id = trace_id
 
 
 class StreamHost:
@@ -142,6 +153,7 @@ class StreamHost:
         max_queued_rows: int = DEFAULT_MAX_QUEUED_ROWS,
         pool: PublicationPool | None = None,
         store: ReleaseStore | None = None,
+        slow_publish_seconds: float = DEFAULT_SLOW_PUBLISH_SECONDS,
     ):
         if publisher is None and (pool is None or store is None):
             raise StreamError(
@@ -150,6 +162,12 @@ class StreamHost:
         self.name = name
         self.publisher = publisher
         self.config = config
+        # Thread mode shares the publisher's tracer, so the tick span and the
+        # publish spans land in one tree; process mode stitches the worker's
+        # shipped trace under the tick span instead.
+        self.tracer = publisher.tracer if publisher is not None else Tracer()
+        self._slow_publish_seconds = float(slow_publish_seconds)
+        self._traces: dict[int, dict[str, Any]] = {}
         # The real release store, captured once: during a coalesced publish
         # the publisher temporarily swaps ``publisher.store`` for its
         # intermediate-version buffer, and readers must never see that -
@@ -244,19 +262,30 @@ class StreamHost:
         summary.update(self.queue_stats())
         return summary
 
+    def trace_for(self, number: int) -> dict[str, Any] | None:
+        """The stitched publish trace of a recently published version.
+
+        Traces live in a bounded in-memory window (the lineage on disk stays
+        exactly as before); versions published before the daemon started, or
+        evicted from the window, return ``None``.
+        """
+        with self._lock:
+            return self._traces.get(int(number))
+
     # -- write side ---------------------------------------------------------------------
-    def submit(self, operation: tuple[str, Any]) -> Future:
+    def submit(self, operation: tuple[str, Any], trace_id: str | None = None) -> Future:
         """Enqueue one mutation; the future resolves to the published version.
 
         All operations drained in one worker tick coalesce into a single
         version, so concurrent submitters may receive the *same* version.
-        Raises :class:`~repro.exceptions.StreamError` immediately when the
-        stream is already poisoned, and
+        ``trace_id`` (the submitting request's id) is echoed on the tick's
+        publish span.  Raises :class:`~repro.exceptions.StreamError`
+        immediately when the stream is already poisoned, and
         :class:`~repro.serve.errors.TooManyRequests` when accepting the
         mutation would push the queue past its batch or row bound -
         backpressure instead of unbounded buffering.
         """
-        submission = _Submission(operation)
+        submission = _Submission(operation, trace_id)
         with self._lock:
             if self._poisoned is not None:
                 raise StreamError(self.poisoned_message())
@@ -341,32 +370,72 @@ class StreamHost:
             for submission in live:
                 submission.future.set_exception(error)
             return
-        start = time.perf_counter()
         operations = [submission.operation for submission in live]
-        try:
-            if self._pool is None:
-                version = self.publisher.publish_coalesced(operations)
-            else:
-                number = self._pool.publish(
-                    self.name, self._store.path, self.config, operations
+        trace_ids = [s.trace_id for s in live if s.trace_id]
+        version = None
+        with self.tracer.timed(
+            "serve.publish_tick",
+            stream=self.name,
+            operations=len(live),
+            trace_ids=trace_ids,
+        ) as tick_span:
+            try:
+                if self._pool is None:
+                    version = self.publisher.publish_coalesced(operations)
+                else:
+                    number, trace = self._pool.publish(
+                        self.name, self._store.path, self.config, operations
+                    )
+                    # Re-pin: load exactly what the worker persisted (the reload
+                    # is byte-identical by the store's round-trip guarantee).
+                    self._store.refresh()
+                    version = self._store[number]
+                    if trace is not None:
+                        tick_span.adopt(Span.from_dict(trace))
+            except BaseException as error:  # noqa: BLE001 - forwarded to every waiter
+                if self._pool is None:
+                    poisoned = self.publisher.poisoned
+                else:
+                    poisoned = getattr(error, "poisoned", True)
+                if poisoned:
+                    with self._lock:
+                        self._poisoned = f"{type(error).__name__}: {error}"
+                _logger.error(
+                    "publication tick failed",
+                    extra={
+                        "stream": self.name,
+                        "operations": len(live),
+                        "trace_ids": trace_ids,
+                        "poisoned": bool(poisoned),
+                        "error": f"{type(error).__name__}: {error}",
+                    },
                 )
-                # Re-pin: load exactly what the worker persisted (the reload
-                # is byte-identical by the store's round-trip guarantee).
-                self._store.refresh()
-                version = self._store[number]
-        except BaseException as error:  # noqa: BLE001 - forwarded to every waiter
-            if self._pool is None:
-                poisoned = self.publisher.poisoned
+                self.metrics.counters.increment("failed_batches", len(live))
+                for submission in live:
+                    submission.future.set_exception(error)
             else:
-                poisoned = getattr(error, "poisoned", True)
-            if poisoned:
-                with self._lock:
-                    self._poisoned = f"{type(error).__name__}: {error}"
-            self.metrics.counters.increment("failed_batches", len(live))
-            for submission in live:
-                submission.future.set_exception(error)
+                tick_span.annotate(version=version.version)
+        root = self.tracer.take_root()
+        if version is None:
             return
-        self.metrics.publish_seconds.observe(time.perf_counter() - start)
+        if root is not None:
+            with self._lock:
+                self._traces[version.version] = root.to_dict()
+                while len(self._traces) > _MAX_TRACES:
+                    del self._traces[next(iter(self._traces))]
+        seconds = tick_span.duration_s
+        if seconds >= self._slow_publish_seconds:
+            _logger.warning(
+                "slow publish",
+                extra={
+                    "stream": self.name,
+                    "publish_seconds": seconds,
+                    "operations": len(live),
+                    "version": version.version,
+                    "trace_ids": trace_ids,
+                },
+            )
+        self.metrics.publish_seconds.observe(seconds)
         self.metrics.counters.increment("publishes")
         self.metrics.counters.increment("coalesced_operations", len(live))
         for submission in live:
@@ -416,6 +485,7 @@ class StreamRegistry:
         publish_timeout: float = 0.0,
         max_queue_batches: int | None = None,
         max_queued_rows: int | None = None,
+        slow_publish_seconds: float = DEFAULT_SLOW_PUBLISH_SECONDS,
     ):
         if coalesce_ms < 0:
             raise BadRequest("coalesce_ms must be non-negative")
@@ -423,6 +493,9 @@ class StreamRegistry:
             raise BadRequest("publish_workers must be >= 0 (0 = in-process threads)")
         if publish_timeout < 0:
             raise BadRequest("publish_timeout must be >= 0 (0 disables it)")
+        if slow_publish_seconds <= 0:
+            raise BadRequest("slow_publish_seconds must be positive")
+        self._slow_publish_seconds = float(slow_publish_seconds)
         self._max_queue_batches = (
             DEFAULT_MAX_QUEUE_BATCHES if max_queue_batches is None
             else int(max_queue_batches)
@@ -646,6 +719,7 @@ class StreamRegistry:
             max_queued_rows=self._max_queued_rows,
             pool=self.pool,
             store=store,
+            slow_publish_seconds=self._slow_publish_seconds,
         )
         with self._lock:
             self._hosts[name] = host

@@ -28,6 +28,9 @@ class Request:
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
     params: dict[str, str] = field(default_factory=dict)
+    #: Per-request trace id, assigned by the app layer and echoed back in
+    #: the ``X-Repro-Trace-Id`` response header and every log record.
+    trace_id: str = ""
 
     def json(self) -> Any:
         """The request body decoded as JSON (400 on malformed bodies)."""
@@ -47,20 +50,27 @@ class Response:
     versions, whole lineages, audit reports): the app layer sends them with
     chunked transfer encoding, serializing incrementally via
     :meth:`body_chunks` instead of materializing one JSON string.
+
+    ``text`` (with ``payload`` left ``None``) carries a raw non-JSON body -
+    the Prometheus exposition endpoint - and ``content_type`` labels it.
     """
 
     status: int = 200
     payload: Any = None
     headers: dict[str, str] = field(default_factory=dict)
     stream: bool = False
+    text: str | None = None
+    content_type: str = "application/json"
 
     def body(self) -> bytes:
-        """The serialized JSON body.
+        """The serialized body (JSON payload, or the raw ``text``).
 
-        ``sort_keys`` keeps the serialization deterministic, which is what
-        makes "concurrent readers see byte-identical historical versions"
-        testable at the HTTP layer.
+        ``sort_keys`` keeps the JSON serialization deterministic, which is
+        what makes "concurrent readers see byte-identical historical
+        versions" testable at the HTTP layer.
         """
+        if self.text is not None:
+            return self.text.encode()
         return (json.dumps(self.payload, sort_keys=True) + "\n").encode()
 
     def body_chunks(self, chunk_bytes: int = 64 * 1024):
@@ -73,6 +83,9 @@ class Response:
         sent.  ``iterencode`` emits ASCII (the default ``ensure_ascii``), so
         character counts are byte counts.
         """
+        if self.text is not None:
+            yield self.text.encode()
+            return
         encoder = json.JSONEncoder(sort_keys=True)
         pending: list[str] = []
         size = 0

@@ -14,6 +14,8 @@ Routes::
 
     GET  /healthz                                liveness + stream count
     GET  /metrics                                daemon + per-stream metrics
+    GET  /metrics?format=prometheus              the same, text exposition 0.0.4
+    GET  /metrics.prom                           alias for the above
     GET  /streams                                list stream summaries
     POST /streams                                create {name, rows, config?}
     GET  /streams/{name}                         one stream summary
@@ -33,6 +35,7 @@ from typing import Any, Mapping
 
 from repro.data.table import MicrodataTable
 from repro.exceptions import ReproError
+from repro.obs import prometheus
 from repro.serve.errors import ApiError, BadRequest, Conflict, NotFound
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import StreamHost, StreamRegistry
@@ -50,6 +53,7 @@ class ReproService:
         """Attach every route to ``router``."""
         router.add("GET", "/healthz", self.healthz)
         router.add("GET", "/metrics", self.metrics_view)
+        router.add("GET", "/metrics.prom", self.metrics_prometheus)
         router.add("GET", "/streams", self.list_streams)
         router.add("POST", "/streams", self.create_stream)
         router.add("GET", "/streams/{name}", self.get_stream)
@@ -115,10 +119,12 @@ class ReproService:
             )
         return host.store[number]
 
-    async def _mutate(self, host: StreamHost, operation: tuple[str, Any]) -> Response:
+    async def _mutate(
+        self, request: Request, host: StreamHost, operation: tuple[str, Any]
+    ) -> Response:
         """Submit one mutation and await its (possibly shared) version."""
         try:
-            future = host.submit(operation)
+            future = host.submit(operation, trace_id=request.trace_id or None)
         except ApiError:
             # TooManyRequests from the bounded queue must reach the client
             # as 429 (+ Retry-After), not be blurred into a 409.
@@ -141,7 +147,7 @@ class ReproService:
     async def healthz(self, request: Request) -> Response:
         return Response(200, {"status": "ok", "streams": self.registry.names()})
 
-    async def metrics_view(self, request: Request) -> Response:
+    def _metrics_payload(self) -> dict[str, Any]:
         streams = {}
         for host in self.registry.hosts():
             summary = host.describe()
@@ -151,7 +157,24 @@ class ReproService:
         server = self.metrics.as_dict()
         if self.registry.pool is not None:
             server["publication_pool"] = self.registry.pool.describe()
-        return Response(200, {"server": server, "streams": streams})
+        return {"server": server, "streams": streams}
+
+    async def metrics_view(self, request: Request) -> Response:
+        fmt = request.query.get("format", "json")
+        if fmt == "prometheus":
+            return await self.metrics_prometheus(request)
+        if fmt != "json":
+            raise BadRequest(
+                f"unknown metrics format {fmt!r}; expected 'json' or 'prometheus'"
+            )
+        return Response(200, self._metrics_payload())
+
+    async def metrics_prometheus(self, request: Request) -> Response:
+        return Response(
+            200,
+            text=prometheus.render(self._metrics_payload()),
+            content_type=prometheus.CONTENT_TYPE,
+        )
 
     # -- stream lifecycle ----------------------------------------------------------------
     async def list_streams(self, request: Request) -> Response:
@@ -190,14 +213,43 @@ class ReproService:
             stream=True,
         )
 
+    @staticmethod
+    def _stage_breakdown(trace: dict[str, Any]) -> dict[str, Any] | None:
+        """Per-stage durations of the ``publish.*`` span inside a tick trace."""
+
+        def find_publish(node: dict[str, Any]) -> dict[str, Any] | None:
+            if node.get("name", "").startswith("publish."):
+                return node
+            for child in node.get("children", ()):
+                found = find_publish(child)
+                if found is not None:
+                    return found
+            return None
+
+        publish = find_publish(trace)
+        if publish is None:
+            return None
+        stages: dict[str, float] = {}
+        for child in publish.get("children", ()):
+            name = child.get("name", "")
+            stages[name] = stages.get(name, 0.0) + float(child.get("duration_s", 0.0))
+        return {
+            "publish": publish["name"],
+            "duration_s": float(publish.get("duration_s", 0.0)),
+            "stages": stages,
+        }
+
     async def version_detail(self, request: Request) -> Response:
         host = self._host(request)
         version = self._version(host, request.params["version"])
-        return Response(
-            200,
-            {"stream": host.name, "version": version.as_dict()},
-            stream=True,
-        )
+        payload: dict[str, Any] = {"stream": host.name, "version": version.as_dict()}
+        trace = host.trace_for(version.version)
+        if trace is not None:
+            payload["trace"] = trace
+            breakdown = self._stage_breakdown(trace)
+            if breakdown is not None:
+                payload["stages"] = breakdown
+        return Response(200, payload, stream=True)
 
     async def version_audit(self, request: Request) -> Response:
         host = self._host(request)
@@ -225,12 +277,12 @@ class ReproService:
     async def append(self, request: Request) -> Response:
         host = self._host(request)
         batch = self._rows_table(self._object_body(request))
-        return await self._mutate(host, ("append", batch))
+        return await self._mutate(request, host, ("append", batch))
 
     async def delete(self, request: Request) -> Response:
         host = self._host(request)
         positions = self._positions(self._object_body(request))
-        return await self._mutate(host, ("delete", positions))
+        return await self._mutate(request, host, ("delete", positions))
 
     async def update(self, request: Request) -> Response:
         host = self._host(request)
@@ -239,4 +291,4 @@ class ReproService:
         batch = self._rows_table(payload)
         if len(batch) != len(positions):
             raise BadRequest("'rows' must align one-to-one with 'positions'")
-        return await self._mutate(host, ("update", (positions, batch)))
+        return await self._mutate(request, host, ("update", (positions, batch)))

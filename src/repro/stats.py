@@ -123,6 +123,15 @@ class Histogram:
         """Sum of every observed sample."""
         return self._total
 
+    @staticmethod
+    def _rank(window: list[float], q: float) -> float | None:
+        """Nearest-rank percentile of an already-sorted, non-empty window."""
+        if not window:
+            return None
+        # Nearest-rank: ceil(q/100 * n), clamped to [1, n].
+        rank = min(len(window), max(1, -(-(q * len(window)) // 100)))
+        return window[int(rank) - 1]
+
     def percentile(self, q: float) -> float | None:
         """The ``q``-th percentile (0-100) of the recent-sample window.
 
@@ -132,25 +141,27 @@ class Histogram:
             raise ValueError("the percentile must lie in [0, 100]")
         with self._lock:
             window = sorted(self._samples)
-        if not window:
-            return None
-        # Nearest-rank: ceil(q/100 * n), clamped to [1, n].
-        rank = min(len(window), max(1, -(-(q * len(window)) // 100)))
-        return window[int(rank) - 1]
+        return self._rank(window, q)
 
     def summary(self) -> dict[str, Any]:
-        """JSON-able digest: count, mean, min, max and p50/p95/p99."""
+        """JSON-able digest: count, mean, min, max and p50/p95/p99.
+
+        Everything is computed from *one* locked snapshot (and one sort of
+        the sample window), so count/min/max and the percentiles always
+        describe the same moment even while writers keep observing.
+        """
         with self._lock:
             count = self._count
             total = self._total
             low = self._min
             high = self._max
+            window = sorted(self._samples)
         return {
             "count": count,
             "mean": (total / count) if count else None,
             "min": low,
             "max": high,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
+            "p50": self._rank(window, 50.0),
+            "p95": self._rank(window, 95.0),
+            "p99": self._rank(window, 99.0),
         }

@@ -61,6 +61,7 @@ version serving).
 
 from __future__ import annotations
 
+import contextlib
 import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
@@ -75,6 +76,7 @@ from repro.exceptions import AnonymizationError, DataError, StreamError
 from repro.knowledge.backend import DEFAULT_MAX_CELLS
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import BatchedKernelPriorEstimator, PriorBeliefs
+from repro.obs.tracing import Tracer
 from repro.privacy.measures import DistanceMeasure, sensitive_distance_measure
 from repro.privacy.models import BTPrivacy, CompositeModel, KAnonymity, PrivacyModel
 from repro.stream.store import ReleaseStore, StreamDelta, StreamVersion
@@ -171,6 +173,16 @@ class IncrementalPublisher:
         published version is persisted (JSON-lines lineage + one ``.npz``
         per release), and :meth:`resume` can reconstruct the publisher from
         the directory to continue the stream or serve historical versions.
+    tracer:
+        An :class:`~repro.obs.tracing.Tracer`.  Every publication runs under
+        a root span (``publish.append``, ``publish.full``, ...) with one
+        child span per stage, and the recorded ``StreamDelta.timings`` are
+        *derived from those spans* - the span tree is the source of truth,
+        the flat dict its byte-compatible projection.  Defaults to an
+        always-on tracer (span overhead is gated at <= 5% of publish time in
+        ``BENCH_stream.json``); pass ``Tracer(enabled=False)`` to disable
+        tree retention - stage timings are then taken from detached timers,
+        so published versions and lineage keep the exact same shape.
 
     Appended batches with values outside the seed domains force a full
     rebuild (codes, distance matrices and priors all shift); batches inside
@@ -194,6 +206,7 @@ class IncrementalPublisher:
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
         store_path: str | Path | None = None,
+        tracer: Tracer | None = None,
     ):
         if method not in {"omega", "exact"}:
             raise StreamError("method must be 'omega' or 'exact'")
@@ -235,6 +248,7 @@ class IncrementalPublisher:
             incremental=True,
         )
         self.split_strategy = split_strategy
+        self.tracer = tracer if tracer is not None else Tracer()
         self.store = (
             ReleaseStore(path=store_path, schema=table.schema)
             if store_path is not None
@@ -251,6 +265,19 @@ class IncrementalPublisher:
         self._inconsistent = False
 
     # -- small helpers ----------------------------------------------------------------
+    @contextlib.contextmanager
+    def _publish_span(self, kind: str, **attributes: Any):
+        """The root span of one publication, with the tracer made ambient.
+
+        Activation lets instrumentation too deep to thread a tracer through
+        (the prior backend's contractions, the audit engine's per-adversary
+        loop) nest under this publication via
+        :func:`repro.obs.tracing.current_tracer`.
+        """
+        with self.tracer.activate():
+            with self.tracer.timed(f"publish.{kind}", **attributes) as span:
+                yield span
+
     def _bandwidth(self, b: float | Bandwidth) -> Bandwidth:
         if isinstance(b, Bandwidth):
             return b
@@ -321,6 +348,7 @@ class IncrementalPublisher:
         model: PrivacyModel,
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
+        tracer: Tracer | None = None,
     ) -> "IncrementalPublisher":
         """Reconstruct a publisher from a disk-backed store and continue the stream.
 
@@ -361,6 +389,7 @@ class IncrementalPublisher:
                 compact_drift=float(state["compact_drift"]),
                 measure=measure,
                 distance_matrices=distance_matrices,
+                tracer=tracer,
             )
             recorded_model = state["model"]
             tree_payload = state["tree"]
@@ -427,6 +456,7 @@ class IncrementalPublisher:
         cached: "IncrementalPublisher | None" = None,
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
+        tracer: Tracer | None = None,
     ) -> tuple["IncrementalPublisher", StreamVersion]:
         """Process-safe publish entrypoint: adopt a shard and publish one tick.
 
@@ -465,6 +495,7 @@ class IncrementalPublisher:
                     model=model,
                     measure=measure,
                     distance_matrices=distance_matrices,
+                    tracer=tracer,
                 )
             except BaseException as error:
                 error.shard_poisoned = True
@@ -499,71 +530,75 @@ class IncrementalPublisher:
         updated: int = 0,
         table_seconds: float | None = None,
     ) -> StreamVersion:
-        start = time.perf_counter()
-        self._table = table
-        self._drift_rows = 0  # a fresh partition leaves no deferred maintenance
-        if rebuild:
-            # Domains changed: every code-indexed artefact is stale.
-            self._estimator = BatchedKernelPriorEstimator(
-                kernel=self.kernel, max_cells=self.max_cells, incremental=True
-            )
-            self._measure = None
-            for component in self._bt_components:
-                component.measure = None
-        if self._measure is None and self._points:
-            self._measure = sensitive_distance_measure(table)
-        prior_start = time.perf_counter()
-        self._estimator.fit(table)
-        prior_map = self._priors_by_bandwidth()
-        codes = table.sensitive_codes()
-        domain_size = table.sensitive_domain().size
-        for component in self._bt_components:
-            component.set_priors(
-                prior_map[self._bandwidth(component.b).items()], codes, domain_size
-            )
-        self._requirement.prepare(table)
-        prior_seconds = time.perf_counter() - prior_start
+        with self._publish_span("full", rebuild=rebuild) as publish_span:
+            self._table = table
+            self._drift_rows = 0  # a fresh partition leaves no deferred maintenance
+            if rebuild:
+                # Domains changed: every code-indexed artefact is stale.
+                self._estimator = BatchedKernelPriorEstimator(
+                    kernel=self.kernel, max_cells=self.max_cells, incremental=True
+                )
+                self._measure = None
+                for component in self._bt_components:
+                    component.measure = None
+            if self._measure is None and self._points:
+                self._measure = sensitive_distance_measure(table)
+            with self.tracer.timed("prior", rows=table.n_rows) as prior_span:
+                self._estimator.fit(table)
+                prior_map = self._priors_by_bandwidth()
+                codes = table.sensitive_codes()
+                domain_size = table.sensitive_domain().size
+                for component in self._bt_components:
+                    component.set_priors(
+                        prior_map[self._bandwidth(component.b).items()],
+                        codes,
+                        domain_size,
+                    )
+                self._requirement.prepare(table)
 
-        partition_start = time.perf_counter()
-        root = self._mondrian.partition_tree(table, prepare=False)
-        self._tree = PartitionTree(root)
-        groups = [leaf.indices for leaf in self._tree.leaves()]
-        release = AnonymizedRelease(
-            table, groups, method=f"stream[{self._requirement.describe()}]"
-        )
-        partition_seconds = time.perf_counter() - partition_start
+            with self.tracer.timed("partition") as partition_span:
+                tree_root = self._mondrian.partition_tree(table, prepare=False)
+                self._tree = PartitionTree(tree_root)
+                groups = [leaf.indices for leaf in self._tree.leaves()]
+                release = AnonymizedRelease(
+                    table, groups, method=f"stream[{self._requirement.describe()}]"
+                )
+            partition_span.annotate(groups=len(groups))
 
-        audit_start = time.perf_counter()
-        report = None
-        if self._points:
-            engine = self._engine(table, prior_map)
-            report = engine.audit(groups)
-            self._audit_matrices = [
-                prior_map[bandwidth.items()].matrix for bandwidth, _ in self._points
-            ]
-        timings = {
-            "prior_seconds": prior_seconds,
-            "partition_seconds": partition_seconds,
-            "audit_seconds": time.perf_counter() - audit_start,
-        }
-        if table_seconds is not None:
-            # Recorded before persisting, so the disk lineage and the
-            # in-memory version agree byte for byte.
-            timings["table_seconds"] = table_seconds
-        timings["total_seconds"] = time.perf_counter() - start
-        delta = StreamDelta(
-            appended_rows=appended,
-            deleted_rows=deleted,
-            updated_rows=updated,
-            reused_groups=0,
-            rechecked_leaves=len(groups),
-            refined_leaves=0,
-            rebuilt_regions=1,
-            rebuild=rebuild,
-            audit_recomputed_groups=[len(groups)] * len(self._points),
-            timings=timings,
-        )
-        return self._add_version(release, report, delta)
+            with self.tracer.timed("audit", adversaries=len(self._points)) as audit_span:
+                report = None
+                if self._points:
+                    engine = self._engine(table, prior_map)
+                    report = engine.audit(groups)
+                    self._audit_matrices = [
+                        prior_map[bandwidth.items()].matrix
+                        for bandwidth, _ in self._points
+                    ]
+            timings = {
+                "prior_seconds": prior_span.duration_s,
+                "partition_seconds": partition_span.duration_s,
+                "audit_seconds": audit_span.duration_s,
+            }
+            if table_seconds is not None:
+                # Recorded before persisting, so the disk lineage and the
+                # in-memory version agree byte for byte.
+                timings["table_seconds"] = table_seconds
+            timings["total_seconds"] = time.perf_counter() - publish_span.start_s
+            delta = StreamDelta(
+                appended_rows=appended,
+                deleted_rows=deleted,
+                updated_rows=updated,
+                reused_groups=0,
+                rechecked_leaves=len(groups),
+                refined_leaves=0,
+                rebuilt_regions=1,
+                rebuild=rebuild,
+                audit_recomputed_groups=[len(groups)] * len(self._points),
+                timings=timings,
+            )
+            version = self._add_version(release, report, delta)
+            publish_span.annotate(version=version.version, rows=table.n_rows)
+            return version
 
     def _add_version(
         self, release: AnonymizedRelease, report: SkylineAuditReport | None, delta: StreamDelta
@@ -728,39 +763,40 @@ class IncrementalPublisher:
         adversary changed (a bitwise comparison, so no false "clean"
         verdicts).
         """
-        start = time.perf_counter()
-        report: SkylineAuditReport | None = None
-        audit_recomputed: list[int] = []
-        if self._points:
-            priors_list = [
-                prior_map[bandwidth.items()] for bandwidth, _ in self._points
-            ]
-            surviving = previous_of >= 0
-            survivors_previous = previous_of[surviving]
-            previous_codes = previous.release.table.sensitive_codes()
-            codes = table.sensitive_codes()
-            code_changed = np.ones(table.n_rows, dtype=bool)
-            code_changed[surviving] = (
-                codes[surviving] != previous_codes[survivors_previous]
-            )
-            masks = []
-            for previous_matrix, priors in zip(self._audit_matrices, priors_list):
-                mask = np.ones(table.n_rows, dtype=bool)
-                mask[surviving] = (
-                    priors.matrix[surviving] != previous_matrix[survivors_previous]
-                ).any(axis=1)
-                masks.append(mask | code_changed)
-            engine = self._engine(table, prior_map)
-            report = engine.audit_incremental(
-                groups,
-                previous_groups=previous.release.groups,
-                previous_report=previous.report,
-                dirty_rows=masks,
-                previous_of=previous_of,
-            )
-            audit_recomputed = list(report.delta["recomputed_groups"])
-            self._audit_matrices = [priors.matrix for priors in priors_list]
-        return report, audit_recomputed, time.perf_counter() - start
+        with self.tracer.timed("audit", adversaries=len(self._points)) as span:
+            report: SkylineAuditReport | None = None
+            audit_recomputed: list[int] = []
+            if self._points:
+                priors_list = [
+                    prior_map[bandwidth.items()] for bandwidth, _ in self._points
+                ]
+                surviving = previous_of >= 0
+                survivors_previous = previous_of[surviving]
+                previous_codes = previous.release.table.sensitive_codes()
+                codes = table.sensitive_codes()
+                code_changed = np.ones(table.n_rows, dtype=bool)
+                code_changed[surviving] = (
+                    codes[surviving] != previous_codes[survivors_previous]
+                )
+                masks = []
+                for previous_matrix, priors in zip(self._audit_matrices, priors_list):
+                    mask = np.ones(table.n_rows, dtype=bool)
+                    mask[surviving] = (
+                        priors.matrix[surviving] != previous_matrix[survivors_previous]
+                    ).any(axis=1)
+                    masks.append(mask | code_changed)
+                engine = self._engine(table, prior_map)
+                report = engine.audit_incremental(
+                    groups,
+                    previous_groups=previous.release.groups,
+                    previous_report=previous.report,
+                    dirty_rows=masks,
+                    previous_of=previous_of,
+                )
+                audit_recomputed = list(report.delta["recomputed_groups"])
+                self._audit_matrices = [priors.matrix for priors in priors_list]
+                span.annotate(recomputed_groups=audit_recomputed)
+        return report, audit_recomputed, span.duration_s
 
     def _maintain_partition(
         self,
@@ -780,56 +816,63 @@ class IncrementalPublisher:
         (appends count rejoined routed rows, deletions/corrections count
         their batch size up front).
         """
-        recheck_start = time.perf_counter()
-        checkable = [leaf for leaf in dirty_leaves if members[id(leaf)].size]
-        verdicts = dict(
-            zip(
-                (id(leaf) for leaf in checkable),
-                self._requirement.is_satisfied_batch(
-                    [members[id(leaf)] for leaf in checkable]
-                ),
+        with self.tracer.timed("recheck", leaves=len(dirty_leaves)) as recheck_span:
+            checkable = [leaf for leaf in dirty_leaves if members[id(leaf)].size]
+            verdicts = dict(
+                zip(
+                    (id(leaf) for leaf in checkable),
+                    self._requirement.is_satisfied_batch(
+                        [members[id(leaf)] for leaf in checkable]
+                    ),
+                )
             )
-        )
-        recheck_seconds = time.perf_counter() - recheck_start
 
-        repartition_start = time.perf_counter()
-        failing = [leaf for leaf in dirty_leaves if not verdicts.get(id(leaf), False)]
-        rebuild_nodes = self._merge_up(failing, routed)
-        under_rebuild = {id(leaf) for node in rebuild_nodes for leaf in node.leaves()}
-        refine = []
-        rejoined = []
-        for leaf in dirty_leaves:
-            if (
-                not verdicts.get(id(leaf), False)
-                or id(leaf) not in routed
-                or id(leaf) in under_rebuild
-            ):
-                continue
-            if members[id(leaf)].size >= self.refine_factor * leaf.searched_size:
-                refine.append(leaf)
-            else:
-                # Satisfied and still close to its searched size: the routed
-                # rows simply join the group (deferred refinement).
-                rejoined.append(leaf)
-        for leaf in rejoined:
-            leaf.indices = members[id(leaf)]
-        regions = [
-            PartitionTree.current_members(node, routed) for node in rebuild_nodes
-        ] + [members[id(leaf)] for leaf in refine]
-        depths = [node.depth for node in rebuild_nodes] + [leaf.depth for leaf in refine]
-        if regions:
-            subtrees = self._mondrian.partition_forest(table, regions, depths=depths)
-            for node, subtree in zip(list(rebuild_nodes) + list(refine), subtrees):
-                self._tree.replace(node, subtree, reindex=False)
-            self._tree.reindex()
-        repartition_seconds = time.perf_counter() - repartition_start
+        with self.tracer.timed("repartition") as repartition_span:
+            failing = [
+                leaf for leaf in dirty_leaves if not verdicts.get(id(leaf), False)
+            ]
+            rebuild_nodes = self._merge_up(failing, routed)
+            under_rebuild = {
+                id(leaf) for node in rebuild_nodes for leaf in node.leaves()
+            }
+            refine = []
+            rejoined = []
+            for leaf in dirty_leaves:
+                if (
+                    not verdicts.get(id(leaf), False)
+                    or id(leaf) not in routed
+                    or id(leaf) in under_rebuild
+                ):
+                    continue
+                if members[id(leaf)].size >= self.refine_factor * leaf.searched_size:
+                    refine.append(leaf)
+                else:
+                    # Satisfied and still close to its searched size: the routed
+                    # rows simply join the group (deferred refinement).
+                    rejoined.append(leaf)
+            for leaf in rejoined:
+                leaf.indices = members[id(leaf)]
+            regions = [
+                PartitionTree.current_members(node, routed) for node in rebuild_nodes
+            ] + [members[id(leaf)] for leaf in refine]
+            depths = [node.depth for node in rebuild_nodes] + [
+                leaf.depth for leaf in refine
+            ]
+            if regions:
+                subtrees = self._mondrian.partition_forest(table, regions, depths=depths)
+                for node, subtree in zip(list(rebuild_nodes) + list(refine), subtrees):
+                    self._tree.replace(node, subtree, reindex=False)
+                self._tree.reindex()
+            repartition_span.annotate(
+                rebuilt_regions=len(rebuild_nodes), refined_leaves=len(refine)
+            )
         return (
             rebuild_nodes,
             refine,
             rejoined,
             under_rebuild,
-            recheck_seconds,
-            repartition_seconds,
+            recheck_span.duration_s,
+            repartition_span.duration_s,
         )
 
     def _publish_compacted(
@@ -853,15 +896,15 @@ class IncrementalPublisher:
         :class:`~repro.exceptions.AnonymizationError` when even the whole
         table fails the requirement, as a from-scratch run would.
         """
-        partition_start = time.perf_counter()
-        root = self._mondrian.partition_tree(table, prepare=False)
-        self._tree = PartitionTree(root)
-        self._drift_rows = 0
-        groups = [leaf.indices for leaf in self._tree.leaves()]
-        release = AnonymizedRelease(
-            table, groups, method=f"stream[{self._requirement.describe()}]"
-        )
-        partition_seconds = time.perf_counter() - partition_start
+        with self.tracer.timed("partition", compacted=True) as partition_span:
+            tree_root = self._mondrian.partition_tree(table, prepare=False)
+            self._tree = PartitionTree(tree_root)
+            self._drift_rows = 0
+            groups = [leaf.indices for leaf in self._tree.leaves()]
+            release = AnonymizedRelease(
+                table, groups, method=f"stream[{self._requirement.describe()}]"
+            )
+        partition_span.annotate(groups=len(groups))
         report, audit_recomputed, audit_seconds = self._audit_step(
             table, prior_map, groups, previous, previous_of
         )
@@ -877,7 +920,7 @@ class IncrementalPublisher:
             audit_recomputed_groups=audit_recomputed,
             timings={
                 **timings,
-                "partition_seconds": partition_seconds,
+                "partition_seconds": partition_span.duration_s,
                 "audit_seconds": audit_seconds,
                 "total_seconds": time.perf_counter() - start,
             },
@@ -894,108 +937,111 @@ class IncrementalPublisher:
         """
         if not len(self.store):
             raise StreamError("publish() the seed release before appending batches")
-        start = time.perf_counter()
-        previous = self.store.latest()
-        n_previous = self._table.n_rows
-        table, appended, rebuild = self._concatenate(batch)
-        self._begin_mutation()
-        table_seconds = time.perf_counter() - start
-        if rebuild:
-            return self._publish_full(
-                table, appended=appended, rebuild=True, table_seconds=table_seconds
+        with self._publish_span("append") as publish_span:
+            with self.tracer.timed("table") as table_span:
+                previous = self.store.latest()
+                n_previous = self._table.n_rows
+                table, appended, rebuild = self._concatenate(batch)
+                self._begin_mutation()
+            table_seconds = table_span.duration_s
+            publish_span.annotate(appended_rows=appended)
+            if rebuild:
+                return self._publish_full(
+                    table, appended=appended, rebuild=True, table_seconds=table_seconds
+                )
+
+            # 1. Fold the batch into the factored prior state; find dirty rows.
+            with self.tracer.timed("prior", rows=table.n_rows) as prior_span:
+                self._estimator.append_rows(table)
+                prior_map = self._priors_by_bandwidth()
+                appended_indices = np.arange(n_previous, table.n_rows, dtype=np.int64)
+                dirty_model = np.ones(table.n_rows, dtype=bool)
+                dirty_model[:n_previous] = False
+                for component in self._requirement.components():
+                    dirty_model |= self._component_dirty(
+                        component, table, n_previous, prior_map
+                    )
+                self._table = table
+            prior_seconds = prior_span.duration_s
+
+            if self._compaction_due():
+                previous_of = np.full(table.n_rows, -1, dtype=np.int64)
+                previous_of[:n_previous] = np.arange(n_previous, dtype=np.int64)
+                return self._publish_compacted(
+                    table, prior_map, previous, previous_of,
+                    appended=appended, start=publish_span.start_s,
+                    timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+                )
+
+            # 2. Route appended rows to their leaves; re-check only dirty leaves.
+            with self.tracer.timed("route") as route_span:
+                leaves = self._tree.leaves()
+                routed = self._tree.route(table, appended_indices)
+                members: dict[int, np.ndarray] = {}
+                dirty_leaves = []
+                for leaf in leaves:
+                    addition = routed.get(id(leaf))
+                    if addition is not None:
+                        members[id(leaf)] = np.sort(
+                            np.concatenate([leaf.indices, addition])
+                        )
+                        dirty_leaves.append(leaf)
+                    else:
+                        members[id(leaf)] = leaf.indices
+                        if dirty_model[leaf.indices].any():
+                            dirty_leaves.append(leaf)
+
+            # 3. Merge-up around violated leaves, re-split grown leaves, locally;
+            #    rows joining grown groups in place count as compaction drift.
+            (
+                rebuild_nodes,
+                refine,
+                rejoined,
+                under_rebuild,
+                recheck_seconds,
+                repartition_seconds,
+            ) = self._maintain_partition(table, dirty_leaves, members, routed)
+            self._drift_rows += sum(int(routed[id(leaf)].size) for leaf in rejoined)
+
+            touched = (
+                under_rebuild
+                | {id(leaf) for leaf in refine}
+                | {id(leaf) for leaf in rejoined}
+            )
+            reused = sum(1 for leaf in leaves if id(leaf) not in touched)
+            groups = [leaf.indices for leaf in self._tree.leaves()]
+            release = AnonymizedRelease(
+                table, groups, method=f"stream[{self._requirement.describe()}]"
             )
 
-        # 1. Fold the batch into the factored prior state; find dirty rows.
-        prior_start = time.perf_counter()
-        self._estimator.append_rows(table)
-        prior_map = self._priors_by_bandwidth()
-        appended_indices = np.arange(n_previous, table.n_rows, dtype=np.int64)
-        dirty_model = np.ones(table.n_rows, dtype=bool)
-        dirty_model[:n_previous] = False
-        for component in self._requirement.components():
-            dirty_model |= self._component_dirty(
-                component, table, n_previous, prior_map
-            )
-        self._table = table
-        prior_seconds = time.perf_counter() - prior_start
-
-        if self._compaction_due():
+            # 4. Dirty-group re-audit: clean byte-identical groups keep their risks.
             previous_of = np.full(table.n_rows, -1, dtype=np.int64)
             previous_of[:n_previous] = np.arange(n_previous, dtype=np.int64)
-            return self._publish_compacted(
-                table, prior_map, previous, previous_of,
-                appended=appended, start=start,
-                timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+            report, audit_recomputed, audit_seconds = self._audit_step(
+                table, prior_map, groups, previous, previous_of
             )
 
-        # 2. Route appended rows to their leaves; re-check only dirty leaves.
-        route_start = time.perf_counter()
-        leaves = self._tree.leaves()
-        routed = self._tree.route(table, appended_indices)
-        members: dict[int, np.ndarray] = {}
-        dirty_leaves = []
-        for leaf in leaves:
-            addition = routed.get(id(leaf))
-            if addition is not None:
-                members[id(leaf)] = np.sort(
-                    np.concatenate([leaf.indices, addition])
-                )
-                dirty_leaves.append(leaf)
-            else:
-                members[id(leaf)] = leaf.indices
-                if dirty_model[leaf.indices].any():
-                    dirty_leaves.append(leaf)
-        route_seconds = time.perf_counter() - route_start
-
-        # 3. Merge-up around violated leaves, re-split grown leaves, locally;
-        #    rows joining grown groups in place count as compaction drift.
-        (
-            rebuild_nodes,
-            refine,
-            rejoined,
-            under_rebuild,
-            recheck_seconds,
-            repartition_seconds,
-        ) = self._maintain_partition(table, dirty_leaves, members, routed)
-        self._drift_rows += sum(int(routed[id(leaf)].size) for leaf in rejoined)
-
-        touched = (
-            under_rebuild
-            | {id(leaf) for leaf in refine}
-            | {id(leaf) for leaf in rejoined}
-        )
-        reused = sum(1 for leaf in leaves if id(leaf) not in touched)
-        groups = [leaf.indices for leaf in self._tree.leaves()]
-        release = AnonymizedRelease(
-            table, groups, method=f"stream[{self._requirement.describe()}]"
-        )
-
-        # 4. Dirty-group re-audit: clean byte-identical groups keep their risks.
-        previous_of = np.full(table.n_rows, -1, dtype=np.int64)
-        previous_of[:n_previous] = np.arange(n_previous, dtype=np.int64)
-        report, audit_recomputed, audit_seconds = self._audit_step(
-            table, prior_map, groups, previous, previous_of
-        )
-
-        delta = StreamDelta(
-            appended_rows=appended,
-            reused_groups=reused,
-            rechecked_leaves=len(dirty_leaves),
-            refined_leaves=len(refine),
-            rebuilt_regions=len(rebuild_nodes),
-            rebuild=False,
-            audit_recomputed_groups=audit_recomputed,
-            timings={
-                "table_seconds": table_seconds,
-                "prior_seconds": prior_seconds,
-                "route_seconds": route_seconds,
-                "recheck_seconds": recheck_seconds,
-                "repartition_seconds": repartition_seconds,
-                "audit_seconds": audit_seconds,
-                "total_seconds": time.perf_counter() - start,
-            },
-        )
-        return self._add_version(release, report, delta)
+            delta = StreamDelta(
+                appended_rows=appended,
+                reused_groups=reused,
+                rechecked_leaves=len(dirty_leaves),
+                refined_leaves=len(refine),
+                rebuilt_regions=len(rebuild_nodes),
+                rebuild=False,
+                audit_recomputed_groups=audit_recomputed,
+                timings={
+                    "table_seconds": table_seconds,
+                    "prior_seconds": prior_seconds,
+                    "route_seconds": route_span.duration_s,
+                    "recheck_seconds": recheck_seconds,
+                    "repartition_seconds": repartition_seconds,
+                    "audit_seconds": audit_seconds,
+                    "total_seconds": time.perf_counter() - publish_span.start_s,
+                },
+            )
+            version = self._add_version(release, report, delta)
+            publish_span.annotate(version=version.version)
+            return version
 
     # -- deleting ---------------------------------------------------------------------
     def delete(self, rows: Sequence[int] | np.ndarray) -> StreamVersion:
@@ -1014,106 +1060,109 @@ class IncrementalPublisher:
         """
         if not len(self.store):
             raise StreamError("publish() the seed release before deleting rows")
-        start = time.perf_counter()
-        previous = self.store.latest()
-        n_previous = self._table.n_rows
-        removed = np.unique(np.asarray(rows, dtype=np.int64))
-        if removed.size == 0:
-            raise StreamError("a delete batch requires at least one row")
-        if removed[0] < 0 or removed[-1] >= n_previous:
-            raise StreamError("delete positions fall outside the current table")
-        if removed.size >= n_previous:
-            raise StreamError("cannot delete every remaining row of the stream")
-        self._begin_mutation()
-        keep = np.ones(n_previous, dtype=bool)
-        keep[removed] = False
-        kept = np.flatnonzero(keep)
-        table = self._table.select(kept)
-        table_seconds = time.perf_counter() - start
+        with self._publish_span("delete") as publish_span:
+            with self.tracer.timed("table") as table_span:
+                previous = self.store.latest()
+                n_previous = self._table.n_rows
+                removed = np.unique(np.asarray(rows, dtype=np.int64))
+                if removed.size == 0:
+                    raise StreamError("a delete batch requires at least one row")
+                if removed[0] < 0 or removed[-1] >= n_previous:
+                    raise StreamError("delete positions fall outside the current table")
+                if removed.size >= n_previous:
+                    raise StreamError("cannot delete every remaining row of the stream")
+                self._begin_mutation()
+                keep = np.ones(n_previous, dtype=bool)
+                keep[removed] = False
+                kept = np.flatnonzero(keep)
+                table = self._table.select(kept)
+            table_seconds = table_span.duration_s
+            publish_span.annotate(deleted_rows=int(removed.size))
 
-        # 1. Fold the removals out of the factored prior state; find dirty rows.
-        prior_start = time.perf_counter()
-        self._estimator.remove_rows(table, removed)
-        prior_map = self._priors_by_bandwidth()
-        dirty_model = np.zeros(table.n_rows, dtype=bool)
-        for component in self._requirement.components():
-            dirty_model |= self._component_replace_dirty(
-                component, table, kept, prior_map
+            # 1. Fold the removals out of the factored prior state; find dirty rows.
+            with self.tracer.timed("prior", rows=table.n_rows) as prior_span:
+                self._estimator.remove_rows(table, removed)
+                prior_map = self._priors_by_bandwidth()
+                dirty_model = np.zeros(table.n_rows, dtype=bool)
+                for component in self._requirement.components():
+                    dirty_model |= self._component_replace_dirty(
+                        component, table, kept, prior_map
+                    )
+                self._table = table
+                self._drift_rows += int(removed.size)
+            prior_seconds = prior_span.duration_s
+
+            if self._compaction_due():
+                return self._publish_compacted(
+                    table, prior_map, previous, kept,
+                    deleted=int(removed.size), start=publish_span.start_s,
+                    timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+                )
+
+            # 2. Shrink the leaves in place; only shrunken or prior-dirty leaves
+            #    are re-checked.
+            with self.tracer.timed("route") as route_span:
+                current_of = np.full(n_previous, -1, dtype=np.int64)
+                current_of[kept] = np.arange(kept.size, dtype=np.int64)
+                leaves = self._tree.leaves()
+                shrunk: set[int] = set()
+                for leaf in leaves:
+                    mapped = current_of[leaf.indices]
+                    survivors = mapped >= 0
+                    if not survivors.all():
+                        shrunk.add(id(leaf))
+                        mapped = mapped[survivors]
+                    leaf.indices = mapped  # the old -> new map is monotone: still sorted
+                dirty_leaves = [
+                    leaf
+                    for leaf in leaves
+                    if id(leaf) in shrunk
+                    or (leaf.indices.size and dirty_model[leaf.indices].any())
+                ]
+
+            # 3. Merge-up around violated (or emptied) leaves; nothing was
+            #    routed, so no leaf can refine or rejoin.
+            members = {id(leaf): leaf.indices for leaf in leaves}
+            (
+                rebuild_nodes,
+                _,
+                _,
+                under_rebuild,
+                recheck_seconds,
+                repartition_seconds,
+            ) = self._maintain_partition(table, dirty_leaves, members, {})
+
+            touched = under_rebuild | shrunk
+            reused = sum(1 for leaf in leaves if id(leaf) not in touched)
+            groups = [leaf.indices for leaf in self._tree.leaves()]
+            release = AnonymizedRelease(
+                table, groups, method=f"stream[{self._requirement.describe()}]"
             )
-        self._table = table
-        self._drift_rows += int(removed.size)
-        prior_seconds = time.perf_counter() - prior_start
 
-        if self._compaction_due():
-            return self._publish_compacted(
-                table, prior_map, previous, kept,
-                deleted=int(removed.size), start=start,
-                timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+            report, audit_recomputed, audit_seconds = self._audit_step(
+                table, prior_map, groups, previous, kept
             )
-
-        # 2. Shrink the leaves in place; only shrunken or prior-dirty leaves
-        #    are re-checked.
-        route_start = time.perf_counter()
-        current_of = np.full(n_previous, -1, dtype=np.int64)
-        current_of[kept] = np.arange(kept.size, dtype=np.int64)
-        leaves = self._tree.leaves()
-        shrunk: set[int] = set()
-        for leaf in leaves:
-            mapped = current_of[leaf.indices]
-            survivors = mapped >= 0
-            if not survivors.all():
-                shrunk.add(id(leaf))
-                mapped = mapped[survivors]
-            leaf.indices = mapped  # the old -> new map is monotone: still sorted
-        dirty_leaves = [
-            leaf
-            for leaf in leaves
-            if id(leaf) in shrunk
-            or (leaf.indices.size and dirty_model[leaf.indices].any())
-        ]
-        route_seconds = time.perf_counter() - route_start
-
-        # 3. Merge-up around violated (or emptied) leaves; nothing was
-        #    routed, so no leaf can refine or rejoin.
-        members = {id(leaf): leaf.indices for leaf in leaves}
-        (
-            rebuild_nodes,
-            _,
-            _,
-            under_rebuild,
-            recheck_seconds,
-            repartition_seconds,
-        ) = self._maintain_partition(table, dirty_leaves, members, {})
-
-        touched = under_rebuild | shrunk
-        reused = sum(1 for leaf in leaves if id(leaf) not in touched)
-        groups = [leaf.indices for leaf in self._tree.leaves()]
-        release = AnonymizedRelease(
-            table, groups, method=f"stream[{self._requirement.describe()}]"
-        )
-
-        report, audit_recomputed, audit_seconds = self._audit_step(
-            table, prior_map, groups, previous, kept
-        )
-        delta = StreamDelta(
-            appended_rows=0,
-            deleted_rows=int(removed.size),
-            reused_groups=reused,
-            rechecked_leaves=len(dirty_leaves),
-            refined_leaves=0,
-            rebuilt_regions=len(rebuild_nodes),
-            audit_recomputed_groups=audit_recomputed,
-            timings={
-                "table_seconds": table_seconds,
-                "prior_seconds": prior_seconds,
-                "route_seconds": route_seconds,
-                "recheck_seconds": recheck_seconds,
-                "repartition_seconds": repartition_seconds,
-                "audit_seconds": audit_seconds,
-                "total_seconds": time.perf_counter() - start,
-            },
-        )
-        return self._add_version(release, report, delta)
+            delta = StreamDelta(
+                appended_rows=0,
+                deleted_rows=int(removed.size),
+                reused_groups=reused,
+                rechecked_leaves=len(dirty_leaves),
+                refined_leaves=0,
+                rebuilt_regions=len(rebuild_nodes),
+                audit_recomputed_groups=audit_recomputed,
+                timings={
+                    "table_seconds": table_seconds,
+                    "prior_seconds": prior_seconds,
+                    "route_seconds": route_span.duration_s,
+                    "recheck_seconds": recheck_seconds,
+                    "repartition_seconds": repartition_seconds,
+                    "audit_seconds": audit_seconds,
+                    "total_seconds": time.perf_counter() - publish_span.start_s,
+                },
+            )
+            version = self._add_version(release, report, delta)
+            publish_span.annotate(version=version.version)
+            return version
 
     # -- updating ---------------------------------------------------------------------
     def update(
@@ -1135,150 +1184,156 @@ class IncrementalPublisher:
         """
         if not len(self.store):
             raise StreamError("publish() the seed release before updating rows")
-        start = time.perf_counter()
-        previous = self.store.latest()
-        n_rows = self._table.n_rows
-        positions = np.asarray(rows, dtype=np.int64)
-        if positions.size == 0:
-            raise StreamError("an update batch requires at least one row")
-        if np.unique(positions).size != positions.size:
-            raise StreamError("update positions must be distinct")
-        if positions.min() < 0 or positions.max() >= n_rows:
-            raise StreamError("update positions fall outside the current table")
-        schema = self._table.schema
-        if isinstance(batch, MicrodataTable):
-            if tuple(batch.schema.names) != tuple(schema.names):
-                raise StreamError("batch schema does not match the stream's schema")
-            fresh = {name: batch.column(name) for name in schema.names}
-        else:
-            replacement_rows = list(batch)
-            fresh = {
-                name: [row[name] for row in replacement_rows] for name in schema.names
-            }
-        if any(len(column) != positions.size for column in fresh.values()):
-            raise StreamError("update values must align one-to-one with the updated rows")
-        self._begin_mutation()
-        order = np.argsort(positions)
-        positions = positions[order]
-        fresh = {
-            name: [fresh[name][int(i)] for i in order] for name in schema.names
-        }
-        try:
-            table = self._table.replace_rows(positions, fresh)
-        except DataError:
-            # A corrected value outside the current domains: codes shift,
-            # full rebuild - exactly like an out-of-domain append.
-            columns = {}
-            for name in schema.names:
-                column = np.array(self._table.column(name), copy=True)
-                column[positions] = np.asarray(
-                    fresh[name],
-                    dtype=np.float64 if schema[name].is_numeric else object,
+        with self._publish_span("update") as publish_span:
+            with self.tracer.timed("table") as table_span:
+                previous = self.store.latest()
+                n_rows = self._table.n_rows
+                positions = np.asarray(rows, dtype=np.int64)
+                if positions.size == 0:
+                    raise StreamError("an update batch requires at least one row")
+                if np.unique(positions).size != positions.size:
+                    raise StreamError("update positions must be distinct")
+                if positions.min() < 0 or positions.max() >= n_rows:
+                    raise StreamError("update positions fall outside the current table")
+                schema = self._table.schema
+                if isinstance(batch, MicrodataTable):
+                    if tuple(batch.schema.names) != tuple(schema.names):
+                        raise StreamError("batch schema does not match the stream's schema")
+                    fresh = {name: batch.column(name) for name in schema.names}
+                else:
+                    replacement_rows = list(batch)
+                    fresh = {
+                        name: [row[name] for row in replacement_rows] for name in schema.names
+                    }
+                if any(len(column) != positions.size for column in fresh.values()):
+                    raise StreamError("update values must align one-to-one with the updated rows")
+                self._begin_mutation()
+                order = np.argsort(positions)
+                positions = positions[order]
+                fresh = {
+                    name: [fresh[name][int(i)] for i in order] for name in schema.names
+                }
+                rebuild_table = None
+                try:
+                    table = self._table.replace_rows(positions, fresh)
+                except DataError:
+                    # A corrected value outside the current domains: codes shift,
+                    # full rebuild - exactly like an out-of-domain append.
+                    columns = {}
+                    for name in schema.names:
+                        column = np.array(self._table.column(name), copy=True)
+                        column[positions] = np.asarray(
+                            fresh[name],
+                            dtype=np.float64 if schema[name].is_numeric else object,
+                        )
+                        columns[name] = column
+                    rebuild_table = MicrodataTable(schema, columns)
+            publish_span.annotate(updated_rows=int(positions.size))
+            if rebuild_table is not None:
+                return self._publish_full(
+                    rebuild_table,
+                    appended=0, rebuild=True, updated=int(positions.size),
+                    table_seconds=time.perf_counter() - publish_span.start_s,
                 )
-                columns[name] = column
-            return self._publish_full(
-                MicrodataTable(schema, columns),
-                appended=0, rebuild=True, updated=int(positions.size),
-                table_seconds=time.perf_counter() - start,
+            table_seconds = table_span.duration_s
+
+            # 1. Fold the paired correction deltas into the prior state.
+            with self.tracer.timed("prior", rows=table.n_rows) as prior_span:
+                self._estimator.update_rows(table, positions)
+                prior_map = self._priors_by_bandwidth()
+                identity = np.arange(n_rows, dtype=np.int64)
+                dirty_model = np.zeros(n_rows, dtype=bool)
+                for component in self._requirement.components():
+                    dirty_model |= self._component_replace_dirty(
+                        component, table, identity, prior_map
+                    )
+                self._table = table
+                self._drift_rows += int(positions.size)
+            prior_seconds = prior_span.duration_s
+
+            if self._compaction_due():
+                return self._publish_compacted(
+                    table, prior_map, previous, identity,
+                    updated=int(positions.size), start=publish_span.start_s,
+                    timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+                )
+
+            # 2. Pull the corrected rows out of their leaves and re-route them
+            #    (a corrected QI value may belong to a different region now).
+            with self.tracer.timed("route") as route_span:
+                leaves = self._tree.leaves()
+                updated_mask = np.zeros(n_rows, dtype=bool)
+                updated_mask[positions] = True
+                lost: set[int] = set()
+                for leaf in leaves:
+                    member_updated = updated_mask[leaf.indices]
+                    if member_updated.any():
+                        leaf.indices = leaf.indices[~member_updated]
+                        lost.add(id(leaf))
+                routed = self._tree.route(table, positions)
+                members: dict[int, np.ndarray] = {}
+                dirty_leaves = []
+                for leaf in leaves:
+                    addition = routed.get(id(leaf))
+                    if addition is not None:
+                        members[id(leaf)] = np.sort(np.concatenate([leaf.indices, addition]))
+                        dirty_leaves.append(leaf)
+                    else:
+                        members[id(leaf)] = leaf.indices
+                        if id(leaf) in lost or (
+                            leaf.indices.size and dirty_model[leaf.indices].any()
+                        ):
+                            dirty_leaves.append(leaf)
+
+            # 3. Merge-up around violated (or emptied) leaves; locally re-split
+            #    leaves the re-routing grew past the refine trigger.  Drift was
+            #    counted once for the whole batch above, so rejoined leaves add
+            #    nothing here.
+            (
+                rebuild_nodes,
+                refine,
+                rejoined,
+                under_rebuild,
+                recheck_seconds,
+                repartition_seconds,
+            ) = self._maintain_partition(table, dirty_leaves, members, routed)
+
+            touched = (
+                under_rebuild
+                | lost
+                | {id(leaf) for leaf in refine}
+                | {id(leaf) for leaf in rejoined}
             )
-        table_seconds = time.perf_counter() - start
-
-        # 1. Fold the paired correction deltas into the prior state.
-        prior_start = time.perf_counter()
-        self._estimator.update_rows(table, positions)
-        prior_map = self._priors_by_bandwidth()
-        identity = np.arange(n_rows, dtype=np.int64)
-        dirty_model = np.zeros(n_rows, dtype=bool)
-        for component in self._requirement.components():
-            dirty_model |= self._component_replace_dirty(
-                component, table, identity, prior_map
-            )
-        self._table = table
-        self._drift_rows += int(positions.size)
-        prior_seconds = time.perf_counter() - prior_start
-
-        if self._compaction_due():
-            return self._publish_compacted(
-                table, prior_map, previous, identity,
-                updated=int(positions.size), start=start,
-                timings={"table_seconds": table_seconds, "prior_seconds": prior_seconds},
+            reused = sum(1 for leaf in leaves if id(leaf) not in touched)
+            groups = [leaf.indices for leaf in self._tree.leaves()]
+            release = AnonymizedRelease(
+                table, groups, method=f"stream[{self._requirement.describe()}]"
             )
 
-        # 2. Pull the corrected rows out of their leaves and re-route them
-        #    (a corrected QI value may belong to a different region now).
-        route_start = time.perf_counter()
-        leaves = self._tree.leaves()
-        updated_mask = np.zeros(n_rows, dtype=bool)
-        updated_mask[positions] = True
-        lost: set[int] = set()
-        for leaf in leaves:
-            member_updated = updated_mask[leaf.indices]
-            if member_updated.any():
-                leaf.indices = leaf.indices[~member_updated]
-                lost.add(id(leaf))
-        routed = self._tree.route(table, positions)
-        members: dict[int, np.ndarray] = {}
-        dirty_leaves = []
-        for leaf in leaves:
-            addition = routed.get(id(leaf))
-            if addition is not None:
-                members[id(leaf)] = np.sort(np.concatenate([leaf.indices, addition]))
-                dirty_leaves.append(leaf)
-            else:
-                members[id(leaf)] = leaf.indices
-                if id(leaf) in lost or (
-                    leaf.indices.size and dirty_model[leaf.indices].any()
-                ):
-                    dirty_leaves.append(leaf)
-        route_seconds = time.perf_counter() - route_start
-
-        # 3. Merge-up around violated (or emptied) leaves; locally re-split
-        #    leaves the re-routing grew past the refine trigger.  Drift was
-        #    counted once for the whole batch above, so rejoined leaves add
-        #    nothing here.
-        (
-            rebuild_nodes,
-            refine,
-            rejoined,
-            under_rebuild,
-            recheck_seconds,
-            repartition_seconds,
-        ) = self._maintain_partition(table, dirty_leaves, members, routed)
-
-        touched = (
-            under_rebuild
-            | lost
-            | {id(leaf) for leaf in refine}
-            | {id(leaf) for leaf in rejoined}
-        )
-        reused = sum(1 for leaf in leaves if id(leaf) not in touched)
-        groups = [leaf.indices for leaf in self._tree.leaves()]
-        release = AnonymizedRelease(
-            table, groups, method=f"stream[{self._requirement.describe()}]"
-        )
-
-        report, audit_recomputed, audit_seconds = self._audit_step(
-            table, prior_map, groups, previous, identity
-        )
-        delta = StreamDelta(
-            appended_rows=0,
-            updated_rows=int(positions.size),
-            reused_groups=reused,
-            rechecked_leaves=len(dirty_leaves),
-            refined_leaves=len(refine),
-            rebuilt_regions=len(rebuild_nodes),
-            audit_recomputed_groups=audit_recomputed,
-            timings={
-                "table_seconds": table_seconds,
-                "prior_seconds": prior_seconds,
-                "route_seconds": route_seconds,
-                "recheck_seconds": recheck_seconds,
-                "repartition_seconds": repartition_seconds,
-                "audit_seconds": audit_seconds,
-                "total_seconds": time.perf_counter() - start,
-            },
-        )
-        return self._add_version(release, report, delta)
+            report, audit_recomputed, audit_seconds = self._audit_step(
+                table, prior_map, groups, previous, identity
+            )
+            delta = StreamDelta(
+                appended_rows=0,
+                updated_rows=int(positions.size),
+                reused_groups=reused,
+                rechecked_leaves=len(dirty_leaves),
+                refined_leaves=len(refine),
+                rebuilt_regions=len(rebuild_nodes),
+                audit_recomputed_groups=audit_recomputed,
+                timings={
+                    "table_seconds": table_seconds,
+                    "prior_seconds": prior_seconds,
+                    "route_seconds": route_span.duration_s,
+                    "recheck_seconds": recheck_seconds,
+                    "repartition_seconds": repartition_seconds,
+                    "audit_seconds": audit_seconds,
+                    "total_seconds": time.perf_counter() - publish_span.start_s,
+                },
+            )
+            version = self._add_version(release, report, delta)
+            publish_span.annotate(version=version.version)
+            return version
 
     # -- coalescing ---------------------------------------------------------------------
     def _apply(self, operation: tuple[str, Any]) -> StreamVersion:
@@ -1329,26 +1384,28 @@ class IncrementalPublisher:
             raise StreamError("publish() the seed release before coalescing mutations")
         self._begin_mutation()
         self._inconsistent = False  # re-armed per operation below
-        start = time.perf_counter()
-        real = self.store
-        buffer = _CoalescingStore(real)
-        self.store = buffer
-        try:
-            for operation in operations:
-                self._apply(operation)
-        except BaseException:
-            if buffer.versions:
-                self._inconsistent = True
-            raise
-        finally:
-            self.store = real
-        delta = self._merge_deltas(
-            [version.delta for version in buffer.versions],
-            time.perf_counter() - start,
-        )
-        final = buffer.versions[-1]
-        self._inconsistent = True  # cleared when the merged version lands
-        return self._add_version(final.release, final.report, delta)
+        with self._publish_span("coalesced", operations=len(operations)) as publish_span:
+            real = self.store
+            buffer = _CoalescingStore(real)
+            self.store = buffer
+            try:
+                for operation in operations:
+                    self._apply(operation)
+            except BaseException:
+                if buffer.versions:
+                    self._inconsistent = True
+                raise
+            finally:
+                self.store = real
+            delta = self._merge_deltas(
+                [version.delta for version in buffer.versions],
+                time.perf_counter() - publish_span.start_s,
+            )
+            final = buffer.versions[-1]
+            self._inconsistent = True  # cleared when the merged version lands
+            version = self._add_version(final.release, final.report, delta)
+            publish_span.annotate(version=version.version)
+            return version
 
     @staticmethod
     def _merge_deltas(deltas: list[StreamDelta], total_seconds: float) -> StreamDelta:

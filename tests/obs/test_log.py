@@ -1,0 +1,94 @@
+"""Structured logging: JSON-lines records, extras, reconfiguration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import JsonFormatter, TextFormatter, configure
+
+
+@pytest.fixture
+def fresh_logger():
+    """A private logger namespace per test, torn down afterwards."""
+    name = "repro-obs-test"
+    yield name
+    logger = logging.getLogger(name)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+
+
+def test_json_records_carry_extras_as_top_level_fields(fresh_logger):
+    sink = io.StringIO()
+    logger = configure(
+        level="debug", log_format="json", logger_name=fresh_logger, stream=sink
+    )
+    logger.warning(
+        "slow publish",
+        extra={"trace_id": "a" * 32, "stream": "census", "publish_seconds": 7.25},
+    )
+    record = json.loads(sink.getvalue())
+    assert record["level"] == "WARNING"
+    assert record["logger"] == fresh_logger
+    assert record["message"] == "slow publish"
+    assert record["trace_id"] == "a" * 32
+    assert record["stream"] == "census"
+    assert record["publish_seconds"] == 7.25
+    assert record["ts"].endswith("+00:00")
+    # One JSON object per line, keys sorted - a collector can diff records.
+    assert sink.getvalue().count("\n") == 1
+    assert list(record) == sorted(record)
+
+
+def test_json_formatter_falls_back_to_repr_for_unserializable_extras():
+    formatter = JsonFormatter()
+    record = logging.LogRecord("repro", logging.INFO, __file__, 1, "msg", (), None)
+    record.payload = {1, 2}  # a set is not JSON-able
+    parsed = json.loads(formatter.format(record))
+    assert parsed["payload"] == repr({1, 2})
+
+
+def test_text_format_appends_extras_as_key_value_pairs(fresh_logger):
+    sink = io.StringIO()
+    logger = configure(
+        level="info", log_format="text", logger_name=fresh_logger, stream=sink
+    )
+    logger.info("request handled", extra={"trace_id": "beef", "status": 200})
+    line = sink.getvalue().strip()
+    assert "request handled" in line
+    assert "trace_id=beef" in line and "status=200" in line
+
+
+def test_level_filters_and_reconfigure_replaces_the_handler(fresh_logger):
+    first, second = io.StringIO(), io.StringIO()
+    logger = configure(
+        level="warning", log_format="json", logger_name=fresh_logger, stream=first
+    )
+    logger.info("dropped")
+    logger.warning("kept")
+    assert "dropped" not in first.getvalue() and "kept" in first.getvalue()
+
+    # Reconfiguring (e.g. an in-process daemon restart) must not stack a
+    # second handler: each record lands exactly once, on the new stream.
+    logger = configure(
+        level="debug", log_format="json", logger_name=fresh_logger, stream=second
+    )
+    assert len([h for h in logger.handlers if getattr(h, "_repro_obs", False)]) == 1
+    logger.debug("after reconfigure")
+    assert second.getvalue().count("after reconfigure") == 1
+    assert "after reconfigure" not in first.getvalue()
+
+
+def test_configure_rejects_unknown_level_and_format(fresh_logger):
+    with pytest.raises(ValueError, match="unknown log format"):
+        configure(log_format="xml", logger_name=fresh_logger)
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure(level="loud", logger_name=fresh_logger)
+
+
+def test_text_formatter_without_extras_is_a_plain_line():
+    formatter = TextFormatter()
+    record = logging.LogRecord("repro", logging.INFO, __file__, 1, "plain", (), None)
+    line = formatter.format(record)
+    assert line.endswith("INFO repro: plain")

@@ -118,3 +118,19 @@ def test_no_shared_sections_is_reported():
         _doc({"a": {}}), _doc({"b": {}}), tolerance=0.30
     )
     assert failures and "nothing was compared" in failures[0]
+
+
+def test_overhead_frac_is_ceiling_gated():
+    """Instrumentation overhead fractions (the tracing bench) gate like
+    latencies: growing past the tolerance fails, shrinking always passes."""
+    baseline = _doc({"a": {"tracing_overhead_frac": 0.02}})
+    ok = _doc({"a": {"tracing_overhead_frac": 0.025}})
+    assert check_regression.compare(baseline, ok, tolerance=0.30) == []
+    cheaper = _doc({"a": {"tracing_overhead_frac": 0.0}})
+    assert check_regression.compare(baseline, cheaper, tolerance=0.30) == []
+    heavier = _doc({"a": {"tracing_overhead_frac": 0.08}})
+    failures = check_regression.compare(baseline, heavier, tolerance=0.30)
+    assert len(failures) == 1 and "tracing_overhead_frac" in failures[0]
+    gone = _doc({"a": {}})
+    failures = check_regression.compare(baseline, gone, tolerance=0.30)
+    assert len(failures) == 1 and "'tracing_overhead_frac'" in failures[0]

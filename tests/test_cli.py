@@ -471,3 +471,54 @@ def test_serve_reports_bind_failures_as_one_line_errors(capsys, tmp_path):
     assert code == 1
     err = capsys.readouterr().err
     assert "cannot serve" in err and "Traceback" not in err
+
+
+def test_stream_trace_out_writes_one_nested_span_tree(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "stream", "--rows", "300", "--batch-size", "40", "--batches", "2",
+        "--model", "distinct-l", "--l", "3", "--k", "3",
+        "--skyline", "0.3:0.35", "--trace-out", str(trace_path),
+    ])
+    assert code == 0
+    assert "wrote span trace to" in capsys.readouterr().out
+    trace = json.loads(trace_path.read_text())
+    # The whole run - seed publish plus every batch - is one tree under the
+    # enclosing cli.stream span, with each publication a publish.* child.
+    assert trace["name"] == "cli.stream"
+    assert trace["attributes"]["batches"] == 2
+    publishes = [
+        child["name"] for child in trace["children"]
+        if child["name"].startswith("publish.")
+    ]
+    assert publishes == ["publish.full", "publish.append", "publish.append"]
+    for child in trace["children"]:
+        assert child["duration_s"] <= trace["duration_s"]
+        assert child["start_s"] >= 0.0
+
+
+def test_anonymize_trace_out_captures_the_pipeline(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "anonymize", "--rows", "200", "--model", "distinct-l", "--l", "3",
+        "--k", "2", "--output", str(tmp_path / "release.csv"),
+        "--trace-out", str(trace_path),
+    ])
+    assert code == 0
+    trace = json.loads(trace_path.read_text())
+    assert trace["duration_s"] > 0.0
+    assert trace["children"], "the pipeline stages are recorded as spans"
+
+
+def test_trace_out_rejects_malformed_paths(tmp_path, capsys):
+    # A directory, and a file in a directory that does not exist: both are
+    # argparse-level failures -> exit 2, one line, no traceback.
+    for bad in (str(tmp_path), str(tmp_path / "absent" / "trace.json"), ""):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "stream", "--rows", "200", "--model", "distinct-l", "--l", "3",
+                "--trace-out", bad,
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "bad trace path" in err and "Traceback" not in err
