@@ -11,18 +11,30 @@ Two contracts of the one shared estimation backend
 * **single bandwidths** - the estimation behind every plain
   ``Pipeline.run()`` / ``BTPrivacy.prepare`` call routes through the same
   factored backend, so one-bandwidth priors on the Adult schema must beat
-  the flat reference too.
+  the flat reference too;
+* **parallel contraction** - the same wide blocked estimation run serially
+  (``jobs=1``) and threaded (``jobs=REPRO_BENCH_BACKEND_JOBS``) must return
+  *bitwise identical* priors, and the threaded run must clear the
+  ``REPRO_BENCH_BACKEND_MIN_PAR_SPEEDUP`` floor when one is set (default 0:
+  record, don't assert - a single-core machine cannot honestly clear 1.0;
+  CI sets it).  The section also times ``share_bandwidths=False`` against
+  the shared-cache default (``sharing_speedup``).
 
 Scale knobs:
 
 * ``REPRO_BENCH_PRIOR_ROWS``       - Adult table size (default 5000);
 * ``REPRO_BENCH_PRIOR_WIDE_ROWS``  - wide-schema table size (default 4000);
-* ``REPRO_BENCH_PRIOR_MIN_SPEEDUP``- speedup floor for both gates (default 3).
+* ``REPRO_BENCH_PRIOR_MIN_SPEEDUP``- speedup floor for the flat-vs-blocked
+  gates (default 3);
+* ``REPRO_BENCH_BACKEND_JOBS``     - thread count for the parallel section
+  (default: all cores; CI pins 4 so the section name stays stable);
+* ``REPRO_BENCH_BACKEND_MIN_PAR_SPEEDUP`` - in-bench floor on
+  ``parallel_speedup`` (default 0).
 
 The measured numbers land in ``BENCH_prior_backend.json`` (sections
-``wide-rows-<n>`` / ``pipeline-rows-<n>``), which CI regenerates at tiny
-size and compares against the committed baseline with
-``benchmarks/check_regression.py``.
+``wide-rows-<n>`` / ``pipeline-rows-<n>`` / ``parallel-rows-<n>-jobs-<j>``),
+which CI regenerates at tiny size and compares against the committed
+baseline with ``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
@@ -37,12 +49,15 @@ from conftest import write_bench_json
 from repro.data.adult import generate_adult
 from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
 from repro.data.table import MicrodataTable
+from repro.knowledge.backend import EstimatorConfig, FactoredPriorBackend
 from repro.knowledge.prior import BatchedKernelPriorEstimator, kernel_prior
 
 PRIOR_ROWS = int(os.environ.get("REPRO_BENCH_PRIOR_ROWS", "5000"))
 WIDE_ROWS = int(os.environ.get("REPRO_BENCH_PRIOR_WIDE_ROWS", "4000"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_PRIOR_MIN_SPEEDUP", "3"))
 REPEATS = int(os.environ.get("REPRO_BENCH_PRIOR_REPEATS", "3"))
+JOBS = int(os.environ.get("REPRO_BENCH_BACKEND_JOBS", str(os.cpu_count() or 1)))
+MIN_PAR_SPEEDUP = float(os.environ.get("REPRO_BENCH_BACKEND_MIN_PAR_SPEEDUP", "0"))
 
 
 def _best_of(callable_, repeats: int = REPEATS):
@@ -167,3 +182,63 @@ def test_single_bandwidth_pipeline_prior_speedup():
         f"the factored single-bandwidth path is only {speedup:.1f}x faster than "
         f"the flat sweep (required: {MIN_SPEEDUP:g}x)"
     )
+
+
+def test_parallel_contraction_speedup():
+    """Threaded tile contraction vs the serial reference, bitwise identical."""
+    table = _wide_table(WIDE_ROWS)
+
+    def backend(jobs: int, share: bool = True) -> FactoredPriorBackend:
+        config = EstimatorConfig(
+            max_cells=WIDE_MAX_CELLS, jobs=jobs, share_bandwidths=share
+        )
+        return FactoredPriorBackend(config).fit(table)
+
+    serial = backend(1)
+    threaded = backend(JOBS)
+    rebuilt = backend(JOBS, share=False)
+    assert threaded.n_blocks >= 2, (
+        "the wide schema fits a single joint; raise WIDE_ROWS or lower WIDE_MAX_CELLS"
+    )
+    assert threaded.jobs == JOBS
+
+    serial_seconds, serial_matrices = _best_of(lambda: serial.matrices(BANDWIDTHS))
+    parallel_seconds, parallel_matrices = _best_of(lambda: threaded.matrices(BANDWIDTHS))
+    noshare_seconds, noshare_matrices = _best_of(lambda: rebuilt.matrices(BANDWIDTHS))
+
+    # The whole point of the threaded path: not "close", *identical*.
+    for ours, reference in zip(parallel_matrices, serial_matrices):
+        assert np.array_equal(ours, reference)
+    for ours, reference in zip(noshare_matrices, serial_matrices):
+        assert np.array_equal(ours, reference)
+
+    parallel_speedup = serial_seconds / parallel_seconds
+    sharing_speedup = noshare_seconds / parallel_seconds
+
+    print(
+        f"\nprior backend (parallel): rows={WIDE_ROWS} jobs={JOBS} "
+        f"blocks={threaded.n_blocks} serial={serial_seconds:.3f}s "
+        f"parallel={parallel_seconds:.3f}s speedup={parallel_speedup:.2f}x "
+        f"sharing={sharing_speedup:.2f}x"
+    )
+    write_bench_json(
+        "prior_backend",
+        f"parallel-rows-{WIDE_ROWS}-jobs-{JOBS}",
+        {
+            "rows": WIDE_ROWS,
+            "attributes": WIDE_ATTRIBUTES,
+            "bandwidths": len(BANDWIDTHS),
+            "jobs": JOBS,
+            "blocks": threaded.n_blocks,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "parallel_speedup": parallel_speedup,
+            "noshare_seconds": noshare_seconds,
+            "sharing_speedup": sharing_speedup,
+        },
+    )
+    if MIN_PAR_SPEEDUP > 0:
+        assert parallel_speedup >= MIN_PAR_SPEEDUP, (
+            f"{JOBS} contraction threads only reached {parallel_speedup:.2f}x the "
+            f"serial path (required: {MIN_PAR_SPEEDUP:g}x)"
+        )

@@ -25,7 +25,12 @@ Scale knobs:
 * ``REPRO_BENCH_SERVE_READERS``    - concurrent reader threads (default 4);
 * ``REPRO_BENCH_SERVE_COALESCE_MS``- the daemon's coalescing window (default 25);
 * ``REPRO_BENCH_SERVE_MIN_MUTATIONS_PER_SECOND`` - throughput gate (default 0.5);
-* ``REPRO_BENCH_SERVE_MAX_READ_P99_SECONDS``     - latency gate (default 0.5).
+* ``REPRO_BENCH_SERVE_MAX_READ_P99_SECONDS``     - latency gate (default 0.5);
+* ``REPRO_JOBS`` - contraction threads inside each stream's prior backend.
+  The resolved count is recorded as a ``jobs`` metric and, when it is not 1,
+  suffixed onto the section name so runs at different thread counts land in
+  distinct sections (CI pins ``REPRO_JOBS=1`` to keep the committed section
+  names stable).
 
 The measured numbers land in ``BENCH_serve.json`` (section
 ``streams-<n>-seed-<rows>-rounds-<k>x<batch>``); CI regenerates the file at
@@ -68,6 +73,7 @@ import urllib.request
 from conftest import write_bench_json
 
 from repro.data.adult import generate_adult
+from repro.knowledge.parallel import default_jobs
 from repro.serve import ServeApp
 
 STREAMS = int(os.environ.get("REPRO_BENCH_SERVE_STREAMS", "3"))
@@ -94,6 +100,11 @@ SAT_MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SERVE_SAT_MIN_SPEEDUP", "0")
 SAT_MAX_READ_P99_SECONDS = float(
     os.environ.get("REPRO_BENCH_SERVE_SAT_MAX_READ_P99_SECONDS", "1.0")
 )
+# Contraction threads are a runtime knob (bitwise-identical output), but they
+# change what a section *measures*: non-default counts get their own section.
+JOBS = default_jobs()
+_JOBS_SUFFIX = "" if JOBS == 1 else f"-jobs{JOBS}"
+
 #: A flooded stream's queue: one slot, so concurrent writers *must* see 429s.
 SAT_QUEUE_BATCHES = 1
 #: Writer backoff on 429.  Deliberately much shorter than the daemon's
@@ -288,13 +299,15 @@ def test_serve_mixed_workload_throughput_and_read_latency(tmp_path):
     )
     write_bench_json(
         "serve",
-        f"streams-{STREAMS}-seed-{SEED_ROWS}-rounds-{ROUNDS}x{BATCH_ROWS}",
+        f"streams-{STREAMS}-seed-{SEED_ROWS}-rounds-{ROUNDS}x{BATCH_ROWS}"
+        f"{_JOBS_SUFFIX}",
         {
             "streams": STREAMS,
             "seed_rows": SEED_ROWS,
             "batch_rows": BATCH_ROWS,
             "rounds": ROUNDS,
             "readers": READERS,
+            "jobs": JOBS,
             "mutation_batches": batches_done,
             "publishes": publishes,
             "coalesce_ratio": coalesce_ratio,
@@ -493,12 +506,13 @@ def test_serve_saturation_process_pool_vs_threads(tmp_path):
     write_bench_json(
         "serve",
         f"saturation-streams-{SAT_STREAMS}-writers-{SAT_WRITERS}x{SAT_ROUNDS}"
-        f"x{SAT_BATCH_ROWS}-workers-{SAT_WORKERS}",
+        f"x{SAT_BATCH_ROWS}-workers-{SAT_WORKERS}{_JOBS_SUFFIX}",
         {
             "streams": SAT_STREAMS,
             "seed_rows": SAT_SEED_ROWS,
             "batch_rows": SAT_BATCH_ROWS,
             "writers_per_stream": SAT_WRITERS,
+            "jobs": JOBS,
             "rounds": SAT_ROUNDS,
             "publish_workers": SAT_WORKERS,
             "max_queue_batches": SAT_QUEUE_BATCHES,

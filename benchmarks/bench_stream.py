@@ -46,7 +46,12 @@ Scale knobs:
 * ``REPRO_BENCH_STREAM_DELETE_FRAC`` / ``..._UPDATE_FRAC`` - mixed-workload
   retraction/correction sizes as fractions of the batch (default 0.2 each);
 * ``REPRO_BENCH_STREAM_MIN_SPEEDUP`` / ``..._MIN_REPUBLISH_SPEEDUP`` /
-  ``..._MIXED_MIN_SPEEDUP`` / ``..._MAX_TRACING_OVERHEAD`` - gates.
+  ``..._MIXED_MIN_SPEEDUP`` / ``..._MAX_TRACING_OVERHEAD`` - gates;
+* ``REPRO_JOBS`` - contraction threads inside the prior backend.  The
+  resolved count is recorded as a ``jobs`` metric and, when it is not 1,
+  suffixed onto the section name so runs at different thread counts land in
+  distinct sections (CI pins ``REPRO_JOBS=1`` to keep the committed section
+  names stable).
 
 The measured numbers land in ``BENCH_stream.json`` (sections
 ``seed-<rows>-batches-<k>x<batch>`` and ``mixed-...``), which CI regenerates
@@ -66,6 +71,7 @@ from conftest import bench_skyline, write_bench_json
 from repro.api import Pipeline
 from repro.audit import SkylineAuditEngine
 from repro.data.adult import generate_adult
+from repro.knowledge.parallel import default_jobs
 from repro.obs.tracing import Tracer
 from repro.privacy.models import BTPrivacy
 from repro.stream import IncrementalPublisher
@@ -90,6 +96,10 @@ MAX_TRACING_OVERHEAD = float(
 MODEL_B, MODEL_T, K = 0.3, 0.2, 4
 SKYLINE = bench_skyline()
 _ADVERSARY_SUFFIX = "" if len(SKYLINE) == 4 else f"-adv{len(SKYLINE)}"
+# Contraction threads are a runtime knob (bitwise-identical output), but they
+# change what a section *measures*: non-default counts get their own section.
+JOBS = default_jobs()
+_JOBS_SUFFIX = "" if JOBS == 1 else f"-jobs{JOBS}"
 
 
 def _pipeline_republish(table) -> float:
@@ -163,12 +173,14 @@ def test_incremental_stream_speedup_and_equivalence():
     )
     write_bench_json(
         "stream",
-        f"seed-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}{_ADVERSARY_SUFFIX}",
+        f"seed-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}"
+        f"{_ADVERSARY_SUFFIX}{_JOBS_SUFFIX}",
         {
             "seed_rows": SEED_ROWS,
             "batch_rows": BATCH_ROWS,
             "batches": BATCHES,
             "adversaries": len(SKYLINE),
+            "jobs": JOBS,
             "final_rows": total,
             "final_groups": final.n_groups,
             "incremental_seconds": incremental_seconds,
@@ -262,7 +274,7 @@ def test_mixed_lifecycle_stream_speedup_and_equivalence():
     write_bench_json(
         "stream",
         f"mixed-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}"
-        f"-del{deletes}-upd{updates}{_ADVERSARY_SUFFIX}",
+        f"-del{deletes}-upd{updates}{_ADVERSARY_SUFFIX}{_JOBS_SUFFIX}",
         {
             "seed_rows": SEED_ROWS,
             "batch_rows": BATCH_ROWS,
@@ -270,6 +282,7 @@ def test_mixed_lifecycle_stream_speedup_and_equivalence():
             "deletes_per_round": deletes,
             "updates_per_round": updates,
             "adversaries": len(SKYLINE),
+            "jobs": JOBS,
             "final_rows": final.n_rows,
             "final_groups": final.n_groups,
             "compactions": compactions,
@@ -328,12 +341,14 @@ def test_tracing_overhead_stays_negligible():
     )
     write_bench_json(
         "stream",
-        f"tracing-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}{_ADVERSARY_SUFFIX}",
+        f"tracing-{SEED_ROWS}-batches-{BATCHES}x{BATCH_ROWS}"
+        f"{_ADVERSARY_SUFFIX}{_JOBS_SUFFIX}",
         {
             "seed_rows": SEED_ROWS,
             "batch_rows": BATCH_ROWS,
             "batches": BATCHES,
             "adversaries": len(SKYLINE),
+            "jobs": JOBS,
             "enabled_seconds": enabled_seconds,
             "disabled_seconds": disabled_seconds,
             "tracing_overhead_frac": overhead,

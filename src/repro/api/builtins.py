@@ -213,12 +213,15 @@ def estimate_kernel_prior(
     batch_size: int = 256,
     distance_matrices: dict[str, np.ndarray] | None = None,
     max_cells: int = DEFAULT_MAX_CELLS,
+    jobs: int | None = None,
 ):
     """Nadaraya-Watson kernel regression prior (Section II-B, the paper's estimator).
 
     Estimation runs through the factored contraction backend of
     :mod:`repro.knowledge.backend`; ``max_cells`` bounds its blocked
-    contraction (``0`` selects the flat reference sweep).
+    contraction (``0`` selects the flat reference sweep) and ``jobs`` sizes
+    its worker pool (``None`` resolves to ``REPRO_JOBS`` /
+    ``os.cpu_count()``; results are bitwise identical at any thread count).
     """
     return kernel_prior(
         table,
@@ -227,6 +230,7 @@ def estimate_kernel_prior(
         batch_size=batch_size,
         distance_matrices=distance_matrices,
         max_cells=max_cells,
+        jobs=jobs,
     )
 
 

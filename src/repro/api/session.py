@@ -38,6 +38,7 @@ from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
 from repro.knowledge.backend import DEFAULT_MAX_CELLS, backend_name
 from repro.knowledge.bandwidth import Bandwidth
+from repro.knowledge.parallel import parse_jobs
 from repro.knowledge.prior import PriorBeliefs
 from repro.obs.tracing import Tracer
 from repro.privacy.disclosure import AttackResult, BackgroundKnowledgeAttack
@@ -98,6 +99,13 @@ class Session:
         Default cell budget for the factored prior-estimation backend (see
         :class:`~repro.knowledge.backend.FactoredPriorBackend`); part of the
         prior cache key, overridable per :meth:`priors` call.
+    jobs:
+        Worker threads for the backend's parallel contraction, handed to
+        every estimator, audit engine and publisher this session creates
+        (``None`` resolves to ``REPRO_JOBS`` / ``os.cpu_count()``).
+        Deliberately *not* part of the prior cache key: priors are bitwise
+        identical at any thread count, so differing ``jobs`` may share one
+        cache entry.
     """
 
     def __init__(
@@ -106,10 +114,14 @@ class Session:
         *,
         kernel: str = "epanechnikov",
         max_cells: int = DEFAULT_MAX_CELLS,
+        jobs: int | None = None,
     ):
         self.table = table
         self.default_kernel = kernel
         self.max_cells = int(max_cells)
+        if jobs is not None:
+            parse_jobs(jobs)
+        self.jobs = jobs
         self.stats = SessionStats()
         self._priors: dict[_PriorKey, PriorBeliefs] = {}
         self._distance_matrices: dict[str, np.ndarray] = {}
@@ -196,6 +208,8 @@ class Session:
             params["kernel"] = kernel
         if takes_max_cells:
             params["max_cells"] = max_cells
+        if "jobs" in accepted:
+            params["jobs"] = self.jobs
         if "distance_matrices" in accepted:
             params["distance_matrices"] = {
                 name: self.distance_matrix(name)
@@ -372,6 +386,7 @@ class Session:
             priors=priors,
             chunk_rows=chunk_rows,
             max_cells=self.max_cells,
+            jobs=self.jobs,
             distance_matrices={
                 name: self.distance_matrix(name)
                 for name in self.table.quasi_identifier_names
@@ -441,6 +456,7 @@ class Session:
             refine_factor=refine_factor,
             compact_drift=compact_drift,
             max_cells=self.max_cells if max_cells is None else max_cells,
+            jobs=self.jobs,
             distance_matrices={
                 name: self.distance_matrix(name)
                 for name in self.table.quasi_identifier_names

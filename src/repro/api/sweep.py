@@ -233,9 +233,11 @@ _WORKER_SESSION: Session | None = None
 _WORKER_ON_ERROR: str = "raise"
 
 
-def _init_worker(table, kernel: str, max_cells: int, on_error: str) -> None:
+def _init_worker(
+    table, kernel: str, max_cells: int, jobs: int | None, on_error: str
+) -> None:
     global _WORKER_SESSION, _WORKER_ON_ERROR
-    _WORKER_SESSION = Session(table, kernel=kernel, max_cells=max_cells)
+    _WORKER_SESSION = Session(table, kernel=kernel, max_cells=max_cells, jobs=jobs)
     _WORKER_ON_ERROR = on_error
 
 
@@ -297,7 +299,13 @@ def run_sweep(
         with multiprocessing.Pool(
             processes=min(processes, len(resolved)),
             initializer=_init_worker,
-            initargs=(session.table, session.default_kernel, session.max_cells, on_error),
+            initargs=(
+                session.table,
+                session.default_kernel,
+                session.max_cells,
+                session.jobs,
+                on_error,
+            ),
         ) as pool:
             outcomes = pool.map(_run_in_worker, resolved)
         rows = [row for row, _ in outcomes]

@@ -195,6 +195,10 @@ class SkylineAuditEngine:
         Cell budget for the factored estimation backend's blocked contraction
         (see :class:`~repro.knowledge.backend.FactoredPriorBackend`; ``0``
         selects the flat reference sweep).
+    jobs:
+        Worker threads for the estimation backend's parallel contraction
+        (``None`` resolves to ``REPRO_JOBS`` / ``os.cpu_count()``; priors are
+        bitwise identical at any thread count).
 
     One engine may audit many releases (each :meth:`audit` call takes its own
     ``groups``); the priors are estimated once, on first use.
@@ -211,6 +215,7 @@ class SkylineAuditEngine:
         priors: Sequence[PriorBeliefs | None] | None = None,
         chunk_rows: int | None = None,
         max_cells: int = DEFAULT_MAX_CELLS,
+        jobs: int | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
     ):
         if method not in {"omega", "exact"}:
@@ -221,6 +226,7 @@ class SkylineAuditEngine:
         self.method = method
         self.chunk_rows = chunk_rows
         self.max_cells = int(max_cells)
+        self.jobs = jobs
         self._distance_matrices = distance_matrices
         self.measure = measure if measure is not None else sensitive_distance_measure(table)
         priors = list(priors) if priors is not None else [None] * len(self.adversaries)
@@ -245,6 +251,7 @@ class SkylineAuditEngine:
             estimator = BatchedKernelPriorEstimator(
                 kernel=self.kernel,
                 max_cells=self.max_cells,
+                jobs=self.jobs,
                 distance_matrices=self._distance_matrices,
             ).fit(self.table)
             estimated = estimator.prior_for_table(

@@ -233,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--k", type=int, default=4, help="k-anonymity parameter (default 4)")
     _add_max_cells_argument(sweep_parser)
+    _add_jobs_argument(sweep_parser)
     sweep_parser.add_argument(
         "--b-prime", type=float, default=0.3, help="audit adversary bandwidth b' (default 0.3)"
     )
@@ -294,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
             "meaningful with --publish-workers > 0)"
         ),
     )
+    _add_jobs_argument(serve_parser)
     serve_parser.add_argument(
         "--max-queue-batches", default=None, type=_queue_bound_argument,
         metavar="N",
@@ -362,6 +364,17 @@ def _add_max_cells_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help=(
+            "worker threads for the prior backend's parallel contraction "
+            "(1 = serial; default: the REPRO_JOBS environment variable, "
+            "else all cores; results are identical at any thread count)"
+        ),
+    )
+
+
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out", default=None, type=_trace_out_argument, metavar="PATH",
@@ -389,6 +402,7 @@ def _add_model_arguments(parser: argparse.ArgumentParser, *, algorithm: bool = T
     )
     parser.add_argument("--k", type=int, default=4, help="k-anonymity parameter (default 4)")
     _add_max_cells_argument(parser)
+    _add_jobs_argument(parser)
     if algorithm:
         parser.add_argument(
             "--anatomy-l", type=int, default=None, help="Anatomy bucket diversity (anatomy only)"
@@ -411,7 +425,7 @@ def _build_model(args: argparse.Namespace) -> PrivacyModel:
 
 def _session(table: MicrodataTable, args: argparse.Namespace) -> Session:
     """A session carrying the CLI's estimator-backend configuration."""
-    return Session(table, max_cells=args.max_cells)
+    return Session(table, max_cells=args.max_cells, jobs=args.jobs)
 
 
 def _write_release_csv(release, path: str | Path) -> None:
@@ -548,6 +562,21 @@ def _positive_float_argument(text: str) -> float:
     if not value > 0.0:
         raise argparse.ArgumentTypeError(
             f"bad value {text!r}; the value must be positive (or 'inf')"
+        )
+    return value
+
+
+def _jobs_argument(text: str) -> int:
+    """argparse ``type`` wrapper: malformed/non-positive thread counts exit 2."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad jobs count {text!r}; expected a positive integer"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"bad jobs count {text!r}; the thread count must be at least 1"
         )
     return value
 
@@ -709,6 +738,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         coalesce_ms=args.coalesce_ms,
         publish_workers=args.publish_workers,
         publish_timeout=args.publish_timeout,
+        jobs=args.jobs,
         max_queue_batches=args.max_queue_batches,
         max_queued_rows=args.max_queued_rows,
         **extra,
@@ -785,7 +815,11 @@ def _resume_stream(args: argparse.Namespace, tracer: Tracer):
     from repro.stream import IncrementalPublisher
 
     publisher = IncrementalPublisher.resume(
-        args.store_dir, schema=adult_schema(), model=_build_model(args), tracer=tracer
+        args.store_dir,
+        schema=adult_schema(),
+        model=_build_model(args),
+        jobs=args.jobs,
+        tracer=tracer,
     )
     # A resumed publisher is governed by the store's recorded state, not by
     # these flags; call out only effective differences (passing the stream's

@@ -47,6 +47,22 @@ exists anyway at ``|D_i|^2``).  The flat sweep survives only as the
 (``max_count_cells``) for pathological schemas whose count tensor itself
 would not fit, where slow-but-bounded beats an out-of-memory abort.
 
+**Parallel contraction.**  The per-block joint builds and the per-query
+tile chain are embarrassingly parallel, and NumPy releases the GIL inside
+its BLAS/gather kernels, so both hot loops dispatch over the shared thread
+pool of :mod:`repro.knowledge.parallel`, sized by ``EstimatorConfig.jobs``
+(default ``os.cpu_count()``, overridable via ``REPRO_JOBS``).  Every tile
+task writes a disjoint numerator slice and performs exactly the serial
+tile's arithmetic, so threaded results are *bitwise identical* to
+``jobs=1`` regardless of scheduling - the serial path survives untouched as
+the equivalence reference.  Compact-support kernels additionally share each
+block's gathered per-attribute distance sub-matrices across bandwidths
+(``share_bandwidths``): the joint at bandwidth ``B`` is the kernel applied
+elementwise to the cached distances, restricted to the closed support mask
+``d <= B`` when sparse - elementwise ufuncs are value-deterministic and the
+masked-out entries are exact zeros, so this too is bitwise identical to the
+dense rebuild.
+
 **Incremental deltas.**  Appending rows is additive in ``M``; with
 ``incremental=True`` the per-bandwidth artefacts (block joints, the
 solo-contracted tensor and the per-query numerators) are cached and
@@ -77,8 +93,9 @@ block-budget guards.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -86,7 +103,8 @@ from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
 from repro.exceptions import KnowledgeError
 from repro.knowledge.bandwidth import Bandwidth
-from repro.knowledge.kernels import get_kernel
+from repro.knowledge.kernels import get_kernel, has_compact_support
+from repro.knowledge.parallel import parse_jobs, resolve_jobs, run_tasks
 from repro.obs.tracing import current_tracer
 
 DEFAULT_MAX_CELLS = 64_000_000
@@ -136,12 +154,26 @@ class EstimatorConfig:
         flat sweep, which is slow but memory-bounded.  An absolute ceiling
         (~1 GB by default), independent of ``max_cells`` so tiny contraction
         budgets still take the blocked factored path.
+    jobs:
+        Worker threads for the parallel contraction.  ``None`` (the default)
+        resolves to the ``REPRO_JOBS`` environment variable when set, else
+        ``os.cpu_count()``; ``1`` selects the serial reference path.  Must be
+        a positive integer when given.  Threading never changes results -
+        the ``jobs=1`` and ``jobs=N`` priors are bitwise identical.
+    share_bandwidths:
+        Share each block's gathered distance sub-matrices across bandwidths
+        so K bandwidths stop paying K full joint rebuilds (compact-support
+        kernels additionally evaluate only inside the ``d <= B`` support
+        mask).  Bitwise identical to the dense rebuild; the switch exists
+        for the equivalence suite and the sharing on/off benchmark.
     """
 
     kernel: str = "epanechnikov"
     max_cells: int = DEFAULT_MAX_CELLS
     batch_size: int = DEFAULT_BATCH_SIZE
     max_count_cells: int = DEFAULT_MAX_COUNT_CELLS
+    jobs: int | None = None
+    share_bandwidths: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -150,6 +182,8 @@ class EstimatorConfig:
             raise KnowledgeError("max_cells must be non-negative")
         if self.max_count_cells <= 0:
             raise KnowledgeError("max_count_cells must be positive")
+        if self.jobs is not None:
+            parse_jobs(self.jobs)
 
     @property
     def backend_name(self) -> str:
@@ -205,6 +239,12 @@ class FactoredPriorBackend:
     ):
         self.config = config if config is not None else EstimatorConfig()
         self._kernel = get_kernel(self.config.kernel)
+        self._jobs = resolve_jobs(self.config.jobs)
+        self._compact_support = has_compact_support(self.config.kernel)
+        # Per-block gathered distance sub-matrices shared across bandwidths
+        # (share_bandwidths); keyed by block index, tagged with the block's
+        # combo count so growth invalidates the entry.
+        self._block_distance_cache: dict[int, tuple[int, dict[str, np.ndarray]]] = {}
         self.incremental = bool(incremental)
         self._distance_matrices = dict(distance_matrices) if distance_matrices else {}
         self._table: MicrodataTable | None = None
@@ -252,6 +292,11 @@ class FactoredPriorBackend:
     def n_blocks(self) -> int:
         """Number of rest blocks (0 for single-QI tables and flat mode)."""
         return len(self._blocks)
+
+    @property
+    def jobs(self) -> int:
+        """The resolved worker-thread count (``config.jobs`` or the auto default)."""
+        return self._jobs
 
     @property
     def table(self) -> MicrodataTable | None:
@@ -317,6 +362,7 @@ class FactoredPriorBackend:
         self._table = table
         self._overall = table.sensitive_distribution()
         self._contractions = {}
+        self._block_distance_cache = {}
         codes = table.qi_code_matrix().astype(np.int64)
         sensitive = table.sensitive_codes().astype(np.int64)
         m = table.sensitive_domain().size
@@ -384,47 +430,74 @@ class FactoredPriorBackend:
     def _build_blocks(
         self, rest_combos: np.ndarray, rest_names: list[str], capacity: int
     ) -> list[_RestBlock]:
-        """Greedily block the rest attributes so every block joint fits the budget.
+        """Block the rest attributes by observed-combination growth.
 
-        Attributes are taken in schema order (the fixed, documented layout);
-        a block grows while the observed combinations of the candidate block
-        keep ``c^2 <= max_cells``.  A lone attribute over budget still forms a
-        singleton block - its kernel matrix exists anyway at ``|D_i|^2`` - so
-        the factored path never degrades to the flat sweep.
+        Instead of taking attributes in schema order, each block seeds on the
+        highest-cardinality unplaced attribute and greedily adds the partner
+        whose *realized* joint combination count grows least (measured on the
+        fitted combos via composed integer keys, so correlated attributes end
+        up together and the per-block ``c_b^2`` stays small), while the
+        candidate keeps ``c^2 <= max_cells``.  Positions within a block stay
+        sorted in schema order, so a schema whose whole rest set fits one
+        block yields exactly the single block the schema-order layout built -
+        unique-count monotonicity guarantees every prefix fits too.  A lone
+        attribute over budget still forms a singleton block (its kernel
+        matrix exists anyway at ``|D_i|^2``), so the factored path never
+        degrades to the flat sweep.  Blocks later grow in place via
+        :meth:`_grow_block`; a grown multi-attribute block breaching the
+        budget triggers a refit, which re-derives the layout from the grown
+        combos (the existing grow/retire guards).
         """
         budget = max(1, self.config.max_cells)
+        n_columns = rest_combos.shape[1]
         blocks: list[_RestBlock] = []
-        positions: list[int] = []
-        combos = codes = None
+        column_codes: list[np.ndarray] = []
+        cardinality: list[int] = []
+        for column in range(n_columns):
+            uniq, codes = np.unique(rest_combos[:, column], return_inverse=True)
+            column_codes.append(codes.astype(np.int64))
+            cardinality.append(int(uniq.shape[0]))
 
-        def close() -> None:
+        def close(positions: list[int]) -> None:
+            ordered = sorted(positions)
+            combos, codes = np.unique(
+                rest_combos[:, ordered], axis=0, return_inverse=True
+            )
             code_of_slot = np.zeros(capacity, dtype=np.int64)
             code_of_slot[: rest_combos.shape[0]] = codes
             blocks.append(
                 _RestBlock(
-                    positions=tuple(positions),
-                    names=tuple(rest_names[p] for p in positions),
+                    positions=tuple(ordered),
+                    names=tuple(rest_names[p] for p in ordered),
                     n_combos=combos.shape[0],
                     combos=combos,
                     code_of_slot=code_of_slot,
                 )
             )
 
-        for column in range(rest_combos.shape[1]):
-            trial_combos, trial_codes = np.unique(
-                rest_combos[:, positions + [column]], axis=0, return_inverse=True
-            )
-            if positions and trial_combos.shape[0] ** 2 > budget:
-                close()
-                positions = [column]
-                combos, codes = np.unique(
-                    rest_combos[:, positions], axis=0, return_inverse=True
-                )
-            else:
-                positions = positions + [column]
-                combos, codes = trial_combos, trial_codes
-        if positions:
-            close()
+        remaining = list(range(n_columns))
+        while remaining:
+            seed = max(remaining, key=lambda c: (cardinality[c], -c))
+            remaining.remove(seed)
+            positions = [seed]
+            keys = column_codes[seed]
+            n_current = cardinality[seed]
+            while remaining and n_current * n_current <= budget:
+                best = best_count = best_keys = None
+                for candidate in remaining:
+                    composed = keys * cardinality[candidate] + column_codes[candidate]
+                    count = int(np.unique(composed).shape[0])
+                    if best_count is None or count < best_count:
+                        best, best_count, best_keys = candidate, count, composed
+                if best_count * best_count > budget:
+                    break
+                positions.append(best)
+                remaining.remove(best)
+                # Re-key to compact ids so composed keys cannot overflow.
+                _, keys = np.unique(best_keys, return_inverse=True)
+                keys = keys.astype(np.int64)
+                n_current = best_count
+            close(positions)
         return blocks
 
     def _rebuild_query_index(self) -> None:
@@ -853,10 +926,70 @@ class FactoredPriorBackend:
         return grown
 
     # -- per-bandwidth contraction ----------------------------------------------------
-    def _block_joint(self, block: _RestBlock, bandwidth: Bandwidth) -> np.ndarray:
-        """The kernel-product joint weight matrix of one block's combinations."""
+    def _block_distances(self, index: int, block: _RestBlock) -> dict[str, np.ndarray] | None:
+        """Gathered per-attribute distance sub-matrices of one block (lazy).
+
+        Bandwidth-independent, so one gather pass serves every bandwidth of a
+        skyline grid (:attr:`EstimatorConfig.share_bandwidths`).  Entries are
+        tagged with the block's combo count: growth invalidates them, a refit
+        clears the whole cache.  Returns ``None`` - compute dense - for a
+        singleton block whose over-budget ``c^2`` would blow the cell budget
+        (every multi-attribute block satisfies ``c^2 <= max_cells`` by
+        construction).
+        """
+        cached = self._block_distance_cache.get(index)
+        if cached is not None and cached[0] == block.n_combos:
+            return cached[1]
         c = block.n_combos
-        joint: np.ndarray | None = None
+        if c * c > max(1, self.config.max_cells):
+            return None
+        gathered: dict[str, np.ndarray] = {}
+        for offset, name in enumerate(block.names):
+            column = block.combos[:c, offset]
+            distances = self._distance_matrices[name]
+            gathered[name] = np.take(np.take(distances, column, axis=0), column, axis=1)
+        self._block_distance_cache[index] = (c, gathered)
+        return gathered
+
+    def _block_joint(
+        self,
+        block: _RestBlock,
+        bandwidth: Bandwidth,
+        distances: dict[str, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """The kernel-product joint weight matrix of one block's combinations.
+
+        With ``distances`` (the shared gathered sub-matrices) the kernel is
+        applied elementwise to the gathered values instead of gathering from
+        the full-domain weight matrix - value-identical per element, hence
+        bitwise identical.  Compact-support kernels whose closed support mask
+        ``d <= B`` is sparse evaluate only inside the mask; everything
+        outside is an exact ``0.0`` for them by definition.
+        """
+        c = block.n_combos
+        if distances is not None:
+            if self._compact_support:
+                mask: np.ndarray | None = None
+                for name in block.names:
+                    within = distances[name] <= bandwidth[name]
+                    mask = within if mask is None else mask & within
+                if mask.sum() * 4 <= mask.size:
+                    rows, cols = np.nonzero(mask)
+                    values: np.ndarray | None = None
+                    for name in block.names:
+                        weights = self._kernel(
+                            distances[name][rows, cols], bandwidth[name]
+                        )
+                        values = weights if values is None else values * weights
+                    joint = np.zeros((c, c), dtype=np.float64)
+                    joint[rows, cols] = values
+                    return joint
+            joint: np.ndarray | None = None
+            for name in block.names:
+                weights = self._kernel(distances[name], bandwidth[name])
+                joint = weights if joint is None else joint * weights
+            return joint
+        joint = None
         for offset, name in enumerate(block.names):
             weights = self._bandwidth_weights(bandwidth, name)
             column = block.combos[:c, offset]
@@ -914,21 +1047,65 @@ class FactoredPriorBackend:
         ``contracted`` holding just those columns) and ``accumulate`` adds to
         the existing numerators instead of overwriting - together they serve
         the incremental delta updates of :meth:`_update_cache`.
+
+        Tiles are dispatched over the shared worker pool when ``jobs > 1``:
+        every tile writes a disjoint ``numerators`` slice with exactly the
+        serial tile's arithmetic, so the threaded result is bitwise identical
+        to the serial loop regardless of scheduling.  Returns the number of
+        distinct worker threads that touched the contraction (1 serial).
         """
         if selection.size == 0:
-            return
+            return 1
         tile = self._tile_rows(self._n_combos if columns is None else len(columns))
         selected_solo = self._query_solo[selection]
         boundaries = np.flatnonzero(np.diff(selected_solo)) + 1
+        tiles: list[tuple[int, np.ndarray]] = []
         for run in np.split(selection, boundaries):
             a = int(self._query_solo[run[0]])
             for start in range(0, run.size, tile):
-                chunk = run[start : start + tile]
-                rows = self._joint_rows(self._query_rest[chunk], block_joints, columns)
-                if accumulate:
-                    numerators[chunk] += rows @ contracted[a]
-                else:
-                    numerators[chunk] = rows @ contracted[a]
+                tiles.append((a, run[start : start + tile]))
+
+        def contract(a: int, chunk: np.ndarray) -> None:
+            rows = self._joint_rows(self._query_rest[chunk], block_joints, columns)
+            if accumulate:
+                numerators[chunk] += rows @ contracted[a]
+            else:
+                numerators[chunk] = rows @ contracted[a]
+
+        if self._jobs <= 1 or len(tiles) <= 1:
+            for a, chunk in tiles:
+                contract(a, chunk)
+            return 1
+        return self._dispatch_tiles(contract, tiles)
+
+    def _dispatch_tiles(
+        self,
+        contract: Callable[[int, np.ndarray], None],
+        tiles: list[tuple[int, np.ndarray]],
+    ) -> int:
+        """Run independent contraction tiles on the shared pool.
+
+        The tracer and its innermost open span are captured on *this*
+        (dispatching) thread; every worker attaches them so its
+        ``backend.tile`` spans nest under the owning contraction span
+        instead of interleaving across concurrent audits.  Returns the
+        number of distinct pool threads used.
+        """
+        tracer = current_tracer()
+        parent = tracer.current()
+        used: set[int] = set()
+
+        def task(a: int, chunk: np.ndarray) -> None:
+            used.add(threading.get_ident())
+            with tracer.attach(parent):
+                with tracer.span("backend.tile", solo=a, queries=int(chunk.size)):
+                    contract(a, chunk)
+
+        run_tasks(
+            [lambda a=a, chunk=chunk: task(a, chunk) for a, chunk in tiles],
+            self._jobs,
+        )
+        return len(used)
 
     def _update_cache(
         self,
@@ -1004,14 +1181,63 @@ class FactoredPriorBackend:
         solo_positive = (solo_weights[:, cell_solo] > 0.0).astype(np.float32)
         witnesses = np.empty((solo_weights.shape[0], n_combos), dtype=np.float32)
         tile = self._tile_rows(max(1, cell_rest.size))
-        for start in range(0, n_combos, tile):
+
+        def witness(start: int) -> None:
             stop = min(start + tile, n_combos)
             slots = np.arange(start, stop, dtype=np.int64)
             cell_weights = self._joint_rows(slots, block_joints, columns=cell_rest)
             witnesses[:, start:stop] = solo_positive @ (
                 cell_weights > 0.0
             ).astype(np.float32).T
+
+        starts = range(0, n_combos, tile)
+        # Disjoint column slices per task; same arithmetic either way.
+        run_tasks([lambda start=start: witness(start) for start in starts], self._jobs)
         return witnesses[self._query_solo, self._query_rest] > 0.0
+
+    def _build_block_joints(self, bandwidth: Bandwidth, tracer) -> list[np.ndarray]:
+        """All block joints for one bandwidth, threaded when ``jobs > 1``.
+
+        Each block's joint is an independent build, so with multiple blocks
+        they dispatch over the shared pool; the per-block spans attach to the
+        dispatching thread's open ``backend.contract`` span.  The serial path
+        is the pre-pool loop, span for span.
+        """
+        share = self.config.share_bandwidths
+        distances = [
+            self._block_distances(index, block) if share else None
+            for index, block in enumerate(self._blocks)
+        ]
+        if self._jobs <= 1 or len(self._blocks) <= 1:
+            block_joints = []
+            for index, block in enumerate(self._blocks):
+                with tracer.span(
+                    "backend.block_joint",
+                    names=list(block.names),
+                    combos=block.n_combos,
+                ):
+                    block_joints.append(
+                        self._block_joint(block, bandwidth, distances[index])
+                    )
+            return block_joints
+        parent = tracer.current()
+
+        def build(index: int, block: _RestBlock) -> np.ndarray:
+            with tracer.attach(parent):
+                with tracer.span(
+                    "backend.block_joint",
+                    names=list(block.names),
+                    combos=block.n_combos,
+                ):
+                    return self._block_joint(block, bandwidth, distances[index])
+
+        return run_tasks(
+            [
+                lambda index=index, block=block: build(index, block)
+                for index, block in enumerate(self._blocks)
+            ],
+            self._jobs,
+        )
 
     def _factored_matrix(self, bandwidth: Bandwidth) -> np.ndarray:
         """The per-row prior matrix of the fitted table under one bandwidth."""
@@ -1028,20 +1254,16 @@ class FactoredPriorBackend:
             ) as contract_span:
                 solo_name = qi_names[self._solo_index]
                 solo_weights = self._bandwidth_weights(bandwidth, solo_name)
-                block_joints = []
-                for block in self._blocks:
-                    with tracer.span(
-                        "backend.block_joint",
-                        names=list(block.names),
-                        combos=block.n_combos,
-                    ):
-                        block_joints.append(self._block_joint(block, bandwidth))
+                block_joints = self._build_block_joints(bandwidth, tracer)
 
                 n_combos = self._n_combos
                 solo_size = solo_weights.shape[0]
                 # Padding slots (growth headroom) only exist in incremental mode,
                 # where they must be zero; one-shot estimations get exact-size,
-                # uninitialised buffers.
+                # uninitialised buffers.  The solo contraction stays a single
+                # GEMM (never split across workers): BLAS blocking could vary
+                # with the operand shape, and the one matmul already uses
+                # whatever threads BLAS itself brings.
                 allocate = np.zeros if self.incremental else np.empty
                 contracted_storage = allocate(self._count_storage.shape, dtype=np.float64)
                 contracted = contracted_storage[:, :n_combos, :]
@@ -1050,13 +1272,15 @@ class FactoredPriorBackend:
                 ).reshape(solo_size, n_combos, m)
 
                 numerators = np.empty((self._pair_keys.size, m), dtype=np.float64)
-                self._contract_queries(
+                threads = self._contract_queries(
                     numerators,
                     np.arange(self._pair_keys.size, dtype=np.int64),
                     block_joints,
                     contracted,
                 )
-                contract_span.annotate(queries=int(self._pair_keys.size))
+                contract_span.annotate(
+                    queries=int(self._pair_keys.size), threads=int(threads)
+                )
             if self.incremental:
                 self._contractions[bandwidth.items()] = {
                     "bandwidth": bandwidth,
@@ -1194,9 +1418,18 @@ class FactoredPriorBackend:
         order = np.argsort(query_solo, kind="stable")
         boundaries = np.flatnonzero(np.diff(query_solo[order])) + 1
         tile = self._tile_rows(n_combos)
+        tiles: list[tuple[int, np.ndarray]] = []
         for run in np.split(order, boundaries):
             a = int(query_solo[run[0]])
             for start in range(0, run.size, tile):
-                chunk = run[start : start + tile]
-                numerators[chunk] = joint_rows_for(chunk) @ contracted[a]
+                tiles.append((a, run[start : start + tile]))
+
+        def contract(a: int, chunk: np.ndarray) -> None:
+            numerators[chunk] = joint_rows_for(chunk) @ contracted[a]
+
+        if self._jobs <= 1 or len(tiles) <= 1:
+            for a, chunk in tiles:
+                contract(a, chunk)
+        else:
+            self._dispatch_tiles(contract, tiles)
         return self._normalise(numerators)[inverse]

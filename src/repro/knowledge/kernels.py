@@ -82,6 +82,20 @@ _KERNELS: dict[str, KernelFunction] = {
     "gaussian": gaussian_kernel,
 }
 
+# Kernels whose weight is *exactly* 0.0 whenever ``|x/B| > 1``.  The closed
+# ball ``d <= B`` is therefore a support superset for every one of them
+# (uniform includes the boundary; the strict-support kernels evaluate to an
+# exact 0.0 there), which is what lets the factored backend share gathered
+# distances across bandwidths and evaluate the kernel only inside the mask
+# without changing a single bit of the result.  Custom kernels registered at
+# runtime are conservatively treated as unbounded unless declared compact.
+_COMPACT_SUPPORT: set[str] = {"epanechnikov", "uniform", "triangular", "biweight"}
+
+
+def has_compact_support(name: str) -> bool:
+    """Whether ``name``'s kernel is exactly zero outside ``|x/B| <= 1``."""
+    return name.lower() in _COMPACT_SUPPORT
+
 
 def kernel_names() -> tuple[str, ...]:
     """Names of all registered kernels."""
@@ -104,9 +118,18 @@ def get_kernel(name: str) -> KernelFunction:
         ) from None
 
 
-def register_kernel(name: str, function: KernelFunction) -> None:
-    """Register a custom kernel under ``name`` (overwriting is not allowed)."""
+def register_kernel(
+    name: str, function: KernelFunction, *, compact_support: bool = False
+) -> None:
+    """Register a custom kernel under ``name`` (overwriting is not allowed).
+
+    Declare ``compact_support=True`` only when ``function`` returns an exact
+    ``0.0`` for every ``|x/B| > 1`` - the factored backend then skips those
+    entries when sharing contractions across bandwidths.
+    """
     key = name.lower()
     if key in _KERNELS:
         raise KnowledgeError(f"kernel {name!r} is already registered")
     _KERNELS[key] = function
+    if compact_support:
+        _COMPACT_SUPPORT.add(key)

@@ -134,6 +134,10 @@ class KernelPriorEstimator:
     max_cells:
         Cell budget of the backend's blocked contraction (``0`` selects the
         flat reference sweep).
+    jobs:
+        Worker threads for the backend's parallel contraction (``None``
+        resolves to ``REPRO_JOBS`` / ``os.cpu_count()``; ``1`` is the serial
+        reference path; results are bitwise identical either way).
     """
 
     def __init__(
@@ -144,13 +148,19 @@ class KernelPriorEstimator:
         batch_size: int = _DEFAULT_BATCH_SIZE,
         distance_matrices: dict[str, np.ndarray] | None = None,
         max_cells: int = DEFAULT_MAX_CELLS,
+        jobs: int | None = None,
     ):
         self.bandwidth = bandwidth
         self.kernel_name = kernel
         self.batch_size = int(batch_size)
         self.max_cells = int(max_cells)
         self._backend = FactoredPriorBackend(
-            EstimatorConfig(kernel=kernel, max_cells=self.max_cells, batch_size=self.batch_size),
+            EstimatorConfig(
+                kernel=kernel,
+                max_cells=self.max_cells,
+                batch_size=self.batch_size,
+                jobs=jobs,
+            ),
             distance_matrices=distance_matrices,
         )
 
@@ -250,6 +260,10 @@ class BatchedKernelPriorEstimator:
         Cache the per-bandwidth contraction state so :meth:`append_rows`
         updates it in place (costs memory proportional to the contracted
         tensor per distinct bandwidth; off by default).
+    jobs:
+        Worker threads for the backend's parallel contraction (``None``
+        resolves to ``REPRO_JOBS`` / ``os.cpu_count()``; ``1`` is the serial
+        reference path; results are bitwise identical either way).
     """
 
     def __init__(
@@ -260,13 +274,19 @@ class BatchedKernelPriorEstimator:
         distance_matrices: dict[str, np.ndarray] | None = None,
         max_cells: int = DEFAULT_MAX_CELLS,
         incremental: bool = False,
+        jobs: int | None = None,
     ):
         self.kernel_name = kernel
         self.batch_size = int(batch_size)
         self.max_cells = int(max_cells)
         self.incremental = bool(incremental)
         self._backend = FactoredPriorBackend(
-            EstimatorConfig(kernel=kernel, max_cells=self.max_cells, batch_size=self.batch_size),
+            EstimatorConfig(
+                kernel=kernel,
+                max_cells=self.max_cells,
+                batch_size=self.batch_size,
+                jobs=jobs,
+            ),
             distance_matrices=distance_matrices,
             incremental=incremental,
         )
@@ -356,10 +376,11 @@ def batched_kernel_priors(
     kernel: str = "epanechnikov",
     distance_matrices: dict[str, np.ndarray] | None = None,
     max_cells: int = DEFAULT_MAX_CELLS,
+    jobs: int | None = None,
 ) -> list[PriorBeliefs]:
     """One-call helper: priors for several adversaries sharing the kernel work."""
     estimator = BatchedKernelPriorEstimator(
-        kernel=kernel, distance_matrices=distance_matrices, max_cells=max_cells
+        kernel=kernel, distance_matrices=distance_matrices, max_cells=max_cells, jobs=jobs
     )
     return estimator.fit(table).prior_for_table(bandwidths)
 
@@ -372,6 +393,7 @@ def kernel_prior(
     batch_size: int = _DEFAULT_BATCH_SIZE,
     distance_matrices: dict[str, np.ndarray] | None = None,
     max_cells: int = DEFAULT_MAX_CELLS,
+    jobs: int | None = None,
 ) -> PriorBeliefs:
     """One-call helper: fit a kernel estimator on ``table`` and return its priors.
 
@@ -391,6 +413,7 @@ def kernel_prior(
         batch_size=batch_size,
         distance_matrices=distance_matrices,
         max_cells=max_cells,
+        jobs=jobs,
     )
     return estimator.fit(table).prior_for_table()
 

@@ -244,6 +244,45 @@ class Tracer:
         """Make this the thread's ambient tracer (see :func:`current_tracer`)."""
         return _Activation(self)
 
+    def attach(self, parent: Span | None) -> "_Attachment":
+        """Adopt ``parent`` as this thread's enclosing span (worker threads).
+
+        A pool thread starts with an empty span stack, so spans it opens
+        would each become their own root - and two concurrent contractions
+        sharing one pool would interleave their tiles.  The dispatching
+        thread captures its open span (``tracer.current()``) and each worker
+        wraps its slice in ``with tracer.attach(parent):`` so everything it
+        opens nests under the owning span.  The borrowed parent is seeded
+        onto the stack and removed on exit *without* being re-appended
+        anywhere - it is still open on, and owned by, the dispatching
+        thread.  Appending finished children to the shared parent is safe:
+        ``list.append`` is atomic under the GIL.  Attaching ``None`` (or on
+        a disabled tracer) is a no-op.
+        """
+        return _Attachment(self, parent if self.enabled else None)
+
+
+class _Attachment:
+    __slots__ = ("_tracer", "_parent")
+
+    def __init__(self, tracer: Tracer, parent: Span | None):
+        self._tracer = tracer
+        self._parent = parent
+
+    def __enter__(self) -> Span | None:
+        if self._parent is not None:
+            self._tracer._stack().append(self._parent)
+        return self._parent
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._parent is None:
+            return
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._parent:
+            stack.pop()
+        elif self._parent in stack:  # pragma: no cover - unbalanced exits
+            stack.remove(self._parent)
+
 
 class _Activation:
     __slots__ = ("_tracer", "_previous")

@@ -53,6 +53,7 @@ class ServeApp:
         schema: Schema | None = None,
         publish_workers: int = 0,
         publish_timeout: float = 0.0,
+        jobs: int | None = None,
         max_queue_batches: int | None = None,
         max_queued_rows: int | None = None,
         slow_publish_seconds: float = DEFAULT_SLOW_PUBLISH_SECONDS,
@@ -65,6 +66,7 @@ class ServeApp:
             schema=schema,
             publish_workers=publish_workers,
             publish_timeout=publish_timeout,
+            jobs=jobs,
             max_queue_batches=max_queue_batches,
             max_queued_rows=max_queued_rows,
             slow_publish_seconds=slow_publish_seconds,

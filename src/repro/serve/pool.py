@@ -99,6 +99,7 @@ def _worker_main(
     connection: multiprocessing.connection.Connection,
     schema: Schema,
     parent_pid: int,
+    jobs: int | None,
 ) -> None:
     """One publication worker: jobs in, version numbers out, publishers cached."""
     threading.Thread(
@@ -131,6 +132,7 @@ def _worker_main(
                         schema=schema,
                         model=build_stream_model(job["config"]),
                         cached=cache.get(shard),
+                        jobs=jobs,
                         tracer=tracer,
                     )
                 except BaseException as error:  # noqa: BLE001 - reported to the parent
@@ -166,9 +168,10 @@ def _worker_main(
 class _WorkerHandle:
     """One pool slot: its process, its pipe, and the lock serializing jobs."""
 
-    def __init__(self, context, schema: Schema, index: int):
+    def __init__(self, context, schema: Schema, index: int, jobs: int | None):
         self._context = context
         self._schema = schema
+        self._jobs = jobs
         self.index = index
         self.lock = threading.Lock()
         self.restarts = 0
@@ -178,7 +181,7 @@ class _WorkerHandle:
         self.connection, child = self._context.Pipe()
         self.process = self._context.Process(
             target=_worker_main,
-            args=(child, self._schema, os.getpid()),
+            args=(child, self._schema, os.getpid(), self._jobs),
             name=f"repro-serve-publish-{self.index}",
             daemon=True,
         )
@@ -211,6 +214,7 @@ class PublicationPool:
         schema: Schema,
         *,
         timeout: float = 0.0,
+        jobs: int | None = None,
     ):
         if workers < 1:
             raise StreamError("a publication pool requires at least one worker")
@@ -223,7 +227,8 @@ class PublicationPool:
         self._assign_lock = threading.Lock()
         self._assignments: dict[str, int] = {}
         self._workers = [
-            _WorkerHandle(self._context, schema, index) for index in range(workers)
+            _WorkerHandle(self._context, schema, index, jobs)
+            for index in range(workers)
         ]
         self._closed = False
 

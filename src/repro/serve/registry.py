@@ -66,6 +66,7 @@ from repro.data.schema import Schema
 from repro.data.table import MicrodataTable
 from repro.exceptions import ReproError, StreamError
 from repro.knowledge.backend import DEFAULT_MAX_CELLS
+from repro.knowledge.parallel import parse_jobs
 from repro.obs.tracing import Span, Tracer
 from repro.serve.errors import ApiError, BadRequest, Conflict, NotFound, TooManyRequests
 from repro.serve.metrics import StreamMetrics
@@ -483,6 +484,7 @@ class StreamRegistry:
         schema: Schema | None = None,
         publish_workers: int = 0,
         publish_timeout: float = 0.0,
+        jobs: int | None = None,
         max_queue_batches: int | None = None,
         max_queued_rows: int | None = None,
         slow_publish_seconds: float = DEFAULT_SLOW_PUBLISH_SECONDS,
@@ -495,6 +497,15 @@ class StreamRegistry:
             raise BadRequest("publish_timeout must be >= 0 (0 disables it)")
         if slow_publish_seconds <= 0:
             raise BadRequest("slow_publish_seconds must be positive")
+        if jobs is not None:
+            try:
+                parse_jobs(jobs)
+            except ReproError as error:
+                raise BadRequest(str(error)) from None
+        # A runtime knob for the estimation backend's contraction threads,
+        # deliberately not part of any stream's persisted config: versions
+        # are bitwise identical at any thread count.
+        self.jobs = jobs
         self._slow_publish_seconds = float(slow_publish_seconds)
         self._max_queue_batches = (
             DEFAULT_MAX_QUEUE_BATCHES if max_queue_batches is None
@@ -515,7 +526,9 @@ class StreamRegistry:
         # The pool spawns before any host thread starts, so worker processes
         # never inherit mid-flight daemon state.
         self.pool: PublicationPool | None = (
-            PublicationPool(publish_workers, self.schema, timeout=publish_timeout)
+            PublicationPool(
+                publish_workers, self.schema, timeout=publish_timeout, jobs=jobs
+            )
             if publish_workers
             else None
         )
@@ -647,6 +660,7 @@ class StreamRegistry:
                 refine_factor=resolved["refine_factor"],
                 compact_drift=resolved["compact_drift"],
                 max_cells=resolved["max_cells"],
+                jobs=self.jobs,
                 store_path=shard,
             )
             publisher.publish()
@@ -677,7 +691,10 @@ class StreamRegistry:
             ) from None
         if self.pool is None:
             publisher = IncrementalPublisher.resume(
-                shard, schema=self.schema, model=self._build_model(config)
+                shard,
+                schema=self.schema,
+                model=self._build_model(config),
+                jobs=self.jobs,
             )
             return self._register(name, publisher, config)
         # Process mode: the parent only *reads* the shard (no lock - the

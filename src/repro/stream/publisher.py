@@ -144,6 +144,12 @@ class IncrementalPublisher:
         paper does against identity disclosure).
     kernel / method / split_strategy / max_cells:
         Passed through to the prior estimator, the audit engine and Mondrian.
+    jobs:
+        Worker threads for the estimation backend's parallel contraction
+        (``None`` resolves to ``REPRO_JOBS`` / ``os.cpu_count()``).  A
+        runtime knob, deliberately *not* persisted in the stream state:
+        resuming a shard at a different thread count produces bitwise
+        identical versions.
     refine_factor:
         Utility/throughput dial for grown groups.  A group that satisfies the
         requirement after an append re-enters the (expensive) split search
@@ -201,6 +207,7 @@ class IncrementalPublisher:
         method: str = "omega",
         split_strategy: str = "widest",
         max_cells: int = DEFAULT_MAX_CELLS,
+        jobs: int | None = None,
         refine_factor: float = 1.5,
         compact_drift: float = 0.5,
         measure: DistanceMeasure | None = None,
@@ -221,6 +228,7 @@ class IncrementalPublisher:
         self.kernel = kernel
         self.method = method
         self.max_cells = int(max_cells)
+        self.jobs = jobs
         self._k = k
         self._requirement: PrivacyModel = (
             CompositeModel([KAnonymity(k), model]) if k is not None else model
@@ -244,6 +252,7 @@ class IncrementalPublisher:
         self._estimator = BatchedKernelPriorEstimator(
             kernel=kernel,
             max_cells=max_cells,
+            jobs=jobs,
             distance_matrices=distance_matrices,
             incremental=True,
         )
@@ -348,6 +357,7 @@ class IncrementalPublisher:
         model: PrivacyModel,
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
+        jobs: int | None = None,
         tracer: Tracer | None = None,
     ) -> "IncrementalPublisher":
         """Reconstruct a publisher from a disk-backed store and continue the stream.
@@ -385,6 +395,7 @@ class IncrementalPublisher:
                 method=state["method"],
                 split_strategy=state["split_strategy"],
                 max_cells=int(state["max_cells"]),
+                jobs=jobs,
                 refine_factor=float(state["refine_factor"]),
                 compact_drift=float(state["compact_drift"]),
                 measure=measure,
@@ -456,6 +467,7 @@ class IncrementalPublisher:
         cached: "IncrementalPublisher | None" = None,
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
+        jobs: int | None = None,
         tracer: Tracer | None = None,
     ) -> tuple["IncrementalPublisher", StreamVersion]:
         """Process-safe publish entrypoint: adopt a shard and publish one tick.
@@ -495,6 +507,7 @@ class IncrementalPublisher:
                     model=model,
                     measure=measure,
                     distance_matrices=distance_matrices,
+                    jobs=jobs,
                     tracer=tracer,
                 )
             except BaseException as error:
@@ -536,7 +549,10 @@ class IncrementalPublisher:
             if rebuild:
                 # Domains changed: every code-indexed artefact is stale.
                 self._estimator = BatchedKernelPriorEstimator(
-                    kernel=self.kernel, max_cells=self.max_cells, incremental=True
+                    kernel=self.kernel,
+                    max_cells=self.max_cells,
+                    jobs=self.jobs,
+                    incremental=True,
                 )
                 self._measure = None
                 for component in self._bt_components:
@@ -659,6 +675,7 @@ class IncrementalPublisher:
             self._points,
             kernel=self.kernel,
             method=self.method,
+            jobs=self.jobs,
             measure=self._measure,
             priors=[prior_map[bandwidth.items()] for bandwidth, _ in self._points],
         )
