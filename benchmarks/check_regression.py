@@ -24,6 +24,10 @@ files the script compares:
   ``*_seconds``: tracing must stay cheap enough to leave on, so a growing
   overhead fraction is a regression even when absolute latencies hold (the
   additive slack absorbs timer jitter on the tiny CI sizes);
+* every ``*_peak_rss_mb`` memory metric - a ceiling, like ``*_seconds``: the
+  out-of-core path exists to bound peak resident memory, so a growing RSS is
+  a regression even when the wall-clock numbers hold (the additive slack is
+  negligible against megabytes, so this gate is effectively the pure ratio);
 * every ``*_rejected_frac`` metric - a symmetric *band*: the saturation
   benches are engineered to overload their queues, so a 429 rate that
   *collapses* (backpressure silently stopped firing) fails exactly like one
@@ -89,6 +93,8 @@ def compare(
                 or key.endswith("_p99")
                 or "_p99_" in key
                 or key.endswith("_overhead_frac")
+                or key == "peak_rss_mb"
+                or key.endswith("_peak_rss_mb")
             )
             lower_is_bad = not banded and (
                 key == "speedup"

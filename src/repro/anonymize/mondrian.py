@@ -40,6 +40,8 @@ consume the shared search:
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -50,6 +52,46 @@ from repro.exceptions import AnonymizationError
 from repro.privacy.models import PrivacyModel
 
 _STRATEGIES = ("widest", "round_robin", "dfs")
+
+
+def spilled_value_matrix(source, *, directory: str | None = None) -> np.ndarray:
+    """Build the Mondrian value matrix in a temp-file memmap, chunk by chunk.
+
+    The frontier recursion of :meth:`MondrianAnonymizer.partition_forest`
+    touches nothing but this ``(n, d)`` matrix and the frontier's row-index
+    arrays, so spilling the matrix to disk makes only the frontier's indices
+    plus the pages of the actively gathered groups resident.  ``source`` is
+    any :class:`~repro.data.source.TableSource`; each chunk is decoded and
+    written in place, so at no point is more than one chunk's values in RAM.
+    The backing file is unlinked immediately (the mapping keeps the storage
+    alive), so the spill disappears with the returned array.
+
+    Values are identical to the resident :func:`_value_matrix` build - the
+    decode of a chunk's codes against the shared full-table domains yields
+    exactly the observed float64s - so partitions over a spilled matrix match
+    the resident recursion exactly (pass it to ``partition(...,
+    values=...)``).
+    """
+    qi_names = list(source.schema.quasi_identifier_names)
+    handle, path = tempfile.mkstemp(prefix="mondrian-values-", suffix=".bin", dir=directory)
+    os.close(handle)
+    values = np.memmap(
+        path, dtype=np.float64, mode="w+", shape=(source.n_rows, len(qi_names))
+    )
+    try:
+        os.unlink(path)
+    except OSError:  # pragma: no cover - e.g. platforms without unlink-while-open
+        pass
+    cursor = 0
+    for chunk in source.iter_chunks():
+        stop = cursor + chunk.n_rows
+        values[cursor:stop] = MondrianAnonymizer._value_matrix(chunk, qi_names)
+        cursor = stop
+    if cursor != source.n_rows:
+        raise AnonymizationError(
+            f"table source yielded {cursor} rows but declared {source.n_rows}"
+        )
+    return values
 
 
 @dataclass
@@ -165,7 +207,13 @@ class MondrianAnonymizer:
         self.statistics = MondrianStatistics()
 
     # -- public API -------------------------------------------------------------------
-    def partition(self, table: MicrodataTable, *, prepare: bool = True) -> list[np.ndarray]:
+    def partition(
+        self,
+        table: MicrodataTable,
+        *,
+        prepare: bool = True,
+        values: np.ndarray | None = None,
+    ) -> list[np.ndarray]:
         """Partition ``table`` into groups satisfying the privacy model.
 
         Returns the list of group index arrays.  Raises
@@ -181,6 +229,10 @@ class MondrianAnonymizer:
         depth-first traversal; both traversals try the same candidate splits
         per node, so the *partition* is identical - only the group emission
         order differs.
+
+        ``values`` optionally supplies a prebuilt value matrix - e.g. a
+        :func:`spilled_value_matrix` memmap - instead of building the
+        resident one from ``table``; the partition is identical either way.
         """
         if prepare:
             self.model.prepare(table)
@@ -191,17 +243,20 @@ class MondrianAnonymizer:
                 "the whole table does not satisfy the privacy requirement; no release is possible"
             )
         if self.split_strategy != "dfs":
-            root = self.partition_forest(table, [all_indices])[0]
+            root = self.partition_forest(table, [all_indices], values=values)[0]
             return [leaf.indices for leaf in root.leaves()]
-        return self._partition_dfs(table, all_indices)
+        return self._partition_dfs(table, all_indices, values=values)
 
     def _partition_dfs(
-        self, table: MicrodataTable, all_indices: np.ndarray
+        self,
+        table: MicrodataTable,
+        all_indices: np.ndarray,
+        values: np.ndarray | None = None,
     ) -> list[np.ndarray]:
         """The legacy iterative depth-first traversal (``split_strategy="dfs"``)."""
         qi_names = list(table.quasi_identifier_names)
         spans = self._span_vector(table, qi_names)
-        values = self._value_matrix(table, qi_names)
+        values = self._checked_values(table, qi_names, values)
         groups: list[np.ndarray] = []
         # Iterative depth-first traversal to avoid recursion limits on large tables.
         stack: list[tuple[np.ndarray, int]] = [(all_indices, 0)]
@@ -219,7 +274,11 @@ class MondrianAnonymizer:
         return groups
 
     def partition_tree(
-        self, table: MicrodataTable, *, prepare: bool = True
+        self,
+        table: MicrodataTable,
+        *,
+        prepare: bool = True,
+        values: np.ndarray | None = None,
     ) -> MondrianNode | MondrianLeaf:
         """Like :meth:`partition`, but record the split decisions as a tree.
 
@@ -237,7 +296,7 @@ class MondrianAnonymizer:
             raise AnonymizationError(
                 "the whole table does not satisfy the privacy requirement; no release is possible"
             )
-        return self.partition_forest(table, [all_indices])[0]
+        return self.partition_forest(table, [all_indices], values=values)[0]
 
     def partition_forest(
         self,
@@ -245,6 +304,7 @@ class MondrianAnonymizer:
         regions: Sequence[np.ndarray],
         *,
         depths: Sequence[int] | None = None,
+        values: np.ndarray | None = None,
     ) -> list[MondrianNode | MondrianLeaf]:
         """Recursively split several regions at once, frontier-synchronously.
 
@@ -259,10 +319,12 @@ class MondrianAnonymizer:
         ``round_robin`` dimension rotation and the depth statistics); it
         defaults to 0 for every region.  Statistics are *accumulated*, not
         reset, so a streaming publisher can total its incremental work.
+        ``values`` optionally supplies a prebuilt (e.g. spilled) value
+        matrix.
         """
         qi_names = list(table.quasi_identifier_names)
         spans = self._span_vector(table, qi_names)
-        values = self._value_matrix(table, qi_names)
+        values = self._checked_values(table, qi_names, values)
         if depths is None:
             depths = [0] * len(regions)
         if len(depths) != len(regions):
@@ -331,6 +393,22 @@ class MondrianAnonymizer:
             for name in qi_names
         ]
         return np.column_stack(columns)
+
+    def _checked_values(
+        self,
+        table: MicrodataTable,
+        qi_names: list[str],
+        values: np.ndarray | None,
+    ) -> np.ndarray:
+        """The value matrix to recurse over: the caller's (shape-checked) or a fresh build."""
+        if values is None:
+            return self._value_matrix(table, qi_names)
+        if values.shape != (table.n_rows, len(qi_names)):
+            raise AnonymizationError(
+                f"value matrix shape {values.shape} does not match "
+                f"({table.n_rows}, {len(qi_names)})"
+            )
+        return values
 
     @staticmethod
     def _span_vector(table: MicrodataTable, qi_names: list[str]) -> np.ndarray:

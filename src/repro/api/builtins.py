@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anonymize.anatomy import anatomy_partition
-from repro.anonymize.mondrian import MondrianAnonymizer
+from repro.anonymize.mondrian import MondrianAnonymizer, spilled_value_matrix
 from repro.api.registry import (
     register_algorithm,
     register_measure,
@@ -30,9 +30,10 @@ from repro.api.registry import (
     register_prior_estimator,
 )
 from repro.data.distance import attribute_distance_matrix
+from repro.data.source import as_source
 from repro.data.table import MicrodataTable
 from repro.exceptions import AnonymizationError, PrivacyModelError
-from repro.knowledge.backend import DEFAULT_MAX_CELLS
+from repro.knowledge.backend import DEFAULT_MAX_CELLS, EstimatorConfig
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import kernel_prior, mle_prior, overall_prior, uniform_prior
 from repro.privacy.measures import (
@@ -153,6 +154,7 @@ def run_mondrian(
     requirement: PrivacyModel,
     *,
     split_strategy: str = "widest",
+    spill: bool = False,
 ) -> tuple[list[np.ndarray], str]:
     """Mondrian multidimensional generalization (the paper's algorithm).
 
@@ -160,9 +162,15 @@ def run_mondrian(
     requirement check per round, groups in deterministic left-to-right tree
     order); ``"dfs"`` opts back into the legacy depth-first traversal, which
     cuts the identical partition in the legacy emission order.
+
+    ``spill=True`` builds the value matrix chunk by chunk into an unlinked
+    temp-file memmap (:func:`~repro.anonymize.mondrian.spilled_value_matrix`)
+    instead of resident RAM; the partition is identical, only the recursion's
+    working set shrinks to the frontier's row indices plus the touched pages.
     """
     mondrian = MondrianAnonymizer(requirement, split_strategy=split_strategy)
-    groups = mondrian.partition(table, prepare=False)
+    values = spilled_value_matrix(as_source(table)) if spill else None
+    groups = mondrian.partition(table, prepare=False, values=values)
     return groups, f"mondrian[{requirement.describe()}]"
 
 
@@ -209,10 +217,11 @@ def estimate_kernel_prior(
     table: MicrodataTable,
     *,
     b: float | Bandwidth = 0.3,
-    kernel: str = "epanechnikov",
-    batch_size: int = 256,
+    config: EstimatorConfig | None = None,
+    kernel: str | None = None,
+    batch_size: int | None = None,
     distance_matrices: dict[str, np.ndarray] | None = None,
-    max_cells: int = DEFAULT_MAX_CELLS,
+    max_cells: int | None = None,
     jobs: int | None = None,
 ):
     """Nadaraya-Watson kernel regression prior (Section II-B, the paper's estimator).
@@ -226,6 +235,7 @@ def estimate_kernel_prior(
     return kernel_prior(
         table,
         b,
+        config=config,
         kernel=kernel,
         batch_size=batch_size,
         distance_matrices=distance_matrices,

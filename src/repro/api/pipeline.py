@@ -104,14 +104,16 @@ class ReleaseBundle:
 class Pipeline:
     """Chainable builder for one anonymize -> audit -> report run.
 
-    Construct from a table (an ephemeral session is created) or from an
+    Construct from a table - a :class:`~repro.data.table.MicrodataTable` or
+    a chunked :class:`~repro.data.source.TableSource` (an ephemeral session is
+    created, materialising sources through the codes-backed path) - or from an
     existing :class:`~repro.api.session.Session` to share preparation caches::
 
         Pipeline(table).model("bt", b=0.3, t=0.2).with_k(4).run()
         session.pipeline().model("t-closeness", t=0.15).run()
     """
 
-    def __init__(self, table: MicrodataTable | None = None, *, session: Session | None = None):
+    def __init__(self, table: "MicrodataTable | Any | None" = None, *, session: Session | None = None):
         if session is None:
             if table is None:
                 raise PipelineError("Pipeline requires a table or a session")

@@ -36,7 +36,7 @@ from repro.api.registry import MEASURES, MODELS, PRIOR_ESTIMATORS
 from repro.audit.engine import SkylineAuditEngine, SkylineAuditReport
 from repro.data.distance import attribute_distance_matrix
 from repro.data.table import MicrodataTable
-from repro.knowledge.backend import DEFAULT_MAX_CELLS, backend_name
+from repro.knowledge.backend import EstimatorConfig, backend_name, resolve_config
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.parallel import parse_jobs
 from repro.knowledge.prior import PriorBeliefs
@@ -91,7 +91,14 @@ class Session:
     ----------
     table:
         The microdata table every pipeline, sweep and audit of this session
-        works on.
+        works on.  A chunked :class:`~repro.data.source.TableSource` (e.g.
+        from :func:`~repro.data.io.open_table`) is accepted and materialised
+        through its memory-frugal codes-backed path.
+    config:
+        An :class:`~repro.knowledge.backend.EstimatorConfig` carrying every
+        estimation knob (kernel, cell budget, batch size, contraction
+        threads, fit chunk size) end to end; the ``kernel``/``max_cells``/
+        ``jobs`` keywords below are back-compat overrides layered on top.
     kernel:
         Default kernel for prior estimation and smoothing (the paper uses
         Epanechnikov throughout).
@@ -112,16 +119,20 @@ class Session:
         self,
         table: MicrodataTable,
         *,
-        kernel: str = "epanechnikov",
-        max_cells: int = DEFAULT_MAX_CELLS,
+        config: EstimatorConfig | None = None,
+        kernel: str | None = None,
+        max_cells: int | None = None,
         jobs: int | None = None,
     ):
-        self.table = table
-        self.default_kernel = kernel
-        self.max_cells = int(max_cells)
-        if jobs is not None:
-            parse_jobs(jobs)
-        self.jobs = jobs
+        from repro.data.source import as_table
+
+        self.table = as_table(table)
+        self.config = resolve_config(config, kernel=kernel, max_cells=max_cells, jobs=jobs)
+        self.default_kernel = self.config.kernel
+        self.max_cells = int(self.config.max_cells)
+        if self.config.jobs is not None:
+            parse_jobs(self.config.jobs)
+        self.jobs = self.config.jobs
         self.stats = SessionStats()
         self._priors: dict[_PriorKey, PriorBeliefs] = {}
         self._distance_matrices: dict[str, np.ndarray] = {}
@@ -380,13 +391,11 @@ class Session:
         engine = SkylineAuditEngine(
             self.table,
             points,
-            kernel=kernel,
+            config=resolve_config(self.config, kernel=kernel),
             method=method,
             measure=self.measure("smoothed-js", kernel=kernel),
             priors=priors,
             chunk_rows=chunk_rows,
-            max_cells=self.max_cells,
-            jobs=self.jobs,
             distance_matrices={
                 name: self.distance_matrix(name)
                 for name in self.table.quasi_identifier_names
@@ -450,13 +459,11 @@ class Session:
             requirement,
             skyline=skyline,
             k=k,
-            kernel=self.default_kernel,
+            config=resolve_config(self.config, max_cells=max_cells),
             method=method,
             split_strategy=split_strategy,
             refine_factor=refine_factor,
             compact_drift=compact_drift,
-            max_cells=self.max_cells if max_cells is None else max_cells,
-            jobs=self.jobs,
             distance_matrices={
                 name: self.distance_matrix(name)
                 for name in self.table.quasi_identifier_names

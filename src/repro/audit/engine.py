@@ -29,7 +29,7 @@ import numpy as np
 from repro.data.table import MicrodataTable
 from repro.exceptions import AuditError
 from repro.inference.omega import grouped_posterior
-from repro.knowledge.backend import DEFAULT_MAX_CELLS
+from repro.knowledge.backend import EstimatorConfig, resolve_config
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import BatchedKernelPriorEstimator, PriorBeliefs
 from repro.obs.tracing import current_tracer
@@ -179,6 +179,11 @@ class SkylineAuditEngine:
     skyline:
         ``(B_i, t_i)`` pairs; ``B_i`` is a scalar (uniform across QI
         attributes) or a full :class:`~repro.knowledge.bandwidth.Bandwidth`.
+    config:
+        An :class:`~repro.knowledge.backend.EstimatorConfig` carrying the
+        estimation knobs (kernel, cell budget, contraction threads, batch and
+        fit chunk sizes) end to end; the ``kernel``/``max_cells``/``jobs``
+        keywords below are back-compat overrides layered on top of it.
     kernel:
         Kernel for prior estimation (default Epanechnikov, as in the paper).
     method:
@@ -191,6 +196,8 @@ class SkylineAuditEngine:
         injects its cache.
     chunk_rows:
         Optional row cap per posterior pass (bounds memory on huge tables).
+        Distinct from ``config.chunk_rows``, which chunks the estimator's
+        *fit* over a table source.
     max_cells:
         Cell budget for the factored estimation backend's blocked contraction
         (see :class:`~repro.knowledge.backend.FactoredPriorBackend`; ``0``
@@ -209,24 +216,29 @@ class SkylineAuditEngine:
         table: MicrodataTable,
         skyline: Iterable[tuple[float | Bandwidth, float]],
         *,
-        kernel: str = "epanechnikov",
+        config: EstimatorConfig | None = None,
+        kernel: str | None = None,
         method: str = "omega",
         measure: DistanceMeasure | None = None,
         priors: Sequence[PriorBeliefs | None] | None = None,
         chunk_rows: int | None = None,
-        max_cells: int = DEFAULT_MAX_CELLS,
+        max_cells: int | None = None,
         jobs: int | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
     ):
         if method not in {"omega", "exact"}:
             raise AuditError("method must be 'omega' or 'exact'")
-        self.table = table
+        from repro.data.source import as_table
+
+        self.table = as_table(table)
+        table = self.table
         self.adversaries = _normalise_skyline(table, skyline)
-        self.kernel = kernel
+        self.config = resolve_config(config, kernel=kernel, max_cells=max_cells, jobs=jobs)
+        self.kernel = self.config.kernel
         self.method = method
         self.chunk_rows = chunk_rows
-        self.max_cells = int(max_cells)
-        self.jobs = jobs
+        self.max_cells = int(self.config.max_cells)
+        self.jobs = self.config.jobs
         self._distance_matrices = distance_matrices
         self.measure = measure if measure is not None else sensitive_distance_measure(table)
         priors = list(priors) if priors is not None else [None] * len(self.adversaries)
@@ -249,9 +261,7 @@ class SkylineAuditEngine:
         start = time.perf_counter()
         with current_tracer().span("engine.prepare", adversaries=len(missing)):
             estimator = BatchedKernelPriorEstimator(
-                kernel=self.kernel,
-                max_cells=self.max_cells,
-                jobs=self.jobs,
+                config=self.config,
                 distance_matrices=self._distance_matrices,
             ).fit(self.table)
             estimated = estimator.prior_for_table(

@@ -43,12 +43,12 @@ import numpy as np
 
 from repro.api import ALGORITHMS, MODELS, Session, expand_grid
 from repro.data.adult import adult_schema, generate_adult
-from repro.data.io import read_csv, write_csv
-from repro.data.table import MicrodataTable
+from repro.data.io import open_table, read_csv, write_csv
+from repro.data.source import as_source, as_table, write_npz
 from repro.exceptions import ReproError
 from repro.experiments import config as experiment_config
 from repro.experiments import figures as experiment_figures
-from repro.knowledge.backend import DEFAULT_MAX_CELLS
+from repro.knowledge.backend import DEFAULT_MAX_CELLS, resolve_config
 from repro.obs.log import LOG_FORMATS, LOG_LEVELS, configure as configure_logging
 from repro.obs.tracing import Tracer
 from repro.privacy.models import PrivacyModel
@@ -65,10 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    generate = subparsers.add_parser("generate", help="generate a synthetic Adult-like CSV")
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic Adult-like table (CSV or npz)"
+    )
     generate.add_argument("--rows", type=int, default=5000, help="number of tuples (default 5000)")
     generate.add_argument("--seed", type=int, default=2009, help="random seed (default 2009)")
-    generate.add_argument("--output", required=True, help="path of the CSV file to write")
+    generate.add_argument(
+        "--output", required=True,
+        help="path of the table file to write (.csv, or .npz for the memory-mappable code format)",
+    )
 
     anonymize_parser = subparsers.add_parser(
         "anonymize", help="anonymize a table and write the generalized release"
@@ -338,8 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figure", help="regenerate one of the paper's figures and print it"
     )
     figure_parser.add_argument("--id", required=True, choices=_FIGURE_CHOICES, help="figure id")
-    figure_parser.add_argument("--rows", type=int, default=2000, help="synthetic table size")
-    figure_parser.add_argument("--seed", type=int, default=2009, help="random seed")
+    _add_table_arguments(figure_parser)
     figure_parser.add_argument(
         "--parameters", default="para1", choices=[p.name for p in experiment_config.TABLE_V],
         help="Table V parameter set used by figures that need one (default para1)",
@@ -349,9 +353,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_table_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group()
-    source.add_argument("--input", help="CSV file with the Adult (Table IV) schema")
+    source.add_argument(
+        "--input",
+        help=(
+            "table file with the Adult (Table IV) schema: .csv (streamed in "
+            "bounded chunks) or .npz (memory-mapped code columns)"
+        ),
+    )
     source.add_argument("--rows", type=int, default=2000, help="synthetic table size (default 2000)")
     parser.add_argument("--seed", type=int, default=2009, help="random seed for synthetic data")
+    parser.add_argument(
+        "--chunk-rows", type=_chunk_rows_argument, default=None, metavar="N",
+        help=(
+            "rows per chunk when streaming --input through the out-of-core "
+            "ingestion path (default 65536; priors are bitwise identical at "
+            "any chunk size)"
+        ),
+    )
 
 
 def _add_max_cells_argument(parser: argparse.ArgumentParser) -> None:
@@ -409,9 +427,12 @@ def _add_model_arguments(parser: argparse.ArgumentParser, *, algorithm: bool = T
         )
 
 
-def _load_table(args: argparse.Namespace) -> MicrodataTable:
+def _load_table(args: argparse.Namespace):
+    """The run's table: a chunked TableSource for --input, synthetic otherwise."""
     if getattr(args, "input", None):
-        return read_csv(args.input, adult_schema())
+        return open_table(
+            args.input, adult_schema(), chunk_rows=getattr(args, "chunk_rows", None)
+        )
     return generate_adult(args.rows, seed=args.seed)
 
 
@@ -423,9 +444,15 @@ def _build_model(args: argparse.Namespace) -> PrivacyModel:
     )
 
 
-def _session(table: MicrodataTable, args: argparse.Namespace) -> Session:
+def _session(table, args: argparse.Namespace) -> Session:
     """A session carrying the CLI's estimator-backend configuration."""
-    return Session(table, max_cells=args.max_cells, jobs=args.jobs)
+    config = resolve_config(
+        None,
+        max_cells=args.max_cells,
+        jobs=args.jobs,
+        chunk_rows=getattr(args, "chunk_rows", None),
+    )
+    return Session(table, config=config)
 
 
 def _write_release_csv(release, path: str | Path) -> None:
@@ -440,7 +467,10 @@ def _write_release_csv(release, path: str | Path) -> None:
 
 def _run_generate(args: argparse.Namespace) -> int:
     table = generate_adult(args.rows, seed=args.seed)
-    write_csv(table, args.output)
+    if Path(args.output).suffix.lower() == ".npz":
+        write_npz(args.output, as_source(table))
+    else:
+        write_csv(table, args.output)
     print(f"wrote {table.n_rows} rows to {args.output}")
     return 0
 
@@ -562,6 +592,21 @@ def _positive_float_argument(text: str) -> float:
     if not value > 0.0:
         raise argparse.ArgumentTypeError(
             f"bad value {text!r}; the value must be positive (or 'inf')"
+        )
+    return value
+
+
+def _chunk_rows_argument(text: str) -> int:
+    """argparse ``type`` wrapper: malformed/non-positive chunk sizes exit 2."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad chunk size {text!r}; expected a positive integer"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"bad chunk size {text!r}; the chunk size must be at least 1"
         )
     return value
 
@@ -904,7 +949,7 @@ def _stream_publications(args: argparse.Namespace, tracer: Tracer) -> int:
         )
     else:
         if getattr(args, "input", None):
-            table = read_csv(args.input, adult_schema())
+            table = as_table(_load_table(args))
             if table.n_rows <= appended_total:
                 raise ReproError(
                     f"--input has {table.n_rows} rows but {appended_total} are reserved "
@@ -1010,7 +1055,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_figure(args: argparse.Namespace) -> int:
-    table = generate_adult(args.rows, seed=args.seed)
+    table = as_table(_load_table(args))
     parameters = experiment_config.parameters_by_name(args.parameters)
     session = Session(table)
     runners = {

@@ -9,7 +9,7 @@ from repro.data.distance import (
     validate_distance_matrix,
 )
 from repro.data.hierarchy import Taxonomy
-from repro.data.io import read_csv, write_csv
+from repro.data.io import open_table, read_csv, write_csv
 from repro.data.schema import (
     Attribute,
     AttributeKind,
@@ -19,6 +19,16 @@ from repro.data.schema import (
     numeric_qi,
     sensitive,
 )
+from repro.data.source import (
+    DEFAULT_CHUNK_ROWS,
+    CsvTableSource,
+    InMemoryTableSource,
+    NpzTableSource,
+    TableSource,
+    as_source,
+    as_table,
+    write_npz,
+)
 from repro.data.table import AttributeDomain, MicrodataTable
 
 __all__ = [
@@ -26,10 +36,17 @@ __all__ = [
     "AttributeDomain",
     "AttributeKind",
     "AttributeRole",
+    "CsvTableSource",
+    "DEFAULT_CHUNK_ROWS",
+    "InMemoryTableSource",
     "MicrodataTable",
+    "NpzTableSource",
     "Schema",
+    "TableSource",
     "Taxonomy",
     "adult_schema",
+    "as_source",
+    "as_table",
     "attribute_distance_matrix",
     "categorical_qi",
     "discrete_distance_matrix",
@@ -37,6 +54,7 @@ __all__ = [
     "hierarchy_distance_matrix",
     "numeric_distance_matrix",
     "numeric_qi",
+    "open_table",
     "read_csv",
     "sensitive",
     "validate_distance_matrix",

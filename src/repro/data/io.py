@@ -70,6 +70,43 @@ def read_csv(path: str | Path, schema: Schema) -> MicrodataTable:
     return MicrodataTable(schema, columns)
 
 
+def open_table(path: str | Path, schema: Schema | None = None, chunk_rows: int | None = None):
+    """Open a table file as a chunked :class:`~repro.data.source.TableSource`.
+
+    The implementation is picked by extension: ``.csv`` streams through
+    :class:`~repro.data.source.CsvTableSource` (one metadata pre-scan, then
+    bounded chunks), ``.npz`` memory-maps the code columns through
+    :class:`~repro.data.source.NpzTableSource`.  Any other extension raises
+    a :class:`~repro.exceptions.DataError`.
+
+    Parameters
+    ----------
+    path:
+        File to open.
+    schema:
+        Schema describing attribute kinds and roles; defaults to the Adult
+        (Table IV) schema the built-in generator uses.
+    chunk_rows:
+        Default chunk size for ``iter_chunks`` (positive; falls back to
+        :data:`~repro.data.source.DEFAULT_CHUNK_ROWS`).
+    """
+    from repro.data.adult import adult_schema
+    from repro.data.source import CsvTableSource, NpzTableSource
+
+    path = Path(path)
+    if schema is None:
+        schema = adult_schema()
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return CsvTableSource(path, schema, chunk_rows=chunk_rows)
+    if suffix == ".npz":
+        return NpzTableSource(path, schema, chunk_rows=chunk_rows)
+    raise DataError(
+        f"cannot open {path}: unsupported table format {suffix or '(no extension)'!r} "
+        "(expected .csv or .npz)"
+    )
+
+
 def _format_value(value: object) -> str:
     """Render a cell value, writing integral floats without a trailing ``.0``."""
     if isinstance(value, float) and value.is_integer():

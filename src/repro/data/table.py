@@ -165,6 +165,55 @@ class MicrodataTable:
         return cls(schema, columns)
 
     @classmethod
+    def from_codes(
+        cls,
+        schema: Schema,
+        codes: Mapping[str, np.ndarray],
+        domains: Mapping[str, AttributeDomain],
+    ) -> "MicrodataTable":
+        """Build a table directly from integer code columns (the out-of-core path).
+
+        The codes-backed constructor is the memory-frugal dual of
+        :meth:`from_columns`: it stores only the ``int32`` code columns plus
+        the shared :class:`AttributeDomain` objects, and decodes original
+        values *lazily* the first time :meth:`column` is called for an
+        attribute.  Chunked table sources assemble million-row tables this
+        way without ever materialising the per-row string objects a raw
+        construction would allocate.  Codes must lie inside their domains;
+        the resulting table is indistinguishable from one built from the
+        decoded values (``decode(encode(x)) == x`` exactly).
+        """
+        table = object.__new__(cls)
+        table._schema = schema
+        missing = [name for name in schema.names if name not in codes]
+        if missing:
+            raise DataError(f"missing code columns for attributes {missing}")
+        absent = [name for name in schema.names if name not in domains]
+        if absent:
+            raise DataError(f"missing domains for attributes {absent}")
+        lengths = {name: len(codes[name]) for name in schema.names}
+        if len(set(lengths.values())) != 1:
+            raise DataError(f"code columns have inconsistent lengths: {lengths}")
+        table._n_rows = next(iter(lengths.values()))
+        if table._n_rows == 0:
+            raise DataError("a microdata table requires at least one row")
+        table._domains = {name: domains[name] for name in schema.names}
+        table._raw = {}
+        table._codes = {}
+        for attribute in schema:
+            name = attribute.name
+            column = np.asarray(codes[name], dtype=np.int32)
+            if column.ndim != 1:
+                raise DataError(f"code column {name!r} must be one-dimensional")
+            domain = table._domains[name]
+            if column.size and (column.min() < 0 or column.max() >= domain.size):
+                raise DataError(
+                    f"code out of range for attribute {name!r} (domain size {domain.size})"
+                )
+            table._codes[name] = column
+        return table
+
+    @classmethod
     def from_rows(cls, schema: Schema, rows: Iterable[Mapping[str, object]]) -> "MicrodataTable":
         """Build a table from an iterable of ``{attribute: value}`` mappings."""
         rows = list(rows)
@@ -212,9 +261,15 @@ class MicrodataTable:
         return self._domains[name]
 
     def column(self, name: str) -> np.ndarray:
-        """Original values of attribute ``name`` (copy-free view)."""
+        """Original values of attribute ``name`` (copy-free view).
+
+        Codes-backed tables (see :meth:`from_codes`) decode the column from
+        its integer codes on first access and cache the result.
+        """
         if name not in self._raw:
-            raise SchemaError(f"unknown attribute {name!r}")
+            if name not in self._codes:
+                raise SchemaError(f"unknown attribute {name!r}")
+            self._raw[name] = self._domains[name].decode(self._codes[name])
         return self._raw[name]
 
     def codes(self, name: str) -> np.ndarray:
@@ -234,7 +289,7 @@ class MicrodataTable:
 
     def sensitive_values(self) -> np.ndarray:
         """Original sensitive values for every tuple."""
-        return self._raw[self.sensitive_name]
+        return self.column(self.sensitive_name)
 
     def sensitive_domain(self) -> AttributeDomain:
         """Domain of the sensitive attribute (``D[S]`` in the paper)."""
@@ -244,7 +299,7 @@ class MicrodataTable:
         """Row ``index`` as a plain ``{attribute: value}`` dictionary."""
         if not 0 <= index < self._n_rows:
             raise DataError(f"row index {index} out of range for table of {self._n_rows} rows")
-        return {name: self._raw[name][index] for name in self._schema.names}
+        return {name: self.column(name)[index] for name in self._schema.names}
 
     def rows(self) -> list[dict[str, object]]:
         """All rows as dictionaries (materialises the table; intended for small tables)."""
@@ -306,7 +361,10 @@ class MicrodataTable:
             else:
                 fresh = np.asarray([str(v) for v in columns[name]], dtype=object)
             codes = self._domains[name].encode(fresh)
-            grown._raw[name] = np.concatenate([self._raw[name], fresh])
+            # Columns a codes-backed table never decoded stay lazy in the
+            # grown table too; decoded columns concatenate as before.
+            if name in self._raw:
+                grown._raw[name] = np.concatenate([self._raw[name], fresh])
             grown._codes[name] = np.concatenate([self._codes[name], codes])
         return grown
 
@@ -353,21 +411,32 @@ class MicrodataTable:
             else:
                 fresh = np.asarray([str(v) for v in columns[name]], dtype=object)
             codes = self._domains[name].encode(fresh)
-            raw = self._raw[name].copy()
-            raw[indices] = fresh
+            if name in self._raw:
+                raw = self._raw[name].copy()
+                raw[indices] = fresh
+                replaced._raw[name] = raw
             code_column = self._codes[name].copy()
             code_column[indices] = codes
-            replaced._raw[name] = raw
             replaced._codes[name] = code_column
         return replaced
 
     def select(self, indices: Sequence[int]) -> "MicrodataTable":
-        """A new table containing only the rows in ``indices`` (domains are preserved)."""
+        """A new table containing only the rows in ``indices`` (domains are preserved).
+
+        Selection slices the integer code columns and returns a codes-backed
+        table (raw values decode lazily), so selecting from a huge table
+        never materialises per-row strings; the result is value-identical to
+        slicing the raw columns because codes round-trip exactly.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
             raise DataError("select requires at least one row index")
-        columns = {name: self._raw[name][indices] for name in self._schema.names}
-        return MicrodataTable(self._schema, columns, domains=self._domains)
+        if indices.size and (indices.min() < 0 or indices.max() >= self._n_rows):
+            raise DataError(
+                f"row index out of range for table of {self._n_rows} rows"
+            )
+        codes = {name: self._codes[name][indices] for name in self._schema.names}
+        return MicrodataTable.from_codes(self._schema, codes, self._domains)
 
     def sample(self, n_rows: int, *, rng: np.random.Generator | None = None) -> "MicrodataTable":
         """A uniform random sample of ``n_rows`` rows (without replacement)."""

@@ -94,7 +94,7 @@ block-budget guards.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -166,6 +166,12 @@ class EstimatorConfig:
         kernels additionally evaluate only inside the ``d <= B`` support
         mask).  Bitwise identical to the dense rebuild; the switch exists
         for the equivalence suite and the sharing on/off benchmark.
+    chunk_rows:
+        Rows per chunk when fitting from a
+        :class:`~repro.data.source.TableSource` (the out-of-core path).
+        ``None`` defers to the source's own default.  Chunked fits are
+        *bitwise identical* to the all-in-RAM fit - see
+        :meth:`FactoredPriorBackend.fit`.
     """
 
     kernel: str = "epanechnikov"
@@ -174,6 +180,7 @@ class EstimatorConfig:
     max_count_cells: int = DEFAULT_MAX_COUNT_CELLS
     jobs: int | None = None
     share_bandwidths: bool = True
+    chunk_rows: int | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -184,11 +191,28 @@ class EstimatorConfig:
             raise KnowledgeError("max_count_cells must be positive")
         if self.jobs is not None:
             parse_jobs(self.jobs)
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise KnowledgeError("chunk_rows must be a positive number of rows")
 
     @property
     def backend_name(self) -> str:
         """``"factored"`` or ``"flat"`` - what this configuration selects."""
         return backend_name(self.max_cells)
+
+
+def resolve_config(config: EstimatorConfig | None = None, **overrides) -> EstimatorConfig:
+    """Merge legacy per-knob keyword overrides into one :class:`EstimatorConfig`.
+
+    The deprecation shim behind every consumer that grew a ``config=``
+    parameter (sessions, estimators, the audit engine, the publisher): the
+    scattered keyword knobs (``kernel=``, ``max_cells=``, ``jobs=``, ...)
+    stay accepted, and any that were actually supplied (non-``None``)
+    override the matching field of ``config`` (or of a default config).
+    Callers migrating to ``config=`` simply stop passing the keywords.
+    """
+    base = config if config is not None else EstimatorConfig()
+    supplied = {name: value for name, value in overrides.items() if value is not None}
+    return replace(base, **supplied) if supplied else base
 
 
 @dataclass
@@ -344,10 +368,25 @@ class FactoredPriorBackend:
         )
 
     # -- fitting ----------------------------------------------------------------------
-    def fit(self, table: MicrodataTable) -> "FactoredPriorBackend":
-        """Precompute every bandwidth-independent artefact for ``table``."""
+    def fit(self, table) -> "FactoredPriorBackend":
+        """Precompute every bandwidth-independent artefact for ``table``.
+
+        ``table`` is a :class:`~repro.data.table.MicrodataTable` or any
+        :class:`~repro.data.source.TableSource`.  A source is fitted
+        *chunk by chunk* (``config.chunk_rows`` rows at a time): the first
+        chunk takes the ordinary fit and every further chunk folds in
+        through the exact append deltas, deferring nothing to approximation
+        - integer counts in float64 add exactly - and a final slot
+        canonicalisation permutes the arrival-ordered rest slots into the
+        lexicographic layout the one-pass fit builds, so the streamed fit
+        is **bitwise identical** to fitting the fully resident table while
+        only ever holding one chunk's values in RAM.
+        """
         with current_tracer().span("backend.fit", rows=table.n_rows) as fit_span:
-            self._fit(table)
+            if isinstance(table, MicrodataTable):
+                self._fit(table)
+            else:
+                self._fit_streaming(table)
         fit_span.annotate(mode=self.mode, blocks=len(self._blocks))
         return self
 
@@ -425,6 +464,103 @@ class FactoredPriorBackend:
         )
         self._slot_totals = np.zeros(capacity, dtype=np.float64)
         self._slot_totals[:n_combos] = self._count_storage[:, :n_combos, :].sum(axis=(0, 2))
+        self._rebuild_query_index()
+
+    def _fit_streaming(self, source) -> None:
+        """Fit from a chunked :class:`~repro.data.source.TableSource`.
+
+        Chunks fold through :meth:`_append_rows` against a growing
+        codes-backed table (code buffers are preallocated at the source's
+        declared row count, so each fold sees a copy-free view); the final
+        :meth:`_canonicalise_slots` restores the lexicographic slot layout.
+        Only the active chunk's values are ever resident.  The flat
+        reference (``max_cells == 0``, or the count-tensor guard tripping
+        mid-stream) needs the whole code matrix anyway, so it fits the
+        accumulated table in one pass at the end.
+        """
+        from repro.data.source import as_table
+
+        if self.config.max_cells == 0:
+            self._fit(as_table(source))
+            return
+        schema = source.schema
+        domains = source.domains()
+        buffers = {
+            name: np.empty(source.n_rows, dtype=np.int32) for name in schema.names
+        }
+        grown: MicrodataTable | None = None
+        first = True
+        cursor = 0
+        for chunk in source.iter_chunks(self.config.chunk_rows):
+            stop = cursor + chunk.n_rows
+            if stop > source.n_rows:
+                raise KnowledgeError(
+                    f"table source yielded more rows than its declared {source.n_rows}"
+                )
+            for name in schema.names:
+                buffers[name][cursor:stop] = chunk.codes(name)
+            cursor = stop
+            grown = MicrodataTable.from_codes(
+                schema, {name: buffers[name][:stop] for name in schema.names}, domains
+            )
+            if first:
+                first = False
+                self._fit(grown)
+            elif self.mode == "factored":
+                # A fold that trips a growth guard refits the partial table
+                # (possibly flipping to flat); remaining chunks then just
+                # accumulate codes for the final one-pass fit below.
+                self._append_rows(grown)
+        if cursor != source.n_rows:
+            raise KnowledgeError(
+                f"table source yielded {cursor} rows but declared {source.n_rows}"
+            )
+        if self.mode == "factored":
+            self._canonicalise_slots()
+        elif self._table is not grown:
+            self._fit(grown)
+
+    def _canonicalise_slots(self) -> None:
+        """Permute arrival-ordered rest slots into the one-pass lexicographic layout.
+
+        A streamed fit assigns slots in arrival order (first chunk
+        lexicographic, later combinations appended); ``np.unique(...,
+        axis=0)`` over the whole table would have sorted them.  Slot order
+        feeds the contraction's summation order, so bitwise parity with the
+        resident fit requires the same layout: sort the combinations
+        (``np.lexsort`` over the columns, the order ``np.unique`` uses),
+        permute the count storage and per-row slot ids, and re-derive the
+        blocks and query index exactly as :meth:`_fit` would.  All pure
+        permutation and recomputation from identical integer counts - no
+        arithmetic on the counts themselves - hence bitwise.
+        """
+        n_combos = self._n_combos
+        combos = self._rest_combos[:n_combos]
+        order = np.lexsort(combos.T[::-1])
+        rank = np.empty(n_combos, dtype=np.int64)
+        rank[order] = np.arange(n_combos, dtype=np.int64)
+        canonical = combos[order]
+        capacity = self._capacity(n_combos)
+        rest_combos = np.zeros((capacity, combos.shape[1]), dtype=combos.dtype)
+        rest_combos[:n_combos] = canonical
+        self._rest_combos = rest_combos
+        storage = np.zeros(
+            (self._count_storage.shape[0], capacity, self._count_storage.shape[2]),
+            dtype=np.float64,
+        )
+        storage[:, :n_combos, :] = self._count_storage[:, :n_combos, :][:, order, :]
+        self._count_storage = storage
+        totals = np.zeros(capacity, dtype=np.float64)
+        totals[:n_combos] = storage[:, :n_combos, :].sum(axis=(0, 2))
+        self._slot_totals = totals
+        self._slot_of_row = rank[self._slot_of_row]
+        qi_names = list(self._table.quasi_identifier_names)
+        self._blocks = self._build_blocks(
+            canonical, [qi_names[i] for i in self._rest_indices], capacity
+        )
+        self._block_distance_cache = {}
+        self._contractions = {}
+        self._overall = self._table.sensitive_distribution()
         self._rebuild_query_index()
 
     def _build_blocks(

@@ -51,9 +51,9 @@ from repro.data.table import MicrodataTable
 from repro.exceptions import KnowledgeError
 from repro.knowledge.backend import (
     DEFAULT_BATCH_SIZE,
-    DEFAULT_MAX_CELLS,
     EstimatorConfig,
     FactoredPriorBackend,
+    resolve_config,
 )
 from repro.knowledge.bandwidth import Bandwidth
 
@@ -123,6 +123,11 @@ class KernelPriorEstimator:
     bandwidth:
         Per-attribute :class:`~repro.knowledge.bandwidth.Bandwidth`.  It must
         cover every quasi-identifier of the table passed to :meth:`fit`.
+    config:
+        The consolidated :class:`~repro.knowledge.backend.EstimatorConfig`
+        (kernel, budgets, ``jobs``, ``chunk_rows``).  The per-knob keywords
+        below are deprecation shims layered on top of it via
+        :func:`~repro.knowledge.backend.resolve_config`.
     kernel:
         Name of the kernel function (default ``"epanechnikov"``, as in the
         paper).
@@ -144,24 +149,22 @@ class KernelPriorEstimator:
         self,
         bandwidth: Bandwidth,
         *,
-        kernel: str = "epanechnikov",
-        batch_size: int = _DEFAULT_BATCH_SIZE,
+        config: EstimatorConfig | None = None,
+        kernel: str | None = None,
+        batch_size: int | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
-        max_cells: int = DEFAULT_MAX_CELLS,
+        max_cells: int | None = None,
         jobs: int | None = None,
     ):
         self.bandwidth = bandwidth
-        self.kernel_name = kernel
-        self.batch_size = int(batch_size)
-        self.max_cells = int(max_cells)
+        self.config = resolve_config(
+            config, kernel=kernel, batch_size=batch_size, max_cells=max_cells, jobs=jobs
+        )
+        self.kernel_name = self.config.kernel
+        self.batch_size = self.config.batch_size
+        self.max_cells = self.config.max_cells
         self._backend = FactoredPriorBackend(
-            EstimatorConfig(
-                kernel=kernel,
-                max_cells=self.max_cells,
-                batch_size=self.batch_size,
-                jobs=jobs,
-            ),
-            distance_matrices=distance_matrices,
+            self.config, distance_matrices=distance_matrices
         )
 
     @property
@@ -170,9 +173,15 @@ class KernelPriorEstimator:
         return self._backend
 
     # -- fitting --------------------------------------------------------------------
-    def fit(self, table: MicrodataTable) -> "KernelPriorEstimator":
-        """Build the backend's factored state for ``table``."""
-        missing = [name for name in table.quasi_identifier_names if name not in self.bandwidth]
+    def fit(self, table) -> "KernelPriorEstimator":
+        """Build the backend's factored state for ``table`` (table or source).
+
+        A :class:`~repro.data.source.TableSource` fits chunk by chunk,
+        bitwise identical to the resident fit (see
+        :meth:`~repro.knowledge.backend.FactoredPriorBackend.fit`).
+        """
+        names = table.schema.quasi_identifier_names
+        missing = [name for name in names if name not in self.bandwidth]
         if missing:
             raise KnowledgeError(
                 f"bandwidth does not cover quasi-identifier attributes {missing}"
@@ -246,6 +255,10 @@ class BatchedKernelPriorEstimator:
 
     Parameters
     ----------
+    config:
+        The consolidated :class:`~repro.knowledge.backend.EstimatorConfig`;
+        the per-knob keywords below are deprecation shims layered on top of
+        it via :func:`~repro.knowledge.backend.resolve_config`.
     kernel:
         Kernel function name (default ``"epanechnikov"``, as in the paper).
     batch_size:
@@ -269,24 +282,23 @@ class BatchedKernelPriorEstimator:
     def __init__(
         self,
         *,
-        kernel: str = "epanechnikov",
-        batch_size: int = _DEFAULT_BATCH_SIZE,
+        config: EstimatorConfig | None = None,
+        kernel: str | None = None,
+        batch_size: int | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
-        max_cells: int = DEFAULT_MAX_CELLS,
+        max_cells: int | None = None,
         incremental: bool = False,
         jobs: int | None = None,
     ):
-        self.kernel_name = kernel
-        self.batch_size = int(batch_size)
-        self.max_cells = int(max_cells)
+        self.config = resolve_config(
+            config, kernel=kernel, batch_size=batch_size, max_cells=max_cells, jobs=jobs
+        )
+        self.kernel_name = self.config.kernel
+        self.batch_size = self.config.batch_size
+        self.max_cells = self.config.max_cells
         self.incremental = bool(incremental)
         self._backend = FactoredPriorBackend(
-            EstimatorConfig(
-                kernel=kernel,
-                max_cells=self.max_cells,
-                batch_size=self.batch_size,
-                jobs=jobs,
-            ),
+            self.config,
             distance_matrices=distance_matrices,
             incremental=incremental,
         )
@@ -307,8 +319,13 @@ class BatchedKernelPriorEstimator:
         return self._backend.blocks
 
     # -- fitting --------------------------------------------------------------------
-    def fit(self, table: MicrodataTable) -> "BatchedKernelPriorEstimator":
-        """Precompute every bandwidth-independent artefact for ``table``."""
+    def fit(self, table) -> "BatchedKernelPriorEstimator":
+        """Precompute every bandwidth-independent artefact for ``table``.
+
+        ``table`` is a resident :class:`~repro.data.table.MicrodataTable` or
+        a chunked :class:`~repro.data.source.TableSource` (bitwise-identical
+        streamed fit).
+        """
         self._backend.fit(table)
         return self
 
@@ -370,45 +387,53 @@ class BatchedKernelPriorEstimator:
 
 
 def batched_kernel_priors(
-    table: MicrodataTable,
+    table,
     bandwidths: Sequence[float | Bandwidth],
     *,
-    kernel: str = "epanechnikov",
+    config: EstimatorConfig | None = None,
+    kernel: str | None = None,
     distance_matrices: dict[str, np.ndarray] | None = None,
-    max_cells: int = DEFAULT_MAX_CELLS,
+    max_cells: int | None = None,
     jobs: int | None = None,
 ) -> list[PriorBeliefs]:
     """One-call helper: priors for several adversaries sharing the kernel work."""
     estimator = BatchedKernelPriorEstimator(
-        kernel=kernel, distance_matrices=distance_matrices, max_cells=max_cells, jobs=jobs
+        config=config,
+        kernel=kernel,
+        distance_matrices=distance_matrices,
+        max_cells=max_cells,
+        jobs=jobs,
     )
     return estimator.fit(table).prior_for_table(bandwidths)
 
 
 def kernel_prior(
-    table: MicrodataTable,
+    table,
     b: float | Bandwidth,
     *,
-    kernel: str = "epanechnikov",
-    batch_size: int = _DEFAULT_BATCH_SIZE,
+    config: EstimatorConfig | None = None,
+    kernel: str | None = None,
+    batch_size: int | None = None,
     distance_matrices: dict[str, np.ndarray] | None = None,
-    max_cells: int = DEFAULT_MAX_CELLS,
+    max_cells: int | None = None,
     jobs: int | None = None,
 ) -> PriorBeliefs:
     """One-call helper: fit a kernel estimator on ``table`` and return its priors.
 
-    ``b`` may be a scalar (applied uniformly to every QI attribute, the
-    ``B' = (b', ..., b')`` adversary of Section V) or a full
-    :class:`~repro.knowledge.bandwidth.Bandwidth`.  Estimation runs through
-    the factored contraction backend; ``max_cells=0`` selects the flat
-    reference sweep.
+    ``table`` is a :class:`~repro.data.table.MicrodataTable` or a chunked
+    :class:`~repro.data.source.TableSource`.  ``b`` may be a scalar (applied
+    uniformly to every QI attribute, the ``B' = (b', ..., b')`` adversary of
+    Section V) or a full :class:`~repro.knowledge.bandwidth.Bandwidth`.
+    Estimation runs through the factored contraction backend;
+    ``max_cells=0`` selects the flat reference sweep.
     """
     if isinstance(b, Bandwidth):
         bandwidth = b
     else:
-        bandwidth = Bandwidth.uniform(table.quasi_identifier_names, float(b))
+        bandwidth = Bandwidth.uniform(table.schema.quasi_identifier_names, float(b))
     estimator = KernelPriorEstimator(
         bandwidth,
+        config=config,
         kernel=kernel,
         batch_size=batch_size,
         distance_matrices=distance_matrices,

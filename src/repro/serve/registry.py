@@ -72,7 +72,7 @@ from repro.serve.errors import ApiError, BadRequest, Conflict, NotFound, TooMany
 from repro.serve.metrics import StreamMetrics
 from repro.serve.pool import PublicationPool, build_stream_model
 from repro.stream import IncrementalPublisher
-from repro.stream.store import ReleaseStore
+from repro.stream.store import ReleaseStore, VersionCache
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _STOP = object()
@@ -518,6 +518,11 @@ class StreamRegistry:
         if self._max_queue_batches < 1 or self._max_queued_rows < 1:
             raise BadRequest("the queue bounds must be at least 1")
         self.schema = schema if schema is not None else adult_schema()
+        # One byte-bounded LRU shared by every shard store: resumed versions
+        # decode lazily on first access (GET /streams/<s>/versions/<v> pays
+        # the npz decode once, not per request) and the decoded footprint
+        # across all tenants stays bounded.
+        self.version_cache = VersionCache()
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self._coalesce_seconds = float(coalesce_ms) / 1000.0
@@ -662,6 +667,7 @@ class StreamRegistry:
                 max_cells=resolved["max_cells"],
                 jobs=self.jobs,
                 store_path=shard,
+                version_cache=self.version_cache,
             )
             publisher.publish()
             (shard / CONFIG_FILE).write_text(
@@ -695,12 +701,15 @@ class StreamRegistry:
                 schema=self.schema,
                 model=self._build_model(config),
                 jobs=self.jobs,
+                version_cache=self.version_cache,
             )
             return self._register(name, publisher, config)
         # Process mode: the parent only *reads* the shard (no lock - the
         # publication workers take it); the first dispatched tick runs the
         # full resume validation in its worker.
-        store = ReleaseStore(shard, schema=self.schema, lock=False)
+        store = ReleaseStore(
+            shard, schema=self.schema, lock=False, version_cache=self.version_cache
+        )
         if not len(store):
             raise StreamError(
                 f"cannot resume stream {name!r}: the release store at {shard} "

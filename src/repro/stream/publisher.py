@@ -73,13 +73,13 @@ from repro.anonymize.partition import AnonymizedRelease
 from repro.audit.engine import SkylineAuditEngine, SkylineAuditReport
 from repro.data.table import MicrodataTable
 from repro.exceptions import AnonymizationError, DataError, StreamError
-from repro.knowledge.backend import DEFAULT_MAX_CELLS
+from repro.knowledge.backend import EstimatorConfig, resolve_config
 from repro.knowledge.bandwidth import Bandwidth
 from repro.knowledge.prior import BatchedKernelPriorEstimator, PriorBeliefs
 from repro.obs.tracing import Tracer
 from repro.privacy.measures import DistanceMeasure, sensitive_distance_measure
 from repro.privacy.models import BTPrivacy, CompositeModel, KAnonymity, PrivacyModel
-from repro.stream.store import ReleaseStore, StreamDelta, StreamVersion
+from repro.stream.store import ReleaseStore, StreamDelta, StreamVersion, VersionCache
 from repro.stream.tree import PartitionTree
 
 #: The mutation kinds :meth:`IncrementalPublisher.publish_coalesced` accepts.
@@ -203,16 +203,18 @@ class IncrementalPublisher:
         *,
         skyline: Iterable[tuple[float | Bandwidth, float]] | None = None,
         k: int | None = None,
-        kernel: str = "epanechnikov",
+        config: EstimatorConfig | None = None,
+        kernel: str | None = None,
         method: str = "omega",
         split_strategy: str = "widest",
-        max_cells: int = DEFAULT_MAX_CELLS,
+        max_cells: int | None = None,
         jobs: int | None = None,
         refine_factor: float = 1.5,
         compact_drift: float = 0.5,
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
         store_path: str | Path | None = None,
+        version_cache: VersionCache | None = None,
         tracer: Tracer | None = None,
     ):
         if method not in {"omega", "exact"}:
@@ -225,10 +227,13 @@ class IncrementalPublisher:
         self.compact_drift = float(compact_drift)
         self._table = table
         self.model = model
-        self.kernel = kernel
+        # One EstimatorConfig carries every estimation knob end to end; the
+        # kernel/max_cells/jobs keywords are back-compat overrides on top.
+        self.config = resolve_config(config, kernel=kernel, max_cells=max_cells, jobs=jobs)
+        self.kernel = self.config.kernel
         self.method = method
-        self.max_cells = int(max_cells)
-        self.jobs = jobs
+        self.max_cells = int(self.config.max_cells)
+        self.jobs = self.config.jobs
         self._k = k
         self._requirement: PrivacyModel = (
             CompositeModel([KAnonymity(k), model]) if k is not None else model
@@ -250,18 +255,16 @@ class IncrementalPublisher:
             self._requirement, split_strategy=split_strategy
         )
         self._estimator = BatchedKernelPriorEstimator(
-            kernel=kernel,
-            max_cells=max_cells,
-            jobs=jobs,
+            config=self.config,
             distance_matrices=distance_matrices,
             incremental=True,
         )
         self.split_strategy = split_strategy
         self.tracer = tracer if tracer is not None else Tracer()
         self.store = (
-            ReleaseStore(path=store_path, schema=table.schema)
+            ReleaseStore(path=store_path, schema=table.schema, version_cache=version_cache)
             if store_path is not None
-            else ReleaseStore()
+            else ReleaseStore(version_cache=version_cache)
         )
         self._tree: PartitionTree | None = None
         self._audit_matrices: list[np.ndarray] = []
@@ -355,9 +358,11 @@ class IncrementalPublisher:
         *,
         schema,
         model: PrivacyModel,
+        config: EstimatorConfig | None = None,
         measure: DistanceMeasure | None = None,
         distance_matrices: dict[str, np.ndarray] | None = None,
         jobs: int | None = None,
+        version_cache: VersionCache | None = None,
         tracer: Tracer | None = None,
     ) -> "IncrementalPublisher":
         """Reconstruct a publisher from a disk-backed store and continue the stream.
@@ -372,7 +377,7 @@ class IncrementalPublisher:
         calls continue the stream where it stopped, producing versions
         identical to an uninterrupted publisher.
         """
-        store = ReleaseStore(path=path, schema=schema)
+        store = ReleaseStore(path=path, schema=schema, version_cache=version_cache)
         if not len(store):
             raise StreamError(f"the release store at {path} holds no versions")
         if store.state is None:
@@ -391,6 +396,7 @@ class IncrementalPublisher:
                 model,
                 skyline=skyline,
                 k=state["k"],
+                config=config,
                 kernel=state["kernel"],
                 method=state["method"],
                 split_strategy=state["split_strategy"],
@@ -549,9 +555,7 @@ class IncrementalPublisher:
             if rebuild:
                 # Domains changed: every code-indexed artefact is stale.
                 self._estimator = BatchedKernelPriorEstimator(
-                    kernel=self.kernel,
-                    max_cells=self.max_cells,
-                    jobs=self.jobs,
+                    config=self.config,
                     incremental=True,
                 )
                 self._measure = None

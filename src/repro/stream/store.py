@@ -11,14 +11,19 @@ result says should move smoothly with the data.
 The store is in-memory by default; constructed with ``path=...`` it becomes
 **disk-backed**: every accepted version is persisted as one line of
 ``lineage.jsonl`` (the JSON-able version summary) plus one
-``version-NNNNN.npz`` (the table's columns and domains, the released groups
-and the per-adversary risk vectors), and the publisher's restart state (the
-recorded split tree, accumulated compaction drift, configuration) lands in
-``state.json``.  Opening a directory that already holds a lineage *loads* it
-- pass the table ``schema`` so the persisted columns can be decoded - after
-which the store serves historical versions and
-:meth:`~repro.stream.publisher.IncrementalPublisher.resume` can continue the
-stream exactly where it stopped.  Corrupt or partial directories raise
+``version-NNNNN.npz`` (the table's ``int32`` code columns and domains, the
+released groups and the per-adversary risk vectors - written *uncompressed*
+so the large members can be memory-mapped back), and the publisher's restart
+state (the recorded split tree, accumulated compaction drift, configuration)
+lands in ``state.json``.  Opening a directory that already holds a lineage
+*loads the lineage only* - pass the table ``schema`` so the persisted
+columns can be decoded - version archives stay on disk as lazy stubs and
+are decoded on first access through a byte-bounded :class:`VersionCache`
+LRU, so a store holding hundreds of million-row versions opens in
+milliseconds and serves ``lineage()`` / ``report_delta()`` straight from
+the persisted audit summaries without touching a single archive.  Legacy
+compressed archives (the pre-v2 ``col_<name>`` value format) still decode.
+Corrupt or partial directories raise
 :class:`~repro.exceptions.StreamError` naming the offending file.
 """
 
@@ -26,6 +31,9 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import zipfile
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -42,6 +50,81 @@ from repro.privacy.disclosure import AttackResult, count_vulnerable_tuples, max_
 
 #: Name of the exclusive publisher lock inside a disk-backed store directory.
 LOCK_FILE = "store.lock"
+
+#: Default byte budget for the decoded-version LRU of a disk-backed store.
+DEFAULT_VERSION_CACHE_BYTES = 256 * 1024 * 1024
+
+
+class VersionCache:
+    """A thread-safe, byte-bounded LRU of decoded :class:`StreamVersion` objects.
+
+    Lazy stores decode a version archive only when the version is actually
+    accessed; the decoded object (table, groups, risk vectors) is parked
+    here so repeated reads of a hot version - the serving daemon answering
+    ``GET /streams/<s>/versions/<v>`` - pay the npz decode once, not per
+    request.  Entries are keyed by ``(store, version, file identity)`` and
+    evicted least-recently-used once the decoded bytes exceed ``max_bytes``;
+    the most recent entry always survives so one oversized version can still
+    be served.  A single cache may be shared across stores (the serving
+    registry hands every shard the same instance, making the budget global).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_VERSION_CACHE_BYTES) -> None:
+        if max_bytes < 0:
+            raise StreamError("the version cache budget must be non-negative")
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[tuple, tuple[StreamVersion, int]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> "StreamVersion | None":
+        """The cached version under ``key``, refreshed to most-recent, or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: tuple, version: "StreamVersion", nbytes: int) -> None:
+        """Park a decoded version, evicting LRU entries past the byte budget."""
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous[1]
+            self._entries[key] = (version, int(nbytes))
+            self._bytes += int(nbytes)
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self._bytes -= evicted
+                self.evictions += 1
+
+    @property
+    def current_bytes(self) -> int:
+        """Decoded bytes currently parked in the cache."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters and the current footprint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 def _pid_alive(pid: int) -> bool:
@@ -167,6 +250,11 @@ class ReleaseStore:
         another process (the holder of ``store.lock``) appends - the serving
         daemon's process-parallel mode opens every shard this way in the
         parent while the publication worker processes hold the locks.
+    version_cache:
+        The byte-bounded LRU that holds lazily decoded versions.  Defaults
+        to a private :class:`VersionCache` with
+        :data:`DEFAULT_VERSION_CACHE_BYTES`; pass a shared instance to bound
+        the decoded footprint across many stores (the serving registry does).
     """
 
     def __init__(
@@ -175,11 +263,17 @@ class ReleaseStore:
         *,
         schema: Schema | None = None,
         lock: bool = True,
+        version_cache: VersionCache | None = None,
     ) -> None:
-        self._versions: list[StreamVersion] = []
+        # Versions appended live stay resident; versions discovered on disk
+        # are lazy stubs (None here, their lineage payload in _payloads) and
+        # decode on demand through the version cache.
+        self._versions: list[StreamVersion | None] = []
+        self._payloads: list[dict[str, Any] | None] = []
         self._path = Path(path) if path is not None else None
         self._schema = schema
         self._owns_lock = False
+        self._cache = version_cache if version_cache is not None else VersionCache()
         self.state: dict[str, Any] | None = None
         if self._path is not None:
             self._path.mkdir(parents=True, exist_ok=True)
@@ -281,9 +375,10 @@ class ReleaseStore:
         versions arrived.  This is how the serving daemon's parent process
         observes publications performed by its worker processes: the workers
         append to the shard under ``store.lock``, the parent refreshes its
-        lock-free reader store and keeps serving immutable versions.  The
-        reload round-trips through the same decoding as a cold open, so the
-        refreshed versions are byte-identical to the worker's.
+        lock-free reader store and keeps serving immutable versions.  New
+        versions arrive as lazy stubs (only the archive's existence is
+        checked here); the first access decodes through the same path as a
+        cold open, so refreshed versions are byte-identical to the worker's.
         """
         if self._path is None:
             return 0
@@ -312,7 +407,7 @@ class ReleaseStore:
                     f"holds version {payload.get('version')!r}, expected {position} "
                     "(the lineage must be contiguous from 0)"
                 )
-            self._versions.append(self._load_version(payload))
+            self._append_lazy(payload)
             added += 1
         if added:
             state_path = self._path / "state.json"
@@ -337,6 +432,7 @@ class ReleaseStore:
                 f"version {version.version} breaks the lineage; expected {len(self._versions)}"
             )
         self._versions.append(version)
+        self._payloads.append(None)
         if state is not None:
             self.state = state
         if self._path is not None:
@@ -355,13 +451,17 @@ class ReleaseStore:
                 [group.size for group in version.release.groups], dtype=np.int64
             ),
         }
+        # v2 format: int32 code columns plus their domains.  The codes are
+        # the compact on-disk dual of the values (a million-row column is
+        # 4 MB instead of per-row strings), and writing them *uncompressed*
+        # (np.savez, not savez_compressed) lets the loader memory-map the
+        # members straight out of the archive.
         for attribute in table.schema:
             name = attribute.name
+            arrays[f"codes_{name}"] = table.codes(name)
             if attribute.is_numeric:
-                arrays[f"col_{name}"] = table.column(name).astype(np.float64)
                 arrays[f"dom_{name}"] = table.domain(name).values.astype(np.float64)
             else:
-                arrays[f"col_{name}"] = np.asarray(table.column(name), dtype=np.str_)
                 arrays[f"dom_{name}"] = np.asarray(
                     table.domain(name).values, dtype=np.str_
                 )
@@ -379,7 +479,7 @@ class ReleaseStore:
                 "timings": dict(version.report.timings),
                 "delta": version.report.delta,
             }
-        np.savez_compressed(self._version_file(version.version), **arrays)
+        np.savez(self._version_file(version.version), **arrays)
         with (self._path / "lineage.jsonl").open("a") as handle:
             handle.write(json.dumps(payload, sort_keys=True) + "\n")
         if state is not None:
@@ -411,7 +511,7 @@ class ReleaseStore:
                     f"holds version {payload.get('version')!r}, expected {position} "
                     "(the lineage must be contiguous from 0)"
                 )
-            self._versions.append(self._load_version(payload))
+            self._append_lazy(payload)
         state_path = self._path / "state.json"
         if state_path.exists():
             try:
@@ -421,7 +521,8 @@ class ReleaseStore:
                     f"corrupt release store: {state_path} is not valid JSON ({error})"
                 ) from None
 
-    def _load_version(self, payload: dict[str, Any]) -> StreamVersion:
+    def _append_lazy(self, payload: dict[str, Any]) -> None:
+        """Record a persisted version as a lazy stub (archive checked, not read)."""
         number = int(payload["version"])
         version_path = self._version_file(number)
         if not version_path.exists():
@@ -429,34 +530,112 @@ class ReleaseStore:
                 f"corrupt release store: {version_path} is missing "
                 f"(version {number} is in the lineage)"
             )
+        self._versions.append(None)
+        self._payloads.append(payload)
+
+    def _resolve(self, position: int) -> StreamVersion:
+        """The version at ``position``, decoding a lazy stub via the cache."""
+        version = self._versions[position]
+        if version is not None:
+            return version
+        version_path = self._version_file(position)
         try:
-            with np.load(version_path) as archive:
-                arrays = {key: archive[key] for key in archive.files}
-        except (OSError, ValueError) as error:
+            stamp = os.stat(version_path)
+        except OSError:
+            raise StreamError(
+                f"corrupt release store: {version_path} is missing "
+                f"(version {position} is in the lineage)"
+            ) from None
+        # Keyed by path *and* file identity: a directory rebuilt in place
+        # never serves another run's decoded versions from a shared cache.
+        key = (str(version_path.resolve()), position, stamp.st_size, stamp.st_mtime_ns)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        version, nbytes = self._load_version(self._payloads[position])
+        self._cache.put(key, version, nbytes)
+        return version
+
+    def _load_version(self, payload: dict[str, Any]) -> tuple[StreamVersion, int]:
+        """Decode one persisted version; returns it with its decoded byte count.
+
+        Understands both archive formats: the current v2 layout
+        (``codes_<name>`` int32 columns, memory-mapped straight out of the
+        uncompressed archive) and the legacy compressed ``col_<name>`` value
+        layout from older stores.
+        """
+        number = int(payload["version"])
+        version_path = self._version_file(number)
+        if not version_path.exists():
+            raise StreamError(
+                f"corrupt release store: {version_path} is missing "
+                f"(version {number} is in the lineage)"
+            )
+        from repro.data.source import mmap_npz_member, read_npz_member
+
+        try:
+            with zipfile.ZipFile(version_path) as archive:
+                members = set(archive.namelist())
+        except (OSError, zipfile.BadZipFile) as error:
             raise StreamError(
                 f"corrupt release store: {version_path} is unreadable ({error})"
             ) from None
+        nbytes = 0
         try:
-            columns: dict[str, Any] = {}
             domains: dict[str, AttributeDomain] = {}
-            for attribute in self._schema:
-                name = attribute.name
-                columns[name] = arrays[f"col_{name}"].tolist()
-                domains[name] = AttributeDomain(
-                    attribute, arrays[f"dom_{name}"].tolist()
+            if any(name.startswith("codes_") for name in members):
+                # v2: big members are memory-mapped, only domains are read.
+                codes: dict[str, np.ndarray] = {}
+                for attribute in self._schema:
+                    name = attribute.name
+                    codes[name] = mmap_npz_member(version_path, f"codes_{name}.npy")
+                    domain_values = read_npz_member(version_path, f"dom_{name}.npy")
+                    domains[name] = AttributeDomain(attribute, domain_values.tolist())
+                    nbytes += codes[name].nbytes + domain_values.nbytes
+                table = MicrodataTable.from_codes(self._schema, codes, domains)
+                groups_flat = mmap_npz_member(version_path, "groups.npy")
+                group_sizes = read_npz_member(version_path, "group_sizes.npy")
+                risks = (
+                    mmap_npz_member(version_path, "risks.npy")
+                    if "risks.npy" in members
+                    else None
                 )
-            table = MicrodataTable(self._schema, columns, domains=domains)
-            boundaries = np.cumsum(arrays["group_sizes"])[:-1]
+            else:
+                try:
+                    with np.load(version_path) as archive:
+                        arrays = {key: archive[key] for key in archive.files}
+                except (OSError, ValueError) as error:
+                    raise StreamError(
+                        f"corrupt release store: {version_path} is unreadable ({error})"
+                    ) from None
+                columns: dict[str, Any] = {}
+                for attribute in self._schema:
+                    name = attribute.name
+                    columns[name] = arrays[f"col_{name}"].tolist()
+                    domains[name] = AttributeDomain(
+                        attribute, arrays[f"dom_{name}"].tolist()
+                    )
+                    nbytes += arrays[f"col_{name}"].nbytes + arrays[f"dom_{name}"].nbytes
+                table = MicrodataTable(self._schema, columns, domains=domains)
+                groups_flat = arrays["groups"]
+                group_sizes = arrays["group_sizes"]
+                risks = arrays.get("risks")
+            nbytes += int(groups_flat.nbytes) + int(group_sizes.nbytes)
+            boundaries = np.cumsum(group_sizes)[:-1]
             groups = [
                 np.asarray(group, dtype=np.int64)
-                for group in np.split(arrays["groups"], boundaries)
+                for group in np.split(np.asarray(groups_flat, dtype=np.int64), boundaries)
             ]
             release = AnonymizedRelease(
                 table, groups, method=str(payload["release_method"])
             )
             report = None
             if "report" in payload:
-                risks = arrays["risks"]
+                if risks is None:
+                    raise StreamError(
+                        f"corrupt release store: {version_path} holds no risks "
+                        "array but the lineage records an audit report"
+                    )
                 skyline = payload["report"]["skyline"]
                 if risks.shape != (len(skyline), table.n_rows):
                     raise StreamError(
@@ -464,15 +643,17 @@ class ReleaseStore:
                         f"{risks.shape} risks array but the lineage records "
                         f"{len(skyline)} adversaries over {table.n_rows} rows"
                     )
+                nbytes += int(risks.nbytes)
                 report = self._load_report(
                     payload["report"], risks, table.n_rows, groups
                 )
-            return StreamVersion(
+            version = StreamVersion(
                 version=number,
                 release=release,
                 report=report,
                 delta=StreamDelta.from_dict(payload["delta"]),
             )
+            return version, nbytes
         except (KeyError, TypeError, ValueError, DataError) as error:
             raise StreamError(
                 f"corrupt release store: version {number} cannot be decoded ({error})"
@@ -511,18 +692,44 @@ class ReleaseStore:
         return len(self._versions)
 
     def __iter__(self) -> Iterator[StreamVersion]:
-        # Iterate a snapshot: the serving daemon reads lineages concurrently
-        # with the (append-only) writer thread.
-        return iter(list(self._versions))
+        # Iterate a snapshot of positions: the serving daemon reads lineages
+        # concurrently with the (append-only) writer thread.
+        return iter([self._resolve(position) for position in range(len(self._versions))])
 
     def __getitem__(self, version: int) -> StreamVersion:
-        return self._versions[version]
+        position = version if version >= 0 else len(self._versions) + version
+        if position < 0 or position >= len(self._versions):
+            raise IndexError(f"version {version} is not in the lineage")
+        return self._resolve(position)
 
     def latest(self) -> StreamVersion:
         """The most recently published version."""
         if not self._versions:
             raise StreamError("the stream has not published any version yet")
-        return self._versions[-1]
+        return self._resolve(len(self._versions) - 1)
+
+    @property
+    def version_cache(self) -> VersionCache:
+        """The LRU holding this store's lazily decoded versions."""
+        return self._cache
+
+    def _audit_rows(self, position: int) -> list[dict[str, Any]] | None:
+        """Per-adversary summary rows for one version, without decoding stubs.
+
+        Resident versions summarise their in-memory report; lazy stubs are
+        served straight from the ``audit`` block persisted in the lineage
+        (the same :meth:`SkylineAuditEntry.as_dict` rows), so lineage-level
+        queries never touch a version archive.
+        """
+        version = self._versions[position]
+        if version is not None:
+            if version.report is None:
+                return None
+            return [entry.as_dict() for entry in version.report.entries]
+        audit = self._payloads[position].get("audit")
+        if audit is None:
+            return None
+        return audit.get("adversaries")
 
     def report_delta(self, version: int) -> list[dict[str, Any]] | None:
         """Per-adversary audit movement from ``version - 1`` to ``version``.
@@ -533,33 +740,46 @@ class ReleaseStore:
         """
         if version <= 0 or version >= len(self._versions):
             return None
-        current = self._versions[version].report
-        previous = self._versions[version - 1].report
+        current = self._audit_rows(version)
+        previous = self._audit_rows(version - 1)
         if current is None or previous is None:
             return None
         rows = []
-        for entry, before in zip(current.entries, previous.entries):
+        for entry, before in zip(current, previous):
             rows.append(
                 {
-                    "adversary": entry.adversary.describe(),
-                    "worst_case_risk": entry.attack.worst_case_risk,
-                    "worst_case_risk_change": entry.attack.worst_case_risk
-                    - before.attack.worst_case_risk,
-                    "margin": entry.margin,
-                    "vulnerable_tuples": entry.attack.vulnerable_tuples,
-                    "vulnerable_tuples_change": entry.attack.vulnerable_tuples
-                    - before.attack.vulnerable_tuples,
-                    "satisfied": entry.satisfied,
+                    "adversary": entry["adversary"],
+                    "worst_case_risk": entry["worst_case_risk"],
+                    "worst_case_risk_change": entry["worst_case_risk"]
+                    - before["worst_case_risk"],
+                    "margin": entry["margin"],
+                    "vulnerable_tuples": entry["vulnerable_tuples"],
+                    "vulnerable_tuples_change": entry["vulnerable_tuples"]
+                    - before["vulnerable_tuples"],
+                    "satisfied": entry["satisfied"],
                 }
             )
         return rows
 
     def lineage(self) -> list[dict[str, Any]]:
-        """JSON-able summaries of every version, with audit deltas attached."""
+        """JSON-able summaries of every version, with audit deltas attached.
+
+        Lazy stubs contribute their persisted lineage payload directly, so
+        this never decodes an archive - a store holding hundreds of
+        million-row versions lists its history from JSON alone.
+        """
         rows = []
-        for version in list(self._versions):
-            row = version.as_dict()
-            delta = self.report_delta(version.version)
+        for position in range(len(self._versions)):
+            version = self._versions[position]
+            if version is not None:
+                row = version.as_dict()
+            else:
+                row = {
+                    key: value
+                    for key, value in self._payloads[position].items()
+                    if key not in ("release_method", "report")
+                }
+            delta = self.report_delta(position)
             if delta is not None:
                 row["audit_delta"] = delta
             rows.append(row)

@@ -7,6 +7,7 @@ from repro.anonymize.mondrian import (
     MondrianAnonymizer,
     MondrianNode,
     MondrianSplit,
+    spilled_value_matrix,
 )
 from repro.anonymize.partition import AnonymizedRelease
 from repro.data.schema import Schema, categorical_qi, numeric_qi, sensitive
@@ -321,3 +322,57 @@ def test_partition_forest_partitions_each_region(tiny_adult):
         for leaf in root.leaves():
             assert leaf.indices.size >= 4
             assert leaf.depth >= 2
+
+
+# -- spilled value matrix (the out-of-core recursion) ---------------------------------
+
+
+def test_spilled_value_matrix_is_bitwise_the_resident_one(tiny_adult):
+    from repro.data.source import InMemoryTableSource
+
+    qi_names = list(tiny_adult.quasi_identifier_names)
+    resident = MondrianAnonymizer._value_matrix(tiny_adult, qi_names)
+    spilled = spilled_value_matrix(InMemoryTableSource(tiny_adult, chunk_rows=37))
+    assert isinstance(spilled, np.memmap)
+    assert spilled.dtype == resident.dtype and spilled.shape == resident.shape
+    assert spilled.tobytes() == resident.tobytes()
+
+
+@pytest.mark.parametrize("strategy", ["widest", "round_robin", "dfs"])
+def test_spilled_partition_identical_to_resident_recursion(tiny_adult, strategy):
+    """Frontier recursion over the spill cuts the exact resident partition -
+    same groups, same order - for every traversal strategy."""
+    from repro.data.source import InMemoryTableSource
+
+    model = CompositeModel([KAnonymity(4), DistinctLDiversity(3)])
+    resident = MondrianAnonymizer(model, split_strategy=strategy).partition(tiny_adult)
+    spilled = MondrianAnonymizer(model, split_strategy=strategy).partition(
+        tiny_adult,
+        values=spilled_value_matrix(InMemoryTableSource(tiny_adult, chunk_rows=64)),
+    )
+    assert len(spilled) == len(resident)
+    assert all(np.array_equal(a, b) for a, b in zip(spilled, resident))
+
+
+def test_spilled_source_row_mismatch_raises(tiny_adult):
+    from repro.data.source import InMemoryTableSource
+
+    class TruncatedSource(InMemoryTableSource):
+        def iter_chunks(self, chunk_rows=None):
+            yield next(super().iter_chunks(chunk_rows=100))
+
+    with pytest.raises(AnonymizationError, match="declared"):
+        spilled_value_matrix(TruncatedSource(tiny_adult))
+
+
+def test_anonymize_spill_option_matches_resident_release(tiny_adult):
+    from repro.anonymize.anonymizer import anonymize
+
+    model = DistinctLDiversity(3)
+    resident = anonymize(tiny_adult, model, k=4)
+    spilled = anonymize(tiny_adult, model, k=4, spill=True)
+    assert len(spilled.release.groups) == len(resident.release.groups)
+    assert all(
+        np.array_equal(a, b)
+        for a, b in zip(spilled.release.groups, resident.release.groups)
+    )

@@ -169,3 +169,41 @@ def test_session_stream_defaults_skyline_to_bt_model(tiny_adult):
     assert dict(bandwidth.items()) == {
         name: 0.3 for name in tiny_adult.quasi_identifier_names
     }
+
+
+def test_session_accepts_a_table_source(tiny_adult):
+    from repro.data.source import InMemoryTableSource
+
+    resident = Session(tiny_adult)
+    sourced = Session(InMemoryTableSource(tiny_adult, chunk_rows=64))
+    assert sourced.table.n_rows == tiny_adult.n_rows
+    a = resident.anonymize("distinct-l", params={"l": 3}, k=4)
+    b = sourced.anonymize("distinct-l", params={"l": 3}, k=4)
+    assert all(
+        np.array_equal(x, y) for x, y in zip(a.release.groups, b.release.groups)
+    )
+
+
+def test_estimator_config_and_legacy_kwargs_agree(tiny_adult):
+    from repro.knowledge.backend import EstimatorConfig
+
+    config = EstimatorConfig(kernel="gaussian", max_cells=500, jobs=1)
+    configured = Session(tiny_adult, config=config)
+    legacy = Session(tiny_adult, kernel="gaussian", max_cells=500, jobs=1)
+    assert configured.config == legacy.config
+    assert configured.default_kernel == legacy.default_kernel == "gaussian"
+    assert configured.max_cells == legacy.max_cells == 500
+    a = configured.priors(0.3)
+    b = legacy.priors(0.3)
+    assert a.matrix.tobytes() == b.matrix.tobytes()
+
+
+def test_legacy_kwargs_override_the_config(tiny_adult):
+    from repro.knowledge.backend import EstimatorConfig
+
+    session = Session(
+        tiny_adult, config=EstimatorConfig(max_cells=50, kernel="uniform"),
+        max_cells=70,
+    )
+    assert session.max_cells == 70  # explicit kwarg wins over the config
+    assert session.default_kernel == "uniform"  # untouched knobs survive

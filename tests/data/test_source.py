@@ -1,0 +1,204 @@
+"""TableSource ingestion: round-trips, chunk alignment, open_table dispatch.
+
+The load-bearing contract: every source implementation encodes the same file
+to **identical** integer codes against **identical** full-table domains - an
+in-memory wrap, a streamed CSV and a memory-mapped npz of one table are
+interchangeable, chunk by chunk and materialised.  That code agreement is
+what lets the streaming prior fit match the resident fit bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.adult import adult_schema, generate_adult
+from repro.data.io import open_table, write_csv
+from repro.data.source import (
+    DEFAULT_CHUNK_ROWS,
+    CsvTableSource,
+    InMemoryTableSource,
+    NpzTableSource,
+    TableSource,
+    as_source,
+    as_table,
+    write_npz,
+)
+from repro.exceptions import DataError
+
+ROWS = 400
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_adult(ROWS, seed=7)
+
+
+def _codes_of(source):
+    materialised = source.table()
+    return {name: materialised.codes(name) for name in source.schema.names}
+
+
+@pytest.fixture()
+def all_sources(tmp_path, table):
+    csv_path = tmp_path / "adult.csv"
+    npz_path = tmp_path / "adult.npz"
+    write_csv(table, csv_path)
+    write_npz(npz_path, table)
+    return {
+        "memory": InMemoryTableSource(table),
+        "csv": CsvTableSource(csv_path, adult_schema()),
+        "npz": NpzTableSource(npz_path, adult_schema()),
+    }
+
+
+def test_every_source_is_a_table_source(all_sources):
+    for source in all_sources.values():
+        assert isinstance(source, TableSource)
+        assert source.n_rows == ROWS
+        assert tuple(source.schema.names) == tuple(adult_schema().names)
+
+
+def test_round_trip_codes_and_domains_identical(all_sources):
+    """CSV <-> npz <-> in-memory: one table, three sources, identical encoding."""
+    reference = _codes_of(all_sources["memory"])
+    reference_domains = all_sources["memory"].domains()
+    for kind, source in all_sources.items():
+        domains = source.domains()
+        for name in source.schema.names:
+            assert np.array_equal(
+                domains[name].values, reference_domains[name].values
+            ), f"{kind}: domain of {name} diverged"
+        codes = _codes_of(source)
+        for name in source.schema.names:
+            assert np.array_equal(codes[name], reference[name]), (
+                f"{kind}: codes of {name} diverged"
+            )
+
+
+def test_chunks_share_full_table_domains(all_sources):
+    for kind, source in all_sources.items():
+        domains = source.domains()
+        total = 0
+        for chunk in source.iter_chunks(chunk_rows=64):
+            assert chunk.n_rows <= 64
+            total += chunk.n_rows
+            for name in source.schema.names:
+                assert np.array_equal(
+                    chunk.domain(name).values, domains[name].values
+                ), f"{kind}: chunk domain of {name} is not the full-table domain"
+        assert total == ROWS
+
+
+def test_chunk_concatenation_equals_materialised_table(all_sources):
+    for kind, source in all_sources.items():
+        materialised = source.table()
+        for name in source.schema.names:
+            streamed = np.concatenate(
+                [chunk.codes(name) for chunk in source.iter_chunks(chunk_rows=97)]
+            )
+            assert np.array_equal(streamed, materialised.codes(name)), (
+                f"{kind}: chunked codes of {name} diverged from table()"
+            )
+
+
+def test_npz_columns_are_memory_mapped(tmp_path, table):
+    path = tmp_path / "adult.npz"
+    write_npz(path, table)
+    source = NpzTableSource(path, adult_schema())
+    column = source.table().codes("Age")
+    # codes() may hand back a plain-ndarray view, but its storage must still
+    # be the file mapping (no decompressed in-RAM copy).
+    base = column
+    while isinstance(base, np.ndarray) and not isinstance(base, np.memmap):
+        base = base.base
+    assert isinstance(base, np.memmap)
+
+
+def test_open_table_dispatches_by_extension(tmp_path, table):
+    csv_path = tmp_path / "t.csv"
+    npz_path = tmp_path / "t.npz"
+    write_csv(table, csv_path)
+    write_npz(npz_path, table)
+    assert isinstance(open_table(csv_path, adult_schema()), CsvTableSource)
+    assert isinstance(open_table(npz_path, adult_schema()), NpzTableSource)
+
+
+def test_open_table_rejects_unknown_extension(tmp_path):
+    target = tmp_path / "t.parquet"
+    target.write_bytes(b"")
+    with pytest.raises(DataError, match="parquet"):
+        open_table(target, adult_schema())
+
+
+def test_open_table_defaults_to_adult_schema(tmp_path, table):
+    npz_path = tmp_path / "t.npz"
+    write_npz(npz_path, table)
+    source = open_table(npz_path)
+    assert tuple(source.schema.names) == tuple(adult_schema().names)
+
+
+def test_open_table_chunk_rows_becomes_the_default(tmp_path, table):
+    npz_path = tmp_path / "t.npz"
+    write_npz(npz_path, table)
+    source = open_table(npz_path, adult_schema(), chunk_rows=50)
+    assert [chunk.n_rows for chunk in source.iter_chunks()] == [50] * 8
+    # An explicit iter_chunks size still overrides the source default.
+    assert [chunk.n_rows for chunk in source.iter_chunks(chunk_rows=ROWS)] == [ROWS]
+
+
+def test_invalid_chunk_rows_rejected(table):
+    source = InMemoryTableSource(table, chunk_rows=0)
+    with pytest.raises(DataError, match="chunk_rows"):
+        next(source.iter_chunks())
+    with pytest.raises(DataError, match="chunk_rows"):
+        next(InMemoryTableSource(table).iter_chunks(chunk_rows=-3))
+
+
+def test_default_chunk_rows_used_when_unset(table):
+    chunks = list(InMemoryTableSource(table).iter_chunks())
+    assert len(chunks) == 1  # ROWS < DEFAULT_CHUNK_ROWS: one chunk
+    assert DEFAULT_CHUNK_ROWS >= ROWS
+
+
+def test_npz_source_rejects_foreign_archive(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, whatever=np.arange(4))
+    with pytest.raises(DataError, match="missing code/domain members"):
+        NpzTableSource(path, adult_schema())
+
+
+def test_npz_source_rejects_missing_file(tmp_path):
+    with pytest.raises(DataError, match="does not exist"):
+        NpzTableSource(tmp_path / "absent.npz", adult_schema())
+
+
+def test_csv_source_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(DataError, match="empty"):
+        CsvTableSource(path, adult_schema())
+
+
+def test_as_source_and_as_table_normalise_both_ways(table):
+    source = as_source(table)
+    assert isinstance(source, InMemoryTableSource)
+    assert as_source(source) is source
+    assert as_table(table) is table
+    materialised = as_table(source)
+    assert materialised.n_rows == table.n_rows
+    with pytest.raises(DataError, match="expected a MicrodataTable"):
+        as_source([1, 2, 3])
+    with pytest.raises(DataError, match="expected a MicrodataTable"):
+        as_table({"not": "a table"})
+
+
+def test_write_npz_accepts_a_source(tmp_path, table):
+    """write_npz(source) streams the chunks into one codes file."""
+    first = tmp_path / "direct.npz"
+    second = tmp_path / "via-source.npz"
+    write_npz(first, table)
+    write_npz(second, InMemoryTableSource(table, chunk_rows=64))
+    a = NpzTableSource(first, adult_schema()).table()
+    b = NpzTableSource(second, adult_schema()).table()
+    for name in adult_schema().names:
+        assert np.array_equal(a.codes(name), b.codes(name))
+        assert np.array_equal(a.domain(name).values, b.domain(name).values)

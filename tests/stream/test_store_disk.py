@@ -249,7 +249,8 @@ def test_publish_refuses_already_populated_store_dir(tmp_path):
 
 def test_corrupt_domain_array_raises_stream_error(tmp_path):
     """Decoding failures inside a version file surface as StreamError naming
-    the version, not as a bare DataError."""
+    the version, not as a bare DataError.  Versions decode lazily, so the
+    corruption is caught on first access, not at open."""
     seed_table, _ = _tables(seed=59)
     publisher = IncrementalPublisher(
         seed_table, DistinctLDiversity(3), k=4, store_path=tmp_path / "s"
@@ -260,8 +261,9 @@ def test_corrupt_domain_array_raises_stream_error(tmp_path):
         arrays = {key: archive[key] for key in archive.files}
     arrays["dom_Age"] = arrays["dom_Age"][:-2]  # truncate the Age domain
     np.savez_compressed(path, **arrays)
+    store = ReleaseStore(path=tmp_path / "s", schema=adult_schema())
     with pytest.raises(StreamError, match="version 0 cannot be decoded"):
-        ReleaseStore(path=tmp_path / "s", schema=adult_schema())
+        store[0]
 
 
 def test_risks_shape_mismatch_raises_stream_error(tmp_path):
@@ -276,8 +278,9 @@ def test_risks_shape_mismatch_raises_stream_error(tmp_path):
         arrays = {key: archive[key] for key in archive.files}
     arrays["risks"] = arrays["risks"][:, :-5]  # truncate the risk vectors
     np.savez_compressed(path, **arrays)
+    store = ReleaseStore(path=tmp_path / "s", schema=adult_schema())
     with pytest.raises(StreamError, match="risks"):
-        ReleaseStore(path=tmp_path / "s", schema=adult_schema())
+        store.latest()
 
 
 def test_resume_refuses_mid_persist_interrupted_store(tmp_path):
@@ -296,4 +299,61 @@ def test_resume_refuses_mid_persist_interrupted_store(tmp_path):
     with pytest.raises(StreamError, match="interrupted mid-persist"):
         IncrementalPublisher.resume(
             tmp_path / "s", schema=adult_schema(), model=DistinctLDiversity(3)
+        )
+
+
+def test_legacy_compressed_archives_still_decode(tmp_path):
+    """Stores written before the mappable int32-codes layout (compressed
+    ``col_<name>`` raw-value members) reload with identical content."""
+    seed_table, full = _tables(seed=71)
+    publisher = IncrementalPublisher(
+        seed_table, BTPrivacy(0.3, 0.25), skyline=SKYLINE, k=4,
+        store_path=tmp_path / "s",
+    )
+    publisher.publish()
+    publisher.append(full.select(np.arange(SEED_ROWS, SEED_ROWS + 150)))
+    originals = list(publisher.store)
+
+    # Rewrite every version archive in the legacy layout.
+    for version in originals:
+        table = version.release.table
+        arrays = {}
+        for attribute in table.schema:
+            name = attribute.name
+            column = table.column(name)
+            arrays[f"col_{name}"] = (
+                np.asarray(column, dtype=np.float64)
+                if attribute.is_numeric
+                else np.asarray(column, dtype=np.str_)
+            )
+            domain = table.domain(name)
+            arrays[f"dom_{name}"] = (
+                domain.values.astype(np.float64)
+                if attribute.is_numeric
+                else np.asarray(domain.values, dtype=np.str_)
+            )
+        arrays["groups"] = np.concatenate(version.release.groups).astype(np.int64)
+        arrays["group_sizes"] = np.asarray(
+            [len(group) for group in version.release.groups], dtype=np.int64
+        )
+        if version.report is not None:
+            arrays["risks"] = np.stack(
+                [entry.attack.risks for entry in version.report.entries]
+            )
+        np.savez_compressed(tmp_path / "s" / f"version-{version.version:05d}.npz", **arrays)
+
+    reloaded = ReleaseStore(path=tmp_path / "s", schema=adult_schema())
+    for original, loaded in zip(originals, reloaded):
+        assert original.version == loaded.version
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(original.release.groups, loaded.release.groups)
+        )
+        for name in seed_table.schema.names:
+            assert np.array_equal(
+                original.release.table.column(name), loaded.release.table.column(name)
+            )
+        assert all(
+            np.array_equal(a.attack.risks, b.attack.risks)
+            for a, b in zip(original.report.entries, loaded.report.entries)
         )

@@ -134,3 +134,20 @@ def test_overhead_frac_is_ceiling_gated():
     gone = _doc({"a": {}})
     failures = check_regression.compare(baseline, gone, tolerance=0.30)
     assert len(failures) == 1 and "'tracing_overhead_frac'" in failures[0]
+
+
+def test_peak_rss_is_ceiling_gated():
+    """Peak-RSS metrics (the out-of-core scale bench) gate like latencies:
+    the additive slack is negligible against megabytes, so the gate is
+    effectively the pure ratio ceiling."""
+    baseline = _doc({"a": {"peak_rss_mb": 400.0, "resident_peak_rss_mb": 900.0}})
+    ok = _doc({"a": {"peak_rss_mb": 480.0, "resident_peak_rss_mb": 900.0}})
+    assert check_regression.compare(baseline, ok, tolerance=0.30) == []
+    slimmer = _doc({"a": {"peak_rss_mb": 200.0, "resident_peak_rss_mb": 400.0}})
+    assert check_regression.compare(baseline, slimmer, tolerance=0.30) == []
+    bloated = _doc({"a": {"peak_rss_mb": 600.0, "resident_peak_rss_mb": 900.0}})
+    failures = check_regression.compare(baseline, bloated, tolerance=0.30)
+    assert len(failures) == 1 and "peak_rss_mb" in failures[0]
+    gone = _doc({"a": {"resident_peak_rss_mb": 900.0}})
+    failures = check_regression.compare(baseline, gone, tolerance=0.30)
+    assert len(failures) == 1 and "'peak_rss_mb'" in failures[0]

@@ -522,3 +522,47 @@ def test_trace_out_rejects_malformed_paths(tmp_path, capsys):
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
         assert "bad trace path" in err and "Traceback" not in err
+
+
+def test_chunk_rows_rejects_malformed_sizes(capsys):
+    # Same house style as --max-cells/--skyline: argparse usage error, exit 2,
+    # one line on stderr, no traceback.
+    for bad in ("0", "-4", "abc", "1.5", ""):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["audit", "--rows", "100", "--chunk-rows", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "chunk size" in err
+        assert "Traceback" not in err
+
+
+def test_generate_npz_then_chunked_audit(capsys, tmp_path):
+    source = tmp_path / "adult.npz"
+    code = main(["generate", "--rows", "300", "--seed", "5", "--output", str(source)])
+    assert code == 0
+    assert "300 rows" in capsys.readouterr().out
+    code = main([
+        "audit", "--input", str(source), "--chunk-rows", "64",
+        "--model", "distinct-l", "--l", "3", "--k", "3",
+        "--skyline", "0.2:0.4,0.4:0.4",
+    ])
+    assert code == 0
+    assert "skyline audit" in capsys.readouterr().out
+
+
+def test_csv_and_npz_inputs_give_identical_releases(capsys, tmp_path):
+    csv_source = tmp_path / "adult.csv"
+    npz_source = tmp_path / "adult.npz"
+    main(["generate", "--rows", "250", "--seed", "9", "--output", str(csv_source)])
+    main(["generate", "--rows", "250", "--seed", "9", "--output", str(npz_source)])
+    capsys.readouterr()
+    from_csv = tmp_path / "from-csv.csv"
+    from_npz = tmp_path / "from-npz.csv"
+    for source, release in ((csv_source, from_csv), (npz_source, from_npz)):
+        code = main([
+            "anonymize", "--input", str(source), "--chunk-rows", "100",
+            "--model", "distinct-l", "--l", "3", "--k", "3",
+            "--output", str(release),
+        ])
+        assert code == 0
+    assert from_csv.read_text() == from_npz.read_text()
